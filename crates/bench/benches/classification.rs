@@ -1,0 +1,33 @@
+//! Micro-benchmark: pairwise CC classification + Hasse construction
+//! (the "Pairwise Comparison" row of Figure 13) for growing CC counts.
+
+use cextend_bench::ExperimentOpts;
+use cextend_census::CcFamily;
+use cextend_constraints::{HasseDiagram, RelationshipMatrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_classification(c: &mut Criterion) {
+    let opts = ExperimentOpts {
+        scale_factor: 0.01,
+        n_areas: 8,
+        ..ExperimentOpts::default()
+    };
+    let data = opts.dataset(1, 2, 0);
+    let mut group = c.benchmark_group("pairwise_classification");
+    for &n in &[50usize, 150, 400] {
+        for family in [CcFamily::Good, CcFamily::Bad] {
+            let ccs = opts.ccs(family, n, &data, 0);
+            let id = format!("{n}_{family:?}");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &ccs, |b, ccs| {
+                b.iter(|| {
+                    let m = RelationshipMatrix::build(ccs);
+                    HasseDiagram::build(&m)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classification);
+criterion_main!(benches);

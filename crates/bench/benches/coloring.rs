@@ -1,0 +1,58 @@
+//! Micro-benchmark: greedy largest-first list coloring (Algorithm 3) on
+//! conflict graphs of growing size, plus the exact solver on small ones.
+
+use cextend_hypergraph::{
+    coloring_lf, exact_list_coloring, CandidateLists, Color, Coloring, Hypergraph,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A clique of `k` "owners" plus a sparse fringe — the shape census
+/// partitions take under `S_all_DC`.
+fn conflict_like_graph(n: usize, clique: usize) -> Hypergraph {
+    let mut g = Hypergraph::new(n);
+    for i in 0..clique.min(n) as u32 {
+        for j in (i + 1)..clique.min(n) as u32 {
+            g.add_edge(&[i, j]);
+        }
+    }
+    for i in clique..n {
+        g.add_edge(&[(i % clique) as u32, i as u32]);
+    }
+    g
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring_lf");
+    for &n in &[100usize, 400, 1600] {
+        let clique = n / 10;
+        let g = conflict_like_graph(n, clique);
+        let colors: Vec<Color> = (0..clique as Color + 1).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut coloring = Coloring::new(g.n_vertices());
+                let skipped = coloring_lf(g, &mut coloring, &CandidateLists::Shared(&colors));
+                assert!(skipped.is_empty());
+                coloring
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let g = conflict_like_graph(40, 6);
+    let colors: Vec<Color> = (0..7).collect();
+    c.bench_function("exact_list_coloring_40", |b| {
+        b.iter(|| {
+            exact_list_coloring(
+                &g,
+                &Coloring::new(g.n_vertices()),
+                &CandidateLists::Shared(&colors),
+                1_000_000,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_greedy, bench_exact);
+criterion_main!(benches);

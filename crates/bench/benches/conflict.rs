@@ -1,0 +1,34 @@
+//! Micro-benchmark: conflict hypergraph construction + DC-error evaluation
+//! (the edge-enumeration cost that dominates Phase II on dense DC sets).
+
+use cextend_bench::ExperimentOpts;
+use cextend_census::{s_all_dc, s_good_dc};
+use cextend_core::metrics::dc_error;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_dc_error(c: &mut Criterion) {
+    let opts = ExperimentOpts {
+        scale_factor: 0.02,
+        n_areas: 8,
+        ..ExperimentOpts::default()
+    };
+    let mut group = c.benchmark_group("dc_error_scan");
+    group.sample_size(10);
+    for &label in &[1u32, 5] {
+        let data = opts.dataset(label, 2, 0);
+        for (name, dcs) in [("good", s_good_dc()), ("all", s_all_dc())] {
+            let id = format!("{label}x_{name}");
+            let truth = data.ground_truth.clone();
+            group.bench_with_input(BenchmarkId::from_parameter(id), &truth, |b, truth| {
+                b.iter(|| {
+                    let e = dc_error(truth, &dcs).unwrap();
+                    assert_eq!(e, 0.0);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dc_error);
+criterion_main!(benches);

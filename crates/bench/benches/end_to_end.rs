@@ -1,0 +1,44 @@
+//! Macro-benchmark: the full solve pipeline (hybrid vs both baselines) on a
+//! small Census instance — the engine behind Figures 8–11.
+
+use cextend_bench::ExperimentOpts;
+use cextend_census::{s_all_dc, CcFamily};
+use cextend_core::{solve, CExtensionInstance, SolverConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pipelines(c: &mut Criterion) {
+    let opts = ExperimentOpts {
+        scale_factor: 0.005,
+        n_areas: 6,
+        n_ccs: 60,
+        ..ExperimentOpts::default()
+    };
+    let data = opts.dataset(5, 2, 0);
+    let dcs = s_all_dc();
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for family in [CcFamily::Good, CcFamily::Bad] {
+        let ccs = opts.ccs(family, opts.n_ccs, &data, 0);
+        let instance = CExtensionInstance::new(
+            data.persons.clone(),
+            data.housing.clone(),
+            ccs,
+            dcs.clone(),
+        )
+        .unwrap();
+        for (name, config) in [
+            ("hybrid", SolverConfig::hybrid()),
+            ("baseline", SolverConfig::baseline()),
+            ("baseline_marg", SolverConfig::baseline_with_marginals()),
+        ] {
+            let id = format!("{name}_{family:?}");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &instance, |b, inst| {
+                b.iter(|| solve(inst, &config).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

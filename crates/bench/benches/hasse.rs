@@ -1,0 +1,37 @@
+//! Micro-benchmark: Algorithm 2's recursion (the "Recursion" row of
+//! Figure 13) — full Phase I on a good CC family, which never touches the
+//! ILP.
+
+use cextend_bench::ExperimentOpts;
+use cextend_census::{s_good_dc, CcFamily};
+use cextend_core::{solve, CExtensionInstance, Phase1Strategy, SolverConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_hasse_phase1(c: &mut Criterion) {
+    let opts = ExperimentOpts {
+        scale_factor: 0.01,
+        n_areas: 8,
+        ..ExperimentOpts::default()
+    };
+    let mut group = c.benchmark_group("hasse_recursion_end_to_end");
+    group.sample_size(10);
+    for &n_ccs in &[50usize, 150] {
+        let data = opts.dataset(5, 2, 0);
+        let ccs = opts.ccs(CcFamily::Good, n_ccs, &data, 0);
+        let instance =
+            CExtensionInstance::new(data.persons, data.housing, ccs, s_good_dc()).unwrap();
+        let config = SolverConfig {
+            phase1: Phase1Strategy::HasseOnly,
+            ..SolverConfig::hybrid()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_ccs),
+            &instance,
+            |b, instance| b.iter(|| solve(instance, &config).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hasse_phase1);
+criterion_main!(benches);

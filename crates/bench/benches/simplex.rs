@@ -1,0 +1,61 @@
+//! Micro-benchmark: the LP/ILP substrate on Algorithm 1-shaped programs
+//! (hard bin rows + elastic CC rows), exact vs float arithmetic.
+
+use cextend_ilp::{solve_ilp, solve_lp, BbConfig, Problem, Rational, Rel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Builds a program with `bins` hard equality groups of `combos` variables
+/// each and `ccs` elastic rows over deterministic pseudo-random subsets.
+fn algorithm1_shaped(bins: usize, combos: usize, ccs: usize) -> Problem {
+    let mut p = Problem::new();
+    let mut bin_vars = Vec::new();
+    for b in 0..bins {
+        let first = p.add_vars(combos);
+        let vars: Vec<usize> = (first..first + combos).collect();
+        p.add_constraint(
+            vars.iter().map(|&v| (v, 1)).collect(),
+            Rel::Eq,
+            (b % 7 + 3) as i64,
+        );
+        bin_vars.push(vars);
+    }
+    for c in 0..ccs {
+        let terms: Vec<(usize, i64)> = bin_vars
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| (b + c) % 3 == 0)
+            .map(|(_, vars)| (vars[c % combos], 1))
+            .collect();
+        if !terms.is_empty() {
+            p.add_soft_eq(terms, (c % 11) as i64, 1);
+        }
+    }
+    p
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_float");
+    group.sample_size(10);
+    for &(bins, combos, ccs) in &[(20usize, 4usize, 10usize), (60, 6, 30), (150, 8, 80)] {
+        let p = algorithm1_shaped(bins, combos, ccs);
+        let id = format!("{bins}bins_{combos}combos_{ccs}ccs");
+        group.bench_with_input(BenchmarkId::from_parameter(id), &p, |b, p| {
+            b.iter(|| solve_lp::<f64>(p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_vs_float_ilp(c: &mut Criterion) {
+    let p = algorithm1_shaped(8, 3, 6);
+    let cfg = BbConfig { max_nodes: 500 };
+    c.bench_function("ilp_exact_small", |b| {
+        b.iter(|| solve_ilp::<Rational>(&p, &cfg).unwrap())
+    });
+    c.bench_function("ilp_float_small", |b| {
+        b.iter(|| solve_ilp::<f64>(&p, &cfg).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_lp, bench_exact_vs_float_ilp);
+criterion_main!(benches);

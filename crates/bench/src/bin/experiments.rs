@@ -1,0 +1,103 @@
+//! CLI for the paper-reproduction experiments.
+
+use cextend_bench::experiments;
+use cextend_bench::ExperimentOpts;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: experiments <id>|all [options]
+
+experiments: table1 fig8a fig8b fig9 fig10 fig11a fig11b fig12 fig13 ablate
+
+options:
+  --scale-factor F   multiply the paper's scale labels by F (default 0.02)
+  --paper-scale      shorthand for --scale-factor 1.0 (hours of runtime!)
+  --n-ccs N          CC-set size (default 150; the paper uses 1001)
+  --n-areas N        distinct Area codes (default 12)
+  --runs R           independent runs to average (default 3)
+  --seed S           base RNG seed (default 7)
+  --out DIR          write JSON snapshots to DIR
+";
+
+fn parse(args: &[String]) -> Result<(Vec<String>, ExperimentOpts), String> {
+    let mut opts = ExperimentOpts::default();
+    let mut ids = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut take = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--scale-factor" => {
+                opts.scale_factor = take("--scale-factor")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale-factor: {e}"))?
+            }
+            "--paper-scale" => opts.scale_factor = 1.0,
+            "--n-ccs" => {
+                opts.n_ccs = take("--n-ccs")?
+                    .parse()
+                    .map_err(|e| format!("bad --n-ccs: {e}"))?
+            }
+            "--n-areas" => {
+                opts.n_areas = take("--n-areas")?
+                    .parse()
+                    .map_err(|e| format!("bad --n-areas: {e}"))?
+            }
+            "--runs" => {
+                opts.runs = take("--runs")?
+                    .parse()
+                    .map_err(|e| format!("bad --runs: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--out" => opts.out_dir = Some(take("--out")?.into()),
+            "-h" | "--help" => return Err(USAGE.to_owned()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n\n{USAGE}"))
+            }
+            id => ids.push(id.to_owned()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        return Err(USAGE.to_owned());
+    }
+    Ok((ids, opts))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (ids, opts) = match parse(&args) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ids: Vec<String> = if ids.len() == 1 && ids[0] == "all" {
+        experiments::ALL.iter().map(|s| (*s).to_owned()).collect()
+    } else {
+        ids
+    };
+    println!(
+        "# cextend experiments — scale_factor={}, n_ccs={}, n_areas={}, runs={}, seed={}\n",
+        opts.scale_factor, opts.n_ccs, opts.n_areas, opts.runs, opts.seed
+    );
+    for id in &ids {
+        let start = std::time::Instant::now();
+        if let Err(msg) = experiments::run(id, &opts) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+        println!("[{id} finished in {:?}]\n", start.elapsed());
+    }
+    ExitCode::SUCCESS
+}

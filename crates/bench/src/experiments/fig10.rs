@@ -1,0 +1,63 @@
+//! Figure 10: CC and DC error for the four combinations of good/bad DCs and
+//! good/bad CCs at scale 10×, across the three pipelines (the paper's
+//! datasets 11, 12, 4 and 9).
+//!
+//! Paper shape: the hybrid satisfies all DCs in every quadrant and has
+//! median CC error 0; the baselines' DC errors are large for `S_all_DC` and
+//! smaller (but nonzero) for `S_good_DC`.
+
+use crate::harness::{fmt_err, run_averaged, ExperimentOpts, Table};
+use cextend_census::{s_all_dc, s_good_dc, CcFamily};
+use cextend_core::SolverConfig;
+
+/// Runs Figure 10.
+pub fn run(opts: &ExperimentOpts) {
+    let data = opts.dataset(10, 2, 10);
+    let mut table = Table::new(
+        "fig10",
+        "Error grid at scale 10x — (DC set × CC set) × pipeline",
+        &[
+            "Dataset",
+            "DCs",
+            "CCs",
+            "CC base",
+            "CC base+marg",
+            "CC hybrid",
+            "DC base",
+            "DC base+marg",
+            "DC hybrid",
+        ],
+    );
+    let cases = [
+        ("11", "good", CcFamily::Good),
+        ("12", "good", CcFamily::Bad),
+        ("4", "all", CcFamily::Good),
+        ("9", "all", CcFamily::Bad),
+    ];
+    for (ds, dc_kind, family) in cases {
+        let dcs = if dc_kind == "good" { s_good_dc() } else { s_all_dc() };
+        let ccs = opts.ccs(family, opts.n_ccs, &data, 10);
+        let base = run_averaged(&data, &ccs, &dcs, &SolverConfig::baseline(), opts.runs);
+        let marg = run_averaged(
+            &data,
+            &ccs,
+            &dcs,
+            &SolverConfig::baseline_with_marginals(),
+            opts.runs,
+        );
+        let hybrid = run_averaged(&data, &ccs, &dcs, &SolverConfig::hybrid(), opts.runs);
+        assert_eq!(hybrid.dc_error, 0.0);
+        table.push(vec![
+            ds.to_owned(),
+            dc_kind.to_owned(),
+            format!("{family:?}"),
+            fmt_err(base.cc_median),
+            fmt_err(marg.cc_median),
+            fmt_err(hybrid.cc_median),
+            fmt_err(base.dc_error),
+            fmt_err(marg.dc_error),
+            fmt_err(hybrid.dc_error),
+        ]);
+    }
+    table.emit(opts);
+}

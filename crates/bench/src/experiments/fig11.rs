@@ -1,0 +1,74 @@
+//! Figures 11a and 11b: runtime comparisons with phase breakdown.
+//!
+//! 11a — baseline vs hybrid with `S_all_DC` + `S_bad_CC` at scales 10× and
+//! 40×. Paper shape: the baseline spends nearly everything in Phase I (its
+//! Phase II is a random assignment); the hybrid's total is far smaller (17×
+//! on average in the paper) but its Phase II is a visible share.
+//!
+//! 11b — hybrid only, `S_good_DC`, scales 10×–160×, good vs bad CCs. Paper
+//! shape: near-linear growth; the bad family costs more (the ILP runs).
+
+use crate::harness::{fmt_s, run_averaged, ExperimentOpts, Table};
+use cextend_census::{s_all_dc, s_good_dc, CcFamily};
+use cextend_core::SolverConfig;
+
+/// Runs Figure 11a.
+pub fn run_11a(opts: &ExperimentOpts) {
+    let dcs = s_all_dc();
+    let mut table = Table::new(
+        "fig11a",
+        "Runtime baseline vs hybrid — S_all_DC, S_bad_CC (shaded area = phase II)",
+        &[
+            "Scale", "Pipeline", "phase I", "phase II", "total",
+        ],
+    );
+    for label in [10u32, 40] {
+        let data = opts.dataset(label, 2, label as u64);
+        let ccs = opts.ccs(CcFamily::Bad, opts.n_ccs, &data, label as u64);
+        for (name, config) in [
+            ("baseline", SolverConfig::baseline()),
+            ("baseline+marg", SolverConfig::baseline_with_marginals()),
+            ("hybrid", SolverConfig::hybrid()),
+        ] {
+            let r = run_averaged(&data, &ccs, &dcs, &config, opts.runs);
+            table.push(vec![
+                format!("{label}x"),
+                name.to_owned(),
+                fmt_s(r.phase1_s),
+                fmt_s(r.phase2_s),
+                fmt_s(r.wall_s),
+            ]);
+        }
+    }
+    table.emit(opts);
+}
+
+/// Runs Figure 11b.
+pub fn run_11b(opts: &ExperimentOpts) {
+    let dcs = s_good_dc();
+    let mut table = Table::new(
+        "fig11b",
+        "Hybrid runtime vs scale — S_good_DC, good vs bad CCs",
+        &["Scale", "CCs", "phase I", "phase II", "total"],
+    );
+    for label in [10u32, 40, 80, 160] {
+        // The largest scales only run when explicitly scaled down or when
+        // the user accepts paper-scale runtimes.
+        if label > 40 && opts.scale_factor > 0.25 {
+            continue;
+        }
+        let data = opts.dataset(label, 2, label as u64);
+        for family in [CcFamily::Good, CcFamily::Bad] {
+            let ccs = opts.ccs(family, opts.n_ccs, &data, label as u64);
+            let r = run_averaged(&data, &ccs, &dcs, &SolverConfig::hybrid(), opts.runs);
+            table.push(vec![
+                format!("{label}x"),
+                format!("{family:?}"),
+                fmt_s(r.phase1_s),
+                fmt_s(r.phase2_s),
+                fmt_s(r.wall_s),
+            ]);
+        }
+    }
+    table.emit(opts);
+}

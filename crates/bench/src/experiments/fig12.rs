@@ -1,0 +1,40 @@
+//! Figure 12: hybrid runtime at scale 10× with `S_good_DC` + `S_good_CC` as
+//! the number of non-key `Housing` columns grows 2 → 10.
+//!
+//! Paper shape: total runtime grows several-fold (5.17 → 38.66 minutes)
+//! and the growth is dominated by coloring — more `B` columns mean finer
+//! `V_join` partitions. Reproducing this requires completing *all* `R2`
+//! columns in Phase I (`complete_all_r2_columns`), since the paper
+//! partitions by every `B` column.
+
+use crate::harness::{fmt_s, run_averaged, ExperimentOpts, Table};
+use cextend_census::{s_good_dc, CcFamily};
+use cextend_core::SolverConfig;
+
+/// Runs Figure 12.
+pub fn run(opts: &ExperimentOpts) {
+    let dcs = s_good_dc();
+    let mut table = Table::new(
+        "fig12",
+        "Hybrid runtime vs number of R2 columns — scale 10x, S_good_DC, S_good_CC",
+        &["R2 cols", "recursion", "coloring", "phase I", "phase II", "total"],
+    );
+    for n_cols in [2usize, 4, 6, 8, 10] {
+        let data = opts.dataset(10, n_cols, 10);
+        let ccs = opts.ccs(CcFamily::Good, opts.n_ccs, &data, 10);
+        let config = SolverConfig {
+            complete_all_r2_columns: true,
+            ..SolverConfig::hybrid()
+        };
+        let r = run_averaged(&data, &ccs, &dcs, &config, opts.runs);
+        table.push(vec![
+            n_cols.to_string(),
+            fmt_s(r.recursion_s),
+            fmt_s(r.coloring_s),
+            fmt_s(r.phase1_s),
+            fmt_s(r.phase2_s),
+            fmt_s(r.wall_s),
+        ]);
+    }
+    table.emit(opts);
+}

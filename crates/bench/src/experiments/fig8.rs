@@ -1,0 +1,57 @@
+//! Figures 8a/8b: CC and DC error for baseline, baseline-with-marginals and
+//! hybrid as data grows from scale 1× to 40×, with `S_all_DC` and either
+//! `S_good_CC` (8a) or `S_bad_CC` (8b).
+//!
+//! Paper shape to reproduce: hybrid has **zero DC error everywhere** and
+//! zero median CC error; the plain baseline has large CC *and* DC errors
+//! growing with scale; baseline-with-marginals repairs the CC error but
+//! keeps (even worsens) the DC error.
+
+use crate::harness::{fmt_err, run_averaged, ExperimentOpts, Table};
+use cextend_census::{s_all_dc, CcFamily};
+use cextend_core::SolverConfig;
+
+/// Runs Figure 8a (`Good`) or 8b (`Bad`).
+pub fn run(opts: &ExperimentOpts, family: CcFamily, id: &str) {
+    let dcs = s_all_dc();
+    let mut table = Table::new(
+        id,
+        &format!(
+            "CC/DC error vs scale — S_all_DC (12 DC rows), {:?} CCs (n={})",
+            family, opts.n_ccs
+        ),
+        &[
+            "Scale",
+            "CC base",
+            "CC base+marg",
+            "CC hybrid",
+            "DC base",
+            "DC base+marg",
+            "DC hybrid",
+        ],
+    );
+    for label in [1u32, 2, 5, 10, 40] {
+        let data = opts.dataset(label, 2, label as u64);
+        let ccs = opts.ccs(family, opts.n_ccs, &data, label as u64);
+        let base = run_averaged(&data, &ccs, &dcs, &SolverConfig::baseline(), opts.runs);
+        let marg = run_averaged(
+            &data,
+            &ccs,
+            &dcs,
+            &SolverConfig::baseline_with_marginals(),
+            opts.runs,
+        );
+        let hybrid = run_averaged(&data, &ccs, &dcs, &SolverConfig::hybrid(), opts.runs);
+        assert_eq!(hybrid.dc_error, 0.0, "the hybrid guarantees zero DC error");
+        table.push(vec![
+            format!("{label}x"),
+            fmt_err(base.cc_median),
+            fmt_err(marg.cc_median),
+            fmt_err(hybrid.cc_median),
+            fmt_err(base.dc_error),
+            fmt_err(marg.dc_error),
+            fmt_err(hybrid.dc_error),
+        ]);
+    }
+    table.emit(opts);
+}

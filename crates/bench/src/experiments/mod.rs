@@ -1,0 +1,48 @@
+//! One driver per table/figure of the paper's evaluation (Section 6).
+//!
+//! | id | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — data scales |
+//! | `fig8a` | Figure 8a — errors vs scale, `S_all_DC` + `S_good_CC` |
+//! | `fig8b` | Figure 8b — errors vs scale, `S_all_DC` + `S_bad_CC` |
+//! | `fig9` | Figure 9 — per-CC relative error distribution (40×, bad CCs) |
+//! | `fig10` | Figure 10 — good/bad DC × good/bad CC error grid (10×) |
+//! | `fig11a` | Figure 11a — runtime baseline vs hybrid, phase split |
+//! | `fig11b` | Figure 11b — hybrid runtime 10×–160×, good vs bad CCs |
+//! | `fig12` | Figure 12 — runtime vs number of `R2` columns |
+//! | `fig13` | Figure 13 — runtime breakdown at 500–900 CCs |
+//! | `ablate` | DESIGN.md ablations (parallel/exact coloring, B&B budget) |
+
+pub mod ablate;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+
+use crate::harness::ExperimentOpts;
+
+/// All experiment ids, in run order.
+pub const ALL: [&str; 10] = [
+    "table1", "fig8a", "fig8b", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "ablate",
+];
+
+/// Runs one experiment by id.
+pub fn run(id: &str, opts: &ExperimentOpts) -> Result<(), String> {
+    match id {
+        "table1" => table1::run(opts),
+        "fig8a" => fig8::run(opts, cextend_census::CcFamily::Good, "fig8a"),
+        "fig8b" => fig8::run(opts, cextend_census::CcFamily::Bad, "fig8b"),
+        "fig9" => fig9::run(opts),
+        "fig10" => fig10::run(opts),
+        "fig11a" => fig11::run_11a(opts),
+        "fig11b" => fig11::run_11b(opts),
+        "fig12" => fig12::run(opts),
+        "fig13" => fig13::run(opts),
+        "ablate" => ablate::run(opts),
+        other => return Err(format!("unknown experiment `{other}`; known: {ALL:?}")),
+    }
+    Ok(())
+}

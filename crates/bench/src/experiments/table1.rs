@@ -1,0 +1,33 @@
+//! Table 1: data scales. Verifies the generator reproduces the paper's
+//! household counts (scaled) and persons-per-household ratio.
+
+use crate::harness::{ExperimentOpts, Table};
+use cextend_census::scales::PAPER_SCALES;
+
+/// Runs the Table 1 reproduction.
+pub fn run(opts: &ExperimentOpts) {
+    let mut table = Table::new(
+        "table1",
+        &format!(
+            "Data scales (generator at scale_factor {}; paper counts in parentheses)",
+            opts.scale_factor
+        ),
+        &["Scale", "Persons", "Housing", "VJoin", "paper Persons", "paper Housing"],
+    );
+    for s in PAPER_SCALES {
+        // Keep the big scales cheap unless running at paper scale.
+        if s.label > 40 && opts.scale_factor >= 0.5 {
+            continue;
+        }
+        let data = opts.dataset(s.label, 2, 0);
+        table.push(vec![
+            format!("{}x", s.label),
+            data.n_persons().to_string(),
+            data.n_households().to_string(),
+            data.n_persons().to_string(), // |VJoin| = |Persons| by construction
+            s.persons.to_string(),
+            s.housing.to_string(),
+        ]);
+    }
+    table.emit(opts);
+}

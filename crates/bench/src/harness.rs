@@ -1,0 +1,310 @@
+//! Shared experiment machinery: dataset/pipeline runners, result records,
+//! table printing and JSON snapshots.
+
+use cextend_census::{generate, generate_ccs, CcFamily, CensusConfig, CensusData};
+use cextend_constraints::{CardinalityConstraint, DenialConstraint};
+use cextend_core::metrics::{evaluate, EvaluationReport};
+use cextend_core::{solve, CExtensionInstance, SolveStats, SolverConfig};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Global experiment options (CLI-controlled).
+#[derive(Clone, Debug)]
+pub struct ExperimentOpts {
+    /// Multiplier applied to the paper's scale labels: the paper's `k×`
+    /// becomes `k × scale_factor` here. The default 0.02 keeps every
+    /// experiment laptop-sized; `--paper-scale` sets it to 1.0.
+    pub scale_factor: f64,
+    /// CC-set size (the paper uses 1001).
+    pub n_ccs: usize,
+    /// Distinct `Area` codes in the generator.
+    pub n_areas: usize,
+    /// Independent runs to average over (the paper uses 3).
+    pub runs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Where to write JSON snapshots (`None` disables).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for ExperimentOpts {
+    fn default() -> Self {
+        ExperimentOpts {
+            scale_factor: 0.02,
+            n_ccs: 150,
+            n_areas: 12,
+            runs: 3,
+            seed: 7,
+            out_dir: None,
+        }
+    }
+}
+
+impl ExperimentOpts {
+    /// Generates data at the paper's scale label `k` (scaled by
+    /// `scale_factor`).
+    pub fn dataset(&self, label: u32, n_housing_cols: usize, seed_offset: u64) -> CensusData {
+        generate(&CensusConfig {
+            scale: label as f64 * self.scale_factor,
+            n_areas: self.n_areas,
+            n_housing_cols,
+            seed: self.seed + seed_offset,
+        })
+    }
+
+    /// CC set of the given family for a dataset.
+    pub fn ccs(
+        &self,
+        family: CcFamily,
+        n: usize,
+        data: &CensusData,
+        seed_offset: u64,
+    ) -> Vec<CardinalityConstraint> {
+        generate_ccs(family, n, data, self.seed + seed_offset)
+    }
+}
+
+/// The outcome of one pipeline run.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunResult {
+    /// Median relative CC error.
+    pub cc_median: f64,
+    /// Mean relative CC error.
+    pub cc_mean: f64,
+    /// Fraction of tuples violating some DC.
+    pub dc_error: f64,
+    /// Whether `R̂1 ⋈ R̂2` equals the view.
+    pub join_recovered: bool,
+    /// Total wall-clock seconds.
+    pub wall_s: f64,
+    /// Phase I seconds.
+    pub phase1_s: f64,
+    /// Phase II seconds.
+    pub phase2_s: f64,
+    /// Pairwise-comparison seconds (Figure 13 row 1).
+    pub pairwise_s: f64,
+    /// Algorithm 2 recursion seconds (Figure 13 row 2).
+    pub recursion_s: f64,
+    /// ILP build+solve seconds (Figure 13 row 3).
+    pub ilp_s: f64,
+    /// Conflict build + coloring seconds (Figure 13 row 4).
+    pub coloring_s: f64,
+    /// Fresh `R2` tuples minted.
+    pub new_r2_tuples: usize,
+    /// Per-CC relative errors (for Figure 9 distributions).
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub cc_errors: Vec<f64>,
+}
+
+impl RunResult {
+    fn from(report: EvaluationReport, stats: SolveStats, wall: Duration) -> RunResult {
+        let t = stats.timings;
+        RunResult {
+            cc_median: report.cc_median,
+            cc_mean: report.cc_mean,
+            dc_error: report.dc_error,
+            join_recovered: report.join_recovered,
+            wall_s: wall.as_secs_f64(),
+            phase1_s: t.phase1().as_secs_f64(),
+            phase2_s: t.phase2().as_secs_f64(),
+            pairwise_s: t.pairwise_comparison.as_secs_f64(),
+            recursion_s: t.recursion.as_secs_f64(),
+            ilp_s: (t.ilp_build + t.ilp_solve).as_secs_f64(),
+            coloring_s: (t.conflict_build + t.coloring + t.invalid_handling).as_secs_f64(),
+            new_r2_tuples: stats.counters.new_r2_tuples,
+            cc_errors: report.cc_errors,
+        }
+    }
+}
+
+/// Runs one pipeline once.
+pub fn run_once(
+    data: &CensusData,
+    ccs: &[CardinalityConstraint],
+    dcs: &[DenialConstraint],
+    config: &SolverConfig,
+) -> RunResult {
+    let instance = CExtensionInstance::new(
+        data.persons.clone(),
+        data.housing.clone(),
+        ccs.to_vec(),
+        dcs.to_vec(),
+    )
+    .expect("generated instances validate");
+    let start = Instant::now();
+    let solution = solve(&instance, config).expect("solver never fails with augmentation on");
+    let wall = start.elapsed();
+    let report = evaluate(&instance, &solution).expect("evaluation");
+    assert!(
+        report.join_recovered,
+        "join recovery is guaranteed (Proposition 5.5)"
+    );
+    RunResult::from(report, solution.stats, wall)
+}
+
+/// Runs one pipeline `runs` times with distinct seeds, averaging the
+/// numeric fields (the paper averages over 3 independent runs).
+pub fn run_averaged(
+    data: &CensusData,
+    ccs: &[CardinalityConstraint],
+    dcs: &[DenialConstraint],
+    config: &SolverConfig,
+    runs: usize,
+) -> RunResult {
+    let results: Vec<RunResult> = (0..runs.max(1))
+        .map(|i| run_once(data, ccs, dcs, &(*config).with_seed(config.seed + i as u64)))
+        .collect();
+    let n = results.len() as f64;
+    let avg = |f: fn(&RunResult) -> f64| results.iter().map(f).sum::<f64>() / n;
+    RunResult {
+        cc_median: avg(|r| r.cc_median),
+        cc_mean: avg(|r| r.cc_mean),
+        dc_error: avg(|r| r.dc_error),
+        join_recovered: results.iter().all(|r| r.join_recovered),
+        wall_s: avg(|r| r.wall_s),
+        phase1_s: avg(|r| r.phase1_s),
+        phase2_s: avg(|r| r.phase2_s),
+        pairwise_s: avg(|r| r.pairwise_s),
+        recursion_s: avg(|r| r.recursion_s),
+        ilp_s: avg(|r| r.ilp_s),
+        coloring_s: avg(|r| r.coloring_s),
+        new_r2_tuples: results.iter().map(|r| r.new_r2_tuples).sum::<usize>()
+            / results.len(),
+        cc_errors: results.into_iter().next().map(|r| r.cc_errors).unwrap_or_default(),
+    }
+}
+
+/// A printable experiment table.
+#[derive(Debug, Serialize)]
+pub struct Table {
+    /// Experiment id (e.g. `fig8a`).
+    pub id: String,
+    /// Human title matching the paper artifact.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Table {
+        Table {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout and writes a JSON snapshot when `out_dir` is set.
+    pub fn emit(&self, opts: &ExperimentOpts) {
+        println!("{}", self.render());
+        if let Some(dir) = &opts.out_dir {
+            std::fs::create_dir_all(dir).expect("create output dir");
+            let path = dir.join(format!("{}.json", self.id));
+            std::fs::write(&path, serde_json::to_string_pretty(self).expect("serialize"))
+                .expect("write snapshot");
+            println!("[snapshot written to {}]\n", path.display());
+        }
+    }
+}
+
+/// Formats seconds compactly.
+pub fn fmt_s(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}ms", s * 1000.0)
+    }
+}
+
+/// Formats an error rate to three decimals.
+pub fn fmt_err(e: f64) -> String {
+    format!("{e:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns() {
+        let mut t = Table::new("t", "demo", &["a", "long-header"]);
+        t.push(vec!["x".into(), "1".into()]);
+        let r = t.render();
+        assert!(r.contains("long-header"));
+        assert!(r.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", "demo", &["a"]);
+        t.push(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_s(0.0123), "12.3ms");
+        assert_eq!(fmt_s(2.5), "2.50s");
+        assert_eq!(fmt_s(120.0), "120s");
+        assert_eq!(fmt_err(0.25), "0.250");
+    }
+
+    #[test]
+    fn smoke_run_once() {
+        let opts = ExperimentOpts {
+            scale_factor: 0.005,
+            n_ccs: 10,
+            n_areas: 4,
+            runs: 1,
+            ..ExperimentOpts::default()
+        };
+        let data = opts.dataset(1, 2, 0);
+        let ccs = opts.ccs(CcFamily::Good, 10, &data, 0);
+        let dcs = cextend_census::s_good_dc();
+        let r = run_once(&data, &ccs, &dcs, &SolverConfig::hybrid());
+        assert!(r.join_recovered);
+        assert_eq!(r.dc_error, 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! CLI: generate and export a Census-style C-Extension instance as CSV.
+//!
+//! ```sh
+//! cargo run --release -p cextend-census --bin census-datagen -- \
+//!     --scale 0.1 --areas 12 --housing-cols 4 --seed 7 --out data/
+//! ```
+//!
+//! Writes `persons.csv` (FK column empty — the solver input),
+//! `housing.csv`, and `ground_truth.csv` (the hidden assignment CC targets
+//! are measured on).
+
+use cextend_census::{generate, CensusConfig};
+use cextend_table::csv::write_csv;
+use std::io::BufWriter;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: census-datagen [--scale F] [--areas N] [--housing-cols N] [--seed S] --out DIR
+  --scale F         fraction of the paper's 1x (default 0.1 = 982 households)
+  --areas N         distinct Area codes (default 24)
+  --housing-cols N  2|4|6|8|10 non-key Housing columns (default 2)
+  --seed S          RNG seed (default 42)
+  --out DIR         output directory (required)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = CensusConfig::default();
+    let mut out: Option<std::path::PathBuf> = None;
+    fn take(args: &[String], i: &mut usize, name: &str) -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{name} needs a value"))
+    }
+    let mut i = 0;
+    let mut parse_all = || -> Result<(), String> {
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    config.scale =
+                        take(&args, &mut i, "--scale")?.parse().map_err(|e| format!("{e}"))?
+                }
+                "--areas" => {
+                    config.n_areas =
+                        take(&args, &mut i, "--areas")?.parse().map_err(|e| format!("{e}"))?
+                }
+                "--housing-cols" => {
+                    config.n_housing_cols = take(&args, &mut i, "--housing-cols")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?
+                }
+                "--seed" => {
+                    config.seed =
+                        take(&args, &mut i, "--seed")?.parse().map_err(|e| format!("{e}"))?
+                }
+                "--out" => out = Some(take(&args, &mut i, "--out")?.into()),
+                "-h" | "--help" => return Err(USAGE.to_owned()),
+                other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
+            }
+            i += 1;
+        }
+        Ok(())
+    };
+    if let Err(msg) = parse_all() {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
+    let Some(dir) = out else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let data = generate(&config);
+    for (name, rel) in [
+        ("persons.csv", &data.persons),
+        ("housing.csv", &data.housing),
+        ("ground_truth.csv", &data.ground_truth),
+    ] {
+        let path = dir.join(name);
+        let file = match std::fs::File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot create {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut w = BufWriter::new(file);
+        if let Err(e) = write_csv(rel, &mut w) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} ({} rows)", path.display(), rel.n_rows());
+    }
+    println!(
+        "{} persons across {} households (persons/household {:.3})",
+        data.n_persons(),
+        data.n_households(),
+        data.n_persons() as f64 / data.n_households() as f64
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,256 @@
+//! The 12 denial constraints of Table 4.
+//!
+//! Each Table 4 row is a *spec* that lowers to one or more primitive
+//! conjunctive FK DCs (a permitted age interval `[A+lo, A+hi]` splits into a
+//! "below" and an "above" DC, exactly like `DC_{O,S,low}` / `DC_{O,S,up}` in
+//! Figure 2a; a relationship set splits per member). `S_all` uses every row;
+//! `S_good` uses rows 1–8, which the paper selected because they create no
+//! cliques in the conflict graphs.
+
+use cextend_constraints::{DcAtom, DenialConstraint};
+use cextend_table::{CmpOp, Value};
+
+fn unary(var: usize, column: &str, op: CmpOp, value: Value) -> DcAtom {
+    DcAtom::Unary {
+        var,
+        column: column.to_owned(),
+        op,
+        value,
+    }
+}
+
+/// `t2.Age ◦ t1.Age + offset`.
+fn age_vs_owner(op: CmpOp, offset: i64) -> DcAtom {
+    DcAtom::Binary {
+        lvar: 1,
+        lcol: "Age".to_owned(),
+        op,
+        rvar: 0,
+        rcol: "Age".to_owned(),
+        offset,
+    }
+}
+
+/// Lowers "no `rel` may have an age outside `[A+lo, A+hi]` in a household
+/// whose owner satisfies `owner_extra`" into its low/high primitive DCs.
+fn age_gap(
+    name: &str,
+    owner_extra: &[DcAtom],
+    rel: &str,
+    lo: Option<i64>,
+    hi: Option<i64>,
+) -> Vec<DenialConstraint> {
+    let base = |suffix: &str, bound: DcAtom| {
+        let mut atoms = vec![unary(0, "Rel", CmpOp::Eq, Value::str("Owner"))];
+        atoms.extend_from_slice(owner_extra);
+        atoms.push(unary(1, "Rel", CmpOp::Eq, Value::str(rel)));
+        atoms.push(bound);
+        DenialConstraint::new(format!("{name}-{rel}-{suffix}"), 2, atoms)
+            .expect("static DC construction")
+    };
+    let mut out = Vec::new();
+    if let Some(lo) = lo {
+        out.push(base("low", age_vs_owner(CmpOp::Lt, lo)));
+    }
+    if let Some(hi) = hi {
+        out.push(base("up", age_vs_owner(CmpOp::Gt, hi)));
+    }
+    out
+}
+
+/// "No two `rel_a`/`rel_b` tuples may share a household."
+fn exclusive_pair(name: &str, rel_a: &str, rel_b: &str) -> DenialConstraint {
+    DenialConstraint::new(
+        name,
+        2,
+        vec![
+            unary(0, "Rel", CmpOp::Eq, Value::str(rel_a)),
+            unary(1, "Rel", CmpOp::Eq, Value::str(rel_b)),
+        ],
+    )
+    .expect("static DC construction")
+}
+
+/// "An owner with `owner_atoms` may not live with any `rel`."
+fn forbidden_member(name: &str, owner_atoms: &[DcAtom], rel: &str) -> DenialConstraint {
+    let mut atoms = vec![unary(0, "Rel", CmpOp::Eq, Value::str("Owner"))];
+    atoms.extend_from_slice(owner_atoms);
+    atoms.push(unary(1, "Rel", CmpOp::Eq, Value::str(rel)));
+    DenialConstraint::new(name, 2, atoms).expect("static DC construction")
+}
+
+/// Primitive DCs of one Table 4 row (1-based row numbers).
+pub fn table4_row(row: usize) -> Vec<DenialConstraint> {
+    let mono = [unary(0, "Multi-ling", CmpOp::Eq, Value::Int(0))];
+    let multi = [unary(0, "Multi-ling", CmpOp::Eq, Value::Int(1))];
+    match row {
+        // 1. Bio/adoptive/step child outside [A-69, A-12], monolingual owner.
+        1 => ["Biological child", "Adopted child", "Step child"]
+            .iter()
+            .flat_map(|rel| age_gap("dc1", &mono, rel, Some(-69), Some(-12)))
+            .collect(),
+        // 2. Same children, multilingual owner, range [A-50, A-12].
+        2 => ["Biological child", "Adopted child", "Step child"]
+            .iter()
+            .flat_map(|rel| age_gap("dc2", &multi, rel, Some(-50), Some(-12)))
+            .collect(),
+        // 3. Spouse or unmarried partner outside [A-50, A+50].
+        3 => ["Spouse", "Unmarried partner"]
+            .iter()
+            .flat_map(|rel| age_gap("dc3", &[], rel, Some(-50), Some(50)))
+            .collect(),
+        // 4. Sibling outside [A-35, A+35].
+        4 => age_gap("dc4", &[], "Sibling", Some(-35), Some(35)),
+        // 5. Parent or parent-in-law outside [A+12, A+115].
+        5 => ["Father/Mother", "Parent-in-law"]
+            .iter()
+            .flat_map(|rel| age_gap("dc5", &[], rel, Some(12), Some(115)))
+            .collect(),
+        // 6. Grandchild outside [A-115, A-30].
+        6 => age_gap("dc6", &[], "Grandchild", Some(-115), Some(-30)),
+        // 7. Son/daughter-in-law outside [A-69, A-1].
+        7 => age_gap("dc7", &[], "Child-in-law", Some(-69), Some(-1)),
+        // 8. Foster child outside [A-69, A-12].
+        8 => age_gap("dc8", &[], "Foster child", Some(-69), Some(-12)),
+        // 9. No two householders share a house.
+        9 => vec![exclusive_pair("dc9", "Owner", "Owner")],
+        // 10. Owner younger than 30: no grandchildren or children-in-law.
+        10 => {
+            let young = [unary(0, "Age", CmpOp::Lt, Value::Int(30))];
+            vec![
+                forbidden_member("dc10-grandchild", &young, "Grandchild"),
+                forbidden_member("dc10-child-in-law", &young, "Child-in-law"),
+            ]
+        }
+        // 11. Owner older than 94: no parents or parents-in-law.
+        11 => {
+            let old = [unary(0, "Age", CmpOp::Gt, Value::Int(94))];
+            vec![
+                forbidden_member("dc11-parent", &old, "Father/Mother"),
+                forbidden_member("dc11-parent-in-law", &old, "Parent-in-law"),
+            ]
+        }
+        // 12. No two spouses or unmarried partners share a house.
+        12 => vec![
+            exclusive_pair("dc12-ss", "Spouse", "Spouse"),
+            exclusive_pair("dc12-su", "Spouse", "Unmarried partner"),
+            exclusive_pair("dc12-uu", "Unmarried partner", "Unmarried partner"),
+        ],
+        _ => panic!("Table 4 has rows 1..=12, not {row}"),
+    }
+}
+
+/// `S_all_DC`: all 12 Table 4 rows, lowered.
+pub fn s_all_dc() -> Vec<DenialConstraint> {
+    (1..=12).flat_map(table4_row).collect()
+}
+
+/// `S_good_DC`: the first 8 rows — no cliques in conflict graphs.
+pub fn s_good_dc() -> Vec<DenialConstraint> {
+    (1..=8).flat_map(table4_row).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cextend_table::{ColumnDef, Dtype, Relation, Schema};
+
+    fn persons_with(rows: &[(i64, &str, i64)]) -> Relation {
+        let schema = Schema::new(vec![
+            ColumnDef::key("pid", Dtype::Int),
+            ColumnDef::attr("Age", Dtype::Int),
+            ColumnDef::attr("Rel", Dtype::Str),
+            ColumnDef::attr("Multi-ling", Dtype::Int),
+            ColumnDef::foreign_key("hid", Dtype::Int),
+        ])
+        .unwrap();
+        let mut r = Relation::new("Persons", schema);
+        for (i, (age, rel, m)) in rows.iter().enumerate() {
+            r.push_row(&[
+                Some(Value::Int(i as i64 + 1)),
+                Some(Value::Int(*age)),
+                Some(Value::str(rel)),
+                Some(Value::Int(*m)),
+                None,
+            ])
+            .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn counts_per_row() {
+        assert_eq!(table4_row(1).len(), 6);
+        assert_eq!(table4_row(2).len(), 6);
+        assert_eq!(table4_row(3).len(), 4);
+        assert_eq!(table4_row(4).len(), 2);
+        assert_eq!(table4_row(5).len(), 4);
+        assert_eq!(table4_row(9).len(), 1);
+        assert_eq!(table4_row(12).len(), 3);
+        assert_eq!(s_all_dc().len(), 6 + 6 + 4 + 2 + 4 + 2 + 2 + 2 + 1 + 2 + 2 + 3);
+        assert_eq!(s_good_dc().len(), 6 + 6 + 4 + 2 + 4 + 2 + 2 + 2);
+    }
+
+    #[test]
+    fn dc1_child_age_window() {
+        // Monolingual owner aged 60: children must be within [60-69, 60-12]
+        // = [0, 48] (clamped below by data).
+        let r = persons_with(&[
+            (60, "Owner", 0),
+            (45, "Biological child", 0),
+            (55, "Biological child", 0), // 55 > 48: too old
+        ]);
+        let dcs = table4_row(1);
+        let low = &dcs[0]; // dc1-Biological child-low
+        let up = &dcs[1];
+        assert!(!low.holds(&r, &[0, 1]).unwrap());
+        assert!(!up.holds(&r, &[0, 1]).unwrap());
+        assert!(up.holds(&r, &[0, 2]).unwrap());
+        // A multilingual owner is not constrained by dc1.
+        let r2 = persons_with(&[(60, "Owner", 1), (55, "Biological child", 0)]);
+        assert!(!up.holds(&r2, &[0, 1]).unwrap());
+    }
+
+    #[test]
+    fn dc9_and_dc12_cliques() {
+        let r = persons_with(&[
+            (40, "Owner", 0),
+            (42, "Owner", 0),
+            (39, "Spouse", 0),
+            (41, "Unmarried partner", 0),
+        ]);
+        let dc9 = &table4_row(9)[0];
+        assert!(dc9.holds(&r, &[0, 1]).unwrap());
+        assert!(!dc9.holds(&r, &[0, 2]).unwrap());
+        let dc12 = table4_row(12);
+        assert!(dc12[1].holds(&r, &[2, 3]).unwrap()); // spouse + partner
+    }
+
+    #[test]
+    fn dc10_dc11_age_gates() {
+        let r = persons_with(&[
+            (25, "Owner", 0),
+            (1, "Grandchild", 0),
+            (96, "Owner", 0),
+            (114, "Father/Mother", 0),
+        ]);
+        let dc10 = table4_row(10);
+        assert!(dc10[0].holds(&r, &[0, 1]).unwrap()); // owner 25 + grandchild
+        assert!(!dc10[0].holds(&r, &[2, 1]).unwrap()); // owner 96 is fine
+        let dc11 = table4_row(11);
+        assert!(dc11[0].holds(&r, &[2, 3]).unwrap()); // owner 96 + parent
+        assert!(!dc11[0].holds(&r, &[0, 3]).unwrap());
+    }
+
+    #[test]
+    fn dc3_symmetric_window() {
+        let r = persons_with(&[
+            (70, "Owner", 0),
+            (19, "Spouse", 0), // 19 < 70-50 = 20: conflict
+            (20, "Spouse", 0), // exactly at the boundary: allowed
+        ]);
+        let dc3 = table4_row(3);
+        assert!(dc3[0].holds(&r, &[0, 1]).unwrap());
+        assert!(!dc3[0].holds(&r, &[0, 2]).unwrap());
+    }
+}

@@ -1,0 +1,93 @@
+//! Value domains of the Census-derived schema.
+//!
+//! `Persons(pid, Rel, Age, Multi-ling, hid)` and `Housing(hid, Tenure,
+//! Area, …)` follow the paper's Section 6.1. The `Rel` domain is the union
+//! of the relationship codes appearing in Tables 4 and 5; `Tenure` uses the
+//! four Census tenure codes; `Area` is a configurable-size code set whose
+//! crossing with `Tenure` yields the paper's Tenure-Area conditions.
+
+/// Relationship-to-householder codes (order fixed; used by generators).
+pub const RELS: [&str; 13] = [
+    "Owner",
+    "Spouse",
+    "Unmarried partner",
+    "Biological child",
+    "Adopted child",
+    "Step child",
+    "Foster child",
+    "Sibling",
+    "Father/Mother",
+    "Parent-in-law",
+    "Grandchild",
+    "Child-in-law",
+    "House/Room mate",
+];
+
+/// Census tenure codes.
+pub const TENURES: [&str; 4] = ["Owned", "Mortgaged", "Rented", "OccupiedFree"];
+
+/// U.S. state codes with their (Division, Region) — the paper notes that
+/// `Div` and `Reg` are determined by `St`. A representative subset.
+pub const STATES: [(&str, &str, &str); 12] = [
+    ("IL", "EastNorthCentral", "Midwest"),
+    ("IN", "EastNorthCentral", "Midwest"),
+    ("NY", "MiddleAtlantic", "Northeast"),
+    ("NJ", "MiddleAtlantic", "Northeast"),
+    ("CA", "Pacific", "West"),
+    ("WA", "Pacific", "West"),
+    ("TX", "WestSouthCentral", "South"),
+    ("LA", "WestSouthCentral", "South"),
+    ("FL", "SouthAtlantic", "South"),
+    ("GA", "SouthAtlantic", "South"),
+    ("MA", "NewEngland", "Northeast"),
+    ("CO", "Mountain", "West"),
+];
+
+/// Maximum age in the data (the paper's DCs use 114/115 as bounds).
+pub const MAX_AGE: i64 = 114;
+
+/// Name of area code `i`.
+pub fn area_name(i: usize) -> String {
+    format!("Area{i:03}")
+}
+
+/// The state (and hence division/region) an area code belongs to.
+pub fn area_state(i: usize) -> (&'static str, &'static str, &'static str) {
+    STATES[i % STATES.len()]
+}
+
+/// The county name of an area code (a few areas share one county).
+pub fn area_county(i: usize) -> String {
+    format!("County{:03}", i / 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_have_expected_sizes() {
+        assert_eq!(RELS.len(), 13);
+        assert_eq!(TENURES.len(), 4);
+        assert_eq!(STATES.len(), 12);
+    }
+
+    #[test]
+    fn div_and_reg_are_determined_by_state() {
+        use std::collections::HashMap;
+        let mut seen: HashMap<&str, (&str, &str)> = HashMap::new();
+        for i in 0..100 {
+            let (st, div, reg) = area_state(i);
+            let prev = seen.insert(st, (div, reg));
+            if let Some(p) = prev {
+                assert_eq!(p, (div, reg), "state {st} mapped to two divisions");
+            }
+        }
+    }
+
+    #[test]
+    fn area_names_are_distinct() {
+        assert_ne!(area_name(1), area_name(2));
+        assert_eq!(area_name(7), "Area007");
+    }
+}

@@ -1,0 +1,360 @@
+//! Seeded synthetic Census generator.
+//!
+//! The paper evaluates on a dataset derived from the 2010 U.S. Decennial
+//! Census \[44\], which is access-restricted; this generator is the
+//! substitution documented in DESIGN.md. It reproduces what the algorithms
+//! actually consume: the published schema, Table 1's household/person
+//! ratio (~2.556), a `Rel`/`Age` structure consistent with every DC of
+//! Table 4 (so a zero-error solution exists), and a hidden ground-truth FK
+//! assignment from which CC targets are measured before the FK column is
+//! erased.
+
+use crate::domains::{area_county, area_name, area_state, MAX_AGE, TENURES};
+use cextend_table::{ColumnDef, Dtype, Relation, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct CensusConfig {
+    /// Data scale: `1.0` matches the paper's 1× (9,820 households,
+    /// ~25,099 persons). Benchmarks typically use 0.02–2.0.
+    pub scale: f64,
+    /// Number of distinct `Area` codes (the paper's Tenure-Area conditions
+    /// cross these with the four tenure codes).
+    pub n_areas: usize,
+    /// Number of non-key `Housing` columns: 2, 4, 6, 8 or 10, growing as in
+    /// Section 6.1: (Tenure, Area) → +(County, St) → +(Div, Reg) →
+    /// +(Water, Bath) → +(Fridge, Stove).
+    pub n_housing_cols: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CensusConfig {
+    fn default() -> Self {
+        CensusConfig {
+            scale: 0.1,
+            n_areas: 24,
+            n_housing_cols: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// Generated data: the C-Extension input plus the hidden ground truth.
+#[derive(Clone, Debug)]
+pub struct CensusData {
+    /// `Persons` with the `hid` column erased (the solver's `R1`).
+    pub persons: Relation,
+    /// `Housing` (the solver's `R2`).
+    pub housing: Relation,
+    /// `Persons` with the true `hid` values (used to measure CC targets and
+    /// as an existence witness for a zero-error solution).
+    pub ground_truth: Relation,
+}
+
+impl CensusData {
+    /// Number of persons.
+    pub fn n_persons(&self) -> usize {
+        self.persons.n_rows()
+    }
+
+    /// Number of households.
+    pub fn n_households(&self) -> usize {
+        self.housing.n_rows()
+    }
+}
+
+fn persons_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::key("pid", Dtype::Int),
+        ColumnDef::attr("Age", Dtype::Int),
+        ColumnDef::attr("Rel", Dtype::Str),
+        ColumnDef::attr("Multi-ling", Dtype::Int),
+        ColumnDef::foreign_key("hid", Dtype::Int),
+    ])
+    .expect("static schema")
+}
+
+fn housing_schema(n_cols: usize) -> Schema {
+    assert!(
+        matches!(n_cols, 2 | 4 | 6 | 8 | 10),
+        "Housing supports 2, 4, 6, 8 or 10 non-key columns, not {n_cols}"
+    );
+    let mut cols = vec![
+        ColumnDef::key("hid", Dtype::Int),
+        ColumnDef::attr("Tenure", Dtype::Str),
+        ColumnDef::attr("Area", Dtype::Str),
+    ];
+    let extras = [
+        ("County", Dtype::Str),
+        ("St", Dtype::Str),
+        ("Div", Dtype::Str),
+        ("Reg", Dtype::Str),
+        ("Water", Dtype::Int),
+        ("Bath", Dtype::Int),
+        ("Fridge", Dtype::Int),
+        ("Stove", Dtype::Int),
+    ];
+    for (name, dtype) in extras.iter().take(n_cols - 2) {
+        cols.push(ColumnDef::attr(name, *dtype));
+    }
+    Schema::new(cols).expect("static schema")
+}
+
+/// Samples an integer uniformly from an inclusive, already-clamped range.
+fn sample_range(rng: &mut StdRng, lo: i64, hi: i64) -> i64 {
+    debug_assert!(lo <= hi);
+    rng.gen_range(lo..=hi)
+}
+
+/// Generates a dataset.
+pub fn generate(config: &CensusConfig) -> CensusData {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n_households = ((9_820.0 * config.scale).round() as usize).max(1);
+    let n_areas = config.n_areas.max(1);
+
+    let mut housing = Relation::with_capacity("Housing", housing_schema(config.n_housing_cols), n_households);
+    let mut truth = Relation::with_capacity(
+        "Persons",
+        persons_schema(),
+        (n_households as f64 * 2.6) as usize,
+    );
+
+    let mut pid = 0i64;
+    let mut push_person = |truth: &mut Relation,
+                           rng: &mut StdRng,
+                           age: i64,
+                           rel: &str,
+                           hid: i64| {
+        pid += 1;
+        let multi = i64::from(rng.gen_bool(0.25));
+        truth
+            .push_row(&[
+                Some(Value::Int(pid)),
+                Some(Value::Int(age.clamp(0, MAX_AGE))),
+                Some(Value::str(rel)),
+                Some(Value::Int(multi)),
+                Some(Value::Int(hid)),
+            ])
+            .expect("schema-conforming row");
+    };
+
+    for h in 0..n_households {
+        let hid = h as i64 + 1;
+        // Area: mildly skewed toward low codes, like real population counts.
+        let area = loop {
+            let a = rng.gen_range(0..n_areas);
+            if rng.gen_bool(1.0 / (1.0 + a as f64 / 8.0)) {
+                break a;
+            }
+        };
+        let tenure = TENURES[match rng.gen_range(0..100) {
+            0..=24 => 0,
+            25..=59 => 1,
+            60..=89 => 2,
+            _ => 3,
+        }];
+        let mut row: Vec<Option<Value>> = vec![
+            Some(Value::Int(hid)),
+            Some(Value::str(tenure)),
+            Some(Value::str(&area_name(area))),
+        ];
+        if config.n_housing_cols >= 4 {
+            let (st, div, reg) = area_state(area);
+            row.push(Some(Value::str(&area_county(area))));
+            row.push(Some(Value::str(st)));
+            if config.n_housing_cols >= 6 {
+                row.push(Some(Value::str(div)));
+                row.push(Some(Value::str(reg)));
+            }
+            if config.n_housing_cols >= 8 {
+                row.push(Some(Value::Int(i64::from(rng.gen_bool(0.97)))));
+                row.push(Some(Value::Int(i64::from(rng.gen_bool(0.95)))));
+            }
+            if config.n_housing_cols >= 10 {
+                row.push(Some(Value::Int(i64::from(rng.gen_bool(0.9)))));
+                row.push(Some(Value::Int(i64::from(rng.gen_bool(0.92)))));
+            }
+        }
+        housing.push_row(&row).expect("schema-conforming row");
+
+        // --- Household members, honoring every Table 4 DC. ----------------
+        // Owner (exactly one per household: dc9).
+        let a = sample_range(&mut rng, 21, 95);
+        push_person(&mut truth, &mut rng, a, "Owner", hid);
+
+        // At most one spouse OR unmarried partner (dc12), age in
+        // [A-50, A+50] (dc3).
+        if rng.gen_bool(0.45) {
+            let rel = if rng.gen_bool(0.85) {
+                "Spouse"
+            } else {
+                "Unmarried partner"
+            };
+            let age = sample_range(&mut rng, (a - 50).max(16), (a + 50).min(MAX_AGE));
+            push_person(&mut truth, &mut rng, age, rel, hid);
+        }
+
+        // Children (bio/adopted/step): ages in [A-50, A-12], the
+        // intersection of dc1 and dc2 so the owner's language never matters.
+        let n_children = match rng.gen_range(0..100) {
+            0..=44 => 0,
+            45..=69 => 1,
+            70..=87 => 2,
+            _ => 3,
+        };
+        for _ in 0..n_children {
+            let rel = match rng.gen_range(0..100) {
+                0..=84 => "Biological child",
+                85..=92 => "Step child",
+                _ => "Adopted child",
+            };
+            let age = sample_range(&mut rng, (a - 50).max(0), a - 12);
+            push_person(&mut truth, &mut rng, age, rel, hid);
+        }
+
+        // Occasional other members.
+        if rng.gen_bool(0.04) {
+            // Sibling: [A-35, A+35] (dc4).
+            let age = sample_range(&mut rng, (a - 35).max(0), (a + 35).min(MAX_AGE));
+            push_person(&mut truth, &mut rng, age, "Sibling", hid);
+        }
+        if a <= 94 && rng.gen_bool(0.03) {
+            // Parent / parent-in-law: [A+12, A+115], only when A ≤ 94 (dc11).
+            let rel = if rng.gen_bool(0.7) {
+                "Father/Mother"
+            } else {
+                "Parent-in-law"
+            };
+            let age = sample_range(&mut rng, a + 12, (a + 115).min(MAX_AGE));
+            push_person(&mut truth, &mut rng, age, rel, hid);
+        }
+        if a >= 30 && rng.gen_bool(0.025) {
+            // Grandchild: [A-115, A-30], owner at least 30 (dc6, dc10).
+            let age = sample_range(&mut rng, (a - 115).max(0), a - 30);
+            push_person(&mut truth, &mut rng, age, "Grandchild", hid);
+        }
+        if a >= 30 && rng.gen_bool(0.02) {
+            // Child-in-law: [A-69, A-1] (dc7), owner at least 30 (dc10).
+            let age = sample_range(&mut rng, (a - 69).max(0), a - 1);
+            push_person(&mut truth, &mut rng, age, "Child-in-law", hid);
+        }
+        if rng.gen_bool(0.03) {
+            // Foster child: [A-69, A-12] (dc8).
+            let age = sample_range(&mut rng, (a - 69).max(0), a - 12);
+            push_person(&mut truth, &mut rng, age, "Foster child", hid);
+        }
+        if rng.gen_bool(0.05) {
+            // Housemates are unconstrained.
+            let age = sample_range(&mut rng, 15, 85);
+            push_person(&mut truth, &mut rng, age, "House/Room mate", hid);
+        }
+    }
+
+    let mut persons = truth.clone();
+    let fk = persons.schema().fk_col().expect("static schema");
+    persons.clear_column(fk);
+    CensusData {
+        persons,
+        housing,
+        ground_truth: truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcs::s_all_dc;
+
+    fn small() -> CensusData {
+        generate(&CensusConfig {
+            scale: 0.05,
+            ..CensusConfig::default()
+        })
+    }
+
+    #[test]
+    fn shapes_match_table1_ratios() {
+        let data = small();
+        assert_eq!(data.n_households(), 491); // 9820 × 0.05
+        let ratio = data.n_persons() as f64 / data.n_households() as f64;
+        assert!(
+            (2.3..2.8).contains(&ratio),
+            "persons per household {ratio} drifted from Table 1's ≈2.556"
+        );
+        assert_eq!(data.persons.n_rows(), data.ground_truth.n_rows());
+    }
+
+    #[test]
+    fn input_fk_is_erased_but_truth_is_complete() {
+        let data = small();
+        let fk = data.persons.schema().fk_col().unwrap();
+        assert!(data.persons.column_is_missing(fk));
+        assert!(data.ground_truth.column_is_complete(fk));
+    }
+
+    #[test]
+    fn ground_truth_satisfies_every_dc() {
+        let data = small();
+        let err = cextend_core::metrics::dc_error(&data.ground_truth, &s_all_dc()).unwrap();
+        assert_eq!(err, 0.0, "generator produced a DC-violating household");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small();
+        let b = small();
+        assert!(cextend_table::relations_equal_ordered(&a.persons, &b.persons));
+        assert!(cextend_table::relations_equal_ordered(&a.housing, &b.housing));
+        let c = generate(&CensusConfig {
+            scale: 0.05,
+            seed: 43,
+            ..CensusConfig::default()
+        });
+        assert!(!cextend_table::relations_equal_ordered(
+            &a.ground_truth,
+            &c.ground_truth
+        ));
+    }
+
+    #[test]
+    fn housing_column_progression() {
+        for n in [2usize, 4, 6, 8, 10] {
+            let data = generate(&CensusConfig {
+                scale: 0.01,
+                n_housing_cols: n,
+                ..CensusConfig::default()
+            });
+            assert_eq!(data.housing.schema().len(), n + 1, "key + {n} attrs");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Housing supports")]
+    fn odd_column_count_rejected() {
+        generate(&CensusConfig {
+            scale: 0.01,
+            n_housing_cols: 3,
+            ..CensusConfig::default()
+        });
+    }
+
+    #[test]
+    fn every_household_has_exactly_one_owner() {
+        let data = small();
+        let truth = &data.ground_truth;
+        let fk = truth.schema().fk_col().unwrap();
+        let rel = truth.schema().col_id("Rel").unwrap();
+        let mut owners: std::collections::HashMap<Value, usize> =
+            std::collections::HashMap::new();
+        for r in truth.rows() {
+            if truth.get(r, rel) == Some(Value::str("Owner")) {
+                *owners.entry(truth.get(r, fk).unwrap()).or_insert(0) += 1;
+            }
+        }
+        assert_eq!(owners.len(), data.n_households());
+        assert!(owners.values().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,452 @@
+//! Foreign-key denial constraints (Definition 2.2 of the paper).
+//!
+//! A Foreign Key DC is `∀t1..tk ¬(p1 ∧ … ∧ p_{n−1} ∧ t1.FK = … = tk.FK)`:
+//! a conjunction φ of comparisons over the tuples' non-FK attributes, plus
+//! the implicit FK-equality chain. We store φ explicitly (unary atoms
+//! `t_i.A ◦ c` and binary atoms `t_i.A ◦ t_j.B + offset`, which cover the
+//! paper's age-gap constraints such as `t2.Age < t1.Age − 50`) and leave the
+//! FK chain implicit: a set of distinct tuples where φ holds is exactly a
+//! conflict-hypergraph edge.
+
+use crate::error::{ConstraintError, Result};
+use cextend_table::{CmpOp, ColId, Relation, RowId, Schema, Value};
+use std::fmt;
+
+/// One conjunct of a DC's condition φ.
+#[derive(Clone, PartialEq, Debug)]
+pub enum DcAtom {
+    /// `t_var.column ◦ value`.
+    Unary {
+        /// Tuple-variable index (0-based).
+        var: usize,
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: CmpOp,
+        /// Constant.
+        value: Value,
+    },
+    /// `t_lvar.lcol ◦ t_rvar.rcol + offset` (integer columns).
+    Binary {
+        /// Left tuple-variable index.
+        lvar: usize,
+        /// Left column name.
+        lcol: String,
+        /// Operator.
+        op: CmpOp,
+        /// Right tuple-variable index.
+        rvar: usize,
+        /// Right column name.
+        rcol: String,
+        /// Constant offset added to the right side.
+        offset: i64,
+    },
+}
+
+impl fmt::Display for DcAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcAtom::Unary {
+                var,
+                column,
+                op,
+                value,
+            } => match value {
+                Value::Str(s) => write!(f, "t{}.{column} {op} \"{s}\"", var + 1),
+                Value::Int(v) => write!(f, "t{}.{column} {op} {v}", var + 1),
+            },
+            DcAtom::Binary {
+                lvar,
+                lcol,
+                op,
+                rvar,
+                rcol,
+                offset,
+            } => {
+                write!(f, "t{}.{lcol} {op} t{}.{rcol}", lvar + 1, rvar + 1)?;
+                match offset.cmp(&0) {
+                    std::cmp::Ordering::Greater => write!(f, " + {offset}"),
+                    std::cmp::Ordering::Less => write!(f, " - {}", -offset),
+                    std::cmp::Ordering::Equal => Ok(()),
+                }
+            }
+        }
+    }
+}
+
+/// A Foreign Key denial constraint: `¬(φ ∧ t1.FK = … = tk.FK)`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DenialConstraint {
+    /// Identifier used in reports.
+    pub name: String,
+    /// Number of tuple variables `k` (≥ 2); quantification ranges over
+    /// *distinct* tuples.
+    pub arity: usize,
+    /// The conjunction φ over non-FK attributes.
+    pub atoms: Vec<DcAtom>,
+}
+
+impl DenialConstraint {
+    /// Builds a DC, validating variable indices.
+    pub fn new(
+        name: impl Into<String>,
+        arity: usize,
+        atoms: Vec<DcAtom>,
+    ) -> Result<DenialConstraint> {
+        if arity < 2 {
+            return Err(ConstraintError::BadDenialConstraint(format!(
+                "arity must be at least 2, got {arity}"
+            )));
+        }
+        for a in &atoms {
+            let max_var = match a {
+                DcAtom::Unary { var, .. } => *var,
+                DcAtom::Binary { lvar, rvar, .. } => (*lvar).max(*rvar),
+            };
+            if max_var >= arity {
+                return Err(ConstraintError::BadDenialConstraint(format!(
+                    "atom `{a}` references tuple variable t{} but arity is {arity}",
+                    max_var + 1
+                )));
+            }
+        }
+        Ok(DenialConstraint {
+            name: name.into(),
+            arity,
+            atoms,
+        })
+    }
+
+    /// Binds column names against `schema` for fast evaluation.
+    pub fn bind(&self, schema: &Schema, relation: &str) -> Result<BoundDc> {
+        let atoms = self
+            .atoms
+            .iter()
+            .map(|a| {
+                Ok(match a {
+                    DcAtom::Unary {
+                        var,
+                        column,
+                        op,
+                        value,
+                    } => BoundDcAtom::Unary {
+                        var: *var,
+                        col: schema.require(column, relation)?,
+                        op: *op,
+                        value: *value,
+                    },
+                    DcAtom::Binary {
+                        lvar,
+                        lcol,
+                        op,
+                        rvar,
+                        rcol,
+                        offset,
+                    } => BoundDcAtom::Binary {
+                        lvar: *lvar,
+                        lcol: schema.require(lcol, relation)?,
+                        op: *op,
+                        rvar: *rvar,
+                        rcol: schema.require(rcol, relation)?,
+                        offset: *offset,
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(BoundDc {
+            arity: self.arity,
+            atoms,
+        })
+    }
+
+    /// Evaluates φ on concrete rows (`rows.len()` must equal the arity).
+    /// `true` means the rows *conflict*: giving them one FK value would
+    /// violate this DC. Convenience wrapper around [`DenialConstraint::bind`].
+    pub fn holds(&self, rel: &Relation, rows: &[RowId]) -> Result<bool> {
+        Ok(self.bind(rel.schema(), rel.name())?.holds(rel, rows))
+    }
+}
+
+impl fmt::Display for DenialConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ¬(", self.name)?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" & ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        if !self.atoms.is_empty() {
+            f.write_str(" & ")?;
+        }
+        for v in 0..self.arity {
+            if v > 0 {
+                f.write_str(" = ")?;
+            }
+            write!(f, "t{}.FK", v + 1)?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A DC bound to a schema.
+#[derive(Clone, Debug)]
+pub struct BoundDc {
+    /// Number of tuple variables.
+    pub arity: usize,
+    atoms: Vec<BoundDcAtom>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum BoundDcAtom {
+    Unary {
+        var: usize,
+        col: ColId,
+        op: CmpOp,
+        value: Value,
+    },
+    Binary {
+        lvar: usize,
+        lcol: ColId,
+        op: CmpOp,
+        rvar: usize,
+        rcol: ColId,
+        offset: i64,
+    },
+}
+
+impl BoundDc {
+    /// Evaluates φ on `rows` (one per tuple variable). Missing cells make
+    /// the containing atom false (φ cannot be established on absent data).
+    #[inline]
+    pub fn holds(&self, rel: &Relation, rows: &[RowId]) -> bool {
+        debug_assert_eq!(rows.len(), self.arity);
+        self.atoms.iter().all(|a| match *a {
+            BoundDcAtom::Unary {
+                var,
+                col,
+                op,
+                value,
+            } => match rel.get(rows[var], col) {
+                Some(v) => op.eval(v, value),
+                None => false,
+            },
+            BoundDcAtom::Binary {
+                lvar,
+                lcol,
+                op,
+                rvar,
+                rcol,
+                offset,
+            } => {
+                match (rel.get_int(rows[lvar], lcol), rel.get_int(rows[rvar], rcol)) {
+                    (Some(l), Some(r)) => op.eval(Value::Int(l), Value::Int(r + offset)),
+                    _ => false,
+                }
+            }
+        })
+    }
+
+    /// `true` if row `r` can satisfy every unary atom of tuple variable
+    /// `var` — a cheap pre-filter before enumerating tuple combinations.
+    #[inline]
+    pub fn var_candidate(&self, rel: &Relation, var: usize, r: RowId) -> bool {
+        self.atoms.iter().all(|a| match *a {
+            BoundDcAtom::Unary {
+                var: v,
+                col,
+                op,
+                value,
+            } if v == var => match rel.get(r, col) {
+                Some(x) => op.eval(x, value),
+                None => false,
+            },
+            _ => true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cextend_table::{ColumnDef, Dtype, Schema};
+
+    fn persons() -> Relation {
+        let schema = Schema::new(vec![
+            ColumnDef::key("pid", Dtype::Int),
+            ColumnDef::attr("Age", Dtype::Int),
+            ColumnDef::attr("Rel", Dtype::Str),
+            ColumnDef::attr("Multi-ling", Dtype::Int),
+            ColumnDef::foreign_key("hid", Dtype::Int),
+        ])
+        .unwrap();
+        let mut r = Relation::new("Persons", schema);
+        for (pid, age, rl, m) in [
+            (1, 75, "Owner", 0),
+            (2, 75, "Owner", 1),
+            (5, 24, "Spouse", 0),
+            (6, 10, "Child", 1),
+        ] {
+            r.push_row(&[
+                Some(Value::Int(pid)),
+                Some(Value::Int(age)),
+                Some(Value::str(rl)),
+                Some(Value::Int(m)),
+                None,
+            ])
+            .unwrap();
+        }
+        r
+    }
+
+    /// `DC_{O,O}`: no two homeowners share a home.
+    fn dc_oo() -> DenialConstraint {
+        DenialConstraint::new(
+            "DC_OO",
+            2,
+            vec![
+                DcAtom::Unary {
+                    var: 0,
+                    column: "Rel".into(),
+                    op: CmpOp::Eq,
+                    value: Value::str("Owner"),
+                },
+                DcAtom::Unary {
+                    var: 1,
+                    column: "Rel".into(),
+                    op: CmpOp::Eq,
+                    value: Value::str("Owner"),
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    /// `DC_{O,S,low}`: spouse at most 50 years younger than the owner:
+    /// ¬(t1.Rel=Owner ∧ t2.Rel=Spouse ∧ t2.Age < t1.Age − 50 ∧ same hid).
+    fn dc_os_low() -> DenialConstraint {
+        DenialConstraint::new(
+            "DC_OS_low",
+            2,
+            vec![
+                DcAtom::Unary {
+                    var: 0,
+                    column: "Rel".into(),
+                    op: CmpOp::Eq,
+                    value: Value::str("Owner"),
+                },
+                DcAtom::Unary {
+                    var: 1,
+                    column: "Rel".into(),
+                    op: CmpOp::Eq,
+                    value: Value::str("Spouse"),
+                },
+                DcAtom::Binary {
+                    lvar: 1,
+                    lcol: "Age".into(),
+                    op: CmpOp::Lt,
+                    rvar: 0,
+                    rcol: "Age".into(),
+                    offset: -50,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn owner_owner_conflicts() {
+        let r = persons();
+        let dc = dc_oo();
+        assert!(dc.holds(&r, &[0, 1]).unwrap()); // two owners
+        assert!(!dc.holds(&r, &[0, 2]).unwrap()); // owner + spouse
+    }
+
+    #[test]
+    fn age_gap_with_offset() {
+        let r = persons();
+        let dc = dc_os_low();
+        // Spouse aged 24, owner aged 75: 24 < 75 − 50 = 25 → conflict.
+        assert!(dc.holds(&r, &[0, 2]).unwrap());
+        // Reversed variable order does not match the Rel atoms.
+        assert!(!dc.holds(&r, &[2, 0]).unwrap());
+    }
+
+    #[test]
+    fn var_candidate_prefilters() {
+        let r = persons();
+        let bound = dc_os_low().bind(r.schema(), "Persons").unwrap();
+        assert!(bound.var_candidate(&r, 0, 0)); // owner fits t1
+        assert!(!bound.var_candidate(&r, 0, 2)); // spouse does not fit t1
+        assert!(bound.var_candidate(&r, 1, 2)); // spouse fits t2
+        assert!(!bound.var_candidate(&r, 1, 3)); // child does not fit t2
+    }
+
+    #[test]
+    fn missing_cells_never_conflict() {
+        let schema = Schema::new(vec![
+            ColumnDef::attr("Age", Dtype::Int),
+            ColumnDef::foreign_key("fk", Dtype::Int),
+        ])
+        .unwrap();
+        let mut r = Relation::new("t", schema);
+        r.push_row(&[None, None]).unwrap();
+        r.push_row(&[Some(Value::Int(5)), None]).unwrap();
+        let dc = DenialConstraint::new(
+            "d",
+            2,
+            vec![DcAtom::Binary {
+                lvar: 0,
+                lcol: "Age".into(),
+                op: CmpOp::Le,
+                rvar: 1,
+                rcol: "Age".into(),
+                offset: 0,
+            }],
+        )
+        .unwrap();
+        assert!(!dc.holds(&r, &[0, 1]).unwrap());
+    }
+
+    #[test]
+    fn validation_rejects_bad_arity_and_vars() {
+        assert!(DenialConstraint::new("d", 1, vec![]).is_err());
+        let bad = DenialConstraint::new(
+            "d",
+            2,
+            vec![DcAtom::Unary {
+                var: 5,
+                column: "Age".into(),
+                op: CmpOp::Eq,
+                value: Value::Int(1),
+            }],
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn unknown_column_fails_at_bind() {
+        let r = persons();
+        let dc = DenialConstraint::new(
+            "d",
+            2,
+            vec![DcAtom::Unary {
+                var: 0,
+                column: "nope".into(),
+                op: CmpOp::Eq,
+                value: Value::Int(1),
+            }],
+        )
+        .unwrap();
+        assert!(dc.holds(&r, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn display_shows_fk_chain() {
+        let s = dc_oo().to_string();
+        assert!(s.contains("t1.Rel = \"Owner\""));
+        assert!(s.contains("t1.FK = t2.FK"));
+        let s = dc_os_low().to_string();
+        assert!(s.contains("t2.Age < t1.Age - 50"));
+    }
+}

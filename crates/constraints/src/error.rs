@@ -1,0 +1,61 @@
+//! Error type for the constraints crate.
+
+use std::fmt;
+
+/// Errors raised while building, normalizing or parsing constraints.
+#[derive(Debug)]
+pub enum ConstraintError {
+    /// A predicate cannot be normalized to per-column value sets (e.g. uses
+    /// `≠` or an ordering comparison on a categorical column) and therefore
+    /// cannot participate in CC relationship classification.
+    CannotNormalize(String),
+    /// Text DSL parse error.
+    Parse {
+        /// Byte offset in the input.
+        pos: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A referenced column does not exist where expected.
+    UnknownColumn(String),
+    /// A denial constraint was malformed (e.g. no FK-equality chain).
+    BadDenialConstraint(String),
+    /// Propagated relational error.
+    Table(cextend_table::TableError),
+}
+
+impl fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintError::CannotNormalize(msg) => {
+                write!(f, "predicate cannot be normalized: {msg}")
+            }
+            ConstraintError::Parse { pos, message } => {
+                write!(f, "parse error at byte {pos}: {message}")
+            }
+            ConstraintError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            ConstraintError::BadDenialConstraint(msg) => {
+                write!(f, "malformed denial constraint: {msg}")
+            }
+            ConstraintError::Table(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConstraintError::Table(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cextend_table::TableError> for ConstraintError {
+    fn from(e: cextend_table::TableError) -> Self {
+        ConstraintError::Table(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ConstraintError>;

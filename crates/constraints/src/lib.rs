@@ -1,0 +1,48 @@
+//! # cextend-constraints — the paper's constraint vocabulary
+//!
+//! Models the two constraint classes of *"Synthesizing Linked Data Under
+//! Cardinality and Integrity Constraints"* (SIGMOD 2021) and the machinery
+//! its Phase I is built on:
+//!
+//! - [`CardinalityConstraint`] — linear CCs `|σ_φ(R1 ⋈ R2)| = k`
+//!   (Definition 2.4), stored with per-column [`cextend_table::ValueSet`]s.
+//! - [`DenialConstraint`] — foreign-key DCs `¬(φ ∧ t1.FK = … = tk.FK)`
+//!   (Definition 2.2) with unary and offset-binary atoms.
+//! - [`classify`] / [`RelationshipMatrix`] — disjoint / contained /
+//!   intersecting classification (Definitions 4.2–4.4).
+//! - [`HasseDiagram`] — cover edges of the containment order (Section 4.2).
+//! - [`ColumnIntervals`] / [`Binning`] — intervalization (Section 4.1).
+//! - [`marginal_ccs`] / [`restrict_marginals`] — all-way and modified
+//!   marginal augmentation (Sections 4.1, 4.3).
+//! - [`parse_cc`] / [`parse_dc`] — a text DSL in the paper's notation.
+//!
+//! ```
+//! use cextend_constraints::{classify, parse_cc, CcRelationship};
+//! use std::collections::HashSet;
+//!
+//! let r2: HashSet<String> = ["Area".to_owned()].into_iter().collect();
+//! let chicago = parse_cc("CC1", r#"| Rel = "Owner" & Area = "Chicago" | = 4"#, &r2).unwrap();
+//! let nyc = parse_cc("CC2", r#"| Rel = "Owner" & Area = "NYC" | = 2"#, &r2).unwrap();
+//! // Same R1 condition, disjoint R2 conditions → disjoint (Definition 4.2).
+//! assert_eq!(classify(&chicago, &nyc), CcRelationship::Disjoint);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cc;
+mod dc;
+mod error;
+mod hasse;
+mod intervalize;
+mod marginals;
+mod parser;
+mod relationship;
+
+pub use cc::{CardinalityConstraint, NormalizedCond};
+pub use dc::{BoundDc, DcAtom, DenialConstraint};
+pub use error::{ConstraintError, Result};
+pub use hasse::HasseDiagram;
+pub use intervalize::{domain_ranges, BinDim, BinKey, Binning, BoundBinning, ColumnIntervals};
+pub use marginals::{marginal_ccs, marginal_counts, restrict_marginals};
+pub use parser::{parse_cc, parse_dc, parse_predicate};
+pub use relationship::{classify, CcRelationship, RelationshipMatrix};

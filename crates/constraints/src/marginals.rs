@@ -1,0 +1,237 @@
+//! Marginal augmentation (Sections 4.1 and 4.3 of the paper).
+//!
+//! The all-way marginals of `R1` — counts per combination of its non-key
+//! attribute values, after binning — hold in `V_join` by construction
+//! (`|V_join| = |R1|`, row for row). Adding them to the ILP pins every
+//! variable group to its true total, which both improves CC accuracy and
+//! makes the system's hard part always feasible. The *modified* variant
+//! restricts the marginals to the tuples relevant to the intersecting CC
+//! subset, as the hybrid approach requires.
+
+use crate::cc::{CardinalityConstraint, NormalizedCond};
+use crate::error::Result;
+use crate::intervalize::{BinKey, Binning};
+use cextend_table::{Relation, RowId};
+use std::collections::BTreeMap;
+
+/// Counts rows per bin. `rows` restricts the count to a subset (the hybrid
+/// counts only rows still unassigned after Algorithm 2); `None` counts all.
+/// Rows with missing binned cells are skipped. Results are sorted by bin.
+pub fn marginal_counts(
+    rel: &Relation,
+    binning: &Binning,
+    rows: Option<&[RowId]>,
+) -> Result<Vec<(BinKey, u64)>> {
+    let bound = binning.bind(rel.schema(), rel.name())?;
+    let mut map: BTreeMap<BinKey, u64> = BTreeMap::new();
+    let mut count_row = |r: RowId| {
+        if let Some(bin) = bound.bin_of_row(rel, r) {
+            *map.entry(bin).or_insert(0) += 1;
+        }
+    };
+    match rows {
+        Some(rows) => rows.iter().copied().for_each(&mut count_row),
+        None => rel.rows().for_each(&mut count_row),
+    }
+    Ok(map.into_iter().collect())
+}
+
+/// Emits one marginal CC per bin: condition = the bin's `R1` condition,
+/// `R2` side unconstrained, target = the bin count (Section 4.1,
+/// "augmenting with all-way marginals").
+pub fn marginal_ccs(
+    rel: &Relation,
+    binning: &Binning,
+    rows: Option<&[RowId]>,
+) -> Result<Vec<CardinalityConstraint>> {
+    Ok(marginal_counts(rel, binning, rows)?
+        .into_iter()
+        .enumerate()
+        .map(|(i, (bin, count))| {
+            CardinalityConstraint::new(
+                format!("marginal{i}"),
+                binning.bin_to_cond(&bin),
+                NormalizedCond::always(),
+                count,
+            )
+        })
+        .collect())
+}
+
+/// Filters marginals to those whose bin overlaps at least one of `conds` —
+/// the "modified marginals" of Section 4.3, scoped to the CCs handed to the
+/// ILP. A bin overlaps a condition when it satisfies it on every column the
+/// condition constrains *within the binning*.
+pub fn restrict_marginals(
+    binning: &Binning,
+    marginals: Vec<(BinKey, u64)>,
+    conds: &[NormalizedCond],
+) -> Result<Vec<(BinKey, u64)>> {
+    let mut out = Vec::new();
+    for (bin, count) in marginals {
+        let mut keep = false;
+        for cond in conds {
+            // Only test the columns this binning knows about; R2-side parts
+            // of a CC are not part of an R1 binning.
+            let projected = NormalizedCond::from_sets(
+                cond.iter()
+                    .filter(|(col, _)| binning.columns().iter().any(|c| c == col))
+                    .map(|(col, set)| (col.to_owned(), set.clone())),
+            );
+            if binning.bin_satisfies(&bin, &projected)? {
+                keep = true;
+                break;
+            }
+        }
+        if keep {
+            out.push((bin, count));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intervalize::{BinDim, ColumnIntervals};
+    use cextend_table::{Atom, ColumnDef, Dtype, Predicate, Schema, Value};
+
+    fn persons() -> Relation {
+        let schema = Schema::new(vec![
+            ColumnDef::key("pid", Dtype::Int),
+            ColumnDef::attr("Age", Dtype::Int),
+            ColumnDef::attr("Rel", Dtype::Str),
+            ColumnDef::attr("Multi-ling", Dtype::Int),
+        ])
+        .unwrap();
+        let mut r = Relation::new("Persons", schema);
+        // The paper's Figure 1 R1.
+        for (pid, age, rl, m) in [
+            (1, 75, "Owner", 0),
+            (2, 75, "Owner", 1),
+            (3, 25, "Owner", 0),
+            (4, 25, "Owner", 1),
+            (5, 24, "Spouse", 0),
+            (6, 10, "Child", 1),
+            (7, 10, "Child", 1),
+            (8, 30, "Owner", 0),
+            (9, 30, "Owner", 1),
+        ] {
+            r.push_full_row(&[
+                Value::Int(pid),
+                Value::Int(age),
+                Value::str(rl),
+                Value::Int(m),
+            ])
+            .unwrap();
+        }
+        r
+    }
+
+    fn age_le_24_cc() -> CardinalityConstraint {
+        CardinalityConstraint::new(
+            "CC3",
+            NormalizedCond::from_predicate(&Predicate::new(vec![Atom::cmp(
+                "Age",
+                cextend_table::CmpOp::Le,
+                24,
+            )]))
+            .unwrap(),
+            NormalizedCond::always(),
+            3,
+        )
+    }
+
+    fn binning() -> Binning {
+        let mut domains = BTreeMap::new();
+        domains.insert("Age".to_owned(), (10, 75));
+        let ivs = ColumnIntervals::build(&[age_le_24_cc()], &domains);
+        Binning::new(vec!["Age".into(), "Rel".into(), "Multi-ling".into()], ivs)
+    }
+
+    #[test]
+    fn example_4_1_bins() {
+        // The paper notes exactly 4 tuple types under intervalization:
+        // ([25,114], Owner, 0), ([0,24], Spouse, 0), ([0,24], Child, 1),
+        // ([25,114], Owner, 1).
+        let r = persons();
+        let m = marginal_counts(&r, &binning(), None).unwrap();
+        assert_eq!(m.len(), 4);
+        let total: u64 = m.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 9);
+        // Owners older than 24, monolingual: pids 1, 3, 8.
+        let owners0 = m
+            .iter()
+            .find(|(bin, _)| {
+                bin == &vec![
+                    BinDim::Interval(1),
+                    BinDim::Val(Value::str("Owner")),
+                    BinDim::Val(Value::Int(0)),
+                ]
+            })
+            .unwrap();
+        assert_eq!(owners0.1, 3);
+    }
+
+    #[test]
+    fn example_3_1_augmented_marginal() {
+        // "|σ Age≤24, Rel=Spouse, Multi-ling=0| = 1 gets added to S_CC".
+        let r = persons();
+        let ccs = marginal_ccs(&r, &binning(), None).unwrap();
+        let spouse = ccs
+            .iter()
+            .find(|cc| {
+                cc.r1
+                    .get("Rel")
+                    .is_some_and(|s| s.contains(Value::str("Spouse")))
+            })
+            .unwrap();
+        assert_eq!(spouse.target, 1);
+        assert!(spouse.r1.get("Age").unwrap().contains(Value::Int(24)));
+        assert!(!spouse.r1.get("Age").unwrap().contains(Value::Int(25)));
+        assert!(spouse.r2.is_empty());
+    }
+
+    #[test]
+    fn row_subset_restricts_counts() {
+        let r = persons();
+        let m = marginal_counts(&r, &binning(), Some(&[0, 1])).unwrap();
+        let total: u64 = m.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn restrict_marginals_keeps_only_overlapping_bins() {
+        // Section 4.3's example: restrict to CC1-relevant tuples
+        // (Rel = Owner): only owner bins survive.
+        let r = persons();
+        let b = binning();
+        let all = marginal_counts(&r, &b, None).unwrap();
+        let owner_cond = NormalizedCond::from_predicate(&Predicate::new(vec![Atom::eq(
+            "Rel", "Owner",
+        )]))
+        .unwrap();
+        let restricted = restrict_marginals(&b, all.clone(), &[owner_cond]).unwrap();
+        assert_eq!(restricted.len(), 2); // owner bins: ([25,..], Owner, 0|1)
+        let total: u64 = restricted.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 6);
+        // Conditions mentioning R2-only columns are ignored for overlap.
+        let r2_cond = NormalizedCond::from_predicate(&Predicate::new(vec![Atom::eq(
+            "Area",
+            Value::str("Chicago"),
+        )]))
+        .unwrap();
+        let all_kept = restrict_marginals(&b, all, &[r2_cond]).unwrap();
+        assert_eq!(all_kept.len(), 4);
+    }
+
+    #[test]
+    fn marginal_ccs_hold_in_a_copy_view() {
+        // Marginal CCs must count correctly on R1 itself (and hence on any
+        // row-aligned V_join).
+        let r = persons();
+        for cc in marginal_ccs(&r, &binning(), None).unwrap() {
+            assert_eq!(cc.count_in(&r).unwrap(), cc.target, "{cc}");
+        }
+    }
+}

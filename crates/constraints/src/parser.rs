@@ -1,0 +1,606 @@
+//! Text DSL for constraints, mirroring the paper's notation.
+//!
+//! ```text
+//! CC:  | Rel = "Owner" & Area = "Chicago" | = 4
+//! CC:  | Age in [10, 14] & Area = "Chicago" | = 20
+//! DC:  !(t1.Rel = "Owner" & t2.Rel = "Owner" & t1.hid = t2.hid)
+//! DC:  !(t1.Rel = "Owner" & t2.Rel = "Spouse" & t2.Age < t1.Age - 50
+//!        & t1.hid = t2.hid)
+//! ```
+//!
+//! Identifiers may contain `-` when followed by a letter (so `Multi-ling`
+//! lexes as one name while `t1.Age - 50` stays an arithmetic offset).
+
+use crate::cc::CardinalityConstraint;
+use crate::dc::{DcAtom, DenialConstraint};
+use crate::error::{ConstraintError, Result};
+use cextend_table::{Atom, CmpOp, Predicate, Value};
+use std::collections::HashSet;
+
+#[derive(Clone, PartialEq, Debug)]
+enum Tok {
+    Pipe,
+    Bang,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Amp,
+    Dot,
+    Plus,
+    Minus,
+    Op(CmpOp),
+    Int(i64),
+    Str(String),
+    Ident(String),
+    In,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ConstraintError {
+        ConstraintError::Parse {
+            pos: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(usize, Tok)>> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let c = self.src[self.pos];
+            match c {
+                b' ' | b'\t' | b'\n' | b'\r' => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'|' => {
+                    self.pos += 1;
+                    out.push((start, Tok::Pipe));
+                }
+                b'(' => {
+                    self.pos += 1;
+                    out.push((start, Tok::LParen));
+                }
+                b')' => {
+                    self.pos += 1;
+                    out.push((start, Tok::RParen));
+                }
+                b'[' => {
+                    self.pos += 1;
+                    out.push((start, Tok::LBracket));
+                }
+                b']' => {
+                    self.pos += 1;
+                    out.push((start, Tok::RBracket));
+                }
+                b',' => {
+                    self.pos += 1;
+                    out.push((start, Tok::Comma));
+                }
+                b'&' => {
+                    self.pos += 1;
+                    out.push((start, Tok::Amp));
+                }
+                b'.' => {
+                    self.pos += 1;
+                    out.push((start, Tok::Dot));
+                }
+                b'+' => {
+                    self.pos += 1;
+                    out.push((start, Tok::Plus));
+                }
+                b'-' => {
+                    self.pos += 1;
+                    out.push((start, Tok::Minus));
+                }
+                b'=' => {
+                    self.pos += 1;
+                    out.push((start, Tok::Op(CmpOp::Eq)));
+                }
+                b'!' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        out.push((start, Tok::Op(CmpOp::Ne)));
+                    } else {
+                        out.push((start, Tok::Bang));
+                    }
+                }
+                b'<' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        out.push((start, Tok::Op(CmpOp::Le)));
+                    } else {
+                        out.push((start, Tok::Op(CmpOp::Lt)));
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        out.push((start, Tok::Op(CmpOp::Ge)));
+                    } else {
+                        out.push((start, Tok::Op(CmpOp::Gt)));
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    let s = self.string_literal()?;
+                    out.push((start, Tok::Str(s)));
+                }
+                b'0'..=b'9' => {
+                    let v = self.integer()?;
+                    out.push((start, Tok::Int(v)));
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let id = self.identifier();
+                    if id == "in" {
+                        out.push((start, Tok::In));
+                    } else {
+                        out.push((start, Tok::Ident(id)));
+                    }
+                }
+                other => {
+                    return Err(self.error(format!("unexpected character `{}`", other as char)))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn string_literal(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'"' {
+                let s = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in string literal"))?
+                    .to_owned();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated string literal"))
+    }
+
+    fn integer(&mut self) -> Result<i64> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .expect("digits are ASCII")
+            .parse::<i64>()
+            .map_err(|e| self.error(format!("invalid integer: {e}")))
+    }
+
+    fn identifier(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else if c == b'-'
+                && self
+                    .src
+                    .get(self.pos + 1)
+                    .is_some_and(|n| n.is_ascii_alphabetic())
+            {
+                // `Multi-ling` is one identifier; `Age - 50` is not.
+                self.pos += 2;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .expect("identifier bytes are ASCII")
+            .to_owned()
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    idx: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Parser> {
+        Ok(Parser {
+            toks: Lexer::new(input).tokens()?,
+            idx: 0,
+        })
+    }
+
+    fn pos(&self) -> usize {
+        self.toks
+            .get(self.idx)
+            .map(|(p, _)| *p)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ConstraintError {
+        ConstraintError::Parse {
+            pos: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.idx).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.idx).map(|(_, t)| t.clone());
+        self.idx += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<()> {
+        match self.next() {
+            Some(t) if &t == tok => Ok(()),
+            other => Err(self.error(format!("expected {tok:?}, found {other:?}"))),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.idx >= self.toks.len()
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Value::Int(v)),
+            Some(Tok::Minus) => match self.next() {
+                Some(Tok::Int(v)) => Ok(Value::Int(-v)),
+                other => Err(self.error(format!("expected integer after `-`, found {other:?}"))),
+            },
+            Some(Tok::Str(s)) => Ok(Value::str(&s)),
+            other => Err(self.error(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn signed_int(&mut self) -> Result<i64> {
+        match self.literal()? {
+            Value::Int(v) => Ok(v),
+            Value::Str(_) => Err(self.error("expected integer")),
+        }
+    }
+
+    /// `IDENT op literal | IDENT in [lo, hi]`
+    fn cc_atom(&mut self) -> Result<Atom> {
+        let col = match self.next() {
+            Some(Tok::Ident(c)) => c,
+            other => return Err(self.error(format!("expected column name, found {other:?}"))),
+        };
+        match self.next() {
+            Some(Tok::Op(op)) => Ok(Atom::cmp(&col, op, self.literal()?)),
+            Some(Tok::In) => {
+                self.expect(&Tok::LBracket)?;
+                let lo = self.signed_int()?;
+                self.expect(&Tok::Comma)?;
+                let hi = self.signed_int()?;
+                self.expect(&Tok::RBracket)?;
+                Ok(Atom::in_range(&col, lo, hi))
+            }
+            other => Err(self.error(format!("expected comparison or `in`, found {other:?}"))),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        let mut atoms = vec![self.cc_atom()?];
+        while self.peek() == Some(&Tok::Amp) {
+            self.next();
+            atoms.push(self.cc_atom()?);
+        }
+        Ok(Predicate::new(atoms))
+    }
+
+    /// `t<k>.column`
+    fn tuple_ref(&mut self) -> Result<(usize, String)> {
+        let var = match self.next() {
+            Some(Tok::Ident(id)) if id.starts_with('t') => id[1..]
+                .parse::<usize>()
+                .ok()
+                .filter(|&v| v >= 1)
+                .ok_or_else(|| self.error(format!("bad tuple variable `{id}`")))?,
+            other => return Err(self.error(format!("expected tuple variable, found {other:?}"))),
+        };
+        self.expect(&Tok::Dot)?;
+        let col = match self.next() {
+            Some(Tok::Ident(c)) => c,
+            other => return Err(self.error(format!("expected column name, found {other:?}"))),
+        };
+        Ok((var - 1, col))
+    }
+
+    /// One DC conjunct. Returns `None` for FK-equality atoms (consumed into
+    /// the implicit chain), `Some` for φ atoms.
+    fn dc_atom(&mut self, fk_col: &str, fk_vars: &mut Vec<usize>) -> Result<Option<DcAtom>> {
+        let (lvar, lcol) = self.tuple_ref()?;
+        let op = match self.next() {
+            Some(Tok::Op(op)) => op,
+            other => return Err(self.error(format!("expected comparison, found {other:?}"))),
+        };
+        // Right side: tuple ref (+offset) or literal.
+        if matches!(self.peek(), Some(Tok::Ident(id)) if id.starts_with('t'))
+            && matches!(self.toks.get(self.idx + 1), Some((_, Tok::Dot)))
+        {
+            let (rvar, rcol) = self.tuple_ref()?;
+            let mut offset = 0i64;
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.next();
+                    offset = self.signed_int()?;
+                }
+                Some(Tok::Minus) => {
+                    self.next();
+                    offset = -self.signed_int()?;
+                }
+                _ => {}
+            }
+            if lcol == fk_col && rcol == fk_col {
+                if op != CmpOp::Eq || offset != 0 {
+                    return Err(self.error("FK atoms must be plain equalities"));
+                }
+                fk_vars.push(lvar);
+                fk_vars.push(rvar);
+                return Ok(None);
+            }
+            if lcol == fk_col || rcol == fk_col {
+                return Err(self.error("FK column may only be compared with itself"));
+            }
+            Ok(Some(DcAtom::Binary {
+                lvar,
+                lcol,
+                op,
+                rvar,
+                rcol,
+                offset,
+            }))
+        } else {
+            if lcol == fk_col {
+                return Err(self.error("FK column may not be compared with a constant"));
+            }
+            Ok(Some(DcAtom::Unary {
+                var: lvar,
+                column: lcol,
+                op,
+                value: self.literal()?,
+            }))
+        }
+    }
+}
+
+/// Parses a conjunctive predicate, e.g. `Age in [10, 14] & Rel = "Owner"`.
+pub fn parse_predicate(input: &str) -> Result<Predicate> {
+    let mut p = Parser::new(input)?;
+    let pred = p.predicate()?;
+    if !p.at_end() {
+        return Err(p.error("trailing input after predicate"));
+    }
+    Ok(pred)
+}
+
+/// Parses a cardinality constraint, e.g.
+/// `| Rel = "Owner" & Area = "Chicago" | = 4`. Columns named in
+/// `r2_columns` form the `R2` side of the condition.
+pub fn parse_cc(
+    name: &str,
+    input: &str,
+    r2_columns: &HashSet<String>,
+) -> Result<CardinalityConstraint> {
+    let mut p = Parser::new(input)?;
+    p.expect(&Tok::Pipe)?;
+    let pred = p.predicate()?;
+    p.expect(&Tok::Pipe)?;
+    p.expect(&Tok::Op(CmpOp::Eq))?;
+    let target = match p.next() {
+        Some(Tok::Int(v)) if v >= 0 => v as u64,
+        other => return Err(p.error(format!("expected non-negative target, found {other:?}"))),
+    };
+    if !p.at_end() {
+        return Err(p.error("trailing input after cardinality constraint"));
+    }
+    CardinalityConstraint::from_predicate(name, &pred, r2_columns, target)
+}
+
+/// Parses a foreign-key denial constraint, e.g.
+/// `!(t1.Rel = "Owner" & t2.Rel = "Owner" & t1.hid = t2.hid)`.
+///
+/// `fk_col` names the FK column; its equality atoms form the implicit FK
+/// chain, which must connect every tuple variable.
+pub fn parse_dc(name: &str, input: &str, fk_col: &str) -> Result<DenialConstraint> {
+    let mut p = Parser::new(input)?;
+    p.expect(&Tok::Bang)?;
+    p.expect(&Tok::LParen)?;
+    let mut atoms = Vec::new();
+    let mut fk_vars: Vec<usize> = Vec::new();
+    let mut max_var = 0usize;
+    loop {
+        let before = p.idx;
+        if let Some(atom) = p.dc_atom(fk_col, &mut fk_vars)? {
+            atoms.push(atom);
+        }
+        // Track the highest tuple variable seen in this conjunct.
+        for (_, t) in &p.toks[before..p.idx] {
+            if let Tok::Ident(id) = t {
+                if let Some(v) = id.strip_prefix('t').and_then(|s| s.parse::<usize>().ok()) {
+                    max_var = max_var.max(v);
+                }
+            }
+        }
+        match p.next() {
+            Some(Tok::Amp) => continue,
+            Some(Tok::RParen) => break,
+            other => return Err(p.error(format!("expected `&` or `)`, found {other:?}"))),
+        }
+    }
+    if !p.at_end() {
+        return Err(p.error("trailing input after denial constraint"));
+    }
+    if max_var < 2 {
+        return Err(ConstraintError::BadDenialConstraint(
+            "a denial constraint needs at least two tuple variables".into(),
+        ));
+    }
+    // The FK chain must connect all variables.
+    let connected: HashSet<usize> = fk_vars.iter().copied().collect();
+    if connected.len() != max_var || (0..max_var).any(|v| !connected.contains(&v)) {
+        return Err(ConstraintError::BadDenialConstraint(format!(
+            "FK equality chain must connect all {max_var} tuple variables"
+        )));
+    }
+    DenialConstraint::new(name, max_var, atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cextend_table::CmpOp;
+
+    fn r2cols() -> HashSet<String> {
+        let mut s = HashSet::new();
+        s.insert("Area".to_owned());
+        s.insert("Tenure".to_owned());
+        s
+    }
+
+    #[test]
+    fn parse_cc_figure_2b() {
+        let cc = parse_cc(
+            "CC1",
+            "| Rel = \"Owner\" & Area = \"Chicago\" | = 4",
+            &r2cols(),
+        )
+        .unwrap();
+        assert_eq!(cc.target, 4);
+        assert!(cc.r1.get("Rel").is_some());
+        assert!(cc.r2.get("Area").is_some());
+    }
+
+    #[test]
+    fn parse_cc_with_range_and_le() {
+        let cc = parse_cc("CC3", "| Age <= 24 & Area = \"Chicago\" | = 3", &r2cols()).unwrap();
+        assert!(cc.r1.get("Age").unwrap().contains(cextend_table::Value::Int(24)));
+        let cc = parse_cc("CC", "| Age in [10, 14] | = 20", &r2cols()).unwrap();
+        assert!(cc.r1.get("Age").unwrap().contains(cextend_table::Value::Int(12)));
+        assert!(!cc.r1.get("Age").unwrap().contains(cextend_table::Value::Int(15)));
+    }
+
+    #[test]
+    fn parse_cc_multi_ling_identifier() {
+        let cc = parse_cc("CC4", "| Multi-ling = 1 & Area = \"Chicago\" | = 4", &r2cols()).unwrap();
+        assert!(cc.r1.get("Multi-ling").is_some());
+    }
+
+    #[test]
+    fn parse_dc_owner_owner() {
+        let dc = parse_dc(
+            "DC_OO",
+            "!(t1.Rel = \"Owner\" & t2.Rel = \"Owner\" & t1.hid = t2.hid)",
+            "hid",
+        )
+        .unwrap();
+        assert_eq!(dc.arity, 2);
+        assert_eq!(dc.atoms.len(), 2);
+    }
+
+    #[test]
+    fn parse_dc_with_offset() {
+        let dc = parse_dc(
+            "DC_OS_low",
+            "!(t1.Rel = \"Owner\" & t2.Rel = \"Spouse\" & t2.Age < t1.Age - 50 & t1.hid = t2.hid)",
+            "hid",
+        )
+        .unwrap();
+        assert_eq!(dc.arity, 2);
+        match &dc.atoms[2] {
+            DcAtom::Binary {
+                lvar,
+                op,
+                rvar,
+                offset,
+                ..
+            } => {
+                assert_eq!((*lvar, *rvar, *offset), (1, 0, -50));
+                assert_eq!(*op, CmpOp::Lt);
+            }
+            other => panic!("expected binary atom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_dc_three_variables() {
+        let dc = parse_dc(
+            "DC3",
+            "!(t1.Cls = t2.Cls & t2.Cls = t3.Cls & t1.Chosen = t2.Chosen & t2.Chosen = t3.Chosen)",
+            "Chosen",
+        )
+        .unwrap();
+        assert_eq!(dc.arity, 3);
+        assert_eq!(dc.atoms.len(), 2);
+    }
+
+    #[test]
+    fn dc_requires_full_fk_chain() {
+        // t3 never appears in an FK equality.
+        let err = parse_dc(
+            "bad",
+            "!(t1.Cls = t3.Cls & t1.Chosen = t2.Chosen)",
+            "Chosen",
+        );
+        assert!(matches!(err, Err(ConstraintError::BadDenialConstraint(_))));
+    }
+
+    #[test]
+    fn dc_rejects_fk_comparisons_with_constants() {
+        let err = parse_dc("bad", "!(t1.hid = 3 & t1.hid = t2.hid)", "hid");
+        assert!(matches!(err, Err(ConstraintError::Parse { .. })));
+        let err = parse_dc("bad", "!(t1.hid < t2.hid & t1.hid = t2.hid)", "hid");
+        assert!(matches!(err, Err(ConstraintError::Parse { .. })));
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        match parse_cc("x", "| Age ?? 3 | = 1", &r2cols()) {
+            Err(ConstraintError::Parse { pos, .. }) => assert!(pos > 0),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse_cc("x", "| Age = 3 | = 1 extra", &r2cols()).is_err());
+        assert!(parse_cc("x", "| Age = 3 |", &r2cols()).is_err());
+        assert!(parse_predicate("Age in [5,]").is_err());
+        assert!(parse_predicate("Age = \"unterminated").is_err());
+    }
+
+    #[test]
+    fn negative_literals() {
+        let p = parse_predicate("Delta in [-5, 5] & Temp = -40").unwrap();
+        assert_eq!(p.atoms.len(), 2);
+        assert_eq!(p.atoms[0], Atom::in_range("Delta", -5, 5));
+        assert_eq!(p.atoms[1], Atom::eq("Temp", -40i64));
+    }
+
+    #[test]
+    fn predicate_display_reparses() {
+        let p = parse_predicate("Age in [10, 14] & Rel = \"Owner\"").unwrap();
+        let reparsed = parse_predicate(&p.to_string()).unwrap();
+        assert_eq!(p, reparsed);
+    }
+}

@@ -1,0 +1,340 @@
+//! CC relationship classification (Definitions 4.2–4.4 of the paper).
+//!
+//! Two CCs are **disjoint** if their `R1` conditions cannot both hold, or if
+//! their `R1` conditions are identical and their `R2` conditions cannot both
+//! hold. One **contains** the other if its combined condition implies the
+//! other's (superset of columns, subset of values per shared column). CCs
+//! that are neither disjoint nor comparable are **intersecting** — the case
+//! that forces the ILP path in the hybrid solver.
+
+use crate::cc::CardinalityConstraint;
+use std::fmt;
+
+/// Relationship between an ordered pair of CCs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CcRelationship {
+    /// No tuple can count toward both (Definition 4.2).
+    Disjoint,
+    /// The conditions are identical (both contain each other). Targets may
+    /// still differ; callers decide whether that is a duplicate or a
+    /// contradiction.
+    Equal,
+    /// The first CC's condition is strictly contained in the second's
+    /// (Definition 4.3): every tuple counting toward the first also counts
+    /// toward the second.
+    ContainedIn,
+    /// The first CC's condition strictly contains the second's.
+    Contains,
+    /// Overlapping but incomparable conditions (Definition 4.4).
+    Intersecting,
+}
+
+impl CcRelationship {
+    /// The relationship seen from the other side of the pair.
+    pub fn flipped(self) -> CcRelationship {
+        match self {
+            CcRelationship::ContainedIn => CcRelationship::Contains,
+            CcRelationship::Contains => CcRelationship::ContainedIn,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for CcRelationship {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CcRelationship::Disjoint => "disjoint",
+            CcRelationship::Equal => "equal",
+            CcRelationship::ContainedIn => "contained-in",
+            CcRelationship::Contains => "contains",
+            CcRelationship::Intersecting => "intersecting",
+        })
+    }
+}
+
+/// Classifies the ordered pair `(a, b)`.
+pub fn classify(a: &CardinalityConstraint, b: &CardinalityConstraint) -> CcRelationship {
+    // Definition 4.2: disjoint R1 conditions, or identical R1 conditions
+    // with disjoint R2 conditions.
+    if a.r1.disjoint_with(&b.r1) {
+        return CcRelationship::Disjoint;
+    }
+    if a.r1.same_condition(&b.r1) && a.r2.disjoint_with(&b.r2) {
+        return CcRelationship::Disjoint;
+    }
+    let (ca, cb) = (a.combined(), b.combined());
+    let a_in_b = ca.implies(&cb);
+    let b_in_a = cb.implies(&ca);
+    match (a_in_b, b_in_a) {
+        (true, true) => CcRelationship::Equal,
+        (true, false) => CcRelationship::ContainedIn,
+        (false, true) => CcRelationship::Contains,
+        (false, false) => CcRelationship::Intersecting,
+    }
+}
+
+/// Pairwise relationship matrix; entry `[i][j]` describes `(ccs[i], ccs[j])`.
+/// The diagonal is `Equal`.
+#[derive(Clone, Debug)]
+pub struct RelationshipMatrix {
+    n: usize,
+    entries: Vec<CcRelationship>,
+}
+
+impl RelationshipMatrix {
+    /// Classifies every pair (O(n²) calls to [`classify`]).
+    pub fn build(ccs: &[CardinalityConstraint]) -> RelationshipMatrix {
+        let n = ccs.len();
+        let mut entries = vec![CcRelationship::Equal; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let rel = classify(&ccs[i], &ccs[j]);
+                entries[i * n + j] = rel;
+                entries[j * n + i] = rel.flipped();
+            }
+        }
+        RelationshipMatrix { n, entries }
+    }
+
+    /// Number of CCs.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Relationship of the ordered pair `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> CcRelationship {
+        self.entries[i * self.n + j]
+    }
+
+    /// `true` if CC `i` intersects any other CC.
+    pub fn intersects_any(&self, i: usize) -> bool {
+        (0..self.n).any(|j| j != i && self.get(i, j) == CcRelationship::Intersecting)
+    }
+
+    /// Indices of CCs that intersect at least one other CC.
+    pub fn intersecting_ccs(&self) -> Vec<usize> {
+        (0..self.n).filter(|&i| self.intersects_any(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::NormalizedCond;
+    use cextend_table::{Atom, Predicate, Value};
+
+    fn cc(name: &str, r1_atoms: Vec<Atom>, r2_atoms: Vec<Atom>, k: u64) -> CardinalityConstraint {
+        CardinalityConstraint::new(
+            name,
+            NormalizedCond::from_predicate(&Predicate::new(r1_atoms)).unwrap(),
+            NormalizedCond::from_predicate(&Predicate::new(r2_atoms)).unwrap(),
+            k,
+        )
+    }
+
+    fn chicago() -> Vec<Atom> {
+        vec![Atom::eq("Area", Value::str("Chicago"))]
+    }
+
+    fn nyc() -> Vec<Atom> {
+        vec![Atom::eq("Area", Value::str("NYC"))]
+    }
+
+    #[test]
+    fn figure6_relationships() {
+        // CC1: Age∈[10,14], Chicago; CC2: Age∈[50,60] & Multi=0, NYC;
+        // CC3: Age∈[13,64], Chicago; CC4: Age∈[18,24] & Multi=0, Chicago.
+        let cc1 = cc("CC1", vec![Atom::in_range("Age", 10, 14)], chicago(), 20);
+        let cc2 = cc(
+            "CC2",
+            vec![Atom::in_range("Age", 50, 60), Atom::eq("Multi-ling", 0i64)],
+            nyc(),
+            25,
+        );
+        let cc3 = cc("CC3", vec![Atom::in_range("Age", 13, 64)], chicago(), 100);
+        let cc4 = cc(
+            "CC4",
+            vec![Atom::in_range("Age", 18, 24), Atom::eq("Multi-ling", 0i64)],
+            chicago(),
+            16,
+        );
+        // Paper: CC1 ∩ CC2 = ∅ and CC4 ⊆ CC3.
+        assert_eq!(classify(&cc1, &cc2), CcRelationship::Disjoint);
+        assert_eq!(classify(&cc4, &cc3), CcRelationship::ContainedIn);
+        assert_eq!(classify(&cc3, &cc4), CcRelationship::Contains);
+        // CC1's ages [10,14] overlap CC3's [13,64] without containment.
+        assert_eq!(classify(&cc1, &cc3), CcRelationship::Intersecting);
+        // CC2 is R1-disjoint from CC3 and CC4 (ages don't overlap CC4; for
+        // CC3 they do overlap on Age — but Multi-ling is unconstrained in
+        // CC3, so not disjoint; different Areas don't matter since R1 parts
+        // differ).
+        assert_eq!(classify(&cc2, &cc4), CcRelationship::Disjoint);
+        assert_eq!(classify(&cc2, &cc3), CcRelationship::Intersecting);
+    }
+
+    #[test]
+    fn same_r1_disjoint_r2_is_disjoint() {
+        // Example 1.1: homeowners in Chicago vs homeowners in NYC.
+        let a = cc("a", vec![Atom::eq("Rel", "Owner")], chicago(), 4);
+        let b = cc("b", vec![Atom::eq("Rel", "Owner")], nyc(), 2);
+        assert_eq!(classify(&a, &b), CcRelationship::Disjoint);
+    }
+
+    #[test]
+    fn same_r1_same_r2_is_equal() {
+        let a = cc("a", vec![Atom::eq("Rel", "Owner")], chicago(), 4);
+        let b = cc("b", vec![Atom::eq("Rel", "Owner")], chicago(), 7);
+        assert_eq!(classify(&a, &b), CcRelationship::Equal);
+    }
+
+    #[test]
+    fn example_4_5_overlapping_ranges_intersect() {
+        // CC1: Age∈[10,49] Chicago; CC2: Age∈[30,70] NYC. R1 parts overlap
+        // on [30,49] and are not identical → intersecting (the R2
+        // disjointness cannot rescue them).
+        let a = cc("a", vec![Atom::in_range("Age", 10, 49)], chicago(), 30);
+        let b = cc("b", vec![Atom::in_range("Age", 30, 70)], nyc(), 30);
+        assert_eq!(classify(&a, &b), CcRelationship::Intersecting);
+    }
+
+    #[test]
+    fn containment_requires_superset_of_columns() {
+        // a constrains Age only; b constrains Age (wider) and Multi-ling.
+        // b's combined condition does NOT contain a's (a is unconstrained
+        // on Multi-ling, so a has tuples outside b).
+        let a = cc("a", vec![Atom::in_range("Age", 20, 30)], chicago(), 5);
+        let b = cc(
+            "b",
+            vec![Atom::in_range("Age", 10, 40), Atom::eq("Multi-ling", 1i64)],
+            chicago(),
+            9,
+        );
+        assert_eq!(classify(&a, &b), CcRelationship::Intersecting);
+        // Swap restrictiveness: now the Multi-ling-constrained one is inside.
+        let c = cc(
+            "c",
+            vec![Atom::in_range("Age", 20, 30), Atom::eq("Multi-ling", 1i64)],
+            chicago(),
+            5,
+        );
+        let d = cc("d", vec![Atom::in_range("Age", 10, 40)], chicago(), 9);
+        assert_eq!(classify(&c, &d), CcRelationship::ContainedIn);
+    }
+
+    #[test]
+    fn matrix_is_consistent() {
+        let ccs = vec![
+            cc("a", vec![Atom::in_range("Age", 10, 14)], chicago(), 1),
+            cc("b", vec![Atom::in_range("Age", 13, 64)], chicago(), 2),
+            cc("c", vec![Atom::in_range("Age", 20, 40)], chicago(), 3),
+        ];
+        let m = RelationshipMatrix::build(&ccs);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(0, 1), CcRelationship::Intersecting);
+        assert_eq!(m.get(1, 0), CcRelationship::Intersecting);
+        assert_eq!(m.get(0, 2), CcRelationship::Disjoint);
+        assert_eq!(m.get(1, 2), CcRelationship::Contains);
+        assert_eq!(m.get(2, 1), CcRelationship::ContainedIn);
+        assert_eq!(m.intersecting_ccs(), vec![0, 1]);
+        assert!(!m.intersects_any(2));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::cc::NormalizedCond;
+    use cextend_table::{Atom, Predicate, Value};
+    use proptest::prelude::*;
+
+    fn arb_cc() -> impl Strategy<Value = CardinalityConstraint> {
+        (
+            0i64..20,
+            1i64..15,
+            prop::option::of(0i64..2),
+            prop::bool::ANY,
+        )
+            .prop_map(|(lo, width, multi, chicago)| {
+                let mut r1_atoms = vec![Atom::in_range("Age", lo, lo + width)];
+                if let Some(m) = multi {
+                    r1_atoms.push(Atom::eq("Multi-ling", m));
+                }
+                let area = if chicago { "Chicago" } else { "NYC" };
+                CardinalityConstraint::new(
+                    "cc",
+                    NormalizedCond::from_predicate(&Predicate::new(r1_atoms)).unwrap(),
+                    NormalizedCond::from_predicate(&Predicate::new(vec![Atom::eq(
+                        "Area",
+                        Value::str(area),
+                    )]))
+                    .unwrap(),
+                    1,
+                )
+            })
+    }
+
+    proptest! {
+        /// classify(a,b) and classify(b,a) must mirror each other.
+        #[test]
+        fn classification_is_symmetric(a in arb_cc(), b in arb_cc()) {
+            prop_assert_eq!(classify(&a, &b), classify(&b, &a).flipped());
+        }
+
+        /// Disjoint CCs admit no common satisfying point (sampled check over
+        /// the small Age × Multi × Area grid).
+        #[test]
+        fn disjoint_means_no_common_point(a in arb_cc(), b in arb_cc()) {
+            if classify(&a, &b) != CcRelationship::Disjoint {
+                return Ok(());
+            }
+            let (ca, cb) = (a.combined(), b.combined());
+            for age in 0..40i64 {
+                for multi in 0..2i64 {
+                    for area in ["Chicago", "NYC"] {
+                        let point_in = |c: &NormalizedCond| {
+                            c.iter().all(|(col, set)| match col {
+                                "Age" => set.contains(Value::Int(age)),
+                                "Multi-ling" => set.contains(Value::Int(multi)),
+                                "Area" => set.contains(Value::str(area)),
+                                _ => false,
+                            })
+                        };
+                        prop_assert!(!(point_in(&ca) && point_in(&cb)),
+                            "common point age={} multi={} area={}", age, multi, area);
+                    }
+                }
+            }
+        }
+
+        /// Containment means implication on sampled points.
+        #[test]
+        fn containment_means_implication(a in arb_cc(), b in arb_cc()) {
+            if classify(&a, &b) != CcRelationship::ContainedIn {
+                return Ok(());
+            }
+            let (ca, cb) = (a.combined(), b.combined());
+            for age in 0..40i64 {
+                for multi in 0..2i64 {
+                    for area in ["Chicago", "NYC"] {
+                        let point_in = |c: &NormalizedCond| {
+                            c.iter().all(|(col, set)| match col {
+                                "Age" => set.contains(Value::Int(age)),
+                                "Multi-ling" => set.contains(Value::Int(multi)),
+                                "Area" => set.contains(Value::str(area)),
+                                _ => false,
+                            })
+                        };
+                        if point_in(&ca) {
+                            prop_assert!(point_in(&cb));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for the C-Extension solver.
+
+use std::fmt;
+
+/// Errors raised by instance validation and solving.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The instance violates a structural precondition of Definition 2.6
+    /// (e.g. `R1` without a single FK column, a CC referencing unknown
+    /// columns).
+    Validation(String),
+    /// The solver was configured with `allow_augmenting_r2 = false` and no
+    /// FK completion exists without inventing new `R2` tuples. This is the
+    /// "output 0" case of the decision problem.
+    NoSolutionWithoutAugmentation {
+        /// How many tuples could not be assigned a legal FK.
+        unassignable: usize,
+    },
+    /// Propagated relational error.
+    Table(cextend_table::TableError),
+    /// Propagated constraint error.
+    Constraint(cextend_constraints::ConstraintError),
+    /// Propagated ILP error.
+    Ilp(cextend_ilp::IlpError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Validation(msg) => write!(f, "invalid instance: {msg}"),
+            CoreError::NoSolutionWithoutAugmentation { unassignable } => write!(
+                f,
+                "no DC-satisfying FK completion exists without adding R2 tuples \
+                 ({unassignable} tuples unassignable)"
+            ),
+            CoreError::Table(e) => write!(f, "{e}"),
+            CoreError::Constraint(e) => write!(f, "{e}"),
+            CoreError::Ilp(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Table(e) => Some(e),
+            CoreError::Constraint(e) => Some(e),
+            CoreError::Ilp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cextend_table::TableError> for CoreError {
+    fn from(e: cextend_table::TableError) -> Self {
+        CoreError::Table(e)
+    }
+}
+
+impl From<cextend_constraints::ConstraintError> for CoreError {
+    fn from(e: cextend_constraints::ConstraintError) -> Self {
+        CoreError::Constraint(e)
+    }
+}
+
+impl From<cextend_ilp::IlpError> for CoreError {
+    fn from(e: cextend_ilp::IlpError) -> Self {
+        CoreError::Ilp(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,242 @@
+//! # cextend-core — the C-Extension solver
+//!
+//! Reproduction of *"Synthesizing Linked Data Under Cardinality and
+//! Integrity Constraints"* (Gilad, Patwa, Machanavajjhala — SIGMOD 2021).
+//!
+//! Given `R1(K1, A1..Ap, FK)` with an entirely missing FK column,
+//! `R2(K2, B1..Bq)`, linear cardinality constraints over `R1 ⋈ R2` and
+//! foreign-key denial constraints over `R1`, [`solve`] imputes every FK
+//! value so that **all DCs hold** (guaranteed — Proposition 5.5) and CC
+//! error is minimized, via the paper's two-phase pipeline:
+//!
+//! 1. **Phase I** completes the join view's `R2`-side columns: Algorithm 2
+//!    (exact Hasse-diagram recursion) on non-intersecting CCs, Algorithm 1
+//!    (ILP with elastic CC rows and marginal augmentation) on the rest.
+//! 2. **Phase II** partitions the view by its `B` values, list-colors each
+//!    partition's conflict hypergraph (colors = candidate keys), mints
+//!    fresh `R2` tuples for stuck vertices, and places invalid tuples with
+//!    CC-error-minimizing combos.
+//!
+//! ```
+//! use cextend_core::{solve, CExtensionInstance, SolverConfig};
+//! use cextend_constraints::{parse_cc, parse_dc};
+//! use cextend_table::{ColumnDef, Dtype, Relation, Schema, Value};
+//!
+//! // R1: four people, household unknown. R2: two households.
+//! let mut persons = Relation::new("Persons", Schema::new(vec![
+//!     ColumnDef::key("pid", Dtype::Int),
+//!     ColumnDef::attr("Rel", Dtype::Str),
+//!     ColumnDef::foreign_key("hid", Dtype::Int),
+//! ]).unwrap());
+//! for (pid, rel) in [(1, "Owner"), (2, "Owner"), (3, "Spouse"), (4, "Child")] {
+//!     persons.push_row(&[Some(Value::Int(pid)), Some(Value::str(rel)), None]).unwrap();
+//! }
+//! let mut housing = Relation::new("Housing", Schema::new(vec![
+//!     ColumnDef::key("hid", Dtype::Int),
+//!     ColumnDef::attr("Area", Dtype::Str),
+//! ]).unwrap());
+//! housing.push_full_row(&[Value::Int(1), Value::str("Chicago")]).unwrap();
+//! housing.push_full_row(&[Value::Int(2), Value::str("NYC")]).unwrap();
+//!
+//! let r2cols = ["Area".to_owned()].into_iter().collect();
+//! let ccs = vec![parse_cc("chi", r#"| Area = "Chicago" | = 3"#, &r2cols).unwrap()];
+//! let dcs = vec![parse_dc("oo",
+//!     r#"!(t1.Rel = "Owner" & t2.Rel = "Owner" & t1.hid = t2.hid)"#, "hid").unwrap()];
+//!
+//! let instance = CExtensionInstance::new(persons, housing, ccs, dcs).unwrap();
+//! let solution = solve(&instance, &SolverConfig::hybrid()).unwrap();
+//! let report = cextend_core::metrics::evaluate(&instance, &solution).unwrap();
+//! assert_eq!(report.dc_error, 0.0);   // guaranteed
+//! assert!(report.join_recovered);     // R̂1 ⋈ R̂2 = V_join
+//! ```
+
+#![warn(missing_docs)]
+
+mod baseline;
+mod config;
+mod error;
+mod instance;
+pub mod metrics;
+mod phase1;
+mod phase2;
+#[cfg(test)]
+mod proptests;
+pub mod reduction;
+mod report;
+pub mod snowflake;
+
+pub use baseline::{solve_baseline, solve_baseline_with_marginals, solve_hybrid};
+pub use config::{
+    ColoringMode, IlpBackend, IlpSettings, Phase1Strategy, Phase2Strategy, SolverConfig,
+};
+pub use error::{CoreError, Result};
+pub use instance::CExtensionInstance;
+pub use report::{SolveCounters, SolveStats, Solution, StageTimings};
+
+/// Solves a C-Extension instance with the given configuration.
+///
+/// On success the returned [`Solution`] satisfies Proposition 5.5: `R̂1`'s
+/// FK column is complete, every DC holds on `R̂1`, `R̂2` extends `R2`, and
+/// `R̂1 ⋈ R̂2` equals the reported view. With
+/// [`SolverConfig::allow_augmenting_r2`] disabled, the solver instead
+/// reports [`CoreError::NoSolutionWithoutAugmentation`] when it cannot
+/// complete the FK within the existing `R2` keys.
+pub fn solve(instance: &CExtensionInstance, config: &SolverConfig) -> Result<Solution> {
+    let trace = std::env::var_os("CEXTEND_TRACE").is_some();
+    instance.validate()?;
+    let mut stats = SolveStats::default();
+    if trace {
+        eprintln!("[trace] phase1 start: {} rows", instance.r1.n_rows());
+    }
+    let (p1, invalid) = phase1::run_phase1(instance, config, &mut stats)?;
+    if trace {
+        eprintln!("[trace] phase1 done: {} invalid rows", invalid.len());
+    }
+    let (r1_hat, r2_hat, vjoin) = phase2::run_phase2(instance, config, p1, invalid, &mut stats)?;
+    if trace {
+        eprintln!("[trace] phase2 done");
+    }
+    Ok(Solution {
+        r1_hat,
+        r2_hat,
+        vjoin,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod solve_tests {
+    use super::*;
+    use crate::instance::fixtures;
+    use crate::metrics::evaluate;
+
+    #[test]
+    fn running_example_end_to_end() {
+        // The paper's Figures 1–3: hybrid solves with zero CC and DC error.
+        let instance = fixtures::running_example();
+        let solution = solve(&instance, &SolverConfig::hybrid()).unwrap();
+        let report = evaluate(&instance, &solution).unwrap();
+        assert_eq!(report.dc_error, 0.0);
+        assert_eq!(report.cc_median, 0.0);
+        assert_eq!(report.cc_mean, 0.0);
+        assert!(report.join_recovered);
+        // FK column complete.
+        let fk = solution.r1_hat.schema().fk_col().unwrap();
+        assert!(solution.r1_hat.column_is_complete(fk));
+        // No artificial households were needed (Figure 3 exists).
+        assert_eq!(solution.stats.counters.new_r2_tuples, 0);
+    }
+
+    #[test]
+    fn all_configurations_produce_complete_fk_columns() {
+        let instance = fixtures::running_example();
+        for config in [
+            SolverConfig::hybrid(),
+            SolverConfig::baseline(),
+            SolverConfig::baseline_with_marginals(),
+            SolverConfig {
+                parallel_coloring: true,
+                ..SolverConfig::hybrid()
+            },
+            SolverConfig {
+                coloring: ColoringMode::Exact { max_steps: 100_000 },
+                ..SolverConfig::hybrid()
+            },
+            SolverConfig {
+                phase1: Phase1Strategy::HasseOnly,
+                ..SolverConfig::hybrid()
+            },
+        ] {
+            let solution = solve(&instance, &config).unwrap();
+            let fk = solution.r1_hat.schema().fk_col().unwrap();
+            assert!(solution.r1_hat.column_is_complete(fk), "{config:?}");
+            let report = evaluate(&instance, &solution).unwrap();
+            assert!(report.join_recovered, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn coloring_strategies_always_satisfy_dcs() {
+        let instance = fixtures::running_example();
+        for config in [
+            SolverConfig::hybrid(),
+            SolverConfig {
+                parallel_coloring: true,
+                ..SolverConfig::hybrid()
+            },
+            SolverConfig {
+                phase1: Phase1Strategy::IlpOnly { marginals: true },
+                phase2: Phase2Strategy::Coloring,
+                ..SolverConfig::hybrid()
+            },
+        ] {
+            let solution = solve(&instance, &config).unwrap();
+            let report = evaluate(&instance, &solution).unwrap();
+            assert_eq!(report.dc_error, 0.0, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let instance = fixtures::running_example();
+        let a = solve(&instance, &SolverConfig::hybrid().with_seed(5)).unwrap();
+        let b = solve(&instance, &SolverConfig::hybrid().with_seed(5)).unwrap();
+        assert!(cextend_table::relations_equal_ordered(&a.r1_hat, &b.r1_hat));
+        assert!(cextend_table::relations_equal_ordered(&a.r2_hat, &b.r2_hat));
+    }
+
+    #[test]
+    fn too_few_households_mint_fresh_r2_tuples() {
+        // Shrink Housing to two Chicago households; the four pairwise-
+        // conflicting Chicago owners then need fresh households.
+        let mut instance = fixtures::running_example();
+        let mut housing = cextend_table::Relation::new(
+            "Housing",
+            instance.r2.schema().clone(),
+        );
+        for (hid, area) in [(1, "Chicago"), (2, "Chicago"), (5, "NYC"), (6, "NYC")] {
+            housing
+                .push_full_row(&[
+                    cextend_table::Value::Int(hid),
+                    cextend_table::Value::str(area),
+                ])
+                .unwrap();
+        }
+        instance.r2 = housing;
+        let solution = solve(&instance, &SolverConfig::hybrid()).unwrap();
+        assert!(solution.stats.counters.new_r2_tuples > 0);
+        let report = evaluate(&instance, &solution).unwrap();
+        assert_eq!(report.dc_error, 0.0);
+        assert!(report.join_recovered);
+
+        // The decision variant refuses instead of augmenting.
+        let strict = SolverConfig {
+            allow_augmenting_r2: false,
+            ..SolverConfig::hybrid()
+        };
+        assert!(matches!(
+            solve(&instance, &strict),
+            Err(CoreError::NoSolutionWithoutAugmentation { .. })
+        ));
+    }
+
+    #[test]
+    fn no_ccs_still_satisfies_dcs() {
+        let mut instance = fixtures::running_example();
+        instance.ccs.clear();
+        let solution = solve(&instance, &SolverConfig::hybrid()).unwrap();
+        let report = evaluate(&instance, &solution).unwrap();
+        assert_eq!(report.dc_error, 0.0);
+        assert!(report.join_recovered);
+    }
+
+    #[test]
+    fn no_dcs_still_satisfies_ccs() {
+        let mut instance = fixtures::running_example();
+        instance.dcs.clear();
+        let solution = solve(&instance, &SolverConfig::hybrid()).unwrap();
+        let report = evaluate(&instance, &solution).unwrap();
+        assert_eq!(report.cc_median, 0.0);
+        assert!(report.join_recovered);
+    }
+}

@@ -1,0 +1,355 @@
+//! Phase I: completing the join view `V_join` from the CCs (Section 4).
+//!
+//! The view starts as a copy of `R1` with empty `R2`-side columns
+//! (Section 3.1). Phase I fills the `R2`-side columns *referenced by CCs*
+//! ("in practice, we only consider columns used in S_CC"); the remaining
+//! `R2` columns are filled in Phase II from the chosen key. Three strategies
+//! share this module's context: the exact Hasse recursion (Algorithm 2,
+//! [`hasse_rec`]), the ILP formulation (Algorithm 1, [`ilp_based`]) and the
+//! hybrid split of Section 4.3 ([`hybrid`]).
+
+pub(crate) mod hasse_rec;
+pub(crate) mod hybrid;
+pub(crate) mod ilp_based;
+pub(crate) mod repair;
+
+use crate::config::SolverConfig;
+use crate::error::Result;
+use crate::instance::CExtensionInstance;
+use crate::report::SolveStats;
+use cextend_constraints::{
+    domain_ranges, Binning, CardinalityConstraint, ColumnIntervals, NormalizedCond,
+};
+use cextend_table::{
+    init_join_view, marginals::distinct_combos, BoundPredicate, ColId, Dtype, Relation,
+    RowId, Value,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A full assignment of the CC-referenced `R2` columns, aligned with
+/// [`P1::r2_cc_cols`].
+pub(crate) type Combo = Vec<Value>;
+
+/// Assignment state of a view row over the CC-referenced `R2` columns.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum RowState {
+    /// No CC column assigned.
+    Empty,
+    /// Some but not all CC columns assigned.
+    Partial,
+    /// Every CC column assigned.
+    Full,
+}
+
+/// Phase I working context.
+pub(crate) struct P1 {
+    /// The join view being completed (row `i` ↔ `R1` row `i`).
+    pub view: Relation,
+    /// CC-referenced `R2` attribute columns, sorted.
+    pub r2_cc_cols: Vec<String>,
+    /// Their column ids in the view.
+    pub view_cc_ids: Vec<ColId>,
+    /// Distinct existing combos over `r2_cc_cols` in `R2`, sorted.
+    pub combos: Vec<Combo>,
+    /// Binning of `R1`'s attribute columns (intervalized numerics).
+    pub binning: Binning,
+    /// Seeded RNG for baseline random completion.
+    pub rng: StdRng,
+}
+
+impl P1 {
+    /// Builds the context: initializes `V_join`, enumerates existing `R2`
+    /// combos and intervalizes `R1`'s numeric attributes.
+    pub fn build(instance: &CExtensionInstance, config: &SolverConfig) -> Result<P1> {
+        let (view, _layout) = init_join_view(&instance.r1, &instance.r2)?;
+        let r2_cc_cols = if config.complete_all_r2_columns {
+            // Figure 12 mode: treat every R2 attribute as CC-relevant so
+            // Phase I assigns full B-tuples and Phase II partitions on all
+            // B columns.
+            let mut cols: Vec<String> = instance
+                .r2
+                .schema()
+                .attr_cols()
+                .into_iter()
+                .map(|c| instance.r2.schema().column(c).name.clone())
+                .collect();
+            cols.sort();
+            cols
+        } else {
+            instance.r2_cc_columns()
+        };
+        let view_cc_ids = r2_cc_cols
+            .iter()
+            .map(|c| view.schema().require(c, view.name()))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let r2_col_ids = r2_cc_cols
+            .iter()
+            .map(|c| instance.r2.schema().require(c, instance.r2.name()))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let combo_counts = distinct_combos(&instance.r2, &r2_col_ids);
+        let (combos, _key_counts): (Vec<Combo>, Vec<u64>) = combo_counts.into_iter().unzip();
+
+        // Intervalize R1's numeric attribute columns over their active domains.
+        let r1_attr_names: Vec<String> = instance
+            .r1
+            .schema()
+            .attr_cols()
+            .into_iter()
+            .map(|c| instance.r1.schema().column(c).name.clone())
+            .collect();
+        let numeric: Vec<&str> = instance
+            .r1
+            .schema()
+            .attr_cols()
+            .into_iter()
+            .filter(|&c| instance.r1.schema().column(c).dtype == Dtype::Int)
+            .map(|c| instance.r1.schema().column(c).name.as_str())
+            .filter(|c| {
+                // Only intervalize columns actually present (non-empty).
+                instance
+                    .r1
+                    .schema()
+                    .col_id(c)
+                    .is_some_and(|id| instance.r1.int_range(id).is_some())
+            })
+            .collect();
+        let domains = domain_ranges(&instance.r1, &numeric)?;
+        let intervals = ColumnIntervals::build(&instance.ccs, &domains);
+        let binning = Binning::new(r1_attr_names, intervals);
+
+        Ok(P1 {
+            view,
+            r2_cc_cols,
+            view_cc_ids,
+            combos,
+            binning,
+            rng: StdRng::seed_from_u64(config.seed),
+        })
+    }
+
+    /// Assignment state of `row`.
+    pub fn row_state(&self, row: RowId) -> RowState {
+        if self.view_cc_ids.is_empty() {
+            return RowState::Full;
+        }
+        let present = self
+            .view_cc_ids
+            .iter()
+            .filter(|&&c| self.view.get(row, c).is_some())
+            .count();
+        if present == 0 {
+            RowState::Empty
+        } else if present == self.view_cc_ids.len() {
+            RowState::Full
+        } else {
+            RowState::Partial
+        }
+    }
+
+    /// `true` if every CC column of `row` is assigned.
+    pub fn row_full(&self, row: RowId) -> bool {
+        self.view_cc_ids
+            .iter()
+            .all(|&c| self.view.get(row, c).is_some())
+    }
+
+    /// Writes a full combo into `row`.
+    pub fn assign_combo(&mut self, row: RowId, combo: &[Value]) -> Result<()> {
+        for (i, &v) in combo.iter().enumerate() {
+            self.view.set(row, self.view_cc_ids[i], Some(v))?;
+        }
+        Ok(())
+    }
+
+    /// Writes only the columns constrained by `cond`, taking values from
+    /// `combo` (Algorithm 2's partial assignment).
+    pub fn assign_partial(
+        &mut self,
+        row: RowId,
+        combo: &[Value],
+        cond: &NormalizedCond,
+    ) -> Result<()> {
+        for (i, col_name) in self.r2_cc_cols.iter().enumerate() {
+            if cond.get(col_name).is_some() {
+                self.view.set(row, self.view_cc_ids[i], Some(combo[i]))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` if `combo` satisfies the `R2`-side condition `cond`.
+    pub fn combo_satisfies(&self, combo: &[Value], cond: &NormalizedCond) -> bool {
+        combo_satisfies(&self.r2_cc_cols, combo, cond)
+    }
+
+    /// Binds a CC's `R1`-side condition against the view schema.
+    pub fn bind_r1(&self, cond: &NormalizedCond) -> Result<BoundPredicate> {
+        Ok(cond.to_predicate().bind(self.view.schema(), self.view.name())?)
+    }
+
+    /// Row ids currently in [`RowState::Empty`].
+    pub fn empty_rows(&self) -> Vec<RowId> {
+        self.view
+            .rows()
+            .filter(|&r| self.row_state(r) == RowState::Empty)
+            .collect()
+    }
+}
+
+/// `true` if `combo` (aligned with `cols`) satisfies `cond`. Conditions
+/// referencing columns outside `cols` cannot be satisfied by any combo.
+pub(crate) fn combo_satisfies(cols: &[String], combo: &[Value], cond: &NormalizedCond) -> bool {
+    cond.iter().all(|(col, set)| {
+        cols.iter()
+            .position(|c| c == col)
+            .is_some_and(|i| set.contains(combo[i]))
+    })
+}
+
+/// Final completion of rows that are not fully assigned (Algorithm 2 lines
+/// 14–17, generalized): pick for each such row a combo consistent with its
+/// partial assignment that adds **no new contribution** to any CC. Rows for
+/// which no such combo exists stay incomplete — the paper's *invalid
+/// tuples* — and are resolved by Phase II's `solveInvalidTuples`.
+///
+/// Returns the invalid row ids.
+pub(crate) fn complete_leftovers(
+    p1: &mut P1,
+    ccs: &[CardinalityConstraint],
+) -> Result<Vec<RowId>> {
+    use rand::Rng;
+    let bound_r1: Vec<BoundPredicate> = ccs
+        .iter()
+        .map(|cc| p1.bind_r1(&cc.r1))
+        .collect::<Result<Vec<_>>>()?;
+    // Bitmask of CCs per combo: which R2-side conditions each combo meets.
+    let words = ccs.len().div_ceil(64).max(1);
+    let combo_masks: Vec<Vec<u64>> = p1
+        .combos
+        .iter()
+        .map(|combo| {
+            let mut mask = vec![0u64; words];
+            for (ci, cc) in ccs.iter().enumerate() {
+                if p1.combo_satisfies(combo, &cc.r2) {
+                    mask[ci / 64] |= 1 << (ci % 64);
+                }
+            }
+            mask
+        })
+        .collect();
+    let mut invalid = Vec::new();
+    let mut candidates: Vec<usize> = Vec::new();
+    let mut row_mask = vec![0u64; words];
+    for row in 0..p1.view.n_rows() {
+        if p1.row_full(row) {
+            continue;
+        }
+        let partial: Vec<Option<Value>> = p1
+            .view_cc_ids
+            .iter()
+            .map(|&c| p1.view.get(row, c))
+            .collect();
+        // CCs that would gain a *new* contribution from this row: the R1
+        // side holds and the partial assignment has not already pinned the
+        // R2 side (Algorithm 2 counted pinned rows when it assigned them).
+        row_mask.iter_mut().for_each(|w| *w = 0);
+        for (ci, cc) in ccs.iter().enumerate() {
+            if !bound_r1[ci].eval(&p1.view, row) {
+                continue;
+            }
+            let already = cc.r2.iter().all(|(col, set)| {
+                p1.r2_cc_cols
+                    .iter()
+                    .position(|c| c == col)
+                    .and_then(|i| partial[i])
+                    .is_some_and(|v| set.contains(v))
+            });
+            if !already {
+                row_mask[ci / 64] |= 1 << (ci % 64);
+            }
+        }
+        candidates.clear();
+        candidates.extend((0..p1.combos.len()).filter(|&i| {
+            combo_matches_partial(&p1.combos[i], &partial)
+                && combo_masks[i]
+                    .iter()
+                    .zip(row_mask.iter())
+                    .all(|(c, r)| c & r == 0)
+        }));
+        if candidates.is_empty() {
+            invalid.push(row);
+            continue;
+        }
+        // The paper assigns a *random* combination from the unused pool.
+        // Spreading leftovers across combos also keeps Phase II partitions
+        // balanced — picking one fixed combo would funnel every leftover
+        // row into a single giant conflict graph.
+        let idx = candidates[p1.rng.gen_range(0..candidates.len())];
+        let combo = p1.combos[idx].clone();
+        for (&col, &v) in p1.view_cc_ids.clone().iter().zip(combo.iter()) {
+            p1.view.set(row, col, Some(v))?;
+        }
+    }
+    Ok(invalid)
+}
+
+fn combo_matches_partial(combo: &[Value], partial: &[Option<Value>]) -> bool {
+    combo
+        .iter()
+        .zip(partial.iter())
+        .all(|(cv, pv)| pv.map_or(true, |pv| *cv == pv))
+}
+
+/// Baseline completion: every not-fully-assigned row gets a uniformly
+/// random existing combo consistent with its partial assignment (Section
+/// 6.1: "Any V_join tuple without an assignment is completed by randomly
+/// assigning values in B1..Bq").
+pub(crate) fn complete_randomly(p1: &mut P1) -> Result<usize> {
+    use rand::Rng;
+    let mut completed = 0usize;
+    for row in 0..p1.view.n_rows() {
+        if p1.row_full(row) {
+            continue;
+        }
+        let partial: Vec<Option<Value>> = p1
+            .view_cc_ids
+            .iter()
+            .map(|&c| p1.view.get(row, c))
+            .collect();
+        let candidates: Vec<usize> = (0..p1.combos.len())
+            .filter(|&i| combo_matches_partial(&p1.combos[i], &partial))
+            .collect();
+        let pool: &[usize] = if candidates.is_empty() {
+            // Nothing matches the partial values; fall back to any combo.
+            &[]
+        } else {
+            &candidates
+        };
+        let idx = if pool.is_empty() {
+            if p1.combos.is_empty() {
+                continue;
+            }
+            p1.rng.gen_range(0..p1.combos.len())
+        } else {
+            pool[p1.rng.gen_range(0..pool.len())]
+        };
+        let combo = p1.combos[idx].clone();
+        for (&col, &v) in p1.view_cc_ids.clone().iter().zip(combo.iter()) {
+            p1.view.set(row, col, Some(v))?;
+        }
+        completed += 1;
+    }
+    Ok(completed)
+}
+
+/// Runs the configured Phase I strategy, mutating `stats` with timings and
+/// counters. Returns the context (with the view filled) and the invalid
+/// rows.
+pub(crate) fn run_phase1(
+    instance: &CExtensionInstance,
+    config: &SolverConfig,
+    stats: &mut SolveStats,
+) -> Result<(P1, Vec<RowId>)> {
+    hybrid::run(instance, config, stats)
+}

@@ -1,0 +1,237 @@
+//! Local-search repair of residual CC error (an extension beyond the paper).
+//!
+//! When branch-and-bound is skipped (large programs) the LP + rounding
+//! fallback can leave small CC deviations. Since combos carry no capacity
+//! constraint, any row may switch to any other existing combo without
+//! violating the hard structure; each switch changes the counts of exactly
+//! the CCs whose `R1` side the row matches. A few greedy passes of
+//! error-reducing switches close most of the rounding gap.
+//!
+//! Rows that currently contribute to a *protected* CC (one satisfied
+//! exactly by Algorithm 2) are never touched, so the hybrid's exactness
+//! guarantee for the clean set survives.
+
+use crate::error::Result;
+use crate::phase1::P1;
+use cextend_constraints::CardinalityConstraint;
+use cextend_table::{BoundPredicate, RowId, Value};
+
+/// Outcome of a repair run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct RepairOutcome {
+    /// Row-combo switches applied.
+    pub moves: usize,
+    /// Total absolute CC deviation before repair.
+    pub error_before: u64,
+    /// Total absolute CC deviation after repair.
+    pub error_after: u64,
+}
+
+/// Greedily switches row combos to reduce `Σ_cc |count − target|` over
+/// `repair_ccs`. CCs in `protected_ccs` must not change their counts.
+pub(crate) fn repair(
+    p1: &mut P1,
+    repair_ccs: &[CardinalityConstraint],
+    protected_ccs: &[CardinalityConstraint],
+    passes: usize,
+) -> Result<RepairOutcome> {
+    let mut out = RepairOutcome::default();
+    if passes == 0 || repair_ccs.is_empty() || p1.combos.len() < 2 {
+        return Ok(out);
+    }
+    let bound_repair: Vec<BoundPredicate> = repair_ccs
+        .iter()
+        .map(|cc| p1.bind_r1(&cc.r1))
+        .collect::<Result<Vec<_>>>()?;
+    let bound_protected: Vec<BoundPredicate> = protected_ccs
+        .iter()
+        .map(|cc| p1.bind_r1(&cc.r1))
+        .collect::<Result<Vec<_>>>()?;
+    // combo_match[k][c]: combo k satisfies repair CC c's R2 side.
+    let combo_match: Vec<Vec<bool>> = p1
+        .combos
+        .iter()
+        .map(|combo| {
+            repair_ccs
+                .iter()
+                .map(|cc| p1.combo_satisfies(combo, &cc.r2))
+                .collect()
+        })
+        .collect();
+    let combo_match_protected: Vec<Vec<bool>> = p1
+        .combos
+        .iter()
+        .map(|combo| {
+            protected_ccs
+                .iter()
+                .map(|cc| p1.combo_satisfies(combo, &cc.r2))
+                .collect()
+        })
+        .collect();
+
+    // Current deviation per repair CC.
+    let mut dev: Vec<i64> = repair_ccs
+        .iter()
+        .map(|cc| {
+            cc.count_in(&p1.view)
+                .map(|c| c as i64 - cc.target as i64)
+                .map_err(crate::error::CoreError::from)
+        })
+        .collect::<Result<Vec<_>>>()?;
+    out.error_before = dev.iter().map(|d| d.unsigned_abs()).sum();
+    out.error_after = out.error_before;
+    if out.error_before == 0 {
+        return Ok(out);
+    }
+
+    // Per row: which repair/protected CCs its R1 side matches, and its
+    // current combo index.
+    let current_combo = |p1: &P1, row: RowId| -> Option<usize> {
+        let vals: Option<Vec<Value>> = p1
+            .view_cc_ids
+            .iter()
+            .map(|&c| p1.view.get(row, c))
+            .collect();
+        let vals = vals?;
+        p1.combos.iter().position(|c| *c == vals)
+    };
+
+    for _ in 0..passes {
+        let mut improved = false;
+        for row in 0..p1.view.n_rows() {
+            let Some(from) = current_combo(p1, row) else {
+                continue;
+            };
+            let r1_hits: Vec<usize> = (0..repair_ccs.len())
+                .filter(|&c| bound_repair[c].eval(&p1.view, row))
+                .collect();
+            if r1_hits.is_empty() {
+                continue;
+            }
+            // Never disturb a row feeding a protected CC.
+            let protected = (0..protected_ccs.len()).any(|c| {
+                combo_match_protected[from][c] && bound_protected[c].eval(&p1.view, row)
+            });
+            if protected {
+                continue;
+            }
+            // Evaluate every alternative combo; keep the best error delta.
+            let mut best: Option<(i64, usize)> = None;
+            for to in 0..p1.combos.len() {
+                if to == from {
+                    continue;
+                }
+                // Switching must not start feeding a protected CC either.
+                if (0..protected_ccs.len()).any(|c| {
+                    combo_match_protected[to][c] && bound_protected[c].eval(&p1.view, row)
+                }) {
+                    continue;
+                }
+                let mut delta = 0i64;
+                for &c in &r1_hits {
+                    let before = combo_match[from][c];
+                    let after = combo_match[to][c];
+                    if before == after {
+                        continue;
+                    }
+                    let change = if after { 1 } else { -1 };
+                    delta += (dev[c] + change).abs() - dev[c].abs();
+                }
+                if delta < best.map_or(0, |(d, _)| d) {
+                    best = Some((delta, to));
+                }
+            }
+            if let Some((delta, to)) = best {
+                let combo = p1.combos[to].clone();
+                p1.assign_combo(row, &combo)?;
+                for &c in &r1_hits {
+                    let before = combo_match[from][c];
+                    let after = combo_match[to][c];
+                    if before != after {
+                        dev[c] += if after { 1 } else { -1 };
+                    }
+                }
+                out.moves += 1;
+                out.error_after = (out.error_after as i64 + delta).max(0) as u64;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    debug_assert_eq!(
+        out.error_after,
+        dev.iter().map(|d| d.unsigned_abs()).sum::<u64>()
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverConfig;
+    use crate::instance::fixtures;
+    use crate::instance::CExtensionInstance;
+    use crate::phase1::P1;
+    use cextend_table::Value;
+
+    /// Running-example instance with every Area deliberately mis-assigned
+    /// to NYC; repair must pull counts back to the targets.
+    fn sabotaged() -> (CExtensionInstance, P1) {
+        let instance = fixtures::running_example();
+        let mut p1 = P1::build(&instance, &SolverConfig::hybrid()).unwrap();
+        for row in 0..p1.view.n_rows() {
+            p1.assign_combo(row, &[Value::str("NYC")]).unwrap();
+        }
+        (instance, p1)
+    }
+
+    #[test]
+    fn repair_recovers_running_example_targets() {
+        let (instance, mut p1) = sabotaged();
+        let out = repair(&mut p1, &instance.ccs, &[], 4).unwrap();
+        assert!(out.error_before > 0);
+        assert!(out.moves > 0);
+        assert!(
+            out.error_after < out.error_before,
+            "{out:?} should strictly improve"
+        );
+        // The running example is fully repairable from any start: all four
+        // CC targets are reachable by combo switches alone.
+        for cc in &instance.ccs {
+            assert_eq!(cc.count_in(&p1.view).unwrap(), cc.target, "{cc}");
+        }
+        assert_eq!(out.error_after, 0);
+    }
+
+    #[test]
+    fn protected_ccs_are_untouched() {
+        let (instance, mut p1) = sabotaged();
+        // Protect CC2 (owners in NYC): currently over target (6 owners in
+        // NYC vs target 2), but its contributing rows may not move.
+        let protected = vec![instance.ccs[1].clone()];
+        let repairable = vec![instance.ccs[2].clone(), instance.ccs[3].clone()];
+        let before = protected[0].count_in(&p1.view).unwrap();
+        repair(&mut p1, &repairable, &protected, 4).unwrap();
+        assert_eq!(protected[0].count_in(&p1.view).unwrap(), before);
+    }
+
+    #[test]
+    fn zero_passes_is_a_no_op() {
+        let (instance, mut p1) = sabotaged();
+        let out = repair(&mut p1, &instance.ccs, &[], 0).unwrap();
+        assert_eq!(out, RepairOutcome::default());
+    }
+
+    #[test]
+    fn already_exact_solution_is_untouched() {
+        let instance = fixtures::running_example();
+        let mut stats = crate::report::SolveStats::default();
+        let (mut p1, _) =
+            crate::phase1::run_phase1(&instance, &SolverConfig::hybrid(), &mut stats).unwrap();
+        let out = repair(&mut p1, &instance.ccs, &[], 2).unwrap();
+        assert_eq!(out.error_before, 0);
+        assert_eq!(out.moves, 0);
+    }
+}

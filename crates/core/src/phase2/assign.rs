@@ -1,0 +1,219 @@
+//! Per-partition coloring (the core loop of Algorithm 4).
+//!
+//! Each partition of `V_join` (same assigned `B` values) is colored
+//! independently: candidate colors are the `R2` keys carrying the
+//! partition's combo, skipped vertices get the fewest fresh colors that
+//! keep the coloring proper (lines 10–14). Partitions are independent
+//! because candidate key sets are disjoint across combos (Section 5.2), so
+//! they can be colored on separate threads (Section A.3).
+
+use crate::config::ColoringMode;
+use cextend_constraints::BoundDc;
+use cextend_hypergraph::{
+    color_skipped_with_fresh, coloring_lf, exact_list_coloring, CandidateLists, Color, Coloring,
+    ExactResult,
+};
+use cextend_table::{Relation, RowId};
+use std::time::Duration;
+
+/// What one partition's coloring decided.
+#[derive(Clone, Debug)]
+pub(crate) struct PartitionResult {
+    /// Index of the partition in the driver's ordering.
+    pub partition: usize,
+    /// `(view row, color)`: colors `< n_candidates` index the partition's
+    /// candidate keys; colors `≥ n_candidates` are fresh
+    /// (`color - n_candidates` is the fresh ordinal).
+    pub assignments: Vec<(RowId, Color)>,
+    /// Number of fresh colors minted.
+    pub fresh_colors: usize,
+    /// Conflict edges in this partition.
+    pub edges: usize,
+    /// Vertices the greedy pass skipped.
+    pub skipped: usize,
+    /// Time spent building the conflict hypergraph.
+    pub build_time: Duration,
+    /// Time spent coloring.
+    pub color_time: Duration,
+}
+
+/// Colors one partition. Pure: mutates nothing outside its return value.
+pub(crate) fn color_partition(
+    partition: usize,
+    view: &Relation,
+    rows: &[RowId],
+    n_candidates: usize,
+    dcs: &[BoundDc],
+    mode: ColoringMode,
+) -> PartitionResult {
+    let t = std::time::Instant::now();
+    let g = super::conflict::build_conflict_graph(view, rows, dcs);
+    let build_time = t.elapsed();
+
+    let t = std::time::Instant::now();
+    let candidates: Vec<Color> = (0..n_candidates as Color).collect();
+    let shared = CandidateLists::Shared(&candidates);
+    let mut coloring = Coloring::new(rows.len());
+    let mut skipped_vertices = Vec::new();
+    let mut solved_exactly = false;
+    if let ColoringMode::Exact { max_steps } = mode {
+        if let ExactResult::Colorable(c) =
+            exact_list_coloring(&g, &coloring, &shared, max_steps)
+        {
+            coloring = c;
+            solved_exactly = true;
+        }
+    }
+    if !solved_exactly {
+        skipped_vertices = coloring_lf(&g, &mut coloring, &shared);
+    }
+    let fresh = color_skipped_with_fresh(&g, &mut coloring, &skipped_vertices, n_candidates as Color);
+    let color_time = t.elapsed();
+
+    debug_assert!(cextend_hypergraph::is_proper_complete(&g, &coloring));
+    let assignments = coloring
+        .iter()
+        .map(|(v, c)| (rows[v as usize], c))
+        .collect();
+    PartitionResult {
+        partition,
+        assignments,
+        fresh_colors: fresh.len(),
+        edges: g.n_edges(),
+        skipped: skipped_vertices.len(),
+        build_time,
+        color_time,
+    }
+}
+
+/// Colors all partitions, serially or on `std::thread::scope` threads.
+/// Results come back in partition order either way, so the pipeline is
+/// deterministic.
+pub(crate) fn color_all_partitions(
+    view: &Relation,
+    partitions: &[(Vec<cextend_table::Value>, Vec<RowId>, usize)],
+    dcs: &[BoundDc],
+    mode: ColoringMode,
+    parallel: bool,
+) -> Vec<PartitionResult> {
+    if !parallel || partitions.len() < 2 {
+        return partitions
+            .iter()
+            .enumerate()
+            .map(|(i, (_, rows, n_cand))| color_partition(i, view, rows, *n_cand, dcs, mode))
+            .collect();
+    }
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(partitions.len());
+    let mut results: Vec<Option<PartitionResult>> = Vec::new();
+    results.resize_with(partitions.len(), || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..n_threads {
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                let mut i = t;
+                while i < partitions.len() {
+                    let (_, rows, n_cand) = &partitions[i];
+                    local.push(color_partition(i, view, rows, *n_cand, dcs, mode));
+                    i += n_threads;
+                }
+                local
+            }));
+        }
+        for h in handles {
+            for r in h.join().expect("coloring thread panicked") {
+                let idx = r.partition;
+                results[idx] = Some(r);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every partition colored"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::fixtures;
+    use cextend_table::{init_join_view, Value};
+
+    fn chicago_setup() -> (Relation, Vec<BoundDc>) {
+        let instance = fixtures::running_example();
+        let (mut view, layout) = init_join_view(&instance.r1, &instance.r2).unwrap();
+        let area = layout.r2_attr_cols[0];
+        let vals = [
+            "Chicago", "Chicago", "Chicago", "Chicago", "Chicago", "Chicago", "Chicago",
+            "NYC", "NYC",
+        ];
+        for (r, a) in vals.iter().enumerate() {
+            view.set(r, area, Some(Value::str(a))).unwrap();
+        }
+        let dcs = instance
+            .dcs
+            .iter()
+            .map(|d| d.bind(view.schema(), view.name()).unwrap())
+            .collect();
+        (view, dcs)
+    }
+
+    #[test]
+    fn chicago_partition_colors_with_four_households() {
+        let (view, dcs) = chicago_setup();
+        let rows: Vec<RowId> = (0..7).collect();
+        let r = color_partition(0, &view, &rows, 4, &dcs, ColoringMode::Greedy);
+        assert_eq!(r.assignments.len(), 7);
+        assert_eq!(r.skipped, 0);
+        assert_eq!(r.fresh_colors, 0);
+        assert_eq!(r.edges, 10);
+    }
+
+    #[test]
+    fn too_few_candidates_mint_fresh_colors() {
+        let (view, dcs) = chicago_setup();
+        let rows: Vec<RowId> = (0..7).collect();
+        // Only 2 candidate households for 4 pairwise-conflicting owners.
+        let r = color_partition(0, &view, &rows, 2, &dcs, ColoringMode::Greedy);
+        assert!(r.skipped >= 2);
+        assert!(r.fresh_colors <= r.skipped);
+        assert!(r.fresh_colors >= 2);
+        // Every row still gets a color.
+        assert_eq!(r.assignments.len(), 7);
+    }
+
+    #[test]
+    fn exact_mode_succeeds_where_stated() {
+        let (view, dcs) = chicago_setup();
+        let rows: Vec<RowId> = (0..7).collect();
+        let r = color_partition(
+            0,
+            &view,
+            &rows,
+            4,
+            &dcs,
+            ColoringMode::Exact { max_steps: 100_000 },
+        );
+        assert_eq!(r.skipped, 0);
+        assert_eq!(r.fresh_colors, 0);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let (view, dcs) = chicago_setup();
+        let partitions = vec![
+            (vec![Value::str("Chicago")], (0..7).collect::<Vec<_>>(), 4),
+            (vec![Value::str("NYC")], vec![7, 8], 2),
+        ];
+        let serial = color_all_partitions(&view, &partitions, &dcs, ColoringMode::Greedy, false);
+        let parallel = color_all_partitions(&view, &partitions, &dcs, ColoringMode::Greedy, true);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.assignments, p.assignments);
+            assert_eq!(s.fresh_colors, p.fresh_colors);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Conflict hypergraph construction (Definition 5.1).
+//!
+//! Within one `V_join` partition, every set of distinct tuples on which some
+//! DC's condition φ holds becomes a hyperedge: those tuples must not all
+//! receive the same FK. Candidate pre-filtering by each tuple variable's
+//! unary atoms keeps the enumeration close to the number of *actual*
+//! conflicts rather than all `|P|^k` combinations.
+
+use cextend_constraints::BoundDc;
+use cextend_hypergraph::Hypergraph;
+use cextend_table::{Relation, RowId};
+
+/// Builds the conflict hypergraph over `rows` of `view` (vertex `i`
+/// corresponds to `rows[i]`).
+pub(crate) fn build_conflict_graph(
+    view: &Relation,
+    rows: &[RowId],
+    dcs: &[BoundDc],
+) -> Hypergraph {
+    let mut g = Hypergraph::new(rows.len());
+    let mut chosen: Vec<u32> = Vec::new();
+    for dc in dcs {
+        // Vertex positions passing each variable's unary atoms.
+        let cands: Vec<Vec<u32>> = (0..dc.arity)
+            .map(|var| {
+                (0..rows.len() as u32)
+                    .filter(|&v| dc.var_candidate(view, var, rows[v as usize]))
+                    .collect()
+            })
+            .collect();
+        if cands.iter().any(Vec::is_empty) {
+            continue;
+        }
+        chosen.clear();
+        enumerate(view, rows, dc, &cands, &mut chosen, &mut g);
+    }
+    g
+}
+
+/// Recursively assigns distinct vertices to the DC's tuple variables and
+/// adds an edge whenever φ holds.
+fn enumerate(
+    view: &Relation,
+    rows: &[RowId],
+    dc: &BoundDc,
+    cands: &[Vec<u32>],
+    chosen: &mut Vec<u32>,
+    g: &mut Hypergraph,
+) {
+    let var = chosen.len();
+    if var == dc.arity {
+        let assignment: Vec<RowId> = chosen.iter().map(|&v| rows[v as usize]).collect();
+        if dc.holds(view, &assignment) {
+            g.add_edge(chosen);
+        }
+        return;
+    }
+    for &v in &cands[var] {
+        if chosen.contains(&v) {
+            continue; // tuple variables range over distinct tuples
+        }
+        chosen.push(v);
+        enumerate(view, rows, dc, cands, chosen, g);
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::fixtures;
+    use cextend_table::init_join_view;
+
+    /// Figure 7's Chicago component: applying the Figure 2a DCs to the
+    /// Figure 5 view partitioned by Area.
+    #[test]
+    fn figure7_chicago_partition() {
+        let instance = fixtures::running_example();
+        let (mut view, layout) = init_join_view(&instance.r1, &instance.r2).unwrap();
+        // Fill the Area column as in Figure 5.
+        let area = layout.r2_attr_cols[0];
+        let values = [
+            "Chicago", "Chicago", "Chicago", "Chicago", "Chicago", "Chicago", "Chicago",
+            "NYC", "NYC",
+        ];
+        for (r, a) in values.iter().enumerate() {
+            view.set(r, area, Some(cextend_table::Value::str(a))).unwrap();
+        }
+        let dcs: Vec<BoundDc> = instance
+            .dcs
+            .iter()
+            .map(|d| d.bind(view.schema(), view.name()).unwrap())
+            .collect();
+        // Chicago partition: rows 0..7 (pids 1..7).
+        let rows: Vec<RowId> = (0..7).collect();
+        let g = build_conflict_graph(&view, &rows, &dcs);
+        // Owners (pids 1,2,3,4 → vertices 0..4) form C(4,2)=6 pairwise
+        // edges; spouse 24 conflicts with both 75-year-old owners (2);
+        // children (age 10) conflict with the multi-lingual 75-year-old
+        // owner via DC_OC_low (10 < 75−50) — and with no one else: for the
+        // multi-lingual 25-year-old, 10 > 25−12 is false.
+        assert_eq!(g.n_edges(), 6 + 2 + 2);
+        // NYC partition: two owners, one edge.
+        let rows: Vec<RowId> = vec![7, 8];
+        let g = build_conflict_graph(&view, &rows, &dcs);
+        assert_eq!(g.n_edges(), 1);
+    }
+
+    #[test]
+    fn symmetric_dcs_do_not_duplicate_edges() {
+        // Owner-owner conflicts found in both variable orders collapse to
+        // one undirected edge thanks to hypergraph dedup.
+        let instance = fixtures::running_example();
+        let (view, _) = init_join_view(&instance.r1, &instance.r2).unwrap();
+        let dc = instance.dcs[0]
+            .bind(view.schema(), view.name())
+            .unwrap();
+        let rows: Vec<RowId> = vec![0, 1]; // two owners
+        let g = build_conflict_graph(&view, &rows, &[dc]);
+        assert_eq!(g.n_edges(), 1);
+    }
+
+    #[test]
+    fn no_candidates_no_edges() {
+        let instance = fixtures::running_example();
+        let (view, _) = init_join_view(&instance.r1, &instance.r2).unwrap();
+        let dcs: Vec<BoundDc> = instance
+            .dcs
+            .iter()
+            .map(|d| d.bind(view.schema(), view.name()).unwrap())
+            .collect();
+        // A spouse and a child: no DC matches this pair.
+        let rows: Vec<RowId> = vec![4, 5];
+        let g = build_conflict_graph(&view, &rows, &dcs);
+        assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    fn three_variable_dc_produces_hyperedges() {
+        use cextend_constraints::parse_dc;
+        use cextend_table::{ColumnDef, Dtype, Relation, Schema, Value};
+        let schema = Schema::new(vec![
+            ColumnDef::key("id", Dtype::Int),
+            ColumnDef::attr("Cls", Dtype::Int),
+            ColumnDef::foreign_key("fk", Dtype::Int),
+        ])
+        .unwrap();
+        let mut rel = Relation::new("t", schema);
+        for (id, cls) in [(1, 7), (2, 7), (3, 7), (4, 8)] {
+            rel.push_row(&[Some(Value::Int(id)), Some(Value::Int(cls)), None])
+                .unwrap();
+        }
+        let dc = parse_dc(
+            "nae",
+            "!(t1.Cls = t2.Cls & t2.Cls = t3.Cls & t1.fk = t2.fk & t2.fk = t3.fk)",
+            "fk",
+        )
+        .unwrap();
+        let bound = dc.bind(rel.schema(), "t").unwrap();
+        let rows: Vec<RowId> = (0..4).collect();
+        let g = build_conflict_graph(&rel, &rows, &[bound]);
+        // Only {0,1,2} share Cls=7.
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.edge(0), &[0, 1, 2]);
+    }
+}

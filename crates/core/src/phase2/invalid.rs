@@ -1,0 +1,166 @@
+//! `solveInvalidTuples` (Algorithm 4 line 16).
+//!
+//! Invalid tuples left Phase I with no complete `B` assignment, so they have
+//! no candidate-key list. Each one is assigned, in turn, the combination
+//! that adds the least CC error; among that combination's keys (including
+//! keys minted earlier) the first household whose current members do not
+//! conflict with the tuple under any DC wins. If every household of every
+//! combination conflicts, a fresh key is minted — a one-member household
+//! violates no FK DC, since DCs quantify over at least two tuples.
+
+use crate::error::{CoreError, Result};
+use crate::phase2::Phase2Ctx;
+use cextend_constraints::{BoundDc, CardinalityConstraint};
+use cextend_table::{BoundPredicate, Relation, RowId};
+
+/// `true` if adding `r` to a household currently holding `others` would
+/// violate some DC (i.e. some DC's φ holds on a set of distinct tuples from
+/// `{r} ∪ others` that includes `r`).
+pub(crate) fn conflicts_with_household(
+    view: &Relation,
+    dcs: &[BoundDc],
+    r: RowId,
+    others: &[RowId],
+) -> bool {
+    let mut pool = Vec::with_capacity(others.len() + 1);
+    pool.push(r);
+    pool.extend_from_slice(others);
+    let mut chosen: Vec<usize> = Vec::new();
+    dcs.iter().any(|dc| {
+        if dc.arity > pool.len() {
+            return false;
+        }
+        assignment_holds(view, dc, &pool, &mut chosen)
+    })
+}
+
+/// Tries every assignment of distinct pool members to the DC's variables
+/// that uses pool[0] (the new tuple) at least once.
+fn assignment_holds(
+    view: &Relation,
+    dc: &BoundDc,
+    pool: &[RowId],
+    chosen: &mut Vec<usize>,
+) -> bool {
+    if chosen.len() == dc.arity {
+        if !chosen.contains(&0) {
+            return false; // must involve the new tuple
+        }
+        let rows: Vec<RowId> = chosen.iter().map(|&i| pool[i]).collect();
+        return dc.holds(view, &rows);
+    }
+    let var = chosen.len();
+    for i in 0..pool.len() {
+        if chosen.contains(&i) {
+            continue;
+        }
+        // Cheap pre-filter on this variable's unary atoms.
+        if !dc.var_candidate(view, var, pool[i]) {
+            continue;
+        }
+        chosen.push(i);
+        if assignment_holds(view, dc, pool, chosen) {
+            chosen.pop();
+            return true;
+        }
+        chosen.pop();
+    }
+    false
+}
+
+/// Assigns every invalid row a household, minimizing added CC error.
+pub(crate) fn solve_invalid(
+    ctx: &mut Phase2Ctx,
+    invalid: &[RowId],
+    dcs: &[BoundDc],
+    ccs: &[CardinalityConstraint],
+    allow_augmenting_r2: bool,
+) -> Result<usize> {
+    if invalid.is_empty() {
+        return Ok(0);
+    }
+    // Bind CC R1 predicates and take the current counts once; maintain them
+    // incrementally as invalid rows land.
+    let bound_r1: Vec<BoundPredicate> = ccs
+        .iter()
+        .map(|cc| {
+            cc.r1
+                .to_predicate()
+                .bind(ctx.view.schema(), ctx.view.name())
+                .map_err(CoreError::from)
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let mut counts: Vec<i64> = ccs
+        .iter()
+        .map(|cc| cc.count_in(&ctx.view).map(|c| c as i64).map_err(CoreError::from))
+        .collect::<Result<Vec<_>>>()?;
+
+    let mut minted = 0usize;
+    for &row in invalid {
+        if ctx.combos.is_empty() {
+            return Err(CoreError::Validation(
+                "R2 has no tuples; invalid rows cannot be assigned".into(),
+            ));
+        }
+        // Score each combo by the CC error its assignment would add.
+        let mut scored: Vec<(i64, usize)> = (0..ctx.combos.len())
+            .map(|k| {
+                let mut delta = 0i64;
+                for (ci, cc) in ccs.iter().enumerate() {
+                    let matches = ctx.combo_satisfies_cc(k, &cc.r2)
+                        && bound_r1[ci].eval(&ctx.view, row);
+                    if matches {
+                        delta += if counts[ci] >= cc.target as i64 { 1 } else { -1 };
+                    }
+                }
+                (delta, k)
+            })
+            .collect();
+        scored.sort();
+
+        // First DC-safe household among the best combos wins.
+        let mut assigned = false;
+        'combos: for &(_, k) in &scored {
+            let combo = ctx.combos[k].clone();
+            let keys = ctx.households_of_combo(&combo);
+            for r2_row in keys {
+                let members = ctx.household_members(r2_row);
+                if !conflicts_with_household(&ctx.view, dcs, row, &members) {
+                    ctx.assign_row(row, r2_row)?;
+                    update_counts(ctx, ccs, &bound_r1, row, k, &mut counts);
+                    assigned = true;
+                    break 'combos;
+                }
+            }
+        }
+        if !assigned {
+            if !allow_augmenting_r2 {
+                return Err(CoreError::NoSolutionWithoutAugmentation {
+                    unassignable: invalid.len(),
+                });
+            }
+            let best = scored[0].1;
+            let combo = ctx.combos[best].clone();
+            let r2_row = ctx.mint_household(&combo)?;
+            ctx.assign_row(row, r2_row)?;
+            update_counts(ctx, ccs, &bound_r1, row, best, &mut counts);
+            minted += 1;
+        }
+    }
+    Ok(minted)
+}
+
+fn update_counts(
+    ctx: &Phase2Ctx,
+    ccs: &[CardinalityConstraint],
+    bound_r1: &[BoundPredicate],
+    row: RowId,
+    combo_idx: usize,
+    counts: &mut [i64],
+) {
+    for (ci, cc) in ccs.iter().enumerate() {
+        if ctx.combo_satisfies_cc(combo_idx, &cc.r2) && bound_r1[ci].eval(&ctx.view, row) {
+            counts[ci] += 1;
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Phase II: reverse-engineering `R1.FK` from the completed view
+//! (Section 5, Algorithm 4).
+//!
+//! The view is partitioned by its assigned `B` values; each partition's
+//! conflict hypergraph is list-colored with the matching `R2` keys as
+//! colors; skipped vertices get fresh keys (new `R̂2` tuples); invalid
+//! tuples are placed last with CC-error-minimizing combos. The result
+//! satisfies every DC (Proposition 5.5) and joins back to exactly the view.
+
+pub(crate) mod assign;
+pub(crate) mod conflict;
+pub(crate) mod invalid;
+
+use crate::config::{Phase2Strategy, SolverConfig};
+use crate::error::{CoreError, Result};
+use crate::instance::CExtensionInstance;
+use crate::phase1::{Combo, P1};
+use crate::report::SolveStats;
+use cextend_constraints::{BoundDc, NormalizedCond};
+use cextend_table::{ColId, Dtype, Relation, RowId, Sym, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Mints fresh `R2` key values that collide with nothing.
+enum KeyMinter {
+    Int { next: i64 },
+    Str { counter: usize, used: std::collections::HashSet<Sym> },
+}
+
+impl KeyMinter {
+    fn new(r2: &Relation, k2: ColId) -> KeyMinter {
+        match r2.schema().column(k2).dtype {
+            Dtype::Int => {
+                let next = r2
+                    .int_range(k2)
+                    .map(|(_, max)| max.saturating_add(1))
+                    .unwrap_or(1);
+                KeyMinter::Int { next }
+            }
+            Dtype::Str => {
+                let used = r2
+                    .rows()
+                    .filter_map(|r| r2.get_sym(r, k2))
+                    .collect();
+                KeyMinter::Str { counter: 0, used }
+            }
+        }
+    }
+
+    fn mint(&mut self) -> Value {
+        match self {
+            KeyMinter::Int { next } => {
+                let v = *next;
+                *next += 1;
+                Value::Int(v)
+            }
+            KeyMinter::Str { counter, used } => loop {
+                let candidate = Sym::intern(&format!("fresh-key-{counter}"));
+                *counter += 1;
+                if !used.contains(&candidate) {
+                    used.insert(candidate);
+                    return Value::Str(candidate);
+                }
+            },
+        }
+    }
+}
+
+/// Phase II working state shared by the coloring and invalid-handling steps.
+pub(crate) struct Phase2Ctx {
+    /// The completed view (B columns filled progressively).
+    pub view: Relation,
+    /// `R2` plus minted tuples.
+    pub r2_hat: Relation,
+    /// Distinct existing combos over the CC-referenced `R2` columns.
+    pub combos: Vec<Combo>,
+    r2_cc_cols: Vec<String>,
+    view_cc_ids: Vec<ColId>,
+    /// All `R2` attribute columns and their ids in the view (aligned).
+    r2_attr_ids: Vec<ColId>,
+    view_r2_attr_ids: Vec<ColId>,
+    k2: ColId,
+    /// `R̂2` rows per combo, in insertion order.
+    combo_rows: HashMap<Combo, Vec<usize>>,
+    /// Per view row, the assigned `R̂2` row.
+    row_key: Vec<Option<usize>>,
+    /// Per `R̂2` row, the view rows assigned to it.
+    key_members: Vec<Vec<RowId>>,
+    minter: KeyMinter,
+}
+
+impl Phase2Ctx {
+    fn build(instance: &CExtensionInstance, p1: &P1) -> Result<Phase2Ctx> {
+        let r2 = &instance.r2;
+        let k2 = r2.schema().key_col().expect("validated");
+        let r2_cc_col_ids: Vec<ColId> = p1
+            .r2_cc_cols
+            .iter()
+            .map(|c| r2.schema().require(c, r2.name()))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let r2_attr_ids = r2.schema().attr_cols();
+        let view_r2_attr_ids = r2_attr_ids
+            .iter()
+            .map(|&c| {
+                p1.view
+                    .schema()
+                    .require(&r2.schema().column(c).name, p1.view.name())
+            })
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        // Group R2 rows by combo.
+        let mut combo_rows: HashMap<Combo, Vec<usize>> = HashMap::new();
+        'rows: for r in r2.rows() {
+            let mut combo = Vec::with_capacity(r2_cc_col_ids.len());
+            for &c in &r2_cc_col_ids {
+                match r2.get(r, c) {
+                    Some(v) => combo.push(v),
+                    None => continue 'rows,
+                }
+            }
+            combo_rows.entry(combo).or_default().push(r);
+        }
+        Ok(Phase2Ctx {
+            view: p1.view.clone(),
+            r2_hat: r2.clone(),
+            combos: p1.combos.clone(),
+            r2_cc_cols: p1.r2_cc_cols.clone(),
+            view_cc_ids: p1.view_cc_ids.clone(),
+            r2_attr_ids,
+            view_r2_attr_ids,
+            k2,
+            combo_rows,
+            row_key: vec![None; p1.view.n_rows()],
+            key_members: vec![Vec::new(); r2.n_rows()],
+            minter: KeyMinter::new(r2, k2),
+        })
+    }
+
+    /// `true` if combo `k` satisfies the `R2`-side condition.
+    pub fn combo_satisfies_cc(&self, k: usize, cond: &NormalizedCond) -> bool {
+        crate::phase1::combo_satisfies(&self.r2_cc_cols, &self.combos[k], cond)
+    }
+
+    /// `R̂2` rows (households) carrying `combo`.
+    pub fn households_of_combo(&self, combo: &[Value]) -> Vec<usize> {
+        self.combo_rows.get(combo).cloned().unwrap_or_default()
+    }
+
+    /// The view rows currently assigned to household `r2_row`.
+    pub fn household_members(&self, r2_row: usize) -> Vec<RowId> {
+        self.key_members[r2_row].clone()
+    }
+
+    /// Appends a fresh household with `combo` values; other attribute
+    /// columns are inherited from the first existing household of the same
+    /// combo (the paper's new tuples copy the partition's `B` values).
+    pub fn mint_household(&mut self, combo: &[Value]) -> Result<usize> {
+        let donor = self
+            .combo_rows
+            .get(combo)
+            .and_then(|rows| rows.first().copied());
+        let key = self.minter.mint();
+        let mut row: Vec<Option<Value>> = vec![None; self.r2_hat.schema().len()];
+        row[self.k2] = Some(key);
+        for (i, &c) in self.r2_attr_ids.iter().enumerate() {
+            let name = &self.r2_hat.schema().column(c).name;
+            let from_combo = self
+                .r2_cc_cols
+                .iter()
+                .position(|cc| cc == name)
+                .map(|p| combo[p]);
+            row[c] = match from_combo {
+                Some(v) => Some(v),
+                None => donor.and_then(|d| self.r2_hat.get(d, self.r2_attr_ids[i])),
+            };
+        }
+        let new_row = self.r2_hat.push_row(&row)?;
+        self.combo_rows
+            .entry(combo.to_vec())
+            .or_default()
+            .push(new_row);
+        self.key_members.push(Vec::new());
+        Ok(new_row)
+    }
+
+    /// Assigns view row `row` to household `r2_row`: records membership and
+    /// copies every `R2` attribute of the household into the view (so the
+    /// final view equals `R̂1 ⋈ R̂2` cell for cell).
+    pub fn assign_row(&mut self, row: RowId, r2_row: usize) -> Result<()> {
+        debug_assert!(self.row_key[row].is_none(), "row {row} assigned twice");
+        self.row_key[row] = Some(r2_row);
+        self.key_members[r2_row].push(row);
+        for (i, &vc) in self.view_r2_attr_ids.iter().enumerate() {
+            let v = self.r2_hat.get(r2_row, self.r2_attr_ids[i]);
+            self.view.set(row, vc, v)?;
+        }
+        Ok(())
+    }
+
+    /// The combo of a fully-assigned view row.
+    fn row_combo(&self, row: RowId) -> Option<Combo> {
+        let mut combo = Vec::with_capacity(self.view_cc_ids.len());
+        for &c in &self.view_cc_ids {
+            combo.push(self.view.get(row, c)?);
+        }
+        Some(combo)
+    }
+}
+
+/// Runs Phase II, producing `R̂1`, `R̂2` and the final view.
+pub(crate) fn run_phase2(
+    instance: &CExtensionInstance,
+    config: &SolverConfig,
+    mut p1: P1,
+    invalid: Vec<RowId>,
+    stats: &mut SolveStats,
+) -> Result<(Relation, Relation, Relation)> {
+    let mut ctx = Phase2Ctx::build(instance, &p1)?;
+    let invalid_set: std::collections::HashSet<RowId> = invalid.iter().copied().collect();
+
+    match config.phase2 {
+        Phase2Strategy::Coloring => {
+            let dcs: Vec<BoundDc> = instance
+                .dcs
+                .iter()
+                .map(|d| d.bind(ctx.view.schema(), ctx.view.name()).map_err(CoreError::from))
+                .collect::<Result<Vec<_>>>()?;
+
+            // ---- Partition the valid rows by combo. ----------------------
+            let t = Instant::now();
+            let mut by_combo: HashMap<Combo, Vec<RowId>> = HashMap::new();
+            for row in ctx.view.rows() {
+                if invalid_set.contains(&row) {
+                    continue;
+                }
+                let combo = ctx.row_combo(row).ok_or_else(|| {
+                    CoreError::Validation(format!(
+                        "row {row} is neither fully assigned nor marked invalid"
+                    ))
+                })?;
+                by_combo.entry(combo).or_default().push(row);
+            }
+            let mut partitions: Vec<(Combo, Vec<RowId>, usize)> = by_combo
+                .into_iter()
+                .map(|(combo, rows)| {
+                    let n_cand = ctx.households_of_combo(&combo).len();
+                    (combo, rows, n_cand)
+                })
+                .collect();
+            partitions.sort_by(|a, b| a.0.cmp(&b.0));
+            stats.counters.partitions = partitions.len();
+            if std::env::var_os("CEXTEND_TRACE").is_some() {
+                eprintln!(
+                    "[trace] phase2: {} partitions, largest {:?}",
+                    partitions.len(),
+                    partitions.iter().map(|p| p.1.len()).max()
+                );
+            }
+            let partition_time = t.elapsed();
+
+            // ---- Color all partitions (possibly in parallel). ------------
+            let results = assign::color_all_partitions(
+                &ctx.view,
+                &partitions,
+                &dcs,
+                config.coloring,
+                config.parallel_coloring,
+            );
+            for r in &results {
+                stats.counters.conflict_edges += r.edges;
+                stats.counters.skipped_vertices += r.skipped;
+                stats.timings.conflict_build += r.build_time;
+                stats.timings.coloring += r.color_time;
+            }
+            stats.timings.conflict_build += partition_time;
+
+            let total_fresh: usize = results.iter().map(|r| r.fresh_colors).sum();
+            if !config.allow_augmenting_r2 && total_fresh > 0 {
+                return Err(CoreError::NoSolutionWithoutAugmentation {
+                    unassignable: results.iter().map(|r| r.skipped).sum(),
+                });
+            }
+
+            // ---- Apply results, minting fresh households as needed. ------
+            let t = Instant::now();
+            for r in results {
+                let (combo, _, n_cand) = &partitions[r.partition];
+                let mut fresh_rows: Vec<usize> = Vec::with_capacity(r.fresh_colors);
+                for _ in 0..r.fresh_colors {
+                    fresh_rows.push(ctx.mint_household(combo)?);
+                }
+                let households = ctx.households_of_combo(combo);
+                for (row, color) in r.assignments {
+                    let r2_row = if (color as usize) < *n_cand {
+                        households[color as usize]
+                    } else {
+                        fresh_rows[color as usize - n_cand]
+                    };
+                    ctx.assign_row(row, r2_row)?;
+                }
+            }
+            stats.timings.coloring += t.elapsed();
+
+            // ---- Invalid tuples last. -------------------------------------
+            let t = Instant::now();
+            invalid::solve_invalid(
+                &mut ctx,
+                &invalid,
+                &dcs,
+                &instance.ccs,
+                config.allow_augmenting_r2,
+            )?;
+            stats.timings.invalid_handling += t.elapsed();
+        }
+        Phase2Strategy::RandomAssignment => {
+            // Baseline: uniformly random candidate household per row, DCs
+            // ignored; rows without candidates take any household.
+            let t = Instant::now();
+            let rng: &mut StdRng = &mut p1.rng;
+            let n_r2 = ctx.r2_hat.n_rows();
+            if n_r2 == 0 {
+                return Err(CoreError::Validation("R2 has no tuples".into()));
+            }
+            for row in 0..ctx.view.n_rows() {
+                let candidates = ctx
+                    .row_combo(row)
+                    .map(|combo| ctx.households_of_combo(&combo))
+                    .unwrap_or_default();
+                let r2_row = if candidates.is_empty() {
+                    rng.gen_range(0..n_r2)
+                } else {
+                    candidates[rng.gen_range(0..candidates.len())]
+                };
+                ctx.assign_row(row, r2_row)?;
+            }
+            stats.timings.coloring += t.elapsed();
+        }
+    }
+
+    // ---- Finalize R̂1. -----------------------------------------------------
+    let mut r1_hat = instance.r1.clone();
+    let fk = r1_hat.schema().fk_col().expect("validated");
+    for row in 0..ctx.view.n_rows() {
+        let r2_row = ctx.row_key[row].ok_or_else(|| {
+            CoreError::Validation(format!("row {row} left without an FK assignment"))
+        })?;
+        let key = ctx.r2_hat.get(r2_row, ctx.k2);
+        r1_hat.set(row, fk, key)?;
+    }
+    stats.counters.new_r2_tuples = ctx.r2_hat.n_rows() - instance.r2.n_rows();
+    Ok((r1_hat, ctx.r2_hat, ctx.view))
+}

@@ -1,0 +1,176 @@
+//! Solve statistics: per-stage timings and structural counters.
+//!
+//! The paper's runtime figures (11a, 11b, 13) break the pipeline into
+//! pairwise CC comparison, Hasse recursion, ILP solving and coloring;
+//! [`SolveStats`] captures exactly those stages so the benchmark harness can
+//! print the same rows.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Wall-clock time per pipeline stage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// Labeling CC pairs as disjoint/contained/intersecting (hybrid only).
+    pub pairwise_comparison: Duration,
+    /// Algorithm 2's recursion over Hasse diagrams.
+    pub recursion: Duration,
+    /// Building the ILP model (variables, rows).
+    pub ilp_build: Duration,
+    /// Solving the ILP (LP + branch-and-bound + rounding).
+    pub ilp_solve: Duration,
+    /// Greedy fill of `V_join` rows from ILP variable values.
+    pub fill: Duration,
+    /// Final completion of leftover rows (combo_unused / random).
+    pub completion: Duration,
+    /// Partitioning `V_join` and building conflict hypergraphs.
+    pub conflict_build: Duration,
+    /// List coloring (greedy or exact), including fresh-color repair.
+    pub coloring: Duration,
+    /// Handling invalid tuples (`solveInvalidTuples`).
+    pub invalid_handling: Duration,
+}
+
+impl StageTimings {
+    /// Total Phase I time.
+    pub fn phase1(&self) -> Duration {
+        self.pairwise_comparison
+            + self.recursion
+            + self.ilp_build
+            + self.ilp_solve
+            + self.fill
+            + self.completion
+    }
+
+    /// Total Phase II time.
+    pub fn phase2(&self) -> Duration {
+        self.conflict_build + self.coloring + self.invalid_handling
+    }
+
+    /// Total solve time.
+    pub fn total(&self) -> Duration {
+        self.phase1() + self.phase2()
+    }
+}
+
+/// Structural counters describing what the solve did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveCounters {
+    /// CCs routed to Algorithm 2 (the clean set `S1`).
+    pub s1_ccs: usize,
+    /// CCs routed to Algorithm 1 (the intersecting set `S2`).
+    pub s2_ccs: usize,
+    /// Duplicate CCs removed before solving.
+    pub deduped_ccs: usize,
+    /// Bins after intervalization.
+    pub bins: usize,
+    /// ILP variables created.
+    pub ilp_vars: usize,
+    /// ILP rows created (hard + soft).
+    pub ilp_rows: usize,
+    /// Branch-and-bound nodes explored.
+    pub ilp_nodes: usize,
+    /// `true` if the ILP fell back to LP rounding.
+    pub ilp_rounded: bool,
+    /// `V_join` partitions processed in Phase II.
+    pub partitions: usize,
+    /// Conflict hyperedges across all partitions.
+    pub conflict_edges: usize,
+    /// Vertices skipped by the greedy coloring.
+    pub skipped_vertices: usize,
+    /// Fresh tuples added to `R̂2`.
+    pub new_r2_tuples: usize,
+    /// Invalid tuples (no `B` assignment after Phase I).
+    pub invalid_tuples: usize,
+    /// Rows Algorithm 2 assigned.
+    pub hasse_assigned_rows: usize,
+    /// Rows Algorithm 1's greedy fill assigned.
+    pub ilp_assigned_rows: usize,
+    /// Row-combo switches applied by the local-search repair pass.
+    pub repair_moves: usize,
+}
+
+/// Everything a solve reports besides the relations themselves.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveStats {
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+    /// Structural counters.
+    pub counters: SolveCounters,
+}
+
+impl fmt::Display for SolveStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = &self.timings;
+        let c = &self.counters;
+        writeln!(f, "phase I : {:?}", t.phase1())?;
+        writeln!(f, "  pairwise comparison : {:?}", t.pairwise_comparison)?;
+        writeln!(f, "  recursion           : {:?}", t.recursion)?;
+        writeln!(f, "  ILP build/solve     : {:?} / {:?}", t.ilp_build, t.ilp_solve)?;
+        writeln!(f, "  fill / completion   : {:?} / {:?}", t.fill, t.completion)?;
+        writeln!(f, "phase II: {:?}", t.phase2())?;
+        writeln!(f, "  conflict build      : {:?}", t.conflict_build)?;
+        writeln!(f, "  coloring            : {:?}", t.coloring)?;
+        writeln!(f, "  invalid handling    : {:?}", t.invalid_handling)?;
+        writeln!(f, "total   : {:?}", t.total())?;
+        writeln!(
+            f,
+            "CCs: {} clean (Alg.2) + {} intersecting (Alg.1), {} deduped",
+            c.s1_ccs, c.s2_ccs, c.deduped_ccs
+        )?;
+        writeln!(
+            f,
+            "ILP: {} vars, {} rows, {} nodes{}",
+            c.ilp_vars,
+            c.ilp_rows,
+            c.ilp_nodes,
+            if c.ilp_rounded { " (rounded)" } else { "" }
+        )?;
+        writeln!(
+            f,
+            "phase II: {} partitions, {} edges, {} skipped, {} new R2 tuples, {} invalid",
+            c.partitions, c.conflict_edges, c.skipped_vertices, c.new_r2_tuples, c.invalid_tuples
+        )
+    }
+}
+
+/// The solver's output (Proposition 5.5): `R̂1` with FK complete, `R̂2`
+/// possibly extended, the completed join view, and statistics.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// `R1` with every FK value filled in.
+    pub r1_hat: cextend_table::Relation,
+    /// `R2`, possibly with artificial tuples appended.
+    pub r2_hat: cextend_table::Relation,
+    /// The completed join view (`R̂1 ⋈ R̂2`).
+    pub vjoin: cextend_table::Relation,
+    /// Timings and counters.
+    pub stats: SolveStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_totals_add_up() {
+        let t = StageTimings {
+            recursion: Duration::from_millis(5),
+            ilp_solve: Duration::from_millis(7),
+            coloring: Duration::from_millis(11),
+            ..StageTimings::default()
+        };
+        assert_eq!(t.phase1(), Duration::from_millis(12));
+        assert_eq!(t.phase2(), Duration::from_millis(11));
+        assert_eq!(t.total(), Duration::from_millis(23));
+    }
+
+    #[test]
+    fn display_mentions_stages() {
+        let s = SolveStats::default();
+        let txt = s.to_string();
+        assert!(txt.contains("pairwise comparison"));
+        assert!(txt.contains("coloring"));
+        assert!(txt.contains("invalid"));
+    }
+}

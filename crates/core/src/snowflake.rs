@@ -1,0 +1,328 @@
+//! Snowflake-schema extension (end of Section 5.2, Example 5.6).
+//!
+//! A snowflake database is completed one foreign key at a time, breadth
+//! first from the fact table. At each step the relation owning the FK plays
+//! `R1` — *augmented with the attribute columns of every dimension it
+//! already joined* (so CCs may span `(Students ⋈ Majors) ⋈ Courses`, as in
+//! the paper's step 2) — and the referenced dimension plays `R2`. Tuples are
+//! only ever added to a relation while it plays `R2`; once it plays `R1` its
+//! keys are frozen, which preserves the FK dependencies established earlier.
+//!
+//! One deliberate difference from the paper's sketch, recorded in DESIGN.md:
+//! second-level dimensions (Majors → Departments) are solved with the
+//! *owning* table as `R1` rather than the fully joined fact view. The joined
+//! view duplicates each Majors row once per student, so completing the
+//! department key per view row could assign one major several departments;
+//! solving at the owner keeps the FK functional.
+
+use crate::config::SolverConfig;
+use crate::error::{CoreError, Result};
+use crate::instance::CExtensionInstance;
+use crate::report::SolveStats;
+use cextend_constraints::{CardinalityConstraint, DenialConstraint};
+use cextend_table::{ColumnDef, Relation, Role, Schema, Value};
+use std::collections::HashMap;
+
+/// One FK-completion step.
+#[derive(Clone, Debug)]
+pub struct SnowflakeStep {
+    /// Table owning the FK column (plays `R1`).
+    pub owner: String,
+    /// Referenced dimension table (plays `R2`).
+    pub target: String,
+    /// The FK column of `owner` to complete.
+    pub fk_col: String,
+    /// CCs over the augmented `owner ⋈ target` view.
+    pub ccs: Vec<CardinalityConstraint>,
+    /// DCs over the augmented owner view.
+    pub dcs: Vec<DenialConstraint>,
+}
+
+/// Result of completing a snowflake database.
+#[derive(Clone, Debug)]
+pub struct SnowflakeSolution {
+    /// All tables, FKs completed, dimensions possibly extended.
+    pub tables: Vec<Relation>,
+    /// Per-step solver statistics, in step order.
+    pub step_stats: Vec<(String, SolveStats)>,
+}
+
+/// Completes every FK listed in `steps`, in order.
+pub fn solve_snowflake(
+    mut tables: Vec<Relation>,
+    steps: &[SnowflakeStep],
+    config: &SolverConfig,
+) -> Result<SnowflakeSolution> {
+    // fk column name -> (owner idx, target idx), filled as steps complete.
+    let mut completed: Vec<(usize, usize, String)> = Vec::new();
+    let mut step_stats = Vec::new();
+    for step in steps {
+        let owner_idx = find_table(&tables, &step.owner)?;
+        let target_idx = find_table(&tables, &step.target)?;
+        if owner_idx == target_idx {
+            return Err(CoreError::Validation(format!(
+                "step `{}` has owner == target",
+                step.owner
+            )));
+        }
+        // Build the augmented R1: owner's key + attributes + attributes of
+        // every dimension already joined through a completed FK of owner,
+        // plus the single FK column of this step.
+        let owner = &tables[owner_idx];
+        let fk_id = owner
+            .schema()
+            .col_id(&step.fk_col)
+            .ok_or_else(|| {
+                CoreError::Validation(format!(
+                    "table `{}` has no column `{}`",
+                    step.owner, step.fk_col
+                ))
+            })?;
+        if owner.schema().column(fk_id).role != Role::ForeignKey {
+            return Err(CoreError::Validation(format!(
+                "column `{}` of `{}` is not a foreign key",
+                step.fk_col, step.owner
+            )));
+        }
+        let mut cols: Vec<ColumnDef> = Vec::new();
+        let key_id = owner.schema().key_col().ok_or_else(|| {
+            CoreError::Validation(format!("table `{}` needs a key column", step.owner))
+        })?;
+        cols.push(owner.schema().column(key_id).clone());
+        let attr_ids = owner.schema().attr_cols();
+        for &a in &attr_ids {
+            cols.push(owner.schema().column(a).clone());
+        }
+        // Joined columns from previously completed dimensions of this owner.
+        let mut joined: Vec<(usize, Vec<cextend_table::ColId>, cextend_table::ColId)> = Vec::new();
+        for &(o, t, ref fk_name) in &completed {
+            if o != owner_idx {
+                continue;
+            }
+            let dim = &tables[t];
+            let dim_attrs = dim.schema().attr_cols();
+            for &a in &dim_attrs {
+                let mut def = dim.schema().column(a).clone();
+                def.role = Role::Attr;
+                cols.push(def);
+            }
+            let fk = owner.schema().col_id(fk_name).expect("recorded fk exists");
+            joined.push((t, dim_attrs, fk));
+        }
+        cols.push(owner.schema().column(fk_id).clone());
+        let schema = Schema::new(cols)?;
+        let width = schema.len();
+        let mut r1 = Relation::with_capacity(&format!("{}*", step.owner), schema, owner.n_rows());
+        // Key lookups for joined dims.
+        let dim_indexes: Vec<HashMap<Value, usize>> = joined
+            .iter()
+            .map(|&(t, _, _)| {
+                let dim = &tables[t];
+                let k = dim.schema().key_col().expect("dimension has a key");
+                dim.rows()
+                    .filter_map(|r| dim.get(r, k).map(|v| (v, r)))
+                    .collect()
+            })
+            .collect();
+        for row in owner.rows() {
+            let mut out: Vec<Option<Value>> = Vec::with_capacity(width);
+            out.push(owner.get(row, key_id));
+            for &a in &attr_ids {
+                out.push(owner.get(row, a));
+            }
+            for (ji, &(t, ref dim_attrs, fk)) in joined.iter().enumerate() {
+                let dim_row = owner
+                    .get(row, fk)
+                    .and_then(|k| dim_indexes[ji].get(&k).copied());
+                for &a in dim_attrs {
+                    out.push(dim_row.and_then(|r| tables[t].get(r, a)));
+                }
+            }
+            out.push(None); // the FK being completed
+            r1.push_row(&out)?;
+        }
+
+        let instance = CExtensionInstance::new(
+            r1,
+            tables[target_idx].clone(),
+            step.ccs.clone(),
+            step.dcs.clone(),
+        )?;
+        let solution = crate::solve(&instance, config)?;
+
+        // Write the completed FK back and adopt the (possibly extended) R2.
+        let sol_fk = solution
+            .r1_hat
+            .schema()
+            .fk_col()
+            .expect("solved R1 has the fk");
+        for row in 0..tables[owner_idx].n_rows() {
+            let v = solution.r1_hat.get(row, sol_fk);
+            tables[owner_idx].set(row, fk_id, v)?;
+        }
+        tables[target_idx] = solution.r2_hat;
+        completed.push((owner_idx, target_idx, step.fk_col.clone()));
+        step_stats.push((format!("{}→{}", step.owner, step.target), solution.stats));
+    }
+    Ok(SnowflakeSolution {
+        tables,
+        step_stats,
+    })
+}
+
+fn find_table(tables: &[Relation], name: &str) -> Result<usize> {
+    tables
+        .iter()
+        .position(|t| t.name() == name)
+        .ok_or_else(|| CoreError::Validation(format!("unknown table `{name}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::dc_error;
+    use cextend_constraints::{parse_cc, parse_dc};
+    use cextend_table::Dtype;
+
+    /// Example 5.6's university schema, miniaturized.
+    fn university() -> Vec<Relation> {
+        let students = {
+            let schema = Schema::new(vec![
+                ColumnDef::key("sid", Dtype::Int),
+                ColumnDef::attr("Year", Dtype::Int),
+                ColumnDef::foreign_key("major_id", Dtype::Int),
+            ])
+            .unwrap();
+            let mut r = Relation::new("Students", schema);
+            for sid in 0..30 {
+                r.push_row(&[
+                    Some(Value::Int(sid)),
+                    Some(Value::Int(1 + sid % 4)),
+                    None,
+                ])
+                .unwrap();
+            }
+            r
+        };
+        let majors = {
+            let schema = Schema::new(vec![
+                ColumnDef::key("mid", Dtype::Int),
+                ColumnDef::attr("Field", Dtype::Str),
+                ColumnDef::foreign_key("dept_id", Dtype::Int),
+            ])
+            .unwrap();
+            let mut r = Relation::new("Majors", schema);
+            for (mid, field) in [(1, "CS"), (2, "CS"), (3, "Math"), (4, "Art")] {
+                r.push_row(&[Some(Value::Int(mid)), Some(Value::str(field)), None])
+                    .unwrap();
+            }
+            r
+        };
+        let departments = {
+            let schema = Schema::new(vec![
+                ColumnDef::key("did", Dtype::Int),
+                ColumnDef::attr("Division", Dtype::Str),
+            ])
+            .unwrap();
+            let mut r = Relation::new("Departments", schema);
+            for (did, div) in [(1, "Science"), (2, "Humanities")] {
+                r.push_full_row(&[Value::Int(did), Value::str(div)]).unwrap();
+            }
+            r
+        };
+        vec![students, majors, departments]
+    }
+
+    #[test]
+    fn example_5_6_pipeline_completes_all_fks() {
+        let r2_majors: std::collections::HashSet<String> =
+            ["Field".to_owned()].into_iter().collect();
+        let r2_depts: std::collections::HashSet<String> =
+            ["Division".to_owned()].into_iter().collect();
+        let steps = vec![
+            SnowflakeStep {
+                owner: "Students".into(),
+                target: "Majors".into(),
+                fk_col: "major_id".into(),
+                ccs: vec![
+                    parse_cc("cs", r#"| Field = "CS" | = 18"#, &r2_majors).unwrap(),
+                    parse_cc("art-seniors", r#"| Year = 4 & Field = "Art" | = 3"#, &r2_majors)
+                        .unwrap(),
+                ],
+                dcs: vec![],
+            },
+            SnowflakeStep {
+                owner: "Majors".into(),
+                target: "Departments".into(),
+                fk_col: "dept_id".into(),
+                ccs: vec![parse_cc("sci", r#"| Division = "Science" | = 3"#, &r2_depts).unwrap()],
+                // Two CS majors must not share a department.
+                dcs: vec![parse_dc(
+                    "unique-cs",
+                    r#"!(t1.Field = "CS" & t2.Field = "CS" & t1.dept_id = t2.dept_id)"#,
+                    "dept_id",
+                )
+                .unwrap()],
+            },
+        ];
+        let solved = solve_snowflake(university(), &steps, &SolverConfig::hybrid()).unwrap();
+        // Every FK column is complete.
+        let students = &solved.tables[0];
+        let majors = &solved.tables[1];
+        assert!(students.column_is_complete(students.schema().col_id("major_id").unwrap()));
+        assert!(majors.column_is_complete(majors.schema().col_id("dept_id").unwrap()));
+        // CC on the first step: 18 CS students.
+        let joined = cextend_table::fk_join(students, majors).unwrap();
+        let cs = cextend_table::Predicate::new(vec![cextend_table::Atom::eq("Field", "CS")]);
+        assert_eq!(cs.count(&joined).unwrap(), 18);
+        // The DC of step 2 holds.
+        assert_eq!(dc_error(majors, &steps[1].dcs).unwrap(), 0.0);
+        assert_eq!(solved.step_stats.len(), 2);
+    }
+
+    #[test]
+    fn second_step_ccs_can_reference_first_dimension() {
+        // After Students→Majors completes, a Students→Courses-style step
+        // could constrain on Field; here we verify the augmented view is
+        // built by referencing Field in the Majors→Departments DC (above)
+        // and by checking that an owner with zero completed FKs also works.
+        let r2_depts: std::collections::HashSet<String> =
+            ["Division".to_owned()].into_iter().collect();
+        let steps = vec![SnowflakeStep {
+            owner: "Majors".into(),
+            target: "Departments".into(),
+            fk_col: "dept_id".into(),
+            ccs: vec![parse_cc("hum", r#"| Division = "Humanities" | = 1"#, &r2_depts).unwrap()],
+            dcs: vec![],
+        }];
+        let solved = solve_snowflake(university(), &steps, &SolverConfig::hybrid()).unwrap();
+        let majors = &solved.tables[1];
+        assert!(majors.column_is_complete(majors.schema().col_id("dept_id").unwrap()));
+    }
+
+    #[test]
+    fn unknown_table_and_non_fk_column_rejected() {
+        let steps = vec![SnowflakeStep {
+            owner: "Nope".into(),
+            target: "Majors".into(),
+            fk_col: "major_id".into(),
+            ccs: vec![],
+            dcs: vec![],
+        }];
+        assert!(matches!(
+            solve_snowflake(university(), &steps, &SolverConfig::hybrid()),
+            Err(CoreError::Validation(_))
+        ));
+        let steps = vec![SnowflakeStep {
+            owner: "Students".into(),
+            target: "Majors".into(),
+            fk_col: "Year".into(),
+            ccs: vec![],
+            dcs: vec![],
+        }];
+        assert!(matches!(
+            solve_snowflake(university(), &steps, &SolverConfig::hybrid()),
+            Err(CoreError::Validation(_))
+        ));
+    }
+}

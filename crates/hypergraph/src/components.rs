@@ -1,0 +1,112 @@
+//! Connected components of a hypergraph.
+//!
+//! Section 5.2 of the paper partitions `V_join` by `B` values so that each
+//! partition's conflict graph can be colored independently; Section A.3
+//! further parallelizes coloring across components. Components are computed
+//! with a union-find over edge memberships.
+
+use crate::graph::{Hypergraph, VertexId};
+
+struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+    }
+}
+
+/// Returns the connected components as sorted vertex lists, largest first
+/// (ties broken by smallest vertex id). Isolated vertices form singleton
+/// components.
+pub fn connected_components(g: &Hypergraph) -> Vec<Vec<VertexId>> {
+    let mut uf = UnionFind::new(g.n_vertices());
+    for e in g.edges() {
+        for w in e.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+    }
+    let mut by_root: std::collections::HashMap<u32, Vec<VertexId>> =
+        std::collections::HashMap::new();
+    for v in 0..g.n_vertices() as u32 {
+        by_root.entry(uf.find(v)).or_default().push(v);
+    }
+    let mut comps: Vec<Vec<VertexId>> = by_root.into_values().collect();
+    for c in &mut comps {
+        c.sort_unstable();
+    }
+    comps.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_of_disjoint_pieces() {
+        let mut g = Hypergraph::new(6);
+        g.add_edge(&[0, 1]);
+        g.add_edge(&[1, 2]);
+        g.add_edge(&[3, 4]);
+        // Vertex 5 isolated.
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3, 4]);
+        assert_eq!(comps[2], vec![5]);
+    }
+
+    #[test]
+    fn hyperedge_connects_all_members() {
+        let mut g = Hypergraph::new(4);
+        g.add_edge(&[0, 2, 3]);
+        let comps = connected_components(&g);
+        assert_eq!(comps[0], vec![0, 2, 3]);
+        assert_eq!(comps[1], vec![1]);
+    }
+
+    #[test]
+    fn empty_graph_is_all_singletons() {
+        let g = Hypergraph::new(3);
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+}

@@ -1,0 +1,267 @@
+//! Conflict hypergraphs (Definition 5.1 of the paper).
+//!
+//! Vertices are the tuples of `R1`; a hyperedge `{t1..tk}` records that a
+//! foreign-key denial constraint forbids those tuples from all receiving the
+//! same FK value. A *proper* coloring — at least two distinct colors inside
+//! every edge — therefore corresponds exactly to a DC-satisfying FK
+//! assignment (Proposition 5.2).
+
+use std::collections::HashSet;
+
+/// Vertex index.
+pub type VertexId = u32;
+/// Edge index.
+pub type EdgeId = u32;
+/// A color (stands for one candidate FK value).
+pub type Color = u32;
+
+/// A hypergraph with incidence lists and edge deduplication.
+#[derive(Clone, Debug, Default)]
+pub struct Hypergraph {
+    n: usize,
+    edges: Vec<Box<[VertexId]>>,
+    incidence: Vec<Vec<EdgeId>>,
+    seen: HashSet<Box<[VertexId]>>,
+}
+
+impl Hypergraph {
+    /// A hypergraph on `n` isolated vertices.
+    pub fn new(n: usize) -> Hypergraph {
+        Hypergraph {
+            n,
+            edges: Vec::new(),
+            incidence: vec![Vec::new(); n],
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (distinct) edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an edge over `vertices`. Vertices are sorted and deduplicated;
+    /// degenerate edges (fewer than 2 distinct vertices) and duplicates of
+    /// existing edges are ignored and return `None`.
+    ///
+    /// # Panics
+    /// Panics if a vertex id is out of range.
+    pub fn add_edge(&mut self, vertices: &[VertexId]) -> Option<EdgeId> {
+        let mut vs: Vec<VertexId> = vertices.to_vec();
+        vs.sort_unstable();
+        vs.dedup();
+        if vs.len() < 2 {
+            return None;
+        }
+        for &v in &vs {
+            assert!(
+                (v as usize) < self.n,
+                "vertex {v} out of range (n = {})",
+                self.n
+            );
+        }
+        let key: Box<[VertexId]> = vs.into_boxed_slice();
+        if !self.seen.insert(key.clone()) {
+            return None;
+        }
+        let id = self.edges.len() as EdgeId;
+        for &v in key.iter() {
+            self.incidence[v as usize].push(id);
+        }
+        self.edges.push(key);
+        Some(id)
+    }
+
+    /// The vertices of edge `e`, sorted ascending.
+    pub fn edge(&self, e: EdgeId) -> &[VertexId] {
+        &self.edges[e as usize]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> impl Iterator<Item = &[VertexId]> {
+        self.edges.iter().map(|e| e.as_ref())
+    }
+
+    /// Ids of edges incident to `v`.
+    pub fn incident_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.incidence[v as usize]
+    }
+
+    /// Degree of `v` = number of incident edges.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.incidence[v as usize].len()
+    }
+
+    /// Vertices sorted by non-increasing degree (ties by vertex id, for
+    /// determinism) — the processing order of Algorithm 3.
+    pub fn vertices_by_degree_desc(&self) -> Vec<VertexId> {
+        let mut vs: Vec<VertexId> = (0..self.n as VertexId).collect();
+        vs.sort_by(|&a, &b| self.degree(b).cmp(&self.degree(a)).then(a.cmp(&b)));
+        vs
+    }
+}
+
+/// A (partial) assignment of colors to vertices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coloring {
+    colors: Vec<Option<Color>>,
+}
+
+impl Coloring {
+    /// An empty coloring on `n` vertices.
+    pub fn new(n: usize) -> Coloring {
+        Coloring {
+            colors: vec![None; n],
+        }
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// `true` if there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// Color of `v`, if assigned.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> Option<Color> {
+        self.colors[v as usize]
+    }
+
+    /// Assigns a color.
+    pub fn set(&mut self, v: VertexId, c: Color) {
+        self.colors[v as usize] = Some(c);
+    }
+
+    /// Removes the color of `v` (used by the exact solver on backtrack).
+    pub fn unset(&mut self, v: VertexId) {
+        self.colors[v as usize] = None;
+    }
+
+    /// `true` if `v` has a color.
+    pub fn is_colored(&self, v: VertexId) -> bool {
+        self.colors[v as usize].is_some()
+    }
+
+    /// Number of colored vertices.
+    pub fn n_colored(&self) -> usize {
+        self.colors.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// `true` if every vertex has a color.
+    pub fn is_complete(&self) -> bool {
+        self.colors.iter().all(Option::is_some)
+    }
+
+    /// Iterates over `(vertex, color)` pairs for colored vertices.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, Color)> + '_ {
+        self.colors
+            .iter()
+            .enumerate()
+            .filter_map(|(v, c)| c.map(|c| (v as VertexId, c)))
+    }
+}
+
+/// `true` if edge `e` is *monochromatic under the partial coloring*: every
+/// vertex is colored and they all share one color. Such an edge is a DC
+/// violation.
+pub fn edge_is_monochromatic(g: &Hypergraph, coloring: &Coloring, e: EdgeId) -> bool {
+    let vs = g.edge(e);
+    let Some(first) = coloring.get(vs[0]) else {
+        return false;
+    };
+    vs[1..].iter().all(|&v| coloring.get(v) == Some(first))
+}
+
+/// `true` if the coloring is complete and no edge is monochromatic — i.e. a
+/// proper coloring in the sense of Proposition 5.2.
+pub fn is_proper_complete(g: &Hypergraph, coloring: &Coloring) -> bool {
+    coloring.is_complete()
+        && (0..g.n_edges() as EdgeId).all(|e| !edge_is_monochromatic(g, coloring, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_dedups_and_sorts() {
+        let mut g = Hypergraph::new(4);
+        assert_eq!(g.add_edge(&[2, 0]), Some(0));
+        assert_eq!(g.edge(0), &[0, 2]);
+        // Same edge in different order: duplicate.
+        assert_eq!(g.add_edge(&[0, 2]), None);
+        // Degenerate edges rejected.
+        assert_eq!(g.add_edge(&[1]), None);
+        assert_eq!(g.add_edge(&[1, 1]), None);
+        assert_eq!(g.n_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_vertex_panics() {
+        let mut g = Hypergraph::new(2);
+        g.add_edge(&[0, 5]);
+    }
+
+    #[test]
+    fn degrees_and_order() {
+        let mut g = Hypergraph::new(4);
+        g.add_edge(&[0, 1]);
+        g.add_edge(&[0, 2]);
+        g.add_edge(&[0, 3]);
+        g.add_edge(&[1, 2]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.vertices_by_degree_desc(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn monochromatic_detection() {
+        let mut g = Hypergraph::new(3);
+        g.add_edge(&[0, 1, 2]);
+        let mut c = Coloring::new(3);
+        c.set(0, 5);
+        c.set(1, 5);
+        // Not monochromatic while a vertex is uncolored.
+        assert!(!edge_is_monochromatic(&g, &c, 0));
+        c.set(2, 5);
+        assert!(edge_is_monochromatic(&g, &c, 0));
+        assert!(!is_proper_complete(&g, &c));
+        c.set(2, 6);
+        assert!(is_proper_complete(&g, &c));
+    }
+
+    #[test]
+    fn hyperedge_needs_only_two_distinct_colors() {
+        // A 3-edge with colors (1, 1, 2) is proper: the DC quantifies over
+        // *all* k tuples sharing the FK, so two owners + one with a
+        // different household do not violate it.
+        let mut g = Hypergraph::new(3);
+        g.add_edge(&[0, 1, 2]);
+        let mut c = Coloring::new(3);
+        c.set(0, 1);
+        c.set(1, 1);
+        c.set(2, 2);
+        assert!(is_proper_complete(&g, &c));
+    }
+
+    #[test]
+    fn coloring_bookkeeping() {
+        let mut c = Coloring::new(3);
+        assert!(!c.is_complete());
+        assert_eq!(c.n_colored(), 0);
+        c.set(1, 9);
+        assert!(c.is_colored(1));
+        assert_eq!(c.get(1), Some(9));
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![(1, 9)]);
+    }
+}

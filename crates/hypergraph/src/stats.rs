@@ -1,0 +1,109 @@
+//! Structural statistics of conflict graphs.
+//!
+//! The paper distinguishes "good" DC sets (no cliques in the conflict
+//! graphs) from "bad" ones (Section 6.1); these statistics quantify that
+//! distinction in experiment output.
+
+use crate::graph::Hypergraph;
+
+/// Summary statistics of a hypergraph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub n_vertices: usize,
+    /// Number of distinct edges.
+    pub n_edges: usize,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+    /// Mean vertex degree.
+    pub mean_degree: f64,
+    /// Size of the largest edge.
+    pub max_edge_size: usize,
+    /// Edge density for 2-uniform graphs: `m / C(n, 2)` (0 when `n < 2`).
+    pub density: f64,
+}
+
+/// Computes [`GraphStats`] for `g`.
+pub fn graph_stats(g: &Hypergraph) -> GraphStats {
+    let n = g.n_vertices();
+    let m = g.n_edges();
+    let max_degree = (0..n as u32).map(|v| g.degree(v)).max().unwrap_or(0);
+    let total_degree: usize = (0..n as u32).map(|v| g.degree(v)).sum();
+    let mean_degree = if n == 0 {
+        0.0
+    } else {
+        total_degree as f64 / n as f64
+    };
+    let max_edge_size = g.edges().map(|e| e.len()).max().unwrap_or(0);
+    let pairs = n.saturating_sub(1) * n / 2;
+    let density = if pairs == 0 { 0.0 } else { m as f64 / pairs as f64 };
+    GraphStats {
+        n_vertices: n,
+        n_edges: m,
+        max_degree,
+        mean_degree,
+        max_edge_size,
+        density,
+    }
+}
+
+/// `true` if the 2-uniform edges of `g` contain a clique over `verts`
+/// (every pair connected). Used to verify the "good DCs create no cliques"
+/// claim on sampled vertex sets.
+pub fn is_clique(g: &Hypergraph, verts: &[u32]) -> bool {
+    use std::collections::HashSet;
+    let mut pairs: HashSet<(u32, u32)> = HashSet::new();
+    for e in g.edges() {
+        if e.len() == 2 {
+            pairs.insert((e[0], e[1]));
+        }
+    }
+    for (i, &a) in verts.iter().enumerate() {
+        for &b in &verts[i + 1..] {
+            let key = if a < b { (a, b) } else { (b, a) };
+            if !pairs.contains(&key) {
+                return false;
+            }
+        }
+    }
+    verts.len() >= 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_small_graph() {
+        let mut g = Hypergraph::new(4);
+        g.add_edge(&[0, 1]);
+        g.add_edge(&[0, 2]);
+        g.add_edge(&[0, 1, 3]);
+        let s = graph_stats(&g);
+        assert_eq!(s.n_vertices, 4);
+        assert_eq!(s.n_edges, 3);
+        assert_eq!(s.max_degree, 3);
+        assert_eq!(s.max_edge_size, 3);
+        assert!((s.mean_degree - 7.0 / 4.0).abs() < 1e-12);
+        assert!((s.density - 3.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = graph_stats(&Hypergraph::new(0));
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.mean_degree, 0.0);
+        assert_eq!(s.density, 0.0);
+    }
+
+    #[test]
+    fn clique_detection() {
+        let mut g = Hypergraph::new(4);
+        g.add_edge(&[0, 1]);
+        g.add_edge(&[1, 2]);
+        g.add_edge(&[0, 2]);
+        assert!(is_clique(&g, &[0, 1, 2]));
+        assert!(!is_clique(&g, &[0, 1, 3]));
+        assert!(!is_clique(&g, &[0])); // below clique size
+    }
+}

@@ -1,0 +1,344 @@
+//! Branch-and-bound on top of the LP relaxation.
+//!
+//! Depth-first search branching on the most fractional variable, pruning by
+//! the LP bound (valid because objective coefficients are integral, the bound
+//! can be rounded up). A node budget keeps worst cases in check; when it is
+//! exhausted the best incumbent so far is returned with
+//! [`IlpStatus::Feasible`], and Phase I of the solver falls back to
+//! largest-remainder rounding (see [`crate::rounding`]).
+
+use crate::error::Result;
+use crate::problem::{Problem, Rel, VarId};
+use crate::scalar::Scalar;
+use crate::simplex::{solve_lp, LpStatus};
+
+/// Outcome of an ILP solve.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IlpStatus {
+    /// Search completed; the returned point is optimal.
+    Optimal,
+    /// Node budget exhausted; the returned point is feasible but possibly
+    /// suboptimal.
+    Feasible,
+    /// Search completed; no integer point exists.
+    Infeasible,
+    /// Node budget exhausted before any integer point was found.
+    Unknown,
+}
+
+/// An ILP solution.
+#[derive(Clone, Debug)]
+pub struct IlpSolution {
+    /// Solve status.
+    pub status: IlpStatus,
+    /// One value per problem variable (all zeros unless a point was found).
+    pub values: Vec<i64>,
+    /// Objective at `values` (meaningful for `Optimal` / `Feasible`).
+    pub objective: i64,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Total simplex iterations across all LP solves.
+    pub lp_iterations: usize,
+}
+
+/// Branch-and-bound configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BbConfig {
+    /// Maximum number of nodes to explore.
+    pub max_nodes: usize,
+}
+
+impl Default for BbConfig {
+    fn default() -> Self {
+        BbConfig { max_nodes: 2000 }
+    }
+}
+
+struct Node {
+    /// Extra variable bounds accumulated along the branch:
+    /// `(var, sense, bound)` with sense ∈ {Le, Ge}.
+    bounds: Vec<(VarId, Rel, i64)>,
+}
+
+/// Solves `problem` to integrality with arithmetic `T`.
+pub fn solve_ilp<T: Scalar>(problem: &Problem, cfg: &BbConfig) -> Result<IlpSolution> {
+    problem.validate()?;
+    let n = problem.n_vars();
+    let mut stack = vec![Node { bounds: Vec::new() }];
+    let mut incumbent: Option<(Vec<i64>, i64)> = None;
+    let mut nodes = 0usize;
+    let mut lp_iterations = 0usize;
+    let mut exhausted = false;
+
+    while let Some(node) = stack.pop() {
+        if nodes >= cfg.max_nodes {
+            exhausted = true;
+            break;
+        }
+        nodes += 1;
+        // Build the node problem: base + branch bounds as rows.
+        let mut p = problem.clone();
+        for &(v, rel, b) in &node.bounds {
+            p.add_constraint(vec![(v, 1)], rel, b);
+        }
+        let lp = solve_lp::<T>(&p)?;
+        lp_iterations += lp.iterations;
+        match lp.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Unbounded => {
+                // Integral restriction of an unbounded LP: report the best
+                // we can. Our workloads always have bounded objectives, so
+                // treat it as a dead end rather than guessing.
+                continue;
+            }
+            LpStatus::Optimal => {}
+        }
+        // Prune by bound: integer objective ≥ ceil(LP objective − eps).
+        let lower = (lp.objective.to_f64() - 1e-6).ceil() as i64;
+        if let Some((_, inc_obj)) = &incumbent {
+            if lower >= *inc_obj {
+                continue;
+            }
+        }
+        // Find the most fractional structural variable.
+        let mut branch_var: Option<(VarId, f64)> = None;
+        for v in 0..n {
+            if lp.values[v].is_integral() {
+                continue;
+            }
+            let x = lp.values[v].to_f64();
+            let frac_dist = (x - x.round()).abs();
+            match branch_var {
+                None => branch_var = Some((v, frac_dist)),
+                Some((_, best)) if frac_dist > best => branch_var = Some((v, frac_dist)),
+                _ => {}
+            }
+        }
+        match branch_var {
+            None => {
+                // Integral LP solution → candidate incumbent.
+                let cand: Vec<i64> = lp.values.iter().map(|v| v.round_i64().max(0)).collect();
+                if problem.is_feasible_point(&cand)
+                    && node.bounds.iter().all(|&(v, rel, b)| match rel {
+                        Rel::Le => cand[v] <= b,
+                        Rel::Ge => cand[v] >= b,
+                        Rel::Eq => cand[v] == b,
+                    })
+                {
+                    let obj = problem.objective_at(&cand);
+                    let better = incumbent
+                        .as_ref()
+                        .map(|(_, best)| obj < *best)
+                        .unwrap_or(true);
+                    if better {
+                        incumbent = Some((cand, obj));
+                    }
+                }
+            }
+            Some((v, _)) => {
+                let x = lp.values[v].to_f64();
+                let fl = x.floor() as i64;
+                // Explore the side closer to the LP value first (pushed last).
+                let down = Node {
+                    bounds: with_bound(&node.bounds, v, Rel::Le, fl),
+                };
+                let up = Node {
+                    bounds: with_bound(&node.bounds, v, Rel::Ge, fl + 1),
+                };
+                if x - x.floor() > 0.5 {
+                    stack.push(down);
+                    stack.push(up);
+                } else {
+                    stack.push(up);
+                    stack.push(down);
+                }
+            }
+        }
+    }
+
+    let status = match (&incumbent, exhausted) {
+        (Some(_), false) => IlpStatus::Optimal,
+        (Some(_), true) => IlpStatus::Feasible,
+        (None, false) => IlpStatus::Infeasible,
+        (None, true) => IlpStatus::Unknown,
+    };
+    let (values, objective) = incumbent.unwrap_or_else(|| (vec![0; n], 0));
+    Ok(IlpSolution {
+        status,
+        values,
+        objective,
+        nodes,
+        lp_iterations,
+    })
+}
+
+fn with_bound(bounds: &[(VarId, Rel, i64)], v: VarId, rel: Rel, b: i64) -> Vec<(VarId, Rel, i64)> {
+    let mut out = bounds.to_vec();
+    out.push((v, rel, b));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::Rational;
+
+    /// Knapsack-ish: max 5x+4y s.t. 6x+4y<=24, x+2y<=6. The LP optimum is
+    /// fractional (x=3, y=1.5, obj 21); the integer optimum is x=4, y=0
+    /// (obj 20). Naive rounding of the LP point gives only 19.
+    #[test]
+    fn branching_beats_rounding() {
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.set_objective(x, -5);
+        p.set_objective(y, -4);
+        p.add_constraint(vec![(x, 6), (y, 4)], Rel::Le, 24);
+        p.add_constraint(vec![(x, 1), (y, 2)], Rel::Le, 6);
+        let s = solve_ilp::<Rational>(&p, &BbConfig::default()).unwrap();
+        assert_eq!(s.status, IlpStatus::Optimal);
+        assert_eq!(s.objective, -20);
+        assert_eq!(s.values, vec![4, 0]);
+    }
+
+    #[test]
+    fn infeasible_integrality() {
+        // 2x = 3 has an LP solution but no integer one.
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.add_constraint(vec![(x, 2)], Rel::Eq, 3);
+        let s = solve_ilp::<Rational>(&p, &BbConfig::default()).unwrap();
+        assert_eq!(s.status, IlpStatus::Infeasible);
+    }
+
+    #[test]
+    fn already_integral_lp() {
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.set_objective(x, 1);
+        p.add_constraint(vec![(x, 1)], Rel::Ge, 4);
+        let s = solve_ilp::<Rational>(&p, &BbConfig::default()).unwrap();
+        assert_eq!(s.status, IlpStatus::Optimal);
+        assert_eq!(s.values, vec![4]);
+    }
+
+    #[test]
+    fn node_budget_reports_unknown_or_feasible() {
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.set_objective(x, -5);
+        p.set_objective(y, -4);
+        p.add_constraint(vec![(x, 6), (y, 4)], Rel::Le, 24);
+        p.add_constraint(vec![(x, 1), (y, 2)], Rel::Le, 6);
+        let s = solve_ilp::<Rational>(&p, &BbConfig { max_nodes: 1 }).unwrap();
+        assert!(matches!(s.status, IlpStatus::Unknown | IlpStatus::Feasible));
+    }
+
+    #[test]
+    fn soft_constraints_always_give_a_solution() {
+        // Conflicting soft targets: x=2 and x=5, weight 1 each. Best x
+        // minimizes |x−2|+|x−5| → any x in [2,5] with objective 3.
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.add_soft_eq(vec![(x, 1)], 2, 1);
+        p.add_soft_eq(vec![(x, 1)], 5, 1);
+        let s = solve_ilp::<Rational>(&p, &BbConfig::default()).unwrap();
+        assert_eq!(s.status, IlpStatus::Optimal);
+        assert_eq!(s.objective, 3);
+        assert!((2..=5).contains(&s.values[0]));
+    }
+
+    #[test]
+    fn float_backend_agrees() {
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.set_objective(x, -5);
+        p.set_objective(y, -4);
+        p.add_constraint(vec![(x, 6), (y, 4)], Rel::Le, 24);
+        p.add_constraint(vec![(x, 1), (y, 2)], Rel::Le, 6);
+        let s = solve_ilp::<f64>(&p, &BbConfig::default()).unwrap();
+        assert_eq!(s.status, IlpStatus::Optimal);
+        assert_eq!(s.objective, -20);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::rational::Rational;
+    use proptest::prelude::*;
+
+    /// Brute force over a small box, for cross-checking.
+    fn brute_force(p: &Problem, max: i64) -> Option<i64> {
+        let n = p.n_vars();
+        let mut best: Option<i64> = None;
+        let mut x = vec![0i64; n];
+        loop {
+            if p.is_feasible_point(&x) {
+                let obj = p.objective_at(&x);
+                best = Some(best.map_or(obj, |b| b.min(obj)));
+            }
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == n {
+                    return best;
+                }
+                x[i] += 1;
+                if x[i] <= max {
+                    break;
+                }
+                x[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    fn arb_bounded_problem() -> impl Strategy<Value = Problem> {
+        (
+            proptest::collection::vec(-3i64..4, 2),
+            proptest::collection::vec(
+                (proptest::collection::vec((0usize..2, 1i64..4), 1..3), 0i64..12, 0u8..3),
+                1..4,
+            ),
+        )
+            .prop_map(|(obj, cons)| {
+                let mut p = Problem::new();
+                for (i, &c) in obj.iter().enumerate() {
+                    let v = p.add_var(format!("x{i}"));
+                    p.set_objective(v, c);
+                }
+                // Keep the feasible region bounded so brute force terminates.
+                p.add_constraint(vec![(0, 1)], Rel::Le, 6);
+                p.add_constraint(vec![(1, 1)], Rel::Le, 6);
+                for (terms, rhs, rel) in cons {
+                    let rel = match rel {
+                        0 => Rel::Le,
+                        1 => Rel::Ge,
+                        _ => Rel::Eq,
+                    };
+                    p.add_constraint(terms, rel, rhs);
+                }
+                p
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn bb_matches_brute_force(p in arb_bounded_problem()) {
+            let s = solve_ilp::<Rational>(&p, &BbConfig { max_nodes: 50_000 }).unwrap();
+            let brute = brute_force(&p, 6);
+            match brute {
+                Some(best) => {
+                    prop_assert_eq!(s.status, IlpStatus::Optimal);
+                    prop_assert_eq!(s.objective, best);
+                    prop_assert!(p.is_feasible_point(&s.values));
+                }
+                None => prop_assert_eq!(s.status, IlpStatus::Infeasible),
+            }
+        }
+    }
+}

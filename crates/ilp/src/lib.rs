@@ -1,0 +1,56 @@
+//! # cextend-ilp — integer linear programming substrate
+//!
+//! The paper's Phase I (Algorithm 1) models cardinality constraints as a
+//! system `Ax = b` over non-negative integer variables and hands it to an
+//! ILP solver (PuLP/CBC in the authors' implementation). No comparable
+//! solver exists in this project's allowed dependency set, so this crate
+//! implements one:
+//!
+//! - [`Rational`] — exact `i128` fractions with overflow *detection*.
+//! - [`Scalar`] — one simplex, two arithmetics (exact for ground truth and
+//!   tests, `f64` for scale).
+//! - [`solve_lp`] — dense two-phase primal simplex with anti-cycling.
+//! - [`solve_ilp`] — branch-and-bound with LP-bound pruning and a node
+//!   budget.
+//! - [`Problem::add_soft_eq`] — *elastic* equalities: CC rows may be
+//!   violated at a linear cost, marginal rows stay hard, so Phase I can
+//!   always return *a* completion (the paper "tolerates possible errors in
+//!   the CC counts" but never fails).
+//! - [`largest_remainder`] — group-preserving rounding used when the node
+//!   budget runs out.
+//!
+//! ```
+//! use cextend_ilp::{solve_ilp, BbConfig, IlpStatus, Problem, Rational, Rel};
+//!
+//! // max 5x + 4y  s.t. 6x + 4y <= 24, x + 2y <= 6, x,y >= 0 integer
+//! let mut p = Problem::new();
+//! let x = p.add_var("x");
+//! let y = p.add_var("y");
+//! p.set_objective(x, -5);
+//! p.set_objective(y, -4);
+//! p.add_constraint(vec![(x, 6), (y, 4)], Rel::Le, 24);
+//! p.add_constraint(vec![(x, 1), (y, 2)], Rel::Le, 6);
+//! let s = solve_ilp::<Rational>(&p, &BbConfig::default()).unwrap();
+//! assert_eq!(s.status, IlpStatus::Optimal);
+//! assert_eq!((s.values[x], s.values[y]), (4, 0)); // obj 20 beats rounded LP's 19
+//! ```
+
+#![warn(missing_docs)]
+
+mod branch_bound;
+mod error;
+mod matrix;
+mod problem;
+mod rational;
+mod rounding;
+mod scalar;
+mod simplex;
+
+pub use branch_bound::{solve_ilp, BbConfig, IlpSolution, IlpStatus};
+pub use error::{IlpError, Result};
+pub use matrix::Matrix;
+pub use problem::{Constraint, Problem, Rel, VarId};
+pub use rational::Rational;
+pub use rounding::largest_remainder;
+pub use scalar::{Scalar, F64_EPS, F64_INT_EPS};
+pub use simplex::{solve_lp, LpSolution, LpStatus};

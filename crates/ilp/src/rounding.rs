@@ -1,0 +1,165 @@
+//! Largest-remainder rounding of fractional LP solutions.
+//!
+//! Phase I's hard marginal rows partition the variables into groups (one per
+//! bin) whose values must sum to an exact integer count. Rounding each
+//! group's fractional LP values with the largest-remainder method preserves
+//! those sums exactly, so the hard rows stay satisfied while CC rows absorb
+//! whatever rounding error remains — mirroring the paper's tolerance for CC
+//! error but not for structural error.
+
+/// Rounds non-negative fractional weights to non-negative integers summing
+/// to exactly `total`, staying as close to the weights as possible
+/// (largest-remainder / Hamilton method).
+///
+/// # Panics
+/// Panics if `total < 0` or `fracs` is empty while `total > 0`.
+pub fn largest_remainder(fracs: &[f64], total: i64) -> Vec<i64> {
+    assert!(total >= 0, "total must be non-negative, got {total}");
+    if fracs.is_empty() {
+        assert_eq!(total, 0, "cannot distribute {total} over zero slots");
+        return Vec::new();
+    }
+    let n = fracs.len() as i64;
+    let mut x: Vec<i64> = fracs.iter().map(|&f| f.max(0.0).floor() as i64).collect();
+    let mut diff = total - x.iter().sum::<i64>();
+
+    // Bulk adjustment when the weights were nowhere near `total`.
+    if diff > 2 * n {
+        let per = diff / n;
+        for xi in &mut x {
+            *xi += per;
+        }
+        diff -= per * n;
+    }
+
+    // Residual of slot i: how far below its target weight it currently is.
+    let residual = |x: &[i64], i: usize| fracs[i].max(0.0) - x[i] as f64;
+
+    while diff > 0 {
+        let mut best = 0usize;
+        for i in 1..x.len() {
+            if residual(&x, i) > residual(&x, best) {
+                best = i;
+            }
+        }
+        x[best] += 1;
+        diff -= 1;
+    }
+    while diff < 0 {
+        // Take back from the slot that most exceeds its weight, but never
+        // below zero.
+        let mut best: Option<usize> = None;
+        for i in 0..x.len() {
+            if x[i] == 0 {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    if residual(&x, i) < residual(&x, b) {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        let b = best.expect("total >= 0 and sum(x) > total implies some x[i] > 0");
+        x[b] -= 1;
+        diff += 1;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fractions_round_within_one() {
+        let fr = [1.4, 2.3, 0.3];
+        let x = largest_remainder(&fr, 4);
+        assert_eq!(x.iter().sum::<i64>(), 4);
+        for (xi, fi) in x.iter().zip(fr.iter()) {
+            assert!((*xi as f64 - fi).abs() < 1.0, "{xi} too far from {fi}");
+        }
+        // Largest remainders get the extra units: 1.4 → 2 or 2.3 → 3? The
+        // remainders are .4, .3, .3; floor sum = 3, one unit left → slot 0.
+        assert_eq!(x, vec![2, 2, 0]);
+    }
+
+    #[test]
+    fn zero_total() {
+        assert_eq!(largest_remainder(&[0.4, 0.6], 0), vec![0, 0]);
+        assert_eq!(largest_remainder(&[], 0), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn weights_far_below_total_distribute_evenly() {
+        let x = largest_remainder(&[0.0, 0.0, 0.0], 30);
+        assert_eq!(x.iter().sum::<i64>(), 30);
+        assert!(x.iter().all(|&v| v == 10));
+    }
+
+    #[test]
+    fn weights_above_total_shrink_without_going_negative() {
+        let x = largest_remainder(&[5.0, 5.0, 0.1], 4);
+        assert_eq!(x.iter().sum::<i64>(), 4);
+        assert!(x.iter().all(|&v| v >= 0));
+        // The near-zero slot should be drained before the big ones.
+        assert_eq!(x[2], 0);
+    }
+
+    #[test]
+    fn negative_weights_are_clamped() {
+        let x = largest_remainder(&[-3.0, 2.5, 1.5], 4);
+        assert_eq!(x.iter().sum::<i64>(), 4);
+        assert!(x.iter().all(|&v| v >= 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_total_panics() {
+        largest_remainder(&[1.0], -1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn sums_exactly_and_stays_nonnegative(
+            fr in proptest::collection::vec(0.0f64..20.0, 1..12),
+            total in 0i64..200,
+        ) {
+            let x = largest_remainder(&fr, total);
+            prop_assert_eq!(x.iter().sum::<i64>(), total);
+            prop_assert!(x.iter().all(|&v| v >= 0));
+        }
+
+        #[test]
+        fn within_one_when_weights_sum_to_total(
+            ints in proptest::collection::vec(0i64..30, 2..10),
+        ) {
+            // Build fractional weights that sum exactly to an integer total.
+            let total: i64 = ints.iter().sum();
+            let n = ints.len();
+            let mut fr: Vec<f64> = ints.iter().map(|&v| v as f64).collect();
+            // Shift mass between adjacent slots, keeping the sum fixed.
+            for i in 0..n - 1 {
+                let shift = 0.3;
+                if fr[i] >= shift {
+                    fr[i] -= shift;
+                    fr[i + 1] += shift;
+                }
+            }
+            let x = largest_remainder(&fr, total);
+            prop_assert_eq!(x.iter().sum::<i64>(), total);
+            for (xi, fi) in x.iter().zip(fr.iter()) {
+                prop_assert!((*xi as f64 - fi).abs() < 1.0 + 1e-9,
+                    "{} too far from {}", xi, fi);
+            }
+        }
+    }
+}

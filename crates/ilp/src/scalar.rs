@@ -1,0 +1,218 @@
+//! The [`Scalar`] abstraction: one simplex implementation, two arithmetics.
+//!
+//! The solver is generic over its number type. [`Rational`] gives exact
+//! results (used for tests, small instances, and as ground truth);
+//! `f64` gives speed at scale. Every operation is fallible so the exact
+//! backend can report overflow and let callers fall back to floats.
+
+use crate::error::Result;
+use crate::rational::Rational;
+use std::cmp::Ordering;
+
+/// Number type usable by the simplex and branch-and-bound machinery.
+pub trait Scalar: Clone + std::fmt::Debug + PartialEq {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Conversion from an integer coefficient.
+    fn from_i64(v: i64) -> Self;
+    /// Checked addition.
+    fn try_add(&self, o: &Self) -> Result<Self>;
+    /// Checked subtraction.
+    fn try_sub(&self, o: &Self) -> Result<Self>;
+    /// Checked multiplication.
+    fn try_mul(&self, o: &Self) -> Result<Self>;
+    /// Checked division.
+    fn try_div(&self, o: &Self) -> Result<Self>;
+    /// Negation.
+    fn neg(&self) -> Self;
+    /// `true` if (numerically) zero. Floats use a tolerance.
+    fn is_zero(&self) -> bool;
+    /// `true` if strictly positive beyond tolerance.
+    fn is_positive(&self) -> bool;
+    /// `true` if strictly negative beyond tolerance.
+    fn is_negative(&self) -> bool;
+    /// Total comparison (no NaNs may be produced by solver arithmetic).
+    fn total_cmp(&self, o: &Self) -> Ordering;
+    /// Lossy conversion to `f64` for reporting.
+    fn to_f64(&self) -> f64;
+    /// `true` if within integrality tolerance of an integer.
+    fn is_integral(&self) -> bool;
+    /// Nearest integer.
+    fn round_i64(&self) -> i64;
+    /// Floor.
+    fn floor_i64(&self) -> i64;
+    /// Human-readable name of the arithmetic (for diagnostics).
+    fn arithmetic_name() -> &'static str;
+}
+
+impl Scalar for Rational {
+    fn zero() -> Self {
+        Rational::ZERO
+    }
+    fn one() -> Self {
+        Rational::ONE
+    }
+    fn from_i64(v: i64) -> Self {
+        Rational::from_int(v)
+    }
+    fn try_add(&self, o: &Self) -> Result<Self> {
+        Rational::try_add(self, o)
+    }
+    fn try_sub(&self, o: &Self) -> Result<Self> {
+        Rational::try_sub(self, o)
+    }
+    fn try_mul(&self, o: &Self) -> Result<Self> {
+        Rational::try_mul(self, o)
+    }
+    fn try_div(&self, o: &Self) -> Result<Self> {
+        Rational::try_div(self, o)
+    }
+    fn neg(&self) -> Self {
+        Rational::neg(self)
+    }
+    fn is_zero(&self) -> bool {
+        Rational::is_zero(self)
+    }
+    fn is_positive(&self) -> bool {
+        Rational::is_positive(self)
+    }
+    fn is_negative(&self) -> bool {
+        Rational::is_negative(self)
+    }
+    fn total_cmp(&self, o: &Self) -> Ordering {
+        self.cmp(o)
+    }
+    fn to_f64(&self) -> f64 {
+        Rational::to_f64(self)
+    }
+    fn is_integral(&self) -> bool {
+        Rational::is_integral(self)
+    }
+    fn round_i64(&self) -> i64 {
+        Rational::round_i64(self)
+    }
+    fn floor_i64(&self) -> i64 {
+        Rational::floor_i64(self)
+    }
+    fn arithmetic_name() -> &'static str {
+        "exact-rational"
+    }
+}
+
+/// Zero/sign tolerance for float arithmetic.
+pub const F64_EPS: f64 = 1e-9;
+/// Integrality tolerance for float arithmetic.
+pub const F64_INT_EPS: f64 = 1e-6;
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_i64(v: i64) -> Self {
+        v as f64
+    }
+    fn try_add(&self, o: &Self) -> Result<Self> {
+        Ok(self + o)
+    }
+    fn try_sub(&self, o: &Self) -> Result<Self> {
+        Ok(self - o)
+    }
+    fn try_mul(&self, o: &Self) -> Result<Self> {
+        Ok(self * o)
+    }
+    fn try_div(&self, o: &Self) -> Result<Self> {
+        if o.abs() < F64_EPS {
+            Err(crate::error::IlpError::DivideByZero)
+        } else {
+            Ok(self / o)
+        }
+    }
+    fn neg(&self) -> Self {
+        -self
+    }
+    fn is_zero(&self) -> bool {
+        self.abs() < F64_EPS
+    }
+    fn is_positive(&self) -> bool {
+        *self > F64_EPS
+    }
+    fn is_negative(&self) -> bool {
+        *self < -F64_EPS
+    }
+    fn total_cmp(&self, o: &Self) -> Ordering {
+        f64::total_cmp(self, o)
+    }
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+    fn is_integral(&self) -> bool {
+        (self - self.round()).abs() < F64_INT_EPS
+    }
+    fn round_i64(&self) -> i64 {
+        self.round() as i64
+    }
+    fn floor_i64(&self) -> i64 {
+        // Snap near-integers before flooring so 2.9999999 floors to 3.
+        if self.is_integral() {
+            self.round() as i64
+        } else {
+            self.floor() as i64
+        }
+    }
+    fn arithmetic_name() -> &'static str {
+        "f64"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<T: Scalar>() {
+        let two = T::from_i64(2);
+        let three = T::from_i64(3);
+        let five = two.try_add(&three).unwrap();
+        assert_eq!(five.to_f64(), 5.0);
+        assert!(five.is_positive());
+        assert!(!five.is_negative());
+        assert!(five.is_integral());
+        assert_eq!(five.round_i64(), 5);
+        let half = T::one().try_div(&two).unwrap();
+        assert_eq!(half.floor_i64(), 0);
+        assert!(!T::from_i64(0).is_positive());
+        assert!(T::from_i64(0).is_zero());
+        assert_eq!(
+            two.total_cmp(&three),
+            std::cmp::Ordering::Less
+        );
+        assert_eq!(three.neg().to_f64(), -3.0);
+    }
+
+    #[test]
+    fn both_backends_behave_identically_on_integers() {
+        exercise::<Rational>();
+        exercise::<f64>();
+    }
+
+    #[test]
+    fn f64_tolerances() {
+        assert!((1e-10f64).is_zero());
+        assert!(!(1e-8f64).is_zero());
+        assert!((2.9999999f64).is_integral());
+        assert_eq!((2.9999999f64).floor_i64(), 3);
+        assert_eq!((2.5f64).floor_i64(), 2);
+    }
+
+    #[test]
+    fn rational_is_exact() {
+        // 0.1 + 0.2 == 0.3 exactly in rationals.
+        let a = Rational::new(1, 10).unwrap();
+        let b = Rational::new(2, 10).unwrap();
+        assert_eq!(a.try_add(&b).unwrap(), Rational::new(3, 10).unwrap());
+    }
+}

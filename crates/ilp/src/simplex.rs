@@ -1,0 +1,571 @@
+//! Two-phase primal simplex over a dense tableau, generic over [`Scalar`].
+//!
+//! Phase 1 minimizes the sum of artificial variables to find a basic
+//! feasible solution; phase 2 minimizes the real objective. Pivot selection
+//! uses Dantzig's rule (most negative reduced cost) and switches to Bland's
+//! rule — which provably cannot cycle — after a stall threshold. With the
+//! [`crate::Rational`] backend the result is exact.
+
+use crate::error::{IlpError, Result};
+use crate::matrix::Matrix;
+use crate::problem::{Problem, Rel};
+use crate::scalar::Scalar;
+
+/// Outcome of an LP solve.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LpStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// The constraints admit no solution.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+/// An LP solution: status, primal values of the *structural* variables
+/// (deviation variables included; slacks/artificials excluded), and the
+/// objective value (meaningful only when `status == Optimal`).
+#[derive(Clone, Debug)]
+pub struct LpSolution<T> {
+    /// Solve status.
+    pub status: LpStatus,
+    /// One value per problem variable.
+    pub values: Vec<T>,
+    /// Objective value at `values`.
+    pub objective: T,
+    /// Simplex iterations used (both phases).
+    pub iterations: usize,
+}
+
+/// Solves the LP relaxation of `problem` (integrality ignored).
+pub fn solve_lp<T: Scalar>(problem: &Problem) -> Result<LpSolution<T>> {
+    problem.validate()?;
+    Tableau::<T>::build(problem)?.solve(problem)
+}
+
+struct Tableau<T> {
+    /// `(m+1) × (total+1)`; row `m` is the objective row (reduced costs,
+    /// last cell holds `-objective`).
+    t: Matrix<T>,
+    /// Basis variable per constraint row.
+    basis: Vec<usize>,
+    m: usize,
+    /// Structural variable count (slack/artificial columns follow).
+    n_struct: usize,
+    /// First artificial column (artificials occupy `art_start..total`).
+    art_start: usize,
+    total: usize,
+    iterations: usize,
+}
+
+impl<T: Scalar> Tableau<T> {
+    fn build(p: &Problem) -> Result<Tableau<T>> {
+        let m = p.n_constraints();
+        let n = p.n_vars();
+        // Count auxiliary columns: slack (Le), surplus (Ge), artificial (Ge, Eq).
+        let mut n_slack = 0;
+        let mut n_art = 0;
+        for c in p.constraints() {
+            // Canonical sense after making rhs non-negative.
+            let rel = effective_rel(c.rel, c.rhs);
+            match rel {
+                Rel::Le => n_slack += 1,
+                Rel::Ge => {
+                    n_slack += 1; // surplus
+                    n_art += 1;
+                }
+                Rel::Eq => n_art += 1,
+            }
+        }
+        let art_start = n + n_slack;
+        let total = art_start + n_art;
+        let mut t = Matrix::filled(m + 1, total + 1, T::zero());
+        let mut basis = vec![0usize; m];
+        let mut next_slack = n;
+        let mut next_art = art_start;
+        for (i, c) in p.constraints().iter().enumerate() {
+            let flip = c.rhs < 0;
+            for &(v, coeff) in &c.terms {
+                let coeff = if flip { -coeff } else { coeff };
+                // Accumulate: duplicate terms on the same variable sum up.
+                let cur = t.get(i, v).clone();
+                t.set(i, v, cur.try_add(&T::from_i64(coeff))?);
+            }
+            let rhs = if flip { -c.rhs } else { c.rhs };
+            t.set(i, total, T::from_i64(rhs));
+            match effective_rel(c.rel, c.rhs) {
+                Rel::Le => {
+                    t.set(i, next_slack, T::one());
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Rel::Ge => {
+                    t.set(i, next_slack, T::one().neg());
+                    next_slack += 1;
+                    t.set(i, next_art, T::one());
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                Rel::Eq => {
+                    t.set(i, next_art, T::one());
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+        Ok(Tableau {
+            t,
+            basis,
+            m,
+            n_struct: n,
+            art_start,
+            total,
+            iterations: 0,
+        })
+    }
+
+    /// Installs an objective (dense over all `total` columns) into the
+    /// objective row, pricing out the current basis.
+    fn install_objective(&mut self, costs: &[T]) -> Result<()> {
+        for (j, c) in costs.iter().enumerate().take(self.total) {
+            self.t.set(self.m, j, c.clone());
+        }
+        self.t.set(self.m, self.total, T::zero());
+        for i in 0..self.m {
+            let cb = costs[self.basis[i]].clone();
+            if cb.is_zero() {
+                continue;
+            }
+            let (row_i, obj) = self.t.two_rows_mut(i, self.m);
+            for j in 0..=self.total {
+                let delta = cb.try_mul(&row_i[j])?;
+                obj[j] = obj[j].try_sub(&delta)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) -> Result<()> {
+        let piv = self.t.get(row, col).clone();
+        if piv.is_zero() {
+            return Err(IlpError::DivideByZero);
+        }
+        // Normalize the pivot row.
+        {
+            let r = self.t.row_mut(row);
+            for cell in r.iter_mut() {
+                *cell = cell.try_div(&piv)?;
+            }
+        }
+        // Eliminate the pivot column from every other row (objective included).
+        for i in 0..=self.m {
+            if i == row {
+                continue;
+            }
+            let factor = self.t.get(i, col).clone();
+            if factor.is_zero() {
+                continue;
+            }
+            let (pivot_row, other) = self.t.two_rows_mut(row, i);
+            for j in 0..=self.total {
+                let delta = factor.try_mul(&pivot_row[j])?;
+                other[j] = other[j].try_sub(&delta)?;
+            }
+        }
+        if row < self.m {
+            self.basis[row] = col;
+        }
+        Ok(())
+    }
+
+    /// Runs simplex iterations until optimality/unboundedness.
+    /// `allowed(j)` gates which columns may enter the basis.
+    fn iterate(&mut self, allowed: impl Fn(usize) -> bool) -> Result<LpStatus> {
+        let max_iters = 200 * (self.m + self.total) + 2000;
+        let bland_after = 20 * (self.m + self.total) + 200;
+        let mut local_iters = 0usize;
+        loop {
+            if local_iters > max_iters {
+                return Err(IlpError::IterationLimit {
+                    iterations: self.iterations,
+                });
+            }
+            let use_bland = local_iters > bland_after;
+            // Entering column: negative reduced cost.
+            let mut entering: Option<usize> = None;
+            let mut best = T::zero();
+            for j in 0..self.total {
+                if !allowed(j) {
+                    continue;
+                }
+                let r = self.t.get(self.m, j);
+                if r.is_negative() {
+                    if use_bland {
+                        entering = Some(j);
+                        break;
+                    }
+                    if r.total_cmp(&best) == std::cmp::Ordering::Less {
+                        best = r.clone();
+                        entering = Some(j);
+                    }
+                }
+            }
+            let Some(col) = entering else {
+                return Ok(LpStatus::Optimal);
+            };
+            // Leaving row: minimum ratio b_i / a_ij over a_ij > 0,
+            // ties broken by the smallest basis index (anti-cycling).
+            let mut leave: Option<(usize, T)> = None;
+            for i in 0..self.m {
+                let a = self.t.get(i, col);
+                if !a.is_positive() {
+                    continue;
+                }
+                let ratio = self.t.get(i, self.total).try_div(a)?;
+                match &leave {
+                    None => leave = Some((i, ratio)),
+                    Some((bi, br)) => match ratio.total_cmp(br) {
+                        std::cmp::Ordering::Less => leave = Some((i, ratio)),
+                        std::cmp::Ordering::Equal => {
+                            if self.basis[i] < self.basis[*bi] {
+                                leave = Some((i, ratio));
+                            }
+                        }
+                        std::cmp::Ordering::Greater => {}
+                    },
+                }
+            }
+            let Some((row, _)) = leave else {
+                return Ok(LpStatus::Unbounded);
+            };
+            self.pivot(row, col)?;
+            self.iterations += 1;
+            local_iters += 1;
+        }
+    }
+
+    /// After phase 1, pivots basic artificials out of the basis where
+    /// possible; rows where no non-artificial pivot exists are redundant and
+    /// left with a zero-valued artificial that phase 2 never lets re-enter.
+    fn expel_artificials(&mut self) -> Result<()> {
+        for i in 0..self.m {
+            if self.basis[i] < self.art_start {
+                continue;
+            }
+            // The artificial is basic; its value must be zero here
+            // (phase 1 ended at objective 0).
+            let col = (0..self.art_start).find(|&j| !self.t.get(i, j).is_zero());
+            if let Some(j) = col {
+                self.pivot(i, j)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn extract(&self, p: &Problem, status: LpStatus) -> LpSolution<T> {
+        let mut values = vec![T::zero(); self.n_struct];
+        if status == LpStatus::Optimal {
+            for i in 0..self.m {
+                if self.basis[i] < self.n_struct {
+                    values[self.basis[i]] = self.t.get(i, self.total).clone();
+                }
+            }
+        }
+        let mut objective = T::zero();
+        for (v, &c) in p.objective().iter().enumerate() {
+            if c != 0 {
+                let term = T::from_i64(c)
+                    .try_mul(&values[v])
+                    .unwrap_or_else(|_| T::zero());
+                objective = objective.try_add(&term).unwrap_or_else(|_| T::zero());
+            }
+        }
+        LpSolution {
+            status,
+            values,
+            objective,
+            iterations: self.iterations,
+        }
+    }
+
+    fn solve(mut self, p: &Problem) -> Result<LpSolution<T>> {
+        // Phase 1: minimize the sum of artificials.
+        if self.art_start < self.total {
+            let mut costs = vec![T::zero(); self.total];
+            for c in costs.iter_mut().take(self.total).skip(self.art_start) {
+                *c = T::one();
+            }
+            self.install_objective(&costs)?;
+            match self.iterate(|_| true)? {
+                LpStatus::Optimal => {}
+                // Phase 1 is bounded below by 0, so Unbounded cannot happen.
+                LpStatus::Unbounded | LpStatus::Infeasible => unreachable!(),
+            }
+            let phase1_obj = self.t.get(self.m, self.total).neg();
+            if phase1_obj.is_positive() {
+                return Ok(self.extract(p, LpStatus::Infeasible));
+            }
+            self.expel_artificials()?;
+        }
+        // Phase 2: minimize the real objective, artificials barred.
+        let mut costs = vec![T::zero(); self.total];
+        for (v, &c) in p.objective().iter().enumerate() {
+            costs[v] = T::from_i64(c);
+        }
+        self.install_objective(&costs)?;
+        let art_start = self.art_start;
+        let status = self.iterate(|j| j < art_start)?;
+        Ok(self.extract(p, status))
+    }
+}
+
+fn effective_rel(rel: Rel, rhs: i64) -> Rel {
+    if rhs >= 0 {
+        rel
+    } else {
+        match rel {
+            Rel::Le => Rel::Ge,
+            Rel::Ge => Rel::Le,
+            Rel::Eq => Rel::Eq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::Rational;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    /// max x+y s.t. x+2y<=4, 3x+y<=6  (as min −x−y). Optimum at (1.6, 1.2).
+    fn sample() -> Problem {
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.set_objective(x, -1);
+        p.set_objective(y, -1);
+        p.add_constraint(vec![(x, 1), (y, 2)], Rel::Le, 4);
+        p.add_constraint(vec![(x, 3), (y, 1)], Rel::Le, 6);
+        p
+    }
+
+    #[test]
+    fn optimal_float() {
+        let s = solve_lp::<f64>(&sample()).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.values[0], 1.6);
+        assert_close(s.values[1], 1.2);
+        assert_close(s.objective, -2.8);
+    }
+
+    #[test]
+    fn optimal_exact() {
+        let s = solve_lp::<Rational>(&sample()).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_eq!(s.values[0], Rational::new(8, 5).unwrap());
+        assert_eq!(s.values[1], Rational::new(6, 5).unwrap());
+        assert_eq!(s.objective, Rational::new(-14, 5).unwrap());
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min x+y s.t. x+y=3, x>=1  → (x, y) on the segment, obj 3.
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.set_objective(x, 1);
+        p.set_objective(y, 1);
+        p.add_constraint(vec![(x, 1), (y, 1)], Rel::Eq, 3);
+        p.add_constraint(vec![(x, 1)], Rel::Ge, 1);
+        let s = solve_lp::<Rational>(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_eq!(s.objective, Rational::from_int(3));
+        assert!(s.values[0] >= Rational::from_int(1));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.add_constraint(vec![(x, 1)], Rel::Ge, 5);
+        p.add_constraint(vec![(x, 1)], Rel::Le, 2);
+        let s = solve_lp::<Rational>(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Infeasible);
+        let s = solve_lp::<f64>(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.set_objective(x, -1);
+        p.add_constraint(vec![(x, 1)], Rel::Ge, 0);
+        let s = solve_lp::<Rational>(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_canonicalized() {
+        // x <= -2 is infeasible for x >= 0; x >= -2 is trivially satisfied.
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.add_constraint(vec![(x, 1)], Rel::Le, -2);
+        assert_eq!(solve_lp::<Rational>(&p).unwrap().status, LpStatus::Infeasible);
+
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.set_objective(x, 1);
+        p.add_constraint(vec![(x, 1)], Rel::Ge, -2);
+        let s = solve_lp::<Rational>(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_eq!(s.values[0], Rational::ZERO);
+
+        // -x >= -4  ⇔  x <= 4; maximize x.
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.set_objective(x, -1);
+        p.add_constraint(vec![(x, -1)], Rel::Ge, -4);
+        let s = solve_lp::<Rational>(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_eq!(s.values[0], Rational::from_int(4));
+    }
+
+    #[test]
+    fn zero_constraint_problem() {
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.set_objective(x, 1);
+        let s = solve_lp::<Rational>(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_eq!(s.values[0], Rational::ZERO);
+    }
+
+    #[test]
+    fn duplicate_terms_accumulate() {
+        // (x + x) = 4  →  x = 2.
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.add_constraint(vec![(x, 1), (x, 1)], Rel::Eq, 4);
+        let s = solve_lp::<Rational>(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_eq!(s.values[0], Rational::from_int(2));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Klee-Minty-flavoured degenerate system; checks anti-cycling.
+        let mut p = Problem::new();
+        let v: Vec<_> = (0..4).map(|i| p.add_var(format!("x{i}"))).collect();
+        for &x in &v {
+            p.set_objective(x, -1);
+        }
+        for &var in &v {
+            p.add_constraint(vec![(var, 1)], Rel::Le, 0);
+        }
+        p.add_constraint(v.iter().map(|&x| (x, 1)).collect(), Rel::Le, 0);
+        let s = solve_lp::<Rational>(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_eq!(s.objective, Rational::ZERO);
+    }
+
+    #[test]
+    fn soft_equality_yields_min_deviation() {
+        // x <= 3 hard, soft x = 5  → x = 3, deviation 2.
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.add_constraint(vec![(x, 1)], Rel::Le, 3);
+        p.add_soft_eq(vec![(x, 1)], 5, 1);
+        let s = solve_lp::<Rational>(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_eq!(s.values[0], Rational::from_int(3));
+        assert_eq!(s.objective, Rational::from_int(2));
+    }
+
+    #[test]
+    fn exact_and_float_agree_on_objective() {
+        let p = sample();
+        let e = solve_lp::<Rational>(&p).unwrap();
+        let f = solve_lp::<f64>(&p).unwrap();
+        assert_close(e.objective.to_f64(), f.objective);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::rational::Rational;
+    use proptest::prelude::*;
+
+    /// Random small LPs: exact and float backends must agree on status and
+    /// (when optimal) on the objective value.
+    fn arb_problem() -> impl Strategy<Value = Problem> {
+        let term = (0usize..3, -3i64..4);
+        let cons = (proptest::collection::vec(term, 1..4), -10i64..20).prop_map(
+            |(terms, rhs)| (terms, rhs),
+        );
+        (
+            proptest::collection::vec(-3i64..4, 3),
+            proptest::collection::vec(cons, 1..5),
+            proptest::collection::vec(0u8..3, 1..5),
+        )
+            .prop_map(|(obj, cons, rels)| {
+                let mut p = Problem::new();
+                for (i, &c) in obj.iter().enumerate() {
+                    let v = p.add_var(format!("x{i}"));
+                    p.set_objective(v, c);
+                }
+                for (i, (terms, rhs)) in cons.into_iter().enumerate() {
+                    let rel = match rels[i % rels.len()] {
+                        0 => Rel::Le,
+                        1 => Rel::Ge,
+                        _ => Rel::Eq,
+                    };
+                    p.add_constraint(terms, rel, rhs);
+                }
+                p
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn exact_and_float_agree(p in arb_problem()) {
+            let e = solve_lp::<Rational>(&p).unwrap();
+            let f = solve_lp::<f64>(&p).unwrap();
+            prop_assert_eq!(e.status, f.status);
+            if e.status == LpStatus::Optimal {
+                prop_assert!((e.objective.to_f64() - f.objective).abs() < 1e-5,
+                    "exact {} vs float {}", e.objective, f.objective);
+            }
+        }
+
+        #[test]
+        fn optimal_solutions_are_feasible(p in arb_problem()) {
+            let e = solve_lp::<Rational>(&p).unwrap();
+            if e.status == LpStatus::Optimal {
+                // Check Ax ◦ b at the returned point, exactly.
+                for c in p.constraints() {
+                    let mut lhs = Rational::ZERO;
+                    for &(v, coeff) in &c.terms {
+                        let term = Rational::from_int(coeff).try_mul(&e.values[v]).unwrap();
+                        lhs = lhs.try_add(&term).unwrap();
+                    }
+                    let rhs = Rational::from_int(c.rhs);
+                    let ok = match c.rel {
+                        Rel::Le => lhs <= rhs,
+                        Rel::Ge => lhs >= rhs,
+                        Rel::Eq => lhs == rhs,
+                    };
+                    prop_assert!(ok, "constraint violated: {} vs {}", lhs, rhs);
+                }
+                for v in &e.values {
+                    prop_assert!(!v.is_negative());
+                }
+            }
+        }
+    }
+}

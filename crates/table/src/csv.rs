@@ -1,0 +1,215 @@
+//! Minimal CSV import/export for relations.
+//!
+//! Missing cells serialize as empty fields. Fields containing commas, quotes
+//! or newlines are quoted with `"` and embedded quotes are doubled, per
+//! RFC 4180. This is intentionally small — enough to snapshot generated
+//! workloads and load them back — not a general CSV library.
+
+use crate::error::{Result, TableError};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::{Dtype, Value};
+use std::io::{BufRead, Write};
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Writes `rel` (header + rows) to `out`.
+pub fn write_csv<W: Write>(rel: &Relation, out: &mut W) -> Result<()> {
+    let header: Vec<String> = rel
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| escape(&c.name))
+        .collect();
+    writeln!(out, "{}", header.join(","))?;
+    let mut line = String::new();
+    for r in rel.rows() {
+        line.clear();
+        for c in 0..rel.schema().len() {
+            if c > 0 {
+                line.push(',');
+            }
+            if let Some(v) = rel.get(r, c) {
+                line.push_str(&escape(&v.to_string()));
+            }
+        }
+        writeln!(out, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Splits one CSV record into fields, honoring RFC 4180 quoting.
+fn split_record(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            if ch == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(ch);
+            }
+        } else {
+            match ch {
+                '"' => in_quotes = true,
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                _ => cur.push(ch),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv {
+            line: line_no,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Reads a relation from CSV given its schema. The header must list exactly
+/// the schema's column names in order.
+pub fn read_csv<R: BufRead>(name: &str, schema: Schema, input: &mut R) -> Result<Relation> {
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| TableError::Csv {
+            line: 1,
+            message: "missing header".into(),
+        })?;
+    let header_fields = split_record(&header, 1)?;
+    let expected: Vec<&str> = schema.columns().iter().map(|c| c.name.as_str()).collect();
+    if header_fields != expected {
+        return Err(TableError::Csv {
+            line: 1,
+            message: format!("header {header_fields:?} does not match schema {expected:?}"),
+        });
+    }
+    let mut rel = Relation::new(name, schema);
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_record(&line, line_no)?;
+        if fields.len() != rel.schema().len() {
+            return Err(TableError::Csv {
+                line: line_no,
+                message: format!(
+                    "expected {} fields, found {}",
+                    rel.schema().len(),
+                    fields.len()
+                ),
+            });
+        }
+        let mut row: Vec<Option<Value>> = Vec::with_capacity(fields.len());
+        for (c, field) in fields.iter().enumerate() {
+            if field.is_empty() {
+                row.push(None);
+                continue;
+            }
+            let dtype = rel.schema().column(c).dtype;
+            let v = match dtype {
+                Dtype::Int => Value::Int(field.parse::<i64>().map_err(|e| TableError::Csv {
+                    line: line_no,
+                    message: format!("column {c}: invalid integer `{field}`: {e}"),
+                })?),
+                Dtype::Str => Value::str(field),
+            };
+            row.push(Some(v));
+        }
+        rel.push_row(&row)?;
+    }
+    Ok(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::key("id", Dtype::Int),
+            ColumnDef::attr("Name", Dtype::Str),
+            ColumnDef::foreign_key("fk", Dtype::Int),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_with_missing_cells() {
+        let mut rel = Relation::new("t", schema());
+        rel.push_row(&[Some(Value::Int(1)), Some(Value::str("alpha")), None])
+            .unwrap();
+        rel.push_row(&[Some(Value::Int(2)), None, Some(Value::Int(7))])
+            .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&rel, &mut buf).unwrap();
+        let back = read_csv("t", schema(), &mut buf.as_slice()).unwrap();
+        assert!(crate::join::relations_equal_ordered(&rel, &back));
+    }
+
+    #[test]
+    fn quoting_roundtrip() {
+        let mut rel = Relation::new("t", schema());
+        rel.push_row(&[
+            Some(Value::Int(1)),
+            Some(Value::str("has, comma and \"quote\"")),
+            None,
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&rel, &mut buf).unwrap();
+        let back = read_csv("t", schema(), &mut buf.as_slice()).unwrap();
+        assert_eq!(back.get(0, 1), Some(Value::str("has, comma and \"quote\"")));
+    }
+
+    #[test]
+    fn header_mismatch_is_an_error() {
+        let data = "a,b,c\n1,x,2\n";
+        let err = read_csv("t", schema(), &mut data.as_bytes());
+        assert!(matches!(err, Err(TableError::Csv { line: 1, .. })));
+    }
+
+    #[test]
+    fn bad_int_reports_line() {
+        let data = "id,Name,fk\n1,x,2\nnope,y,3\n";
+        let err = read_csv("t", schema(), &mut data.as_bytes());
+        match err {
+            Err(TableError::Csv { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected CSV error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_field_count_reports_line() {
+        let data = "id,Name,fk\n1,x\n";
+        let err = read_csv("t", schema(), &mut data.as_bytes());
+        assert!(matches!(err, Err(TableError::Csv { line: 2, .. })));
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let data = "id,Name,fk\n1,\"oops,2\n";
+        let err = read_csv("t", schema(), &mut data.as_bytes());
+        assert!(matches!(err, Err(TableError::Csv { .. })));
+    }
+}

@@ -1,0 +1,126 @@
+//! Group-by counts ("marginals") over relation columns.
+//!
+//! The paper augments the ILP with *all-way marginals*: counts of tuples for
+//! every combination of values of `R1`'s non-key columns (Section 4.1). This
+//! module provides the raw group-by machinery; interval binning lives in the
+//! constraints crate.
+
+use crate::relation::{Relation, RowId};
+use crate::schema::ColId;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A group key: one optional value per grouped column.
+pub type GroupKey = Vec<Option<Value>>;
+
+/// Counts rows per combination of values in `cols`. Missing cells group
+/// under `None`. Results are sorted by key for determinism.
+pub fn group_counts(rel: &Relation, cols: &[ColId]) -> Vec<(GroupKey, u64)> {
+    let mut map: HashMap<GroupKey, u64> = HashMap::new();
+    for r in rel.rows() {
+        let key: GroupKey = cols.iter().map(|&c| rel.get(r, c)).collect();
+        *map.entry(key).or_insert(0) += 1;
+    }
+    let mut out: Vec<(GroupKey, u64)> = map.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// Collects the row ids per combination of values in `cols`.
+pub fn group_rows(rel: &Relation, cols: &[ColId]) -> Vec<(GroupKey, Vec<RowId>)> {
+    let mut map: HashMap<GroupKey, Vec<RowId>> = HashMap::new();
+    for r in rel.rows() {
+        let key: GroupKey = cols.iter().map(|&c| rel.get(r, c)).collect();
+        map.entry(key).or_default().push(r);
+    }
+    let mut out: Vec<(GroupKey, Vec<RowId>)> = map.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// Distinct fully-present combinations of `cols`, with multiplicity.
+/// Rows with any missing cell among `cols` are skipped.
+pub fn distinct_combos(rel: &Relation, cols: &[ColId]) -> Vec<(Vec<Value>, u64)> {
+    let mut map: HashMap<Vec<Value>, u64> = HashMap::new();
+    'rows: for r in rel.rows() {
+        let mut key = Vec::with_capacity(cols.len());
+        for &c in cols {
+            match rel.get(r, c) {
+                Some(v) => key.push(v),
+                None => continue 'rows,
+            }
+        }
+        *map.entry(key).or_insert(0) += 1;
+    }
+    let mut out: Vec<(Vec<Value>, u64)> = map.into_iter().collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, Schema};
+    use crate::value::Dtype;
+
+    fn rel() -> Relation {
+        let schema = Schema::new(vec![
+            ColumnDef::attr("Rel", Dtype::Str),
+            ColumnDef::attr("Multi", Dtype::Int),
+        ])
+        .unwrap();
+        let mut r = Relation::new("t", schema);
+        for (rl, m) in [
+            ("Owner", Some(0)),
+            ("Owner", Some(0)),
+            ("Owner", Some(1)),
+            ("Spouse", Some(0)),
+            ("Spouse", None),
+        ] {
+            r.push_row(&[Some(Value::str(rl)), m.map(Value::Int)]).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn group_counts_includes_missing_groups() {
+        let r = rel();
+        let g = group_counts(&r, &[0, 1]);
+        assert_eq!(g.len(), 4);
+        let owner0 = g
+            .iter()
+            .find(|(k, _)| k == &vec![Some(Value::str("Owner")), Some(Value::Int(0))])
+            .unwrap();
+        assert_eq!(owner0.1, 2);
+        let spouse_missing = g
+            .iter()
+            .find(|(k, _)| k == &vec![Some(Value::str("Spouse")), None])
+            .unwrap();
+        assert_eq!(spouse_missing.1, 1);
+    }
+
+    #[test]
+    fn group_rows_partitions_all_rows() {
+        let r = rel();
+        let g = group_rows(&r, &[0]);
+        let total: usize = g.iter().map(|(_, rows)| rows.len()).sum();
+        assert_eq!(total, r.n_rows());
+    }
+
+    #[test]
+    fn distinct_combos_skips_missing() {
+        let r = rel();
+        let c = distinct_combos(&r, &[0, 1]);
+        assert_eq!(c.len(), 3); // (Owner,0), (Owner,1), (Spouse,0)
+        let total: u64 = c.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn empty_column_list_groups_everything_together() {
+        let r = rel();
+        let g = group_counts(&r, &[]);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].1, 5);
+    }
+}

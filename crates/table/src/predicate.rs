@@ -1,0 +1,380 @@
+//! Conjunctive selection predicates over relation rows.
+//!
+//! Cardinality constraints (Definition 2.4 of the paper) use conjunctive
+//! selection conditions with atoms of the form `A ◦ c`,
+//! `◦ ∈ {=, ≠, <, >, ≤, ≥}`, plus interval atoms `A ∈ [lo, hi]` which the
+//! paper writes as two comparisons. Predicates are built against column
+//! *names* (schema-independent) and bound to a concrete schema for fast
+//! evaluation.
+
+use crate::error::Result;
+use crate::relation::{Relation, RowId};
+use crate::schema::{ColId, Schema};
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator to an ordering of `lhs` vs `rhs`.
+    #[inline]
+    pub fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// Evaluates `lhs ◦ rhs`; a type mismatch or missing value is `false`.
+    #[inline]
+    pub fn eval(self, lhs: Value, rhs: Value) -> bool {
+        match lhs.cmp_same_type(&rhs) {
+            Some(ord) => self.test(ord),
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One conjunct of a predicate, referencing a column by name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Atom {
+    /// `column ◦ value`.
+    Cmp {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: CmpOp,
+        /// Constant compared against.
+        value: Value,
+    },
+    /// `column ∈ [lo, hi]` (inclusive, integer columns).
+    InRange {
+        /// Column name.
+        column: String,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+}
+
+impl Atom {
+    /// Convenience constructor for `column = value`.
+    pub fn eq(column: &str, value: impl Into<Value>) -> Atom {
+        Atom::Cmp {
+            column: column.to_owned(),
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// Convenience constructor for `column ◦ value`.
+    pub fn cmp(column: &str, op: CmpOp, value: impl Into<Value>) -> Atom {
+        Atom::Cmp {
+            column: column.to_owned(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Convenience constructor for `column ∈ [lo, hi]`.
+    pub fn in_range(column: &str, lo: i64, hi: i64) -> Atom {
+        Atom::InRange {
+            column: column.to_owned(),
+            lo,
+            hi,
+        }
+    }
+
+    /// The column this atom constrains.
+    pub fn column(&self) -> &str {
+        match self {
+            Atom::Cmp { column, .. } | Atom::InRange { column, .. } => column,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Cmp { column, op, value } => match value {
+                Value::Str(s) => write!(f, "{column} {op} \"{s}\""),
+                Value::Int(v) => write!(f, "{column} {op} {v}"),
+            },
+            Atom::InRange { column, lo, hi } => write!(f, "{column} in [{lo}, {hi}]"),
+        }
+    }
+}
+
+/// A conjunction of atoms. The empty predicate is `true` everywhere.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Predicate {
+    /// The conjuncts.
+    pub atoms: Vec<Atom>,
+}
+
+impl Predicate {
+    /// The always-true predicate.
+    pub fn always() -> Predicate {
+        Predicate { atoms: Vec::new() }
+    }
+
+    /// Builds a predicate from atoms.
+    pub fn new(atoms: Vec<Atom>) -> Predicate {
+        Predicate { atoms }
+    }
+
+    /// Names of all columns referenced.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut cols: Vec<&str> = self.atoms.iter().map(|a| a.column()).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// Binds column names to indices in `schema` for fast evaluation.
+    pub fn bind(&self, schema: &Schema, relation: &str) -> Result<BoundPredicate> {
+        let atoms = self
+            .atoms
+            .iter()
+            .map(|a| {
+                let col = schema.require(a.column(), relation)?;
+                Ok(match a {
+                    Atom::Cmp { op, value, .. } => BoundAtom::Cmp {
+                        col,
+                        op: *op,
+                        value: *value,
+                    },
+                    Atom::InRange { lo, hi, .. } => BoundAtom::InRange {
+                        col,
+                        lo: *lo,
+                        hi: *hi,
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(BoundPredicate { atoms })
+    }
+
+    /// Evaluates against a row by binding on the fly (convenience; bind once
+    /// with [`Predicate::bind`] when evaluating many rows).
+    pub fn eval(&self, rel: &Relation, row: RowId) -> Result<bool> {
+        let bound = self.bind(rel.schema(), rel.name())?;
+        Ok(bound.eval(rel, row))
+    }
+
+    /// Counts the rows of `rel` satisfying this predicate.
+    pub fn count(&self, rel: &Relation) -> Result<u64> {
+        let bound = self.bind(rel.schema(), rel.name())?;
+        Ok(rel.rows().filter(|&r| bound.eval(rel, r)).count() as u64)
+    }
+
+    /// Collects the rows of `rel` satisfying this predicate.
+    pub fn select(&self, rel: &Relation) -> Result<Vec<RowId>> {
+        let bound = self.bind(rel.schema(), rel.name())?;
+        Ok(rel.rows().filter(|&r| bound.eval(rel, r)).collect())
+    }
+
+    /// Conjunction of two predicates.
+    pub fn and(&self, other: &Predicate) -> Predicate {
+        let mut atoms = self.atoms.clone();
+        atoms.extend(other.atoms.iter().cloned());
+        Predicate { atoms }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return f.write_str("true");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" & ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An atom bound to a column index.
+#[derive(Clone, Copy, Debug)]
+pub enum BoundAtom {
+    /// `col ◦ value`.
+    Cmp {
+        /// Column index.
+        col: ColId,
+        /// Operator.
+        op: CmpOp,
+        /// Constant.
+        value: Value,
+    },
+    /// `col ∈ [lo, hi]`.
+    InRange {
+        /// Column index.
+        col: ColId,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+}
+
+/// A predicate bound to a schema; evaluation does no name lookups.
+#[derive(Clone, Debug)]
+pub struct BoundPredicate {
+    /// Bound conjuncts.
+    pub atoms: Vec<BoundAtom>,
+}
+
+impl BoundPredicate {
+    /// Evaluates against a row. Missing cells never satisfy an atom.
+    #[inline]
+    pub fn eval(&self, rel: &Relation, row: RowId) -> bool {
+        self.atoms.iter().all(|a| match *a {
+            BoundAtom::Cmp { col, op, value } => match rel.get(row, col) {
+                Some(v) => op.eval(v, value),
+                None => false,
+            },
+            BoundAtom::InRange { col, lo, hi } => match rel.get_int(row, col) {
+                Some(v) => lo <= v && v <= hi,
+                None => false,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::Dtype;
+
+    fn rel() -> Relation {
+        let schema = Schema::new(vec![
+            ColumnDef::attr("Age", Dtype::Int),
+            ColumnDef::attr("Rel", Dtype::Str),
+        ])
+        .unwrap();
+        let mut r = Relation::new("t", schema);
+        for (age, rl) in [(75, "Owner"), (24, "Spouse"), (10, "Child"), (30, "Owner")] {
+            r.push_full_row(&[Value::Int(age), Value::str(rl)]).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn cmp_ops() {
+        assert!(CmpOp::Eq.eval(Value::Int(1), Value::Int(1)));
+        assert!(CmpOp::Ne.eval(Value::Int(1), Value::Int(2)));
+        assert!(CmpOp::Lt.eval(Value::Int(1), Value::Int(2)));
+        assert!(CmpOp::Le.eval(Value::Int(2), Value::Int(2)));
+        assert!(CmpOp::Gt.eval(Value::Int(3), Value::Int(2)));
+        assert!(CmpOp::Ge.eval(Value::Int(2), Value::Int(2)));
+        assert!(CmpOp::Eq.eval(Value::str("a"), Value::str("a")));
+        // Type mismatch is false, not a panic.
+        assert!(!CmpOp::Eq.eval(Value::Int(1), Value::str("a")));
+    }
+
+    #[test]
+    fn predicate_count_and_select() {
+        let r = rel();
+        let p = Predicate::new(vec![Atom::eq("Rel", "Owner")]);
+        assert_eq!(p.count(&r).unwrap(), 2);
+        assert_eq!(p.select(&r).unwrap(), vec![0, 3]);
+
+        let p = Predicate::new(vec![Atom::cmp("Age", CmpOp::Le, 24)]);
+        assert_eq!(p.count(&r).unwrap(), 2);
+
+        let p = Predicate::new(vec![Atom::in_range("Age", 10, 30)]);
+        assert_eq!(p.count(&r).unwrap(), 3);
+    }
+
+    #[test]
+    fn empty_predicate_is_true() {
+        let r = rel();
+        assert_eq!(Predicate::always().count(&r).unwrap(), 4);
+    }
+
+    #[test]
+    fn conjunction() {
+        let r = rel();
+        let p = Predicate::new(vec![Atom::eq("Rel", "Owner")])
+            .and(&Predicate::new(vec![Atom::cmp("Age", CmpOp::Gt, 50)]));
+        assert_eq!(p.count(&r).unwrap(), 1);
+    }
+
+    #[test]
+    fn missing_cell_fails_atom() {
+        let schema = Schema::new(vec![ColumnDef::attr("x", Dtype::Int)]).unwrap();
+        let mut r = Relation::new("t", schema);
+        r.push_row(&[None]).unwrap();
+        let p = Predicate::new(vec![Atom::cmp("x", CmpOp::Ge, 0)]);
+        assert_eq!(p.count(&r).unwrap(), 0);
+        // Ne on a missing cell is also false: missing means "no value", not "any value".
+        let p = Predicate::new(vec![Atom::cmp("x", CmpOp::Ne, 0)]);
+        assert_eq!(p.count(&r).unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let r = rel();
+        let p = Predicate::new(vec![Atom::eq("nope", 1i64)]);
+        assert!(p.count(&r).is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let p = Predicate::new(vec![
+            Atom::eq("Rel", "Owner"),
+            Atom::in_range("Age", 10, 14),
+        ]);
+        assert_eq!(p.to_string(), "Rel = \"Owner\" & Age in [10, 14]");
+        assert_eq!(Predicate::always().to_string(), "true");
+    }
+
+    #[test]
+    fn columns_are_sorted_and_deduped() {
+        let p = Predicate::new(vec![
+            Atom::cmp("b", CmpOp::Ge, 1),
+            Atom::cmp("a", CmpOp::Le, 2),
+            Atom::cmp("b", CmpOp::Le, 9),
+        ]);
+        assert_eq!(p.columns(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,464 @@
+//! Columnar relations with missing cells.
+//!
+//! The C-Extension problem works on relations where an entire column can be
+//! missing (the foreign key of `R1`, or the `B` columns of the join view
+//! before Phase I completes them), and cells are filled in incrementally.
+//! Storage is column-major with per-cell presence: `Vec<Option<i64>>` /
+//! `Vec<Option<Sym>>`.
+
+use crate::error::{Result, TableError};
+use crate::schema::{ColId, Schema};
+use crate::value::{Dtype, Sym, Value};
+use std::fmt;
+
+/// Index of a row within a relation.
+pub type RowId = usize;
+
+/// One column of data. The variant always matches the schema's declared type.
+#[derive(Clone, Debug)]
+pub enum ColumnData {
+    /// Integer column.
+    Int(Vec<Option<i64>>),
+    /// Categorical column.
+    Str(Vec<Option<Sym>>),
+}
+
+impl ColumnData {
+    fn new(dtype: Dtype) -> ColumnData {
+        match dtype {
+            Dtype::Int => ColumnData::Int(Vec::new()),
+            Dtype::Str => ColumnData::Str(Vec::new()),
+        }
+    }
+
+    fn with_capacity(dtype: Dtype, cap: usize) -> ColumnData {
+        match dtype {
+            Dtype::Int => ColumnData::Int(Vec::with_capacity(cap)),
+            Dtype::Str => ColumnData::Str(Vec::with_capacity(cap)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+        }
+    }
+
+    fn get(&self, row: RowId) -> Option<Value> {
+        match self {
+            ColumnData::Int(v) => v[row].map(Value::Int),
+            ColumnData::Str(v) => v[row].map(Value::Str),
+        }
+    }
+
+    fn push(&mut self, value: Option<Value>) -> std::result::Result<(), Dtype> {
+        match (self, value) {
+            (ColumnData::Int(v), Some(Value::Int(x))) => v.push(Some(x)),
+            (ColumnData::Int(v), None) => v.push(None),
+            (ColumnData::Str(v), Some(Value::Str(s))) => v.push(Some(s)),
+            (ColumnData::Str(v), None) => v.push(None),
+            (ColumnData::Int(_), Some(other)) | (ColumnData::Str(_), Some(other)) => {
+                return Err(other.dtype())
+            }
+        }
+        Ok(())
+    }
+
+    fn set(&mut self, row: RowId, value: Option<Value>) -> std::result::Result<(), Dtype> {
+        match (self, value) {
+            (ColumnData::Int(v), Some(Value::Int(x))) => v[row] = Some(x),
+            (ColumnData::Int(v), None) => v[row] = None,
+            (ColumnData::Str(v), Some(Value::Str(s))) => v[row] = Some(s),
+            (ColumnData::Str(v), None) => v[row] = None,
+            (ColumnData::Int(_), Some(other)) | (ColumnData::Str(_), Some(other)) => {
+                return Err(other.dtype())
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A named relation instance: a schema plus column-major data.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    cols: Vec<ColumnData>,
+    n_rows: usize,
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    pub fn new(name: &str, schema: Schema) -> Relation {
+        let cols = schema
+            .columns()
+            .iter()
+            .map(|c| ColumnData::new(c.dtype))
+            .collect();
+        Relation {
+            name: name.to_owned(),
+            schema,
+            cols,
+            n_rows: 0,
+        }
+    }
+
+    /// Creates an empty relation with row capacity pre-reserved.
+    pub fn with_capacity(name: &str, schema: Schema, cap: usize) -> Relation {
+        let cols = schema
+            .columns()
+            .iter()
+            .map(|c| ColumnData::with_capacity(c.dtype, cap))
+            .collect();
+        Relation {
+            name: name.to_owned(),
+            schema,
+            cols,
+            n_rows: 0,
+        }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the relation (used when deriving `R̂1` from `R1`).
+    pub fn set_name(&mut self, name: &str) {
+        self.name = name.to_owned();
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// `true` if the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Appends a row given one optional value per column (in schema order).
+    pub fn push_row(&mut self, row: &[Option<Value>]) -> Result<RowId> {
+        if row.len() != self.schema.len() {
+            return Err(TableError::ArityMismatch {
+                expected: self.schema.len(),
+                got: row.len(),
+            });
+        }
+        // Validate every cell before mutating so a failed push cannot leave
+        // columns with unequal lengths.
+        for (i, v) in row.iter().enumerate() {
+            if let Some(v) = v {
+                let expected = self.schema.column(i).dtype;
+                if v.dtype() != expected {
+                    return Err(TableError::TypeMismatch {
+                        column: self.schema.column(i).name.clone(),
+                        expected,
+                        got: v.dtype(),
+                    });
+                }
+            }
+        }
+        for (col, v) in self.cols.iter_mut().zip(row.iter()) {
+            col.push(*v).expect("types validated above");
+        }
+        self.n_rows += 1;
+        debug_assert!(self.cols.iter().all(|c| c.len() == self.n_rows));
+        Ok(self.n_rows - 1)
+    }
+
+    /// Appends a row where every cell is present.
+    pub fn push_full_row(&mut self, row: &[Value]) -> Result<RowId> {
+        let opts: Vec<Option<Value>> = row.iter().map(|v| Some(*v)).collect();
+        self.push_row(&opts)
+    }
+
+    /// Reads a cell; `None` means the cell is missing.
+    ///
+    /// # Panics
+    /// Panics if `row` or `col` is out of bounds (hot path; bounds were
+    /// validated when the ids were produced).
+    #[inline]
+    pub fn get(&self, row: RowId, col: ColId) -> Option<Value> {
+        self.cols[col].get(row)
+    }
+
+    /// Reads an integer cell directly (hot path for predicate evaluation).
+    #[inline]
+    pub fn get_int(&self, row: RowId, col: ColId) -> Option<i64> {
+        match &self.cols[col] {
+            ColumnData::Int(v) => v[row],
+            ColumnData::Str(_) => None,
+        }
+    }
+
+    /// Reads a categorical cell directly.
+    #[inline]
+    pub fn get_sym(&self, row: RowId, col: ColId) -> Option<Sym> {
+        match &self.cols[col] {
+            ColumnData::Str(v) => v[row],
+            ColumnData::Int(_) => None,
+        }
+    }
+
+    /// Writes a cell (use `None` to blank it).
+    pub fn set(&mut self, row: RowId, col: ColId, value: Option<Value>) -> Result<()> {
+        if row >= self.n_rows {
+            return Err(TableError::RowOutOfBounds {
+                row,
+                len: self.n_rows,
+            });
+        }
+        self.cols[col]
+            .set(row, value)
+            .map_err(|got| TableError::TypeMismatch {
+                column: self.schema.column(col).name.clone(),
+                expected: self.schema.column(col).dtype,
+                got,
+            })
+    }
+
+    /// Blanks every cell of a column (e.g. erasing the FK column of `R1`).
+    pub fn clear_column(&mut self, col: ColId) {
+        match &mut self.cols[col] {
+            ColumnData::Int(v) => v.iter_mut().for_each(|c| *c = None),
+            ColumnData::Str(v) => v.iter_mut().for_each(|c| *c = None),
+        }
+    }
+
+    /// `true` if every cell of `col` is missing.
+    pub fn column_is_missing(&self, col: ColId) -> bool {
+        match &self.cols[col] {
+            ColumnData::Int(v) => v.iter().all(Option::is_none),
+            ColumnData::Str(v) => v.iter().all(Option::is_none),
+        }
+    }
+
+    /// `true` if every cell of `col` is present.
+    pub fn column_is_complete(&self, col: ColId) -> bool {
+        match &self.cols[col] {
+            ColumnData::Int(v) => v.iter().all(Option::is_some),
+            ColumnData::Str(v) => v.iter().all(Option::is_some),
+        }
+    }
+
+    /// Materializes one row as a vector of optional values.
+    pub fn row(&self, row: RowId) -> Vec<Option<Value>> {
+        (0..self.schema.len()).map(|c| self.get(row, c)).collect()
+    }
+
+    /// Iterates over all row ids.
+    pub fn rows(&self) -> impl Iterator<Item = RowId> + '_ {
+        0..self.n_rows
+    }
+
+    /// Distinct present values in a column, sorted.
+    pub fn distinct_values(&self, col: ColId) -> Vec<Value> {
+        let mut vals: Vec<Value> = match &self.cols[col] {
+            ColumnData::Int(v) => v.iter().flatten().copied().map(Value::Int).collect(),
+            ColumnData::Str(v) => v.iter().flatten().copied().map(Value::Str).collect(),
+        };
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+
+    /// Minimum and maximum present values of an integer column.
+    pub fn int_range(&self, col: ColId) -> Option<(i64, i64)> {
+        match &self.cols[col] {
+            ColumnData::Int(v) => {
+                let mut it = v.iter().flatten();
+                let first = *it.next()?;
+                let (mut lo, mut hi) = (first, first);
+                for &x in it {
+                    lo = lo.min(x);
+                    hi = hi.max(x);
+                }
+                Some((lo, hi))
+            }
+            ColumnData::Str(_) => None,
+        }
+    }
+
+    /// Builds a lookup from key value to the rows holding it.
+    pub fn index_by(&self, col: ColId) -> std::collections::HashMap<Value, Vec<RowId>> {
+        let mut map: std::collections::HashMap<Value, Vec<RowId>> = std::collections::HashMap::new();
+        for r in 0..self.n_rows {
+            if let Some(v) = self.get(r, col) {
+                map.entry(v).or_default().push(r);
+            }
+        }
+        map
+    }
+}
+
+impl fmt::Display for Relation {
+    /// Pretty-prints up to 20 rows — intended for examples and debugging.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} {} [{} rows]", self.name, self.schema, self.n_rows)?;
+        let shown = self.n_rows.min(20);
+        for r in 0..shown {
+            write!(f, "  ")?;
+            for c in 0..self.schema.len() {
+                if c > 0 {
+                    write!(f, " | ")?;
+                }
+                match self.get(r, c) {
+                    Some(v) => write!(f, "{v}")?,
+                    None => write!(f, "?")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        if shown < self.n_rows {
+            writeln!(f, "  … {} more rows", self.n_rows - shown)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn small() -> Relation {
+        let schema = Schema::new(vec![
+            ColumnDef::key("pid", Dtype::Int),
+            ColumnDef::attr("Age", Dtype::Int),
+            ColumnDef::attr("Rel", Dtype::Str),
+            ColumnDef::foreign_key("hid", Dtype::Int),
+        ])
+        .unwrap();
+        let mut r = Relation::new("Persons", schema);
+        r.push_row(&[
+            Some(Value::Int(1)),
+            Some(Value::Int(75)),
+            Some(Value::str("Owner")),
+            None,
+        ])
+        .unwrap();
+        r.push_row(&[
+            Some(Value::Int(2)),
+            Some(Value::Int(24)),
+            Some(Value::str("Spouse")),
+            None,
+        ])
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn push_and_get() {
+        let r = small();
+        assert_eq!(r.n_rows(), 2);
+        assert_eq!(r.get(0, 1), Some(Value::Int(75)));
+        assert_eq!(r.get(1, 2), Some(Value::str("Spouse")));
+        assert_eq!(r.get(0, 3), None);
+        assert_eq!(r.get_int(0, 1), Some(75));
+        assert_eq!(r.get_sym(1, 2), Some(Sym::intern("Spouse")));
+        // Typed accessor on the wrong column type yields None.
+        assert_eq!(r.get_int(0, 2), None);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut r = small();
+        let err = r.push_row(&[
+            Some(Value::Int(3)),
+            Some(Value::str("oops")),
+            Some(Value::str("Owner")),
+            None,
+        ]);
+        assert!(matches!(err, Err(TableError::TypeMismatch { .. })));
+        // Failed push must not corrupt the relation: row count unchanged and
+        // every column still has exactly `n_rows` cells.
+        assert_eq!(r.n_rows(), 2);
+        let ok = r.push_row(&[
+            Some(Value::Int(3)),
+            Some(Value::Int(40)),
+            Some(Value::str("Owner")),
+            None,
+        ]);
+        assert!(ok.is_ok());
+        assert_eq!(r.n_rows(), 3);
+        assert_eq!(r.get(2, 1), Some(Value::Int(40)));
+        let err = r.set(0, 1, Some(Value::str("oops")));
+        assert!(matches!(err, Err(TableError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut r = small();
+        let err = r.push_row(&[Some(Value::Int(3))]);
+        assert!(matches!(err, Err(TableError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn set_and_clear_column() {
+        let mut r = small();
+        assert!(r.column_is_missing(3));
+        r.set(0, 3, Some(Value::Int(7))).unwrap();
+        assert!(!r.column_is_missing(3));
+        assert!(!r.column_is_complete(3));
+        r.set(1, 3, Some(Value::Int(8))).unwrap();
+        assert!(r.column_is_complete(3));
+        r.clear_column(3);
+        assert!(r.column_is_missing(3));
+    }
+
+    #[test]
+    fn set_out_of_bounds() {
+        let mut r = small();
+        assert!(matches!(
+            r.set(99, 0, None),
+            Err(TableError::RowOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn distinct_and_range() {
+        let r = small();
+        assert_eq!(
+            r.distinct_values(2),
+            vec![Value::str("Owner"), Value::str("Spouse")]
+        );
+        assert_eq!(r.int_range(1), Some((24, 75)));
+        assert_eq!(r.int_range(2), None);
+        // Missing column has no distinct values and no range.
+        assert_eq!(r.distinct_values(3), vec![]);
+        assert_eq!(r.int_range(3), None);
+    }
+
+    #[test]
+    fn index_by_groups_rows() {
+        let mut r = small();
+        r.set(0, 3, Some(Value::Int(5))).unwrap();
+        r.set(1, 3, Some(Value::Int(5))).unwrap();
+        let idx = r.index_by(3);
+        assert_eq!(idx[&Value::Int(5)], vec![0, 1]);
+    }
+
+    #[test]
+    fn display_renders_missing_as_question_mark() {
+        let r = small();
+        let s = r.to_string();
+        assert!(s.contains('?'));
+        assert!(s.contains("Owner"));
+    }
+
+    #[test]
+    fn push_full_row_roundtrip() {
+        let schema = Schema::new(vec![ColumnDef::attr("x", Dtype::Int)]).unwrap();
+        let mut r = Relation::new("t", schema);
+        r.push_full_row(&[Value::Int(9)]).unwrap();
+        assert_eq!(r.row(0), vec![Some(Value::Int(9))]);
+    }
+}

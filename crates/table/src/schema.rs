@@ -1,0 +1,235 @@
+//! Relation schemas: named, typed columns with key/attribute/foreign-key roles.
+
+use crate::error::{Result, TableError};
+use crate::value::Dtype;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a column within a schema.
+pub type ColId = usize;
+
+/// Role a column plays in the C-Extension setting (Definition 2.6 of the
+/// paper): `R1(K1, A1..Ap, FK)` and `R2(K2, B1..Bq)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Role {
+    /// Primary key (`K1` / `K2`).
+    Key,
+    /// Plain attribute (`A_i` / `B_i`).
+    Attr,
+    /// Foreign key referencing another relation's key (`FK`).
+    ForeignKey,
+}
+
+/// A single column definition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ColumnDef {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Declared value type.
+    pub dtype: Dtype,
+    /// Role of the column.
+    pub role: Role,
+}
+
+impl ColumnDef {
+    /// Creates an attribute column.
+    pub fn attr(name: &str, dtype: Dtype) -> ColumnDef {
+        ColumnDef {
+            name: name.to_owned(),
+            dtype,
+            role: Role::Attr,
+        }
+    }
+
+    /// Creates a key column.
+    pub fn key(name: &str, dtype: Dtype) -> ColumnDef {
+        ColumnDef {
+            name: name.to_owned(),
+            dtype,
+            role: Role::Key,
+        }
+    }
+
+    /// Creates a foreign-key column.
+    pub fn foreign_key(name: &str, dtype: Dtype) -> ColumnDef {
+        ColumnDef {
+            name: name.to_owned(),
+            dtype,
+            role: Role::ForeignKey,
+        }
+    }
+}
+
+/// An ordered list of column definitions with name-based lookup.
+#[derive(Clone, Debug)]
+pub struct Schema {
+    cols: Vec<ColumnDef>,
+    by_name: HashMap<String, ColId>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate column names.
+    pub fn new(cols: Vec<ColumnDef>) -> Result<Schema> {
+        let mut by_name = HashMap::with_capacity(cols.len());
+        for (i, c) in cols.iter().enumerate() {
+            if by_name.insert(c.name.clone(), i).is_some() {
+                return Err(TableError::DuplicateColumn(c.name.clone()));
+            }
+        }
+        Ok(Schema { cols, by_name })
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// `true` if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// The column definitions in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.cols
+    }
+
+    /// Definition of column `id`.
+    pub fn column(&self, id: ColId) -> &ColumnDef {
+        &self.cols[id]
+    }
+
+    /// Looks up a column index by name.
+    pub fn col_id(&self, name: &str) -> Option<ColId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up a column index by name, reporting `relation` in the error.
+    pub fn require(&self, name: &str, relation: &str) -> Result<ColId> {
+        self.col_id(name).ok_or_else(|| TableError::UnknownColumn {
+            column: name.to_owned(),
+            relation: relation.to_owned(),
+        })
+    }
+
+    /// Indices of all columns with the given role.
+    pub fn cols_with_role(&self, role: Role) -> Vec<ColId> {
+        self.cols
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.role == role)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The unique key column, if there is exactly one.
+    pub fn key_col(&self) -> Option<ColId> {
+        let keys = self.cols_with_role(Role::Key);
+        match keys.as_slice() {
+            [k] => Some(*k),
+            _ => None,
+        }
+    }
+
+    /// The unique foreign-key column, if there is exactly one.
+    pub fn fk_col(&self) -> Option<ColId> {
+        let fks = self.cols_with_role(Role::ForeignKey);
+        match fks.as_slice() {
+            [k] => Some(*k),
+            _ => None,
+        }
+    }
+
+    /// Indices of the non-key, non-FK attribute columns (`A_i` / `B_i`).
+    pub fn attr_cols(&self) -> Vec<ColId> {
+        self.cols_with_role(Role::Attr)
+    }
+
+    /// Extends this schema with columns from `other` (e.g. building the
+    /// `V_join` schema from `R1`'s attributes plus `R2`'s attributes).
+    /// Duplicate names are rejected.
+    pub fn extended_with(&self, extra: &[ColumnDef]) -> Result<Schema> {
+        let mut cols = self.cols.clone();
+        cols.extend(extra.iter().cloned());
+        Schema::new(cols)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.cols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let marker = match c.role {
+                Role::Key => "*",
+                Role::ForeignKey => "^",
+                Role::Attr => "",
+            };
+            write!(f, "{marker}{}: {}", c.name, c.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn persons_schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::key("pid", Dtype::Int),
+            ColumnDef::attr("Age", Dtype::Int),
+            ColumnDef::attr("Rel", Dtype::Str),
+            ColumnDef::attr("Multi-ling", Dtype::Int),
+            ColumnDef::foreign_key("hid", Dtype::Int),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = persons_schema();
+        assert_eq!(s.col_id("Age"), Some(1));
+        assert_eq!(s.col_id("nope"), None);
+        assert!(s.require("nope", "Persons").is_err());
+    }
+
+    #[test]
+    fn roles() {
+        let s = persons_schema();
+        assert_eq!(s.key_col(), Some(0));
+        assert_eq!(s.fk_col(), Some(4));
+        assert_eq!(s.attr_cols(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let r = Schema::new(vec![
+            ColumnDef::attr("x", Dtype::Int),
+            ColumnDef::attr("x", Dtype::Str),
+        ]);
+        assert!(matches!(r, Err(TableError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn extended_with_appends_columns() {
+        let s = persons_schema();
+        let ext = s
+            .extended_with(&[ColumnDef::attr("Area", Dtype::Str)])
+            .unwrap();
+        assert_eq!(ext.len(), 6);
+        assert_eq!(ext.col_id("Area"), Some(5));
+        // Extending with a clashing name fails.
+        assert!(s.extended_with(&[ColumnDef::attr("Age", Dtype::Int)]).is_err());
+    }
+
+    #[test]
+    fn display_marks_roles() {
+        let s = persons_schema();
+        let d = s.to_string();
+        assert!(d.contains("*pid"));
+        assert!(d.contains("^hid"));
+    }
+}

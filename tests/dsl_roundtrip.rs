@@ -1,0 +1,89 @@
+//! Integration: the text DSL against the whole constraint stack —
+//! everything in Figure 2 and Table 4 must parse, display and classify.
+
+use cextend::constraints::{
+    classify, parse_cc, parse_dc, parse_predicate, CcRelationship,
+};
+use std::collections::HashSet;
+
+fn r2cols() -> HashSet<String> {
+    ["Area".to_owned(), "Tenure".to_owned()].into_iter().collect()
+}
+
+#[test]
+fn every_figure2_constraint_parses() {
+    let ccs = [
+        r#"| Rel = "Owner" & Area = "Chicago" | = 4"#,
+        r#"| Rel = "Owner" & Area = "NYC" | = 2"#,
+        r#"| Age <= 24 & Area = "Chicago" | = 3"#,
+        r#"| Multi-ling = 1 & Area = "Chicago" | = 4"#,
+    ];
+    for (i, src) in ccs.iter().enumerate() {
+        let cc = parse_cc(&format!("CC{}", i + 1), src, &r2cols()).unwrap();
+        assert!(cc.r2.get("Area").is_some(), "{src}");
+    }
+    let dcs = [
+        r#"!(t1.Rel = "Owner" & t2.Rel = "Owner" & t1.hid = t2.hid)"#,
+        r#"!(t1.Rel = "Owner" & t2.Rel = "Spouse" & t2.Age < t1.Age - 50 & t1.hid = t2.hid)"#,
+        r#"!(t1.Rel = "Owner" & t2.Rel = "Spouse" & t2.Age > t1.Age + 50 & t1.hid = t2.hid)"#,
+        r#"!(t1.Rel = "Owner" & t1.Multi-ling = 1 & t2.Rel = "Child" & t2.Age < t1.Age - 50 & t1.hid = t2.hid)"#,
+        r#"!(t1.Rel = "Owner" & t1.Multi-ling = 1 & t2.Rel = "Child" & t2.Age > t1.Age - 12 & t1.hid = t2.hid)"#,
+    ];
+    for src in dcs {
+        let dc = parse_dc("dc", src, "hid").unwrap();
+        assert_eq!(dc.arity, 2, "{src}");
+    }
+}
+
+#[test]
+fn predicate_display_reparses_to_the_same_predicate() {
+    let sources = [
+        r#"Age in [10, 14] & Rel = "Owner""#,
+        r#"Multi-ling = 1 & Area = "Chicago""#,
+        "Age <= 24",
+        "Age in [-5, 5] & Count >= 0",
+    ];
+    for src in sources {
+        let p = parse_predicate(src).unwrap();
+        let again = parse_predicate(&p.to_string()).unwrap();
+        assert_eq!(p, again, "{src}");
+    }
+}
+
+#[test]
+fn figure6_classification_via_dsl() {
+    let cc1 = parse_cc("CC1", r#"| Age in [10, 14] & Area = "Chicago" | = 20"#, &r2cols()).unwrap();
+    let cc2 = parse_cc(
+        "CC2",
+        r#"| Age in [50, 60] & Multi-ling = 0 & Area = "NYC" | = 25"#,
+        &r2cols(),
+    )
+    .unwrap();
+    let cc3 = parse_cc("CC3", r#"| Age in [13, 64] & Area = "Chicago" | = 100"#, &r2cols()).unwrap();
+    let cc4 = parse_cc(
+        "CC4",
+        r#"| Age in [18, 24] & Multi-ling = 0 & Area = "Chicago" | = 16"#,
+        &r2cols(),
+    )
+    .unwrap();
+    // The figure's caption: CC1 ∩ CC2 = ∅ and CC4 ⊆ CC3. (CC1 vs CC3
+    // overlap on ages {13, 14} — intersecting, which is exactly why the
+    // hybrid would route that diagram to the ILP.)
+    assert_eq!(classify(&cc1, &cc2), CcRelationship::Disjoint);
+    assert_eq!(classify(&cc4, &cc3), CcRelationship::ContainedIn);
+    assert_eq!(classify(&cc1, &cc3), CcRelationship::Intersecting);
+}
+
+#[test]
+fn tenure_area_conditions_split_sides_correctly() {
+    let cc = parse_cc(
+        "cc",
+        r#"| Age in [18, 64] & Rel = "Owner" & Tenure = "Rented" & Area = "Area003" | = 9"#,
+        &r2cols(),
+    )
+    .unwrap();
+    let r1_cols: Vec<&str> = cc.r1.columns().collect();
+    let r2_cols: Vec<&str> = cc.r2.columns().collect();
+    assert_eq!(r1_cols, vec!["Age", "Rel"]);
+    assert_eq!(r2_cols, vec!["Area", "Tenure"]);
+}

@@ -1,0 +1,114 @@
+//! End-to-end integration on the Census workload at a moderate scale,
+//! exercising the exact combination the paper evaluates: all 12 DC rows,
+//! both CC families, all three pipelines.
+
+use cextend::census::{generate, generate_ccs, s_all_dc, CcFamily, CensusConfig};
+use cextend::core::metrics::{dc_error, evaluate};
+use cextend::table::fk_join;
+use cextend::{solve, CExtensionInstance, SolverConfig};
+
+fn build(family: CcFamily) -> CExtensionInstance {
+    let data = generate(&CensusConfig {
+        scale: 0.05,
+        n_areas: 8,
+        seed: 99,
+        ..CensusConfig::default()
+    });
+    let ccs = generate_ccs(family, 80, &data, 99);
+    CExtensionInstance::new(data.persons, data.housing, ccs, s_all_dc()).unwrap()
+}
+
+#[test]
+fn hybrid_on_good_ccs_is_fully_exact() {
+    let instance = build(CcFamily::Good);
+    let solution = solve(&instance, &SolverConfig::hybrid()).unwrap();
+    let report = evaluate(&instance, &solution).unwrap();
+    assert_eq!(report.cc_median, 0.0);
+    assert_eq!(report.cc_mean, 0.0);
+    assert_eq!(report.dc_error, 0.0);
+    assert!(report.join_recovered);
+}
+
+#[test]
+fn hybrid_on_bad_ccs_keeps_median_zero() {
+    let instance = build(CcFamily::Bad);
+    let solution = solve(&instance, &SolverConfig::hybrid()).unwrap();
+    let report = evaluate(&instance, &solution).unwrap();
+    assert_eq!(report.dc_error, 0.0);
+    assert_eq!(report.cc_median, 0.0);
+    // Paper: average errors 0.048–0.093 for S_bad_CC. Allow headroom.
+    assert!(report.cc_mean < 0.2, "cc_mean = {}", report.cc_mean);
+}
+
+#[test]
+fn final_relation_is_a_valid_database() {
+    let instance = build(CcFamily::Good);
+    let solution = solve(&instance, &SolverConfig::hybrid()).unwrap();
+    // Every FK refers to an existing R̂2 key.
+    let fk = solution.r1_hat.schema().fk_col().unwrap();
+    let k2 = solution.r2_hat.schema().key_col().unwrap();
+    let keys: std::collections::HashSet<_> = solution
+        .r2_hat
+        .rows()
+        .filter_map(|r| solution.r2_hat.get(r, k2))
+        .collect();
+    for r in solution.r1_hat.rows() {
+        let v = solution.r1_hat.get(r, fk).expect("FK complete");
+        assert!(keys.contains(&v), "dangling FK {v}");
+    }
+    // The join of the outputs is the reported view, cell for cell.
+    let joined = fk_join(&solution.r1_hat, &solution.r2_hat).unwrap();
+    assert!(cextend::table::relations_equal_ordered(&joined, &solution.vjoin));
+    // And it satisfies the DCs directly (not just via the metric).
+    assert_eq!(dc_error(&solution.r1_hat, &instance.dcs).unwrap(), 0.0);
+}
+
+#[test]
+fn figure12_mode_partitions_on_every_housing_column() {
+    // With complete_all_r2_columns, more R2 columns → more partitions.
+    let mut partition_counts = Vec::new();
+    for n_cols in [2usize, 6, 10] {
+        let data = generate(&CensusConfig {
+            scale: 0.02,
+            n_areas: 6,
+            n_housing_cols: n_cols,
+            seed: 5,
+        });
+        let ccs = generate_ccs(CcFamily::Good, 40, &data, 5);
+        let instance =
+            CExtensionInstance::new(data.persons, data.housing, ccs, s_all_dc()).unwrap();
+        let config = SolverConfig {
+            complete_all_r2_columns: true,
+            ..SolverConfig::hybrid()
+        };
+        let solution = solve(&instance, &config).unwrap();
+        let report = evaluate(&instance, &solution).unwrap();
+        assert_eq!(report.dc_error, 0.0, "n_cols {n_cols}");
+        assert!(report.join_recovered, "n_cols {n_cols}");
+        partition_counts.push(solution.stats.counters.partitions);
+    }
+    assert!(
+        partition_counts[0] <= partition_counts[1]
+            && partition_counts[1] <= partition_counts[2],
+        "partitions should grow with R2 columns: {partition_counts:?}"
+    );
+}
+
+#[test]
+fn baseline_comparisons_hold_at_scale() {
+    let instance = build(CcFamily::Bad);
+    let hybrid = solve(&instance, &SolverConfig::hybrid()).unwrap();
+    let base = solve(&instance, &SolverConfig::baseline()).unwrap();
+    let marg = solve(&instance, &SolverConfig::baseline_with_marginals()).unwrap();
+    let rh = evaluate(&instance, &hybrid).unwrap();
+    let rb = evaluate(&instance, &base).unwrap();
+    let rm = evaluate(&instance, &marg).unwrap();
+    // DC side: only the hybrid is clean.
+    assert_eq!(rh.dc_error, 0.0);
+    assert!(rb.dc_error > 0.0);
+    assert!(rm.dc_error > 0.0);
+    // CC side: marginals help the baseline; the hybrid is at least as good
+    // as the plain baseline.
+    assert!(rm.cc_median <= rb.cc_median);
+    assert!(rh.cc_median <= rb.cc_median);
+}

@@ -1,0 +1,163 @@
+//! Integration: the snowflake extension on a three-level schema with both
+//! constraint kinds at every step (Example 5.6 writ large).
+
+use cextend::constraints::{parse_cc, parse_dc};
+use cextend::core::metrics::dc_error;
+use cextend::core::snowflake::{solve_snowflake, SnowflakeStep};
+use cextend::table::{fk_join, Atom, ColumnDef, Dtype, Predicate, Relation, Schema, Value};
+use cextend::SolverConfig;
+use std::collections::HashSet;
+
+fn university(n_students: usize) -> Vec<Relation> {
+    let mut students = Relation::new(
+        "Students",
+        Schema::new(vec![
+            ColumnDef::key("sid", Dtype::Int),
+            ColumnDef::attr("Year", Dtype::Int),
+            ColumnDef::foreign_key("major_id", Dtype::Int),
+        ])
+        .unwrap(),
+    );
+    for sid in 0..n_students as i64 {
+        students
+            .push_row(&[Some(Value::Int(sid)), Some(Value::Int(1 + sid % 4)), None])
+            .unwrap();
+    }
+    let mut majors = Relation::new(
+        "Majors",
+        Schema::new(vec![
+            ColumnDef::key("mid", Dtype::Int),
+            ColumnDef::attr("Field", Dtype::Str),
+            ColumnDef::foreign_key("dept_id", Dtype::Int),
+        ])
+        .unwrap(),
+    );
+    for (mid, field) in [
+        (1, "CS"),
+        (2, "CS"),
+        (3, "Math"),
+        (4, "Art"),
+        (5, "History"),
+        (6, "Physics"),
+    ] {
+        majors
+            .push_row(&[Some(Value::Int(mid)), Some(Value::str(field)), None])
+            .unwrap();
+    }
+    let mut departments = Relation::new(
+        "Departments",
+        Schema::new(vec![
+            ColumnDef::key("did", Dtype::Int),
+            ColumnDef::attr("Division", Dtype::Str),
+        ])
+        .unwrap(),
+    );
+    for (did, div) in [(1, "Science"), (2, "Science"), (3, "Humanities"), (4, "Arts")] {
+        departments
+            .push_full_row(&[Value::Int(did), Value::str(div)])
+            .unwrap();
+    }
+    vec![students, majors, departments]
+}
+
+fn steps() -> Vec<SnowflakeStep> {
+    let majors_cols: HashSet<String> = ["Field".to_owned()].into_iter().collect();
+    let dept_cols: HashSet<String> = ["Division".to_owned()].into_iter().collect();
+    vec![
+        SnowflakeStep {
+            owner: "Students".into(),
+            target: "Majors".into(),
+            fk_col: "major_id".into(),
+            ccs: vec![
+                parse_cc("cs", r#"| Field = "CS" | = 60"#, &majors_cols).unwrap(),
+                parse_cc("math-frosh", r#"| Year = 1 & Field = "Math" | = 10"#, &majors_cols)
+                    .unwrap(),
+            ],
+            dcs: vec![],
+        },
+        SnowflakeStep {
+            owner: "Majors".into(),
+            target: "Departments".into(),
+            fk_col: "dept_id".into(),
+            ccs: vec![parse_cc("sci", r#"| Division = "Science" | = 4"#, &dept_cols).unwrap()],
+            dcs: vec![parse_dc(
+                "unique-cs-dept",
+                r#"!(t1.Field = "CS" & t2.Field = "CS" & t1.dept_id = t2.dept_id)"#,
+                "dept_id",
+            )
+            .unwrap()],
+        },
+    ]
+}
+
+#[test]
+fn full_pipeline_completes_and_verifies() {
+    let solved = solve_snowflake(university(120), &steps(), &SolverConfig::hybrid()).unwrap();
+    let students = &solved.tables[0];
+    let majors = &solved.tables[1];
+    assert!(students.column_is_complete(students.schema().col_id("major_id").unwrap()));
+    assert!(majors.column_is_complete(majors.schema().col_id("dept_id").unwrap()));
+
+    // Step 1 CCs hold on the Students ⋈ Majors view.
+    let j1 = fk_join(students, majors).unwrap();
+    assert_eq!(
+        Predicate::new(vec![Atom::eq("Field", "CS")]).count(&j1).unwrap(),
+        60
+    );
+    assert_eq!(
+        Predicate::new(vec![Atom::eq("Year", 1i64), Atom::eq("Field", "Math")])
+            .count(&j1)
+            .unwrap(),
+        10
+    );
+    // Step 2 CC + DC hold.
+    let depts = &solved.tables[2];
+    let j2 = fk_join(majors, depts).unwrap();
+    assert_eq!(
+        Predicate::new(vec![Atom::eq("Division", "Science")]).count(&j2).unwrap(),
+        4
+    );
+    assert_eq!(dc_error(majors, &steps()[1].dcs).unwrap(), 0.0);
+    assert_eq!(solved.step_stats.len(), 2);
+}
+
+#[test]
+fn dimension_growth_propagates() {
+    // Demand more Science majors than the two Science departments can hold
+    // under the one-CS-per-department DC: R̂2 must grow.
+    let majors_cols: HashSet<String> = ["Field".to_owned()].into_iter().collect();
+    let dept_cols: HashSet<String> = ["Division".to_owned()].into_iter().collect();
+    let mut tables = university(40);
+    // Make every major CS so the DC forces one department per major.
+    let majors = &mut tables[1];
+    let field = majors.schema().col_id("Field").unwrap();
+    for r in 0..majors.n_rows() {
+        majors.set(r, field, Some(Value::str("CS"))).unwrap();
+    }
+    let steps = vec![
+        SnowflakeStep {
+            owner: "Students".into(),
+            target: "Majors".into(),
+            fk_col: "major_id".into(),
+            ccs: vec![parse_cc("cs", r#"| Field = "CS" | = 40"#, &majors_cols).unwrap()],
+            dcs: vec![],
+        },
+        SnowflakeStep {
+            owner: "Majors".into(),
+            target: "Departments".into(),
+            fk_col: "dept_id".into(),
+            ccs: vec![parse_cc("sci", r#"| Division = "Science" | = 6"#, &dept_cols).unwrap()],
+            dcs: vec![parse_dc(
+                "unique-cs-dept",
+                r#"!(t1.Field = "CS" & t2.Field = "CS" & t1.dept_id = t2.dept_id)"#,
+                "dept_id",
+            )
+            .unwrap()],
+        },
+    ];
+    let solved = solve_snowflake(tables, &steps, &SolverConfig::hybrid()).unwrap();
+    // Six CS majors need six distinct departments; only four existed.
+    let depts = &solved.tables[2];
+    assert!(depts.n_rows() > 4, "R̂2 should have grown, has {}", depts.n_rows());
+    assert_eq!(dc_error(&solved.tables[1], &steps[1].dcs).unwrap(), 0.0);
+}
