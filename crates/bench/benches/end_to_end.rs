@@ -19,13 +19,9 @@ fn bench_pipelines(c: &mut Criterion) {
     group.sample_size(10);
     for family in [CcFamily::Good, CcFamily::Bad] {
         let ccs = opts.ccs(family, opts.n_ccs, &data, 0);
-        let instance = CExtensionInstance::new(
-            data.persons.clone(),
-            data.housing.clone(),
-            ccs,
-            dcs.clone(),
-        )
-        .unwrap();
+        let instance =
+            CExtensionInstance::new(data.persons.clone(), data.housing.clone(), ccs, dcs.clone())
+                .unwrap();
         for (name, config) in [
             ("hybrid", SolverConfig::hybrid()),
             ("baseline", SolverConfig::baseline()),

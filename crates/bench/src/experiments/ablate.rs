@@ -24,8 +24,7 @@ pub fn run(opts: &ExperimentOpts) {
         "ablate",
         "Design-decision ablations — scale 10x, S_all_DC",
         &[
-            "Variant", "CCs", "CC med", "CC mean", "phase I", "phase II", "total",
-            "new R2",
+            "Variant", "CCs", "CC med", "CC mean", "phase I", "phase II", "total", "new R2",
         ],
     );
     let cases: Vec<(&str, &str, SolverConfig)> = vec![

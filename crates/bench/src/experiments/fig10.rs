@@ -35,7 +35,11 @@ pub fn run(opts: &ExperimentOpts) {
         ("9", "all", CcFamily::Bad),
     ];
     for (ds, dc_kind, family) in cases {
-        let dcs = if dc_kind == "good" { s_good_dc() } else { s_all_dc() };
+        let dcs = if dc_kind == "good" {
+            s_good_dc()
+        } else {
+            s_all_dc()
+        };
         let ccs = opts.ccs(family, opts.n_ccs, &data, 10);
         let base = run_averaged(&data, &ccs, &dcs, &SolverConfig::baseline(), opts.runs);
         let marg = run_averaged(

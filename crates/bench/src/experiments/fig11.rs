@@ -18,9 +18,7 @@ pub fn run_11a(opts: &ExperimentOpts) {
     let mut table = Table::new(
         "fig11a",
         "Runtime baseline vs hybrid — S_all_DC, S_bad_CC (shaded area = phase II)",
-        &[
-            "Scale", "Pipeline", "phase I", "phase II", "total",
-        ],
+        &["Scale", "Pipeline", "phase I", "phase II", "total"],
     );
     for label in [10u32, 40] {
         let data = opts.dataset(label, 2, label as u64);

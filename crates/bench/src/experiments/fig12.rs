@@ -17,7 +17,14 @@ pub fn run(opts: &ExperimentOpts) {
     let mut table = Table::new(
         "fig12",
         "Hybrid runtime vs number of R2 columns — scale 10x, S_good_DC, S_good_CC",
-        &["R2 cols", "recursion", "coloring", "phase I", "phase II", "total"],
+        &[
+            "R2 cols",
+            "recursion",
+            "coloring",
+            "phase I",
+            "phase II",
+            "total",
+        ],
     );
     for n_cols in [2usize, 4, 6, 8, 10] {
         let data = opts.dataset(10, n_cols, 10);

@@ -24,7 +24,13 @@ pub fn run(opts: &ExperimentOpts) {
         "fig13",
         "Hybrid runtime breakdown — scale 10x, S_all_DC, growing CC counts",
         &[
-            "CCs", "Family", "pairwise", "recursion", "ILP", "coloring", "total",
+            "CCs",
+            "Family",
+            "pairwise",
+            "recursion",
+            "ILP",
+            "coloring",
+            "total",
             "ILP %",
         ],
     );

@@ -12,7 +12,14 @@ pub fn run(opts: &ExperimentOpts) {
             "Data scales (generator at scale_factor {}; paper counts in parentheses)",
             opts.scale_factor
         ),
-        &["Scale", "Persons", "Housing", "VJoin", "paper Persons", "paper Housing"],
+        &[
+            "Scale",
+            "Persons",
+            "Housing",
+            "VJoin",
+            "paper Persons",
+            "paper Housing",
+        ],
     );
     for s in PAPER_SCALES {
         // Keep the big scales cheap unless running at paper scale.

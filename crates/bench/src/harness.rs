@@ -169,9 +169,12 @@ pub fn run_averaged(
         recursion_s: avg(|r| r.recursion_s),
         ilp_s: avg(|r| r.ilp_s),
         coloring_s: avg(|r| r.coloring_s),
-        new_r2_tuples: results.iter().map(|r| r.new_r2_tuples).sum::<usize>()
-            / results.len(),
-        cc_errors: results.into_iter().next().map(|r| r.cc_errors).unwrap_or_default(),
+        new_r2_tuples: results.iter().map(|r| r.new_r2_tuples).sum::<usize>() / results.len(),
+        cc_errors: results
+            .into_iter()
+            .next()
+            .map(|r| r.cc_errors)
+            .unwrap_or_default(),
     }
 }
 
@@ -240,8 +243,11 @@ impl Table {
         if let Some(dir) = &opts.out_dir {
             std::fs::create_dir_all(dir).expect("create output dir");
             let path = dir.join(format!("{}.json", self.id));
-            std::fs::write(&path, serde_json::to_string_pretty(self).expect("serialize"))
-                .expect("write snapshot");
+            std::fs::write(
+                &path,
+                serde_json::to_string_pretty(self).expect("serialize"),
+            )
+            .expect("write snapshot");
             println!("[snapshot written to {}]\n", path.display());
         }
     }

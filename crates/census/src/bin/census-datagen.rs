@@ -38,12 +38,14 @@ fn main() -> ExitCode {
         while i < args.len() {
             match args[i].as_str() {
                 "--scale" => {
-                    config.scale =
-                        take(&args, &mut i, "--scale")?.parse().map_err(|e| format!("{e}"))?
+                    config.scale = take(&args, &mut i, "--scale")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?
                 }
                 "--areas" => {
-                    config.n_areas =
-                        take(&args, &mut i, "--areas")?.parse().map_err(|e| format!("{e}"))?
+                    config.n_areas = take(&args, &mut i, "--areas")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?
                 }
                 "--housing-cols" => {
                     config.n_housing_cols = take(&args, &mut i, "--housing-cols")?
@@ -51,8 +53,9 @@ fn main() -> ExitCode {
                         .map_err(|e| format!("{e}"))?
                 }
                 "--seed" => {
-                    config.seed =
-                        take(&args, &mut i, "--seed")?.parse().map_err(|e| format!("{e}"))?
+                    config.seed = take(&args, &mut i, "--seed")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?
                 }
                 "--out" => out = Some(take(&args, &mut i, "--out")?.into()),
                 "-h" | "--help" => return Err(USAGE.to_owned()),

@@ -185,7 +185,12 @@ fn containment_components(rows: &[PredRow]) -> Vec<Vec<usize>> {
     comps.into_values().collect()
 }
 
-fn make_cc(name: String, row: &PredRow, r2: &NormalizedCond, truth_join: &Relation) -> CardinalityConstraint {
+fn make_cc(
+    name: String,
+    row: &PredRow,
+    r2: &NormalizedCond,
+    truth_join: &Relation,
+) -> CardinalityConstraint {
     let r1 = row.cond();
     let combined = r1.intersect(r2).to_predicate();
     let target = combined

@@ -187,7 +187,10 @@ mod tests {
         assert_eq!(table4_row(5).len(), 4);
         assert_eq!(table4_row(9).len(), 1);
         assert_eq!(table4_row(12).len(), 3);
-        assert_eq!(s_all_dc().len(), 6 + 6 + 4 + 2 + 4 + 2 + 2 + 2 + 1 + 2 + 2 + 3);
+        assert_eq!(
+            s_all_dc().len(),
+            6 + 6 + 4 + 2 + 4 + 2 + 2 + 2 + 1 + 2 + 2 + 3
+        );
         assert_eq!(s_good_dc().len(), 6 + 6 + 4 + 2 + 4 + 2 + 2 + 2);
     }
 

@@ -115,7 +115,11 @@ pub fn generate(config: &CensusConfig) -> CensusData {
     let n_households = ((9_820.0 * config.scale).round() as usize).max(1);
     let n_areas = config.n_areas.max(1);
 
-    let mut housing = Relation::with_capacity("Housing", housing_schema(config.n_housing_cols), n_households);
+    let mut housing = Relation::with_capacity(
+        "Housing",
+        housing_schema(config.n_housing_cols),
+        n_households,
+    );
     let mut truth = Relation::with_capacity(
         "Persons",
         persons_schema(),
@@ -123,23 +127,20 @@ pub fn generate(config: &CensusConfig) -> CensusData {
     );
 
     let mut pid = 0i64;
-    let mut push_person = |truth: &mut Relation,
-                           rng: &mut StdRng,
-                           age: i64,
-                           rel: &str,
-                           hid: i64| {
-        pid += 1;
-        let multi = i64::from(rng.gen_bool(0.25));
-        truth
-            .push_row(&[
-                Some(Value::Int(pid)),
-                Some(Value::Int(age.clamp(0, MAX_AGE))),
-                Some(Value::str(rel)),
-                Some(Value::Int(multi)),
-                Some(Value::Int(hid)),
-            ])
-            .expect("schema-conforming row");
-    };
+    let mut push_person =
+        |truth: &mut Relation, rng: &mut StdRng, age: i64, rel: &str, hid: i64| {
+            pid += 1;
+            let multi = i64::from(rng.gen_bool(0.25));
+            truth
+                .push_row(&[
+                    Some(Value::Int(pid)),
+                    Some(Value::Int(age.clamp(0, MAX_AGE))),
+                    Some(Value::str(rel)),
+                    Some(Value::Int(multi)),
+                    Some(Value::Int(hid)),
+                ])
+                .expect("schema-conforming row");
+        };
 
     for h in 0..n_households {
         let hid = h as i64 + 1;
@@ -306,8 +307,12 @@ mod tests {
     fn deterministic_per_seed() {
         let a = small();
         let b = small();
-        assert!(cextend_table::relations_equal_ordered(&a.persons, &b.persons));
-        assert!(cextend_table::relations_equal_ordered(&a.housing, &b.housing));
+        assert!(cextend_table::relations_equal_ordered(
+            &a.persons, &b.persons
+        ));
+        assert!(cextend_table::relations_equal_ordered(
+            &a.housing, &b.housing
+        ));
         let c = generate(&CensusConfig {
             scale: 0.05,
             seed: 43,
@@ -347,8 +352,7 @@ mod tests {
         let truth = &data.ground_truth;
         let fk = truth.schema().fk_col().unwrap();
         let rel = truth.schema().col_id("Rel").unwrap();
-        let mut owners: std::collections::HashMap<Value, usize> =
-            std::collections::HashMap::new();
+        let mut owners: std::collections::HashMap<Value, usize> = std::collections::HashMap::new();
         for r in truth.rows() {
             if truth.get(r, rel) == Some(Value::str("Owner")) {
                 *owners.entry(truth.get(r, fk).unwrap()).or_insert(0) += 1;

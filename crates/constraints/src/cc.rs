@@ -114,11 +114,10 @@ impl NormalizedCond {
     /// `self` constrains a superset of `other`'s columns and is at least as
     /// restrictive on each shared column (Definition 4.3).
     pub fn implies(&self, other: &NormalizedCond) -> bool {
-        other.sets.iter().all(|(col, oset)| {
-            self.sets
-                .get(col)
-                .is_some_and(|sset| sset.is_subset(oset))
-        })
+        other
+            .sets
+            .iter()
+            .all(|(col, oset)| self.sets.get(col).is_some_and(|sset| sset.is_subset(oset)))
     }
 
     /// `true` iff no tuple can satisfy both: some common column has disjoint
@@ -223,7 +222,13 @@ impl CardinalityConstraint {
 
 impl fmt::Display for CardinalityConstraint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: |σ[{}]| = {}", self.name, self.combined(), self.target)
+        write!(
+            f,
+            "{}: |σ[{}]| = {}",
+            self.name,
+            self.combined(),
+            self.target
+        )
     }
 }
 
@@ -257,11 +262,8 @@ mod tests {
 
     #[test]
     fn ne_cannot_normalize() {
-        let err = NormalizedCond::from_predicate(&Predicate::new(vec![Atom::cmp(
-            "Age",
-            CmpOp::Ne,
-            5,
-        )]));
+        let err =
+            NormalizedCond::from_predicate(&Predicate::new(vec![Atom::cmp("Age", CmpOp::Ne, 5)]));
         assert!(matches!(err, Err(ConstraintError::CannotNormalize(_))));
     }
 

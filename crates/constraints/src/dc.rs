@@ -238,12 +238,10 @@ impl BoundDc {
                 rvar,
                 rcol,
                 offset,
-            } => {
-                match (rel.get_int(rows[lvar], lcol), rel.get_int(rows[rvar], rcol)) {
-                    (Some(l), Some(r)) => op.eval(Value::Int(l), Value::Int(r + offset)),
-                    _ => false,
-                }
-            }
+            } => match (rel.get_int(rows[lvar], lcol), rel.get_int(rows[rvar], rcol)) {
+                (Some(l), Some(r)) => op.eval(Value::Int(l), Value::Int(r + offset)),
+                _ => false,
+            },
         })
     }
 

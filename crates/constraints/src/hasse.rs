@@ -43,8 +43,8 @@ impl HasseDiagram {
                     continue;
                 }
                 // Cover edge j → i unless some k sits strictly between.
-                let covered = (0..n)
-                    .any(|k| k != i && k != j && contained(i, k) && contained(k, j));
+                let covered =
+                    (0..n).any(|k| k != i && k != j && contained(i, k) && contained(k, j));
                 if !covered {
                     children[j].push(i);
                     parents[i].push(j);

@@ -176,8 +176,8 @@ impl Binning {
         let pairs = self.cols.iter().zip(bin.iter()).map(|(col, dim)| {
             let set = match dim {
                 BinDim::Interval(idx) => {
-                    let (lo, hi) = self.intervals.intervals(col).expect("interval column")
-                        [*idx as usize];
+                    let (lo, hi) =
+                        self.intervals.intervals(col).expect("interval column")[*idx as usize];
                     ValueSet::range(lo, hi)
                 }
                 BinDim::Val(v) => match v {
@@ -211,9 +211,7 @@ impl BoundBinning<'_> {
             let dim = match (ivs, v) {
                 (Some(_), Value::Int(x)) => {
                     let col_name = &self.binning.cols[key.len()];
-                    BinDim::Interval(
-                        self.binning.intervals.interval_index(col_name, x)? as u32
-                    )
+                    BinDim::Interval(self.binning.intervals.interval_index(col_name, x)? as u32)
                 }
                 _ => BinDim::Val(v),
             };
@@ -298,7 +296,11 @@ mod tests {
             for &(lo, hi) in ivs.intervals("Age").unwrap() {
                 // Interval entirely inside or entirely outside the range.
                 let inside = set.contains(Value::Int(lo));
-                assert_eq!(inside, set.contains(Value::Int(hi)), "interval split a CC range");
+                assert_eq!(
+                    inside,
+                    set.contains(Value::Int(hi)),
+                    "interval split a CC range"
+                );
             }
         }
     }

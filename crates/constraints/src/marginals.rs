@@ -207,10 +207,9 @@ mod tests {
         let r = persons();
         let b = binning();
         let all = marginal_counts(&r, &b, None).unwrap();
-        let owner_cond = NormalizedCond::from_predicate(&Predicate::new(vec![Atom::eq(
-            "Rel", "Owner",
-        )]))
-        .unwrap();
+        let owner_cond =
+            NormalizedCond::from_predicate(&Predicate::new(vec![Atom::eq("Rel", "Owner")]))
+                .unwrap();
         let restricted = restrict_marginals(&b, all.clone(), &[owner_cond]).unwrap();
         assert_eq!(restricted.len(), 2); // owner bins: ([25,..], Owner, 0|1)
         let total: u64 = restricted.iter().map(|(_, c)| c).sum();

@@ -498,15 +498,32 @@ mod tests {
     #[test]
     fn parse_cc_with_range_and_le() {
         let cc = parse_cc("CC3", "| Age <= 24 & Area = \"Chicago\" | = 3", &r2cols()).unwrap();
-        assert!(cc.r1.get("Age").unwrap().contains(cextend_table::Value::Int(24)));
+        assert!(cc
+            .r1
+            .get("Age")
+            .unwrap()
+            .contains(cextend_table::Value::Int(24)));
         let cc = parse_cc("CC", "| Age in [10, 14] | = 20", &r2cols()).unwrap();
-        assert!(cc.r1.get("Age").unwrap().contains(cextend_table::Value::Int(12)));
-        assert!(!cc.r1.get("Age").unwrap().contains(cextend_table::Value::Int(15)));
+        assert!(cc
+            .r1
+            .get("Age")
+            .unwrap()
+            .contains(cextend_table::Value::Int(12)));
+        assert!(!cc
+            .r1
+            .get("Age")
+            .unwrap()
+            .contains(cextend_table::Value::Int(15)));
     }
 
     #[test]
     fn parse_cc_multi_ling_identifier() {
-        let cc = parse_cc("CC4", "| Multi-ling = 1 & Area = \"Chicago\" | = 4", &r2cols()).unwrap();
+        let cc = parse_cc(
+            "CC4",
+            "| Multi-ling = 1 & Area = \"Chicago\" | = 4",
+            &r2cols(),
+        )
+        .unwrap();
         assert!(cc.r1.get("Multi-ling").is_some());
     }
 

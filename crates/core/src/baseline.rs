@@ -23,11 +23,11 @@ pub fn solve_baseline(instance: &CExtensionInstance, seed: u64) -> Result<Soluti
 }
 
 /// Solves with the baseline augmented with all-way marginals.
-pub fn solve_baseline_with_marginals(
-    instance: &CExtensionInstance,
-    seed: u64,
-) -> Result<Solution> {
-    crate::solve(instance, &SolverConfig::baseline_with_marginals().with_seed(seed))
+pub fn solve_baseline_with_marginals(instance: &CExtensionInstance, seed: u64) -> Result<Solution> {
+    crate::solve(
+        instance,
+        &SolverConfig::baseline_with_marginals().with_seed(seed),
+    )
 }
 
 #[cfg(test)]

@@ -42,9 +42,10 @@ impl CExtensionInstance {
                 "R1 must have exactly one key column".into(),
             ));
         }
-        let k2 = self.r2.schema().key_col().ok_or_else(|| {
-            CoreError::Validation("R2 must have exactly one key column".into())
-        })?;
+        let k2 =
+            self.r2.schema().key_col().ok_or_else(|| {
+                CoreError::Validation("R2 must have exactly one key column".into())
+            })?;
         if self.r1.schema().column(fk).dtype != self.r2.schema().column(k2).dtype {
             return Err(CoreError::Validation(
                 "R1.FK and R2.K2 must have the same type".into(),
@@ -192,7 +193,8 @@ pub(crate) mod fixtures {
             (5, "NYC"),
             (6, "NYC"),
         ] {
-            r.push_full_row(&[Value::Int(hid), Value::str(area)]).unwrap();
+            r.push_full_row(&[Value::Int(hid), Value::str(area)])
+                .unwrap();
         }
         r
     }
@@ -276,15 +278,15 @@ mod tests {
     #[test]
     fn duplicate_r2_keys_rejected() {
         let mut r2 = housing();
-        r2.push_full_row(&[Value::Int(1), Value::str("Chicago")]).unwrap();
+        r2.push_full_row(&[Value::Int(1), Value::str("Chicago")])
+            .unwrap();
         let err = CExtensionInstance::new(persons(), r2, vec![], vec![]);
         assert!(matches!(err, Err(CoreError::Validation(_))));
     }
 
     #[test]
     fn cc_referencing_unknown_column_rejected() {
-        let r2cols: std::collections::HashSet<String> =
-            ["Area".to_owned()].into_iter().collect();
+        let r2cols: std::collections::HashSet<String> = ["Area".to_owned()].into_iter().collect();
         let bad = cextend_constraints::parse_cc("bad", r#"| Nope = 1 | = 0"#, &r2cols).unwrap();
         let err = CExtensionInstance::new(persons(), housing(), vec![bad], vec![]);
         assert!(matches!(err, Err(CoreError::Validation(_))));
@@ -292,12 +294,9 @@ mod tests {
 
     #[test]
     fn dc_referencing_unknown_column_rejected() {
-        let bad = cextend_constraints::parse_dc(
-            "bad",
-            r#"!(t1.Nope = 1 & t1.hid = t2.hid)"#,
-            "hid",
-        )
-        .unwrap();
+        let bad =
+            cextend_constraints::parse_dc("bad", r#"!(t1.Nope = 1 & t1.hid = t2.hid)"#, "hid")
+                .unwrap();
         let err = CExtensionInstance::new(persons(), housing(), vec![], vec![bad]);
         assert!(matches!(err, Err(CoreError::Validation(_))));
     }
@@ -310,7 +309,8 @@ mod tests {
         ])
         .unwrap();
         let mut r2 = Relation::new("Housing", schema);
-        r2.push_full_row(&[Value::str("h1"), Value::str("Chicago")]).unwrap();
+        r2.push_full_row(&[Value::str("h1"), Value::str("Chicago")])
+            .unwrap();
         let err = CExtensionInstance::new(persons(), r2, vec![], vec![]);
         assert!(matches!(err, Err(CoreError::Validation(_))));
     }

@@ -71,7 +71,7 @@ pub use config::{
 };
 pub use error::{CoreError, Result};
 pub use instance::CExtensionInstance;
-pub use report::{SolveCounters, SolveStats, Solution, StageTimings};
+pub use report::{Solution, SolveCounters, SolveStats, StageTimings};
 
 /// Solves a C-Extension instance with the given configuration.
 ///
@@ -190,10 +190,7 @@ mod solve_tests {
         // Shrink Housing to two Chicago households; the four pairwise-
         // conflicting Chicago owners then need fresh households.
         let mut instance = fixtures::running_example();
-        let mut housing = cextend_table::Relation::new(
-            "Housing",
-            instance.r2.schema().clone(),
-        );
+        let mut housing = cextend_table::Relation::new("Housing", instance.r2.schema().clone());
         for (hid, area) in [(1, "Chicago"), (2, "Chicago"), (5, "NYC"), (6, "NYC")] {
             housing
                 .push_full_row(&[

@@ -18,10 +18,7 @@ use cextend_table::{fk_join, relations_equal_ordered, Relation, RowId};
 use std::collections::HashMap;
 
 /// Relative error of each CC against the (completed) join view.
-pub fn cc_relative_errors(
-    view: &Relation,
-    ccs: &[CardinalityConstraint],
-) -> Result<Vec<f64>> {
+pub fn cc_relative_errors(view: &Relation, ccs: &[CardinalityConstraint]) -> Result<Vec<f64>> {
     ccs.iter()
         .map(|cc| {
             let got = cc.count_in(view)? as f64;
@@ -144,8 +141,17 @@ mod tests {
         // spouse and children with the monolingual 25-year-old owner.
         let mut r1 = fixtures::persons();
         let fk = r1.schema().fk_col().unwrap();
-        for (row, hid) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 3), (5, 3), (6, 3), (7, 5), (8, 6)]
-        {
+        for (row, hid) in [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 3),
+            (5, 3),
+            (6, 3),
+            (7, 5),
+            (8, 6),
+        ] {
             r1.set(row, fk, Some(Value::Int(hid))).unwrap();
         }
         let dcs = fixtures::figure2_dcs();

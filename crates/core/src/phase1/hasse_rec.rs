@@ -7,7 +7,7 @@
 //! intersecting pair and a satisfying view exists, the result is exact.
 
 use crate::error::Result;
-use crate::phase1::{P1, RowState};
+use crate::phase1::{RowState, P1};
 use cextend_constraints::{CardinalityConstraint, HasseDiagram};
 use cextend_table::BoundPredicate;
 
@@ -81,7 +81,7 @@ fn solve_node(
             .iter()
             .filter(|&&c| p1.combo_satisfies(combo, &ccs[c].r2))
             .count();
-        if best.map_or(true, |(b, _)| overlap < b) {
+        if best.is_none_or(|(b, _)| overlap < b) {
             best = Some((overlap, i));
         }
         if overlap == 0 {
@@ -136,7 +136,9 @@ mod tests {
 
     /// Builds an instance shaped after Example 4.6: ages spread over ranges,
     /// two areas, CC family with containment and disjointness only.
-    fn example_instance(ccs: Vec<cextend_constraints::CardinalityConstraint>) -> CExtensionInstance {
+    fn example_instance(
+        ccs: Vec<cextend_constraints::CardinalityConstraint>,
+    ) -> CExtensionInstance {
         let schema = Schema::new(vec![
             ColumnDef::key("pid", Dtype::Int),
             ColumnDef::attr("Age", Dtype::Int),
@@ -176,7 +178,8 @@ mod tests {
         let mut r2 = Relation::new("Housing", schema2);
         for h in 0..40 {
             let area = if h % 3 == 0 { "NYC" } else { "Chicago" };
-            r2.push_full_row(&[Value::Int(h), Value::str(area)]).unwrap();
+            r2.push_full_row(&[Value::Int(h), Value::str(area)])
+                .unwrap();
         }
         CExtensionInstance::new(r1, r2, ccs, vec![]).unwrap()
     }
@@ -190,11 +193,7 @@ mod tests {
         let mut p1 = P1::build(instance, &config).unwrap();
         let m = RelationshipMatrix::build(&instance.ccs);
         let hasse = HasseDiagram::build(&m);
-        let comps: Vec<&[usize]> = hasse
-            .components()
-            .iter()
-            .map(|c| c.as_slice())
-            .collect();
+        let comps: Vec<&[usize]> = hasse.components().iter().map(|c| c.as_slice()).collect();
         let out = run(&mut p1, &instance.ccs, &hasse, &comps).unwrap();
         (p1, out)
     }
@@ -202,7 +201,12 @@ mod tests {
     #[test]
     fn disjoint_ccs_base_case_is_exact() {
         let ccs = vec![
-            parse_cc("a", r#"| Age in [10, 19] & Area = "Chicago" | = 5"#, &r2cols()).unwrap(),
+            parse_cc(
+                "a",
+                r#"| Age in [10, 19] & Area = "Chicago" | = 5"#,
+                &r2cols(),
+            )
+            .unwrap(),
             parse_cc("b", r#"| Age in [30, 39] & Area = "NYC" | = 7"#, &r2cols()).unwrap(),
         ];
         let instance = example_instance(ccs);
@@ -248,8 +252,18 @@ mod tests {
         // Example 1.1 flavour: owners in Chicago vs owners in NYC — CCs
         // disjoint through the R2 side, competing for the same R1 rows.
         let ccs = vec![
-            parse_cc("chi", r#"| Age in [10, 49] & Area = "Chicago" | = 25"#, &r2cols()).unwrap(),
-            parse_cc("nyc", r#"| Age in [10, 49] & Area = "NYC" | = 15"#, &r2cols()).unwrap(),
+            parse_cc(
+                "chi",
+                r#"| Age in [10, 49] & Area = "Chicago" | = 25"#,
+                &r2cols(),
+            )
+            .unwrap(),
+            parse_cc(
+                "nyc",
+                r#"| Age in [10, 49] & Area = "NYC" | = 15"#,
+                &r2cols(),
+            )
+            .unwrap(),
         ];
         let instance = example_instance(ccs);
         let (p1, out) = run_all(&instance);
@@ -292,9 +306,24 @@ mod tests {
     #[test]
     fn deep_nesting_three_levels() {
         let ccs = vec![
-            parse_cc("outer", r#"| Age in [10, 60] & Area = "Chicago" | = 40"#, &r2cols()).unwrap(),
-            parse_cc("mid", r#"| Age in [20, 40] & Area = "Chicago" | = 15"#, &r2cols()).unwrap(),
-            parse_cc("inner", r#"| Age in [25, 30] & Area = "Chicago" | = 6"#, &r2cols()).unwrap(),
+            parse_cc(
+                "outer",
+                r#"| Age in [10, 60] & Area = "Chicago" | = 40"#,
+                &r2cols(),
+            )
+            .unwrap(),
+            parse_cc(
+                "mid",
+                r#"| Age in [20, 40] & Area = "Chicago" | = 15"#,
+                &r2cols(),
+            )
+            .unwrap(),
+            parse_cc(
+                "inner",
+                r#"| Age in [25, 30] & Area = "Chicago" | = 6"#,
+                &r2cols(),
+            )
+            .unwrap(),
         ];
         let instance = example_instance(ccs);
         let (p1, out) = run_all(&instance);

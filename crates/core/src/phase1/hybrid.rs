@@ -50,11 +50,7 @@ pub(crate) fn run(
         }
     }
     // Whatever strategy ran, rows still incomplete are the invalid tuples.
-    let invalid: Vec<RowId> = p1
-        .view
-        .rows()
-        .filter(|&r| !p1.row_full(r))
-        .collect();
+    let invalid: Vec<RowId> = p1.view.rows().filter(|&r| !p1.row_full(r)).collect();
     stats.counters.invalid_tuples = invalid.len();
     Ok((p1, invalid))
 }
@@ -70,9 +66,10 @@ fn run_hybrid(
     let mut kept: Vec<CardinalityConstraint> = Vec::new();
     let mut conflicted: HashSet<usize> = HashSet::new(); // indices into `kept`
     for cc in &instance.ccs {
-        match kept.iter().position(|k| {
-            k.r1.same_condition(&cc.r1) && k.r2.same_condition(&cc.r2)
-        }) {
+        match kept
+            .iter()
+            .position(|k| k.r1.same_condition(&cc.r1) && k.r2.same_condition(&cc.r2))
+        {
             Some(j) if kept[j].target == cc.target => {
                 stats.counters.deduped_ccs += 1;
             }
@@ -98,9 +95,7 @@ fn run_hybrid(
     let mut s2: Vec<usize> = Vec::new();
     for comp in hasse.components() {
         let dirty = comp.iter().any(|&i| {
-            matrix.intersects_any(i)
-                || conflicted.contains(&i)
-                || hasse.parents(i).len() > 1
+            matrix.intersects_any(i) || conflicted.contains(&i) || hasse.parents(i).len() > 1
         });
         if dirty {
             s2.extend(comp.iter().copied());
@@ -118,8 +113,7 @@ fn run_hybrid(
 
     // ---- Algorithm 1 with modified marginals on the dirty set. ----------
     if with_ilp && !s2.is_empty() {
-        let subset: Vec<CardinalityConstraint> =
-            s2.iter().map(|&i| kept[i].clone()).collect();
+        let subset: Vec<CardinalityConstraint> = s2.iter().map(|&i| kept[i].clone()).collect();
         let conds: Vec<cextend_constraints::NormalizedCond> =
             subset.iter().map(|cc| cc.r1.clone()).collect();
         let out = ilp_based::run(
@@ -136,12 +130,8 @@ fn run_hybrid(
             .filter(|i| !s2_set.contains(i))
             .map(|i| kept[i].clone())
             .collect();
-        let repaired = crate::phase1::repair::repair(
-            p1,
-            &subset,
-            &protected,
-            config.ilp.repair_passes,
-        )?;
+        let repaired =
+            crate::phase1::repair::repair(p1, &subset, &protected, config.ilp.repair_passes)?;
         stats.counters.repair_moves += repaired.moves;
         stats.timings.fill += t.elapsed();
     }

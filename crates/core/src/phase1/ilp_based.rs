@@ -92,9 +92,7 @@ pub(crate) fn run(
                 conds.iter().any(|cond| {
                     let projected = NormalizedCond::from_sets(
                         cond.iter()
-                            .filter(|(col, _)| {
-                                p1.binning.columns().iter().any(|c| c == col)
-                            })
+                            .filter(|(col, _)| p1.binning.columns().iter().any(|c| c == col))
                             .map(|(col, set)| (col.to_owned(), set.clone())),
                     );
                     p1.binning.bin_satisfies(bin, &projected).unwrap_or(false)
@@ -200,9 +198,7 @@ pub(crate) fn run(
         solve_ilp::<f64>(&problem, &bb)
     };
     let values: Vec<i64> = match ilp_result {
-        Ok(sol)
-            if matches!(sol.status, IlpStatus::Optimal | IlpStatus::Feasible) =>
-        {
+        Ok(sol) if matches!(sol.status, IlpStatus::Optimal | IlpStatus::Feasible) => {
             out.nodes = sol.nodes;
             sol.values
         }
@@ -222,10 +218,8 @@ pub(crate) fn run(
                             if !in_scope[bi] || bin_vars[bi].is_empty() {
                                 continue;
                             }
-                            let fr: Vec<f64> =
-                                bin_vars[bi].iter().map(|&v| lp.values[v]).collect();
-                            let rounded =
-                                largest_remainder(&fr, bin_rows[bi].len() as i64);
+                            let fr: Vec<f64> = bin_vars[bi].iter().map(|&v| lp.values[v]).collect();
+                            let rounded = largest_remainder(&fr, bin_rows[bi].len() as i64);
                             for (&v, r) in bin_vars[bi].iter().zip(rounded) {
                                 x[v] = r;
                             }

@@ -21,8 +21,8 @@ use cextend_constraints::{
     domain_ranges, Binning, CardinalityConstraint, ColumnIntervals, NormalizedCond,
 };
 use cextend_table::{
-    init_join_view, marginals::distinct_combos, BoundPredicate, ColId, Dtype, Relation,
-    RowId, Value,
+    init_join_view, marginals::distinct_combos, BoundPredicate, ColId, Dtype, Relation, RowId,
+    Value,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -185,7 +185,9 @@ impl P1 {
 
     /// Binds a CC's `R1`-side condition against the view schema.
     pub fn bind_r1(&self, cond: &NormalizedCond) -> Result<BoundPredicate> {
-        Ok(cond.to_predicate().bind(self.view.schema(), self.view.name())?)
+        Ok(cond
+            .to_predicate()
+            .bind(self.view.schema(), self.view.name())?)
     }
 
     /// Row ids currently in [`RowState::Empty`].
@@ -214,10 +216,7 @@ pub(crate) fn combo_satisfies(cols: &[String], combo: &[Value], cond: &Normalize
 /// tuples* — and are resolved by Phase II's `solveInvalidTuples`.
 ///
 /// Returns the invalid row ids.
-pub(crate) fn complete_leftovers(
-    p1: &mut P1,
-    ccs: &[CardinalityConstraint],
-) -> Result<Vec<RowId>> {
+pub(crate) fn complete_leftovers(p1: &mut P1, ccs: &[CardinalityConstraint]) -> Result<Vec<RowId>> {
     use rand::Rng;
     let bound_r1: Vec<BoundPredicate> = ccs
         .iter()
@@ -298,7 +297,7 @@ fn combo_matches_partial(combo: &[Value], partial: &[Option<Value>]) -> bool {
     combo
         .iter()
         .zip(partial.iter())
-        .all(|(cv, pv)| pv.map_or(true, |pv| *cv == pv))
+        .all(|(cv, pv)| pv.is_none_or(|pv| *cv == pv))
 }
 
 /// Baseline completion: every not-fully-assigned row gets a uniformly

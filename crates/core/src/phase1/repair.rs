@@ -109,9 +109,8 @@ pub(crate) fn repair(
                 continue;
             }
             // Never disturb a row feeding a protected CC.
-            let protected = (0..protected_ccs.len()).any(|c| {
-                combo_match_protected[from][c] && bound_protected[c].eval(&p1.view, row)
-            });
+            let protected = (0..protected_ccs.len())
+                .any(|c| combo_match_protected[from][c] && bound_protected[c].eval(&p1.view, row));
             if protected {
                 continue;
             }
@@ -122,9 +121,9 @@ pub(crate) fn repair(
                     continue;
                 }
                 // Switching must not start feeding a protected CC either.
-                if (0..protected_ccs.len()).any(|c| {
-                    combo_match_protected[to][c] && bound_protected[c].eval(&p1.view, row)
-                }) {
+                if (0..protected_ccs.len())
+                    .any(|c| combo_match_protected[to][c] && bound_protected[c].eval(&p1.view, row))
+                {
                     continue;
                 }
                 let mut delta = 0i64;

@@ -57,9 +57,7 @@ pub(crate) fn color_partition(
     let mut skipped_vertices = Vec::new();
     let mut solved_exactly = false;
     if let ColoringMode::Exact { max_steps } = mode {
-        if let ExactResult::Colorable(c) =
-            exact_list_coloring(&g, &coloring, &shared, max_steps)
-        {
+        if let ExactResult::Colorable(c) = exact_list_coloring(&g, &coloring, &shared, max_steps) {
             coloring = c;
             solved_exactly = true;
         }
@@ -67,7 +65,8 @@ pub(crate) fn color_partition(
     if !solved_exactly {
         skipped_vertices = coloring_lf(&g, &mut coloring, &shared);
     }
-    let fresh = color_skipped_with_fresh(&g, &mut coloring, &skipped_vertices, n_candidates as Color);
+    let fresh =
+        color_skipped_with_fresh(&g, &mut coloring, &skipped_vertices, n_candidates as Color);
     let color_time = t.elapsed();
 
     debug_assert!(cextend_hypergraph::is_proper_complete(&g, &coloring));
@@ -147,8 +146,8 @@ mod tests {
         let (mut view, layout) = init_join_view(&instance.r1, &instance.r2).unwrap();
         let area = layout.r2_attr_cols[0];
         let vals = [
-            "Chicago", "Chicago", "Chicago", "Chicago", "Chicago", "Chicago", "Chicago",
-            "NYC", "NYC",
+            "Chicago", "Chicago", "Chicago", "Chicago", "Chicago", "Chicago", "Chicago", "NYC",
+            "NYC",
         ];
         for (r, a) in vals.iter().enumerate() {
             view.set(r, area, Some(Value::str(a))).unwrap();

@@ -12,11 +12,7 @@ use cextend_table::{Relation, RowId};
 
 /// Builds the conflict hypergraph over `rows` of `view` (vertex `i`
 /// corresponds to `rows[i]`).
-pub(crate) fn build_conflict_graph(
-    view: &Relation,
-    rows: &[RowId],
-    dcs: &[BoundDc],
-) -> Hypergraph {
+pub(crate) fn build_conflict_graph(view: &Relation, rows: &[RowId], dcs: &[BoundDc]) -> Hypergraph {
     let mut g = Hypergraph::new(rows.len());
     let mut chosen: Vec<u32> = Vec::new();
     for dc in dcs {
@@ -80,11 +76,12 @@ mod tests {
         // Fill the Area column as in Figure 5.
         let area = layout.r2_attr_cols[0];
         let values = [
-            "Chicago", "Chicago", "Chicago", "Chicago", "Chicago", "Chicago", "Chicago",
-            "NYC", "NYC",
+            "Chicago", "Chicago", "Chicago", "Chicago", "Chicago", "Chicago", "Chicago", "NYC",
+            "NYC",
         ];
         for (r, a) in values.iter().enumerate() {
-            view.set(r, area, Some(cextend_table::Value::str(a))).unwrap();
+            view.set(r, area, Some(cextend_table::Value::str(a)))
+                .unwrap();
         }
         let dcs: Vec<BoundDc> = instance
             .dcs
@@ -112,9 +109,7 @@ mod tests {
         // one undirected edge thanks to hypergraph dedup.
         let instance = fixtures::running_example();
         let (view, _) = init_join_view(&instance.r1, &instance.r2).unwrap();
-        let dc = instance.dcs[0]
-            .bind(view.schema(), view.name())
-            .unwrap();
+        let dc = instance.dcs[0].bind(view.schema(), view.name()).unwrap();
         let rows: Vec<RowId> = vec![0, 1]; // two owners
         let g = build_conflict_graph(&view, &rows, &[dc]);
         assert_eq!(g.n_edges(), 1);

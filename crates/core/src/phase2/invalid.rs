@@ -92,7 +92,11 @@ pub(crate) fn solve_invalid(
         .collect::<Result<Vec<_>>>()?;
     let mut counts: Vec<i64> = ccs
         .iter()
-        .map(|cc| cc.count_in(&ctx.view).map(|c| c as i64).map_err(CoreError::from))
+        .map(|cc| {
+            cc.count_in(&ctx.view)
+                .map(|c| c as i64)
+                .map_err(CoreError::from)
+        })
         .collect::<Result<Vec<_>>>()?;
 
     let mut minted = 0usize;
@@ -107,10 +111,14 @@ pub(crate) fn solve_invalid(
             .map(|k| {
                 let mut delta = 0i64;
                 for (ci, cc) in ccs.iter().enumerate() {
-                    let matches = ctx.combo_satisfies_cc(k, &cc.r2)
-                        && bound_r1[ci].eval(&ctx.view, row);
+                    let matches =
+                        ctx.combo_satisfies_cc(k, &cc.r2) && bound_r1[ci].eval(&ctx.view, row);
                     if matches {
-                        delta += if counts[ci] >= cc.target as i64 { 1 } else { -1 };
+                        delta += if counts[ci] >= cc.target as i64 {
+                            1
+                        } else {
+                            -1
+                        };
                     }
                 }
                 (delta, k)

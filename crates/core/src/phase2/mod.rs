@@ -25,8 +25,13 @@ use std::time::Instant;
 
 /// Mints fresh `R2` key values that collide with nothing.
 enum KeyMinter {
-    Int { next: i64 },
-    Str { counter: usize, used: std::collections::HashSet<Sym> },
+    Int {
+        next: i64,
+    },
+    Str {
+        counter: usize,
+        used: std::collections::HashSet<Sym>,
+    },
 }
 
 impl KeyMinter {
@@ -40,10 +45,7 @@ impl KeyMinter {
                 KeyMinter::Int { next }
             }
             Dtype::Str => {
-                let used = r2
-                    .rows()
-                    .filter_map(|r| r2.get_sym(r, k2))
-                    .collect();
+                let used = r2.rows().filter_map(|r| r2.get_sym(r, k2)).collect();
                 KeyMinter::Str { counter: 0, used }
             }
         }
@@ -224,7 +226,10 @@ pub(crate) fn run_phase2(
             let dcs: Vec<BoundDc> = instance
                 .dcs
                 .iter()
-                .map(|d| d.bind(ctx.view.schema(), ctx.view.name()).map_err(CoreError::from))
+                .map(|d| {
+                    d.bind(ctx.view.schema(), ctx.view.name())
+                        .map_err(CoreError::from)
+                })
                 .collect::<Result<Vec<_>>>()?;
 
             // ---- Partition the valid rows by combo. ----------------------

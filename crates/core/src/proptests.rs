@@ -15,8 +15,8 @@ use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 struct SmallInstance {
-    persons: Vec<(i64, usize, i64)>, // (age, group index, flag)
-    houses: Vec<usize>,              // kind index per house
+    persons: Vec<(i64, usize, i64)>,         // (age, group index, flag)
+    houses: Vec<usize>,                      // kind index per house
     ccs: Vec<(i64, i64, usize, usize, u64)>, // (age lo, age hi, group, kind, target)
     gap: i64,
 }

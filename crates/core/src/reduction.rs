@@ -167,13 +167,14 @@ pub fn decode(formula: &Nae3SatFormula, r1_hat: &Relation) -> Result<Vec<bool>> 
     let chosen = r1_hat.schema().require("Chosen", r1_hat.name())?;
     let mut assignment = vec![false; formula.n_vars];
     for r in r1_hat.rows() {
-        let v = r1_hat.get_int(r, var).ok_or_else(|| {
-            CoreError::Validation("missing Var value in reduced relation".into())
-        })? as usize;
+        let v = r1_hat
+            .get_int(r, var)
+            .ok_or_else(|| CoreError::Validation("missing Var value in reduced relation".into()))?
+            as usize;
         let a = r1_hat.get_int(r, alpha).unwrap_or(0);
-        let ch = r1_hat.get_int(r, chosen).ok_or_else(|| {
-            CoreError::Validation("Chosen column not completed".into())
-        })?;
+        let ch = r1_hat
+            .get_int(r, chosen)
+            .ok_or_else(|| CoreError::Validation("Chosen column not completed".into()))?;
         // t.Chosen = 1 iff the assignment sets t.Var = t.Alpha, so
         // Chosen = 0 means t.Var = ¬t.Alpha. DC (1) keeps occurrences of
         // one variable consistent, so any occurrence determines it.
@@ -250,16 +251,19 @@ mod tests {
     fn unsatisfiable_formula_decided_no() {
         // All eight sign patterns over {x1,x2,x3} force every assignment to
         // make some clause all-equal: classic NAE-unsatisfiable core.
-        let f = Nae3SatFormula::new(3, vec![
-            [1, 2, 3],
-            [1, 2, -3],
-            [1, -2, 3],
-            [1, -2, -3],
-            [-1, 2, 3],
-            [-1, 2, -3],
-            [-1, -2, 3],
-            [-1, -2, -3],
-        ])
+        let f = Nae3SatFormula::new(
+            3,
+            vec![
+                [1, 2, 3],
+                [1, 2, -3],
+                [1, -2, 3],
+                [1, -2, -3],
+                [-1, 2, 3],
+                [-1, 2, -3],
+                [-1, -2, 3],
+                [-1, -2, -3],
+            ],
+        )
         .unwrap();
         assert_eq!(f.brute_force(), None);
         assert_eq!(decide_via_cextension(&f).unwrap(), None);
@@ -272,8 +276,11 @@ mod tests {
             Nae3SatFormula::new(3, vec![[1, 2, 3]]).unwrap(),
             Nae3SatFormula::new(3, vec![[1, 2, 3], [-1, -2, -3], [1, -2, 3]]).unwrap(),
             Nae3SatFormula::new(4, vec![[1, 2, 3], [2, 3, 4], [-1, -4, 2]]).unwrap(),
-            Nae3SatFormula::new(4, vec![[1, 2, 3], [1, 2, -3], [1, -2, 3], [1, -2, -3], [-1, 2, 4]])
-                .unwrap(),
+            Nae3SatFormula::new(
+                4,
+                vec![[1, 2, 3], [1, 2, -3], [1, -2, 3], [1, -2, -3], [-1, 2, 4]],
+            )
+            .unwrap(),
         ];
         for f in formulas {
             let expected = f.brute_force().is_some();

@@ -106,8 +106,16 @@ impl fmt::Display for SolveStats {
         writeln!(f, "phase I : {:?}", t.phase1())?;
         writeln!(f, "  pairwise comparison : {:?}", t.pairwise_comparison)?;
         writeln!(f, "  recursion           : {:?}", t.recursion)?;
-        writeln!(f, "  ILP build/solve     : {:?} / {:?}", t.ilp_build, t.ilp_solve)?;
-        writeln!(f, "  fill / completion   : {:?} / {:?}", t.fill, t.completion)?;
+        writeln!(
+            f,
+            "  ILP build/solve     : {:?} / {:?}",
+            t.ilp_build, t.ilp_solve
+        )?;
+        writeln!(
+            f,
+            "  fill / completion   : {:?} / {:?}",
+            t.fill, t.completion
+        )?;
         writeln!(f, "phase II: {:?}", t.phase2())?;
         writeln!(f, "  conflict build      : {:?}", t.conflict_build)?;
         writeln!(f, "  coloring            : {:?}", t.coloring)?;

@@ -69,15 +69,12 @@ pub fn solve_snowflake(
         // every dimension already joined through a completed FK of owner,
         // plus the single FK column of this step.
         let owner = &tables[owner_idx];
-        let fk_id = owner
-            .schema()
-            .col_id(&step.fk_col)
-            .ok_or_else(|| {
-                CoreError::Validation(format!(
-                    "table `{}` has no column `{}`",
-                    step.owner, step.fk_col
-                ))
-            })?;
+        let fk_id = owner.schema().col_id(&step.fk_col).ok_or_else(|| {
+            CoreError::Validation(format!(
+                "table `{}` has no column `{}`",
+                step.owner, step.fk_col
+            ))
+        })?;
         if owner.schema().column(fk_id).role != Role::ForeignKey {
             return Err(CoreError::Validation(format!(
                 "column `{}` of `{}` is not a foreign key",
@@ -164,10 +161,7 @@ pub fn solve_snowflake(
         completed.push((owner_idx, target_idx, step.fk_col.clone()));
         step_stats.push((format!("{}→{}", step.owner, step.target), solution.stats));
     }
-    Ok(SnowflakeSolution {
-        tables,
-        step_stats,
-    })
+    Ok(SnowflakeSolution { tables, step_stats })
 }
 
 fn find_table(tables: &[Relation], name: &str) -> Result<usize> {
@@ -195,12 +189,8 @@ mod tests {
             .unwrap();
             let mut r = Relation::new("Students", schema);
             for sid in 0..30 {
-                r.push_row(&[
-                    Some(Value::Int(sid)),
-                    Some(Value::Int(1 + sid % 4)),
-                    None,
-                ])
-                .unwrap();
+                r.push_row(&[Some(Value::Int(sid)), Some(Value::Int(1 + sid % 4)), None])
+                    .unwrap();
             }
             r
         };
@@ -226,7 +216,8 @@ mod tests {
             .unwrap();
             let mut r = Relation::new("Departments", schema);
             for (did, div) in [(1, "Science"), (2, "Humanities")] {
-                r.push_full_row(&[Value::Int(did), Value::str(div)]).unwrap();
+                r.push_full_row(&[Value::Int(did), Value::str(div)])
+                    .unwrap();
             }
             r
         };
@@ -246,8 +237,12 @@ mod tests {
                 fk_col: "major_id".into(),
                 ccs: vec![
                     parse_cc("cs", r#"| Field = "CS" | = 18"#, &r2_majors).unwrap(),
-                    parse_cc("art-seniors", r#"| Year = 4 & Field = "Art" | = 3"#, &r2_majors)
-                        .unwrap(),
+                    parse_cc(
+                        "art-seniors",
+                        r#"| Year = 4 & Field = "Art" | = 3"#,
+                        &r2_majors,
+                    )
+                    .unwrap(),
                 ],
                 dcs: vec![],
             },

@@ -293,16 +293,18 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_graph() -> impl Strategy<Value = Hypergraph> {
-        (2usize..12, proptest::collection::vec((0u32..12, 0u32..12), 0..30)).prop_map(
-            |(n, pairs)| {
+        (
+            2usize..12,
+            proptest::collection::vec((0u32..12, 0u32..12), 0..30),
+        )
+            .prop_map(|(n, pairs)| {
                 let mut g = Hypergraph::new(n);
                 for (a, b) in pairs {
                     let (a, b) = (a % n as u32, b % n as u32);
                     g.add_edge(&[a, b]);
                 }
                 g
-            },
-        )
+            })
     }
 
     proptest! {

@@ -39,7 +39,15 @@ pub fn exact_list_coloring(
         .collect();
     let mut coloring = partial.clone();
     let mut steps = 0usize;
-    match dfs(g, &mut coloring, candidates, &order, 0, &mut steps, max_steps) {
+    match dfs(
+        g,
+        &mut coloring,
+        candidates,
+        &order,
+        0,
+        &mut steps,
+        max_steps,
+    ) {
         Dfs::Found => ExactResult::Colorable(coloring),
         Dfs::Exhausted => ExactResult::Uncolorable,
         Dfs::Budget => ExactResult::Unknown,
@@ -127,7 +135,12 @@ mod tests {
         assert_eq!(r, ExactResult::Uncolorable);
 
         let three: Vec<Color> = vec![0, 1, 2];
-        match exact_list_coloring(&g, &Coloring::new(3), &CandidateLists::Shared(&three), 10_000) {
+        match exact_list_coloring(
+            &g,
+            &Coloring::new(3),
+            &CandidateLists::Shared(&three),
+            10_000,
+        ) {
             ExactResult::Colorable(c) => assert!(is_proper_complete(&g, &c)),
             other => panic!("expected colorable, got {other:?}"),
         }
@@ -186,7 +199,12 @@ mod tests {
         let mut g = Hypergraph::new(3);
         g.add_edge(&[0, 1, 2]);
         let colors: Vec<Color> = vec![0, 1];
-        match exact_list_coloring(&g, &Coloring::new(3), &CandidateLists::Shared(&colors), 1000) {
+        match exact_list_coloring(
+            &g,
+            &Coloring::new(3),
+            &CandidateLists::Shared(&colors),
+            1000,
+        ) {
             ExactResult::Colorable(c) => assert!(is_proper_complete(&g, &c)),
             other => panic!("expected colorable, got {other:?}"),
         }
@@ -204,13 +222,17 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_graph() -> impl Strategy<Value = Hypergraph> {
-        (2usize..8, proptest::collection::vec((0u32..8, 0u32..8), 0..14)).prop_map(|(n, pairs)| {
-            let mut g = Hypergraph::new(n);
-            for (a, b) in pairs {
-                g.add_edge(&[a % n as u32, b % n as u32]);
-            }
-            g
-        })
+        (
+            2usize..8,
+            proptest::collection::vec((0u32..8, 0u32..8), 0..14),
+        )
+            .prop_map(|(n, pairs)| {
+                let mut g = Hypergraph::new(n);
+                for (a, b) in pairs {
+                    g.add_edge(&[a % n as u32, b % n as u32]);
+                }
+                g
+            })
     }
 
     proptest! {

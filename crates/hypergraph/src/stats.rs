@@ -36,7 +36,11 @@ pub fn graph_stats(g: &Hypergraph) -> GraphStats {
     };
     let max_edge_size = g.edges().map(|e| e.len()).max().unwrap_or(0);
     let pairs = n.saturating_sub(1) * n / 2;
-    let density = if pairs == 0 { 0.0 } else { m as f64 / pairs as f64 };
+    let density = if pairs == 0 {
+        0.0
+    } else {
+        m as f64 / pairs as f64
+    };
     GraphStats {
         n_vertices: n,
         n_edges: m,

@@ -300,7 +300,11 @@ mod proptests {
         (
             proptest::collection::vec(-3i64..4, 2),
             proptest::collection::vec(
-                (proptest::collection::vec((0usize..2, 1i64..4), 1..3), 0i64..12, 0u8..3),
+                (
+                    proptest::collection::vec((0usize..2, 1i64..4), 1..3),
+                    0i64..12,
+                    0u8..3,
+                ),
                 1..4,
             ),
         )

@@ -28,7 +28,10 @@ impl fmt::Display for IlpError {
             IlpError::Overflow => f.write_str("exact rational arithmetic overflowed i128"),
             IlpError::DivideByZero => f.write_str("division by zero during pivoting"),
             IlpError::IterationLimit { iterations } => {
-                write!(f, "simplex exceeded the iteration limit ({iterations} iterations)")
+                write!(
+                    f,
+                    "simplex exceeded the iteration limit ({iterations} iterations)"
+                )
             }
             IlpError::BadProblem(msg) => write!(f, "malformed problem: {msg}"),
         }

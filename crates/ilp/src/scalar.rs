@@ -186,10 +186,7 @@ mod tests {
         assert_eq!(half.floor_i64(), 0);
         assert!(!T::from_i64(0).is_positive());
         assert!(T::from_i64(0).is_zero());
-        assert_eq!(
-            two.total_cmp(&three),
-            std::cmp::Ordering::Less
-        );
+        assert_eq!(two.total_cmp(&three), std::cmp::Ordering::Less);
         assert_eq!(three.neg().to_f64(), -3.0);
     }
 

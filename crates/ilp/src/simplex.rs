@@ -414,7 +414,10 @@ mod tests {
         let mut p = Problem::new();
         let x = p.add_var("x");
         p.add_constraint(vec![(x, 1)], Rel::Le, -2);
-        assert_eq!(solve_lp::<Rational>(&p).unwrap().status, LpStatus::Infeasible);
+        assert_eq!(
+            solve_lp::<Rational>(&p).unwrap().status,
+            LpStatus::Infeasible
+        );
 
         let mut p = Problem::new();
         let x = p.add_var("x");
@@ -504,9 +507,8 @@ mod proptests {
     /// (when optimal) on the objective value.
     fn arb_problem() -> impl Strategy<Value = Problem> {
         let term = (0usize..3, -3i64..4);
-        let cons = (proptest::collection::vec(term, 1..4), -10i64..20).prop_map(
-            |(terms, rhs)| (terms, rhs),
-        );
+        let cons = (proptest::collection::vec(term, 1..4), -10i64..20)
+            .prop_map(|(terms, rhs)| (terms, rhs));
         (
             proptest::collection::vec(-3i64..4, 3),
             proptest::collection::vec(cons, 1..5),

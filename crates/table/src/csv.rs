@@ -86,13 +86,10 @@ fn split_record(line: &str, line_no: usize) -> Result<Vec<String>> {
 /// the schema's column names in order.
 pub fn read_csv<R: BufRead>(name: &str, schema: Schema, input: &mut R) -> Result<Relation> {
     let mut lines = input.lines();
-    let header = lines
-        .next()
-        .transpose()?
-        .ok_or_else(|| TableError::Csv {
-            line: 1,
-            message: "missing header".into(),
-        })?;
+    let header = lines.next().transpose()?.ok_or_else(|| TableError::Csv {
+        line: 1,
+        message: "missing header".into(),
+    })?;
     let header_fields = split_record(&header, 1)?;
     let expected: Vec<&str> = schema.columns().iter().map(|c| c.name.as_str()).collect();
     if header_fields != expected {

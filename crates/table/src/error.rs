@@ -66,7 +66,10 @@ impl fmt::Display for TableError {
                 "type mismatch in column `{column}`: expected {expected}, got {got}"
             ),
             TableError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: schema has {expected} columns, row has {got}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} columns, row has {got}"
+                )
             }
             TableError::RowOutOfBounds { row, len } => {
                 write!(f, "row index {row} out of bounds (relation has {len} rows)")

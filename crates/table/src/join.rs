@@ -109,9 +109,10 @@ pub fn fk_join_on(r1: &Relation, r2: &Relation, fk_col: &str) -> Result<Relation
             r1.name()
         )));
     }
-    let k2 = r2.schema().key_col().ok_or_else(|| {
-        TableError::SchemaViolation("R2 must have exactly one key column".into())
-    })?;
+    let k2 = r2
+        .schema()
+        .key_col()
+        .ok_or_else(|| TableError::SchemaViolation("R2 must have exactly one key column".into()))?;
     let key = r1.schema().key_col().expect("validated by join_schema");
     let r1_attrs = r1.schema().attr_cols();
     let by_key: HashMap<Value, RowId> = r2
@@ -203,7 +204,8 @@ mod tests {
         .unwrap();
         let mut r = Relation::new("Housing", schema);
         for (hid, area) in [(1, "Chicago"), (2, "Chicago"), (5, "NYC")] {
-            r.push_full_row(&[Value::Int(hid), Value::str(area)]).unwrap();
+            r.push_full_row(&[Value::Int(hid), Value::str(area)])
+                .unwrap();
         }
         r
     }
@@ -255,13 +257,19 @@ mod tests {
         ])
         .unwrap();
         let dim = r2(); // keyed by hid: 1, 2, 5
-        // Plain fk_join refuses ambiguous FKs…
+                        // Plain fk_join refuses ambiguous FKs…
         assert!(fk_join(&fact, &dim).is_err());
         // …but fk_join_on works per column.
         let ja = fk_join_on(&fact, &dim, "a_id").unwrap();
-        assert_eq!(ja.get(0, ja.schema().col_id("Area").unwrap()), Some(Value::str("Chicago")));
+        assert_eq!(
+            ja.get(0, ja.schema().col_id("Area").unwrap()),
+            Some(Value::str("Chicago"))
+        );
         let jb = fk_join_on(&fact, &dim, "b_id").unwrap();
-        assert_eq!(jb.get(0, jb.schema().col_id("Area").unwrap()), Some(Value::str("NYC")));
+        assert_eq!(
+            jb.get(0, jb.schema().col_id("Area").unwrap()),
+            Some(Value::str("NYC"))
+        );
         // Joining on a non-FK column is rejected.
         assert!(fk_join_on(&fact, &dim, "x").is_err());
     }

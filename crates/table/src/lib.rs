@@ -47,7 +47,9 @@ mod value;
 mod valueset;
 
 pub use error::{Result, TableError};
-pub use join::{fk_join, fk_join_on, init_join_view, join_schema, relations_equal_ordered, JoinLayout};
+pub use join::{
+    fk_join, fk_join_on, init_join_view, join_schema, relations_equal_ordered, JoinLayout,
+};
 pub use predicate::{Atom, BoundAtom, BoundPredicate, CmpOp, Predicate};
 pub use relation::{ColumnData, Relation, RowId};
 pub use schema::{ColId, ColumnDef, Role, Schema};

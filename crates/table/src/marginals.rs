@@ -77,7 +77,8 @@ mod tests {
             ("Spouse", Some(0)),
             ("Spouse", None),
         ] {
-            r.push_row(&[Some(Value::str(rl)), m.map(Value::Int)]).unwrap();
+            r.push_row(&[Some(Value::str(rl)), m.map(Value::Int)])
+                .unwrap();
         }
         r
     }

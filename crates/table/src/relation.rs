@@ -289,7 +289,8 @@ impl Relation {
 
     /// Builds a lookup from key value to the rows holding it.
     pub fn index_by(&self, col: ColId) -> std::collections::HashMap<Value, Vec<RowId>> {
-        let mut map: std::collections::HashMap<Value, Vec<RowId>> = std::collections::HashMap::new();
+        let mut map: std::collections::HashMap<Value, Vec<RowId>> =
+            std::collections::HashMap::new();
         for r in 0..self.n_rows {
             if let Some(v) = self.get(r, col) {
                 map.entry(v).or_default().push(r);

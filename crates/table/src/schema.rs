@@ -222,7 +222,9 @@ mod tests {
         assert_eq!(ext.len(), 6);
         assert_eq!(ext.col_id("Area"), Some(5));
         // Extending with a clashing name fails.
-        assert!(s.extended_with(&[ColumnDef::attr("Age", Dtype::Int)]).is_err());
+        assert!(s
+            .extended_with(&[ColumnDef::attr("Age", Dtype::Int)])
+            .is_err());
     }
 
     #[test]

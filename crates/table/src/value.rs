@@ -239,11 +239,21 @@ mod tests {
 
     #[test]
     fn value_total_order_is_deterministic() {
-        let mut vals = vec![Value::str("b"), Value::Int(5), Value::str("a"), Value::Int(-1)];
+        let mut vals = vec![
+            Value::str("b"),
+            Value::Int(5),
+            Value::str("a"),
+            Value::Int(-1),
+        ];
         vals.sort();
         assert_eq!(
             vals,
-            vec![Value::Int(-1), Value::Int(5), Value::str("a"), Value::str("b")]
+            vec![
+                Value::Int(-1),
+                Value::Int(5),
+                Value::str("a"),
+                Value::str("b")
+            ]
         );
     }
 

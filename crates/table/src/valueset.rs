@@ -108,13 +108,10 @@ impl ValueSet {
     pub fn intersect(&self, other: &ValueSet) -> ValueSet {
         match (self, other) {
             (ValueSet::Empty, _) | (_, ValueSet::Empty) => ValueSet::Empty,
-            (
-                ValueSet::IntRange { lo: a, hi: b },
-                ValueSet::IntRange { lo: c, hi: d },
-            ) => ValueSet::range((*a).max(*c), (*b).min(*d)),
-            (ValueSet::Strs(x), ValueSet::Strs(y)) => {
-                ValueSet::syms(x.intersection(y).copied())
+            (ValueSet::IntRange { lo: a, hi: b }, ValueSet::IntRange { lo: c, hi: d }) => {
+                ValueSet::range((*a).max(*c), (*b).min(*d))
             }
+            (ValueSet::Strs(x), ValueSet::Strs(y)) => ValueSet::syms(x.intersection(y).copied()),
             _ => ValueSet::Empty,
         }
     }
@@ -126,10 +123,9 @@ impl ValueSet {
         match (self, other) {
             (ValueSet::Empty, _) => true,
             (_, ValueSet::Empty) => false,
-            (
-                ValueSet::IntRange { lo: a, hi: b },
-                ValueSet::IntRange { lo: c, hi: d },
-            ) => c <= a && b <= d,
+            (ValueSet::IntRange { lo: a, hi: b }, ValueSet::IntRange { lo: c, hi: d }) => {
+                c <= a && b <= d
+            }
             (ValueSet::Strs(x), ValueSet::Strs(y)) => x.is_subset(y),
             _ => false,
         }
@@ -335,10 +331,7 @@ mod tests {
         assert_eq!(ValueSet::range(1, 2).to_string(), "[1, 2]");
         assert_eq!(ValueSet::int(5).to_string(), "{5}");
         assert_eq!(ValueSet::Empty.to_string(), "∅");
-        assert_eq!(
-            ValueSet::range(i64::MIN, 24).to_string(),
-            "[-inf, 24]"
-        );
+        assert_eq!(ValueSet::range(i64::MIN, 24).to_string(), "[-inf, 24]");
     }
 }
 

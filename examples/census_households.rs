@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let ccs = generate_ccs(CcFamily::Good, 120, &data, 7);
     let dcs = s_all_dc();
-    println!("constraints: {} CCs (good family), {} primitive DCs", ccs.len(), dcs.len());
+    println!(
+        "constraints: {} CCs (good family), {} primitive DCs",
+        ccs.len(),
+        dcs.len()
+    );
 
     let instance = CExtensionInstance::new(data.persons, data.housing, ccs, dcs)?;
     let solution = solve(&instance, &SolverConfig::hybrid())?;
@@ -41,12 +45,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  mean CC error   : {:.4}", report.cc_mean);
     println!("  DC error        : {:.4}", report.dc_error);
     println!("  join recovered  : {}", report.join_recovered);
-    println!("  new R2 tuples   : {}", solution.stats.counters.new_r2_tuples);
+    println!(
+        "  new R2 tuples   : {}",
+        solution.stats.counters.new_r2_tuples
+    );
     println!("\ntimings:\n{}", solution.stats);
 
-    assert_eq!(report.dc_error, 0.0, "Proposition 5.5 guarantees zero DC error");
+    assert_eq!(
+        report.dc_error, 0.0,
+        "Proposition 5.5 guarantees zero DC error"
+    );
     assert!(report.join_recovered);
-    assert_eq!(report.cc_median, 0.0, "good CCs are satisfied exactly (Prop. 4.7)");
+    assert_eq!(
+        report.cc_median, 0.0,
+        "good CCs are satisfied exactly (Prop. 4.7)"
+    );
 
     // Show a sample household from the completed data.
     let fk = solution.r1_hat.schema().fk_col().unwrap();

@@ -8,18 +8,28 @@
 //! cargo run --release --example constraint_dsl
 //! ```
 
-use cextend::constraints::{
-    parse_cc, parse_dc, CcRelationship, HasseDiagram, RelationshipMatrix,
-};
+use cextend::constraints::{parse_cc, parse_dc, CcRelationship, HasseDiagram, RelationshipMatrix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r2cols = ["Area".to_owned()].into_iter().collect();
     // Figure 6's four CCs (CC2's ages kept clear of CC3's so the pair is
     // disjoint as in the figure).
     let ccs = vec![
-        parse_cc("CC1", r#"| Age in [10, 12] & Area = "Chicago" | = 20"#, &r2cols)?,
-        parse_cc("CC2", r#"| Age in [70, 90] & Multi-ling = 0 & Area = "NYC" | = 25"#, &r2cols)?,
-        parse_cc("CC3", r#"| Age in [13, 64] & Area = "Chicago" | = 100"#, &r2cols)?,
+        parse_cc(
+            "CC1",
+            r#"| Age in [10, 12] & Area = "Chicago" | = 20"#,
+            &r2cols,
+        )?,
+        parse_cc(
+            "CC2",
+            r#"| Age in [70, 90] & Multi-ling = 0 & Area = "NYC" | = 25"#,
+            &r2cols,
+        )?,
+        parse_cc(
+            "CC3",
+            r#"| Age in [13, 64] & Area = "Chicago" | = 100"#,
+            &r2cols,
+        )?,
         parse_cc(
             "CC4",
             r#"| Age in [18, 24] & Multi-ling = 0 & Area = "Chicago" | = 16"#,
@@ -35,7 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let matrix = RelationshipMatrix::build(&ccs);
     for i in 0..ccs.len() {
         for j in (i + 1)..ccs.len() {
-            println!("  {} vs {} → {}", ccs[i].name, ccs[j].name, matrix.get(i, j));
+            println!(
+                "  {} vs {} → {}",
+                ccs[i].name,
+                ccs[j].name,
+                matrix.get(i, j)
+            );
         }
     }
     assert_eq!(matrix.get(3, 2), CcRelationship::ContainedIn); // CC4 ⊆ CC3

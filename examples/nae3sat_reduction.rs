@@ -12,10 +12,7 @@ use cextend::core::reduction::{decide_via_cextension, reduce, Nae3SatFormula};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let formulas = [
-        (
-            "(x1 ∨ x2 ∨ ¬x3)",
-            Nae3SatFormula::new(3, vec![[1, 2, -3]])?,
-        ),
+        ("(x1 ∨ x2 ∨ ¬x3)", Nae3SatFormula::new(3, vec![[1, 2, -3]])?),
         (
             "(x1∨x2∨x3) ∧ (¬x1∨¬x2∨¬x3) ∧ (x1∨¬x2∨x3)",
             Nae3SatFormula::new(3, vec![[1, 2, 3], [-1, -2, -3], [1, -2, 3]])?,

@@ -64,10 +64,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //     notation via the DSL. -------------------------------------------
     let r2cols = ["Area".to_owned()].into_iter().collect();
     let ccs = vec![
-        parse_cc("CC1", r#"| Rel = "Owner" & Area = "Chicago" | = 4"#, &r2cols)?,
+        parse_cc(
+            "CC1",
+            r#"| Rel = "Owner" & Area = "Chicago" | = 4"#,
+            &r2cols,
+        )?,
         parse_cc("CC2", r#"| Rel = "Owner" & Area = "NYC" | = 2"#, &r2cols)?,
         parse_cc("CC3", r#"| Age <= 24 & Area = "Chicago" | = 3"#, &r2cols)?,
-        parse_cc("CC4", r#"| Multi-ling = 1 & Area = "Chicago" | = 4"#, &r2cols)?,
+        parse_cc(
+            "CC4",
+            r#"| Multi-ling = 1 & Area = "Chicago" | = 4"#,
+            &r2cols,
+        )?,
     ];
     let dcs = vec![
         parse_dc(

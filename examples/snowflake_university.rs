@@ -41,7 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ColumnDef::foreign_key("dept_id", Dtype::Int),
         ])?,
     );
-    for (mid, field) in [(1, "CS"), (2, "CS"), (3, "Math"), (4, "Art"), (5, "History")] {
+    for (mid, field) in [
+        (1, "CS"),
+        (2, "CS"),
+        (3, "Math"),
+        (4, "Art"),
+        (5, "History"),
+    ] {
         majors.push_row(&[Some(Value::Int(mid)), Some(Value::str(field)), None])?;
     }
     let mut courses = Relation::new(
@@ -76,7 +82,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fk_col: "major_id".into(),
             ccs: vec![
                 parse_cc("cs-students", r#"| Field = "CS" | = 120"#, &majors_cols)?,
-                parse_cc("art-seniors", r#"| Year = 4 & Field = "Art" | = 20"#, &majors_cols)?,
+                parse_cc(
+                    "art-seniors",
+                    r#"| Year = 4 & Field = "Art" | = 20"#,
+                    &majors_cols,
+                )?,
             ],
             dcs: vec![],
         },
@@ -97,7 +107,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             owner: "Majors".into(),
             target: "Departments".into(),
             fk_col: "dept_id".into(),
-            ccs: vec![parse_cc("science", r#"| Division = "Science" | = 3"#, &dept_cols)?],
+            ccs: vec![parse_cc(
+                "science",
+                r#"| Division = "Science" | = 3"#,
+                &dept_cols,
+            )?],
             dcs: vec![parse_dc(
                 "one-cs-per-dept",
                 r#"!(t1.Field = "CS" & t2.Field = "CS" & t1.dept_id = t2.dept_id)"#,

@@ -1,13 +1,13 @@
 //! Integration: the text DSL against the whole constraint stack —
 //! everything in Figure 2 and Table 4 must parse, display and classify.
 
-use cextend::constraints::{
-    classify, parse_cc, parse_dc, parse_predicate, CcRelationship,
-};
+use cextend::constraints::{classify, parse_cc, parse_dc, parse_predicate, CcRelationship};
 use std::collections::HashSet;
 
 fn r2cols() -> HashSet<String> {
-    ["Area".to_owned(), "Tenure".to_owned()].into_iter().collect()
+    ["Area".to_owned(), "Tenure".to_owned()]
+        .into_iter()
+        .collect()
 }
 
 #[test]
@@ -52,14 +52,24 @@ fn predicate_display_reparses_to_the_same_predicate() {
 
 #[test]
 fn figure6_classification_via_dsl() {
-    let cc1 = parse_cc("CC1", r#"| Age in [10, 14] & Area = "Chicago" | = 20"#, &r2cols()).unwrap();
+    let cc1 = parse_cc(
+        "CC1",
+        r#"| Age in [10, 14] & Area = "Chicago" | = 20"#,
+        &r2cols(),
+    )
+    .unwrap();
     let cc2 = parse_cc(
         "CC2",
         r#"| Age in [50, 60] & Multi-ling = 0 & Area = "NYC" | = 25"#,
         &r2cols(),
     )
     .unwrap();
-    let cc3 = parse_cc("CC3", r#"| Age in [13, 64] & Area = "Chicago" | = 100"#, &r2cols()).unwrap();
+    let cc3 = parse_cc(
+        "CC3",
+        r#"| Age in [13, 64] & Area = "Chicago" | = 100"#,
+        &r2cols(),
+    )
+    .unwrap();
     let cc4 = parse_cc(
         "CC4",
         r#"| Age in [18, 24] & Multi-ling = 0 & Area = "Chicago" | = 16"#,

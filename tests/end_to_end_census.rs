@@ -58,7 +58,10 @@ fn final_relation_is_a_valid_database() {
     }
     // The join of the outputs is the reported view, cell for cell.
     let joined = fk_join(&solution.r1_hat, &solution.r2_hat).unwrap();
-    assert!(cextend::table::relations_equal_ordered(&joined, &solution.vjoin));
+    assert!(cextend::table::relations_equal_ordered(
+        &joined,
+        &solution.vjoin
+    ));
     // And it satisfies the DCs directly (not just via the metric).
     assert_eq!(dc_error(&solution.r1_hat, &instance.dcs).unwrap(), 0.0);
 }
@@ -88,8 +91,7 @@ fn figure12_mode_partitions_on_every_housing_column() {
         partition_counts.push(solution.stats.counters.partitions);
     }
     assert!(
-        partition_counts[0] <= partition_counts[1]
-            && partition_counts[1] <= partition_counts[2],
+        partition_counts[0] <= partition_counts[1] && partition_counts[1] <= partition_counts[2],
         "partitions should grow with R2 columns: {partition_counts:?}"
     );
 }

@@ -42,8 +42,7 @@ fn proposition_5_5_dcs_always_hold() {
             (CcFamily::Good, false),
             (CcFamily::Bad, false),
         ] {
-            let (instance, solution) =
-                run(0.02, 6, family, 40, all, seed, &SolverConfig::hybrid());
+            let (instance, solution) = run(0.02, 6, family, 40, all, seed, &SolverConfig::hybrid());
             let report = evaluate(&instance, &solution).unwrap();
             assert_eq!(
                 report.dc_error, 0.0,
@@ -99,7 +98,15 @@ fn bad_ccs_keep_error_low_but_dcs_stay_exact() {
 
 #[test]
 fn parallel_coloring_is_equivalent_to_serial() {
-    let serial = run(0.02, 6, CcFamily::Good, 40, true, 3, &SolverConfig::hybrid());
+    let serial = run(
+        0.02,
+        6,
+        CcFamily::Good,
+        40,
+        true,
+        3,
+        &SolverConfig::hybrid(),
+    );
     let parallel = run(
         0.02,
         6,
@@ -134,7 +141,15 @@ fn solver_is_deterministic() {
 
 #[test]
 fn baselines_violate_dcs_hybrid_never_does() {
-    let (instance, hybrid) = run(0.03, 6, CcFamily::Good, 40, true, 2, &SolverConfig::hybrid());
+    let (instance, hybrid) = run(
+        0.03,
+        6,
+        CcFamily::Good,
+        40,
+        true,
+        2,
+        &SolverConfig::hybrid(),
+    );
     let baseline = solve(&instance, &SolverConfig::baseline()).unwrap();
     let rh = evaluate(&instance, &hybrid).unwrap();
     let rb = evaluate(&instance, &baseline).unwrap();
@@ -149,7 +164,15 @@ fn baselines_violate_dcs_hybrid_never_does() {
 #[test]
 fn stats_reflect_the_hybrid_split() {
     // Good CCs: the ILP never runs. Bad CCs: it does.
-    let (_, good) = run(0.02, 6, CcFamily::Good, 40, true, 1, &SolverConfig::hybrid());
+    let (_, good) = run(
+        0.02,
+        6,
+        CcFamily::Good,
+        40,
+        true,
+        1,
+        &SolverConfig::hybrid(),
+    );
     assert_eq!(good.stats.counters.s2_ccs, 0);
     assert_eq!(good.stats.counters.ilp_vars, 0);
     let (_, bad) = run(0.02, 6, CcFamily::Bad, 40, true, 1, &SolverConfig::hybrid());

@@ -55,7 +55,8 @@ fn housing() -> Relation {
         (5, "NYC"),
         (6, "NYC"),
     ] {
-        r.push_full_row(&[Value::Int(hid), Value::str(area)]).unwrap();
+        r.push_full_row(&[Value::Int(hid), Value::str(area)])
+            .unwrap();
     }
     r
 }
@@ -63,10 +64,20 @@ fn housing() -> Relation {
 fn instance() -> CExtensionInstance {
     let r2cols: HashSet<String> = ["Area".to_owned()].into_iter().collect();
     let ccs = vec![
-        parse_cc("CC1", r#"| Rel = "Owner" & Area = "Chicago" | = 4"#, &r2cols).unwrap(),
+        parse_cc(
+            "CC1",
+            r#"| Rel = "Owner" & Area = "Chicago" | = 4"#,
+            &r2cols,
+        )
+        .unwrap(),
         parse_cc("CC2", r#"| Rel = "Owner" & Area = "NYC" | = 2"#, &r2cols).unwrap(),
         parse_cc("CC3", r#"| Age <= 24 & Area = "Chicago" | = 3"#, &r2cols).unwrap(),
-        parse_cc("CC4", r#"| Multi-ling = 1 & Area = "Chicago" | = 4"#, &r2cols).unwrap(),
+        parse_cc(
+            "CC4",
+            r#"| Multi-ling = 1 & Area = "Chicago" | = 4"#,
+            &r2cols,
+        )
+        .unwrap(),
     ];
     let dcs = vec![
         parse_dc(
@@ -133,10 +144,22 @@ fn figure5_view_counts_match_example_4_1() {
         let p: Predicate = cextend::constraints::parse_predicate(pred).unwrap();
         p.count(view).unwrap()
     };
-    assert_eq!(count(r#"Age >= 25 & Rel = "Owner" & Multi-ling = 0 & Area = "Chicago""#), 2);
-    assert_eq!(count(r#"Age <= 24 & Rel = "Spouse" & Multi-ling = 0 & Area = "Chicago""#), 1);
-    assert_eq!(count(r#"Age <= 24 & Rel = "Child" & Multi-ling = 1 & Area = "Chicago""#), 2);
-    assert_eq!(count(r#"Age >= 25 & Rel = "Owner" & Multi-ling = 1 & Area = "Chicago""#), 2);
+    assert_eq!(
+        count(r#"Age >= 25 & Rel = "Owner" & Multi-ling = 0 & Area = "Chicago""#),
+        2
+    );
+    assert_eq!(
+        count(r#"Age <= 24 & Rel = "Spouse" & Multi-ling = 0 & Area = "Chicago""#),
+        1
+    );
+    assert_eq!(
+        count(r#"Age <= 24 & Rel = "Child" & Multi-ling = 1 & Area = "Chicago""#),
+        2
+    );
+    assert_eq!(
+        count(r#"Age >= 25 & Rel = "Owner" & Multi-ling = 1 & Area = "Chicago""#),
+        2
+    );
     assert_eq!(count(r#"Rel = "Owner" & Area = "NYC""#), 2);
 }
 
@@ -147,7 +170,17 @@ fn hand_written_figure3_style_assignment_validates() {
     // 25-year-old monolingual owner.
     let mut r1 = persons();
     let fk = r1.schema().fk_col().unwrap();
-    for (row, hid) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 3), (5, 3), (6, 3), (7, 5), (8, 6)] {
+    for (row, hid) in [
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 3),
+        (5, 3),
+        (6, 3),
+        (7, 5),
+        (8, 6),
+    ] {
         r1.set(row, fk, Some(Value::Int(hid))).unwrap();
     }
     let inst = instance();

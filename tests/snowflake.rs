@@ -52,7 +52,12 @@ fn university(n_students: usize) -> Vec<Relation> {
         ])
         .unwrap(),
     );
-    for (did, div) in [(1, "Science"), (2, "Science"), (3, "Humanities"), (4, "Arts")] {
+    for (did, div) in [
+        (1, "Science"),
+        (2, "Science"),
+        (3, "Humanities"),
+        (4, "Arts"),
+    ] {
         departments
             .push_full_row(&[Value::Int(did), Value::str(div)])
             .unwrap();
@@ -70,8 +75,12 @@ fn steps() -> Vec<SnowflakeStep> {
             fk_col: "major_id".into(),
             ccs: vec![
                 parse_cc("cs", r#"| Field = "CS" | = 60"#, &majors_cols).unwrap(),
-                parse_cc("math-frosh", r#"| Year = 1 & Field = "Math" | = 10"#, &majors_cols)
-                    .unwrap(),
+                parse_cc(
+                    "math-frosh",
+                    r#"| Year = 1 & Field = "Math" | = 10"#,
+                    &majors_cols,
+                )
+                .unwrap(),
             ],
             dcs: vec![],
         },
@@ -101,7 +110,9 @@ fn full_pipeline_completes_and_verifies() {
     // Step 1 CCs hold on the Students ⋈ Majors view.
     let j1 = fk_join(students, majors).unwrap();
     assert_eq!(
-        Predicate::new(vec![Atom::eq("Field", "CS")]).count(&j1).unwrap(),
+        Predicate::new(vec![Atom::eq("Field", "CS")])
+            .count(&j1)
+            .unwrap(),
         60
     );
     assert_eq!(
@@ -114,7 +125,9 @@ fn full_pipeline_completes_and_verifies() {
     let depts = &solved.tables[2];
     let j2 = fk_join(majors, depts).unwrap();
     assert_eq!(
-        Predicate::new(vec![Atom::eq("Division", "Science")]).count(&j2).unwrap(),
+        Predicate::new(vec![Atom::eq("Division", "Science")])
+            .count(&j2)
+            .unwrap(),
         4
     );
     assert_eq!(dc_error(majors, &steps()[1].dcs).unwrap(), 0.0);
@@ -158,6 +171,10 @@ fn dimension_growth_propagates() {
     let solved = solve_snowflake(tables, &steps, &SolverConfig::hybrid()).unwrap();
     // Six CS majors need six distinct departments; only four existed.
     let depts = &solved.tables[2];
-    assert!(depts.n_rows() > 4, "R̂2 should have grown, has {}", depts.n_rows());
+    assert!(
+        depts.n_rows() > 4,
+        "R̂2 should have grown, has {}",
+        depts.n_rows()
+    );
     assert_eq!(dc_error(&solved.tables[1], &steps[1].dcs).unwrap(), 0.0);
 }

@@ -1,0 +1,197 @@
+//! Offline stand-in for `criterion`: runs each benchmark closure a few timed
+//! iterations and prints the mean wall-clock per iteration. No statistical
+//! analysis, warm-up heuristics, or HTML reports — just enough to keep the
+//! `benches/*.rs` harnesses compiling and producing useful numbers.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies a benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing driver passed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed pass absorbs first-touch effects (allocation, lazy
+        // statics) so that the short timed loop is not dominated by them.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.last_mean = start.elapsed() / u32::try_from(self.iterations).unwrap_or(u32::MAX);
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.sample_size, f);
+        self
+    }
+
+    /// Runs one standalone benchmark with an input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.id, self.sample_size, |b| f(b, input));
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration hint.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.effective_sample_size(), f);
+        self
+    }
+
+    /// Runs one benchmark in this group with an input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.effective_sample_size(), |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (upstream flushes reports here; a no-op).
+    pub fn finish(self) {}
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        iterations: sample_size.max(1) as u64,
+        last_mean: Duration::ZERO,
+    };
+    f(&mut b);
+    println!(
+        "{id:<40} {:>12.3?} /iter ({} iters)",
+        b.last_mean, b.iterations
+    );
+}
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("counter", |b| b.iter(|| runs += 1));
+        // 1 warm-up + sample_size timed iterations.
+        assert_eq!(runs, 11);
+    }
+
+    #[test]
+    fn group_respects_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &5u32, |b, &v| {
+            b.iter(|| runs += u64::from(v))
+        });
+        group.finish();
+        assert_eq!(runs, 4 * 5);
+    }
+}

@@ -1,0 +1,328 @@
+//! Offline stand-in for `proptest`: the strategy combinators and macros this
+//! workspace uses, minus shrinking. Case generation is deterministic (fixed
+//! internal seed, overridable via `PROPTEST_SEED`), so failures reproduce
+//! exactly; they are reported un-minimized.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub use strategy::{Strategy, TestRng};
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; it is skipped, not failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failing error.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Creates a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Per-test configuration (only the case count is honored).
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct ProptestConfig {
+    /// How many generated cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Strategies for `Option<T>`.
+pub mod option {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy yielding `None` or `Some` of the inner strategy's values.
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` roughly three times out of four, mirroring upstream's default
+    /// weighting.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// Strategies for `bool`.
+pub mod bool {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy yielding `true` or `false` uniformly.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Sizes accepted by [`vec`]: an exact `usize` or a `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start() <= self.end(), "empty size range");
+            self.start() + (rng.next_u64() as usize) % (self.end() - self.start() + 1)
+        }
+    }
+
+    /// Strategy yielding vectors of values from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `Vec` strategy with the given element strategy and size (range).
+    pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `proptest!` test module normally imports.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+
+    /// Namespace alias mirroring upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::{bool, collection, option};
+    }
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)` body
+/// runs for `ProptestConfig::cases` generated inputs. Bodies may use
+/// `prop_assert*!`, `prop_assume!`, and `return Ok(())`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_env(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u64 = 0;
+                let max_attempts = u64::from(cfg.cases) * 16 + 256;
+                while accepted < cfg.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "proptest: too many prop_assume! rejections ({} attempts for {} cases)",
+                        attempts,
+                        cfg.cases,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome = (move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::TestCaseError::Reject(_)) => {}
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {} failed: {}", attempts, msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that fails the surrounding proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the surrounding proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// `assert_ne!` that fails the surrounding proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skips the current case (it does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    fn arb_pair() -> impl Strategy<Value = (i64, i64)> {
+        (0i64..10, 0i64..10).prop_map(|(a, b)| (a, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(v in -5i64..5, w in 1usize..4) {
+            prop_assert!((-5..5).contains(&v));
+            prop_assert!((1..4).contains(&w));
+        }
+
+        #[test]
+        fn vec_lengths(xs in crate::collection::vec(0u8..3, 2..6)) {
+            prop_assert!((2..6).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&x| x < 3));
+        }
+
+        #[test]
+        fn flat_map_threads_values(n in 2usize..5) {
+            let nested = (0usize..1).prop_flat_map(move |_| {
+                crate::collection::vec(0usize..n, n)
+            });
+            let v = Strategy::generate(&nested, &mut TestRng::from_env("inner"));
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn assume_skips(v in 0i64..10) {
+            prop_assume!(v != 3);
+            prop_assert_ne!(v, 3);
+        }
+
+        #[test]
+        fn tuples_and_options(p in arb_pair(), o in prop::option::of(0i64..2), b in prop::bool::ANY) {
+            prop_assert!(p.0 < 10 && p.1 < 10);
+            if let Some(x) = o {
+                prop_assert!(x == 0 || x == 1);
+            }
+            let _: bool = b;
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::from_env("same");
+        let mut b = TestRng::from_env("same");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

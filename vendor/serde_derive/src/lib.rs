@@ -1,0 +1,166 @@
+//! Offline `#[derive(Serialize)]` without syn/quote: a hand-rolled token
+//! scanner covering the shapes this workspace derives on — plain structs
+//! with named fields, optionally annotated
+//! `#[serde(skip_serializing_if = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed struct field.
+struct Field {
+    name: String,
+    skip_serializing_if: Option<String>,
+}
+
+/// Derives the vendored `serde::Serialize` (a `to_value(&self) -> Value`
+/// renderer) for a named-field struct.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, body) = parse_struct(&tokens);
+    let fields = parse_fields(body);
+
+    let mut pushes = String::new();
+    for f in &fields {
+        let push = format!(
+            "__fields.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));",
+            n = f.name
+        );
+        match &f.skip_serializing_if {
+            Some(pred) => pushes.push_str(&format!(
+                "if !({pred})(&self.{n}) {{ {push} }}\n",
+                n = f.name
+            )),
+            None => {
+                pushes.push_str(&push);
+                pushes.push('\n');
+            }
+        }
+    }
+
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n\
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\n\
+                 ::serde::Value::Object(__fields)\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("derive(Serialize): generated impl parses")
+}
+
+/// Finds `struct <Name> { ... }`, returning the name and the brace body.
+fn parse_struct(tokens: &[TokenTree]) -> (String, TokenStream) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "struct" {
+                let name = match &tokens[i + 1] {
+                    TokenTree::Ident(n) => n.to_string(),
+                    other => panic!("derive(Serialize): expected struct name, got {other}"),
+                };
+                for t in &tokens[i + 2..] {
+                    if let TokenTree::Group(g) = t {
+                        if g.delimiter() == Delimiter::Brace {
+                            return (name, g.stream());
+                        }
+                    }
+                }
+                panic!("derive(Serialize): only braced (named-field) structs are supported");
+            }
+        }
+        i += 1;
+    }
+    panic!("derive(Serialize): no `struct` found (enums/unions unsupported)");
+}
+
+/// Splits a struct body into fields, capturing per-field serde attributes.
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Collect attributes (`#[...]`) preceding the field.
+        let mut skip_serializing_if = None;
+        loop {
+            match (&tokens.get(i), &tokens.get(i + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    if let Some(pred) = parse_serde_skip(g.stream()) {
+                        skip_serializing_if = Some(pred);
+                    }
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Optional visibility: `pub` or `pub(...)`.
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive(Serialize): expected field name, got {other}"),
+        };
+        i += 1;
+        // Skip `: Type` up to the next top-level comma (groups nest angle
+        // brackets as plain puncts; track `<`/`>` depth so e.g.
+        // `Vec<(A, B)>` does not split early).
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            skip_serializing_if,
+        });
+    }
+    fields
+}
+
+/// Extracts the predicate path from
+/// `serde(skip_serializing_if = "...")` inside one `#[...]` body, if present.
+fn parse_serde_skip(attr: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(args)] if id.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut j = 0;
+            while j + 2 < inner.len() {
+                if let (TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)) =
+                    (&inner[j], &inner[j + 1], &inner[j + 2])
+                {
+                    if key.to_string() == "skip_serializing_if" && eq.as_char() == '=' {
+                        let raw = lit.to_string();
+                        return Some(raw.trim_matches('"').to_string());
+                    }
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => None,
+    }
+}
