@@ -2,17 +2,17 @@
 //! (the "Pairwise Comparison" row of Figure 13) for growing CC counts.
 
 use cextend_bench::ExperimentOpts;
-use cextend_census::CcFamily;
 use cextend_constraints::{HasseDiagram, RelationshipMatrix};
+use cextend_workloads::CcFamily;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_classification(c: &mut Criterion) {
     let opts = ExperimentOpts {
         scale_factor: 0.01,
-        n_areas: 8,
+        knobs: [("areas".to_owned(), 8)].into_iter().collect(),
         ..ExperimentOpts::default()
     };
-    let data = opts.dataset(1, 2, 0);
+    let data = opts.dataset(1, None, 0);
     let mut group = c.benchmark_group("pairwise_classification");
     for &n in &[50usize, 150, 400] {
         for family in [CcFamily::Good, CcFamily::Bad] {

@@ -2,21 +2,24 @@
 //! (the edge-enumeration cost that dominates Phase II on dense DC sets).
 
 use cextend_bench::ExperimentOpts;
-use cextend_census::{s_all_dc, s_good_dc};
 use cextend_core::metrics::dc_error;
+use cextend_workloads::DcSet;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_dc_error(c: &mut Criterion) {
     let opts = ExperimentOpts {
         scale_factor: 0.02,
-        n_areas: 8,
+        knobs: [("areas".to_owned(), 8)].into_iter().collect(),
         ..ExperimentOpts::default()
     };
     let mut group = c.benchmark_group("dc_error_scan");
     group.sample_size(10);
     for &label in &[1u32, 5] {
-        let data = opts.dataset(label, 2, 0);
-        for (name, dcs) in [("good", s_good_dc()), ("all", s_all_dc())] {
+        let data = opts.dataset(label, None, 0);
+        for (name, dcs) in [
+            ("good", opts.dcs(DcSet::Good)),
+            ("all", opts.dcs(DcSet::All)),
+        ] {
             let id = format!("{label}x_{name}");
             let truth = data.ground_truth.clone();
             group.bench_with_input(BenchmarkId::from_parameter(id), &truth, |b, truth| {

@@ -2,26 +2,24 @@
 //! small Census instance — the engine behind Figures 8–11.
 
 use cextend_bench::ExperimentOpts;
-use cextend_census::{s_all_dc, CcFamily};
-use cextend_core::{solve, CExtensionInstance, SolverConfig};
+use cextend_core::{solve, SolverConfig};
+use cextend_workloads::{CcFamily, DcSet};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_pipelines(c: &mut Criterion) {
     let opts = ExperimentOpts {
         scale_factor: 0.005,
-        n_areas: 6,
         n_ccs: 60,
+        knobs: [("areas".to_owned(), 6)].into_iter().collect(),
         ..ExperimentOpts::default()
     };
-    let data = opts.dataset(5, 2, 0);
-    let dcs = s_all_dc();
+    let data = opts.dataset(5, None, 0);
+    let dcs = opts.dcs(DcSet::All);
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(10);
     for family in [CcFamily::Good, CcFamily::Bad] {
         let ccs = opts.ccs(family, opts.n_ccs, &data, 0);
-        let instance =
-            CExtensionInstance::new(data.persons.clone(), data.housing.clone(), ccs, dcs.clone())
-                .unwrap();
+        let instance = data.to_instance(ccs, dcs.clone()).unwrap();
         for (name, config) in [
             ("hybrid", SolverConfig::hybrid()),
             ("baseline", SolverConfig::baseline()),

@@ -3,23 +3,22 @@
 //! ILP.
 
 use cextend_bench::ExperimentOpts;
-use cextend_census::{s_good_dc, CcFamily};
-use cextend_core::{solve, CExtensionInstance, Phase1Strategy, SolverConfig};
+use cextend_core::{solve, Phase1Strategy, SolverConfig};
+use cextend_workloads::{CcFamily, DcSet};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_hasse_phase1(c: &mut Criterion) {
     let opts = ExperimentOpts {
         scale_factor: 0.01,
-        n_areas: 8,
+        knobs: [("areas".to_owned(), 8)].into_iter().collect(),
         ..ExperimentOpts::default()
     };
     let mut group = c.benchmark_group("hasse_recursion_end_to_end");
     group.sample_size(10);
     for &n_ccs in &[50usize, 150] {
-        let data = opts.dataset(5, 2, 0);
+        let data = opts.dataset(5, None, 0);
         let ccs = opts.ccs(CcFamily::Good, n_ccs, &data, 0);
-        let instance =
-            CExtensionInstance::new(data.persons, data.housing, ccs, s_good_dc()).unwrap();
+        let instance = data.to_instance(ccs, opts.dcs(DcSet::Good)).unwrap();
         let config = SolverConfig {
             phase1: Phase1Strategy::HasseOnly,
             ..SolverConfig::hybrid()

@@ -1,19 +1,24 @@
-//! CLI for the paper-reproduction experiments.
+//! CLI for the paper-reproduction experiments, generic over workloads.
 
 use cextend_bench::experiments;
 use cextend_bench::ExperimentOpts;
+use cextend_workloads::{workload_by_name, WORKLOAD_NAMES};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: experiments <id>|all [options]
+usage: experiments <id>|all|perf [options]
 
 experiments: table1 fig8a fig8b fig9 fig10 fig11a fig11b fig12 fig13 ablate
+             perf (times solve() on every workload, writes BENCH_perf.json)
 
 options:
-  --scale-factor F   multiply the paper's scale labels by F (default 0.02)
+  --workload W       scenario to drive: census (default) or retail
+  --scale-factor F   multiply the workload's scale labels by F (default 0.02)
   --paper-scale      shorthand for --scale-factor 1.0 (hours of runtime!)
   --n-ccs N          CC-set size (default 150; the paper uses 1001)
-  --n-areas N        distinct Area codes (default 12)
+  --knob NAME=V      workload-owned generator knob (census: areas;
+                     retail: regions, max-group); repeatable
+  --n-areas N        alias for --knob areas=N (census)
   --runs R           independent runs to average (default 3)
   --seed S           base RNG seed (default 7)
   --out DIR          write JSON snapshots to DIR
@@ -32,6 +37,15 @@ fn parse(args: &[String]) -> Result<(Vec<String>, ExperimentOpts), String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
+            "--workload" => {
+                let name = take("--workload")?;
+                if !WORKLOAD_NAMES.contains(&name.as_str()) {
+                    return Err(format!(
+                        "unknown workload `{name}`; known: {WORKLOAD_NAMES:?}"
+                    ));
+                }
+                opts.workload = name;
+            }
             "--scale-factor" => {
                 opts.scale_factor = take("--scale-factor")?
                     .parse()
@@ -43,10 +57,21 @@ fn parse(args: &[String]) -> Result<(Vec<String>, ExperimentOpts), String> {
                     .parse()
                     .map_err(|e| format!("bad --n-ccs: {e}"))?
             }
-            "--n-areas" => {
-                opts.n_areas = take("--n-areas")?
+            "--knob" => {
+                let kv = take("--knob")?;
+                let (name, value) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --knob `{kv}`: expected NAME=VALUE"))?;
+                let value: i64 = value
                     .parse()
-                    .map_err(|e| format!("bad --n-areas: {e}"))?
+                    .map_err(|e| format!("bad --knob value in `{kv}`: {e}"))?;
+                opts.knobs.insert(name.to_owned(), value);
+            }
+            "--n-areas" => {
+                let n: i64 = take("--n-areas")?
+                    .parse()
+                    .map_err(|e| format!("bad --n-areas: {e}"))?;
+                opts.knobs.insert("areas".to_owned(), n);
             }
             "--runs" => {
                 opts.runs = take("--runs")?
@@ -70,6 +95,30 @@ fn parse(args: &[String]) -> Result<(Vec<String>, ExperimentOpts), String> {
     if ids.is_empty() {
         return Err(USAGE.to_owned());
     }
+    // Validate knob names against the selected workload's published set —
+    // or every workload's, when `perf` is requested (it sweeps them all).
+    let mut known: Vec<&str> = workload_by_name(&opts.workload)
+        .expect("validated above")
+        .meta()
+        .knobs
+        .iter()
+        .map(|(name, _)| *name)
+        .collect();
+    if ids.iter().any(|id| id == "perf") {
+        for w in cextend_workloads::all_workloads() {
+            known.extend(w.meta().knobs.iter().map(|(name, _)| *name));
+        }
+        known.sort_unstable();
+        known.dedup();
+    }
+    for name in opts.knobs.keys() {
+        if !known.contains(&name.as_str()) {
+            return Err(format!(
+                "workload `{}` has no knob `{name}`; known: {known:?}",
+                opts.workload
+            ));
+        }
+    }
     Ok((ids, opts))
 }
 
@@ -87,9 +136,24 @@ fn main() -> ExitCode {
     } else {
         ids
     };
+    let knobs = opts
+        .knobs
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(",");
     println!(
-        "# cextend experiments — scale_factor={}, n_ccs={}, n_areas={}, runs={}, seed={}\n",
-        opts.scale_factor, opts.n_ccs, opts.n_areas, opts.runs, opts.seed
+        "# cextend experiments — workload={}, scale_factor={}, n_ccs={}, runs={}, seed={}{}\n",
+        opts.workload,
+        opts.scale_factor,
+        opts.n_ccs,
+        opts.runs,
+        opts.seed,
+        if knobs.is_empty() {
+            String::new()
+        } else {
+            format!(", knobs=[{knobs}]")
+        }
     );
     for id in &ids {
         let start = std::time::Instant::now();

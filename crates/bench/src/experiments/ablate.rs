@@ -10,19 +10,22 @@
 //!    costs on a bad CC set.
 
 use crate::harness::{fmt_err, fmt_s, run_averaged, ExperimentOpts, Table};
-use cextend_census::{s_all_dc, CcFamily};
 use cextend_core::{ColoringMode, IlpSettings, Phase1Strategy, SolverConfig};
+use cextend_workloads::{CcFamily, DcSet};
 
 /// Runs all ablations.
 pub fn run(opts: &ExperimentOpts) {
-    let dcs = s_all_dc();
-    let data = opts.dataset(10, 2, 10);
+    let dcs = opts.dcs(DcSet::All);
+    let data = opts.dataset(10, None, 10);
     let good = opts.ccs(CcFamily::Good, opts.n_ccs, &data, 10);
     let bad = opts.ccs(CcFamily::Bad, opts.n_ccs, &data, 10);
 
     let mut table = Table::new(
         "ablate",
-        "Design-decision ablations — scale 10x, S_all_DC",
+        &format!(
+            "Design-decision ablations — scale 10x, all DCs ({})",
+            opts.workload
+        ),
         &[
             "Variant", "CCs", "CC med", "CC mean", "phase I", "phase II", "total", "new R2",
         ],

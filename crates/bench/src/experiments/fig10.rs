@@ -7,15 +7,18 @@
 //! smaller (but nonzero) for `S_good_DC`.
 
 use crate::harness::{fmt_err, run_averaged, ExperimentOpts, Table};
-use cextend_census::{s_all_dc, s_good_dc, CcFamily};
 use cextend_core::SolverConfig;
+use cextend_workloads::{CcFamily, DcSet};
 
 /// Runs Figure 10.
 pub fn run(opts: &ExperimentOpts) {
-    let data = opts.dataset(10, 2, 10);
+    let data = opts.dataset(10, None, 10);
     let mut table = Table::new(
         "fig10",
-        "Error grid at scale 10x — (DC set × CC set) × pipeline",
+        &format!(
+            "Error grid at scale 10x — (DC set × CC set) × pipeline ({})",
+            opts.workload
+        ),
         &[
             "Dataset",
             "DCs",
@@ -36,9 +39,9 @@ pub fn run(opts: &ExperimentOpts) {
     ];
     for (ds, dc_kind, family) in cases {
         let dcs = if dc_kind == "good" {
-            s_good_dc()
+            opts.dcs(DcSet::Good)
         } else {
-            s_all_dc()
+            opts.dcs(DcSet::All)
         };
         let ccs = opts.ccs(family, opts.n_ccs, &data, 10);
         let base = run_averaged(&data, &ccs, &dcs, &SolverConfig::baseline(), opts.runs);

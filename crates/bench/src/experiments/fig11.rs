@@ -9,19 +9,22 @@
 //! shape: near-linear growth; the bad family costs more (the ILP runs).
 
 use crate::harness::{fmt_s, run_averaged, ExperimentOpts, Table};
-use cextend_census::{s_all_dc, s_good_dc, CcFamily};
 use cextend_core::SolverConfig;
+use cextend_workloads::{CcFamily, DcSet};
 
 /// Runs Figure 11a.
 pub fn run_11a(opts: &ExperimentOpts) {
-    let dcs = s_all_dc();
+    let dcs = opts.dcs(DcSet::All);
     let mut table = Table::new(
         "fig11a",
-        "Runtime baseline vs hybrid — S_all_DC, S_bad_CC (shaded area = phase II)",
+        &format!(
+            "Runtime baseline vs hybrid — all DCs, bad CCs ({}; shaded area = phase II)",
+            opts.workload
+        ),
         &["Scale", "Pipeline", "phase I", "phase II", "total"],
     );
     for label in [10u32, 40] {
-        let data = opts.dataset(label, 2, label as u64);
+        let data = opts.dataset(label, None, label as u64);
         let ccs = opts.ccs(CcFamily::Bad, opts.n_ccs, &data, label as u64);
         for (name, config) in [
             ("baseline", SolverConfig::baseline()),
@@ -43,10 +46,13 @@ pub fn run_11a(opts: &ExperimentOpts) {
 
 /// Runs Figure 11b.
 pub fn run_11b(opts: &ExperimentOpts) {
-    let dcs = s_good_dc();
+    let dcs = opts.dcs(DcSet::Good);
     let mut table = Table::new(
         "fig11b",
-        "Hybrid runtime vs scale — S_good_DC, good vs bad CCs",
+        &format!(
+            "Hybrid runtime vs scale — good DCs, good vs bad CCs ({})",
+            opts.workload
+        ),
         &["Scale", "CCs", "phase I", "phase II", "total"],
     );
     for label in [10u32, 40, 80, 160] {
@@ -55,7 +61,7 @@ pub fn run_11b(opts: &ExperimentOpts) {
         if label > 40 && opts.scale_factor > 0.25 {
             continue;
         }
-        let data = opts.dataset(label, 2, label as u64);
+        let data = opts.dataset(label, None, label as u64);
         for family in [CcFamily::Good, CcFamily::Bad] {
             let ccs = opts.ccs(family, opts.n_ccs, &data, label as u64);
             let r = run_averaged(&data, &ccs, &dcs, &SolverConfig::hybrid(), opts.runs);

@@ -8,13 +8,13 @@
 //! else is noise.
 
 use crate::harness::{fmt_s, run_averaged, ExperimentOpts, Table};
-use cextend_census::{s_all_dc, CcFamily};
 use cextend_core::SolverConfig;
+use cextend_workloads::{CcFamily, DcSet};
 
 /// Runs Figure 13.
 pub fn run(opts: &ExperimentOpts) {
-    let dcs = s_all_dc();
-    let data = opts.dataset(10, 2, 10);
+    let dcs = opts.dcs(DcSet::All);
+    let data = opts.dataset(10, None, 10);
     // The paper sweeps 500–900 CCs out of 1001; sweep the same fractions.
     let sweep: Vec<usize> = [0.5, 0.6, 0.7, 0.8, 0.9]
         .iter()
@@ -22,7 +22,10 @@ pub fn run(opts: &ExperimentOpts) {
         .collect();
     let mut table = Table::new(
         "fig13",
-        "Hybrid runtime breakdown — scale 10x, S_all_DC, growing CC counts",
+        &format!(
+            "Hybrid runtime breakdown — scale 10x, all DCs, growing CC counts ({})",
+            opts.workload
+        ),
         &[
             "CCs",
             "Family",

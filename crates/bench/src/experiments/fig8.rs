@@ -8,17 +8,17 @@
 //! keeps (even worsens) the DC error.
 
 use crate::harness::{fmt_err, run_averaged, ExperimentOpts, Table};
-use cextend_census::{s_all_dc, CcFamily};
 use cextend_core::SolverConfig;
+use cextend_workloads::{CcFamily, DcSet};
 
 /// Runs Figure 8a (`Good`) or 8b (`Bad`).
 pub fn run(opts: &ExperimentOpts, family: CcFamily, id: &str) {
-    let dcs = s_all_dc();
+    let dcs = opts.dcs(DcSet::All);
     let mut table = Table::new(
         id,
         &format!(
-            "CC/DC error vs scale — S_all_DC (12 DC rows), {:?} CCs (n={})",
-            family, opts.n_ccs
+            "CC/DC error vs scale — all DCs, {:?} CCs (n={}, {})",
+            family, opts.n_ccs, opts.workload
         ),
         &[
             "Scale",
@@ -31,7 +31,7 @@ pub fn run(opts: &ExperimentOpts, family: CcFamily, id: &str) {
         ],
     );
     for label in [1u32, 2, 5, 10, 40] {
-        let data = opts.dataset(label, 2, label as u64);
+        let data = opts.dataset(label, None, label as u64);
         let ccs = opts.ccs(family, opts.n_ccs, &data, label as u64);
         let base = run_averaged(&data, &ccs, &dcs, &SolverConfig::baseline(), opts.runs);
         let marg = run_averaged(

@@ -7,9 +7,9 @@
 //! mean); the baseline's distribution sits far higher.
 
 use crate::harness::{fmt_err, run_once, ExperimentOpts, Table};
-use cextend_census::{s_all_dc, CcFamily};
 use cextend_core::metrics::median;
 use cextend_core::SolverConfig;
+use cextend_workloads::{CcFamily, DcSet};
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -21,12 +21,15 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 /// Runs Figure 9.
 pub fn run(opts: &ExperimentOpts) {
-    let dcs = s_all_dc();
-    let data = opts.dataset(40, 2, 40);
+    let dcs = opts.dcs(DcSet::All);
+    let data = opts.dataset(40, None, 40);
     let ccs = opts.ccs(CcFamily::Bad, opts.n_ccs, &data, 40);
     let mut table = Table::new(
         "fig9",
-        "Per-CC relative error distribution — scale 40x, S_all_DC, S_bad_CC",
+        &format!(
+            "Per-CC relative error distribution — scale 40x, all DCs, bad CCs ({})",
+            opts.workload
+        ),
         &[
             "Pipeline", "frac=0", "p50", "p75", "p90", "p99", "max", "mean",
         ],

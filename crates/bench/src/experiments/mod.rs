@@ -1,17 +1,21 @@
-//! One driver per table/figure of the paper's evaluation (Section 6).
+//! One driver per table/figure of the paper's evaluation (Section 6),
+//! plus the cross-workload perf baseline. Every driver is
+//! workload-generic: `--workload retail` reruns the paper's experiment
+//! designs on the Retail orders/customers scenario.
 //!
-//! | id | paper artifact |
+//! | id | artifact |
 //! |---|---|
-//! | `table1` | Table 1 — data scales |
-//! | `fig8a` | Figure 8a — errors vs scale, `S_all_DC` + `S_good_CC` |
-//! | `fig8b` | Figure 8b — errors vs scale, `S_all_DC` + `S_bad_CC` |
+//! | `table1` | Table 1 — data scales + Proposition 5.5 solver check |
+//! | `fig8a` | Figure 8a — errors vs scale, all DCs + good CCs |
+//! | `fig8b` | Figure 8b — errors vs scale, all DCs + bad CCs |
 //! | `fig9` | Figure 9 — per-CC relative error distribution (40×, bad CCs) |
 //! | `fig10` | Figure 10 — good/bad DC × good/bad CC error grid (10×) |
 //! | `fig11a` | Figure 11a — runtime baseline vs hybrid, phase split |
 //! | `fig11b` | Figure 11b — hybrid runtime 10×–160×, good vs bad CCs |
 //! | `fig12` | Figure 12 — runtime vs number of `R2` columns |
-//! | `fig13` | Figure 13 — runtime breakdown at 500–900 CCs |
+//! | `fig13` | Figure 13 — runtime breakdown at growing CC counts |
 //! | `ablate` | DESIGN.md ablations (parallel/exact coloring, B&B budget) |
+//! | `perf` | perf baseline over *all* workloads → `BENCH_perf.json` |
 
 pub mod ablate;
 pub mod fig10;
@@ -20,11 +24,14 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig8;
 pub mod fig9;
+pub mod perf;
 pub mod table1;
 
 use crate::harness::ExperimentOpts;
+use cextend_workloads::CcFamily;
 
-/// All experiment ids, in run order.
+/// All figure/table experiment ids, in run order (`perf` is driven
+/// separately: it sweeps every workload and writes `BENCH_perf.json`).
 pub const ALL: [&str; 10] = [
     "table1", "fig8a", "fig8b", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "ablate",
 ];
@@ -33,8 +40,8 @@ pub const ALL: [&str; 10] = [
 pub fn run(id: &str, opts: &ExperimentOpts) -> Result<(), String> {
     match id {
         "table1" => table1::run(opts),
-        "fig8a" => fig8::run(opts, cextend_census::CcFamily::Good, "fig8a"),
-        "fig8b" => fig8::run(opts, cextend_census::CcFamily::Bad, "fig8b"),
+        "fig8a" => fig8::run(opts, CcFamily::Good, "fig8a"),
+        "fig8b" => fig8::run(opts, CcFamily::Bad, "fig8b"),
         "fig9" => fig9::run(opts),
         "fig10" => fig10::run(opts),
         "fig11a" => fig11::run_11a(opts),
@@ -42,7 +49,12 @@ pub fn run(id: &str, opts: &ExperimentOpts) -> Result<(), String> {
         "fig12" => fig12::run(opts),
         "fig13" => fig13::run(opts),
         "ablate" => ablate::run(opts),
-        other => return Err(format!("unknown experiment `{other}`; known: {ALL:?}")),
+        "perf" => perf::run(opts),
+        other => {
+            return Err(format!(
+                "unknown experiment `{other}`; known: {ALL:?} and `perf`"
+            ))
+        }
     }
     Ok(())
 }

@@ -1,0 +1,127 @@
+//! The perf-baseline smoke: times `solve()` on **every registered
+//! workload** (both CC families) at small scale and writes the timings to
+//! `BENCH_perf.json`, seeding the bench trajectory that CI uploads as an
+//! artifact on every run. Unlike the figure experiments this sweep ignores
+//! `--workload`: its whole point is a cross-workload baseline.
+
+use crate::harness::{fmt_s, run_averaged, ExperimentOpts, Table};
+use cextend_core::SolverConfig;
+use cextend_workloads::{all_workloads, DcSet};
+use serde::Serialize;
+
+/// One timed (workload, CC family) cell.
+#[derive(Debug, Serialize)]
+pub struct PerfRecord {
+    /// Workload name.
+    pub workload: String,
+    /// CC family label (`good` / `bad`).
+    pub family: String,
+    /// `R1` rows.
+    pub n_r1: usize,
+    /// `R2` rows.
+    pub n_r2: usize,
+    /// CC-set size.
+    pub n_ccs: usize,
+    /// Phase I seconds (averaged over `runs`).
+    pub phase1_s: f64,
+    /// Phase II seconds.
+    pub phase2_s: f64,
+    /// Total wall-clock seconds.
+    pub wall_s: f64,
+    /// Median relative CC error (sanity: good families must be exact).
+    pub cc_median: f64,
+    /// DC error (must be 0.0 — Proposition 5.5).
+    pub dc_error: f64,
+}
+
+/// The `BENCH_perf.json` document.
+#[derive(Debug, Serialize)]
+pub struct PerfBaseline {
+    /// Snapshot format version.
+    pub schema_version: u32,
+    /// Scale factor the sweep ran at.
+    pub scale_factor: f64,
+    /// CC-set size requested.
+    pub n_ccs: usize,
+    /// Runs averaged per cell.
+    pub runs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// One record per (workload, family).
+    pub records: Vec<PerfRecord>,
+}
+
+/// Runs the perf baseline and writes `BENCH_perf.json` (into `--out` when
+/// set, else the working directory).
+pub fn run(opts: &ExperimentOpts) {
+    let mut table = Table::new(
+        "perf",
+        &format!(
+            "Perf baseline — solve() on every workload at scale 1x (factor {})",
+            opts.scale_factor
+        ),
+        &[
+            "Workload", "CCs", "R1", "R2", "phase I", "phase II", "total", "CC med", "DC err",
+        ],
+    );
+    let mut records = Vec::new();
+    for workload in all_workloads() {
+        let meta = workload.meta();
+        let sub = ExperimentOpts {
+            workload: meta.name.to_owned(),
+            ..opts.clone()
+        };
+        let data = sub.dataset(1, None, 0);
+        let dcs = sub.dcs(DcSet::All);
+        for family in workload.cc_families().iter().copied() {
+            let ccs = sub.ccs(family, sub.n_ccs, &data, 0);
+            let r = run_averaged(&data, &ccs, &dcs, &SolverConfig::hybrid(), sub.runs);
+            assert_eq!(r.dc_error, 0.0, "Proposition 5.5 violated on {}", meta.name);
+            table.push(vec![
+                meta.name.to_owned(),
+                family.label().to_owned(),
+                data.n_r1().to_string(),
+                data.n_r2().to_string(),
+                fmt_s(r.phase1_s),
+                fmt_s(r.phase2_s),
+                fmt_s(r.wall_s),
+                format!("{:.3}", r.cc_median),
+                format!("{:.3}", r.dc_error),
+            ]);
+            records.push(PerfRecord {
+                workload: meta.name.to_owned(),
+                family: family.label().to_owned(),
+                n_r1: data.n_r1(),
+                n_r2: data.n_r2(),
+                n_ccs: ccs.len(),
+                phase1_s: r.phase1_s,
+                phase2_s: r.phase2_s,
+                wall_s: r.wall_s,
+                cc_median: r.cc_median,
+                dc_error: r.dc_error,
+            });
+        }
+    }
+    println!("{}", table.render());
+
+    let baseline = PerfBaseline {
+        schema_version: 1,
+        scale_factor: opts.scale_factor,
+        n_ccs: opts.n_ccs,
+        runs: opts.runs,
+        seed: opts.seed,
+        records,
+    };
+    let dir = opts
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let path = dir.join("BENCH_perf.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&baseline).expect("serialize"),
+    )
+    .expect("write BENCH_perf.json");
+    println!("[perf baseline written to {}]\n", path.display());
+}

@@ -1,40 +1,76 @@
-//! Table 1: data scales. Verifies the generator reproduces the paper's
-//! household counts (scaled) and persons-per-household ratio.
+//! Table 1: data scales. Verifies the generator reproduces the workload's
+//! expected `R1`/`R2` ratio at every scale label (and, for workloads that
+//! reproduce a published artifact, the external counts), then runs one
+//! hybrid solve at the smallest label as a Proposition 5.5 smoke: zero DC
+//! error and exact join recovery, whatever the schema.
 
-use crate::harness::{ExperimentOpts, Table};
-use cextend_census::scales::PAPER_SCALES;
+use crate::harness::{run_once, ExperimentOpts, Table};
+use cextend_core::SolverConfig;
+use cextend_workloads::{CcFamily, DcSet};
 
-/// Runs the Table 1 reproduction.
+/// Runs the Table 1 reproduction for the selected workload.
 pub fn run(opts: &ExperimentOpts) {
+    let workload = opts.workload();
+    let meta = workload.meta();
+    let with_paper = meta
+        .scale_labels
+        .iter()
+        .any(|&l| workload.paper_counts(l).is_some());
+    let r1_rows = format!("{} rows", meta.r1_name);
+    let r2_rows = format!("{} rows", meta.r2_name);
+    let mut headers: Vec<&str> = vec!["Scale", &r1_rows, &r2_rows, "VJoin", "R1/R2"];
+    if with_paper {
+        headers.push("paper R1");
+        headers.push("paper R2");
+    }
     let mut table = Table::new(
         "table1",
         &format!(
-            "Data scales (generator at scale_factor {}; paper counts in parentheses)",
-            opts.scale_factor
+            "Data scales — {} workload at scale_factor {} (expected ratio ≈{})",
+            meta.name, opts.scale_factor, meta.expected_ratio
         ),
-        &[
-            "Scale",
-            "Persons",
-            "Housing",
-            "VJoin",
-            "paper Persons",
-            "paper Housing",
-        ],
+        &headers,
     );
-    for s in PAPER_SCALES {
+    for &label in meta.scale_labels {
         // Keep the big scales cheap unless running at paper scale.
-        if s.label > 40 && opts.scale_factor >= 0.5 {
+        if label > 40 && opts.scale_factor >= 0.5 {
             continue;
         }
-        let data = opts.dataset(s.label, 2, 0);
-        table.push(vec![
-            format!("{}x", s.label),
-            data.n_persons().to_string(),
-            data.n_households().to_string(),
-            data.n_persons().to_string(), // |VJoin| = |Persons| by construction
-            s.persons.to_string(),
-            s.housing.to_string(),
-        ]);
+        let data = opts.dataset(label, None, 0);
+        let mut row = vec![
+            format!("{label}x"),
+            data.n_r1().to_string(),
+            data.n_r2().to_string(),
+            data.n_r1().to_string(), // |VJoin| = |R1| by construction
+            format!("{:.3}", data.n_r1() as f64 / data.n_r2() as f64),
+        ];
+        if with_paper {
+            let (p1, p2) = workload
+                .paper_counts(label)
+                .map_or((String::new(), String::new()), |(a, b)| {
+                    (a.to_string(), b.to_string())
+                });
+            row.push(p1);
+            row.push(p2);
+        }
+        table.push(row);
     }
     table.emit(opts);
+
+    // Proposition 5.5 smoke at the smallest label: the hybrid must deliver
+    // zero DC error and an exactly recovered join on this workload.
+    let label = meta.scale_labels[0];
+    let data = opts.dataset(label, None, 0);
+    let ccs = opts.ccs(CcFamily::Good, opts.n_ccs.min(25), &data, 0);
+    let dcs = opts.dcs(DcSet::All);
+    let r = run_once(&data, &ccs, &dcs, &SolverConfig::hybrid());
+    assert_eq!(
+        r.dc_error, 0.0,
+        "hybrid must guarantee zero DC error on {}",
+        meta.name
+    );
+    println!(
+        "[{} solver check at {label}x: DC error {:.3}, join recovered: {}]\n",
+        meta.name, r.dc_error, r.join_recovered
+    );
 }

@@ -1,29 +1,39 @@
-//! Shared experiment machinery: dataset/pipeline runners, result records,
-//! table printing and JSON snapshots.
+//! Shared experiment machinery: workload-generic dataset/pipeline runners,
+//! result records, table printing and JSON snapshots.
+//!
+//! Nothing here names a concrete schema: the workload (selected by
+//! [`ExperimentOpts::workload`]) owns its generator knobs, CC families and
+//! DC sets, and the runners consume the generic [`WorkloadData`].
 
-use cextend_census::{generate, generate_ccs, CcFamily, CensusConfig, CensusData};
 use cextend_constraints::{CardinalityConstraint, DenialConstraint};
 use cextend_core::metrics::{evaluate, EvaluationReport};
-use cextend_core::{solve, CExtensionInstance, SolveStats, SolverConfig};
+use cextend_core::{solve, SolveStats, SolverConfig};
+use cextend_workloads::{
+    workload_by_name, CcFamily, DcSet, Workload, WorkloadData, WorkloadParams,
+};
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Global experiment options (CLI-controlled).
 #[derive(Clone, Debug)]
 pub struct ExperimentOpts {
-    /// Multiplier applied to the paper's scale labels: the paper's `k×`
+    /// Which registered workload to drive (`census`, `retail`).
+    pub workload: String,
+    /// Multiplier applied to the workload's scale labels: the paper's `k×`
     /// becomes `k × scale_factor` here. The default 0.02 keeps every
     /// experiment laptop-sized; `--paper-scale` sets it to 1.0.
     pub scale_factor: f64,
     /// CC-set size (the paper uses 1001).
     pub n_ccs: usize,
-    /// Distinct `Area` codes in the generator.
-    pub n_areas: usize,
     /// Independent runs to average over (the paper uses 3).
     pub runs: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Workload-owned generator knobs (e.g. census `areas`, retail
+    /// `regions`); names are published by `WorkloadMeta::knobs`.
+    pub knobs: BTreeMap<String, i64>,
     /// Where to write JSON snapshots (`None` disables).
     pub out_dir: Option<PathBuf>,
 }
@@ -31,26 +41,41 @@ pub struct ExperimentOpts {
 impl Default for ExperimentOpts {
     fn default() -> Self {
         ExperimentOpts {
+            workload: "census".to_owned(),
             scale_factor: 0.02,
             n_ccs: 150,
-            n_areas: 12,
             runs: 3,
             seed: 7,
+            knobs: BTreeMap::new(),
             out_dir: None,
         }
     }
 }
 
 impl ExperimentOpts {
-    /// Generates data at the paper's scale label `k` (scaled by
-    /// `scale_factor`).
-    pub fn dataset(&self, label: u32, n_housing_cols: usize, seed_offset: u64) -> CensusData {
-        generate(&CensusConfig {
-            scale: label as f64 * self.scale_factor,
-            n_areas: self.n_areas,
-            n_housing_cols,
+    /// Resolves the selected workload (panics on unknown names; the CLI
+    /// validates user input before building opts).
+    pub fn workload(&self) -> Box<dyn Workload> {
+        workload_by_name(&self.workload)
+            .unwrap_or_else(|| panic!("unknown workload `{}`", self.workload))
+    }
+
+    /// Generator parameters at the paper's scale label `k` (scaled by
+    /// `scale_factor`), with the CLI knobs applied.
+    pub fn params(&self, label: u32, r2_cols: Option<usize>, seed_offset: u64) -> WorkloadParams {
+        WorkloadParams {
+            scale: f64::from(label) * self.scale_factor,
             seed: self.seed + seed_offset,
-        })
+            r2_cols,
+            knobs: self.knobs.clone(),
+        }
+    }
+
+    /// Generates data at scale label `k`. `r2_cols` of `None` uses the
+    /// workload's default non-key `R2` column count.
+    pub fn dataset(&self, label: u32, r2_cols: Option<usize>, seed_offset: u64) -> WorkloadData {
+        self.workload()
+            .generate(&self.params(label, r2_cols, seed_offset))
     }
 
     /// CC set of the given family for a dataset.
@@ -58,10 +83,16 @@ impl ExperimentOpts {
         &self,
         family: CcFamily,
         n: usize,
-        data: &CensusData,
+        data: &WorkloadData,
         seed_offset: u64,
     ) -> Vec<CardinalityConstraint> {
-        generate_ccs(family, n, data, self.seed + seed_offset)
+        self.workload()
+            .ccs(family, n, data, self.seed + seed_offset)
+    }
+
+    /// DC set of the given kind for the selected workload.
+    pub fn dcs(&self, set: DcSet) -> Vec<DenialConstraint> {
+        self.workload().dcs(set)
     }
 }
 
@@ -120,18 +151,14 @@ impl RunResult {
 
 /// Runs one pipeline once.
 pub fn run_once(
-    data: &CensusData,
+    data: &WorkloadData,
     ccs: &[CardinalityConstraint],
     dcs: &[DenialConstraint],
     config: &SolverConfig,
 ) -> RunResult {
-    let instance = CExtensionInstance::new(
-        data.persons.clone(),
-        data.housing.clone(),
-        ccs.to_vec(),
-        dcs.to_vec(),
-    )
-    .expect("generated instances validate");
+    let instance = data
+        .to_instance(ccs.to_vec(), dcs.to_vec())
+        .expect("generated instances validate");
     let start = Instant::now();
     let solution = solve(&instance, config).expect("solver never fails with augmentation on");
     let wall = start.elapsed();
@@ -146,7 +173,7 @@ pub fn run_once(
 /// Runs one pipeline `runs` times with distinct seeds, averaging the
 /// numeric fields (the paper averages over 3 independent runs).
 pub fn run_averaged(
-    data: &CensusData,
+    data: &WorkloadData,
     ccs: &[CardinalityConstraint],
     dcs: &[DenialConstraint],
     config: &SolverConfig,
@@ -179,10 +206,13 @@ pub fn run_averaged(
 }
 
 /// A printable experiment table.
-#[derive(Debug, Serialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct Table {
     /// Experiment id (e.g. `fig8a`).
     pub id: String,
+    /// Workload the table was produced on (stamped by [`Table::emit`] so
+    /// snapshot records stay attributable and schema-agnostic).
+    pub workload: String,
     /// Human title matching the paper artifact.
     pub title: String,
     /// Column headers.
@@ -196,6 +226,7 @@ impl Table {
     pub fn new(id: &str, title: &str, headers: &[&str]) -> Table {
         Table {
             id: id.to_owned(),
+            workload: String::new(),
             title: title.to_owned(),
             headers: headers.iter().map(|s| (*s).to_owned()).collect(),
             rows: Vec::new(),
@@ -238,14 +269,17 @@ impl Table {
     }
 
     /// Prints to stdout and writes a JSON snapshot when `out_dir` is set.
+    /// The snapshot is stamped with the active workload name.
     pub fn emit(&self, opts: &ExperimentOpts) {
         println!("{}", self.render());
         if let Some(dir) = &opts.out_dir {
+            let mut snapshot = self.clone();
+            snapshot.workload = opts.workload.clone();
             std::fs::create_dir_all(dir).expect("create output dir");
             let path = dir.join(format!("{}.json", self.id));
             std::fs::write(
                 &path,
-                serde_json::to_string_pretty(self).expect("serialize"),
+                serde_json::to_string_pretty(&snapshot).expect("serialize"),
             )
             .expect("write snapshot");
             println!("[snapshot written to {}]\n", path.display());
@@ -297,20 +331,44 @@ mod tests {
         assert_eq!(fmt_err(0.25), "0.250");
     }
 
-    #[test]
-    fn smoke_run_once() {
-        let opts = ExperimentOpts {
+    fn smoke_opts(workload: &str) -> ExperimentOpts {
+        ExperimentOpts {
+            workload: workload.to_owned(),
             scale_factor: 0.005,
             n_ccs: 10,
-            n_areas: 4,
             runs: 1,
             ..ExperimentOpts::default()
-        };
-        let data = opts.dataset(1, 2, 0);
+        }
+    }
+
+    #[test]
+    fn smoke_run_once_census() {
+        let opts = smoke_opts("census");
+        let data = opts.dataset(1, None, 0);
         let ccs = opts.ccs(CcFamily::Good, 10, &data, 0);
-        let dcs = cextend_census::s_good_dc();
+        let dcs = opts.dcs(DcSet::Good);
         let r = run_once(&data, &ccs, &dcs, &SolverConfig::hybrid());
         assert!(r.join_recovered);
         assert_eq!(r.dc_error, 0.0);
+    }
+
+    #[test]
+    fn smoke_run_once_retail() {
+        let opts = smoke_opts("retail");
+        let data = opts.dataset(1, None, 0);
+        let ccs = opts.ccs(CcFamily::Bad, 10, &data, 0);
+        let dcs = opts.dcs(DcSet::All);
+        let r = run_once(&data, &ccs, &dcs, &SolverConfig::hybrid());
+        assert!(r.join_recovered);
+        assert_eq!(r.dc_error, 0.0);
+    }
+
+    #[test]
+    fn knobs_reach_the_generator() {
+        let mut opts = smoke_opts("census");
+        opts.knobs.insert("areas".to_owned(), 3);
+        let data = opts.dataset(1, None, 0);
+        let area = data.r2.schema().col_id("Area").unwrap();
+        assert!(data.r2.distinct_values(area).len() <= 3);
     }
 }

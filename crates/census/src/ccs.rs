@@ -208,10 +208,23 @@ pub fn generate_ccs(
     data: &CensusData,
     seed: u64,
 ) -> Vec<CardinalityConstraint> {
+    generate_ccs_from(family, n, &data.ground_truth, &data.housing, seed)
+}
+
+/// Like [`generate_ccs`], but borrowing the un-erased `Persons` ground
+/// truth and `Housing` directly — callers holding the relations under
+/// another shape (e.g. the workload layer) need not assemble a
+/// [`CensusData`].
+pub fn generate_ccs_from(
+    family: CcFamily,
+    n: usize,
+    ground_truth: &Relation,
+    housing: &Relation,
+    seed: u64,
+) -> Vec<CardinalityConstraint> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let truth_join =
-        fk_join(&data.ground_truth, &data.housing).expect("ground truth joins cleanly");
-    let conds = r2_condition_pool(&data.housing);
+    let truth_join = fk_join(ground_truth, housing).expect("ground truth joins cleanly");
+    let conds = r2_condition_pool(housing);
     assert!(!conds.is_empty(), "Housing must be non-empty");
     let mut ccs: Vec<CardinalityConstraint> = Vec::with_capacity(n);
     match family {

@@ -1,0 +1,51 @@
+//! # cextend-workloads — pluggable evaluation scenarios
+//!
+//! The paper evaluates C-Extension on exactly one scenario (Census
+//! households/persons), but the algorithm is schema-generic. This crate
+//! defines the [`Workload`] trait — a seeded generator with a hidden
+//! ground-truth FK, CC families measured against that ground truth, and DC
+//! sets the ground truth satisfies by construction — and ships two
+//! structurally different implementations:
+//!
+//! - [`CensusWorkload`] — the paper's scenario, delegating to
+//!   `cextend-census` (Table 1 scales, Table 4 DCs, Table 5 CC families).
+//! - [`RetailWorkload`] — orders/customers with truncated-Zipf group
+//!   sizes, amount-gap DCs anchored on each customer's `First` order, and
+//!   Region/Segment `R2` conditions.
+//!
+//! Every future scenario is a ~200-line plugin: implement [`Workload`],
+//! register it in [`workload_by_name`], and the whole experiment harness
+//! (`cextend-bench`) drives it.
+//!
+//! ```
+//! use cextend_workloads::{workload_by_name, CcFamily, DcSet, WorkloadParams};
+//! use cextend_core::{solve, SolverConfig};
+//!
+//! let w = workload_by_name("retail").unwrap();
+//! let data = w.generate(&WorkloadParams::new(0.005, 7));
+//! let ccs = w.ccs(CcFamily::Good, 15, &data, 7);
+//! let instance = data.to_instance(ccs, w.dcs(DcSet::All)).unwrap();
+//! let solution = solve(&instance, &SolverConfig::hybrid()).unwrap();
+//! let report = cextend_core::metrics::evaluate(&instance, &solution).unwrap();
+//! assert_eq!(report.dc_error, 0.0); // Proposition 5.5, on a non-Census shape
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ccgen;
+mod census;
+#[cfg(test)]
+mod proptests;
+mod retail;
+mod workload;
+
+pub use census::CensusWorkload;
+pub use retail::{
+    r2_condition_pool as retail_r2_condition_pool, region_market, region_name, retail_dc_row,
+    s_all_retail_dc, s_good_retail_dc, RetailWorkload, CHANNELS, MARKETS, MAX_AMOUNT, PRIORITIES,
+    SEGMENTS, TIERS,
+};
+pub use workload::{
+    all_workloads, workload_by_name, CcFamily, DcSet, Workload, WorkloadData, WorkloadMeta,
+    WorkloadParams, WORKLOAD_NAMES,
+};

@@ -1,0 +1,245 @@
+//! The [`Workload`] trait and its supporting types.
+//!
+//! A workload packages everything the experiment harness needs to drive the
+//! C-Extension solver end to end on one scenario: a seeded data generator
+//! that withholds a ground-truth FK assignment, CC families whose targets
+//! are measured on that hidden ground truth, and DC sets the ground truth
+//! satisfies by construction (so a zero-error solution always exists, as
+//! with targets measured from real data).
+
+use crate::census::CensusWorkload;
+use crate::retail::RetailWorkload;
+use cextend_constraints::{CardinalityConstraint, DenialConstraint};
+use cextend_core::CExtensionInstance;
+use cextend_table::{fk_join, Relation};
+use std::collections::BTreeMap;
+
+/// Which CC family to draw from. Every workload provides both shapes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CcFamily {
+    /// No intersecting pairs (Definition 4.4); the Hasse recursion alone
+    /// solves Phase 1 exactly.
+    Good,
+    /// Contains intersecting pairs, forcing the ILP path.
+    Bad,
+}
+
+impl CcFamily {
+    /// Lower-case label used in CLIs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CcFamily::Good => "good",
+            CcFamily::Bad => "bad",
+        }
+    }
+}
+
+/// Which DC set to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DcSet {
+    /// The clique-free subset (the paper's `S_good_DC`).
+    Good,
+    /// Every DC, including clique-inducing exclusivity rows.
+    All,
+}
+
+/// Generator parameters, workload-agnostic.
+///
+/// Workload-specific shape knobs (how many `Area` codes, how many retail
+/// regions, …) travel in [`WorkloadParams::knobs`] under names published by
+/// [`WorkloadMeta::knobs`]; unknown names are ignored so one knob map can be
+/// shared across workloads.
+#[derive(Clone, Debug)]
+pub struct WorkloadParams {
+    /// Data scale: `1.0` is the workload's reference size.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of non-key `R2` columns; `None` means the workload default.
+    /// Must be one of [`WorkloadMeta::r2_col_counts`].
+    pub r2_cols: Option<usize>,
+    /// Named workload-owned knobs (see [`WorkloadMeta::knobs`]).
+    pub knobs: BTreeMap<String, i64>,
+}
+
+impl WorkloadParams {
+    /// Parameters at `scale` with the given `seed` and default knobs.
+    pub fn new(scale: f64, seed: u64) -> WorkloadParams {
+        WorkloadParams {
+            scale,
+            seed,
+            r2_cols: None,
+            knobs: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the non-key `R2` column count.
+    pub fn with_r2_cols(mut self, n: usize) -> WorkloadParams {
+        self.r2_cols = Some(n);
+        self
+    }
+
+    /// Sets one named knob.
+    pub fn with_knob(mut self, name: &str, value: i64) -> WorkloadParams {
+        self.knobs.insert(name.to_owned(), value);
+        self
+    }
+
+    /// Reads a knob, falling back to `default` when unset.
+    pub fn knob(&self, name: &str, default: i64) -> i64 {
+        self.knobs.get(name).copied().unwrap_or(default)
+    }
+}
+
+/// Static description of a workload.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadMeta {
+    /// CLI / registry name (`census`, `retail`).
+    pub name: &'static str,
+    /// `R1`'s relation name.
+    pub r1_name: &'static str,
+    /// `R2`'s relation name.
+    pub r2_name: &'static str,
+    /// The erased FK column joining `R1` to `R2`.
+    pub fk_column: &'static str,
+    /// Expected `|R1| / |R2|` ratio of the generator (approximate).
+    pub expected_ratio: f64,
+    /// Supported non-key `R2` column counts, ascending.
+    pub r2_col_counts: &'static [usize],
+    /// Default non-key `R2` column count.
+    pub default_r2_cols: usize,
+    /// Workload-owned generator knobs as `(name, default)` pairs.
+    pub knobs: &'static [(&'static str, i64)],
+    /// Scale labels the workload's `table1`-style sweep uses.
+    pub scale_labels: &'static [u32],
+}
+
+/// Generated data: the solver input plus the hidden ground truth.
+#[derive(Clone, Debug)]
+pub struct WorkloadData {
+    /// `R1` with its FK column erased (the solver input).
+    pub r1: Relation,
+    /// `R2`.
+    pub r2: Relation,
+    /// `R1` with the true FK values — used to measure CC targets and as an
+    /// existence witness for a zero-error solution. Never shown to the
+    /// solver.
+    pub ground_truth: Relation,
+}
+
+impl WorkloadData {
+    /// Number of `R1` tuples.
+    pub fn n_r1(&self) -> usize {
+        self.r1.n_rows()
+    }
+
+    /// Number of `R2` tuples.
+    pub fn n_r2(&self) -> usize {
+        self.r2.n_rows()
+    }
+
+    /// The ground-truth join view (for measuring CC targets).
+    pub fn truth_join(&self) -> Relation {
+        fk_join(&self.ground_truth, &self.r2).expect("ground truth joins cleanly")
+    }
+
+    /// Packages the data with constraint sets as a validated solver
+    /// instance (clones the relations; the data stays reusable).
+    pub fn to_instance(
+        &self,
+        ccs: Vec<CardinalityConstraint>,
+        dcs: Vec<DenialConstraint>,
+    ) -> cextend_core::Result<CExtensionInstance> {
+        CExtensionInstance::new(self.r1.clone(), self.r2.clone(), ccs, dcs)
+    }
+}
+
+/// A pluggable evaluation scenario.
+///
+/// Implementations must be deterministic per seed and must generate ground
+/// truths that satisfy every DC of every [`DcSet`], so that the solver's
+/// zero-DC-error guarantee (Proposition 5.5) is testable against an
+/// instance where a perfect solution provably exists.
+pub trait Workload: Send + Sync {
+    /// Static metadata.
+    fn meta(&self) -> WorkloadMeta;
+
+    /// Generates a dataset.
+    fn generate(&self, params: &WorkloadParams) -> WorkloadData;
+
+    /// Generates `n` CCs of `family` with targets measured on the hidden
+    /// ground truth (`n` is capped by the family's pool size).
+    fn ccs(
+        &self,
+        family: CcFamily,
+        n: usize,
+        data: &WorkloadData,
+        seed: u64,
+    ) -> Vec<CardinalityConstraint>;
+
+    /// The DC set of the given kind.
+    fn dcs(&self, set: DcSet) -> Vec<DenialConstraint>;
+
+    /// The CC families the workload provides.
+    fn cc_families(&self) -> &'static [CcFamily] {
+        &[CcFamily::Good, CcFamily::Bad]
+    }
+
+    /// Published reference row counts `(r1, r2)` for a scale label, when
+    /// the workload reproduces an external artifact (Census: Table 1).
+    fn paper_counts(&self, _label: u32) -> Option<(usize, usize)> {
+        None
+    }
+}
+
+/// Registry names, in presentation order.
+pub const WORKLOAD_NAMES: [&str; 2] = ["census", "retail"];
+
+/// Looks up a workload by registry name.
+pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    match name {
+        "census" => Some(Box::new(CensusWorkload)),
+        "retail" => Some(Box::new(RetailWorkload)),
+        _ => None,
+    }
+}
+
+/// All registered workloads, in presentation order.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    WORKLOAD_NAMES
+        .iter()
+        .map(|n| workload_by_name(n).expect("registry names resolve"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_every_name() {
+        for name in WORKLOAD_NAMES {
+            let w = workload_by_name(name).expect("registered");
+            assert_eq!(w.meta().name, name);
+        }
+        assert!(workload_by_name("nope").is_none());
+        assert_eq!(all_workloads().len(), WORKLOAD_NAMES.len());
+    }
+
+    #[test]
+    fn meta_is_coherent() {
+        for w in all_workloads() {
+            let m = w.meta();
+            assert!(m.r2_col_counts.contains(&m.default_r2_cols), "{}", m.name);
+            assert!(m.expected_ratio > 1.0, "{}", m.name);
+            assert!(!m.scale_labels.is_empty(), "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn params_knob_fallback() {
+        let p = WorkloadParams::new(0.1, 7).with_knob("areas", 6);
+        assert_eq!(p.knob("areas", 12), 6);
+        assert_eq!(p.knob("regions", 8), 8);
+    }
+}

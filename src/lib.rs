@@ -13,6 +13,9 @@
 //! - [`core`] — the two-phase C-Extension solver, baselines, metrics, the
 //!   snowflake extension and the NAE-3SAT reduction.
 //! - [`census`] — the synthetic Census evaluation workload.
+//! - [`workloads`] — the pluggable [`Workload`](workloads::Workload)
+//!   trait, the Census workload behind it, and the Retail
+//!   orders/customers scenario.
 //!
 //! The most common entry points are also re-exported at the crate root:
 //!
@@ -36,6 +39,7 @@ pub use cextend_core as core;
 pub use cextend_hypergraph as hypergraph;
 pub use cextend_ilp as ilp;
 pub use cextend_table as table;
+pub use cextend_workloads as workloads;
 
 pub use cextend_core::{
     solve, solve_baseline, solve_baseline_with_marginals, solve_hybrid, CExtensionInstance,

@@ -1,0 +1,135 @@
+//! End-to-end integration on the Retail workload: the Proposition 5.5
+//! guarantees (zero DC error, exact join recovery) must hold on a conflict
+//! structure the paper never evaluated — Zipf-skewed group sizes,
+//! amount-gap DCs anchored on a per-customer `First` order, and
+//! Region/Segment CC conditions.
+
+use cextend::core::metrics::{dc_error, evaluate};
+use cextend::table::fk_join;
+use cextend::workloads::{workload_by_name, CcFamily, DcSet, Workload, WorkloadParams};
+use cextend::{solve, CExtensionInstance, SolverConfig};
+
+fn retail() -> Box<dyn Workload> {
+    workload_by_name("retail").expect("retail is registered")
+}
+
+fn build(family: CcFamily) -> CExtensionInstance {
+    let w = retail();
+    let data = w.generate(&WorkloadParams::new(0.05, 99).with_knob("regions", 6));
+    let ccs = w.ccs(family, 80, &data, 99);
+    data.to_instance(ccs, w.dcs(DcSet::All)).unwrap()
+}
+
+#[test]
+fn hybrid_on_good_ccs_is_fully_exact() {
+    let instance = build(CcFamily::Good);
+    let solution = solve(&instance, &SolverConfig::hybrid()).unwrap();
+    let report = evaluate(&instance, &solution).unwrap();
+    assert_eq!(report.cc_median, 0.0);
+    assert_eq!(report.cc_mean, 0.0);
+    assert_eq!(report.dc_error, 0.0);
+    assert!(report.join_recovered);
+}
+
+#[test]
+fn hybrid_on_bad_ccs_keeps_zero_dc_error() {
+    let instance = build(CcFamily::Bad);
+    let solution = solve(&instance, &SolverConfig::hybrid()).unwrap();
+    let report = evaluate(&instance, &solution).unwrap();
+    assert_eq!(report.dc_error, 0.0, "Proposition 5.5 on the retail shape");
+    assert_eq!(report.cc_median, 0.0);
+    assert!(report.cc_mean < 0.25, "cc_mean = {}", report.cc_mean);
+}
+
+#[test]
+fn final_relation_is_a_valid_database() {
+    let instance = build(CcFamily::Good);
+    let solution = solve(&instance, &SolverConfig::hybrid()).unwrap();
+    // Every FK refers to an existing R̂2 key.
+    let fk = solution.r1_hat.schema().fk_col().unwrap();
+    let k2 = solution.r2_hat.schema().key_col().unwrap();
+    let keys: std::collections::HashSet<_> = solution
+        .r2_hat
+        .rows()
+        .filter_map(|r| solution.r2_hat.get(r, k2))
+        .collect();
+    for r in solution.r1_hat.rows() {
+        let v = solution.r1_hat.get(r, fk).expect("FK complete");
+        assert!(keys.contains(&v), "dangling FK {v}");
+    }
+    // The join of the outputs is the reported view, cell for cell.
+    let joined = fk_join(&solution.r1_hat, &solution.r2_hat).unwrap();
+    assert!(cextend::table::relations_equal_ordered(
+        &joined,
+        &solution.vjoin
+    ));
+    // And it satisfies the DCs directly (not just via the metric).
+    assert_eq!(dc_error(&solution.r1_hat, &instance.dcs).unwrap(), 0.0);
+}
+
+#[test]
+fn exclusivity_dcs_hold_in_the_synthesized_orders() {
+    // rdc6/rdc7: the solver may assign orders to customers freely, but no
+    // customer may end up with two First or two Gift orders.
+    let instance = build(CcFamily::Bad);
+    let solution = solve(&instance, &SolverConfig::hybrid()).unwrap();
+    let r1 = &solution.r1_hat;
+    let fk = r1.schema().fk_col().unwrap();
+    let pri = r1.schema().col_id("Priority").unwrap();
+    let mut firsts: std::collections::HashMap<_, usize> = Default::default();
+    let mut gifts: std::collections::HashMap<_, usize> = Default::default();
+    for r in r1.rows() {
+        let cid = r1.get(r, fk).unwrap();
+        match r1.get_sym(r, pri).map(|s| s.as_str()) {
+            Some("First") => *firsts.entry(cid).or_insert(0) += 1,
+            Some("Gift") => *gifts.entry(cid).or_insert(0) += 1,
+            _ => {}
+        }
+    }
+    assert!(firsts.values().all(|&c| c <= 1), "two First orders linked");
+    assert!(gifts.values().all(|&c| c <= 1), "two Gift orders linked");
+}
+
+#[test]
+fn all_pipelines_run_and_only_the_hybrid_guarantees_dcs() {
+    let instance = build(CcFamily::Bad);
+    let hybrid = solve(&instance, &SolverConfig::hybrid()).unwrap();
+    let base = solve(&instance, &SolverConfig::baseline()).unwrap();
+    let marg = solve(&instance, &SolverConfig::baseline_with_marginals()).unwrap();
+    let rh = evaluate(&instance, &hybrid).unwrap();
+    let rb = evaluate(&instance, &base).unwrap();
+    let rm = evaluate(&instance, &marg).unwrap();
+    assert_eq!(rh.dc_error, 0.0);
+    // CC side: marginals help the baseline; the hybrid is at least as good
+    // as the plain baseline.
+    assert!(rm.cc_median <= rb.cc_median);
+    assert!(rh.cc_median <= rb.cc_median);
+}
+
+#[test]
+fn r2_column_progression_grows_partitions() {
+    let w = retail();
+    let mut partition_counts = Vec::new();
+    for &n_cols in w.meta().r2_col_counts {
+        let data = w.generate(
+            &WorkloadParams::new(0.02, 5)
+                .with_knob("regions", 6)
+                .with_r2_cols(n_cols),
+        );
+        let ccs = w.ccs(CcFamily::Good, 40, &data, 5);
+        let instance = data.to_instance(ccs, w.dcs(DcSet::All)).unwrap();
+        let config = SolverConfig {
+            complete_all_r2_columns: true,
+            ..SolverConfig::hybrid()
+        };
+        let solution = solve(&instance, &config).unwrap();
+        let report = evaluate(&instance, &solution).unwrap();
+        assert_eq!(report.dc_error, 0.0, "n_cols {n_cols}");
+        assert!(report.join_recovered, "n_cols {n_cols}");
+        partition_counts.push(solution.stats.counters.partitions);
+    }
+    assert!(
+        partition_counts.windows(2).all(|w| w[0] <= w[1]),
+        "partitions should grow with R2 columns: {partition_counts:?}"
+    );
+}

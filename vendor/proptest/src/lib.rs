@@ -102,7 +102,7 @@ pub mod bool {
 pub mod collection {
     use crate::strategy::{Strategy, TestRng};
 
-    /// Sizes accepted by [`vec`]: an exact `usize` or a `Range<usize>`.
+    /// Sizes accepted by [`vec()`]: an exact `usize` or a `Range<usize>`.
     pub trait IntoSizeRange {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
