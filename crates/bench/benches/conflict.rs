@@ -21,7 +21,7 @@ fn bench_dc_error(c: &mut Criterion) {
             ("all", opts.dcs(DcSet::All)),
         ] {
             let id = format!("{label}x_{name}");
-            let truth = data.ground_truth.clone();
+            let truth = data.ground_truth().clone();
             group.bench_with_input(BenchmarkId::from_parameter(id), &truth, |b, truth| {
                 b.iter(|| {
                     let e = dc_error(truth, &dcs).unwrap();

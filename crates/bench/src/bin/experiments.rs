@@ -6,22 +6,28 @@ use cextend_workloads::{workload_by_name, WORKLOAD_NAMES};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: experiments <id>|all|perf [options]
+usage: experiments <id>|all|perf|perf-check [options]
 
 experiments: table1 fig8a fig8b fig9 fig10 fig11a fig11b fig12 fig13 ablate
-             perf (times solve() on every workload, writes BENCH_perf.json)
+             perf (times the full chain on every workload, one record per
+                   completion step, writes BENCH_perf.json)
+             perf-check (compares <out>/BENCH_perf.json against --baseline,
+                   fails on a >3x wall-time regression of any shared record)
 
 options:
-  --workload W       scenario to drive: census (default) or retail
+  --workload W       scenario to drive: census (default), retail or supply
+                     (supply is a 3-relation chain: orders→stores→regions)
   --scale-factor F   multiply the workload's scale labels by F (default 0.02)
   --paper-scale      shorthand for --scale-factor 1.0 (hours of runtime!)
   --n-ccs N          CC-set size (default 150; the paper uses 1001)
-  --knob NAME=V      workload-owned generator knob (census: areas;
-                     retail: regions, max-group); repeatable
+  --knob NAME=V      workload-owned generator knob (census: areas; retail &
+                     supply: regions, max-group); repeatable
   --n-areas N        alias for --knob areas=N (census)
   --runs R           independent runs to average (default 3)
   --seed S           base RNG seed (default 7)
   --out DIR          write JSON snapshots to DIR
+  --baseline FILE    committed perf baseline for perf-check
+                     (default: ./BENCH_perf.json)
 ";
 
 fn parse(args: &[String]) -> Result<(Vec<String>, ExperimentOpts), String> {
@@ -84,6 +90,7 @@ fn parse(args: &[String]) -> Result<(Vec<String>, ExperimentOpts), String> {
                     .map_err(|e| format!("bad --seed: {e}"))?
             }
             "--out" => opts.out_dir = Some(take("--out")?.into()),
+            "--baseline" => opts.baseline = Some(take("--baseline")?.into()),
             "-h" | "--help" => return Err(USAGE.to_owned()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`\n\n{USAGE}"))

@@ -29,7 +29,8 @@ pub fn run(opts: &ExperimentOpts) {
         &[
             "Variant", "CCs", "CC med", "CC mean", "phase I", "phase II", "total", "new R2",
         ],
-    );
+    )
+    .with_scale_label(10);
     let cases: Vec<(&str, &str, SolverConfig)> = vec![
         ("hybrid (reference)", "good", SolverConfig::hybrid()),
         (

@@ -30,7 +30,8 @@ pub fn run(opts: &ExperimentOpts) {
             "DC base+marg",
             "DC hybrid",
         ],
-    );
+    )
+    .with_scale_label(10);
     let cases = [
         ("11", "good", CcFamily::Good),
         ("12", "good", CcFamily::Bad),

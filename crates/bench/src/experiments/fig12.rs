@@ -30,7 +30,8 @@ pub fn run(opts: &ExperimentOpts) {
             "phase II",
             "total",
         ],
-    );
+    )
+    .with_scale_label(10);
     for &n_cols in meta.r2_col_counts {
         let data = opts.dataset(10, Some(n_cols), 10);
         let ccs = opts.ccs(CcFamily::Good, opts.n_ccs, &data, 10);

@@ -36,7 +36,8 @@ pub fn run(opts: &ExperimentOpts) {
             "total",
             "ILP %",
         ],
-    );
+    )
+    .with_scale_label(10);
     for family in [CcFamily::Good, CcFamily::Bad] {
         for &n in &sweep {
             let ccs = opts.ccs(family, n, &data, 10);

@@ -6,13 +6,36 @@
 //! zero median CC error; the plain baseline has large CC *and* DC errors
 //! growing with scale; baseline-with-marginals repairs the CC error but
 //! keeps (even worsens) the DC error.
+//!
+//! On a multi-relation workload the sweep runs the *full FK-completion
+//! chain* per pipeline and reports one row per (scale, step): the hybrid's
+//! zero-DC guarantee must hold at every level of the snowflake.
 
-use crate::harness::{fmt_err, run_averaged, ExperimentOpts, Table};
+use crate::harness::{
+    chain_steps, fmt_err, run_averaged, run_chain_with_steps_averaged, ExperimentOpts, Table,
+};
 use cextend_core::SolverConfig;
 use cextend_workloads::{CcFamily, DcSet};
 
+const SCALE_LABELS: [u32; 5] = [1, 2, 5, 10, 40];
+
+const PIPELINES: [&str; 3] = ["base", "base+marg", "hybrid"];
+
+fn pipeline_config(name: &str) -> SolverConfig {
+    match name {
+        "base" => SolverConfig::baseline(),
+        "base+marg" => SolverConfig::baseline_with_marginals(),
+        "hybrid" => SolverConfig::hybrid(),
+        other => unreachable!("unknown pipeline {other}"),
+    }
+}
+
 /// Runs Figure 8a (`Good`) or 8b (`Bad`).
 pub fn run(opts: &ExperimentOpts, family: CcFamily, id: &str) {
+    if opts.workload().meta().n_steps() > 1 {
+        run_chain(opts, family, id);
+        return;
+    }
     let dcs = opts.dcs(DcSet::All);
     let mut table = Table::new(
         id,
@@ -30,7 +53,7 @@ pub fn run(opts: &ExperimentOpts, family: CcFamily, id: &str) {
             "DC hybrid",
         ],
     );
-    for label in [1u32, 2, 5, 10, 40] {
+    for label in SCALE_LABELS {
         let data = opts.dataset(label, None, label as u64);
         let ccs = opts.ccs(family, opts.n_ccs, &data, label as u64);
         let base = run_averaged(&data, &ccs, &dcs, &SolverConfig::baseline(), opts.runs);
@@ -52,6 +75,67 @@ pub fn run(opts: &ExperimentOpts, family: CcFamily, id: &str) {
             fmt_err(marg.dc_error),
             fmt_err(hybrid.dc_error),
         ]);
+    }
+    table.emit(opts);
+}
+
+/// The multi-step variant: one row per (scale, step), every pipeline run
+/// over the whole chain.
+fn run_chain(opts: &ExperimentOpts, family: CcFamily, id: &str) {
+    let workload = opts.workload();
+    let mut table = Table::new(
+        id,
+        &format!(
+            "CC/DC error vs scale per chain step — all DCs, {:?} CCs (n={}, {})",
+            family, opts.n_ccs, opts.workload
+        ),
+        &[
+            "Scale",
+            "Step",
+            "CC base",
+            "CC base+marg",
+            "CC hybrid",
+            "DC base",
+            "DC base+marg",
+            "DC hybrid",
+        ],
+    );
+    for label in SCALE_LABELS {
+        let data = opts.dataset(label, None, label as u64);
+        // One constraint-generation pass per scale label; every pipeline
+        // then solves the identical step set.
+        let steps = chain_steps(
+            workload.as_ref(),
+            &data,
+            family,
+            DcSet::All,
+            opts.n_ccs,
+            opts.seed + label as u64,
+        );
+        let chains: Vec<_> = PIPELINES
+            .iter()
+            .map(|name| {
+                run_chain_with_steps_averaged(&data, &steps, &pipeline_config(name), opts.runs)
+            })
+            .collect();
+        let hybrid = &chains[PIPELINES.len() - 1];
+        for (s, step) in hybrid.steps.iter().enumerate() {
+            assert_eq!(
+                step.result.dc_error, 0.0,
+                "the hybrid guarantees zero DC error at step {}",
+                step.step
+            );
+            table.push(vec![
+                format!("{label}x"),
+                step.step.clone(),
+                fmt_err(chains[0].steps[s].result.cc_median),
+                fmt_err(chains[1].steps[s].result.cc_median),
+                fmt_err(chains[2].steps[s].result.cc_median),
+                fmt_err(chains[0].steps[s].result.dc_error),
+                fmt_err(chains[1].steps[s].result.dc_error),
+                fmt_err(chains[2].steps[s].result.dc_error),
+            ]);
+        }
     }
     table.emit(opts);
 }

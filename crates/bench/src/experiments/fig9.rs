@@ -33,7 +33,8 @@ pub fn run(opts: &ExperimentOpts) {
         &[
             "Pipeline", "frac=0", "p50", "p75", "p90", "p99", "max", "mean",
         ],
-    );
+    )
+    .with_scale_label(40);
     for (name, config) in [
         ("baseline", SolverConfig::baseline()),
         ("hybrid", SolverConfig::hybrid()),

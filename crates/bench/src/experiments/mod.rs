@@ -15,7 +15,8 @@
 //! | `fig12` | Figure 12 — runtime vs number of `R2` columns |
 //! | `fig13` | Figure 13 — runtime breakdown at growing CC counts |
 //! | `ablate` | DESIGN.md ablations (parallel/exact coloring, B&B budget) |
-//! | `perf` | perf baseline over *all* workloads → `BENCH_perf.json` |
+//! | `perf` | perf baseline over *all* workloads (one record per chain step) → `BENCH_perf.json` |
+//! | `perf-check` | regression guard: fresh `BENCH_perf.json` vs the committed baseline |
 
 pub mod ablate;
 pub mod fig10;
@@ -50,9 +51,10 @@ pub fn run(id: &str, opts: &ExperimentOpts) -> Result<(), String> {
         "fig13" => fig13::run(opts),
         "ablate" => ablate::run(opts),
         "perf" => perf::run(opts),
+        "perf-check" => perf::check_cli(opts)?,
         other => {
             return Err(format!(
-                "unknown experiment `{other}`; known: {ALL:?} and `perf`"
+                "unknown experiment `{other}`; known: {ALL:?}, `perf` and `perf-check`"
             ))
         }
     }

@@ -1,24 +1,43 @@
-//! The perf-baseline smoke: times `solve()` on **every registered
-//! workload** (both CC families) at small scale and writes the timings to
-//! `BENCH_perf.json`, seeding the bench trajectory that CI uploads as an
-//! artifact on every run. Unlike the figure experiments this sweep ignores
-//! `--workload`: its whole point is a cross-workload baseline.
+//! The perf-baseline smoke and its regression guard.
+//!
+//! `perf` times the full FK-completion chain on **every registered
+//! workload** (both CC families, one record per completion step) at small
+//! scale and writes the timings to `BENCH_perf.json`, seeding the bench
+//! trajectory that CI uploads as an artifact on every run. Unlike the
+//! figure experiments this sweep ignores `--workload`: its whole point is a
+//! cross-workload baseline.
+//!
+//! `perf-check` reads a freshly written `BENCH_perf.json` back and compares
+//! it against the committed baseline: any record present in both whose wall
+//! time regressed by more than [`REGRESSION_FACTOR`]× fails the check (new
+//! records are allowed; see [`check`] for the sub-millisecond noise floor).
 
-use crate::harness::{fmt_s, run_averaged, ExperimentOpts, Table};
+use crate::harness::{fmt_s, run_chain_averaged, ExperimentOpts, Table};
 use cextend_core::SolverConfig;
 use cextend_workloads::{all_workloads, DcSet};
 use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
-/// One timed (workload, CC family) cell.
+/// Wall-time growth beyond which `perf-check` fails a record.
+pub const REGRESSION_FACTOR: f64 = 3.0;
+
+/// Wall times are clamped up to this many seconds before comparing, so
+/// scheduling noise on sub-millisecond records cannot trip the guard.
+pub const NOISE_FLOOR_S: f64 = 0.005;
+
+/// One timed (workload, CC family, completion step) cell.
 #[derive(Debug, Serialize)]
 pub struct PerfRecord {
     /// Workload name.
     pub workload: String,
     /// CC family label (`good` / `bad`).
     pub family: String,
-    /// `R1` rows.
+    /// Completion-step label (`Owner→Target`).
+    pub step: String,
+    /// `R1` rows (the step owner's row count).
     pub n_r1: usize,
-    /// `R2` rows.
+    /// `R2` rows (the step target's row count).
     pub n_r2: usize,
     /// CC-set size.
     pub n_ccs: usize,
@@ -47,7 +66,10 @@ pub struct PerfBaseline {
     pub runs: usize,
     /// Base RNG seed.
     pub seed: u64,
-    /// One record per (workload, family).
+    /// CLI-provided knob overrides the sweep ran with (each workload
+    /// resolves them against its own defaults).
+    pub knobs: BTreeMap<String, i64>,
+    /// One record per (workload, family, step).
     pub records: Vec<PerfRecord>,
 }
 
@@ -57,11 +79,12 @@ pub fn run(opts: &ExperimentOpts) {
     let mut table = Table::new(
         "perf",
         &format!(
-            "Perf baseline — solve() on every workload at scale 1x (factor {})",
+            "Perf baseline — full chain on every workload at scale 1x (factor {})",
             opts.scale_factor
         ),
         &[
-            "Workload", "CCs", "R1", "R2", "phase I", "phase II", "total", "CC med", "DC err",
+            "Workload", "CCs", "Step", "R1", "R2", "phase I", "phase II", "total", "CC med",
+            "DC err",
         ],
     );
     let mut records = Vec::new();
@@ -72,44 +95,64 @@ pub fn run(opts: &ExperimentOpts) {
             ..opts.clone()
         };
         let data = sub.dataset(1, None, 0);
-        let dcs = sub.dcs(DcSet::All);
         for family in workload.cc_families().iter().copied() {
-            let ccs = sub.ccs(family, sub.n_ccs, &data, 0);
-            let r = run_averaged(&data, &ccs, &dcs, &SolverConfig::hybrid(), sub.runs);
-            assert_eq!(r.dc_error, 0.0, "Proposition 5.5 violated on {}", meta.name);
-            table.push(vec![
-                meta.name.to_owned(),
-                family.label().to_owned(),
-                data.n_r1().to_string(),
-                data.n_r2().to_string(),
-                fmt_s(r.phase1_s),
-                fmt_s(r.phase2_s),
-                fmt_s(r.wall_s),
-                format!("{:.3}", r.cc_median),
-                format!("{:.3}", r.dc_error),
-            ]);
-            records.push(PerfRecord {
-                workload: meta.name.to_owned(),
-                family: family.label().to_owned(),
-                n_r1: data.n_r1(),
-                n_r2: data.n_r2(),
-                n_ccs: ccs.len(),
-                phase1_s: r.phase1_s,
-                phase2_s: r.phase2_s,
-                wall_s: r.wall_s,
-                cc_median: r.cc_median,
-                dc_error: r.dc_error,
-            });
+            let chain = run_chain_averaged(
+                workload.as_ref(),
+                &data,
+                family,
+                DcSet::All,
+                sub.n_ccs,
+                sub.seed,
+                &SolverConfig::hybrid(),
+                sub.runs,
+            );
+            for step in &chain.steps {
+                let r = &step.result;
+                assert_eq!(
+                    r.dc_error, 0.0,
+                    "Proposition 5.5 violated on {} step {}",
+                    meta.name, step.step
+                );
+                // Solved sizes, not generator sizes: later steps include the
+                // dimension tuples minted upstream.
+                let (n_r1, n_r2) = (step.n_r1, step.n_r2);
+                table.push(vec![
+                    meta.name.to_owned(),
+                    family.label().to_owned(),
+                    step.step.clone(),
+                    n_r1.to_string(),
+                    n_r2.to_string(),
+                    fmt_s(r.phase1_s),
+                    fmt_s(r.phase2_s),
+                    fmt_s(r.wall_s),
+                    format!("{:.3}", r.cc_median),
+                    format!("{:.3}", r.dc_error),
+                ]);
+                records.push(PerfRecord {
+                    workload: meta.name.to_owned(),
+                    family: family.label().to_owned(),
+                    step: step.step.clone(),
+                    n_r1,
+                    n_r2,
+                    n_ccs: step.n_ccs,
+                    phase1_s: r.phase1_s,
+                    phase2_s: r.phase2_s,
+                    wall_s: r.wall_s,
+                    cc_median: r.cc_median,
+                    dc_error: r.dc_error,
+                });
+            }
         }
     }
     println!("{}", table.render());
 
     let baseline = PerfBaseline {
-        schema_version: 1,
+        schema_version: 2,
         scale_factor: opts.scale_factor,
         n_ccs: opts.n_ccs,
         runs: opts.runs,
         seed: opts.seed,
+        knobs: opts.knobs.clone(),
         records,
     };
     let dir = opts
@@ -124,4 +167,290 @@ pub fn run(opts: &ExperimentOpts) {
     )
     .expect("write BENCH_perf.json");
     println!("[perf baseline written to {}]\n", path.display());
+}
+
+/// A record's identity and wall time, parsed from a `BENCH_perf.json`.
+type WallTimes = BTreeMap<(String, String, String), f64>;
+
+/// A parsed `BENCH_perf.json`: the run parameters wall times depend on,
+/// plus per-record wall times.
+struct ParsedBaseline {
+    /// `(scale_factor, n_ccs, runs, seed, knobs)` — rendered as strings
+    /// for exact, float-formatting-stable comparison.
+    params: Vec<(&'static str, String)>,
+    walls: WallTimes,
+}
+
+fn parse_baseline(path: &Path) -> Result<ParsedBaseline, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+    let doc = serde_json::from_str(&text)
+        .map_err(|e| format!("cannot parse `{}`: {e}", path.display()))?;
+    let field = |obj: &[(String, serde::Value)], name: &str| -> Option<serde::Value> {
+        obj.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+    };
+    let serde::Value::Object(top) = doc else {
+        return Err(format!("`{}` is not a JSON object", path.display()));
+    };
+    let Some(serde::Value::Array(records)) = field(&top, "records") else {
+        return Err(format!("`{}` has no `records` array", path.display()));
+    };
+    // Wall times are only comparable when both sweeps generated the same
+    // datasets and CC load; capture every parameter they depend on.
+    let mut params: Vec<(&'static str, String)> = ["scale_factor", "n_ccs", "runs", "seed"]
+        .into_iter()
+        .map(|name| {
+            let rendered = match field(&top, name) {
+                Some(serde::Value::Float(x)) => x.to_string(),
+                Some(serde::Value::Int(n)) => n.to_string(),
+                other => format!("{other:?}"),
+            };
+            (name, rendered)
+        })
+        .collect();
+    // Knob overrides reshape the generated data too. Absent (pre-v2
+    // baselines) means no overrides, i.e. an empty map.
+    let knobs = match field(&top, "knobs") {
+        Some(v @ serde::Value::Object(_)) => {
+            serde_json::to_string(&v).expect("re-render parsed JSON")
+        }
+        _ => "{}".to_owned(),
+    };
+    params.push(("knobs", knobs));
+    let mut walls = WallTimes::new();
+    for rec in &records {
+        let serde::Value::Object(rec) = rec else {
+            return Err("non-object perf record".into());
+        };
+        let text_field = |name: &str| -> Result<String, String> {
+            match field(rec, name) {
+                Some(serde::Value::Str(s)) => Ok(s),
+                // Pre-chain baselines (schema_version 1) have no `step`.
+                None if name == "step" => Ok(String::new()),
+                other => Err(format!("perf record field `{name}` is {other:?}")),
+            }
+        };
+        let wall = match field(rec, "wall_s") {
+            Some(serde::Value::Float(x)) => x,
+            Some(serde::Value::Int(n)) => n as f64,
+            other => return Err(format!("perf record field `wall_s` is {other:?}")),
+        };
+        walls.insert(
+            (
+                text_field("workload")?,
+                text_field("family")?,
+                text_field("step")?,
+            ),
+            wall,
+        );
+    }
+    Ok(ParsedBaseline { params, walls })
+}
+
+/// Compares a fresh `BENCH_perf.json` against the committed baseline.
+///
+/// The two documents must have been produced with the same run parameters
+/// (`scale_factor`, `n_ccs`, `runs`) — a mismatch means the guard would
+/// compare apples to oranges (silently dead when the baseline is heavier,
+/// spuriously red when it is lighter), so it fails with a parameter
+/// mismatch instead. Given matching parameters, every record present in
+/// both documents must have a fresh wall time of at most
+/// [`REGRESSION_FACTOR`] × the baseline's, after clamping both sides up to
+/// [`NOISE_FLOOR_S`] (sub-millisecond solves jitter far more than 3×
+/// between CI machines). New records — new workloads, families or steps —
+/// are allowed; a record that *disappeared* fails the check, since that
+/// means lost coverage.
+pub fn check(baseline_path: &Path, fresh_path: &Path) -> Result<(), String> {
+    let baseline = parse_baseline(baseline_path)?;
+    let fresh = parse_baseline(fresh_path)?;
+    for ((name, base_value), (_, fresh_value)) in baseline.params.iter().zip(&fresh.params) {
+        if base_value != fresh_value {
+            return Err(format!(
+                "perf-check parameter mismatch: `{name}` is {base_value} in {} but \
+                 {fresh_value} in {} — regenerate the committed baseline with the \
+                 flags CI runs `perf` with",
+                baseline_path.display(),
+                fresh_path.display(),
+            ));
+        }
+    }
+    let (baseline, fresh) = (baseline.walls, fresh.walls);
+    let mut failures = Vec::new();
+    for (key, &base_wall) in &baseline {
+        let (workload, family, step) = key;
+        let label = format!("{workload}/{family}/{step}");
+        match fresh.get(key) {
+            None => failures.push(format!("record `{label}` disappeared from the fresh run")),
+            Some(&fresh_wall) => {
+                let base = base_wall.max(NOISE_FLOOR_S);
+                let now = fresh_wall.max(NOISE_FLOOR_S);
+                if now > REGRESSION_FACTOR * base {
+                    failures.push(format!(
+                        "record `{label}` regressed {:.1}×: {} → {}",
+                        now / base,
+                        fmt_s(base_wall),
+                        fmt_s(fresh_wall),
+                    ));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "[perf-check ok: {} baseline records within {REGRESSION_FACTOR}x of {}]",
+            baseline.len(),
+            baseline_path.display()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "perf-check failed against {}:\n  {}",
+            baseline_path.display(),
+            failures.join("\n  ")
+        ))
+    }
+}
+
+/// CLI entry point for `perf-check`: compares `<out>/BENCH_perf.json` (the
+/// fresh run) against `--baseline` (default: `BENCH_perf.json` in the
+/// working directory, i.e. the committed file).
+pub fn check_cli(opts: &ExperimentOpts) -> Result<(), String> {
+    let baseline = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_perf.json"));
+    let fresh = opts
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("."))
+        .join("BENCH_perf.json");
+    check(&baseline, &fresh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc_at(scale: f64, records: &[(&str, &str, &str, f64)]) -> String {
+        let rows: Vec<String> = records
+            .iter()
+            .map(|(w, f, s, wall)| {
+                format!(r#"{{"workload":"{w}","family":"{f}","step":"{s}","wall_s":{wall}}}"#)
+            })
+            .collect();
+        format!(
+            r#"{{"schema_version":2,"scale_factor":{scale},"n_ccs":15,"runs":1,"records":[{}]}}"#,
+            rows.join(",")
+        )
+    }
+
+    fn doc(records: &[(&str, &str, &str, f64)]) -> String {
+        doc_at(0.005, records)
+    }
+
+    fn write(dir: &Path, name: &str, text: &str) -> PathBuf {
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    #[test]
+    fn check_passes_within_factor_and_allows_new_records() {
+        let dir = std::env::temp_dir().join("cextend-perf-check-ok");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = write(
+            &dir,
+            "base.json",
+            &doc(&[("census", "good", "Persons→Housing", 0.1)]),
+        );
+        let fresh = write(
+            &dir,
+            "fresh.json",
+            &doc(&[
+                ("census", "good", "Persons→Housing", 0.25),
+                ("supply", "bad", "Stores→Regions", 9.0),
+            ]),
+        );
+        check(&base, &fresh).unwrap();
+    }
+
+    #[test]
+    fn check_fails_on_regression_and_missing_records() {
+        let dir = std::env::temp_dir().join("cextend-perf-check-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = write(
+            &dir,
+            "base.json",
+            &doc(&[
+                ("census", "good", "Persons→Housing", 0.1),
+                ("retail", "bad", "Orders→Customers", 0.1),
+            ]),
+        );
+        let fresh = write(
+            &dir,
+            "fresh.json",
+            &doc(&[("census", "good", "Persons→Housing", 0.5)]),
+        );
+        let err = check(&base, &fresh).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        assert!(err.contains("disappeared"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_mismatched_run_parameters() {
+        let dir = std::env::temp_dir().join("cextend-perf-check-params");
+        std::fs::create_dir_all(&dir).unwrap();
+        let records = [("census", "good", "Persons→Housing", 0.1)];
+        let base = write(&dir, "base.json", &doc_at(0.02, &records));
+        let fresh = write(&dir, "fresh.json", &doc_at(0.005, &records));
+        let err = check(&base, &fresh).unwrap_err();
+        assert!(err.contains("parameter mismatch"), "{err}");
+        assert!(err.contains("scale_factor"), "{err}");
+
+        // Knob overrides reshape the data, so they gate comparability too.
+        let with_knobs =
+            doc(&records).replace(r#""runs":1,"#, r#""runs":1,"knobs":{"regions":100},"#);
+        let base = write(&dir, "base-knobs.json", &with_knobs);
+        let fresh = write(&dir, "fresh-knobs.json", &doc(&records));
+        let err = check(&base, &fresh).unwrap_err();
+        assert!(err.contains("knobs"), "{err}");
+    }
+
+    #[test]
+    fn check_tolerates_sub_noise_floor_jitter() {
+        let dir = std::env::temp_dir().join("cextend-perf-check-noise");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = write(
+            &dir,
+            "base.json",
+            &doc(&[("census", "good", "Persons→Housing", 0.0004)]),
+        );
+        // 10× worse in absolute terms, but still under the noise floor.
+        let fresh = write(
+            &dir,
+            "fresh.json",
+            &doc(&[("census", "good", "Persons→Housing", 0.004)]),
+        );
+        check(&base, &fresh).unwrap();
+    }
+
+    #[test]
+    fn check_reads_pre_chain_baselines_without_step_fields() {
+        let dir = std::env::temp_dir().join("cextend-perf-check-v1");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = write(
+            &dir,
+            "base.json",
+            r#"{"schema_version":1,"scale_factor":0.005,"n_ccs":15,"runs":1,"records":[{"workload":"census","family":"good","wall_s":0.1}]}"#,
+        );
+        let fresh = write(
+            &dir,
+            "fresh.json",
+            &doc(&[("census", "good", "Persons→Housing", 0.1)]),
+        );
+        // The v1 record keys under an empty step, so it reads cleanly but
+        // counts as disappeared — exactly the signal to regenerate.
+        let err = check(&base, &fresh).unwrap_err();
+        assert!(err.contains("disappeared"), "{err}");
+    }
 }

@@ -2,9 +2,11 @@
 //! expected `R1`/`R2` ratio at every scale label (and, for workloads that
 //! reproduce a published artifact, the external counts), then runs one
 //! hybrid solve at the smallest label as a Proposition 5.5 smoke: zero DC
-//! error and exact join recovery, whatever the schema.
+//! error and exact join recovery, whatever the schema. Multi-relation
+//! workloads report one row-count column per relation and smoke-test the
+//! *full FK-completion chain*, step by step.
 
-use crate::harness::{run_once, ExperimentOpts, Table};
+use crate::harness::{run_chain_once, run_once, ExperimentOpts, Table};
 use cextend_core::SolverConfig;
 use cextend_workloads::{CcFamily, DcSet};
 
@@ -16,9 +18,15 @@ pub fn run(opts: &ExperimentOpts) {
         .scale_labels
         .iter()
         .any(|&l| workload.paper_counts(l).is_some());
-    let r1_rows = format!("{} rows", meta.r1_name);
-    let r2_rows = format!("{} rows", meta.r2_name);
-    let mut headers: Vec<&str> = vec!["Scale", &r1_rows, &r2_rows, "VJoin", "R1/R2"];
+    let row_headers: Vec<String> = meta
+        .relation_names
+        .iter()
+        .map(|name| format!("{name} rows"))
+        .collect();
+    let mut headers: Vec<&str> = vec!["Scale"];
+    headers.extend(row_headers.iter().map(String::as_str));
+    headers.push("VJoin");
+    headers.push("R1/R2");
     if with_paper {
         headers.push("paper R1");
         headers.push("paper R2");
@@ -37,13 +45,12 @@ pub fn run(opts: &ExperimentOpts) {
             continue;
         }
         let data = opts.dataset(label, None, 0);
-        let mut row = vec![
-            format!("{label}x"),
-            data.n_r1().to_string(),
-            data.n_r2().to_string(),
-            data.n_r1().to_string(), // |VJoin| = |R1| by construction
-            format!("{:.3}", data.n_r1() as f64 / data.n_r2() as f64),
-        ];
+        let mut row = vec![format!("{label}x")];
+        for rel in &data.relations {
+            row.push(rel.n_rows().to_string());
+        }
+        row.push(data.n_r1().to_string()); // |VJoin| = |R1| by construction
+        row.push(format!("{:.3}", data.n_r1() as f64 / data.n_r2() as f64));
         if with_paper {
             let (p1, p2) = workload
                 .paper_counts(label)
@@ -58,19 +65,47 @@ pub fn run(opts: &ExperimentOpts) {
     table.emit(opts);
 
     // Proposition 5.5 smoke at the smallest label: the hybrid must deliver
-    // zero DC error and an exactly recovered join on this workload.
+    // zero DC error and an exactly recovered join on this workload — at
+    // every completion step of a multi-relation chain.
     let label = meta.scale_labels[0];
     let data = opts.dataset(label, None, 0);
-    let ccs = opts.ccs(CcFamily::Good, opts.n_ccs.min(25), &data, 0);
-    let dcs = opts.dcs(DcSet::All);
-    let r = run_once(&data, &ccs, &dcs, &SolverConfig::hybrid());
-    assert_eq!(
-        r.dc_error, 0.0,
-        "hybrid must guarantee zero DC error on {}",
-        meta.name
-    );
-    println!(
-        "[{} solver check at {label}x: DC error {:.3}, join recovered: {}]\n",
-        meta.name, r.dc_error, r.join_recovered
-    );
+    if data.n_steps() == 1 {
+        let ccs = opts.ccs(CcFamily::Good, opts.n_ccs.min(25), &data, 0);
+        let dcs = opts.dcs(DcSet::All);
+        let r = run_once(&data, &ccs, &dcs, &SolverConfig::hybrid());
+        assert_eq!(
+            r.dc_error, 0.0,
+            "hybrid must guarantee zero DC error on {}",
+            meta.name
+        );
+        println!(
+            "[{} solver check at {label}x: DC error {:.3}, join recovered: {}]\n",
+            meta.name, r.dc_error, r.join_recovered
+        );
+    } else {
+        let chain = run_chain_once(
+            workload.as_ref(),
+            &data,
+            CcFamily::Good,
+            DcSet::All,
+            opts.n_ccs.min(25),
+            opts.seed,
+            &SolverConfig::hybrid(),
+        );
+        for step in &chain.steps {
+            assert_eq!(
+                step.result.dc_error, 0.0,
+                "hybrid must guarantee zero DC error on {} step {}",
+                meta.name, step.step
+            );
+            println!(
+                "[{} step {} at {label}x: DC error {:.3}, join recovered: {}]",
+                meta.name, step.step, step.result.dc_error, step.result.join_recovered
+            );
+        }
+        println!(
+            "[{} chain total at {label}x: DC error {:.3}, join recovered: {}]\n",
+            meta.name, chain.total.dc_error, chain.total.join_recovered
+        );
+    }
 }

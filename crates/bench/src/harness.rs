@@ -6,7 +6,8 @@
 //! DC sets, and the runners consume the generic [`WorkloadData`].
 
 use cextend_constraints::{CardinalityConstraint, DenialConstraint};
-use cextend_core::metrics::{evaluate, EvaluationReport};
+use cextend_core::metrics::{evaluate, median, EvaluationReport};
+use cextend_core::snowflake::{solve_snowflake, SnowflakeStep};
 use cextend_core::{solve, SolveStats, SolverConfig};
 use cextend_workloads::{
     workload_by_name, CcFamily, DcSet, Workload, WorkloadData, WorkloadParams,
@@ -19,7 +20,7 @@ use std::time::{Duration, Instant};
 /// Global experiment options (CLI-controlled).
 #[derive(Clone, Debug)]
 pub struct ExperimentOpts {
-    /// Which registered workload to drive (`census`, `retail`).
+    /// Which registered workload to drive (`census`, `retail`, `supply`).
     pub workload: String,
     /// Multiplier applied to the workload's scale labels: the paper's `k×`
     /// becomes `k × scale_factor` here. The default 0.02 keeps every
@@ -36,6 +37,9 @@ pub struct ExperimentOpts {
     pub knobs: BTreeMap<String, i64>,
     /// Where to write JSON snapshots (`None` disables).
     pub out_dir: Option<PathBuf>,
+    /// Committed perf baseline `perf-check` compares against (`None` means
+    /// `BENCH_perf.json` in the working directory).
+    pub baseline: Option<PathBuf>,
 }
 
 impl Default for ExperimentOpts {
@@ -48,6 +52,7 @@ impl Default for ExperimentOpts {
             seed: 7,
             knobs: BTreeMap::new(),
             out_dir: None,
+            baseline: None,
         }
     }
 }
@@ -93,6 +98,26 @@ impl ExperimentOpts {
     /// DC set of the given kind for the selected workload.
     pub fn dcs(&self, set: DcSet) -> Vec<DenialConstraint> {
         self.workload().dcs(set)
+    }
+
+    /// The fully resolved knob map of the selected workload: every
+    /// published knob at its default, overlaid with the CLI-provided
+    /// values. Stamped into snapshots so they are reproducible from their
+    /// own metadata.
+    pub fn resolved_knobs(&self) -> BTreeMap<String, i64> {
+        let mut knobs: BTreeMap<String, i64> = self
+            .workload()
+            .meta()
+            .knobs
+            .iter()
+            .map(|&(name, default)| (name.to_owned(), default))
+            .collect();
+        for (name, &value) in &self.knobs {
+            if knobs.contains_key(name) {
+                knobs.insert(name.clone(), value);
+            }
+        }
+        knobs
     }
 }
 
@@ -170,18 +195,10 @@ pub fn run_once(
     RunResult::from(report, solution.stats, wall)
 }
 
-/// Runs one pipeline `runs` times with distinct seeds, averaging the
-/// numeric fields (the paper averages over 3 independent runs).
-pub fn run_averaged(
-    data: &WorkloadData,
-    ccs: &[CardinalityConstraint],
-    dcs: &[DenialConstraint],
-    config: &SolverConfig,
-    runs: usize,
-) -> RunResult {
-    let results: Vec<RunResult> = (0..runs.max(1))
-        .map(|i| run_once(data, ccs, dcs, &(*config).with_seed(config.seed + i as u64)))
-        .collect();
+/// Averages the numeric fields of several runs (the paper averages over 3
+/// independent runs). `join_recovered` ANDs; the first run's per-CC errors
+/// are kept for distribution plots.
+fn average_results(results: Vec<RunResult>) -> RunResult {
     let n = results.len() as f64;
     let avg = |f: fn(&RunResult) -> f64| results.iter().map(f).sum::<f64>() / n;
     RunResult {
@@ -205,7 +222,189 @@ pub fn run_averaged(
     }
 }
 
+/// Runs one pipeline `runs` times with distinct seeds, averaging the
+/// numeric fields.
+pub fn run_averaged(
+    data: &WorkloadData,
+    ccs: &[CardinalityConstraint],
+    dcs: &[DenialConstraint],
+    config: &SolverConfig,
+    runs: usize,
+) -> RunResult {
+    average_results(
+        (0..runs.max(1))
+            .map(|i| run_once(data, ccs, dcs, &(*config).with_seed(config.seed + i as u64)))
+            .collect(),
+    )
+}
+
+/// One step's outcome in a chain run.
+#[derive(Clone, Debug)]
+pub struct StepRunResult {
+    /// `Owner→Target` step label.
+    pub step: String,
+    /// CC-set size the step ran with.
+    pub n_ccs: usize,
+    /// `R1` rows the step actually solved (includes dimension tuples
+    /// minted by earlier steps).
+    pub n_r1: usize,
+    /// `R2` rows of the step's input.
+    pub n_r2: usize,
+    /// The step's metrics.
+    pub result: RunResult,
+}
+
+/// The outcome of one multi-step chain run: per-step metrics plus a chain
+/// total aggregated through `SnowflakeSolution::total_stats`.
+#[derive(Clone, Debug)]
+pub struct ChainRunResult {
+    /// Per-step outcomes, in completion order.
+    pub steps: Vec<StepRunResult>,
+    /// Chain totals: summed timings/counters, per-CC errors pooled across
+    /// steps, worst-step DC error, all-steps join recovery.
+    pub total: RunResult,
+}
+
+/// Builds the constrained chain steps for one (family, DC set) choice:
+/// per-step CC/DC sets from [`Workload::step_ccs`] / [`Workload::step_dcs`].
+/// Constraint generation (including the ground-truth augmented views the
+/// targets are measured on) happens exactly once per call — averaged runs
+/// reuse the result and only vary the solver seed.
+pub fn chain_steps(
+    workload: &dyn Workload,
+    data: &WorkloadData,
+    family: CcFamily,
+    dc_set: DcSet,
+    n_ccs: usize,
+    seed: u64,
+) -> Vec<SnowflakeStep> {
+    data.steps
+        .iter()
+        .enumerate()
+        .map(|(i, edge)| SnowflakeStep {
+            edge: edge.clone(),
+            ccs: workload.step_ccs(i, family, n_ccs, data, seed),
+            dcs: workload.step_dcs(i, dc_set),
+        })
+        .collect()
+}
+
+/// Runs a workload's full FK-completion chain once: the chain is driven by
+/// `cextend_core::snowflake::solve_snowflake`, and every step is evaluated
+/// on its augmented view.
+pub fn run_chain_once(
+    workload: &dyn Workload,
+    data: &WorkloadData,
+    family: CcFamily,
+    dc_set: DcSet,
+    n_ccs: usize,
+    seed: u64,
+    config: &SolverConfig,
+) -> ChainRunResult {
+    let steps = chain_steps(workload, data, family, dc_set, n_ccs, seed);
+    run_chain_with_steps(data, &steps, config)
+}
+
+/// Runs prebuilt chain steps once (the inner loop of the averaged runner).
+pub fn run_chain_with_steps(
+    data: &WorkloadData,
+    steps: &[SnowflakeStep],
+    config: &SolverConfig,
+) -> ChainRunResult {
+    let start = Instant::now();
+    let solved = solve_snowflake(data.relations.clone(), steps, config)
+        .expect("solver never fails with augmentation on");
+    let wall = start.elapsed();
+
+    let total_stats = solved.total_stats();
+    let mut all_cc_errors: Vec<f64> = Vec::new();
+    let mut worst_dc = 0.0f64;
+    let mut all_recovered = true;
+    let step_results: Vec<StepRunResult> = solved
+        .steps
+        .iter()
+        .zip(steps)
+        .map(|(outcome, step)| {
+            all_cc_errors.extend_from_slice(&outcome.report.cc_errors);
+            worst_dc = worst_dc.max(outcome.report.dc_error);
+            all_recovered &= outcome.report.join_recovered;
+            StepRunResult {
+                step: outcome.label.clone(),
+                n_ccs: step.ccs.len(),
+                n_r1: outcome.n_r1,
+                n_r2: outcome.n_r2,
+                result: RunResult::from(outcome.report.clone(), outcome.stats, outcome.wall),
+            }
+        })
+        .collect();
+    let total_report = EvaluationReport {
+        cc_median: median(&all_cc_errors),
+        cc_mean: if all_cc_errors.is_empty() {
+            0.0
+        } else {
+            all_cc_errors.iter().sum::<f64>() / all_cc_errors.len() as f64
+        },
+        cc_errors: all_cc_errors,
+        dc_error: worst_dc,
+        join_recovered: all_recovered,
+    };
+    ChainRunResult {
+        steps: step_results,
+        total: RunResult::from(total_report, total_stats, wall),
+    }
+}
+
+/// Runs prebuilt chain steps `runs` times with distinct solver seeds,
+/// averaging the numeric fields per step (and for the chain total). Use
+/// this when the same steps drive several solver configurations — the
+/// constraint sets are then identical across pipelines by construction.
+pub fn run_chain_with_steps_averaged(
+    data: &WorkloadData,
+    steps: &[SnowflakeStep],
+    config: &SolverConfig,
+    runs: usize,
+) -> ChainRunResult {
+    let chains: Vec<ChainRunResult> = (0..runs.max(1))
+        .map(|i| run_chain_with_steps(data, steps, &(*config).with_seed(config.seed + i as u64)))
+        .collect();
+    let n_steps = chains[0].steps.len();
+    let steps = (0..n_steps)
+        .map(|s| StepRunResult {
+            step: chains[0].steps[s].step.clone(),
+            n_ccs: chains[0].steps[s].n_ccs,
+            n_r1: chains[0].steps[s].n_r1,
+            n_r2: chains[0].steps[s].n_r2,
+            result: average_results(chains.iter().map(|c| c.steps[s].result.clone()).collect()),
+        })
+        .collect();
+    let total = average_results(chains.into_iter().map(|c| c.total).collect());
+    ChainRunResult { steps, total }
+}
+
+/// Runs a chain `runs` times with distinct solver seeds, averaging the
+/// numeric fields per step (and for the chain total). Constraint
+/// generation happens once, before the run loop.
+#[allow(clippy::too_many_arguments)] // mirrors run_chain_once plus `runs`
+pub fn run_chain_averaged(
+    workload: &dyn Workload,
+    data: &WorkloadData,
+    family: CcFamily,
+    dc_set: DcSet,
+    n_ccs: usize,
+    seed: u64,
+    config: &SolverConfig,
+    runs: usize,
+) -> ChainRunResult {
+    let steps = chain_steps(workload, data, family, dc_set, n_ccs, seed);
+    run_chain_with_steps_averaged(data, &steps, config, runs)
+}
+
 /// A printable experiment table.
+///
+/// Snapshots are stamped by [`Table::emit`] with everything needed to
+/// reproduce them from their own metadata: the workload, the fully
+/// resolved knob map, the scale factor (and fixed scale label, when the
+/// experiment runs at one), the CC-set size, run count and base seed.
 #[derive(Clone, Debug, Serialize)]
 pub struct Table {
     /// Experiment id (e.g. `fig8a`).
@@ -219,6 +418,19 @@ pub struct Table {
     pub headers: Vec<String>,
     /// Data rows.
     pub rows: Vec<Vec<String>>,
+    /// Fully resolved workload knob map (stamped by [`Table::emit`]).
+    pub knobs: BTreeMap<String, i64>,
+    /// Scale factor applied to the workload's scale labels (stamped).
+    pub scale_factor: f64,
+    /// The fixed scale label the experiment ran at, when it does not sweep
+    /// labels (sweeps carry the label per row instead).
+    pub scale_label: Option<u32>,
+    /// CC-set size requested (stamped).
+    pub n_ccs: usize,
+    /// Independent runs averaged per cell (stamped).
+    pub runs: usize,
+    /// Base RNG seed (stamped).
+    pub seed: u64,
 }
 
 impl Table {
@@ -230,7 +442,19 @@ impl Table {
             title: title.to_owned(),
             headers: headers.iter().map(|s| (*s).to_owned()).collect(),
             rows: Vec::new(),
+            knobs: BTreeMap::new(),
+            scale_factor: 0.0,
+            scale_label: None,
+            n_ccs: 0,
+            runs: 0,
+            seed: 0,
         }
+    }
+
+    /// Records the fixed scale label the experiment runs at.
+    pub fn with_scale_label(mut self, label: u32) -> Table {
+        self.scale_label = Some(label);
+        self
     }
 
     /// Appends a row.
@@ -269,12 +493,18 @@ impl Table {
     }
 
     /// Prints to stdout and writes a JSON snapshot when `out_dir` is set.
-    /// The snapshot is stamped with the active workload name.
+    /// The snapshot is stamped with the active workload name, the resolved
+    /// knob map and the scale/seed parameters.
     pub fn emit(&self, opts: &ExperimentOpts) {
         println!("{}", self.render());
         if let Some(dir) = &opts.out_dir {
             let mut snapshot = self.clone();
             snapshot.workload = opts.workload.clone();
+            snapshot.knobs = opts.resolved_knobs();
+            snapshot.scale_factor = opts.scale_factor;
+            snapshot.n_ccs = opts.n_ccs;
+            snapshot.runs = opts.runs;
+            snapshot.seed = opts.seed;
             std::fs::create_dir_all(dir).expect("create output dir");
             let path = dir.join(format!("{}.json", self.id));
             std::fs::write(
@@ -368,7 +598,66 @@ mod tests {
         let mut opts = smoke_opts("census");
         opts.knobs.insert("areas".to_owned(), 3);
         let data = opts.dataset(1, None, 0);
-        let area = data.r2.schema().col_id("Area").unwrap();
-        assert!(data.r2.distinct_values(area).len() <= 3);
+        let area = data.r2().schema().col_id("Area").unwrap();
+        assert!(data.r2().distinct_values(area).len() <= 3);
+    }
+
+    #[test]
+    fn resolved_knobs_overlay_defaults() {
+        let mut opts = smoke_opts("retail");
+        opts.knobs.insert("regions".to_owned(), 4);
+        opts.knobs.insert("areas".to_owned(), 3); // census-only: ignored
+        let knobs = opts.resolved_knobs();
+        assert_eq!(knobs.get("regions"), Some(&4));
+        assert!(knobs.contains_key("max-group"), "defaults are stamped");
+        assert!(!knobs.contains_key("areas"));
+    }
+
+    #[test]
+    fn smoke_run_chain_supply() {
+        let opts = smoke_opts("supply");
+        let workload = opts.workload();
+        let data = opts.dataset(1, None, 0);
+        let chain = run_chain_once(
+            workload.as_ref(),
+            &data,
+            CcFamily::Good,
+            DcSet::All,
+            10,
+            opts.seed,
+            &SolverConfig::hybrid(),
+        );
+        assert_eq!(chain.steps.len(), 2);
+        for step in &chain.steps {
+            assert_eq!(step.result.dc_error, 0.0, "{}", step.step);
+            assert!(step.result.join_recovered, "{}", step.step);
+        }
+        assert_eq!(chain.total.dc_error, 0.0);
+        assert!(chain.total.join_recovered);
+        // The chain total aggregates the per-step timings.
+        let wall_sum: f64 = chain.steps.iter().map(|s| s.result.phase1_s).sum();
+        assert!((chain.total.phase1_s - wall_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_runner_matches_run_once_on_one_step_workloads() {
+        let opts = smoke_opts("retail");
+        let workload = opts.workload();
+        let data = opts.dataset(1, None, 0);
+        let chain = run_chain_once(
+            workload.as_ref(),
+            &data,
+            CcFamily::Good,
+            DcSet::All,
+            10,
+            opts.seed,
+            &SolverConfig::hybrid(),
+        );
+        assert_eq!(chain.steps.len(), 1);
+        let ccs = opts.ccs(CcFamily::Good, 10, &data, 0);
+        let flat = run_once(&data, &ccs, &opts.dcs(DcSet::All), &SolverConfig::hybrid());
+        assert_eq!(chain.steps[0].result.cc_median, flat.cc_median);
+        assert_eq!(chain.steps[0].result.dc_error, flat.dc_error);
+        assert_eq!(chain.steps[0].result.new_r2_tuples, flat.new_r2_tuples);
     }
 }

@@ -51,6 +51,20 @@ impl StageTimings {
     pub fn total(&self) -> Duration {
         self.phase1() + self.phase2()
     }
+
+    /// Adds another timing set stage by stage (used to aggregate the steps
+    /// of a snowflake pipeline into chain totals).
+    pub fn absorb(&mut self, other: &StageTimings) {
+        self.pairwise_comparison += other.pairwise_comparison;
+        self.recursion += other.recursion;
+        self.ilp_build += other.ilp_build;
+        self.ilp_solve += other.ilp_solve;
+        self.fill += other.fill;
+        self.completion += other.completion;
+        self.conflict_build += other.conflict_build;
+        self.coloring += other.coloring;
+        self.invalid_handling += other.invalid_handling;
+    }
 }
 
 /// Structural counters describing what the solve did.
@@ -90,6 +104,28 @@ pub struct SolveCounters {
     pub repair_moves: usize,
 }
 
+impl SolveCounters {
+    /// Adds another counter set field by field (`ilp_rounded` ORs).
+    pub fn absorb(&mut self, other: &SolveCounters) {
+        self.s1_ccs += other.s1_ccs;
+        self.s2_ccs += other.s2_ccs;
+        self.deduped_ccs += other.deduped_ccs;
+        self.bins += other.bins;
+        self.ilp_vars += other.ilp_vars;
+        self.ilp_rows += other.ilp_rows;
+        self.ilp_nodes += other.ilp_nodes;
+        self.ilp_rounded |= other.ilp_rounded;
+        self.partitions += other.partitions;
+        self.conflict_edges += other.conflict_edges;
+        self.skipped_vertices += other.skipped_vertices;
+        self.new_r2_tuples += other.new_r2_tuples;
+        self.invalid_tuples += other.invalid_tuples;
+        self.hasse_assigned_rows += other.hasse_assigned_rows;
+        self.ilp_assigned_rows += other.ilp_assigned_rows;
+        self.repair_moves += other.repair_moves;
+    }
+}
+
 /// Everything a solve reports besides the relations themselves.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SolveStats {
@@ -97,6 +133,14 @@ pub struct SolveStats {
     pub timings: StageTimings,
     /// Structural counters.
     pub counters: SolveCounters,
+}
+
+impl SolveStats {
+    /// Adds another solve's timings and counters into this one.
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.timings.absorb(&other.timings);
+        self.counters.absorb(&other.counters);
+    }
 }
 
 impl fmt::Display for SolveStats {
@@ -171,6 +215,38 @@ mod tests {
         assert_eq!(t.phase1(), Duration::from_millis(12));
         assert_eq!(t.phase2(), Duration::from_millis(11));
         assert_eq!(t.total(), Duration::from_millis(23));
+    }
+
+    #[test]
+    fn absorb_sums_timings_and_counters() {
+        let mut a = SolveStats {
+            timings: StageTimings {
+                recursion: Duration::from_millis(5),
+                ..StageTimings::default()
+            },
+            counters: SolveCounters {
+                new_r2_tuples: 2,
+                ilp_rounded: false,
+                ..SolveCounters::default()
+            },
+        };
+        let b = SolveStats {
+            timings: StageTimings {
+                recursion: Duration::from_millis(7),
+                coloring: Duration::from_millis(1),
+                ..StageTimings::default()
+            },
+            counters: SolveCounters {
+                new_r2_tuples: 3,
+                ilp_rounded: true,
+                ..SolveCounters::default()
+            },
+        };
+        a.absorb(&b);
+        assert_eq!(a.timings.recursion, Duration::from_millis(12));
+        assert_eq!(a.timings.phase2(), Duration::from_millis(1));
+        assert_eq!(a.counters.new_r2_tuples, 5);
+        assert!(a.counters.ilp_rounded);
     }
 
     #[test]

@@ -8,8 +8,20 @@
 //! only ever added to a relation while it plays `R2`; once it plays `R1` its
 //! keys are frozen, which preserves the FK dependencies established earlier.
 //!
-//! One deliberate difference from the paper's sketch, recorded in DESIGN.md:
-//! second-level dimensions (Majors → Departments) are solved with the
+//! The module is organized as three reusable layers driven end to end by
+//! the experiment harness:
+//!
+//! - [`FkEdge`] — one FK edge of the schema graph (owner, target, FK
+//!   column), shared with `cextend-workloads` for multi-relation workloads.
+//! - [`AugmentedView`] — plans and materializes the augmented `R1` of a
+//!   step over any table set (the solver input with the FK erased, or a
+//!   ground-truth measurement view with the FK kept).
+//! - [`execute_step`] / [`solve_snowflake`] — the step executor and the
+//!   chain driver, returning per-step [`StepOutcome`]s (stats + evaluation)
+//!   that [`SnowflakeSolution::total_stats`] aggregates.
+//!
+//! One deliberate difference from the paper's sketch, recorded in DESIGN.md
+//! §8: second-level dimensions (Majors → Departments) are solved with the
 //! *owning* table as `R1` rather than the fully joined fact view. The joined
 //! view duplicates each Majors row once per student, so completing the
 //! department key per view row could assign one major several departments;
@@ -18,24 +30,252 @@
 use crate::config::SolverConfig;
 use crate::error::{CoreError, Result};
 use crate::instance::CExtensionInstance;
+use crate::metrics::{evaluate, EvaluationReport};
 use crate::report::SolveStats;
 use cextend_constraints::{CardinalityConstraint, DenialConstraint};
-use cextend_table::{ColumnDef, Relation, Role, Schema, Value};
+use cextend_table::{ColId, ColumnDef, Relation, Role, Schema, Value};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
-/// One FK-completion step.
-#[derive(Clone, Debug)]
-pub struct SnowflakeStep {
+/// One FK edge of a schema graph: `owner.fk_col → target`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FkEdge {
     /// Table owning the FK column (plays `R1`).
     pub owner: String,
     /// Referenced dimension table (plays `R2`).
     pub target: String,
     /// The FK column of `owner` to complete.
     pub fk_col: String,
+}
+
+impl FkEdge {
+    /// Builds an edge.
+    pub fn new(owner: &str, target: &str, fk_col: &str) -> FkEdge {
+        FkEdge {
+            owner: owner.to_owned(),
+            target: target.to_owned(),
+            fk_col: fk_col.to_owned(),
+        }
+    }
+
+    /// `Owner→Target` display label.
+    pub fn label(&self) -> String {
+        format!("{}→{}", self.owner, self.target)
+    }
+}
+
+/// One FK-completion step: the edge plus its constraint sets.
+#[derive(Clone, Debug)]
+pub struct SnowflakeStep {
+    /// The FK edge to complete.
+    pub edge: FkEdge,
     /// CCs over the augmented `owner ⋈ target` view.
     pub ccs: Vec<CardinalityConstraint>,
     /// DCs over the augmented owner view.
     pub dcs: Vec<DenialConstraint>,
+}
+
+impl SnowflakeStep {
+    /// A step without constraints (useful for pure completion).
+    pub fn unconstrained(edge: FkEdge) -> SnowflakeStep {
+        SnowflakeStep {
+            edge,
+            ccs: Vec::new(),
+            dcs: Vec::new(),
+        }
+    }
+}
+
+/// A dimension whose attributes are pulled into the augmented view through
+/// an already-completed FK of the owner.
+#[derive(Clone, Debug)]
+struct JoinedDim {
+    /// Index of the dimension in the table set.
+    table: usize,
+    /// Its attribute columns, in schema order.
+    attrs: Vec<ColId>,
+    /// The owner's (completed) FK column that reaches it.
+    via_fk: ColId,
+}
+
+/// The planned augmented `R1` of one step: the owner's key and attributes,
+/// the attributes of every dimension the owner already joined, and the
+/// step's FK column last.
+///
+/// Planning is separated from materialization so the same plan can build
+/// both the solver input (`erase_fk = true`) and a ground-truth measurement
+/// view (`erase_fk = false`, on tables whose FKs are filled).
+#[derive(Clone, Debug)]
+pub struct AugmentedView {
+    edge: FkEdge,
+    owner_idx: usize,
+    target_idx: usize,
+    key_id: ColId,
+    attr_ids: Vec<ColId>,
+    fk_id: ColId,
+    joined: Vec<JoinedDim>,
+    schema: Schema,
+}
+
+impl AugmentedView {
+    /// Plans the augmented view of `edge.owner` over `tables`, pulling in
+    /// the attribute columns of every dimension reachable through a
+    /// `completed` edge of the same owner.
+    pub fn plan(tables: &[Relation], completed: &[FkEdge], edge: &FkEdge) -> Result<AugmentedView> {
+        let owner_idx = find_table(tables, &edge.owner)?;
+        let target_idx = find_table(tables, &edge.target)?;
+        if owner_idx == target_idx {
+            return Err(CoreError::Validation(format!(
+                "step `{}` has owner == target",
+                edge.owner
+            )));
+        }
+        let owner = &tables[owner_idx];
+        let fk_id = owner.schema().col_id(&edge.fk_col).ok_or_else(|| {
+            CoreError::Validation(format!(
+                "table `{}` has no column `{}`",
+                edge.owner, edge.fk_col
+            ))
+        })?;
+        if owner.schema().column(fk_id).role != Role::ForeignKey {
+            return Err(CoreError::Validation(format!(
+                "column `{}` of `{}` is not a foreign key",
+                edge.fk_col, edge.owner
+            )));
+        }
+        let key_id = owner.schema().key_col().ok_or_else(|| {
+            CoreError::Validation(format!("table `{}` needs a key column", edge.owner))
+        })?;
+        let mut cols: Vec<ColumnDef> = Vec::new();
+        cols.push(owner.schema().column(key_id).clone());
+        let attr_ids = owner.schema().attr_cols();
+        for &a in &attr_ids {
+            cols.push(owner.schema().column(a).clone());
+        }
+        let mut joined: Vec<JoinedDim> = Vec::new();
+        for e in completed {
+            if e.owner != edge.owner {
+                continue;
+            }
+            let dim_idx = find_table(tables, &e.target)?;
+            let dim = &tables[dim_idx];
+            let dim_attrs = dim.schema().attr_cols();
+            for &a in &dim_attrs {
+                let mut def = dim.schema().column(a).clone();
+                def.role = Role::Attr;
+                cols.push(def);
+            }
+            let via_fk = owner.schema().col_id(&e.fk_col).ok_or_else(|| {
+                CoreError::Validation(format!(
+                    "completed edge references missing column `{}` of `{}`",
+                    e.fk_col, e.owner
+                ))
+            })?;
+            joined.push(JoinedDim {
+                table: dim_idx,
+                attrs: dim_attrs,
+                via_fk,
+            });
+        }
+        cols.push(owner.schema().column(fk_id).clone());
+        let schema = Schema::new(cols)?;
+        Ok(AugmentedView {
+            edge: edge.clone(),
+            owner_idx,
+            target_idx,
+            key_id,
+            attr_ids,
+            fk_id,
+            joined,
+            schema,
+        })
+    }
+
+    /// Index of the owner in the planned table set.
+    pub fn owner_index(&self) -> usize {
+        self.owner_idx
+    }
+
+    /// Index of the target dimension in the planned table set.
+    pub fn target_index(&self) -> usize {
+        self.target_idx
+    }
+
+    /// The augmented view's schema (key, owner attrs, joined dim attrs,
+    /// step FK).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Materializes the augmented relation over `tables` (which must be the
+    /// table set the plan was built against, or one with identical
+    /// schemas). With `erase_fk` the step's FK column is left missing (the
+    /// solver input); without it the owner's FK values are copied through
+    /// (ground-truth measurement views).
+    pub fn build(&self, tables: &[Relation], erase_fk: bool) -> Result<Relation> {
+        let owner = &tables[self.owner_idx];
+        let width = self.schema.len();
+        let mut out = Relation::with_capacity(
+            &format!("{}*", self.edge.owner),
+            self.schema.clone(),
+            owner.n_rows(),
+        );
+        // Key lookups for joined dims.
+        let dim_indexes: Vec<HashMap<Value, usize>> = self
+            .joined
+            .iter()
+            .map(|d| {
+                let dim = &tables[d.table];
+                let k = dim.schema().key_col().expect("dimension has a key");
+                dim.rows()
+                    .filter_map(|r| dim.get(r, k).map(|v| (v, r)))
+                    .collect()
+            })
+            .collect();
+        for row in owner.rows() {
+            let mut cells: Vec<Option<Value>> = Vec::with_capacity(width);
+            cells.push(owner.get(row, self.key_id));
+            for &a in &self.attr_ids {
+                cells.push(owner.get(row, a));
+            }
+            for (ji, d) in self.joined.iter().enumerate() {
+                let dim_row = owner
+                    .get(row, d.via_fk)
+                    .and_then(|k| dim_indexes[ji].get(&k).copied());
+                for &a in &d.attrs {
+                    cells.push(dim_row.and_then(|r| tables[d.table].get(r, a)));
+                }
+            }
+            cells.push(if erase_fk {
+                None
+            } else {
+                owner.get(row, self.fk_id)
+            });
+            out.push_row(&cells)?;
+        }
+        Ok(out)
+    }
+}
+
+/// What one completed step reports: per-step statistics and the evaluation
+/// of the step's solution against its augmented instance.
+#[derive(Clone, Debug)]
+pub struct StepOutcome {
+    /// `Owner→Target` label.
+    pub label: String,
+    /// `R1` rows the step actually solved (the owner *after* any extension
+    /// by earlier steps — fresh dimension tuples minted upstream enter
+    /// later steps as ordinary rows).
+    pub n_r1: usize,
+    /// `R2` rows of the step's input (the target before this step's own
+    /// possible extension).
+    pub n_r2: usize,
+    /// The step's solver statistics.
+    pub stats: SolveStats,
+    /// CC/DC errors and join recovery on the step's augmented view.
+    pub report: EvaluationReport,
+    /// Wall-clock time of the step (instance build + solve + evaluation).
+    pub wall: Duration,
 }
 
 /// Result of completing a snowflake database.
@@ -43,8 +283,72 @@ pub struct SnowflakeStep {
 pub struct SnowflakeSolution {
     /// All tables, FKs completed, dimensions possibly extended.
     pub tables: Vec<Relation>,
-    /// Per-step solver statistics, in step order.
-    pub step_stats: Vec<(String, SolveStats)>,
+    /// Per-step outcomes, in step order.
+    pub steps: Vec<StepOutcome>,
+}
+
+impl SnowflakeSolution {
+    /// Counters and timings summed across every step of the chain.
+    pub fn total_stats(&self) -> SolveStats {
+        let mut total = SolveStats::default();
+        for step in &self.steps {
+            total.absorb(&step.stats);
+        }
+        total
+    }
+
+    /// Looks up a completed table by name.
+    pub fn table(&self, name: &str) -> Option<&Relation> {
+        self.tables.iter().find(|t| t.name() == name)
+    }
+}
+
+/// Executes one FK-completion step in place: builds the augmented `R1`,
+/// solves the step's C-Extension instance, writes the completed FK back
+/// into the owner and adopts the (possibly extended) target dimension.
+pub fn execute_step(
+    tables: &mut [Relation],
+    completed: &[FkEdge],
+    step: &SnowflakeStep,
+    config: &SolverConfig,
+) -> Result<StepOutcome> {
+    let start = Instant::now();
+    let plan = AugmentedView::plan(tables, completed, &step.edge)?;
+    let r1 = plan.build(tables, true)?;
+    let instance = CExtensionInstance::new(
+        r1,
+        tables[plan.target_index()].clone(),
+        step.ccs.clone(),
+        step.dcs.clone(),
+    )?;
+    let (n_r1, n_r2) = (instance.r1.n_rows(), instance.r2.n_rows());
+    let solution = crate::solve(&instance, config)?;
+    let report = evaluate(&instance, &solution)?;
+
+    // Write the completed FK back and adopt the (possibly extended) R2.
+    let owner_idx = plan.owner_index();
+    let sol_fk = solution
+        .r1_hat
+        .schema()
+        .fk_col()
+        .expect("solved R1 has the fk");
+    let fk_id = tables[owner_idx]
+        .schema()
+        .col_id(&step.edge.fk_col)
+        .expect("planned fk column exists");
+    for row in 0..tables[owner_idx].n_rows() {
+        let v = solution.r1_hat.get(row, sol_fk);
+        tables[owner_idx].set(row, fk_id, v)?;
+    }
+    tables[plan.target_index()] = solution.r2_hat;
+    Ok(StepOutcome {
+        label: step.edge.label(),
+        n_r1,
+        n_r2,
+        stats: solution.stats,
+        report,
+        wall: start.elapsed(),
+    })
 }
 
 /// Completes every FK listed in `steps`, in order.
@@ -53,115 +357,16 @@ pub fn solve_snowflake(
     steps: &[SnowflakeStep],
     config: &SolverConfig,
 ) -> Result<SnowflakeSolution> {
-    // fk column name -> (owner idx, target idx), filled as steps complete.
-    let mut completed: Vec<(usize, usize, String)> = Vec::new();
-    let mut step_stats = Vec::new();
+    let mut completed: Vec<FkEdge> = Vec::with_capacity(steps.len());
+    let mut outcomes = Vec::with_capacity(steps.len());
     for step in steps {
-        let owner_idx = find_table(&tables, &step.owner)?;
-        let target_idx = find_table(&tables, &step.target)?;
-        if owner_idx == target_idx {
-            return Err(CoreError::Validation(format!(
-                "step `{}` has owner == target",
-                step.owner
-            )));
-        }
-        // Build the augmented R1: owner's key + attributes + attributes of
-        // every dimension already joined through a completed FK of owner,
-        // plus the single FK column of this step.
-        let owner = &tables[owner_idx];
-        let fk_id = owner.schema().col_id(&step.fk_col).ok_or_else(|| {
-            CoreError::Validation(format!(
-                "table `{}` has no column `{}`",
-                step.owner, step.fk_col
-            ))
-        })?;
-        if owner.schema().column(fk_id).role != Role::ForeignKey {
-            return Err(CoreError::Validation(format!(
-                "column `{}` of `{}` is not a foreign key",
-                step.fk_col, step.owner
-            )));
-        }
-        let mut cols: Vec<ColumnDef> = Vec::new();
-        let key_id = owner.schema().key_col().ok_or_else(|| {
-            CoreError::Validation(format!("table `{}` needs a key column", step.owner))
-        })?;
-        cols.push(owner.schema().column(key_id).clone());
-        let attr_ids = owner.schema().attr_cols();
-        for &a in &attr_ids {
-            cols.push(owner.schema().column(a).clone());
-        }
-        // Joined columns from previously completed dimensions of this owner.
-        let mut joined: Vec<(usize, Vec<cextend_table::ColId>, cextend_table::ColId)> = Vec::new();
-        for &(o, t, ref fk_name) in &completed {
-            if o != owner_idx {
-                continue;
-            }
-            let dim = &tables[t];
-            let dim_attrs = dim.schema().attr_cols();
-            for &a in &dim_attrs {
-                let mut def = dim.schema().column(a).clone();
-                def.role = Role::Attr;
-                cols.push(def);
-            }
-            let fk = owner.schema().col_id(fk_name).expect("recorded fk exists");
-            joined.push((t, dim_attrs, fk));
-        }
-        cols.push(owner.schema().column(fk_id).clone());
-        let schema = Schema::new(cols)?;
-        let width = schema.len();
-        let mut r1 = Relation::with_capacity(&format!("{}*", step.owner), schema, owner.n_rows());
-        // Key lookups for joined dims.
-        let dim_indexes: Vec<HashMap<Value, usize>> = joined
-            .iter()
-            .map(|&(t, _, _)| {
-                let dim = &tables[t];
-                let k = dim.schema().key_col().expect("dimension has a key");
-                dim.rows()
-                    .filter_map(|r| dim.get(r, k).map(|v| (v, r)))
-                    .collect()
-            })
-            .collect();
-        for row in owner.rows() {
-            let mut out: Vec<Option<Value>> = Vec::with_capacity(width);
-            out.push(owner.get(row, key_id));
-            for &a in &attr_ids {
-                out.push(owner.get(row, a));
-            }
-            for (ji, &(t, ref dim_attrs, fk)) in joined.iter().enumerate() {
-                let dim_row = owner
-                    .get(row, fk)
-                    .and_then(|k| dim_indexes[ji].get(&k).copied());
-                for &a in dim_attrs {
-                    out.push(dim_row.and_then(|r| tables[t].get(r, a)));
-                }
-            }
-            out.push(None); // the FK being completed
-            r1.push_row(&out)?;
-        }
-
-        let instance = CExtensionInstance::new(
-            r1,
-            tables[target_idx].clone(),
-            step.ccs.clone(),
-            step.dcs.clone(),
-        )?;
-        let solution = crate::solve(&instance, config)?;
-
-        // Write the completed FK back and adopt the (possibly extended) R2.
-        let sol_fk = solution
-            .r1_hat
-            .schema()
-            .fk_col()
-            .expect("solved R1 has the fk");
-        for row in 0..tables[owner_idx].n_rows() {
-            let v = solution.r1_hat.get(row, sol_fk);
-            tables[owner_idx].set(row, fk_id, v)?;
-        }
-        tables[target_idx] = solution.r2_hat;
-        completed.push((owner_idx, target_idx, step.fk_col.clone()));
-        step_stats.push((format!("{}→{}", step.owner, step.target), solution.stats));
+        outcomes.push(execute_step(&mut tables, &completed, step, config)?);
+        completed.push(step.edge.clone());
     }
-    Ok(SnowflakeSolution { tables, step_stats })
+    Ok(SnowflakeSolution {
+        tables,
+        steps: outcomes,
+    })
 }
 
 fn find_table(tables: &[Relation], name: &str) -> Result<usize> {
@@ -232,9 +437,7 @@ mod tests {
             ["Division".to_owned()].into_iter().collect();
         let steps = vec![
             SnowflakeStep {
-                owner: "Students".into(),
-                target: "Majors".into(),
-                fk_col: "major_id".into(),
+                edge: FkEdge::new("Students", "Majors", "major_id"),
                 ccs: vec![
                     parse_cc("cs", r#"| Field = "CS" | = 18"#, &r2_majors).unwrap(),
                     parse_cc(
@@ -247,9 +450,7 @@ mod tests {
                 dcs: vec![],
             },
             SnowflakeStep {
-                owner: "Majors".into(),
-                target: "Departments".into(),
-                fk_col: "dept_id".into(),
+                edge: FkEdge::new("Majors", "Departments", "dept_id"),
                 ccs: vec![parse_cc("sci", r#"| Division = "Science" | = 3"#, &r2_depts).unwrap()],
                 // Two CS majors must not share a department.
                 dcs: vec![parse_dc(
@@ -262,17 +463,40 @@ mod tests {
         ];
         let solved = solve_snowflake(university(), &steps, &SolverConfig::hybrid()).unwrap();
         // Every FK column is complete.
-        let students = &solved.tables[0];
-        let majors = &solved.tables[1];
+        let students = solved.table("Students").unwrap();
+        let majors = solved.table("Majors").unwrap();
         assert!(students.column_is_complete(students.schema().col_id("major_id").unwrap()));
         assert!(majors.column_is_complete(majors.schema().col_id("dept_id").unwrap()));
         // CC on the first step: 18 CS students.
         let joined = cextend_table::fk_join(students, majors).unwrap();
         let cs = cextend_table::Predicate::new(vec![cextend_table::Atom::eq("Field", "CS")]);
         assert_eq!(cs.count(&joined).unwrap(), 18);
-        // The DC of step 2 holds.
+        // The DC of step 2 holds, and the per-step reports agree.
         assert_eq!(dc_error(majors, &steps[1].dcs).unwrap(), 0.0);
-        assert_eq!(solved.step_stats.len(), 2);
+        assert_eq!(solved.steps.len(), 2);
+        for step in &solved.steps {
+            assert_eq!(step.report.dc_error, 0.0, "{}", step.label);
+            assert!(step.report.join_recovered, "{}", step.label);
+        }
+        assert_eq!(solved.steps[0].label, "Students→Majors");
+    }
+
+    #[test]
+    fn total_stats_sums_the_steps() {
+        let steps = vec![
+            SnowflakeStep::unconstrained(FkEdge::new("Students", "Majors", "major_id")),
+            SnowflakeStep::unconstrained(FkEdge::new("Majors", "Departments", "dept_id")),
+        ];
+        let solved = solve_snowflake(university(), &steps, &SolverConfig::hybrid()).unwrap();
+        let total = solved.total_stats();
+        let by_hand: usize = solved
+            .steps
+            .iter()
+            .map(|s| s.stats.counters.partitions)
+            .sum();
+        assert_eq!(total.counters.partitions, by_hand);
+        let wall_sum: Duration = solved.steps.iter().map(|s| s.stats.timings.total()).sum();
+        assert_eq!(total.timings.total(), wall_sum);
     }
 
     #[test]
@@ -284,37 +508,47 @@ mod tests {
         let r2_depts: std::collections::HashSet<String> =
             ["Division".to_owned()].into_iter().collect();
         let steps = vec![SnowflakeStep {
-            owner: "Majors".into(),
-            target: "Departments".into(),
-            fk_col: "dept_id".into(),
+            edge: FkEdge::new("Majors", "Departments", "dept_id"),
             ccs: vec![parse_cc("hum", r#"| Division = "Humanities" | = 1"#, &r2_depts).unwrap()],
             dcs: vec![],
         }];
         let solved = solve_snowflake(university(), &steps, &SolverConfig::hybrid()).unwrap();
-        let majors = &solved.tables[1];
+        let majors = solved.table("Majors").unwrap();
         assert!(majors.column_is_complete(majors.schema().col_id("dept_id").unwrap()));
     }
 
     #[test]
+    fn augmented_view_keeps_truth_fks_when_not_erasing() {
+        let mut tables = university();
+        // Fill the Students FK by hand to simulate a ground truth.
+        let fk = tables[0].schema().col_id("major_id").unwrap();
+        for r in 0..tables[0].n_rows() {
+            tables[0]
+                .set(r, fk, Some(Value::Int(1 + (r as i64) % 4)))
+                .unwrap();
+        }
+        let edge = FkEdge::new("Students", "Majors", "major_id");
+        let plan = AugmentedView::plan(&tables, &[], &edge).unwrap();
+        let erased = plan.build(&tables, true).unwrap();
+        let kept = plan.build(&tables, false).unwrap();
+        let out_fk = kept.schema().col_id("major_id").unwrap();
+        assert!(erased.column_is_missing(out_fk));
+        assert!(kept.column_is_complete(out_fk));
+        assert_eq!(kept.schema().fk_col(), Some(out_fk));
+    }
+
+    #[test]
     fn unknown_table_and_non_fk_column_rejected() {
-        let steps = vec![SnowflakeStep {
-            owner: "Nope".into(),
-            target: "Majors".into(),
-            fk_col: "major_id".into(),
-            ccs: vec![],
-            dcs: vec![],
-        }];
+        let steps = vec![SnowflakeStep::unconstrained(FkEdge::new(
+            "Nope", "Majors", "major_id",
+        ))];
         assert!(matches!(
             solve_snowflake(university(), &steps, &SolverConfig::hybrid()),
             Err(CoreError::Validation(_))
         ));
-        let steps = vec![SnowflakeStep {
-            owner: "Students".into(),
-            target: "Majors".into(),
-            fk_col: "Year".into(),
-            ccs: vec![],
-            dcs: vec![],
-        }];
+        let steps = vec![SnowflakeStep::unconstrained(FkEdge::new(
+            "Students", "Majors", "Year",
+        ))];
         assert!(matches!(
             solve_snowflake(university(), &steps, &SolverConfig::hybrid()),
             Err(CoreError::Validation(_))

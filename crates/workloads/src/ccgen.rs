@@ -19,6 +19,26 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+/// Cumulative weights of a truncated Zipf distribution over `1..=max_group`
+/// (shared by the workload generators' group-size samplers).
+pub fn zipf_cumulative(exponent: f64, max_group: usize) -> Vec<f64> {
+    let mut acc = 0.0;
+    (1..=max_group)
+        .map(|k| {
+            acc += (k as f64).powf(-exponent);
+            acc
+        })
+        .collect()
+}
+
+/// Samples a group size from precomputed cumulative Zipf weights via the
+/// inverse CDF.
+pub fn sample_zipf(rng: &mut StdRng, cumulative: &[f64]) -> usize {
+    let total = *cumulative.last().expect("non-empty weights");
+    let u = rng.gen_range(0.0..total);
+    cumulative.iter().position(|&c| u < c).unwrap_or(0) + 1
+}
+
 /// Union-find grouping of `R1` condition rows into relatedness components
 /// (related = not disjoint). For a good family every related pair must be
 /// comparable; callers assert that property over their static row tables.

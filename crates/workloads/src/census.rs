@@ -21,8 +21,7 @@ impl Workload for CensusWorkload {
     fn meta(&self) -> WorkloadMeta {
         WorkloadMeta {
             name: "census",
-            r1_name: "Persons",
-            r2_name: "Housing",
+            relation_names: &["Persons", "Housing"],
             fk_column: "hid",
             expected_ratio: 2.556,
             r2_col_counts: &[2, 4, 6, 8, 10],
@@ -39,28 +38,27 @@ impl Workload for CensusWorkload {
             n_housing_cols: params.r2_cols.unwrap_or(self.meta().default_r2_cols),
             seed: params.seed,
         });
-        WorkloadData {
-            r1: data.persons,
-            r2: data.housing,
-            ground_truth: data.ground_truth,
-        }
+        WorkloadData::two_relation(data.persons, data.housing, data.ground_truth)
     }
 
-    fn ccs(
+    fn step_ccs(
         &self,
+        step: usize,
         family: CcFamily,
         n: usize,
         data: &WorkloadData,
         seed: u64,
     ) -> Vec<CardinalityConstraint> {
+        assert_eq!(step, 0, "census is a one-step workload");
         let family = match family {
             CcFamily::Good => cextend_census::CcFamily::Good,
             CcFamily::Bad => cextend_census::CcFamily::Bad,
         };
-        generate_ccs_from(family, n, &data.ground_truth, &data.r2, seed)
+        generate_ccs_from(family, n, data.ground_truth(), data.r2(), seed)
     }
 
-    fn dcs(&self, set: DcSet) -> Vec<DenialConstraint> {
+    fn step_dcs(&self, step: usize, set: DcSet) -> Vec<DenialConstraint> {
+        assert_eq!(step, 0, "census is a one-step workload");
         match set {
             DcSet::Good => s_good_dc(),
             DcSet::All => s_all_dc(),
@@ -88,11 +86,11 @@ mod tests {
             seed: 7,
         });
         assert!(cextend_table::relations_equal_ordered(
-            &data.ground_truth,
+            data.ground_truth(),
             &raw.ground_truth
         ));
         assert!(cextend_table::relations_equal_ordered(
-            &data.r2,
+            data.r2(),
             &raw.housing
         ));
     }
@@ -116,7 +114,7 @@ mod tests {
         let w = CensusWorkload;
         for &n in w.meta().r2_col_counts {
             let data = w.generate(&WorkloadParams::new(0.01, 7).with_r2_cols(n));
-            assert_eq!(data.r2.schema().len(), n + 1, "key + {n} attrs");
+            assert_eq!(data.r2().schema().len(), n + 1, "key + {n} attrs");
         }
     }
 }

@@ -2,20 +2,27 @@
 //!
 //! The paper evaluates C-Extension on exactly one scenario (Census
 //! households/persons), but the algorithm is schema-generic. This crate
-//! defines the [`Workload`] trait — a seeded generator with a hidden
-//! ground-truth FK, CC families measured against that ground truth, and DC
-//! sets the ground truth satisfies by construction — and ships two
-//! structurally different implementations:
+//! defines the [`Workload`] trait — a seeded generator with hidden
+//! ground-truth FKs, per-step CC families measured against that ground
+//! truth, and per-step DC sets the ground truth satisfies by construction —
+//! and ships three structurally different implementations:
 //!
 //! - [`CensusWorkload`] — the paper's scenario, delegating to
 //!   `cextend-census` (Table 1 scales, Table 4 DCs, Table 5 CC families).
 //! - [`RetailWorkload`] — orders/customers with truncated-Zipf group
 //!   sizes, amount-gap DCs anchored on each customer's `First` order, and
 //!   Region/Segment `R2` conditions.
+//! - [`SupplyWorkload`] — a three-relation snowflake *chain*
+//!   (orders → stores → regions) with constraints on both FK levels,
+//!   driving `cextend_core::snowflake` end to end.
 //!
-//! Every future scenario is a ~200-line plugin: implement [`Workload`],
-//! register it in [`workload_by_name`], and the whole experiment harness
-//! (`cextend-bench`) drives it.
+//! A scenario is a **schema graph**: [`WorkloadData`] carries named
+//! relations, an ordered list of FK-completion steps and per-relation
+//! ground truths; the classic two-relation workloads are the one-step
+//! special case ([`WorkloadData::two_relation`]). Every future scenario is
+//! a few-hundred-line plugin: implement [`Workload`], register it in
+//! [`workload_by_name`], and the whole experiment harness (`cextend-bench`)
+//! drives it.
 //!
 //! ```
 //! use cextend_workloads::{workload_by_name, CcFamily, DcSet, WorkloadParams};
@@ -37,6 +44,7 @@ mod census;
 #[cfg(test)]
 mod proptests;
 mod retail;
+mod supply;
 mod workload;
 
 pub use census::CensusWorkload;
@@ -45,7 +53,11 @@ pub use retail::{
     s_all_retail_dc, s_good_retail_dc, RetailWorkload, CHANNELS, MARKETS, MAX_AMOUNT, PRIORITIES,
     SEGMENTS, TIERS,
 };
+pub use supply::{
+    n_zones, region_zone, regions_condition_pool, size_class, stores_condition_pool, supply_dc_row,
+    zone_climate, zone_name, SupplyWorkload, CATEGORIES, CLIMATES, FORMATS, MAX_CAPACITY,
+};
 pub use workload::{
-    all_workloads, workload_by_name, CcFamily, DcSet, Workload, WorkloadData, WorkloadMeta,
+    all_workloads, workload_by_name, CcFamily, DcSet, FkEdge, Workload, WorkloadData, WorkloadMeta,
     WorkloadParams, WORKLOAD_NAMES,
 };

@@ -1,9 +1,10 @@
 //! Property tests over the workload contracts: for arbitrary small scales
-//! and seeds, *both* workloads must produce (a) ground truths satisfying
-//! every DC of every set and (b) CC targets that are exactly satisfiable on
-//! the un-erased instance — i.e. each target equals the constraint's count
-//! on the ground-truth join, so the generated CC set is simultaneously
-//! satisfiable and the solver's guarantees are testable against it.
+//! and seeds, *every* workload must produce (a) ground truths satisfying
+//! every DC of every set at every completion step and (b) per-step CC
+//! targets that are exactly satisfiable on the un-erased instance — i.e.
+//! each target equals the constraint's count on the step's ground-truth
+//! augmented view, so the generated CC set is simultaneously satisfiable
+//! and the solver's guarantees are testable against it.
 
 use crate::workload::{all_workloads, CcFamily, DcSet, WorkloadParams};
 use cextend_core::metrics::dc_error;
@@ -19,34 +20,51 @@ proptest! {
         let scale = f64::from(scale_mil) / 1_000.0;
         for w in all_workloads() {
             let data = w.generate(&WorkloadParams::new(scale, seed));
-            let truth_join = data.truth_join();
-            for family in w.cc_families().iter().copied() {
-                let ccs = w.ccs(family, n, &data, seed);
-                prop_assert!(!ccs.is_empty(), "{} produced no CCs", w.meta().name);
-                for cc in &ccs {
-                    prop_assert_eq!(
-                        cc.count_in(&truth_join).unwrap(),
-                        cc.target,
-                        "{}: target of {} not met on the un-erased instance",
-                        w.meta().name,
-                        cc
+            for step in 0..data.n_steps() {
+                let truth_view = data.step_truth_view(step);
+                for family in w.cc_families().iter().copied() {
+                    let ccs = w.step_ccs(step, family, n, &data, seed);
+                    prop_assert!(
+                        !ccs.is_empty(),
+                        "{} produced no CCs at step {step}",
+                        w.meta().name
                     );
+                    for cc in &ccs {
+                        prop_assert_eq!(
+                            cc.count_in(&truth_view).unwrap(),
+                            cc.target,
+                            "{} step {}: target of {} not met on the un-erased instance",
+                            w.meta().name,
+                            step,
+                            cc
+                        );
+                    }
                 }
             }
         }
     }
 
     #[test]
-    fn ground_truth_satisfies_every_dc_set(
+    fn ground_truth_satisfies_every_dc_set_at_every_step(
         seed in 0u64..1_000,
         scale_mil in 2u32..12,
     ) {
         let scale = f64::from(scale_mil) / 1_000.0;
         for w in all_workloads() {
             let data = w.generate(&WorkloadParams::new(scale, seed));
-            for set in [DcSet::Good, DcSet::All] {
-                let err = dc_error(&data.ground_truth, &w.dcs(set)).unwrap();
-                prop_assert_eq!(err, 0.0, "{} violates its {:?} DC set", w.meta().name, set);
+            for step in 0..data.n_steps() {
+                for set in [DcSet::Good, DcSet::All] {
+                    let err =
+                        dc_error(data.step_owner_truth(step), &w.step_dcs(step, set)).unwrap();
+                    prop_assert_eq!(
+                        err,
+                        0.0,
+                        "{} violates its step-{} {:?} DC set",
+                        w.meta().name,
+                        step,
+                        set
+                    );
+                }
             }
         }
     }
@@ -57,8 +75,12 @@ proptest! {
             let params = WorkloadParams::new(0.004, seed);
             let a = w.generate(&params);
             let b = w.generate(&params);
-            prop_assert!(cextend_table::relations_equal_ordered(&a.ground_truth, &b.ground_truth));
-            prop_assert!(cextend_table::relations_equal_ordered(&a.r2, &b.r2));
+            for (x, y) in a.truth.iter().zip(&b.truth) {
+                prop_assert!(cextend_table::relations_equal_ordered(x, y));
+            }
+            for (x, y) in a.relations.iter().zip(&b.relations) {
+                prop_assert!(cextend_table::relations_equal_ordered(x, y));
+            }
         }
     }
 
@@ -70,10 +92,17 @@ proptest! {
         let scale = f64::from(scale_mil) / 1_000.0;
         for w in all_workloads() {
             let data = w.generate(&WorkloadParams::new(scale, seed));
-            let fk = data.r1.schema().fk_col().expect("R1 carries a FK column");
-            prop_assert!(data.r1.column_is_missing(fk));
-            prop_assert!(data.ground_truth.column_is_complete(fk));
-            // The data must validate as a solver instance as-is.
+            for (step, edge) in data.steps.iter().enumerate() {
+                let owner = data.relation(&edge.owner).expect("step owner exists");
+                let truth = data.step_owner_truth(step);
+                let fk = owner
+                    .schema()
+                    .col_id(&edge.fk_col)
+                    .expect("owner carries the step FK column");
+                prop_assert!(owner.column_is_missing(fk));
+                prop_assert!(truth.column_is_complete(fk));
+            }
+            // The first step must validate as a solver instance as-is.
             let ccs = w.ccs(CcFamily::Good, 5, &data, seed);
             prop_assert!(data.to_instance(ccs, w.dcs(DcSet::All)).is_ok());
         }

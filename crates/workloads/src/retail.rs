@@ -15,7 +15,7 @@
 //! satisfies every DC by construction — a zero-error solution provably
 //! exists (the precondition for testing Proposition 5.5 end to end).
 
-use crate::ccgen::{bad_family, good_family};
+use crate::ccgen::{bad_family, good_family, sample_zipf, zipf_cumulative};
 use crate::workload::{CcFamily, DcSet, Workload, WorkloadData, WorkloadMeta, WorkloadParams};
 use cextend_constraints::{CardinalityConstraint, DcAtom, DenialConstraint, NormalizedCond};
 use cextend_table::{Atom, CmpOp, ColumnDef, Dtype, Predicate, Relation, Schema, Value, ValueSet};
@@ -110,30 +110,11 @@ fn customers_schema(n_cols: usize) -> Schema {
     Schema::new(cols).expect("static schema")
 }
 
-/// Samples a group size from the truncated Zipf via the inverse CDF over
-/// precomputed cumulative weights.
-fn sample_zipf(rng: &mut StdRng, cumulative: &[f64]) -> usize {
-    let total = *cumulative.last().expect("non-empty weights");
-    let u = rng.gen_range(0.0..total);
-    cumulative.iter().position(|&c| u < c).unwrap_or(0) + 1
-}
-
-fn zipf_cumulative(max_group: usize) -> Vec<f64> {
-    let mut acc = 0.0;
-    (1..=max_group)
-        .map(|k| {
-            acc += (k as f64).powf(-ZIPF_EXPONENT);
-            acc
-        })
-        .collect()
-}
-
 impl Workload for RetailWorkload {
     fn meta(&self) -> WorkloadMeta {
         WorkloadMeta {
             name: "retail",
-            r1_name: "Orders",
-            r2_name: "Customers",
+            relation_names: &["Orders", "Customers"],
             fk_column: "cid",
             expected_ratio: 3.5,
             r2_col_counts: &[2, 4, 6],
@@ -152,7 +133,7 @@ impl Workload for RetailWorkload {
         let n_regions = params.knob("regions", DEFAULT_REGIONS).max(1) as usize;
         let max_group = params.knob("max-group", DEFAULT_MAX_GROUP).max(1) as usize;
         let n_cols = params.r2_cols.unwrap_or(self.meta().default_r2_cols);
-        let cumulative = zipf_cumulative(max_group);
+        let cumulative = zipf_cumulative(ZIPF_EXPONENT, max_group);
 
         let mut customers =
             Relation::with_capacity("Customers", customers_schema(n_cols), n_customers);
@@ -265,22 +246,20 @@ impl Workload for RetailWorkload {
         let mut orders = truth.clone();
         let fk = orders.schema().fk_col().expect("static schema");
         orders.clear_column(fk);
-        WorkloadData {
-            r1: orders,
-            r2: customers,
-            ground_truth: truth,
-        }
+        WorkloadData::two_relation(orders, customers, truth)
     }
 
-    fn ccs(
+    fn step_ccs(
         &self,
+        step: usize,
         family: CcFamily,
         n: usize,
         data: &WorkloadData,
         seed: u64,
     ) -> Vec<CardinalityConstraint> {
+        assert_eq!(step, 0, "retail is a one-step workload");
         let truth_join = data.truth_join();
-        let pool = r2_condition_pool(&data.r2);
+        let pool = r2_condition_pool(data.r2());
         match family {
             CcFamily::Good => {
                 let rows: Vec<NormalizedCond> = GOOD_ROWS.iter().map(OrderRow::cond).collect();
@@ -293,7 +272,8 @@ impl Workload for RetailWorkload {
         }
     }
 
-    fn dcs(&self, set: DcSet) -> Vec<DenialConstraint> {
+    fn step_dcs(&self, step: usize, set: DcSet) -> Vec<DenialConstraint> {
+        assert_eq!(step, 0, "retail is a one-step workload");
         match set {
             DcSet::Good => s_good_retail_dc(),
             DcSet::All => s_all_retail_dc(),
@@ -563,16 +543,18 @@ mod tests {
             (3.0..4.2).contains(&ratio),
             "orders per customer {ratio} drifted from the truncated-Zipf mean ≈3.5"
         );
-        assert_eq!(d.r1.n_rows(), d.ground_truth.n_rows());
+        assert_eq!(d.r1().n_rows(), d.ground_truth().n_rows());
     }
 
     #[test]
     fn group_sizes_are_skewed() {
         let d = data();
-        let fk = d.ground_truth.schema().fk_col().unwrap();
+        let fk = d.ground_truth().schema().fk_col().unwrap();
         let mut sizes: std::collections::HashMap<Value, usize> = Default::default();
-        for r in d.ground_truth.rows() {
-            *sizes.entry(d.ground_truth.get(r, fk).unwrap()).or_insert(0) += 1;
+        for r in d.ground_truth().rows() {
+            *sizes
+                .entry(d.ground_truth().get(r, fk).unwrap())
+                .or_insert(0) += 1;
         }
         let singletons = sizes.values().filter(|&&s| s == 1).count();
         let heavy = sizes.values().filter(|&&s| s >= 6).count();
@@ -590,16 +572,16 @@ mod tests {
     #[test]
     fn input_fk_is_erased_but_truth_is_complete() {
         let d = data();
-        let fk = d.r1.schema().fk_col().unwrap();
-        assert!(d.r1.column_is_missing(fk));
-        assert!(d.ground_truth.column_is_complete(fk));
+        let fk = d.r1().schema().fk_col().unwrap();
+        assert!(d.r1().column_is_missing(fk));
+        assert!(d.ground_truth().column_is_complete(fk));
     }
 
     #[test]
     fn ground_truth_satisfies_every_dc() {
         let d = data();
         for (name, dcs) in [("good", s_good_retail_dc()), ("all", s_all_retail_dc())] {
-            let err = cextend_core::metrics::dc_error(&d.ground_truth, &dcs).unwrap();
+            let err = cextend_core::metrics::dc_error(d.ground_truth(), &dcs).unwrap();
             assert_eq!(err, 0.0, "generator violated the {name} retail DC set");
         }
     }
@@ -608,12 +590,12 @@ mod tests {
     fn deterministic_per_seed() {
         let a = data();
         let b = data();
-        assert!(cextend_table::relations_equal_ordered(&a.r1, &b.r1));
-        assert!(cextend_table::relations_equal_ordered(&a.r2, &b.r2));
+        assert!(cextend_table::relations_equal_ordered(a.r1(), b.r1()));
+        assert!(cextend_table::relations_equal_ordered(a.r2(), b.r2()));
         let c = RetailWorkload.generate(&WorkloadParams::new(0.02, 12));
         assert!(!cextend_table::relations_equal_ordered(
-            &a.ground_truth,
-            &c.ground_truth
+            a.ground_truth(),
+            c.ground_truth()
         ));
     }
 
@@ -621,7 +603,7 @@ mod tests {
     fn customer_column_progression() {
         for n in [2usize, 4, 6] {
             let d = RetailWorkload.generate(&WorkloadParams::new(0.01, 11).with_r2_cols(n));
-            assert_eq!(d.r2.schema().len(), n + 1, "key + {n} attrs");
+            assert_eq!(d.r2().schema().len(), n + 1, "key + {n} attrs");
         }
     }
 
@@ -634,7 +616,7 @@ mod tests {
     #[test]
     fn every_customer_has_exactly_one_first_order() {
         let d = data();
-        let truth = &d.ground_truth;
+        let truth = d.ground_truth();
         let fk = truth.schema().fk_col().unwrap();
         let pri = truth.schema().col_id("Priority").unwrap();
         let mut firsts: std::collections::HashMap<Value, usize> = Default::default();
@@ -702,12 +684,12 @@ mod tests {
     #[test]
     fn market_is_determined_by_region() {
         let d = RetailWorkload.generate(&WorkloadParams::new(0.02, 11).with_r2_cols(6));
-        let region = d.r2.schema().col_id("Region").unwrap();
-        let market = d.r2.schema().col_id("Market").unwrap();
+        let region = d.r2().schema().col_id("Region").unwrap();
+        let market = d.r2().schema().col_id("Market").unwrap();
         let mut seen: std::collections::HashMap<Value, Value> = Default::default();
-        for r in d.r2.rows() {
-            let reg = d.r2.get(r, region).unwrap();
-            let mkt = d.r2.get(r, market).unwrap();
+        for r in d.r2().rows() {
+            let reg = d.r2().get(r, region).unwrap();
+            let mkt = d.r2().get(r, market).unwrap();
             assert_eq!(*seen.entry(reg).or_insert(mkt), mkt);
         }
     }

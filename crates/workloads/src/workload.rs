@@ -6,13 +6,25 @@
 //! are measured on that hidden ground truth, and DC sets the ground truth
 //! satisfies by construction (so a zero-error solution always exists, as
 //! with targets measured from real data).
+//!
+//! Since the snowflake generalization, a scenario is a **schema graph**: a
+//! list of named relations plus an ordered list of FK-completion steps
+//! ([`FkEdge`]s). The classic two-relation workloads are the one-step
+//! special case, built through [`WorkloadData::two_relation`]; multi-step
+//! chains (orders → stores → regions) provide per-step CC families and DC
+//! sets via [`Workload::step_ccs`] / [`Workload::step_dcs`], each measured
+//! on the step's ground-truth augmented view.
 
 use crate::census::CensusWorkload;
 use crate::retail::RetailWorkload;
+use crate::supply::SupplyWorkload;
 use cextend_constraints::{CardinalityConstraint, DenialConstraint};
+use cextend_core::snowflake::AugmentedView;
 use cextend_core::CExtensionInstance;
-use cextend_table::{fk_join, Relation};
+use cextend_table::{fk_join_on, Relation};
 use std::collections::BTreeMap;
+
+pub use cextend_core::snowflake::FkEdge;
 
 /// Which CC family to draw from. Every workload provides both shapes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -94,15 +106,17 @@ impl WorkloadParams {
 /// Static description of a workload.
 #[derive(Clone, Copy, Debug)]
 pub struct WorkloadMeta {
-    /// CLI / registry name (`census`, `retail`).
+    /// CLI / registry name (`census`, `retail`, `supply`).
     pub name: &'static str,
-    /// `R1`'s relation name.
-    pub r1_name: &'static str,
-    /// `R2`'s relation name.
-    pub r2_name: &'static str,
-    /// The erased FK column joining `R1` to `R2`.
+    /// Relation names in completion order: the fact table first, then each
+    /// step's target. A schema graph is a tree, so a workload with `k + 1`
+    /// relations has `k` completion steps.
+    pub relation_names: &'static [&'static str],
+    /// The erased FK column of the *first* step (the classic two-relation
+    /// surface).
     pub fk_column: &'static str,
-    /// Expected `|R1| / |R2|` ratio of the generator (approximate).
+    /// Expected `|R1| / |R2|` ratio of the generator at the first step
+    /// (approximate).
     pub expected_ratio: f64,
     /// Supported non-key `R2` column counts, ascending.
     pub r2_col_counts: &'static [usize],
@@ -114,52 +128,141 @@ pub struct WorkloadMeta {
     pub scale_labels: &'static [u32],
 }
 
-/// Generated data: the solver input plus the hidden ground truth.
+impl WorkloadMeta {
+    /// Number of FK-completion steps (relations minus one — the schema
+    /// graph is a tree).
+    pub fn n_steps(&self) -> usize {
+        self.relation_names.len() - 1
+    }
+
+    /// `R1`'s relation name (the first step's owner).
+    pub fn r1_name(&self) -> &'static str {
+        self.relation_names[0]
+    }
+
+    /// `R2`'s relation name (the first step's target).
+    pub fn r2_name(&self) -> &'static str {
+        self.relation_names[1]
+    }
+}
+
+/// Generated data: the solver input plus the hidden ground truth, shaped as
+/// a schema graph.
+///
+/// `relations` are the solver inputs — every step's FK column is erased.
+/// `truth` holds the same relations with every FK filled; it is used to
+/// measure CC targets and as an existence witness for a zero-error
+/// solution, and is never shown to the solver.
 #[derive(Clone, Debug)]
 pub struct WorkloadData {
-    /// `R1` with its FK column erased (the solver input).
-    pub r1: Relation,
-    /// `R2`.
-    pub r2: Relation,
-    /// `R1` with the true FK values — used to measure CC targets and as an
-    /// existence witness for a zero-error solution. Never shown to the
-    /// solver.
-    pub ground_truth: Relation,
+    /// Base relations in completion order (FK columns erased).
+    pub relations: Vec<Relation>,
+    /// Ground-truth counterparts, same order and names as `relations`.
+    pub truth: Vec<Relation>,
+    /// The ordered FK-completion plan.
+    pub steps: Vec<FkEdge>,
 }
 
 impl WorkloadData {
+    /// Packages the classic two-relation shape (`R1` with an erased FK,
+    /// `R2`, and the un-erased `R1`) as a one-step schema graph.
+    pub fn two_relation(r1: Relation, r2: Relation, ground_truth: Relation) -> WorkloadData {
+        let fk = r1.schema().fk_col().expect("R1 carries one FK column");
+        let fk_name = r1.schema().column(fk).name.clone();
+        let step = FkEdge::new(r1.name(), r2.name(), &fk_name);
+        WorkloadData {
+            truth: vec![ground_truth, r2.clone()],
+            relations: vec![r1, r2],
+            steps: vec![step],
+        }
+    }
+
+    /// Number of FK-completion steps.
+    pub fn n_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Looks up a solver-input relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.iter().find(|r| r.name() == name)
+    }
+
+    /// Looks up a ground-truth relation by name.
+    pub fn truth_of(&self, name: &str) -> Option<&Relation> {
+        self.truth.iter().find(|r| r.name() == name)
+    }
+
+    /// `R1` — the first step's owner, FK erased (the classic surface).
+    pub fn r1(&self) -> &Relation {
+        self.relation(&self.steps[0].owner).expect("step 0 owner")
+    }
+
+    /// `R2` — the first step's target.
+    pub fn r2(&self) -> &Relation {
+        self.relation(&self.steps[0].target).expect("step 0 target")
+    }
+
+    /// The first step's owner with its true FK values.
+    pub fn ground_truth(&self) -> &Relation {
+        self.truth_of(&self.steps[0].owner).expect("step 0 truth")
+    }
+
+    /// The ground-truth relation of step `step`'s owner (where that step's
+    /// DCs are measured).
+    pub fn step_owner_truth(&self, step: usize) -> &Relation {
+        self.truth_of(&self.steps[step].owner)
+            .expect("step owner truth")
+    }
+
     /// Number of `R1` tuples.
     pub fn n_r1(&self) -> usize {
-        self.r1.n_rows()
+        self.r1().n_rows()
     }
 
     /// Number of `R2` tuples.
     pub fn n_r2(&self) -> usize {
-        self.r2.n_rows()
+        self.r2().n_rows()
     }
 
-    /// The ground-truth join view (for measuring CC targets).
+    /// The ground-truth join view of the first step (for measuring CC
+    /// targets on the classic surface).
     pub fn truth_join(&self) -> Relation {
-        fk_join(&self.ground_truth, &self.r2).expect("ground truth joins cleanly")
+        self.step_truth_view(0)
     }
 
-    /// Packages the data with constraint sets as a validated solver
-    /// instance (clones the relations; the data stays reusable).
+    /// The ground-truth augmented view of step `step`: the owner's truth
+    /// augmented with the dimensions joined by earlier steps, joined to the
+    /// target's truth. CC targets of per-step families are measured here.
+    pub fn step_truth_view(&self, step: usize) -> Relation {
+        let edge = &self.steps[step];
+        let plan = AugmentedView::plan(&self.truth, &self.steps[..step], edge)
+            .expect("workload steps plan cleanly");
+        let owner = plan
+            .build(&self.truth, false)
+            .expect("ground truth builds cleanly");
+        let target = &self.truth[plan.target_index()];
+        fk_join_on(&owner, target, &edge.fk_col).expect("ground truth joins cleanly")
+    }
+
+    /// Packages the *first step* with constraint sets as a validated solver
+    /// instance (clones the relations; the data stays reusable). Multi-step
+    /// chains are driven through `cextend_core::snowflake::solve_snowflake`
+    /// instead.
     pub fn to_instance(
         &self,
         ccs: Vec<CardinalityConstraint>,
         dcs: Vec<DenialConstraint>,
     ) -> cextend_core::Result<CExtensionInstance> {
-        CExtensionInstance::new(self.r1.clone(), self.r2.clone(), ccs, dcs)
+        CExtensionInstance::new(self.r1().clone(), self.r2().clone(), ccs, dcs)
     }
 }
 
 /// A pluggable evaluation scenario.
 ///
 /// Implementations must be deterministic per seed and must generate ground
-/// truths that satisfy every DC of every [`DcSet`], so that the solver's
-/// zero-DC-error guarantee (Proposition 5.5) is testable against an
-/// instance where a perfect solution provably exists.
+/// truths that satisfy every DC of every [`DcSet`] at every step, so that
+/// the solver's zero-DC-error guarantee (Proposition 5.5) is testable
+/// against an instance where a perfect solution provably exists.
 pub trait Workload: Send + Sync {
     /// Static metadata.
     fn meta(&self) -> WorkloadMeta;
@@ -167,18 +270,36 @@ pub trait Workload: Send + Sync {
     /// Generates a dataset.
     fn generate(&self, params: &WorkloadParams) -> WorkloadData;
 
-    /// Generates `n` CCs of `family` with targets measured on the hidden
-    /// ground truth (`n` is capped by the family's pool size).
-    fn ccs(
+    /// Generates `n` CCs of `family` for completion step `step`, with
+    /// targets measured on the step's ground-truth augmented view (`n` is
+    /// capped by the family's pool size).
+    fn step_ccs(
         &self,
+        step: usize,
         family: CcFamily,
         n: usize,
         data: &WorkloadData,
         seed: u64,
     ) -> Vec<CardinalityConstraint>;
 
-    /// The DC set of the given kind.
-    fn dcs(&self, set: DcSet) -> Vec<DenialConstraint>;
+    /// The DC set of the given kind for completion step `step`.
+    fn step_dcs(&self, step: usize, set: DcSet) -> Vec<DenialConstraint>;
+
+    /// First-step CCs (the classic two-relation surface).
+    fn ccs(
+        &self,
+        family: CcFamily,
+        n: usize,
+        data: &WorkloadData,
+        seed: u64,
+    ) -> Vec<CardinalityConstraint> {
+        self.step_ccs(0, family, n, data, seed)
+    }
+
+    /// First-step DCs (the classic two-relation surface).
+    fn dcs(&self, set: DcSet) -> Vec<DenialConstraint> {
+        self.step_dcs(0, set)
+    }
 
     /// The CC families the workload provides.
     fn cc_families(&self) -> &'static [CcFamily] {
@@ -193,13 +314,14 @@ pub trait Workload: Send + Sync {
 }
 
 /// Registry names, in presentation order.
-pub const WORKLOAD_NAMES: [&str; 2] = ["census", "retail"];
+pub const WORKLOAD_NAMES: [&str; 3] = ["census", "retail", "supply"];
 
 /// Looks up a workload by registry name.
 pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
     match name {
         "census" => Some(Box::new(CensusWorkload)),
         "retail" => Some(Box::new(RetailWorkload)),
+        "supply" => Some(Box::new(SupplyWorkload)),
         _ => None,
     }
 }
@@ -233,6 +355,28 @@ mod tests {
             assert!(m.r2_col_counts.contains(&m.default_r2_cols), "{}", m.name);
             assert!(m.expected_ratio > 1.0, "{}", m.name);
             assert!(!m.scale_labels.is_empty(), "{}", m.name);
+            assert!(m.relation_names.len() >= 2, "{}", m.name);
+            assert!(m.n_steps() >= 1, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn generated_shape_matches_meta() {
+        for w in all_workloads() {
+            let m = w.meta();
+            let data = w.generate(&WorkloadParams::new(0.004, 3));
+            assert_eq!(data.relations.len(), m.relation_names.len(), "{}", m.name);
+            assert_eq!(data.n_steps(), m.n_steps(), "{}", m.name);
+            for (rel, name) in data.relations.iter().zip(m.relation_names) {
+                assert_eq!(rel.name(), *name, "{}", m.name);
+            }
+            for (rel, truth) in data.relations.iter().zip(&data.truth) {
+                assert_eq!(rel.name(), truth.name(), "{}", m.name);
+                assert_eq!(rel.n_rows(), truth.n_rows(), "{}", m.name);
+            }
+            assert_eq!(data.steps[0].owner, m.r1_name(), "{}", m.name);
+            assert_eq!(data.steps[0].target, m.r2_name(), "{}", m.name);
+            assert_eq!(data.steps[0].fk_col, m.fk_column, "{}", m.name);
         }
     }
 

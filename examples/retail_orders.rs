@@ -25,9 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "generated {} {} across {} {} (orders per customer ≈{:.2}, Zipf-skewed)",
         data.n_r1(),
-        meta.r1_name,
+        meta.r1_name(),
         data.n_r2(),
-        meta.r2_name,
+        meta.r2_name(),
         data.n_r1() as f64 / data.n_r2() as f64
     );
 

@@ -10,7 +10,7 @@
 //! ```
 
 use cextend::constraints::{parse_cc, parse_dc};
-use cextend::core::snowflake::{solve_snowflake, SnowflakeStep};
+use cextend::core::snowflake::{solve_snowflake, FkEdge, SnowflakeStep};
 use cextend::table::{ColumnDef, Dtype, Predicate, Relation, Schema, Value};
 use cextend::SolverConfig;
 
@@ -77,9 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dept_cols = ["Division".to_owned()].into_iter().collect();
     let steps = vec![
         SnowflakeStep {
-            owner: "Students".into(),
-            target: "Majors".into(),
-            fk_col: "major_id".into(),
+            edge: FkEdge::new("Students", "Majors", "major_id"),
             ccs: vec![
                 parse_cc("cs-students", r#"| Field = "CS" | = 120"#, &majors_cols)?,
                 parse_cc(
@@ -93,9 +91,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Step 2: Students → Courses; the CC references Majors' Field, which
         // is possible because step 1 joined it into the Students view.
         SnowflakeStep {
-            owner: "Students".into(),
-            target: "Courses".into(),
-            fk_col: "course_id".into(),
+            edge: FkEdge::new("Students", "Courses", "course_id"),
             ccs: vec![parse_cc(
                 "cs-in-400",
                 r#"| Field = "CS" & Level = 400 | = 30"#,
@@ -104,9 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             dcs: vec![],
         },
         SnowflakeStep {
-            owner: "Majors".into(),
-            target: "Departments".into(),
-            fk_col: "dept_id".into(),
+            edge: FkEdge::new("Majors", "Departments", "dept_id"),
             ccs: vec![parse_cc(
                 "science",
                 r#"| Division = "Science" | = 3"#,
@@ -125,9 +119,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &steps,
         &SolverConfig::hybrid(),
     )?;
-    for (name, stats) in &solved.step_stats {
-        println!("step {name}: total {:?}", stats.timings.total());
+    for step in &solved.steps {
+        println!(
+            "step {}: total {:?}",
+            step.label,
+            step.stats.timings.total()
+        );
     }
+    println!(
+        "chain total: {:?} across {} steps",
+        solved.total_stats().timings.total(),
+        solved.steps.len()
+    );
 
     // --- Verify. --------------------------------------------------------------
     let students = &solved.tables[0];

@@ -14,8 +14,9 @@
 //!   snowflake extension and the NAE-3SAT reduction.
 //! - [`census`] — the synthetic Census evaluation workload.
 //! - [`workloads`] — the pluggable [`Workload`](workloads::Workload)
-//!   trait, the Census workload behind it, and the Retail
-//!   orders/customers scenario.
+//!   trait over schema graphs: the Census workload behind it, the Retail
+//!   orders/customers scenario, and the Supply three-relation chain
+//!   (orders → stores → regions) driving the snowflake pipeline.
 //!
 //! The most common entry points are also re-exported at the crate root:
 //!

@@ -1,0 +1,119 @@
+//! End-to-end integration on the Supply three-relation chain: the
+//! Proposition 5.5 guarantees must hold at *every* FK level when the
+//! snowflake pipeline is driven through the workload subsystem — zero DC
+//! error per step, complete FK columns at every level, and exact join
+//! recovery of the doubly-joined chain view.
+
+use cextend::core::metrics::dc_error;
+use cextend::core::snowflake::{solve_snowflake, SnowflakeStep};
+use cextend::table::{fk_join_on, Value};
+use cextend::workloads::{workload_by_name, CcFamily, DcSet, Workload, WorkloadData};
+use cextend::SolverConfig;
+use cextend_workloads::WorkloadParams;
+
+fn supply() -> Box<dyn Workload> {
+    workload_by_name("supply").expect("supply is registered")
+}
+
+fn chain_steps(w: &dyn Workload, data: &WorkloadData, family: CcFamily) -> Vec<SnowflakeStep> {
+    data.steps
+        .iter()
+        .enumerate()
+        .map(|(i, edge)| SnowflakeStep {
+            edge: edge.clone(),
+            ccs: w.step_ccs(i, family, 40, data, 99),
+            dcs: w.step_dcs(i, DcSet::All),
+        })
+        .collect()
+}
+
+fn solve_chain(family: CcFamily) -> (WorkloadData, cextend::core::snowflake::SnowflakeSolution) {
+    let w = supply();
+    let data = w.generate(&WorkloadParams::new(0.03, 99));
+    let steps = chain_steps(w.as_ref(), &data, family);
+    let solved = solve_snowflake(data.relations.clone(), &steps, &SolverConfig::hybrid()).unwrap();
+    (data, solved)
+}
+
+#[test]
+fn zero_dc_error_at_every_step() {
+    let (data, solved) = solve_chain(CcFamily::Good);
+    let w = supply();
+    assert_eq!(solved.steps.len(), 2);
+    for (i, outcome) in solved.steps.iter().enumerate() {
+        assert_eq!(outcome.report.dc_error, 0.0, "step {}", outcome.label);
+        // And directly on the final relations, not just via the report.
+        let owner = solved.table(&data.steps[i].owner).unwrap();
+        let err = dc_error(owner, &w.step_dcs(i, DcSet::All)).unwrap();
+        assert_eq!(err, 0.0, "final {} violates its DCs", data.steps[i].owner);
+    }
+}
+
+#[test]
+fn fk_columns_complete_at_every_level() {
+    let (data, solved) = solve_chain(CcFamily::Bad);
+    for edge in &data.steps {
+        let owner = solved.table(&edge.owner).unwrap();
+        let fk = owner.schema().col_id(&edge.fk_col).unwrap();
+        assert!(
+            owner.column_is_complete(fk),
+            "{}.{} left incomplete",
+            edge.owner,
+            edge.fk_col
+        );
+    }
+}
+
+#[test]
+fn join_recovery_spans_the_doubly_joined_view() {
+    let (data, solved) = solve_chain(CcFamily::Good);
+    for outcome in &solved.steps {
+        assert!(outcome.report.join_recovered, "step {}", outcome.label);
+    }
+    // Every FK resolves against the (possibly extended) dimension, at both
+    // levels, so the doubly-joined view materializes without dangling rows.
+    let orders = solved.table("Orders").unwrap();
+    let stores = solved.table("Stores").unwrap();
+    let regions = solved.table("Regions").unwrap();
+    let level1 = fk_join_on(orders, stores, "store_id").unwrap();
+    assert_eq!(level1.n_rows(), data.n_r1());
+    let fmt = level1.schema().col_id("Format").unwrap();
+    assert!(level1.column_is_complete(fmt), "dangling store_id");
+    let level2 = fk_join_on(stores, regions, "region_id").unwrap();
+    let zone = level2.schema().col_id("Zone").unwrap();
+    assert!(level2.column_is_complete(zone), "dangling region_id");
+}
+
+#[test]
+fn good_family_chain_keeps_cc_error_low_and_exclusivity_holds() {
+    let (_, solved) = solve_chain(CcFamily::Good);
+    for outcome in &solved.steps {
+        assert_eq!(
+            outcome.report.cc_median, 0.0,
+            "step {} good-family median",
+            outcome.label
+        );
+    }
+    // sdc9 in the synthesized stores: no region ends up with two Hubs.
+    let stores = solved.table("Stores").unwrap();
+    let fmt = stores.schema().col_id("Format").unwrap();
+    let region = stores.schema().col_id("region_id").unwrap();
+    let mut hubs: std::collections::HashMap<Value, usize> = Default::default();
+    for r in stores.rows() {
+        if stores.get(r, fmt) == Some(Value::str("Hub")) {
+            *hubs.entry(stores.get(r, region).unwrap()).or_insert(0) += 1;
+        }
+    }
+    assert!(hubs.values().all(|&c| c <= 1), "two Hubs share a region");
+}
+
+#[test]
+fn dimension_growth_cascades_to_the_next_level() {
+    // Stores minted at step 0 enter step 1 with a missing region FK and
+    // must be completed like any other store.
+    let (data, solved) = solve_chain(CcFamily::Bad);
+    let stores = solved.table("Stores").unwrap();
+    let fk = stores.schema().col_id("region_id").unwrap();
+    assert!(stores.n_rows() >= data.relation("Stores").unwrap().n_rows());
+    assert!(stores.column_is_complete(fk));
+}

@@ -3,7 +3,7 @@
 
 use cextend::constraints::{parse_cc, parse_dc};
 use cextend::core::metrics::dc_error;
-use cextend::core::snowflake::{solve_snowflake, SnowflakeStep};
+use cextend::core::snowflake::{solve_snowflake, FkEdge, SnowflakeStep};
 use cextend::table::{fk_join, Atom, ColumnDef, Dtype, Predicate, Relation, Schema, Value};
 use cextend::SolverConfig;
 use std::collections::HashSet;
@@ -70,9 +70,7 @@ fn steps() -> Vec<SnowflakeStep> {
     let dept_cols: HashSet<String> = ["Division".to_owned()].into_iter().collect();
     vec![
         SnowflakeStep {
-            owner: "Students".into(),
-            target: "Majors".into(),
-            fk_col: "major_id".into(),
+            edge: FkEdge::new("Students", "Majors", "major_id"),
             ccs: vec![
                 parse_cc("cs", r#"| Field = "CS" | = 60"#, &majors_cols).unwrap(),
                 parse_cc(
@@ -85,9 +83,7 @@ fn steps() -> Vec<SnowflakeStep> {
             dcs: vec![],
         },
         SnowflakeStep {
-            owner: "Majors".into(),
-            target: "Departments".into(),
-            fk_col: "dept_id".into(),
+            edge: FkEdge::new("Majors", "Departments", "dept_id"),
             ccs: vec![parse_cc("sci", r#"| Division = "Science" | = 4"#, &dept_cols).unwrap()],
             dcs: vec![parse_dc(
                 "unique-cs-dept",
@@ -131,7 +127,22 @@ fn full_pipeline_completes_and_verifies() {
         4
     );
     assert_eq!(dc_error(majors, &steps()[1].dcs).unwrap(), 0.0);
-    assert_eq!(solved.step_stats.len(), 2);
+    assert_eq!(solved.steps.len(), 2);
+    // Per-step reports carry the Proposition 5.5 guarantees, and the chain
+    // totals aggregate them.
+    for step in &solved.steps {
+        assert_eq!(step.report.dc_error, 0.0, "{}", step.label);
+        assert!(step.report.join_recovered, "{}", step.label);
+    }
+    let total = solved.total_stats();
+    assert_eq!(
+        total.counters.partitions,
+        solved
+            .steps
+            .iter()
+            .map(|s| s.stats.counters.partitions)
+            .sum::<usize>()
+    );
 }
 
 #[test]
@@ -149,16 +160,12 @@ fn dimension_growth_propagates() {
     }
     let steps = vec![
         SnowflakeStep {
-            owner: "Students".into(),
-            target: "Majors".into(),
-            fk_col: "major_id".into(),
+            edge: FkEdge::new("Students", "Majors", "major_id"),
             ccs: vec![parse_cc("cs", r#"| Field = "CS" | = 40"#, &majors_cols).unwrap()],
             dcs: vec![],
         },
         SnowflakeStep {
-            owner: "Majors".into(),
-            target: "Departments".into(),
-            fk_col: "dept_id".into(),
+            edge: FkEdge::new("Majors", "Departments", "dept_id"),
             ccs: vec![parse_cc("sci", r#"| Division = "Science" | = 6"#, &dept_cols).unwrap()],
             dcs: vec![parse_dc(
                 "unique-cs-dept",

@@ -127,6 +127,16 @@ impl Serialize for Value {
     }
 }
 
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +155,17 @@ mod tests {
         assert_eq!(
             vec![1i64, 2].to_value(),
             Value::Array(vec![Value::Int(1), Value::Int(2)])
+        );
+        let map: std::collections::BTreeMap<String, i64> =
+            [("b".to_owned(), 2), ("a".to_owned(), 1)]
+                .into_iter()
+                .collect();
+        assert_eq!(
+            map.to_value(),
+            Value::Object(vec![
+                ("a".into(), Value::Int(1)),
+                ("b".into(), Value::Int(2)),
+            ])
         );
     }
 }
