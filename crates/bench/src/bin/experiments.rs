@@ -6,28 +6,42 @@ use cextend_workloads::{workload_by_name, WORKLOAD_NAMES};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: experiments <id>|all|perf|perf-check [options]
+usage: experiments <id>|all|sched|perf|perf-check [options]
 
 experiments: table1 fig8a fig8b fig9 fig10 fig11a fig11b fig12 fig13 ablate
-             perf (times the full chain on every workload, one record per
-                   completion step, writes BENCH_perf.json)
+             sched (star-vs-chain step-scheduler sweep: serial vs parallel
+                   wall per level on every multi-step workload, asserting
+                   both modes produce bit-identical relations)
+             perf (times the full chain on every workload — one record per
+                   completion step plus per scheduler level × mode — writes
+                   BENCH_perf.json and appends to BENCH_history.jsonl)
              perf-check (compares <out>/BENCH_perf.json against --baseline,
-                   fails on a >3x wall-time regression of any shared record)
+                   fails on a >3x wall-time regression of any shared record;
+                   ignores BENCH_history.jsonl)
 
 options:
-  --workload W       scenario to drive: census (default), retail or supply
-                     (supply is a 3-relation chain: orders→stores→regions)
+  --workload W       scenario to drive: census (default), retail, supply
+                     (3-relation chain: orders→stores→regions) or logistics
+                     (branching star: shipments→{warehouses,carriers})
+  --scheduler M      step scheduler for chain solves: serial (default) or
+                     parallel (independent steps run concurrently;
+                     bit-identical results under a fixed seed)
   --scale-factor F   multiply the workload's scale labels by F (default 0.02)
   --paper-scale      shorthand for --scale-factor 1.0 (hours of runtime!)
   --n-ccs N          CC-set size (default 150; the paper uses 1001)
   --knob NAME=V      workload-owned generator knob (census: areas; retail &
-                     supply: regions, max-group); repeatable
+                     supply: regions, max-group; logistics: districts,
+                     max-group); repeatable
   --n-areas N        alias for --knob areas=N (census)
   --runs R           independent runs to average (default 3)
   --seed S           base RNG seed (default 7)
   --out DIR          write JSON snapshots to DIR
   --baseline FILE    committed perf baseline for perf-check
                      (default: ./BENCH_perf.json)
+  --label L          build label stamped into BENCH_history.jsonl records
+                     (git-describe-ish; default: dev)
+  --stamp S          timestamp stamped into BENCH_history.jsonl records
+                     (default: unstamped — the harness never reads clocks)
 ";
 
 fn parse(args: &[String]) -> Result<(Vec<String>, ExperimentOpts), String> {
@@ -89,8 +103,15 @@ fn parse(args: &[String]) -> Result<(Vec<String>, ExperimentOpts), String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?
             }
+            "--scheduler" => {
+                let mode = take("--scheduler")?;
+                opts.scheduler = cextend_core::SchedulerMode::parse(&mode)
+                    .ok_or_else(|| format!("bad --scheduler `{mode}`: serial or parallel"))?;
+            }
             "--out" => opts.out_dir = Some(take("--out")?.into()),
             "--baseline" => opts.baseline = Some(take("--baseline")?.into()),
+            "--label" => opts.label = take("--label")?,
+            "--stamp" => opts.stamp = take("--stamp")?,
             "-h" | "--help" => return Err(USAGE.to_owned()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`\n\n{USAGE}"))
@@ -103,7 +124,8 @@ fn parse(args: &[String]) -> Result<(Vec<String>, ExperimentOpts), String> {
         return Err(USAGE.to_owned());
     }
     // Validate knob names against the selected workload's published set —
-    // or every workload's, when `perf` is requested (it sweeps them all).
+    // or every workload's, when `perf` or `sched` is requested (they sweep
+    // across workloads).
     let mut known: Vec<&str> = workload_by_name(&opts.workload)
         .expect("validated above")
         .meta()
@@ -111,7 +133,7 @@ fn parse(args: &[String]) -> Result<(Vec<String>, ExperimentOpts), String> {
         .iter()
         .map(|(name, _)| *name)
         .collect();
-    if ids.iter().any(|id| id == "perf") {
+    if ids.iter().any(|id| id == "perf" || id == "sched") {
         for w in cextend_workloads::all_workloads() {
             known.extend(w.meta().knobs.iter().map(|(name, _)| *name));
         }

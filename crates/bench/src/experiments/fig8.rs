@@ -115,7 +115,11 @@ fn run_chain(opts: &ExperimentOpts, family: CcFamily, id: &str) {
         let chains: Vec<_> = PIPELINES
             .iter()
             .map(|name| {
-                run_chain_with_steps_averaged(&data, &steps, &pipeline_config(name), opts.runs)
+                // Every pipeline honors the CLI-selected step scheduler —
+                // `--scheduler parallel` must actually exercise the
+                // parallel path here, not just in `table1`.
+                let config = pipeline_config(name).with_scheduler(opts.scheduler);
+                run_chain_with_steps_averaged(&data, &steps, &config, opts.runs)
             })
             .collect();
         let hybrid = &chains[PIPELINES.len() - 1];

@@ -15,7 +15,8 @@
 //! | `fig12` | Figure 12 — runtime vs number of `R2` columns |
 //! | `fig13` | Figure 13 — runtime breakdown at growing CC counts |
 //! | `ablate` | DESIGN.md ablations (parallel/exact coloring, B&B budget) |
-//! | `perf` | perf baseline over *all* workloads (one record per chain step) → `BENCH_perf.json` |
+//! | `sched` | star-vs-chain step-scheduler sweep: serial vs parallel wall per level, with a bit-identity assertion |
+//! | `perf` | perf baseline over *all* workloads (one record per chain step + per scheduler level × mode) → `BENCH_perf.json` + `BENCH_history.jsonl` |
 //! | `perf-check` | regression guard: fresh `BENCH_perf.json` vs the committed baseline |
 
 pub mod ablate;
@@ -26,6 +27,7 @@ pub mod fig13;
 pub mod fig8;
 pub mod fig9;
 pub mod perf;
+pub mod sched;
 pub mod table1;
 
 use crate::harness::ExperimentOpts;
@@ -50,11 +52,12 @@ pub fn run(id: &str, opts: &ExperimentOpts) -> Result<(), String> {
         "fig12" => fig12::run(opts),
         "fig13" => fig13::run(opts),
         "ablate" => ablate::run(opts),
+        "sched" => sched::run(opts),
         "perf" => perf::run(opts),
         "perf-check" => perf::check_cli(opts)?,
         other => {
             return Err(format!(
-                "unknown experiment `{other}`; known: {ALL:?}, `perf` and `perf-check`"
+                "unknown experiment `{other}`; known: {ALL:?}, `sched`, `perf` and `perf-check`"
             ))
         }
     }

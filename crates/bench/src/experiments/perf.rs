@@ -11,12 +11,25 @@
 //! it against the committed baseline: any record present in both whose wall
 //! time regressed by more than [`REGRESSION_FACTOR`]× fails the check (new
 //! records are allowed; see [`check`] for the sub-millisecond noise floor).
+//! Every failure — parameter mismatches and regressed records alike — is
+//! collected and reported before the check exits non-zero, so one red
+//! record cannot hide the rest in CI logs.
+//!
+//! Besides the per-step records, `perf` times every multi-step workload's
+//! chain under **both step schedulers** (one record per scheduler level and
+//! mode, wall = min over runs — see `super::sched`), and appends a one-line
+//! summary of the whole sweep to `BENCH_history.jsonl` next to
+//! `BENCH_perf.json`: the `--label` (git-describe-ish) and `--stamp`
+//! (timestamp) the caller passed, the run parameters, and every record's
+//! wall time. The baseline file is overwritten per run; the history file
+//! only ever grows, and `perf-check` never reads it.
 
 use crate::harness::{fmt_s, run_chain_averaged, ExperimentOpts, Table};
 use cextend_core::SolverConfig;
 use cextend_workloads::{all_workloads, DcSet};
 use serde::Serialize;
 use std::collections::BTreeMap;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Wall-time growth beyond which `perf-check` fails a record.
@@ -144,6 +157,38 @@ pub fn run(opts: &ExperimentOpts) {
             }
         }
     }
+    // Scheduler comparison: one record per (multi-step workload, scheduler
+    // mode, level), wall = min over runs so the serial-vs-parallel signal
+    // survives scheduling jitter. The sweep asserts both modes produce
+    // bit-identical relations before any timing is recorded.
+    for t in super::sched::sweep_all(opts) {
+        let step = format!("sched-L{}-{}", t.level, t.mode.label());
+        table.push(vec![
+            t.workload.clone(),
+            "good".to_owned(),
+            format!("{} [{}]", step, t.step_labels.join(" + ")),
+            t.n_r1.to_string(),
+            t.n_r2.to_string(),
+            fmt_s(t.phase1_s),
+            fmt_s(t.phase2_s),
+            fmt_s(t.wall_s),
+            format!("{:.3}", t.cc_median),
+            format!("{:.3}", t.dc_error),
+        ]);
+        records.push(PerfRecord {
+            workload: t.workload,
+            family: "good".to_owned(),
+            step,
+            n_r1: t.n_r1,
+            n_r2: t.n_r2,
+            n_ccs: t.n_ccs,
+            phase1_s: t.phase1_s,
+            phase2_s: t.phase2_s,
+            wall_s: t.wall_s,
+            cc_median: t.cc_median,
+            dc_error: t.dc_error,
+        });
+    }
     println!("{}", table.render());
 
     let baseline = PerfBaseline {
@@ -166,7 +211,60 @@ pub fn run(opts: &ExperimentOpts) {
         serde_json::to_string_pretty(&baseline).expect("serialize"),
     )
     .expect("write BENCH_perf.json");
-    println!("[perf baseline written to {}]\n", path.display());
+    println!("[perf baseline written to {}]", path.display());
+
+    let history = dir.join("BENCH_history.jsonl");
+    append_history(&history, opts, &baseline);
+    println!("[perf history appended to {}]\n", history.display());
+}
+
+/// One `BENCH_history.jsonl` line: the whole sweep compressed to its
+/// identity (label + stamp + run parameters) and per-record wall times.
+#[derive(Debug, Serialize)]
+struct HistoryRecord {
+    /// Build label (`--label`, git-describe-ish).
+    label: String,
+    /// Timestamp stamp (`--stamp`).
+    stamp: String,
+    /// Snapshot format version (matches the baseline's).
+    schema_version: u32,
+    /// Scale factor the sweep ran at.
+    scale_factor: f64,
+    /// CC-set size requested.
+    n_ccs: usize,
+    /// Runs averaged per cell.
+    runs: usize,
+    /// Base RNG seed.
+    seed: u64,
+    /// `workload/family/step` → wall seconds, every record of the sweep.
+    walls: BTreeMap<String, f64>,
+}
+
+/// Appends the sweep to the perf history, one JSON line per `perf` run —
+/// the trajectory `BENCH_perf.json` (a single overwritten snapshot) cannot
+/// show. `perf-check` never reads this file.
+fn append_history(path: &Path, opts: &ExperimentOpts, baseline: &PerfBaseline) {
+    let record = HistoryRecord {
+        label: opts.label.clone(),
+        stamp: opts.stamp.clone(),
+        schema_version: baseline.schema_version,
+        scale_factor: baseline.scale_factor,
+        n_ccs: baseline.n_ccs,
+        runs: baseline.runs,
+        seed: baseline.seed,
+        walls: baseline
+            .records
+            .iter()
+            .map(|r| (format!("{}/{}/{}", r.workload, r.family, r.step), r.wall_s))
+            .collect(),
+    };
+    let line = serde_json::to_string(&record).expect("serialize history record");
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open BENCH_history.jsonl");
+    writeln!(file, "{line}").expect("append history line");
 }
 
 /// A record's identity and wall time, parsed from a `BENCH_perf.json`.
@@ -263,34 +361,40 @@ fn parse_baseline(path: &Path) -> Result<ParsedBaseline, String> {
 pub fn check(baseline_path: &Path, fresh_path: &Path) -> Result<(), String> {
     let baseline = parse_baseline(baseline_path)?;
     let fresh = parse_baseline(fresh_path)?;
+    // Collect *every* failure — all parameter mismatches, then (when the
+    // parameters agree, so walls are comparable at all) every regressed or
+    // disappeared record — before exiting non-zero. A first-failure exit
+    // would hide the rest from CI logs.
+    let mut failures = Vec::new();
     for ((name, base_value), (_, fresh_value)) in baseline.params.iter().zip(&fresh.params) {
         if base_value != fresh_value {
-            return Err(format!(
-                "perf-check parameter mismatch: `{name}` is {base_value} in {} but \
-                 {fresh_value} in {} — regenerate the committed baseline with the \
-                 flags CI runs `perf` with",
+            failures.push(format!(
+                "parameter mismatch: `{name}` is {base_value} in {} but {fresh_value} in {} \
+                 — regenerate the committed baseline with the flags CI runs `perf` with",
                 baseline_path.display(),
                 fresh_path.display(),
             ));
         }
     }
+    let comparable = failures.is_empty();
     let (baseline, fresh) = (baseline.walls, fresh.walls);
-    let mut failures = Vec::new();
-    for (key, &base_wall) in &baseline {
-        let (workload, family, step) = key;
-        let label = format!("{workload}/{family}/{step}");
-        match fresh.get(key) {
-            None => failures.push(format!("record `{label}` disappeared from the fresh run")),
-            Some(&fresh_wall) => {
-                let base = base_wall.max(NOISE_FLOOR_S);
-                let now = fresh_wall.max(NOISE_FLOOR_S);
-                if now > REGRESSION_FACTOR * base {
-                    failures.push(format!(
-                        "record `{label}` regressed {:.1}×: {} → {}",
-                        now / base,
-                        fmt_s(base_wall),
-                        fmt_s(fresh_wall),
-                    ));
+    if comparable {
+        for (key, &base_wall) in &baseline {
+            let (workload, family, step) = key;
+            let label = format!("{workload}/{family}/{step}");
+            match fresh.get(key) {
+                None => failures.push(format!("record `{label}` disappeared from the fresh run")),
+                Some(&fresh_wall) => {
+                    let base = base_wall.max(NOISE_FLOOR_S);
+                    let now = fresh_wall.max(NOISE_FLOOR_S);
+                    if now > REGRESSION_FACTOR * base {
+                        failures.push(format!(
+                            "record `{label}` regressed {:.1}×: {} → {}",
+                            now / base,
+                            fmt_s(base_wall),
+                            fmt_s(fresh_wall),
+                        ));
+                    }
                 }
             }
         }
@@ -414,6 +518,59 @@ mod tests {
         let fresh = write(&dir, "fresh-knobs.json", &doc(&records));
         let err = check(&base, &fresh).unwrap_err();
         assert!(err.contains("knobs"), "{err}");
+    }
+
+    #[test]
+    fn check_reports_every_failure_not_just_the_first() {
+        let dir = std::env::temp_dir().join("cextend-perf-check-all");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = write(
+            &dir,
+            "base.json",
+            &doc(&[
+                ("census", "good", "Persons→Housing", 0.1),
+                ("retail", "bad", "Orders→Customers", 0.1),
+                ("supply", "good", "Orders→Stores", 0.1),
+            ]),
+        );
+        let fresh = write(
+            &dir,
+            "fresh.json",
+            &doc(&[
+                ("census", "good", "Persons→Housing", 0.9),
+                ("retail", "bad", "Orders→Customers", 0.9),
+            ]),
+        );
+        let err = check(&base, &fresh).unwrap_err();
+        // Both regressions *and* the disappearance appear in one report.
+        assert!(err.contains("census/good"), "{err}");
+        assert!(err.contains("retail/bad"), "{err}");
+        assert!(err.contains("disappeared"), "{err}");
+        assert_eq!(err.matches("regressed").count(), 2, "{err}");
+
+        // Parameter mismatches are also all reported at once.
+        let other = write(
+            &dir,
+            "other.json",
+            &doc_at(0.02, &[("census", "good", "Persons→Housing", 0.1)])
+                .replace(r#""n_ccs":15"#, r#""n_ccs":99"#),
+        );
+        let err = check(&other, &fresh).unwrap_err();
+        assert!(err.contains("scale_factor"), "{err}");
+        assert!(err.contains("n_ccs"), "{err}");
+    }
+
+    #[test]
+    fn history_file_is_ignored_by_the_guard() {
+        let dir = std::env::temp_dir().join("cextend-perf-check-history");
+        std::fs::create_dir_all(&dir).unwrap();
+        let records = [("census", "good", "Persons→Housing", 0.1)];
+        let base = write(&dir, "base.json", &doc(&records));
+        let fresh = write(&dir, "BENCH_perf.json", &doc(&records));
+        // A (even malformed) history file next to the fresh baseline must
+        // not affect the guard — it only ever reads BENCH_perf.json.
+        write(&dir, "BENCH_history.jsonl", "not json at all\n{broken");
+        check(&base, &fresh).unwrap();
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! *full FK-completion chain*, step by step.
 
 use crate::harness::{run_chain_once, run_once, ExperimentOpts, Table};
-use cextend_core::SolverConfig;
 use cextend_workloads::{CcFamily, DcSet};
 
 /// Runs the Table 1 reproduction for the selected workload.
@@ -72,7 +71,7 @@ pub fn run(opts: &ExperimentOpts) {
     if data.n_steps() == 1 {
         let ccs = opts.ccs(CcFamily::Good, opts.n_ccs.min(25), &data, 0);
         let dcs = opts.dcs(DcSet::All);
-        let r = run_once(&data, &ccs, &dcs, &SolverConfig::hybrid());
+        let r = run_once(&data, &ccs, &dcs, &opts.solver_config());
         assert_eq!(
             r.dc_error, 0.0,
             "hybrid must guarantee zero DC error on {}",
@@ -90,7 +89,7 @@ pub fn run(opts: &ExperimentOpts) {
             DcSet::All,
             opts.n_ccs.min(25),
             opts.seed,
-            &SolverConfig::hybrid(),
+            &opts.solver_config(),
         );
         for step in &chain.steps {
             assert_eq!(

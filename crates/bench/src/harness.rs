@@ -8,7 +8,7 @@
 use cextend_constraints::{CardinalityConstraint, DenialConstraint};
 use cextend_core::metrics::{evaluate, median, EvaluationReport};
 use cextend_core::snowflake::{solve_snowflake, SnowflakeStep};
-use cextend_core::{solve, SolveStats, SolverConfig};
+use cextend_core::{solve, SchedulerMode, SolveStats, SolverConfig};
 use cextend_workloads::{
     workload_by_name, CcFamily, DcSet, Workload, WorkloadData, WorkloadParams,
 };
@@ -40,6 +40,14 @@ pub struct ExperimentOpts {
     /// Committed perf baseline `perf-check` compares against (`None` means
     /// `BENCH_perf.json` in the working directory).
     pub baseline: Option<PathBuf>,
+    /// Step scheduler the solver runs chains with (`--scheduler`).
+    pub scheduler: SchedulerMode,
+    /// Build label (git-describe-ish) stamped into `BENCH_history.jsonl`
+    /// records (`--label`).
+    pub label: String,
+    /// Timestamp stamp for `BENCH_history.jsonl` records (`--stamp`) — the
+    /// harness never reads clocks itself, so runs stay reproducible.
+    pub stamp: String,
 }
 
 impl Default for ExperimentOpts {
@@ -53,6 +61,9 @@ impl Default for ExperimentOpts {
             knobs: BTreeMap::new(),
             out_dir: None,
             baseline: None,
+            scheduler: SchedulerMode::Serial,
+            label: "dev".to_owned(),
+            stamp: "unstamped".to_owned(),
         }
     }
 }
@@ -98,6 +109,12 @@ impl ExperimentOpts {
     /// DC set of the given kind for the selected workload.
     pub fn dcs(&self, set: DcSet) -> Vec<DenialConstraint> {
         self.workload().dcs(set)
+    }
+
+    /// The hybrid solver configuration with the CLI-selected step
+    /// scheduler applied.
+    pub fn solver_config(&self) -> SolverConfig {
+        SolverConfig::hybrid().with_scheduler(self.scheduler)
     }
 
     /// The fully resolved knob map of the selected workload: every

@@ -9,6 +9,8 @@
 //! | [`SolverConfig::baseline`] | Alg. 1 without marginal rows, random completion | random FK among candidates |
 //! | [`SolverConfig::baseline_with_marginals`] | Alg. 1 with all-way marginals | random FK among candidates |
 
+pub use cextend_sched::SchedulerMode;
+
 /// Which Phase I algorithm completes `V_join`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Phase1Strategy {
@@ -127,6 +129,11 @@ pub struct SolverConfig {
     /// columns); the default keeps the paper's "only columns used in S_CC"
     /// optimization.
     pub complete_all_r2_columns: bool,
+    /// How `solve_snowflake` executes a chain's completion steps: in
+    /// declared order, or level by level with independent steps running
+    /// concurrently (results are bit-identical either way under a fixed
+    /// seed — see `cextend_core::stepgraph`).
+    pub scheduler: SchedulerMode,
     /// RNG seed (baseline random choices, tie-breaking).
     pub seed: u64,
 }
@@ -148,6 +155,7 @@ impl SolverConfig {
             parallel_coloring: false,
             allow_augmenting_r2: true,
             complete_all_r2_columns: false,
+            scheduler: SchedulerMode::Serial,
             seed: 0,
         }
     }
@@ -184,6 +192,12 @@ impl SolverConfig {
         self.seed = seed;
         self
     }
+
+    /// Builder-style step-scheduler override.
+    pub fn with_scheduler(mut self, scheduler: SchedulerMode) -> SolverConfig {
+        self.scheduler = scheduler;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -208,5 +222,16 @@ mod tests {
     #[test]
     fn seed_builder() {
         assert_eq!(SolverConfig::hybrid().with_seed(42).seed, 42);
+    }
+
+    #[test]
+    fn scheduler_defaults_to_serial() {
+        assert_eq!(SolverConfig::hybrid().scheduler, SchedulerMode::Serial);
+        assert_eq!(
+            SolverConfig::hybrid()
+                .with_scheduler(SchedulerMode::Parallel)
+                .scheduler,
+            SchedulerMode::Parallel
+        );
     }
 }

@@ -64,10 +64,12 @@ mod proptests;
 pub mod reduction;
 mod report;
 pub mod snowflake;
+pub mod stepgraph;
 
 pub use baseline::{solve_baseline, solve_baseline_with_marginals, solve_hybrid};
 pub use config::{
-    ColoringMode, IlpBackend, IlpSettings, Phase1Strategy, Phase2Strategy, SolverConfig,
+    ColoringMode, IlpBackend, IlpSettings, Phase1Strategy, Phase2Strategy, SchedulerMode,
+    SolverConfig,
 };
 pub use error::{CoreError, Result};
 pub use instance::CExtensionInstance;

@@ -52,14 +52,43 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
-/// Fraction of `R̂1` tuples involved in at least one DC violation.
+/// Fraction of `R̂1` tuples involved in at least one DC violation,
+/// grouping by the relation's unique FK column. For fact tables carrying
+/// several FK columns (branching schema graphs), name the grouping column
+/// explicitly via [`dc_error_on`].
 pub fn dc_error(r1_hat: &Relation, dcs: &[DenialConstraint]) -> Result<f64> {
     if r1_hat.is_empty() || dcs.is_empty() {
         return Ok(0.0);
     }
     let fk = r1_hat.schema().fk_col().ok_or_else(|| {
-        crate::error::CoreError::Validation("R1 must have a foreign-key column".into())
+        crate::error::CoreError::Validation(
+            "R1 must have exactly one foreign-key column; use dc_error_on for multi-FK facts"
+                .into(),
+        )
     })?;
+    dc_error_grouped(r1_hat, fk, dcs)
+}
+
+/// [`dc_error`] with the grouping FK column named explicitly — the
+/// violation groups are the tuples sharing a value of `fk_col`.
+pub fn dc_error_on(r1_hat: &Relation, fk_col: &str, dcs: &[DenialConstraint]) -> Result<f64> {
+    if r1_hat.is_empty() || dcs.is_empty() {
+        return Ok(0.0);
+    }
+    let fk = r1_hat.schema().col_id(fk_col).ok_or_else(|| {
+        crate::error::CoreError::Validation(format!(
+            "`{}` has no column `{fk_col}` to group DC violations by",
+            r1_hat.name()
+        ))
+    })?;
+    dc_error_grouped(r1_hat, fk, dcs)
+}
+
+fn dc_error_grouped(
+    r1_hat: &Relation,
+    fk: cextend_table::ColId,
+    dcs: &[DenialConstraint],
+) -> Result<f64> {
     let bound: Vec<BoundDc> = dcs
         .iter()
         .map(|d| d.bind(r1_hat.schema(), r1_hat.name()))

@@ -68,7 +68,7 @@ impl StageTimings {
 }
 
 /// Structural counters describing what the solve did.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct SolveCounters {
     /// CCs routed to Algorithm 2 (the clean set `S1`).
     pub s1_ccs: usize,

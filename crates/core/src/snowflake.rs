@@ -16,9 +16,14 @@
 //! - [`AugmentedView`] — plans and materializes the augmented `R1` of a
 //!   step over any table set (the solver input with the FK erased, or a
 //!   ground-truth measurement view with the FK kept).
-//! - [`execute_step`] / [`solve_snowflake`] — the step executor and the
-//!   chain driver, returning per-step [`StepOutcome`]s (stats + evaluation)
-//!   that [`SnowflakeSolution::total_stats`] aggregates.
+//! - [`solve_step`] / [`StepDelta`] / [`solve_snowflake`] — the pure step
+//!   solver (reads a table snapshot, returns an outcome plus the writes to
+//!   apply) and the scheduled chain driver: `solve_snowflake` plans a
+//!   dependency schedule over the steps (`crate::stepgraph`) and runs it
+//!   per [`crate::SolverConfig::scheduler`] — declared order, or level by
+//!   level with independent steps solving concurrently on a scoped worker
+//!   pool. Outcomes merge back in declared step order, so both modes are
+//!   bit-identical under a fixed seed.
 //!
 //! One deliberate difference from the paper's sketch, recorded in DESIGN.md
 //! §8: second-level dimensions (Majors → Departments) are solved with the
@@ -27,7 +32,7 @@
 //! department key per view row could assign one major several departments;
 //! solving at the owner keeps the FK functional.
 
-use crate::config::SolverConfig;
+use crate::config::{SchedulerMode, SolverConfig};
 use crate::error::{CoreError, Result};
 use crate::instance::CExtensionInstance;
 use crate::metrics::{evaluate, EvaluationReport};
@@ -278,13 +283,33 @@ pub struct StepOutcome {
     pub wall: Duration,
 }
 
+/// One scheduler level of a solved chain: which steps ran together and how
+/// long the level took end to end.
+#[derive(Clone, Debug)]
+pub struct LevelOutcome {
+    /// Declared indices of the steps in this level, ascending.
+    pub steps: Vec<usize>,
+    /// Wall-clock time of the level. Under the serial scheduler this is
+    /// the sum of the member steps' walls; under the parallel scheduler it
+    /// is the measured spawn-to-join time of the level's worker pool.
+    pub wall: Duration,
+    /// Whether the level's steps actually ran concurrently — `false` under
+    /// the serial scheduler, for single-step levels, *and* on machines
+    /// whose `available_parallelism` is 1 (where the worker pool runs
+    /// inline and a "parallel" wall would really measure a serial loop).
+    pub parallel: bool,
+}
+
 /// Result of completing a snowflake database.
 #[derive(Clone, Debug)]
 pub struct SnowflakeSolution {
     /// All tables, FKs completed, dimensions possibly extended.
     pub tables: Vec<Relation>,
-    /// Per-step outcomes, in step order.
+    /// Per-step outcomes, in declared step order.
     pub steps: Vec<StepOutcome>,
+    /// Scheduler levels, in execution order (every declared step appears in
+    /// exactly one level).
+    pub levels: Vec<LevelOutcome>,
 }
 
 impl SnowflakeSolution {
@@ -303,15 +328,42 @@ impl SnowflakeSolution {
     }
 }
 
-/// Executes one FK-completion step in place: builds the augmented `R1`,
-/// solves the step's C-Extension instance, writes the completed FK back
-/// into the owner and adopts the (possibly extended) target dimension.
-pub fn execute_step(
-    tables: &mut [Relation],
+/// The writes one solved step wants to apply: the completed FK column of
+/// the owner plus the (possibly extended) target dimension. Keeping the
+/// writes separate from the solve is what lets independent steps solve
+/// concurrently against one immutable table snapshot and merge back in
+/// declared order.
+#[derive(Clone, Debug)]
+pub struct StepDelta {
+    owner_idx: usize,
+    fk_id: ColId,
+    fk_values: Vec<Option<Value>>,
+    target_idx: usize,
+    new_target: Relation,
+}
+
+impl StepDelta {
+    /// Applies the writes to the table set the step was solved against.
+    pub fn apply(self, tables: &mut [Relation]) -> Result<()> {
+        for (row, v) in self.fk_values.into_iter().enumerate() {
+            tables[self.owner_idx].set(row, self.fk_id, v)?;
+        }
+        tables[self.target_idx] = self.new_target;
+        Ok(())
+    }
+}
+
+/// Solves one FK-completion step against an immutable table snapshot:
+/// builds the augmented `R1` (joining the dimensions of the `completed`
+/// same-owner edges), solves the step's C-Extension instance and evaluates
+/// it. Pure — the writes come back as a [`StepDelta`] for the caller to
+/// [`StepDelta::apply`].
+pub fn solve_step(
+    tables: &[Relation],
     completed: &[FkEdge],
     step: &SnowflakeStep,
     config: &SolverConfig,
-) -> Result<StepOutcome> {
+) -> Result<(StepOutcome, StepDelta)> {
     let start = Instant::now();
     let plan = AugmentedView::plan(tables, completed, &step.edge)?;
     let r1 = plan.build(tables, true)?;
@@ -325,7 +377,6 @@ pub fn execute_step(
     let solution = crate::solve(&instance, config)?;
     let report = evaluate(&instance, &solution)?;
 
-    // Write the completed FK back and adopt the (possibly extended) R2.
     let owner_idx = plan.owner_index();
     let sol_fk = solution
         .r1_hat
@@ -336,36 +387,95 @@ pub fn execute_step(
         .schema()
         .col_id(&step.edge.fk_col)
         .expect("planned fk column exists");
-    for row in 0..tables[owner_idx].n_rows() {
-        let v = solution.r1_hat.get(row, sol_fk);
-        tables[owner_idx].set(row, fk_id, v)?;
-    }
-    tables[plan.target_index()] = solution.r2_hat;
-    Ok(StepOutcome {
+    let fk_values: Vec<Option<Value>> = (0..tables[owner_idx].n_rows())
+        .map(|row| solution.r1_hat.get(row, sol_fk))
+        .collect();
+    let outcome = StepOutcome {
         label: step.edge.label(),
         n_r1,
         n_r2,
         stats: solution.stats,
         report,
         wall: start.elapsed(),
-    })
+    };
+    let delta = StepDelta {
+        owner_idx,
+        fk_id,
+        fk_values,
+        target_idx: plan.target_index(),
+        new_target: solution.r2_hat,
+    };
+    Ok((outcome, delta))
 }
 
-/// Completes every FK listed in `steps`, in order.
+/// Executes one FK-completion step in place: [`solve_step`] followed by
+/// [`StepDelta::apply`].
+pub fn execute_step(
+    tables: &mut [Relation],
+    completed: &[FkEdge],
+    step: &SnowflakeStep,
+    config: &SolverConfig,
+) -> Result<StepOutcome> {
+    let (outcome, delta) = solve_step(tables, completed, step, config)?;
+    delta.apply(tables)?;
+    Ok(outcome)
+}
+
+/// Completes every FK listed in `steps`.
+///
+/// The steps are first planned into a dependency schedule
+/// ([`crate::stepgraph::plan_steps`]); execution then follows
+/// [`crate::SolverConfig::scheduler`]:
+///
+/// - [`SchedulerMode::Serial`] runs the steps in declared order, applying
+///   each step's writes before the next solves (the classic loop).
+/// - [`SchedulerMode::Parallel`] runs the schedule level by level: all
+///   steps of a level solve concurrently against the level-start snapshot,
+///   then their [`StepDelta`]s apply in declared order.
+///
+/// Because two steps share a level only when neither reads anything the
+/// other writes, every step sees the same input tables in both modes, and
+/// the completed relations are bit-identical under a fixed seed.
 pub fn solve_snowflake(
     mut tables: Vec<Relation>,
     steps: &[SnowflakeStep],
     config: &SolverConfig,
 ) -> Result<SnowflakeSolution> {
-    let mut completed: Vec<FkEdge> = Vec::with_capacity(steps.len());
-    let mut outcomes = Vec::with_capacity(steps.len());
-    for step in steps {
-        outcomes.push(execute_step(&mut tables, &completed, step, config)?);
-        completed.push(step.edge.clone());
+    let plan = crate::stepgraph::plan_steps(&tables, steps)?;
+    let mut outcomes: Vec<Option<StepOutcome>> = Vec::with_capacity(steps.len());
+    outcomes.resize_with(steps.len(), || None);
+    let mut levels: Vec<LevelOutcome> = Vec::with_capacity(plan.schedule.levels().len());
+    for level in plan.schedule.levels() {
+        let parallel = config.scheduler == SchedulerMode::Parallel
+            && level.len() > 1
+            && cextend_sched::pool_width(level.len()) > 1;
+        let level_start = Instant::now();
+        let solved = cextend_sched::run_tasks(level, parallel, |i| {
+            solve_step(&tables, &plan.joined[i], &steps[i], config)
+        })?;
+        // Both walls cover exactly the solves (deltas apply outside): the
+        // parallel wall is the measured spawn-to-join time, the serial one
+        // the sum of the member steps' own walls.
+        let pool_wall = level_start.elapsed();
+        let mut wall = Duration::ZERO;
+        for (&i, (outcome, delta)) in level.iter().zip(solved) {
+            wall += outcome.wall;
+            outcomes[i] = Some(outcome);
+            delta.apply(&mut tables)?;
+        }
+        levels.push(LevelOutcome {
+            steps: level.clone(),
+            wall: if parallel { pool_wall } else { wall },
+            parallel,
+        });
     }
     Ok(SnowflakeSolution {
         tables,
-        steps: outcomes,
+        steps: outcomes
+            .into_iter()
+            .map(|o| o.expect("every step scheduled exactly once"))
+            .collect(),
+        levels,
     })
 }
 
@@ -535,6 +645,63 @@ mod tests {
         assert!(erased.column_is_missing(out_fk));
         assert!(kept.column_is_complete(out_fk));
         assert_eq!(kept.schema().fk_col(), Some(out_fk));
+    }
+
+    #[test]
+    fn parallel_scheduler_is_bit_identical_on_a_chain() {
+        let steps = vec![
+            SnowflakeStep {
+                edge: FkEdge::new("Students", "Majors", "major_id"),
+                ccs: vec![parse_cc(
+                    "cs",
+                    r#"| Field = "CS" | = 18"#,
+                    &["Field".to_owned()].into_iter().collect(),
+                )
+                .unwrap()],
+                dcs: vec![],
+            },
+            SnowflakeStep::unconstrained(FkEdge::new("Majors", "Departments", "dept_id")),
+        ];
+        let config = SolverConfig::hybrid().with_seed(3);
+        let serial = solve_snowflake(university(), &steps, &config).unwrap();
+        let parallel = solve_snowflake(
+            university(),
+            &steps,
+            &config.with_scheduler(SchedulerMode::Parallel),
+        )
+        .unwrap();
+        for (s, p) in serial.tables.iter().zip(&parallel.tables) {
+            assert!(
+                cextend_table::relations_equal_ordered(s, p),
+                "{} diverged between schedulers",
+                s.name()
+            );
+        }
+        assert_eq!(
+            serial.total_stats().counters,
+            parallel.total_stats().counters
+        );
+        // A chain has one step per level, so nothing actually ran
+        // concurrently even in parallel mode.
+        assert_eq!(serial.levels.len(), 2);
+        assert!(parallel.levels.iter().all(|l| !l.parallel));
+    }
+
+    #[test]
+    fn levels_cover_every_step_exactly_once() {
+        let steps = vec![
+            SnowflakeStep::unconstrained(FkEdge::new("Students", "Majors", "major_id")),
+            SnowflakeStep::unconstrained(FkEdge::new("Majors", "Departments", "dept_id")),
+        ];
+        let solved = solve_snowflake(university(), &steps, &SolverConfig::hybrid()).unwrap();
+        let mut seen: Vec<usize> = solved.levels.iter().flat_map(|l| l.steps.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1]);
+        // Serial level wall is the sum of its member steps' walls.
+        for level in &solved.levels {
+            let sum: Duration = level.steps.iter().map(|&i| solved.steps[i].wall).sum();
+            assert_eq!(level.wall, sum);
+        }
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Dependency derivation and topological leveling.
+//!
+//! Tasks are identified by their index in a declared list. Dependencies
+//! only ever point *backward* (a later task depends on an earlier one) when
+//! derived through [`derive_deps`], but [`Schedule::build`] accepts
+//! arbitrary edges and therefore must reject cycles explicitly — a cyclic
+//! schedule fed to a level-by-level runner would otherwise simply never
+//! schedule the cycle's members (a silent deadlock).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A named piece of state a task reads or writes.
+///
+/// Two granularities are enough for schema-graph steps: a whole relation
+/// (its row set, key and attribute columns — written when a step replaces
+/// or extends its target dimension) and a single column of a relation
+/// (written when a step completes that FK column of its owner). A step
+/// writing one FK column of a table does **not** conflict with a step
+/// reading the same table's key/attribute columns — that distinction is
+/// exactly what lets two steps sharing an owner run concurrently.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Resource {
+    /// A relation's row set, key and attribute columns.
+    Table(String),
+    /// One named column of a relation (e.g. an FK column being completed).
+    Column(String, String),
+}
+
+impl Resource {
+    /// A whole-relation resource.
+    pub fn table(name: &str) -> Resource {
+        Resource::Table(name.to_owned())
+    }
+
+    /// A single-column resource.
+    pub fn column(table: &str, column: &str) -> Resource {
+        Resource::Column(table.to_owned(), column.to_owned())
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Table(t) => write!(f, "{t}"),
+            Resource::Column(t, c) => write!(f, "{t}.{c}"),
+        }
+    }
+}
+
+/// The resources one task touches.
+#[derive(Clone, Debug, Default)]
+pub struct Access {
+    reads: BTreeSet<Resource>,
+    writes: BTreeSet<Resource>,
+}
+
+impl Access {
+    /// An access set touching nothing.
+    pub fn new() -> Access {
+        Access::default()
+    }
+
+    /// Adds read resources (builder style).
+    pub fn reads<I: IntoIterator<Item = Resource>>(mut self, rs: I) -> Access {
+        self.reads.extend(rs);
+        self
+    }
+
+    /// Adds written resources (builder style).
+    pub fn writes<I: IntoIterator<Item = Resource>>(mut self, rs: I) -> Access {
+        self.writes.extend(rs);
+        self
+    }
+
+    /// `true` when running `self` before `later` in one batch could differ
+    /// from running them in declared order: some shared resource is written
+    /// by either side (write-write, read-after-write or write-after-read).
+    fn conflicts_with(&self, later: &Access) -> bool {
+        let touches = |set: &BTreeSet<Resource>, other: &Access| {
+            set.iter()
+                .any(|r| other.reads.contains(r) || other.writes.contains(r))
+        };
+        touches(&self.writes, later) || later.writes.iter().any(|r| self.reads.contains(r))
+    }
+}
+
+/// Derives the direct dependency lists of a declared task sequence: task
+/// `j` depends on every earlier task `i` whose access set conflicts with
+/// `j`'s. The result is acyclic by construction (edges point backward) and
+/// feeds [`Schedule::build`].
+pub fn derive_deps(accesses: &[Access]) -> Vec<Vec<usize>> {
+    (0..accesses.len())
+        .map(|j| {
+            (0..j)
+                .filter(|&i| accesses[i].conflicts_with(&accesses[j]))
+                .collect()
+        })
+        .collect()
+}
+
+/// Why a schedule could not be built.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SchedError {
+    /// The dependency graph contains a cycle through the listed tasks
+    /// (sorted by index). A level-by-level runner would never schedule
+    /// them, so the schedule is rejected up front.
+    Cycle(Vec<usize>),
+    /// A dependency names a task index outside the list.
+    BadIndex {
+        /// The task whose dependency list is malformed.
+        task: usize,
+        /// The out-of-range dependency.
+        dep: usize,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Cycle(tasks) => write!(
+                f,
+                "cyclic step dependencies: steps {tasks:?} can never be scheduled"
+            ),
+            SchedError::BadIndex { task, dep } => {
+                write!(f, "step {task} depends on unknown step {dep}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// A validated schedule: per-task direct dependencies plus topological
+/// levels. Every task of a level is independent of every other task of the
+/// same level, and depends only on tasks of strictly earlier levels.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    deps: Vec<Vec<usize>>,
+    levels: Vec<Vec<usize>>,
+}
+
+impl Schedule {
+    /// Validates dependency lists (one per task, indices into the same
+    /// list) and computes levels via Kahn's algorithm: a task's level is
+    /// one past its deepest dependency, and tasks within a level are kept
+    /// in declared order. Cycles and out-of-range indices are rejected.
+    pub fn build(deps: Vec<Vec<usize>>) -> Result<Schedule, SchedError> {
+        let n = deps.len();
+        for (task, ds) in deps.iter().enumerate() {
+            if let Some(&dep) = ds.iter().find(|&&d| d >= n) {
+                return Err(SchedError::BadIndex { task, dep });
+            }
+        }
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut pending: Vec<usize> = vec![0; n];
+        for (task, ds) in deps.iter().enumerate() {
+            let unique: BTreeSet<usize> = ds.iter().copied().collect();
+            pending[task] = unique.len();
+            for d in unique {
+                dependents[d].push(task);
+            }
+        }
+        let mut level_of: Vec<usize> = vec![0; n];
+        let mut frontier: Vec<usize> = (0..n).filter(|&t| pending[t] == 0).collect();
+        let mut placed = frontier.len();
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &t in &frontier {
+                for &dep in &dependents[t] {
+                    pending[dep] -= 1;
+                    level_of[dep] = level_of[dep].max(level_of[t] + 1);
+                    if pending[dep] == 0 {
+                        next.push(dep);
+                        placed += 1;
+                    }
+                }
+            }
+            frontier = next;
+        }
+        if placed < n {
+            let stuck: Vec<usize> = (0..n).filter(|&t| pending[t] > 0).collect();
+            return Err(SchedError::Cycle(stuck));
+        }
+        // Group by longest-path depth; pushing tasks in ascending index
+        // order keeps every level sorted in declared order.
+        let n_levels = level_of.iter().max().map_or(0, |&l| l + 1);
+        let mut by_depth: Vec<Vec<usize>> = vec![Vec::new(); n_levels];
+        for task in 0..n {
+            by_depth[level_of[task]].push(task);
+        }
+        Ok(Schedule {
+            deps,
+            levels: by_depth,
+        })
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// The topological levels, each a sorted list of task indices.
+    pub fn levels(&self) -> &[Vec<usize>] {
+        &self.levels
+    }
+
+    /// Direct dependencies of one task.
+    pub fn deps_of(&self, task: usize) -> &[usize] {
+        &self.deps[task]
+    }
+
+    /// Width of the widest level — 1 means nothing can run concurrently.
+    pub fn max_width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_accesses() -> Vec<Access> {
+        vec![
+            Access::new()
+                .reads([Resource::table("Orders"), Resource::table("Stores")])
+                .writes([
+                    Resource::column("Orders", "store_id"),
+                    Resource::table("Stores"),
+                ]),
+            Access::new()
+                .reads([Resource::table("Stores"), Resource::table("Regions")])
+                .writes([
+                    Resource::column("Stores", "region_id"),
+                    Resource::table("Regions"),
+                ]),
+        ]
+    }
+
+    #[test]
+    fn chain_serializes() {
+        let schedule = Schedule::build(derive_deps(&chain_accesses())).unwrap();
+        assert_eq!(schedule.levels(), &[vec![0], vec![1]]);
+        assert_eq!(schedule.deps_of(1), &[0]);
+        assert_eq!(schedule.max_width(), 1);
+    }
+
+    #[test]
+    fn star_parallelizes() {
+        let star = vec![
+            Access::new()
+                .reads([Resource::table("Shipments"), Resource::table("Warehouses")])
+                .writes([
+                    Resource::column("Shipments", "warehouse_id"),
+                    Resource::table("Warehouses"),
+                ]),
+            Access::new()
+                .reads([Resource::table("Shipments"), Resource::table("Carriers")])
+                .writes([
+                    Resource::column("Shipments", "carrier_id"),
+                    Resource::table("Carriers"),
+                ]),
+        ];
+        let schedule = Schedule::build(derive_deps(&star)).unwrap();
+        assert_eq!(schedule.levels(), &[vec![0, 1]]);
+        assert_eq!(schedule.max_width(), 2);
+    }
+
+    #[test]
+    fn anti_dependency_orders_reader_before_writer() {
+        // Task 0 reads X, task 1 rewrites X: running them in one batch
+        // against a shared snapshot is fine only if 0 is not *after* 1 —
+        // the conservative rule serializes them.
+        let accesses = vec![
+            Access::new().reads([Resource::table("X")]),
+            Access::new().writes([Resource::table("X")]),
+        ];
+        let deps = derive_deps(&accesses);
+        assert_eq!(deps, vec![vec![], vec![0]]);
+    }
+
+    #[test]
+    fn column_writes_do_not_conflict_with_table_reads() {
+        let accesses = vec![
+            Access::new()
+                .reads([Resource::table("F")])
+                .writes([Resource::column("F", "a_id")]),
+            Access::new()
+                .reads([Resource::table("F")])
+                .writes([Resource::column("F", "b_id")]),
+        ];
+        assert_eq!(derive_deps(&accesses), vec![vec![], vec![]]);
+    }
+
+    #[test]
+    fn joined_dimension_reference_serializes() {
+        // Step 1 pulls step 0's dimension in through the completed FK: it
+        // reads the FK column step 0 writes.
+        let accesses = vec![
+            Access::new()
+                .reads([Resource::table("F"), Resource::table("D1")])
+                .writes([Resource::column("F", "d1_id"), Resource::table("D1")]),
+            Access::new()
+                .reads([
+                    Resource::table("F"),
+                    Resource::table("D2"),
+                    Resource::column("F", "d1_id"),
+                    Resource::table("D1"),
+                ])
+                .writes([Resource::column("F", "d2_id"), Resource::table("D2")]),
+        ];
+        let schedule = Schedule::build(derive_deps(&accesses)).unwrap();
+        assert_eq!(schedule.levels(), &[vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn cyclic_schedule_rejected_with_clear_error() {
+        // 0 → 1 → 2 → 0, plus an innocent task 3.
+        let deps = vec![vec![2], vec![0], vec![1], vec![]];
+        let err = Schedule::build(deps).unwrap_err();
+        assert_eq!(err, SchedError::Cycle(vec![0, 1, 2]));
+        let msg = err.to_string();
+        assert!(msg.contains("cyclic"), "{msg}");
+        assert!(msg.contains("[0, 1, 2]"), "{msg}");
+    }
+
+    #[test]
+    fn self_dependency_is_a_cycle() {
+        let err = Schedule::build(vec![vec![0]]).unwrap_err();
+        assert_eq!(err, SchedError::Cycle(vec![0]));
+    }
+
+    #[test]
+    fn out_of_range_dependency_rejected() {
+        let err = Schedule::build(vec![vec![], vec![7]]).unwrap_err();
+        assert_eq!(err, SchedError::BadIndex { task: 1, dep: 7 });
+        assert!(err.to_string().contains("unknown step 7"));
+    }
+
+    #[test]
+    fn diamond_levels_follow_longest_path() {
+        //   0
+        //  / \
+        // 1   2    (3 depends on both; 4 free)
+        //  \ /
+        //   3
+        let deps = vec![vec![], vec![0], vec![0], vec![1, 2], vec![]];
+        let schedule = Schedule::build(deps).unwrap();
+        assert_eq!(schedule.levels(), &[vec![0, 4], vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn duplicate_deps_are_tolerated() {
+        let schedule = Schedule::build(vec![vec![], vec![0, 0, 0]]).unwrap();
+        assert_eq!(schedule.levels(), &[vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn empty_schedule_is_fine() {
+        let schedule = Schedule::build(Vec::new()).unwrap();
+        assert_eq!(schedule.n_tasks(), 0);
+        assert!(schedule.levels().is_empty());
+        assert_eq!(schedule.max_width(), 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! # cextend-sched — deterministic DAG scheduling for completion steps
+//!
+//! The snowflake pipeline completes a schema graph one FK edge at a time,
+//! but steps whose owners are independent have no data dependency — the
+//! paper already parallelizes partition coloring *within* a step
+//! (Section A.3); this crate lifts concurrency one level up, *across*
+//! steps. It is deliberately free of any relational types so it sits below
+//! `cextend-core` in the crate stack:
+//!
+//! - [`Resource`] / [`Access`] + [`derive_deps`] — tasks declare what they
+//!   read and write; an earlier task conflicts with a later one when any
+//!   overlapping resource is written by either side.
+//! - [`Schedule`] — validates an explicit dependency list (rejecting cycles
+//!   with a clear [`SchedError::Cycle`] instead of deadlocking at run time)
+//!   and computes topological levels: every task sits one level past its
+//!   deepest dependency, so all tasks of a level are mutually independent.
+//! - [`run_tasks`] — executes one level's tasks, serially or on a
+//!   `std::thread::scope` worker pool, returning results (and the first
+//!   error, chosen by task order) deterministically either way.
+//!
+//! ```
+//! use cextend_sched::{derive_deps, Access, Resource, Schedule};
+//!
+//! let star = [
+//!     Access::new() // Shipments→Warehouses
+//!         .reads([Resource::table("Shipments"), Resource::table("Warehouses")])
+//!         .writes([Resource::column("Shipments", "warehouse_id"), Resource::table("Warehouses")]),
+//!     Access::new() // Shipments→Carriers: same owner, disjoint writes
+//!         .reads([Resource::table("Shipments"), Resource::table("Carriers")])
+//!         .writes([Resource::column("Shipments", "carrier_id"), Resource::table("Carriers")]),
+//! ];
+//! let schedule = Schedule::build(derive_deps(&star)).unwrap();
+//! assert_eq!(schedule.levels(), &[vec![0, 1]]); // both steps run concurrently
+//! ```
+
+#![warn(missing_docs)]
+
+mod graph;
+mod pool;
+
+pub use graph::{derive_deps, Access, Resource, SchedError, Schedule};
+pub use pool::{pool_width, run_tasks};
+
+/// How a chain of completion steps is executed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedulerMode {
+    /// Declared order, one step at a time (the classic loop).
+    #[default]
+    Serial,
+    /// Topological levels: the independent steps of each level run
+    /// concurrently on a scoped worker pool, and their outcomes are merged
+    /// back in declared step order — solutions are bit-identical to
+    /// [`SchedulerMode::Serial`] under a fixed seed.
+    Parallel,
+}
+
+impl SchedulerMode {
+    /// Lower-case label used in CLIs and snapshot records.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerMode::Serial => "serial",
+            SchedulerMode::Parallel => "parallel",
+        }
+    }
+
+    /// Parses a CLI label.
+    pub fn parse(s: &str) -> Option<SchedulerMode> {
+        match s {
+            "serial" => Some(SchedulerMode::Serial),
+            "parallel" => Some(SchedulerMode::Parallel),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_labels_round_trip() {
+        for mode in [SchedulerMode::Serial, SchedulerMode::Parallel] {
+            assert_eq!(SchedulerMode::parse(mode.label()), Some(mode));
+        }
+        assert_eq!(SchedulerMode::parse("nope"), None);
+        assert_eq!(SchedulerMode::default(), SchedulerMode::Serial);
+    }
+}

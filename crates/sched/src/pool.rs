@@ -1,0 +1,98 @@
+//! The level runner: executes one batch of independent tasks, serially or
+//! on a `std::thread::scope` worker pool (the same striding shape as the
+//! partition-coloring pool in `cextend-core`'s Phase II).
+
+/// Number of workers a batch of `n` tasks would actually run on: the
+/// machine's `available_parallelism`, capped at `n`. A result below 2
+/// means [`run_tasks`] will run the batch inline even when asked for
+/// parallelism — callers can use this to report honestly whether anything
+/// ran concurrently.
+pub fn pool_width(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(1)
+        .min(n)
+}
+
+/// Runs `task` for every id in `ids`, returning the results in `ids`
+/// order. With `parallel` (and more than one task) the tasks run on up to
+/// [`pool_width`] scoped threads; results still come back in `ids` order,
+/// and when several tasks fail, the error of the *first* failing id is
+/// returned — the same error a serial left-to-right run whose earlier
+/// tasks succeeded would surface. The caller guarantees the tasks are
+/// independent (a [`crate::Schedule`] level).
+pub fn run_tasks<T, E, F>(ids: &[usize], parallel: bool, task: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let n_threads = pool_width(ids.len());
+    // One worker means the pool would just serialize with extra spawn
+    // overhead — run inline so parallel mode costs nothing on 1-CPU boxes.
+    if !parallel || ids.len() < 2 || n_threads < 2 {
+        return ids.iter().map(|&id| task(id)).collect();
+    }
+    let mut slots: Vec<Option<Result<T, E>>> = Vec::new();
+    slots.resize_with(ids.len(), || None);
+    std::thread::scope(|scope| {
+        let task = &task;
+        let mut handles = Vec::new();
+        for t in 0..n_threads {
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                let mut i = t;
+                while i < ids.len() {
+                    local.push((i, task(ids[i])));
+                    i += n_threads;
+                }
+                local
+            }));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("scheduler worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every task ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let ids: Vec<usize> = (0..20).collect();
+        let f = |id: usize| -> Result<usize, String> { Ok(id * id) };
+        let serial = run_tasks(&ids, false, f).unwrap();
+        let parallel = run_tasks(&ids, true, f).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[7], 49);
+    }
+
+    #[test]
+    fn first_failing_id_wins() {
+        let ids: Vec<usize> = (0..16).collect();
+        let f = |id: usize| -> Result<usize, String> {
+            if id % 5 == 3 {
+                Err(format!("task {id} failed"))
+            } else {
+                Ok(id)
+            }
+        };
+        assert_eq!(run_tasks(&ids, true, f).unwrap_err(), "task 3 failed");
+        assert_eq!(run_tasks(&ids, false, f).unwrap_err(), "task 3 failed");
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let f = |id: usize| -> Result<usize, String> { Ok(id + 1) };
+        assert_eq!(run_tasks(&[], true, f).unwrap(), Vec::<usize>::new());
+        assert_eq!(run_tasks(&[9], true, f).unwrap(), vec![10]);
+    }
+}

@@ -14,24 +14,23 @@ use std::sync::OnceLock;
 
 /// Interned string handle. Two `Sym`s are equal iff their strings are equal.
 ///
-/// `Ord` compares the *string contents* (lexicographically), not the intern
-/// ids, so orderings are deterministic regardless of interning order.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct Sym(u32);
+/// The handle *is* the leaked `&'static str`, so reading a symbol
+/// ([`Sym::as_str`], comparisons, hashing) never touches the interner lock
+/// — only [`Sym::intern`] does. That matters once solves run concurrently
+/// (parallel partition coloring, the parallel step scheduler): an id-based
+/// handle whose every `as_str` took a read lock made two concurrent chain
+/// steps *slower* than the serial loop from cache-line contention alone.
+///
+/// `Ord` and `Hash` use the string contents (interning makes content
+/// equality and pointer equality coincide, which `PartialEq` exploits as a
+/// fast path), so orderings and hash-map behavior are deterministic
+/// regardless of interning order.
+#[derive(Clone, Copy, Debug)]
+pub struct Sym(&'static str);
 
-struct Interner {
-    by_str: HashMap<&'static str, u32>,
-    strings: Vec<&'static str>,
-}
-
-fn interner() -> &'static RwLock<Interner> {
-    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        RwLock::new(Interner {
-            by_str: HashMap::new(),
-            strings: Vec::new(),
-        })
-    })
+fn interner() -> &'static RwLock<HashMap<&'static str, &'static str>> {
+    static INTERNER: OnceLock<RwLock<HashMap<&'static str, &'static str>>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
 impl Sym {
@@ -39,24 +38,39 @@ impl Sym {
     pub fn intern(s: &str) -> Sym {
         {
             let guard = interner().read();
-            if let Some(&id) = guard.by_str.get(s) {
-                return Sym(id);
+            if let Some(&leaked) = guard.get(s) {
+                return Sym(leaked);
             }
         }
         let mut guard = interner().write();
-        if let Some(&id) = guard.by_str.get(s) {
-            return Sym(id);
+        if let Some(&leaked) = guard.get(s) {
+            return Sym(leaked);
         }
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        let id = guard.strings.len() as u32;
-        guard.strings.push(leaked);
-        guard.by_str.insert(leaked, id);
-        Sym(id)
+        guard.insert(leaked, leaked);
+        Sym(leaked)
     }
 
-    /// The interned string.
+    /// The interned string (lock-free).
     pub fn as_str(self) -> &'static str {
-        interner().read().strings[self.0 as usize]
+        self.0
+    }
+}
+
+impl PartialEq for Sym {
+    fn eq(&self, other: &Self) -> bool {
+        // Interned strings are unique per content, so pointer equality is
+        // the common case; the content comparison only runs for symbols
+        // that are genuinely different.
+        std::ptr::eq(self.0, other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Sym {}
+
+impl std::hash::Hash for Sym {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
     }
 }
 
@@ -68,10 +82,10 @@ impl PartialOrd for Sym {
 
 impl Ord for Sym {
     fn cmp(&self, other: &Self) -> Ordering {
-        if self.0 == other.0 {
+        if std::ptr::eq(self.0, other.0) {
             Ordering::Equal
         } else {
-            self.as_str().cmp(other.as_str())
+            self.0.cmp(other.0)
         }
     }
 }
@@ -106,7 +120,8 @@ impl fmt::Display for Dtype {
     }
 }
 
-/// A single cell value. `Copy`, 16 bytes.
+/// A single cell value. `Copy`; symbols carry their interned `&'static
+/// str` so every read is lock-free.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Value {
     /// Integer value.

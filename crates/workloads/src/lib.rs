@@ -15,6 +15,10 @@
 //! - [`SupplyWorkload`] — a three-relation snowflake *chain*
 //!   (orders → stores → regions) with constraints on both FK levels,
 //!   driving `cextend_core::snowflake` end to end.
+//! - [`LogisticsWorkload`] — a three-relation **branching star**
+//!   (shipments → {warehouses, carriers}) whose two completion steps are
+//!   resource-independent, exercising the parallel step scheduler with
+//!   anchored gap DCs on both dimension edges.
 //!
 //! A scenario is a **schema graph**: [`WorkloadData`] carries named
 //! relations, an ordered list of FK-completion steps and per-relation
@@ -41,6 +45,7 @@
 
 pub mod ccgen;
 mod census;
+mod logistics;
 #[cfg(test)]
 mod proptests;
 mod retail;
@@ -48,6 +53,11 @@ mod supply;
 mod workload;
 
 pub use census::CensusWorkload;
+pub use logistics::{
+    carriers_condition_pool, district_name, logistics_dc_row, mode_reach, tier_of,
+    warehouses_condition_pool, LogisticsWorkload, HANDLINGS, MAX_COST, MAX_WEIGHT, MODES,
+    SHIP_PRIORITIES,
+};
 pub use retail::{
     r2_condition_pool as retail_r2_condition_pool, region_market, region_name, retail_dc_row,
     s_all_retail_dc, s_good_retail_dc, RetailWorkload, CHANNELS, MARKETS, MAX_AMOUNT, PRIORITIES,

@@ -7,7 +7,9 @@
 //! and the solver's guarantees are testable against it.
 
 use crate::workload::{all_workloads, CcFamily, DcSet, WorkloadParams};
-use cextend_core::metrics::dc_error;
+use cextend_core::metrics::dc_error_on;
+use cextend_core::snowflake::{solve_snowflake, SnowflakeStep};
+use cextend_core::{SchedulerMode, SolverConfig};
 use proptest::prelude::*;
 
 proptest! {
@@ -54,8 +56,14 @@ proptest! {
             let data = w.generate(&WorkloadParams::new(scale, seed));
             for step in 0..data.n_steps() {
                 for set in [DcSet::Good, DcSet::All] {
-                    let err =
-                        dc_error(data.step_owner_truth(step), &w.step_dcs(step, set)).unwrap();
+                    // Violation groups are the tuples sharing the step's FK
+                    // (a branching fact carries several FK columns).
+                    let err = dc_error_on(
+                        data.step_owner_truth(step),
+                        &data.steps[step].fk_col,
+                        &w.step_dcs(step, set),
+                    )
+                    .unwrap();
                     prop_assert_eq!(
                         err,
                         0.0,
@@ -66,6 +74,56 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_schedulers_are_bit_identical(
+        seed in 0u64..1_000,
+        scale_mil in 3u32..8,
+    ) {
+        // The scheduler's determinism contract, on both multi-step shapes:
+        // the chain (supply — one step per level) and the branching star
+        // (logistics — two steps sharing a level, actually concurrent).
+        let scale = f64::from(scale_mil) / 1_000.0;
+        for name in ["supply", "logistics"] {
+            let w = crate::workload::workload_by_name(name).expect("registered");
+            let data = w.generate(&WorkloadParams::new(scale, seed));
+            let steps: Vec<SnowflakeStep> = data
+                .steps
+                .iter()
+                .enumerate()
+                .map(|(i, edge)| SnowflakeStep {
+                    edge: edge.clone(),
+                    ccs: w.step_ccs(i, CcFamily::Good, 12, &data, seed),
+                    dcs: w.step_dcs(i, DcSet::All),
+                })
+                .collect();
+            let config = SolverConfig::hybrid().with_seed(seed);
+            let serial =
+                solve_snowflake(data.relations.clone(), &steps, &config).expect("serial solve");
+            let parallel = solve_snowflake(
+                data.relations.clone(),
+                &steps,
+                &config.with_scheduler(SchedulerMode::Parallel),
+            )
+            .expect("parallel solve");
+            for (s, p) in serial.tables.iter().zip(&parallel.tables) {
+                prop_assert!(
+                    cextend_table::relations_equal_ordered(s, p),
+                    "{name}: relation {} diverged between scheduler modes",
+                    s.name()
+                );
+            }
+            prop_assert_eq!(
+                serial.total_stats().counters,
+                parallel.total_stats().counters,
+                "{} counters diverged between scheduler modes",
+                name
+            );
+            // The star's two steps share the single level; the chain's don't.
+            let widest = parallel.levels.iter().map(|l| l.steps.len()).max();
+            prop_assert_eq!(widest, Some(if name == "logistics" { 2 } else { 1 }));
         }
     }
 

@@ -16,6 +16,7 @@
 //! on the step's ground-truth augmented view.
 
 use crate::census::CensusWorkload;
+use crate::logistics::LogisticsWorkload;
 use crate::retail::RetailWorkload;
 use crate::supply::SupplyWorkload;
 use cextend_constraints::{CardinalityConstraint, DenialConstraint};
@@ -248,12 +249,25 @@ impl WorkloadData {
     /// instance (clones the relations; the data stays reusable). Multi-step
     /// chains are driven through `cextend_core::snowflake::solve_snowflake`
     /// instead.
+    ///
+    /// A branching fact table carries several FK columns, which the classic
+    /// two-relation instance shape does not allow; in that case `R1` is the
+    /// first step's erased [`AugmentedView`] — the fact's key and attribute
+    /// columns plus only the step FK — under the fact table's name.
     pub fn to_instance(
         &self,
         ccs: Vec<CardinalityConstraint>,
         dcs: Vec<DenialConstraint>,
     ) -> cextend_core::Result<CExtensionInstance> {
-        CExtensionInstance::new(self.r1().clone(), self.r2().clone(), ccs, dcs)
+        let r1 = if self.r1().schema().fk_col().is_some() {
+            self.r1().clone()
+        } else {
+            let plan = AugmentedView::plan(&self.relations, &[], &self.steps[0])?;
+            let mut view = plan.build(&self.relations, true)?;
+            view.set_name(self.r1().name());
+            view
+        };
+        CExtensionInstance::new(r1, self.r2().clone(), ccs, dcs)
     }
 }
 
@@ -314,7 +328,7 @@ pub trait Workload: Send + Sync {
 }
 
 /// Registry names, in presentation order.
-pub const WORKLOAD_NAMES: [&str; 3] = ["census", "retail", "supply"];
+pub const WORKLOAD_NAMES: [&str; 4] = ["census", "retail", "supply", "logistics"];
 
 /// Looks up a workload by registry name.
 pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
@@ -322,6 +336,7 @@ pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
         "census" => Some(Box::new(CensusWorkload)),
         "retail" => Some(Box::new(RetailWorkload)),
         "supply" => Some(Box::new(SupplyWorkload)),
+        "logistics" => Some(Box::new(LogisticsWorkload)),
         _ => None,
     }
 }

@@ -10,6 +10,9 @@
 //!   Hasse diagrams, intervalization, the text DSL.
 //! - [`ilp`] — exact-rational / float simplex and branch-and-bound.
 //! - [`hypergraph`] — conflict hypergraphs and list coloring.
+//! - [`sched`] — deterministic DAG scheduler over completion steps:
+//!   resource-based dependency derivation, topological levels, scoped
+//!   worker pool.
 //! - [`core`] — the two-phase C-Extension solver, baselines, metrics, the
 //!   snowflake extension and the NAE-3SAT reduction.
 //! - [`census`] — the synthetic Census evaluation workload.
@@ -39,11 +42,12 @@ pub use cextend_constraints as constraints;
 pub use cextend_core as core;
 pub use cextend_hypergraph as hypergraph;
 pub use cextend_ilp as ilp;
+pub use cextend_sched as sched;
 pub use cextend_table as table;
 pub use cextend_workloads as workloads;
 
 pub use cextend_core::{
     solve, solve_baseline, solve_baseline_with_marginals, solve_hybrid, CExtensionInstance,
-    ColoringMode, CoreError, IlpBackend, IlpSettings, Phase1Strategy, Phase2Strategy, Solution,
-    SolveStats, SolverConfig,
+    ColoringMode, CoreError, IlpBackend, IlpSettings, Phase1Strategy, Phase2Strategy,
+    SchedulerMode, Solution, SolveStats, SolverConfig,
 };
