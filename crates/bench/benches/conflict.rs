@@ -1,10 +1,49 @@
-//! Micro-benchmark: conflict hypergraph construction + DC-error evaluation
-//! (the edge-enumeration cost that dominates Phase II on dense DC sets).
+//! Micro-benchmarks for Phase II's conflict-hypergraph construction.
+//!
+//! `conflict_build` measures the indexed builder (`cextend_core::conflict`)
+//! head to head against the retained naive `O(|P|^k)` enumeration on real
+//! `dcdense` partitions, parameterized by partition size (scale label) and
+//! DC density (`good` = anchored gap rows only, `all` = + Anchor cliques +
+//! the ternary `nae-track` row). `dc_error_scan` keeps the original
+//! edge-enumeration macro cost (the metric runs the same builder).
 
-use cextend_bench::ExperimentOpts;
+use cextend_bench::{dcdense_largest_partition, ExperimentOpts};
+use cextend_core::conflict::{build_conflict_graph, build_conflict_graph_naive};
 use cextend_core::metrics::dc_error;
 use cextend_workloads::DcSet;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_conflict_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conflict_build");
+    group.sample_size(10);
+    for &label in &[1u32, 5] {
+        for (density, set) in [("good", DcSet::Good), ("all", DcSet::All)] {
+            let (view, rows, dcs) = dcdense_largest_partition(label, set);
+            let p = rows.len();
+            let indexed_edges = build_conflict_graph(&view, &rows, &dcs).n_edges();
+            assert_eq!(
+                indexed_edges,
+                build_conflict_graph_naive(&view, &rows, &dcs).n_edges(),
+                "builders must agree before being timed"
+            );
+            for builder in ["indexed", "naive"] {
+                let id = format!("p{p}_{density}_{builder}");
+                group.bench_with_input(BenchmarkId::from_parameter(id), &view, |b, view| {
+                    b.iter(|| {
+                        let g = if builder == "indexed" {
+                            build_conflict_graph(view, &rows, &dcs)
+                        } else {
+                            build_conflict_graph_naive(view, &rows, &dcs)
+                        };
+                        assert_eq!(g.n_edges(), indexed_edges);
+                        g
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
 
 fn bench_dc_error(c: &mut Criterion) {
     let opts = ExperimentOpts {
@@ -33,5 +72,5 @@ fn bench_dc_error(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dc_error);
+criterion_group!(benches, bench_conflict_build, bench_dc_error);
 criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Shared inputs for the criterion micro-benchmarks.
+//!
+//! The `conflict_build` and `coloring` benches both measure the largest
+//! real `V_join` partition of a generated `dcdense` view; extracting it
+//! lives here so the two benches are guaranteed to time the same input
+//! (same partition-selection rule, same DC binding).
+
+use cextend_constraints::BoundDc;
+use cextend_table::{Relation, RowId};
+use cextend_workloads::DcSet;
+use std::collections::BTreeMap;
+
+use crate::harness::ExperimentOpts;
+
+/// Generates `dcdense` at scale `label` (default harness scale factor) and
+/// returns its ground-truth join view, the rows of the largest
+/// `(Room, Shift)` partition, and the chosen DC set bound against the view.
+pub fn dcdense_largest_partition(label: u32, set: DcSet) -> (Relation, Vec<RowId>, Vec<BoundDc>) {
+    let opts = ExperimentOpts {
+        workload: "dcdense".to_owned(),
+        ..ExperimentOpts::default()
+    };
+    let data = opts.dataset(label, None, 0);
+    let view = data.truth_join();
+    let room = view.schema().col_id("Room").expect("Room in view");
+    let shift = view.schema().col_id("Shift").expect("Shift in view");
+    let mut by_combo: BTreeMap<(String, String), Vec<RowId>> = BTreeMap::new();
+    for r in view.rows() {
+        let key = (
+            view.get(r, room).expect("complete").to_string(),
+            view.get(r, shift).expect("complete").to_string(),
+        );
+        by_combo.entry(key).or_default().push(r);
+    }
+    let rows = by_combo
+        .into_values()
+        .max_by_key(Vec::len)
+        .expect("non-empty view");
+    let dcs = opts
+        .workload()
+        .dcs(set)
+        .iter()
+        .map(|d| d.bind(view.schema(), view.name()).expect("DCs bind"))
+        .collect();
+    (view, rows, dcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_the_largest_and_dcs_bind() {
+        let (view, rows, dcs) = dcdense_largest_partition(1, DcSet::All);
+        assert!(!rows.is_empty());
+        assert!(rows.len() >= view.n_rows() / 12, "largest of ≤6 combos");
+        assert_eq!(dcs.len(), 7, "the full dcdense DC set");
+        assert!(rows.iter().all(|&r| r < view.n_rows()));
+    }
+}

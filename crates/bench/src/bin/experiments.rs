@@ -6,7 +6,7 @@ use cextend_workloads::{workload_by_name, WORKLOAD_NAMES};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: experiments <id>|all|sched|perf|perf-check [options]
+usage: experiments <id>|all|sched|perf|perf-check|perf-trend [options]
 
 experiments: table1 fig8a fig8b fig9 fig10 fig11a fig11b fig12 fig13 ablate
              sched (star-vs-chain step-scheduler sweep: serial vs parallel
@@ -18,26 +18,35 @@ experiments: table1 fig8a fig8b fig9 fig10 fig11a fig11b fig12 fig13 ablate
              perf-check (compares <out>/BENCH_perf.json against --baseline,
                    fails on a >3x wall-time regression of any shared record;
                    ignores BENCH_history.jsonl)
+             perf-trend (renders the per-record wall-time trend over the
+                   accumulated --history lines; writes <out>/perf_trend.md)
 
 options:
   --workload W       scenario to drive: census (default), retail, supply
-                     (3-relation chain: orders→stores→regions) or logistics
-                     (branching star: shipments→{warehouses,carriers})
+                     (3-relation chain: orders→stores→regions), logistics
+                     (branching star: shipments→{warehouses,carriers}) or
+                     dcdense (adversarial DC-dense events→slots)
   --scheduler M      step scheduler for chain solves: serial (default) or
                      parallel (independent steps run concurrently;
                      bit-identical results under a fixed seed)
+  --conflict B       conflict-hypergraph builder: indexed (default) or
+                     naive (the retained O(|P|^k) baseline; identical
+                     output, build cost only — for A/B measurement)
   --scale-factor F   multiply the workload's scale labels by F (default 0.02)
   --paper-scale      shorthand for --scale-factor 1.0 (hours of runtime!)
   --n-ccs N          CC-set size (default 150; the paper uses 1001)
   --knob NAME=V      workload-owned generator knob (census: areas; retail &
                      supply: regions, max-group; logistics: districts,
-                     max-group); repeatable
+                     max-group; dcdense: tracks, rooms, max-group);
+                     repeatable
   --n-areas N        alias for --knob areas=N (census)
   --runs R           independent runs to average (default 3)
   --seed S           base RNG seed (default 7)
   --out DIR          write JSON snapshots to DIR
   --baseline FILE    committed perf baseline for perf-check
                      (default: ./BENCH_perf.json)
+  --history FILE     BENCH_history.jsonl for perf-trend
+                     (default: ./BENCH_history.jsonl, the committed file)
   --label L          build label stamped into BENCH_history.jsonl records
                      (git-describe-ish; default: dev)
   --stamp S          timestamp stamped into BENCH_history.jsonl records
@@ -108,8 +117,14 @@ fn parse(args: &[String]) -> Result<(Vec<String>, ExperimentOpts), String> {
                 opts.scheduler = cextend_core::SchedulerMode::parse(&mode)
                     .ok_or_else(|| format!("bad --scheduler `{mode}`: serial or parallel"))?;
             }
+            "--conflict" => {
+                let kind = take("--conflict")?;
+                opts.conflict = cextend_core::ConflictBuilderKind::parse(&kind)
+                    .ok_or_else(|| format!("bad --conflict `{kind}`: indexed or naive"))?;
+            }
             "--out" => opts.out_dir = Some(take("--out")?.into()),
             "--baseline" => opts.baseline = Some(take("--baseline")?.into()),
+            "--history" => opts.history = Some(take("--history")?.into()),
             "--label" => opts.label = take("--label")?,
             "--stamp" => opts.stamp = take("--stamp")?,
             "-h" | "--help" => return Err(USAGE.to_owned()),

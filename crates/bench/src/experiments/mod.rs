@@ -18,6 +18,7 @@
 //! | `sched` | star-vs-chain step-scheduler sweep: serial vs parallel wall per level, with a bit-identity assertion |
 //! | `perf` | perf baseline over *all* workloads (one record per chain step + per scheduler level × mode) → `BENCH_perf.json` + `BENCH_history.jsonl` |
 //! | `perf-check` | regression guard: fresh `BENCH_perf.json` vs the committed baseline |
+//! | `perf-trend` | per-record wall-time trend table over the accumulated `BENCH_history.jsonl` lines (+ markdown when `--out` is set) |
 
 pub mod ablate;
 pub mod fig10;
@@ -29,9 +30,29 @@ pub mod fig9;
 pub mod perf;
 pub mod sched;
 pub mod table1;
+pub mod trend;
 
 use crate::harness::ExperimentOpts;
 use cextend_workloads::CcFamily;
+
+/// Reads a named field from a parsed JSON object (shared by the
+/// `perf-check` and `perf-trend` document readers).
+pub(crate) fn json_field(obj: &[(String, serde::Value)], name: &str) -> Option<serde::Value> {
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+}
+
+/// The conflict-builder label of a perf document or history line — **the**
+/// comparability rule for `--conflict`: an absent field (pre-PR5 records,
+/// written when only one builder existed) maps to the default `indexed`
+/// label so old records stay comparable/unflagged. `perf-check`'s
+/// parameter gate and `perf-trend`'s `*` flag must agree, so both read it
+/// from here.
+pub(crate) fn conflict_label(obj: &[(String, serde::Value)]) -> String {
+    match json_field(obj, "conflict") {
+        Some(serde::Value::Str(s)) => s,
+        _ => "indexed".to_owned(),
+    }
+}
 
 /// All figure/table experiment ids, in run order (`perf` is driven
 /// separately: it sweeps every workload and writes `BENCH_perf.json`).
@@ -55,9 +76,11 @@ pub fn run(id: &str, opts: &ExperimentOpts) -> Result<(), String> {
         "sched" => sched::run(opts),
         "perf" => perf::run(opts),
         "perf-check" => perf::check_cli(opts)?,
+        "perf-trend" => trend::run(opts)?,
         other => {
             return Err(format!(
-                "unknown experiment `{other}`; known: {ALL:?}, `sched`, `perf` and `perf-check`"
+                "unknown experiment `{other}`; known: {ALL:?}, `sched`, `perf`, `perf-check` \
+                 and `perf-trend`"
             ))
         }
     }

@@ -82,6 +82,10 @@ pub struct PerfBaseline {
     /// CLI-provided knob overrides the sweep ran with (each workload
     /// resolves them against its own defaults).
     pub knobs: BTreeMap<String, i64>,
+    /// Conflict-builder label the sweep solved with (`--conflict`): wall
+    /// times under `naive` are not comparable to `indexed` ones, so the
+    /// label gates `perf-check` like the other run parameters.
+    pub conflict: String,
     /// One record per (workload, family, step).
     pub records: Vec<PerfRecord>,
 }
@@ -116,7 +120,7 @@ pub fn run(opts: &ExperimentOpts) {
                 DcSet::All,
                 sub.n_ccs,
                 sub.seed,
-                &SolverConfig::hybrid(),
+                &SolverConfig::hybrid().with_conflict(sub.conflict),
                 sub.runs,
             );
             for step in &chain.steps {
@@ -198,6 +202,7 @@ pub fn run(opts: &ExperimentOpts) {
         runs: opts.runs,
         seed: opts.seed,
         knobs: opts.knobs.clone(),
+        conflict: opts.conflict.label().to_owned(),
         records,
     };
     let dir = opts
@@ -236,6 +241,8 @@ struct HistoryRecord {
     runs: usize,
     /// Base RNG seed.
     seed: u64,
+    /// Conflict-builder label the sweep solved with.
+    conflict: String,
     /// `workload/family/step` → wall seconds, every record of the sweep.
     walls: BTreeMap<String, f64>,
 }
@@ -252,6 +259,7 @@ fn append_history(path: &Path, opts: &ExperimentOpts, baseline: &PerfBaseline) {
         n_ccs: baseline.n_ccs,
         runs: baseline.runs,
         seed: baseline.seed,
+        conflict: baseline.conflict.clone(),
         walls: baseline
             .records
             .iter()
@@ -284,9 +292,7 @@ fn parse_baseline(path: &Path) -> Result<ParsedBaseline, String> {
         .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
     let doc = serde_json::from_str(&text)
         .map_err(|e| format!("cannot parse `{}`: {e}", path.display()))?;
-    let field = |obj: &[(String, serde::Value)], name: &str| -> Option<serde::Value> {
-        obj.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
-    };
+    let field = super::json_field;
     let serde::Value::Object(top) = doc else {
         return Err(format!("`{}` is not a JSON object", path.display()));
     };
@@ -315,6 +321,10 @@ fn parse_baseline(path: &Path) -> Result<ParsedBaseline, String> {
         _ => "{}".to_owned(),
     };
     params.push(("knobs", knobs));
+    // The conflict builder changes every wall time (~17× on DC-dense
+    // records) without touching the data, so it gates comparability too
+    // (shared defaulting rule: `super::conflict_label`).
+    params.push(("conflict", super::conflict_label(&top)));
     let mut walls = WallTimes::new();
     for rec in &records {
         let serde::Value::Object(rec) = rec else {
@@ -348,7 +358,8 @@ fn parse_baseline(path: &Path) -> Result<ParsedBaseline, String> {
 /// Compares a fresh `BENCH_perf.json` against the committed baseline.
 ///
 /// The two documents must have been produced with the same run parameters
-/// (`scale_factor`, `n_ccs`, `runs`) — a mismatch means the guard would
+/// (`scale_factor`, `n_ccs`, `runs`, `seed`, `knobs`, `conflict`) — a
+/// mismatch means the guard would
 /// compare apples to oranges (silently dead when the baseline is heavier,
 /// spuriously red when it is lighter), so it fails with a parameter
 /// mismatch instead. Given matching parameters, every record present in
@@ -518,6 +529,19 @@ mod tests {
         let fresh = write(&dir, "fresh-knobs.json", &doc(&records));
         let err = check(&base, &fresh).unwrap_err();
         assert!(err.contains("knobs"), "{err}");
+
+        // A naive-conflict sweep's walls are ~17x an indexed one's on
+        // DC-dense records, so the builder label gates comparability; a
+        // document without the field (pre-PR5) counts as indexed.
+        let with_naive = doc(&records).replace(r#""runs":1,"#, r#""runs":1,"conflict":"naive","#);
+        let base = write(&dir, "base-naive.json", &with_naive);
+        let fresh = write(&dir, "fresh-indexed.json", &doc(&records));
+        let err = check(&base, &fresh).unwrap_err();
+        assert!(err.contains("conflict"), "{err}");
+        let with_indexed =
+            doc(&records).replace(r#""runs":1,"#, r#""runs":1,"conflict":"indexed","#);
+        let base = write(&dir, "base-indexed.json", &with_indexed);
+        check(&base, &fresh).unwrap();
     }
 
     #[test]

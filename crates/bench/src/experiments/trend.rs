@@ -1,0 +1,325 @@
+//! `perf-trend`: the per-record wall-time trend over the accumulated
+//! `BENCH_history.jsonl` lines.
+//!
+//! `perf` appends one line per sweep (see `super::perf::append_history`);
+//! this experiment reads those lines back and renders the trajectory the
+//! single overwritten `BENCH_perf.json` snapshot cannot show: one row per
+//! `workload/family/step` record, one column per history line (oldest
+//! first, capped at the most recent [`MAX_COLUMNS`]), each cell the
+//! record's wall time plus its ratio to the previous line. A markdown
+//! rendering is written to `<out>/perf_trend.md` when `--out` is set —
+//! the ROADMAP's "benchmark dashboard" artifact.
+//!
+//! Lines whose run parameters (`scale_factor`, `n_ccs`, `runs`, `seed`,
+//! `conflict` builder) differ from the newest line's are still shown but
+//! flagged with `*` in the column header: their walls are not
+//! apples-to-apples, exactly the comparability rule `perf-check` enforces.
+
+use super::{conflict_label, json_field as field};
+use crate::harness::{fmt_s, ExperimentOpts, Table};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Most recent history lines shown (older lines are summarized away).
+pub const MAX_COLUMNS: usize = 6;
+
+/// One parsed `BENCH_history.jsonl` line.
+#[derive(Debug)]
+struct HistoryLine {
+    label: String,
+    stamp: String,
+    /// Rendered run parameters, for comparability flagging.
+    params: String,
+    /// `workload/family/step` → wall seconds.
+    walls: BTreeMap<String, f64>,
+}
+
+fn parse_line(line: &str, lineno: usize) -> Result<HistoryLine, String> {
+    let doc = serde_json::from_str(line)
+        .map_err(|e| format!("history line {lineno} is not valid JSON: {e}"))?;
+    let serde::Value::Object(top) = doc else {
+        return Err(format!("history line {lineno} is not a JSON object"));
+    };
+    let text = |name: &str| -> String {
+        match field(&top, name) {
+            Some(serde::Value::Str(s)) => s,
+            other => format!("{other:?}"),
+        }
+    };
+    let num = |name: &str| -> String {
+        match field(&top, name) {
+            Some(serde::Value::Float(x)) => x.to_string(),
+            Some(serde::Value::Int(n)) => n.to_string(),
+            other => format!("{other:?}"),
+        }
+    };
+    // The conflict-builder label counts as a run parameter: naive walls
+    // are not comparable to indexed ones (shared defaulting rule:
+    // `super::conflict_label`).
+    let conflict = conflict_label(&top);
+    let params = format!(
+        "scale_factor={} n_ccs={} runs={} seed={} conflict={}",
+        num("scale_factor"),
+        num("n_ccs"),
+        num("runs"),
+        num("seed"),
+        conflict
+    );
+    let Some(serde::Value::Object(walls_obj)) = field(&top, "walls") else {
+        return Err(format!("history line {lineno} has no `walls` object"));
+    };
+    let mut walls = BTreeMap::new();
+    for (key, v) in walls_obj {
+        let wall = match v {
+            serde::Value::Float(x) => x,
+            serde::Value::Int(n) => n as f64,
+            other => return Err(format!("history line {lineno}: wall `{key}` is {other:?}")),
+        };
+        walls.insert(key, wall);
+    }
+    Ok(HistoryLine {
+        label: text("label"),
+        stamp: text("stamp"),
+        params,
+        walls,
+    })
+}
+
+fn read_history(path: &Path) -> Result<Vec<HistoryLine>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "cannot read history `{}`: {e} — run `experiments -- perf` first",
+            path.display()
+        )
+    })?;
+    let lines: Vec<HistoryLine> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| parse_line(l, i + 1))
+        .collect::<Result<_, _>>()?;
+    if lines.is_empty() {
+        return Err(format!(
+            "history `{}` has no lines — run `experiments -- perf` first",
+            path.display()
+        ));
+    }
+    Ok(lines)
+}
+
+/// The trend matrix: record keys × (shown) history lines, cells rendered
+/// as `wall (×ratio-to-previous-shown-line)`.
+fn render_rows(lines: &[HistoryLine]) -> (Vec<String>, Vec<Vec<String>>) {
+    let newest_params = &lines[lines.len() - 1].params;
+    let shown = &lines[lines.len().saturating_sub(MAX_COLUMNS)..];
+    let headers: Vec<String> = std::iter::once("Record".to_owned())
+        .chain(shown.iter().map(|l| {
+            format!(
+                "{}@{}{}",
+                l.label,
+                l.stamp,
+                if l.params == *newest_params { "" } else { "*" }
+            )
+        }))
+        .collect();
+    let mut keys: Vec<&String> = Vec::new();
+    for l in shown {
+        for k in l.walls.keys() {
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+    }
+    keys.sort();
+    let rows = keys
+        .iter()
+        .map(|&key| {
+            let mut row = vec![key.clone()];
+            let mut prev: Option<f64> = None;
+            for l in shown {
+                row.push(match l.walls.get(key) {
+                    None => "-".to_owned(),
+                    Some(&w) => {
+                        let cell = match prev {
+                            Some(p) if p > 0.0 => format!("{} (x{:.2})", fmt_s(w), w / p),
+                            _ => fmt_s(w),
+                        };
+                        prev = Some(w);
+                        cell
+                    }
+                });
+            }
+            row
+        })
+        .collect();
+    (headers, rows)
+}
+
+fn markdown(title: &str, headers: &[String], rows: &[Vec<String>], skipped: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n\n"));
+    if skipped > 0 {
+        out.push_str(&format!(
+            "_{skipped} older history line(s) not shown (cap: {MAX_COLUMNS} columns)._\n\n"
+        ));
+    }
+    out.push_str(&format!("| {} |\n", headers.join(" | ")));
+    out.push_str(&format!(
+        "|{}\n",
+        headers.iter().map(|_| "---|").collect::<String>()
+    ));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out.push_str(
+        "\nCells are per-record wall seconds; `(xR)` is the ratio to the previous shown \
+         line. A `*` column ran with different parameters than the newest line, so its \
+         walls are not directly comparable.\n",
+    );
+    out
+}
+
+/// Runs `perf-trend`: reads the history at `--history` (default
+/// `BENCH_history.jsonl` in the working directory — the committed
+/// trajectory), prints the trend table and writes `perf_trend.md` into
+/// `--out` when set.
+pub fn run(opts: &ExperimentOpts) -> Result<(), String> {
+    let path = opts
+        .history
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_history.jsonl"));
+    let lines = read_history(&path)?;
+    let (headers, rows) = render_rows(&lines);
+    let skipped = lines.len().saturating_sub(MAX_COLUMNS);
+    let title = format!(
+        "Perf trend — {} history line(s) from {}",
+        lines.len(),
+        path.display()
+    );
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new("perf-trend", &title, &header_refs);
+    for row in &rows {
+        table.push(row.clone());
+    }
+    println!("{}", table.render());
+    if skipped > 0 {
+        println!("[{skipped} older history line(s) not shown; cap {MAX_COLUMNS}]");
+    }
+    if let Some(dir) = &opts.out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create output dir: {e}"))?;
+        let md_path = dir.join("perf_trend.md");
+        std::fs::write(&md_path, markdown(&title, &headers, &rows, skipped))
+            .map_err(|e| format!("write {}: {e}", md_path.display()))?;
+        println!("[markdown trend written to {}]\n", md_path.display());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(label: &str, scale: f64, walls: &[(&str, f64)]) -> String {
+        let walls: Vec<String> = walls.iter().map(|(k, w)| format!(r#""{k}":{w}"#)).collect();
+        format!(
+            r#"{{"label":"{label}","stamp":"s","schema_version":2,"scale_factor":{scale},"n_ccs":15,"runs":1,"seed":7,"walls":{{{}}}}}"#,
+            walls.join(",")
+        )
+    }
+
+    fn write_history(name: &str, lines: &[String]) -> PathBuf {
+        let dir = std::env::temp_dir().join("cextend-perf-trend");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        path
+    }
+
+    #[test]
+    fn trend_renders_ratios_and_new_records() {
+        let path = write_history(
+            "ok.jsonl",
+            &[
+                line("a", 0.005, &[("census/good/s", 0.1)]),
+                line(
+                    "b",
+                    0.005,
+                    &[("census/good/s", 0.2), ("dcdense/good/s", 0.05)],
+                ),
+            ],
+        );
+        let lines = read_history(&path).unwrap();
+        let (headers, rows) = render_rows(&lines);
+        assert_eq!(headers.len(), 3);
+        assert!(!headers[1].ends_with('*'), "same params: no flag");
+        assert_eq!(rows.len(), 2);
+        let census = rows.iter().find(|r| r[0] == "census/good/s").unwrap();
+        assert!(census[2].contains("x2.00"), "{census:?}");
+        let fresh = rows.iter().find(|r| r[0] == "dcdense/good/s").unwrap();
+        assert_eq!(fresh[1], "-");
+        assert!(!fresh[2].contains('x'), "first value has no ratio");
+    }
+
+    #[test]
+    fn incomparable_lines_are_flagged() {
+        let path = write_history(
+            "flag.jsonl",
+            &[
+                line("old", 0.02, &[("census/good/s", 0.4)]),
+                line("new", 0.005, &[("census/good/s", 0.1)]),
+            ],
+        );
+        let lines = read_history(&path).unwrap();
+        let (headers, _) = render_rows(&lines);
+        assert!(headers[1].ends_with('*'), "{headers:?}");
+        assert!(!headers[2].ends_with('*'));
+    }
+
+    #[test]
+    fn naive_conflict_lines_are_flagged() {
+        // Same data parameters, different conflict builder: walls differ
+        // ~17x on DC-dense records, so the older line must be starred. An
+        // absent field (pre-PR5 line) counts as indexed.
+        let naive = line("old", 0.005, &[("dcdense/good/s", 1.7)])
+            .replace(r#""runs":1,"#, r#""runs":1,"conflict":"naive","#);
+        let path = write_history(
+            "flag-conflict.jsonl",
+            &[naive, line("new", 0.005, &[("dcdense/good/s", 0.1)])],
+        );
+        let lines = read_history(&path).unwrap();
+        let (headers, _) = render_rows(&lines);
+        assert!(headers[1].ends_with('*'), "{headers:?}");
+        assert!(!headers[2].ends_with('*'));
+    }
+
+    #[test]
+    fn column_cap_keeps_newest_lines() {
+        let many: Vec<String> = (0..10)
+            .map(|i| line(&format!("l{i}"), 0.005, &[("census/good/s", 0.1)]))
+            .collect();
+        let path = write_history("cap.jsonl", &many);
+        let lines = read_history(&path).unwrap();
+        let (headers, _) = render_rows(&lines);
+        assert_eq!(headers.len(), MAX_COLUMNS + 1);
+        assert!(headers[MAX_COLUMNS].starts_with("l9@"));
+    }
+
+    #[test]
+    fn missing_or_empty_history_errors() {
+        let err = read_history(Path::new("/nonexistent/h.jsonl")).unwrap_err();
+        assert!(err.contains("run `experiments -- perf` first"), "{err}");
+        let path = write_history("empty.jsonl", &[String::new()]);
+        assert!(read_history(&path).is_err());
+    }
+
+    #[test]
+    fn markdown_contains_table_and_caveat() {
+        let path = write_history("md.jsonl", &[line("a", 0.005, &[("census/good/s", 0.1)])]);
+        let lines = read_history(&path).unwrap();
+        let (headers, rows) = render_rows(&lines);
+        let md = markdown("t", &headers, &rows, 2);
+        assert!(md.contains("| Record |"));
+        assert!(md.contains("census/good/s"));
+        assert!(md.contains("2 older history line(s)"));
+    }
+}

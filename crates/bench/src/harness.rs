@@ -8,7 +8,7 @@
 use cextend_constraints::{CardinalityConstraint, DenialConstraint};
 use cextend_core::metrics::{evaluate, median, EvaluationReport};
 use cextend_core::snowflake::{solve_snowflake, SnowflakeStep};
-use cextend_core::{solve, SchedulerMode, SolveStats, SolverConfig};
+use cextend_core::{solve, ConflictBuilderKind, SchedulerMode, SolveStats, SolverConfig};
 use cextend_workloads::{
     workload_by_name, CcFamily, DcSet, Workload, WorkloadData, WorkloadParams,
 };
@@ -42,6 +42,13 @@ pub struct ExperimentOpts {
     pub baseline: Option<PathBuf>,
     /// Step scheduler the solver runs chains with (`--scheduler`).
     pub scheduler: SchedulerMode,
+    /// Conflict-hypergraph builder the solver uses (`--conflict`); output
+    /// is bit-identical across kinds, only build cost differs — `naive` is
+    /// the measured baseline for the indexed fast path.
+    pub conflict: ConflictBuilderKind,
+    /// `BENCH_history.jsonl` path `perf-trend` reads (`--history`; `None`
+    /// means the file in the working directory, i.e. the committed one).
+    pub history: Option<PathBuf>,
     /// Build label (git-describe-ish) stamped into `BENCH_history.jsonl`
     /// records (`--label`).
     pub label: String,
@@ -62,6 +69,8 @@ impl Default for ExperimentOpts {
             out_dir: None,
             baseline: None,
             scheduler: SchedulerMode::Serial,
+            conflict: ConflictBuilderKind::Indexed,
+            history: None,
             label: "dev".to_owned(),
             stamp: "unstamped".to_owned(),
         }
@@ -112,9 +121,11 @@ impl ExperimentOpts {
     }
 
     /// The hybrid solver configuration with the CLI-selected step
-    /// scheduler applied.
+    /// scheduler and conflict builder applied.
     pub fn solver_config(&self) -> SolverConfig {
-        SolverConfig::hybrid().with_scheduler(self.scheduler)
+        SolverConfig::hybrid()
+            .with_scheduler(self.scheduler)
+            .with_conflict(self.conflict)
     }
 
     /// The fully resolved knob map of the selected workload: every

@@ -16,7 +16,9 @@
 
 #![warn(missing_docs)]
 
+pub mod benchdata;
 pub mod experiments;
 pub mod harness;
 
+pub use benchdata::dcdense_largest_partition;
 pub use harness::{run_averaged, run_once, ExperimentOpts, RunResult, Table};

@@ -262,6 +262,276 @@ impl BoundDc {
             _ => true,
         })
     }
+
+    /// Compiles this DC into a [`DcPlan`] for indexed enumeration.
+    pub fn plan(&self) -> DcPlan {
+        DcPlan::compile(self)
+    }
+}
+
+/// One unary conjunct of φ, split out per tuple variable by [`DcPlan`].
+#[derive(Clone, Copy, Debug)]
+pub struct UnaryFilter {
+    /// Column the atom reads.
+    pub col: ColId,
+    /// Operator.
+    pub op: CmpOp,
+    /// Constant compared against.
+    pub value: Value,
+}
+
+impl UnaryFilter {
+    /// Evaluates the atom on one row; a missing cell is `false`.
+    #[inline]
+    pub fn eval(&self, rel: &Relation, row: RowId) -> bool {
+        match rel.get(row, self.col) {
+            Some(x) => self.op.eval(x, self.value),
+            None => false,
+        }
+    }
+}
+
+/// One binary conjunct `t_lvar.lcol ◦ t_rvar.rcol + offset` (integer
+/// columns) as scheduled by a [`DcPlan`].
+#[derive(Clone, Copy, Debug)]
+pub struct BinaryAtomPlan {
+    /// Left tuple-variable index.
+    pub lvar: usize,
+    /// Left column id.
+    pub lcol: ColId,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right tuple-variable index.
+    pub rvar: usize,
+    /// Right column id.
+    pub rcol: ColId,
+    /// Constant offset added to the right side.
+    pub offset: i64,
+}
+
+impl BinaryAtomPlan {
+    /// `true` for `=` atoms — probeable through a hash bucket index (the
+    /// most selective driver; see `cextend_core::conflict`).
+    pub fn is_equality(&self) -> bool {
+        self.op == CmpOp::Eq
+    }
+
+    /// `true` for ordering atoms — probeable through a sorted run.
+    pub fn is_range(&self) -> bool {
+        matches!(self.op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge)
+    }
+
+    /// `true` if the atom reads tuple variable `var`.
+    pub fn involves(&self, var: usize) -> bool {
+        self.lvar == var || self.rvar == var
+    }
+
+    /// The atom's other tuple variable (callers guarantee `involves(var)`;
+    /// for a same-variable atom this returns `var` itself).
+    pub fn other_var(&self, var: usize) -> usize {
+        if self.lvar == var {
+            self.rvar
+        } else {
+            self.lvar
+        }
+    }
+
+    /// Evaluates the atom on raw integer cells (`l` from `lvar.lcol`, `r`
+    /// from `rvar.rcol`); a missing cell is `false`. Identical semantics to
+    /// [`BoundDc::holds`]'s binary branch, minus the `Value` boxing.
+    #[inline]
+    pub fn eval_cells(&self, l: Option<i64>, r: Option<i64>) -> bool {
+        match (l, r) {
+            (Some(l), Some(r)) => self.op.test(l.cmp(&(r + self.offset))),
+            _ => false,
+        }
+    }
+}
+
+/// Canonical form of a binary atom used for the symmetry check only:
+/// `l ◦ r + off` and its flip `r ◦' l − off` denote the same constraint, so
+/// both orientations map to one key (smaller variable on the left).
+fn canonical_binary_key(a: &BinaryAtomPlan) -> (usize, ColId, u8, usize, ColId, i64) {
+    let rank = canonical_binary_key_rank;
+    let flip = |op: CmpOp| -> CmpOp {
+        match op {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq | CmpOp::Ne => op,
+        }
+    };
+    let keep = (a.lvar, a.lcol) <= (a.rvar, a.rcol) || a.offset.checked_neg().is_none();
+    if keep {
+        (a.lvar, a.lcol, rank(a.op), a.rvar, a.rcol, a.offset)
+    } else {
+        (a.rvar, a.rcol, rank(flip(a.op)), a.lvar, a.lcol, -a.offset)
+    }
+}
+
+/// A compiled evaluation plan for one [`BoundDc`].
+///
+/// The plan splits φ into per-variable unary filters (candidate
+/// pre-filtering) and binary atoms carrying selectivity hints (equality
+/// atoms probe hash buckets, ordering atoms probe sorted runs), and
+/// detects **interchangeable tuple variables**: variables whose swap is an
+/// automorphism of φ, so enumeration can restrict their assignments to
+/// ascending vertex ids and emit each undirected conflict edge exactly once
+/// instead of once per symmetric variable order.
+#[derive(Clone, Debug)]
+pub struct DcPlan {
+    arity: usize,
+    unary: Vec<Vec<UnaryFilter>>,
+    binary: Vec<BinaryAtomPlan>,
+    sym_class: Vec<usize>,
+}
+
+impl DcPlan {
+    /// Compiles a bound DC.
+    pub fn compile(dc: &BoundDc) -> DcPlan {
+        let mut unary: Vec<Vec<UnaryFilter>> = vec![Vec::new(); dc.arity];
+        let mut binary: Vec<BinaryAtomPlan> = Vec::new();
+        for a in &dc.atoms {
+            match *a {
+                BoundDcAtom::Unary {
+                    var,
+                    col,
+                    op,
+                    value,
+                } => unary[var].push(UnaryFilter { col, op, value }),
+                BoundDcAtom::Binary {
+                    lvar,
+                    lcol,
+                    op,
+                    rvar,
+                    rcol,
+                    offset,
+                } => binary.push(BinaryAtomPlan {
+                    lvar,
+                    lcol,
+                    op,
+                    rvar,
+                    rcol,
+                    offset,
+                }),
+            }
+        }
+        let sym_class = symmetry_classes(dc.arity, &unary, &binary);
+        DcPlan {
+            arity: dc.arity,
+            unary,
+            binary,
+            sym_class,
+        }
+    }
+
+    /// Number of tuple variables.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The unary atoms of tuple variable `var`.
+    pub fn unary_filters(&self, var: usize) -> &[UnaryFilter] {
+        &self.unary[var]
+    }
+
+    /// All binary atoms of φ.
+    pub fn binary_atoms(&self) -> &[BinaryAtomPlan] {
+        &self.binary
+    }
+
+    /// The symmetry class of `var`: the smallest variable index it is
+    /// interchangeable with. Variables sharing a class may be constrained
+    /// to ascending vertex ids without losing any conflict edge.
+    pub fn sym_class(&self, var: usize) -> usize {
+        self.sym_class[var]
+    }
+
+    /// `true` if row `r` passes every unary atom of `var` (identical to
+    /// [`BoundDc::var_candidate`]).
+    #[inline]
+    pub fn row_passes_unary(&self, rel: &Relation, var: usize, r: RowId) -> bool {
+        self.unary[var].iter().all(|f| f.eval(rel, r))
+    }
+}
+
+/// Groups tuple variables into interchangeability classes: `var` joins the
+/// class of the smallest `prev` such that swapping `var` with *every*
+/// member of `prev`'s class is an automorphism of φ (unary multisets equal,
+/// binary multiset mapped onto itself). Requiring the check against every
+/// member keeps the class sound even when pairwise interchangeability is
+/// not transitive.
+fn symmetry_classes(
+    arity: usize,
+    unary: &[Vec<UnaryFilter>],
+    binary: &[BinaryAtomPlan],
+) -> Vec<usize> {
+    let unary_key = |var: usize| -> Vec<(ColId, u8, Value)> {
+        let mut k: Vec<(ColId, u8, Value)> = unary[var]
+            .iter()
+            .map(|f| (f.col, canonical_binary_key_rank(f.op), f.value))
+            .collect();
+        k.sort();
+        k
+    };
+    let canon_multiset = |atoms: &[BinaryAtomPlan]| -> Vec<(usize, ColId, u8, usize, ColId, i64)> {
+        let mut k: Vec<_> = atoms.iter().map(canonical_binary_key).collect();
+        k.sort_unstable();
+        k
+    };
+    let base = canon_multiset(binary);
+    let interchangeable = |a: usize, b: usize| -> bool {
+        if unary_key(a) != unary_key(b) {
+            return false;
+        }
+        let swapped: Vec<BinaryAtomPlan> = binary
+            .iter()
+            .map(|atom| {
+                let tau = |v: usize| {
+                    if v == a {
+                        b
+                    } else if v == b {
+                        a
+                    } else {
+                        v
+                    }
+                };
+                BinaryAtomPlan {
+                    lvar: tau(atom.lvar),
+                    rvar: tau(atom.rvar),
+                    ..*atom
+                }
+            })
+            .collect();
+        canon_multiset(&swapped) == base
+    };
+    let mut class: Vec<usize> = (0..arity).collect();
+    for var in 1..arity {
+        for rep in 0..var {
+            if class[rep] != rep {
+                continue; // only class representatives
+            }
+            let members: Vec<usize> = (0..var).filter(|&m| class[m] == rep).collect();
+            if members.iter().all(|&m| interchangeable(m, var)) {
+                class[var] = rep;
+                break;
+            }
+        }
+    }
+    class
+}
+
+/// Operator rank shared by the unary and binary canonical keys.
+fn canonical_binary_key_rank(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
 }
 
 #[cfg(test)]
@@ -437,6 +707,79 @@ mod tests {
         )
         .unwrap();
         assert!(dc.holds(&r, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn plan_detects_symmetric_variables() {
+        let r = persons();
+        // DC_OO: both variables carry the identical Owner atom → one class.
+        let plan = dc_oo().bind(r.schema(), "Persons").unwrap().plan();
+        assert_eq!(plan.arity(), 2);
+        assert_eq!(plan.sym_class(0), 0);
+        assert_eq!(plan.sym_class(1), 0);
+        // DC_OS_low: Owner vs Spouse atoms differ → separate classes.
+        let plan = dc_os_low().bind(r.schema(), "Persons").unwrap().plan();
+        assert_eq!(plan.sym_class(0), 0);
+        assert_eq!(plan.sym_class(1), 1);
+        assert_eq!(plan.unary_filters(0).len(), 1);
+        assert_eq!(plan.binary_atoms().len(), 1);
+        assert!(plan.binary_atoms()[0].is_range());
+        assert!(!plan.binary_atoms()[0].is_equality());
+    }
+
+    #[test]
+    fn plan_symmetry_on_equality_chain() {
+        // NAE-style: ¬(t1.Age = t2.Age ∧ t2.Age = t3.Age). Swapping t1,t3
+        // maps the chain onto itself; t2 is pinned by both atoms.
+        let chain = |l: usize, r_: usize| DcAtom::Binary {
+            lvar: l,
+            lcol: "Age".into(),
+            op: CmpOp::Eq,
+            rvar: r_,
+            rcol: "Age".into(),
+            offset: 0,
+        };
+        let dc = DenialConstraint::new("nae", 3, vec![chain(0, 1), chain(1, 2)]).unwrap();
+        let r = persons();
+        let plan = dc.bind(r.schema(), "Persons").unwrap().plan();
+        assert_eq!(plan.sym_class(0), 0);
+        assert_eq!(plan.sym_class(1), 1);
+        assert_eq!(plan.sym_class(2), 0);
+        assert!(plan.binary_atoms().iter().all(BinaryAtomPlan::is_equality));
+    }
+
+    #[test]
+    fn plan_unary_filter_matches_var_candidate() {
+        let r = persons();
+        let bound = dc_os_low().bind(r.schema(), "Persons").unwrap();
+        let plan = bound.plan();
+        for var in 0..2 {
+            for row in 0..r.n_rows() {
+                assert_eq!(
+                    plan.row_passes_unary(&r, var, row),
+                    bound.var_candidate(&r, var, row),
+                    "var {var} row {row}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_atom_eval_cells_matches_holds_semantics() {
+        let atom = BinaryAtomPlan {
+            lvar: 1,
+            lcol: 0,
+            op: CmpOp::Lt,
+            rvar: 0,
+            rcol: 0,
+            offset: -50,
+        };
+        assert!(atom.eval_cells(Some(24), Some(75))); // 24 < 75 − 50
+        assert!(!atom.eval_cells(Some(25), Some(75)));
+        assert!(!atom.eval_cells(None, Some(75))); // missing cells never conflict
+        assert!(!atom.eval_cells(Some(24), None));
+        assert_eq!(atom.other_var(1), 0);
+        assert!(atom.involves(0) && atom.involves(1) && !atom.involves(2));
     }
 
     #[test]

@@ -39,7 +39,7 @@ mod parser;
 mod relationship;
 
 pub use cc::{CardinalityConstraint, NormalizedCond};
-pub use dc::{BoundDc, DcAtom, DenialConstraint};
+pub use dc::{BinaryAtomPlan, BoundDc, DcAtom, DcPlan, DenialConstraint, UnaryFilter};
 pub use error::{ConstraintError, Result};
 pub use hasse::HasseDiagram;
 pub use intervalize::{domain_ranges, BinDim, BinKey, Binning, BoundBinning, ColumnIntervals};

@@ -38,6 +38,40 @@ pub enum Phase2Strategy {
     RandomAssignment,
 }
 
+/// Which conflict-hypergraph builder Phase II uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ConflictBuilderKind {
+    /// The indexed fast path: compiled `DcPlan`s, per-partition value
+    /// indexes, incremental atom verification, symmetry dedup (see
+    /// [`crate::conflict`]).
+    #[default]
+    Indexed,
+    /// The naive `O(|P|^k)` enumeration with φ evaluated at every leaf.
+    /// Retained for equivalence testing and as the measured baseline; both
+    /// builders produce identical edge sets, so solver output is
+    /// bit-identical either way.
+    Naive,
+}
+
+impl ConflictBuilderKind {
+    /// Lower-case label used in CLIs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConflictBuilderKind::Indexed => "indexed",
+            ConflictBuilderKind::Naive => "naive",
+        }
+    }
+
+    /// Parses a CLI label.
+    pub fn parse(s: &str) -> Option<ConflictBuilderKind> {
+        match s {
+            "indexed" => Some(ConflictBuilderKind::Indexed),
+            "naive" => Some(ConflictBuilderKind::Naive),
+            _ => None,
+        }
+    }
+}
+
 /// Coloring engine for [`Phase2Strategy::Coloring`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ColoringMode {
@@ -114,6 +148,10 @@ pub struct SolverConfig {
     pub phase2: Phase2Strategy,
     /// Coloring engine (only used by [`Phase2Strategy::Coloring`]).
     pub coloring: ColoringMode,
+    /// Conflict-hypergraph builder (only used by
+    /// [`Phase2Strategy::Coloring`]). Output is bit-identical across kinds;
+    /// only the build cost differs.
+    pub conflict: ConflictBuilderKind,
     /// ILP settings (only used when Phase I reaches Algorithm 1).
     pub ilp: IlpSettings,
     /// Color partitions on multiple threads (Section A.3). Deterministic:
@@ -151,6 +189,7 @@ impl SolverConfig {
             phase1: Phase1Strategy::Hybrid,
             phase2: Phase2Strategy::Coloring,
             coloring: ColoringMode::Greedy,
+            conflict: ConflictBuilderKind::Indexed,
             ilp: IlpSettings::default(),
             parallel_coloring: false,
             allow_augmenting_r2: true,
@@ -198,6 +237,12 @@ impl SolverConfig {
         self.scheduler = scheduler;
         self
     }
+
+    /// Builder-style conflict-builder override.
+    pub fn with_conflict(mut self, conflict: ConflictBuilderKind) -> SolverConfig {
+        self.conflict = conflict;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +267,19 @@ mod tests {
     #[test]
     fn seed_builder() {
         assert_eq!(SolverConfig::hybrid().with_seed(42).seed, 42);
+    }
+
+    #[test]
+    fn conflict_builder_knob_round_trips() {
+        assert_eq!(
+            SolverConfig::hybrid().conflict,
+            ConflictBuilderKind::Indexed
+        );
+        for kind in [ConflictBuilderKind::Indexed, ConflictBuilderKind::Naive] {
+            assert_eq!(ConflictBuilderKind::parse(kind.label()), Some(kind));
+            assert_eq!(SolverConfig::hybrid().with_conflict(kind).conflict, kind);
+        }
+        assert_eq!(ConflictBuilderKind::parse("nope"), None);
     }
 
     #[test]

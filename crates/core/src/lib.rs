@@ -68,9 +68,19 @@ pub mod stepgraph;
 
 pub use baseline::{solve_baseline, solve_baseline_with_marginals, solve_hybrid};
 pub use config::{
-    ColoringMode, IlpBackend, IlpSettings, Phase1Strategy, Phase2Strategy, SchedulerMode,
-    SolverConfig,
+    ColoringMode, ConflictBuilderKind, IlpBackend, IlpSettings, Phase1Strategy, Phase2Strategy,
+    SchedulerMode, SolverConfig,
 };
+
+/// Conflict-hypergraph construction (Definition 5.1): the indexed fast
+/// path, the retained naive oracle, and their build statistics. Public so
+/// the bench harness can measure the builders head to head and the
+/// workload crate can property-test their edge-set equivalence.
+pub mod conflict {
+    pub use crate::phase2::conflict::{
+        build_conflict_graph, build_conflict_graph_naive, ConflictBuilder, ConflictStats,
+    };
+}
 pub use error::{CoreError, Result};
 pub use instance::CExtensionInstance;
 pub use report::{Solution, SolveCounters, SolveStats, StageTimings};

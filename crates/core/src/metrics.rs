@@ -11,7 +11,7 @@
 
 use crate::error::Result;
 use crate::instance::CExtensionInstance;
-use crate::phase2::conflict::build_conflict_graph;
+use crate::phase2::conflict::ConflictBuilder;
 use crate::report::Solution;
 use cextend_constraints::{BoundDc, CardinalityConstraint, DenialConstraint};
 use cextend_table::{fk_join, relations_equal_ordered, Relation, RowId};
@@ -101,11 +101,14 @@ fn dc_error_grouped(
         }
     }
     let mut violating = vec![false; r1_hat.n_rows()];
+    // One builder (compiled DC plans + scratch) across the thousands of
+    // per-FK groups.
+    let mut builder = ConflictBuilder::new(&bound);
     for rows in groups.values() {
         if rows.len() < 2 {
             continue;
         }
-        let g = build_conflict_graph(r1_hat, rows, &bound);
+        let g = builder.build(r1_hat, rows);
         for e in g.edges() {
             for &v in e {
                 violating[rows[v as usize]] = true;

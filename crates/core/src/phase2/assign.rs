@@ -7,7 +7,8 @@
 //! because candidate key sets are disjoint across combos (Section 5.2), so
 //! they can be colored on separate threads (Section A.3).
 
-use crate::config::ColoringMode;
+use crate::config::{ColoringMode, ConflictBuilderKind};
+use crate::phase2::conflict::{ConflictBuilder, ConflictStats};
 use cextend_constraints::BoundDc;
 use cextend_hypergraph::{
     color_skipped_with_fresh, coloring_lf, exact_list_coloring, CandidateLists, Color, Coloring,
@@ -35,9 +36,16 @@ pub(crate) struct PartitionResult {
     pub build_time: Duration,
     /// Time spent coloring.
     pub color_time: Duration,
+    /// Indexed-builder statistics for this partition (zero under
+    /// [`ConflictBuilderKind::Naive`]).
+    pub index_stats: ConflictStats,
 }
 
-/// Colors one partition. Pure: mutates nothing outside its return value.
+/// Colors one partition. Pure apart from the reused `builder` scratch:
+/// mutates nothing outside its return value. `builder` is `None` exactly
+/// under [`ConflictBuilderKind::Naive`], whose index stats are
+/// definitionally zero.
+#[allow(clippy::too_many_arguments)] // one knob per Phase II degree of freedom
 pub(crate) fn color_partition(
     partition: usize,
     view: &Relation,
@@ -45,9 +53,16 @@ pub(crate) fn color_partition(
     n_candidates: usize,
     dcs: &[BoundDc],
     mode: ColoringMode,
+    builder: Option<&mut ConflictBuilder>,
 ) -> PartitionResult {
     let t = std::time::Instant::now();
-    let g = super::conflict::build_conflict_graph(view, rows, dcs);
+    let (g, index_stats) = match builder {
+        Some(builder) => (builder.build(view, rows), builder.take_stats()),
+        None => (
+            super::conflict::build_conflict_graph_naive(view, rows, dcs),
+            ConflictStats::default(),
+        ),
+    };
     let build_time = t.elapsed();
 
     let t = std::time::Instant::now();
@@ -82,41 +97,60 @@ pub(crate) fn color_partition(
         skipped: skipped_vertices.len(),
         build_time,
         color_time,
+        index_stats,
     }
 }
 
 /// Colors all partitions, serially or on `std::thread::scope` threads.
 /// Results come back in partition order either way, so the pipeline is
-/// deterministic.
+/// deterministic. Each worker compiles the DC plans once into its own
+/// [`ConflictBuilder`] and reuses it across its partitions; the worker
+/// count honors `CEXTEND_SCHED_WORKERS` via [`cextend_sched::pool_width`].
 pub(crate) fn color_all_partitions(
     view: &Relation,
     partitions: &[(Vec<cextend_table::Value>, Vec<RowId>, usize)],
     dcs: &[BoundDc],
     mode: ColoringMode,
+    kind: ConflictBuilderKind,
     parallel: bool,
 ) -> Vec<PartitionResult> {
+    // Compile the DC plans only when the indexed builder will run; the
+    // naive path would never use them.
+    let new_builder = || match kind {
+        ConflictBuilderKind::Indexed => Some(ConflictBuilder::new(dcs)),
+        ConflictBuilderKind::Naive => None,
+    };
     if !parallel || partitions.len() < 2 {
+        let mut builder = new_builder();
         return partitions
             .iter()
             .enumerate()
-            .map(|(i, (_, rows, n_cand))| color_partition(i, view, rows, *n_cand, dcs, mode))
+            .map(|(i, (_, rows, n_cand))| {
+                color_partition(i, view, rows, *n_cand, dcs, mode, builder.as_mut())
+            })
             .collect();
     }
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(partitions.len());
+    let n_threads = cextend_sched::pool_width(partitions.len());
     let mut results: Vec<Option<PartitionResult>> = Vec::new();
     results.resize_with(partitions.len(), || None);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..n_threads {
             handles.push(scope.spawn(move || {
+                let mut builder = new_builder();
                 let mut local = Vec::new();
                 let mut i = t;
                 while i < partitions.len() {
                     let (_, rows, n_cand) = &partitions[i];
-                    local.push(color_partition(i, view, rows, *n_cand, dcs, mode));
+                    local.push(color_partition(
+                        i,
+                        view,
+                        rows,
+                        *n_cand,
+                        dcs,
+                        mode,
+                        builder.as_mut(),
+                    ));
                     i += n_threads;
                 }
                 local
@@ -164,7 +198,16 @@ mod tests {
     fn chicago_partition_colors_with_four_households() {
         let (view, dcs) = chicago_setup();
         let rows: Vec<RowId> = (0..7).collect();
-        let r = color_partition(0, &view, &rows, 4, &dcs, ColoringMode::Greedy);
+        let mut builder = ConflictBuilder::new(&dcs);
+        let r = color_partition(
+            0,
+            &view,
+            &rows,
+            4,
+            &dcs,
+            ColoringMode::Greedy,
+            Some(&mut builder),
+        );
         assert_eq!(r.assignments.len(), 7);
         assert_eq!(r.skipped, 0);
         assert_eq!(r.fresh_colors, 0);
@@ -176,7 +219,7 @@ mod tests {
         let (view, dcs) = chicago_setup();
         let rows: Vec<RowId> = (0..7).collect();
         // Only 2 candidate households for 4 pairwise-conflicting owners.
-        let r = color_partition(0, &view, &rows, 2, &dcs, ColoringMode::Greedy);
+        let r = color_partition(0, &view, &rows, 2, &dcs, ColoringMode::Greedy, None);
         assert!(r.skipped >= 2);
         assert!(r.fresh_colors <= r.skipped);
         assert!(r.fresh_colors >= 2);
@@ -188,6 +231,7 @@ mod tests {
     fn exact_mode_succeeds_where_stated() {
         let (view, dcs) = chicago_setup();
         let rows: Vec<RowId> = (0..7).collect();
+        let mut builder = ConflictBuilder::new(&dcs);
         let r = color_partition(
             0,
             &view,
@@ -195,6 +239,7 @@ mod tests {
             4,
             &dcs,
             ColoringMode::Exact { max_steps: 100_000 },
+            Some(&mut builder),
         );
         assert_eq!(r.skipped, 0);
         assert_eq!(r.fresh_colors, 0);
@@ -207,8 +252,22 @@ mod tests {
             (vec![Value::str("Chicago")], (0..7).collect::<Vec<_>>(), 4),
             (vec![Value::str("NYC")], vec![7, 8], 2),
         ];
-        let serial = color_all_partitions(&view, &partitions, &dcs, ColoringMode::Greedy, false);
-        let parallel = color_all_partitions(&view, &partitions, &dcs, ColoringMode::Greedy, true);
+        let serial = color_all_partitions(
+            &view,
+            &partitions,
+            &dcs,
+            ColoringMode::Greedy,
+            ConflictBuilderKind::Indexed,
+            false,
+        );
+        let parallel = color_all_partitions(
+            &view,
+            &partitions,
+            &dcs,
+            ColoringMode::Greedy,
+            ConflictBuilderKind::Naive,
+            true,
+        );
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(parallel.iter()) {
             assert_eq!(s.assignments, p.assignments);

@@ -2,17 +2,585 @@
 //!
 //! Within one `V_join` partition, every set of distinct tuples on which some
 //! DC's condition φ holds becomes a hyperedge: those tuples must not all
-//! receive the same FK. Candidate pre-filtering by each tuple variable's
-//! unary atoms keeps the enumeration close to the number of *actual*
-//! conflicts rather than all `|P|^k` combinations.
+//! receive the same FK. This module builds that graph two ways:
+//!
+//! - [`ConflictBuilder`] — the **indexed fast path**. Each DC is compiled to
+//!   a [`DcPlan`] (per-variable unary filters, binary atoms with
+//!   selectivity hints, interchangeable-variable classes); candidates per
+//!   variable are pre-filtered once, the variables are ordered most
+//!   selective first, and each enumeration level is driven by a
+//!   per-partition value index — a hash bucket for equality atoms, a sorted
+//!   run for ordering atoms — so the inner loop visits only rows that can
+//!   still satisfy φ instead of the whole partition. Binary atoms are
+//!   verified incrementally on partial assignments (pruning whole subtrees)
+//!   rather than re-evaluating φ at `O(|P|^k)` leaves, and interchangeable
+//!   variables are restricted to ascending vertex ids so each undirected
+//!   edge is emitted once instead of once per symmetric variable order.
+//! - [`build_conflict_graph_naive`] — the original per-leaf `φ` evaluation,
+//!   retained as the oracle for equivalence tests and as the baseline the
+//!   `conflict_build` criterion bench and the `--conflict naive` CLI knob
+//!   measure the fast path against.
+//!
+//! Both builders produce the **identical edge set** on any input (property-
+//! tested across all workloads in `cextend-workloads`), so Phase II output
+//! is bit-identical regardless of the builder.
 
-use cextend_constraints::BoundDc;
+use cextend_constraints::{BinaryAtomPlan, BoundDc, DcPlan};
 use cextend_hypergraph::Hypergraph;
-use cextend_table::{Relation, RowId};
+use cextend_table::{CmpOp, ColId, IntColumnView, Relation, RowId, Sym, SymColumnView, Value};
+use std::collections::HashMap;
 
-/// Builds the conflict hypergraph over `rows` of `view` (vertex `i`
-/// corresponds to `rows[i]`).
-pub(crate) fn build_conflict_graph(view: &Relation, rows: &[RowId], dcs: &[BoundDc]) -> Hypergraph {
+/// What the indexed builder did, for `CEXTEND_TRACE` diagnostics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ConflictStats {
+    /// Value indexes (hash buckets + sorted runs) built.
+    pub indexes_built: usize,
+    /// Hash-bucket probes for equality atoms.
+    pub eq_probes: usize,
+    /// Sorted-run probes for ordering atoms.
+    pub range_probes: usize,
+    /// Candidate rows visited without an index driver (full scans of a
+    /// variable's unary-filtered candidate list).
+    pub scanned_candidates: usize,
+    /// DCs skipped outright: some variable had no candidates, or a binary
+    /// atom referenced a non-integer column (φ can never hold).
+    pub dead_dcs: usize,
+}
+
+impl ConflictStats {
+    /// Adds another stats set field by field.
+    pub fn absorb(&mut self, other: &ConflictStats) {
+        self.indexes_built += other.indexes_built;
+        self.eq_probes += other.eq_probes;
+        self.range_probes += other.range_probes;
+        self.scanned_candidates += other.scanned_candidates;
+        self.dead_dcs += other.dead_dcs;
+    }
+}
+
+/// A reusable indexed conflict-graph builder.
+///
+/// Compiling the [`DcPlan`]s once and reusing the scratch buffers matters
+/// when the caller builds graphs for thousands of small partitions (the
+/// `dc_error` metric groups by FK value; Phase II colors every `V_join`
+/// partition).
+pub struct ConflictBuilder {
+    plans: Vec<DcPlan>,
+    /// Candidate positions per tuple variable (indices into `rows`).
+    cands: Vec<Vec<u32>>,
+    /// Vertex chosen per tuple variable (by original variable index).
+    chosen: Vec<u32>,
+    /// Generation stamp per vertex: `member[v] == generation` means `v` is
+    /// currently part of the partial assignment. Never cleared between
+    /// DCs or builds — the generation bump invalidates old marks.
+    member: Vec<u32>,
+    generation: u32,
+    /// Sorted scratch for edge insertion.
+    edge_buf: Vec<u32>,
+    /// Variable-order / atom-schedule scratch, reused across DCs and
+    /// builds (per-FK-group callers like `dc_error` build thousands of
+    /// tiny graphs, where per-call allocation would dominate).
+    order: Vec<usize>,
+    sched: Vec<Vec<usize>>,
+    drivers: Vec<Option<usize>>,
+    driver_ix: Vec<Option<usize>>,
+    stats: ConflictStats,
+}
+
+/// A unary atom resolved against a typed borrowed column view, so the
+/// candidate pre-filter loop reads raw cells instead of constructing an
+/// `Option<Value>` (and re-matching the column dtype) per row. `Never`
+/// marks a dtype mismatch between the atom's constant and the column —
+/// such an atom can hold on no row, exactly as the boxed evaluation
+/// returns `false` on a type-mismatched comparison.
+enum TypedUnary<'a> {
+    Int(IntColumnView<'a>, CmpOp, i64),
+    Sym(SymColumnView<'a>, CmpOp, Sym),
+    Never,
+}
+
+impl TypedUnary<'_> {
+    #[inline]
+    fn eval(&self, row: RowId) -> bool {
+        match self {
+            TypedUnary::Int(cells, op, c) => cells.get(row).is_some_and(|x| op.test(x.cmp(c))),
+            TypedUnary::Sym(cells, op, c) => cells.get(row).is_some_and(|x| op.test(x.cmp(c))),
+            TypedUnary::Never => false,
+        }
+    }
+}
+
+/// One per-partition value index over a variable's candidate list. Only
+/// the structure some driver atom actually probes is populated: hash
+/// buckets for equality drivers, the sorted run for ordering drivers
+/// (`has_*` records what was built, since a `(var, col)` pair can serve
+/// both kinds across depths).
+struct ValueIndex {
+    var: usize,
+    col: ColId,
+    /// Hash buckets: cell value → candidate positions, ascending.
+    buckets: HashMap<i64, Vec<u32>>,
+    has_buckets: bool,
+    /// Sorted run: `(cell value, candidate position)` ascending.
+    run: Vec<(i64, u32)>,
+    has_run: bool,
+}
+
+/// Everything immutable the per-DC enumeration needs.
+struct DcCtx<'a> {
+    rows: &'a [RowId],
+    plan: &'a DcPlan,
+    /// Variable assignment order, most selective first.
+    order: &'a [usize],
+    /// Per depth: indices into `plan.binary_atoms()` that become fully
+    /// assigned (and must hold) at that depth.
+    sched: &'a [Vec<usize>],
+    /// Per depth: the scheduled atom chosen to drive the candidate loop via
+    /// an index probe (equality preferred over range), if any.
+    drivers: &'a [Option<usize>],
+    /// Per depth: the slot in `indexes` the driver probes (set iff
+    /// `drivers[depth]` is).
+    driver_ix: &'a [Option<usize>],
+    /// Typed views of each binary atom's two columns, aligned with
+    /// `plan.binary_atoms()`.
+    atom_views: &'a [(IntColumnView<'a>, IntColumnView<'a>)],
+    cands: &'a [Vec<u32>],
+    indexes: &'a [ValueIndex],
+}
+
+impl ConflictBuilder {
+    /// Compiles the DC set. The builder is then reusable across any number
+    /// of `(view, rows)` builds.
+    pub fn new(dcs: &[BoundDc]) -> ConflictBuilder {
+        let plans: Vec<DcPlan> = dcs.iter().map(BoundDc::plan).collect();
+        let max_arity = plans.iter().map(DcPlan::arity).max().unwrap_or(0);
+        ConflictBuilder {
+            plans,
+            cands: Vec::new(),
+            chosen: vec![0; max_arity],
+            member: Vec::new(),
+            generation: 0,
+            edge_buf: Vec::new(),
+            order: Vec::new(),
+            sched: Vec::new(),
+            drivers: Vec::new(),
+            driver_ix: Vec::new(),
+            stats: ConflictStats::default(),
+        }
+    }
+
+    /// Cumulative statistics over every `build` so far.
+    pub fn stats(&self) -> ConflictStats {
+        self.stats
+    }
+
+    /// Returns and resets the cumulative statistics.
+    pub fn take_stats(&mut self) -> ConflictStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Builds the conflict hypergraph over `rows` of `view` (vertex `i`
+    /// corresponds to `rows[i]`).
+    pub fn build(&mut self, view: &Relation, rows: &[RowId]) -> Hypergraph {
+        let mut g = Hypergraph::new(rows.len());
+        if self.member.len() < rows.len() {
+            self.member.resize(rows.len(), 0);
+        }
+        let plans = std::mem::take(&mut self.plans);
+        for plan in &plans {
+            self.build_one_dc(view, rows, plan, &mut g);
+        }
+        self.plans = plans;
+        g
+    }
+
+    fn build_one_dc(&mut self, view: &Relation, rows: &[RowId], plan: &DcPlan, g: &mut Hypergraph) {
+        let arity = plan.arity();
+        // Typed views for every binary atom column. A binary atom over a
+        // non-integer column can never hold (missing/typed-out cells make
+        // the atom false), so the whole DC is dead.
+        let mut atom_views: Vec<(IntColumnView<'_>, IntColumnView<'_>)> =
+            Vec::with_capacity(plan.binary_atoms().len());
+        for atom in plan.binary_atoms() {
+            match (view.int_view(atom.lcol), view.int_view(atom.rcol)) {
+                (Some(l), Some(r)) => atom_views.push((l, r)),
+                _ => {
+                    self.stats.dead_dcs += 1;
+                    return;
+                }
+            }
+        }
+
+        // Candidate positions per variable: the unary pre-filter, run
+        // through typed column views (the loop visits |P| · arity rows per
+        // DC and is itself hot on index-free DCs).
+        while self.cands.len() < arity {
+            self.cands.push(Vec::new());
+        }
+        for var in 0..arity {
+            let filters: Vec<TypedUnary<'_>> = plan
+                .unary_filters(var)
+                .iter()
+                .map(|f| match f.value {
+                    Value::Int(c) => view
+                        .int_view(f.col)
+                        .map_or(TypedUnary::Never, |cells| TypedUnary::Int(cells, f.op, c)),
+                    Value::Str(s) => view
+                        .sym_view(f.col)
+                        .map_or(TypedUnary::Never, |cells| TypedUnary::Sym(cells, f.op, s)),
+                })
+                .collect();
+            let cand = &mut self.cands[var];
+            cand.clear();
+            for (pos, &row) in rows.iter().enumerate() {
+                if filters.iter().all(|f| f.eval(row)) {
+                    cand.push(pos as u32);
+                }
+            }
+            if cand.is_empty() {
+                self.stats.dead_dcs += 1;
+                return;
+            }
+        }
+
+        // Selectivity-driven variable order: start from the smallest
+        // candidate list; then prefer variables linked by a binary atom to
+        // the already-ordered set (so an index can drive their loop),
+        // breaking ties by candidate count, then variable index. The
+        // var-index tie-break keeps interchangeable variables in original
+        // relative order, which the symmetry dedup relies on.
+        plan_order(plan, &self.cands[..arity], &mut self.order);
+        let order = &self.order;
+
+        // Atom schedule: each binary atom runs at the depth where its last
+        // variable gets assigned; one scheduled equality (else ordering)
+        // atom per depth is promoted to loop driver.
+        while self.sched.len() < arity {
+            self.sched.push(Vec::new());
+        }
+        let sched = &mut self.sched[..arity];
+        sched.iter_mut().for_each(Vec::clear);
+        self.drivers.clear();
+        self.drivers.resize(arity, None);
+        let drivers = &mut self.drivers;
+        let depth_of = |var: usize| order.iter().position(|&v| v == var).expect("var in order");
+        for (a, atom) in plan.binary_atoms().iter().enumerate() {
+            let depth = depth_of(atom.lvar).max(depth_of(atom.rvar));
+            sched[depth].push(a);
+            // Self-atoms (both sides one variable) cannot drive a probe.
+            if atom.lvar != atom.rvar {
+                let better = match drivers[depth] {
+                    None => true,
+                    Some(d) => atom.is_equality() && !plan.binary_atoms()[d].is_equality(),
+                };
+                if better && (atom.is_equality() || atom.is_range()) {
+                    drivers[depth] = Some(a);
+                }
+            }
+        }
+
+        // Per-partition value indexes for the driver atoms' probe columns:
+        // build only the structure each driver probes (buckets for
+        // equality, the sorted run for ordering), and remember the slot
+        // per depth so enumeration probes by direct array read.
+        let mut indexes: Vec<ValueIndex> = Vec::new();
+        self.driver_ix.clear();
+        self.driver_ix.resize(arity, None);
+        for depth in 0..arity {
+            let Some(a) = drivers[depth] else { continue };
+            let atom = &plan.binary_atoms()[a];
+            let var = order[depth];
+            let col = if atom.lvar == var {
+                atom.lcol
+            } else {
+                atom.rcol
+            };
+            let slot = match indexes.iter().position(|ix| ix.var == var && ix.col == col) {
+                Some(slot) => slot,
+                None => {
+                    indexes.push(ValueIndex {
+                        var,
+                        col,
+                        buckets: HashMap::new(),
+                        has_buckets: false,
+                        run: Vec::new(),
+                        has_run: false,
+                    });
+                    indexes.len() - 1
+                }
+            };
+            let cells = view.int_view(col).expect("validated above");
+            let ix = &mut indexes[slot];
+            if atom.is_equality() && !ix.has_buckets {
+                for &pos in &self.cands[var] {
+                    if let Some(v) = cells.get(rows[pos as usize]) {
+                        ix.buckets.entry(v).or_default().push(pos);
+                    }
+                }
+                ix.has_buckets = true;
+                self.stats.indexes_built += 1;
+            } else if !atom.is_equality() && !ix.has_run {
+                ix.run.reserve(self.cands[var].len());
+                for &pos in &self.cands[var] {
+                    if let Some(v) = cells.get(rows[pos as usize]) {
+                        ix.run.push((v, pos));
+                    }
+                }
+                ix.run.sort_unstable();
+                ix.has_run = true;
+                self.stats.indexes_built += 1;
+            }
+            self.driver_ix[depth] = Some(slot);
+        }
+
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.member.iter_mut().for_each(|m| *m = 0);
+            self.generation = 1;
+        }
+        let ctx = DcCtx {
+            rows,
+            plan,
+            order,
+            sched,
+            drivers,
+            driver_ix: &self.driver_ix,
+            atom_views: &atom_views,
+            cands: &self.cands[..arity],
+            indexes: &indexes,
+        };
+        let mut state = EnumState {
+            chosen: &mut self.chosen,
+            member: &mut self.member,
+            generation: self.generation,
+            edge_buf: &mut self.edge_buf,
+            stats: &mut self.stats,
+        };
+        enumerate(&ctx, &mut state, 0, g);
+    }
+}
+
+/// The mutable half of the enumeration.
+struct EnumState<'a> {
+    chosen: &'a mut [u32],
+    member: &'a mut [u32],
+    generation: u32,
+    edge_buf: &'a mut Vec<u32>,
+    stats: &'a mut ConflictStats,
+}
+
+/// Selectivity-driven variable ordering (see `build_one_dc`), written
+/// into the reused `order` scratch. `used` is a bitmask — arity is tiny.
+fn plan_order(plan: &DcPlan, cands: &[Vec<u32>], order: &mut Vec<usize>) {
+    let arity = plan.arity();
+    order.clear();
+    let mut used = 0u64;
+    for _ in 0..arity {
+        let mut best: Option<(bool, usize, usize)> = None; // (!linked, count, var)
+        for (var, cand) in cands.iter().enumerate().take(arity) {
+            if used & (1 << var) != 0 {
+                continue;
+            }
+            let linked = plan.binary_atoms().iter().any(|a| {
+                a.involves(var) && a.lvar != a.rvar && used & (1 << a.other_var(var)) != 0
+            });
+            let key = (!linked, cand.len(), var);
+            if best.is_none() || key < best.expect("checked") {
+                best = Some(key);
+            }
+        }
+        let (_, _, var) = best.expect("arity variables to order");
+        used |= 1 << var;
+        order.push(var);
+    }
+}
+
+/// Assigns variables depth by depth, probing indexes and verifying every
+/// newly-complete binary atom on the partial assignment; a complete
+/// assignment is a conflict edge (φ already verified — no leaf `holds`).
+fn enumerate(ctx: &DcCtx<'_>, state: &mut EnumState<'_>, depth: usize, g: &mut Hypergraph) {
+    let arity = ctx.plan.arity();
+    if depth == arity {
+        state.edge_buf.clear();
+        state.edge_buf.extend_from_slice(&state.chosen[..arity]);
+        state.edge_buf.sort_unstable();
+        g.add_sorted_edge(state.edge_buf);
+        return;
+    }
+    let var = ctx.order[depth];
+
+    // Narrow the candidate loop through the driver atom's index, when the
+    // probe value computes without overflow; otherwise scan the variable's
+    // unary-filtered candidates (the driver then verifies like any other
+    // scheduled atom).
+    let mut probe: Option<(usize, std::ops::Range<usize>)> = None; // (index, run range)
+    if let Some(a) = ctx.drivers[depth] {
+        let atom = &ctx.plan.binary_atoms()[a];
+        let other = atom.other_var(var);
+        let other_row = ctx.rows[state.chosen[other] as usize];
+        let (lv, rv) = &ctx.atom_views[a];
+        let other_cell = if atom.lvar == var {
+            rv.get(other_row)
+        } else {
+            lv.get(other_row)
+        };
+        let Some(o) = other_cell else {
+            return; // missing cell: the driver atom can never hold
+        };
+        let ix_pos = ctx.driver_ix[depth].expect("driver has an index slot");
+        let ix = &ctx.indexes[ix_pos];
+        if atom.is_equality() {
+            // `l = r + off`: probing the l side needs `o + off`, the r side
+            // `o − off`.
+            let target = if atom.lvar == var {
+                o.checked_add(atom.offset)
+            } else {
+                o.checked_sub(atom.offset)
+            };
+            if let Some(t) = target {
+                state.stats.eq_probes += 1;
+                let bucket = ix.buckets.get(&t).map(Vec::as_slice).unwrap_or(&[]);
+                for &pos in bucket {
+                    try_candidate(ctx, state, depth, var, pos, Some(a), g);
+                }
+                return;
+            }
+        } else if let Some(range) = range_probe(atom, var, o, &ix.run) {
+            state.stats.range_probes += 1;
+            probe = Some((ix_pos, range));
+        }
+    }
+
+    match probe {
+        Some((ix_pos, range)) => {
+            let driver = ctx.drivers[depth];
+            for &(_, pos) in &ctx.indexes[ix_pos].run[range] {
+                try_candidate(ctx, state, depth, var, pos, driver, g);
+            }
+        }
+        None => {
+            state.stats.scanned_candidates += ctx.cands[var].len();
+            for i in 0..ctx.cands[var].len() {
+                let pos = ctx.cands[var][i];
+                try_candidate(ctx, state, depth, var, pos, None, g);
+            }
+        }
+    }
+}
+
+/// The sorted-run index range satisfying a driver ordering atom, given the
+/// other side's cell value `o`. `None` when a bound computation overflows —
+/// the caller then falls back to scanning.
+fn range_probe(
+    atom: &BinaryAtomPlan,
+    var: usize,
+    o: i64,
+    run: &[(i64, u32)],
+) -> Option<std::ops::Range<usize>> {
+    let below = |b: i64, inclusive: bool| -> std::ops::Range<usize> {
+        let end = run.partition_point(|&(v, _)| if inclusive { v <= b } else { v < b });
+        0..end
+    };
+    let above = |b: i64, inclusive: bool| -> std::ops::Range<usize> {
+        let start = run.partition_point(|&(v, _)| if inclusive { v < b } else { v <= b });
+        start..run.len()
+    };
+    if atom.lvar == var {
+        // probe side is l: `l op (o + off)`.
+        let b = o.checked_add(atom.offset)?;
+        Some(match atom.op {
+            CmpOp::Lt => below(b, false),
+            CmpOp::Le => below(b, true),
+            CmpOp::Gt => above(b, false),
+            CmpOp::Ge => above(b, true),
+            _ => return None,
+        })
+    } else {
+        // probe side is r: `o op (r + off)` ⇔ `r op' (o − off)`.
+        let b = o.checked_sub(atom.offset)?;
+        Some(match atom.op {
+            CmpOp::Lt => above(b, false), // o < r + off ⇔ r > o − off
+            CmpOp::Le => above(b, true),
+            CmpOp::Gt => below(b, false),
+            CmpOp::Ge => below(b, true),
+            _ => return None,
+        })
+    }
+}
+
+/// Checks one candidate vertex at `depth`: distinctness, symmetric-order
+/// dedup, then every scheduled atom except the already-satisfied driver;
+/// recurses on success.
+fn try_candidate(
+    ctx: &DcCtx<'_>,
+    state: &mut EnumState<'_>,
+    depth: usize,
+    var: usize,
+    pos: u32,
+    driver: Option<usize>,
+    g: &mut Hypergraph,
+) {
+    // Distinct tuples only (generation-stamped membership).
+    if state.member[pos as usize] == state.generation {
+        return;
+    }
+    // Interchangeable variables take ascending vertex ids: their swap is an
+    // automorphism of φ, so each unordered combination is enumerated in
+    // exactly one canonical variable order.
+    let class = ctx.plan.sym_class(var);
+    for &u in &ctx.order[..depth] {
+        if ctx.plan.sym_class(u) == class {
+            let bound_ok = if u < var {
+                state.chosen[u] < pos
+            } else {
+                pos < state.chosen[u]
+            };
+            if !bound_ok {
+                return;
+            }
+        }
+    }
+    let row = ctx.rows[pos as usize];
+    // Verify every atom completed by this assignment (driver already holds
+    // by construction of the probe).
+    for &a in &ctx.sched[depth] {
+        if Some(a) == driver {
+            continue;
+        }
+        let atom = &ctx.plan.binary_atoms()[a];
+        let (lv, rv) = &ctx.atom_views[a];
+        let lrow = if atom.lvar == var {
+            row
+        } else {
+            ctx.rows[state.chosen[atom.lvar] as usize]
+        };
+        let rrow = if atom.rvar == var {
+            row
+        } else {
+            ctx.rows[state.chosen[atom.rvar] as usize]
+        };
+        if !atom.eval_cells(lv.get(lrow), rv.get(rrow)) {
+            return;
+        }
+    }
+    state.chosen[var] = pos;
+    state.member[pos as usize] = state.generation;
+    enumerate(ctx, state, depth + 1, g);
+    state.member[pos as usize] = state.generation.wrapping_sub(1);
+}
+
+/// Builds the conflict hypergraph with the indexed fast path (convenience
+/// wrapper; reuse a [`ConflictBuilder`] when building many graphs from one
+/// DC set).
+pub fn build_conflict_graph(view: &Relation, rows: &[RowId], dcs: &[BoundDc]) -> Hypergraph {
+    ConflictBuilder::new(dcs).build(view, rows)
+}
+
+/// The original naive builder: enumerate candidate combinations per DC and
+/// evaluate φ at the leaves. `O(|P|^k)` per DC — retained as the oracle the
+/// indexed builder is property-tested against and as the baseline the
+/// `conflict_build` bench and `--conflict naive` measure.
+pub fn build_conflict_graph_naive(view: &Relation, rows: &[RowId], dcs: &[BoundDc]) -> Hypergraph {
     let mut g = Hypergraph::new(rows.len());
     let mut chosen: Vec<u32> = Vec::new();
     for dc in dcs {
@@ -28,14 +596,14 @@ pub(crate) fn build_conflict_graph(view: &Relation, rows: &[RowId], dcs: &[Bound
             continue;
         }
         chosen.clear();
-        enumerate(view, rows, dc, &cands, &mut chosen, &mut g);
+        enumerate_naive(view, rows, dc, &cands, &mut chosen, &mut g);
     }
     g
 }
 
 /// Recursively assigns distinct vertices to the DC's tuple variables and
 /// adds an edge whenever φ holds.
-fn enumerate(
+fn enumerate_naive(
     view: &Relation,
     rows: &[RowId],
     dc: &BoundDc,
@@ -56,7 +624,7 @@ fn enumerate(
             continue; // tuple variables range over distinct tuples
         }
         chosen.push(v);
-        enumerate(view, rows, dc, cands, chosen, g);
+        enumerate_naive(view, rows, dc, cands, chosen, g);
         chosen.pop();
     }
 }
@@ -66,6 +634,20 @@ mod tests {
     use super::*;
     use crate::instance::fixtures;
     use cextend_table::init_join_view;
+
+    /// Both builders on the same input, asserting identical edge sets and
+    /// returning the indexed graph.
+    fn build_both(view: &Relation, rows: &[RowId], dcs: &[BoundDc]) -> Hypergraph {
+        let indexed = build_conflict_graph(view, rows, dcs);
+        let naive = build_conflict_graph_naive(view, rows, dcs);
+        let edge_set = |g: &Hypergraph| {
+            let mut edges: Vec<Vec<u32>> = g.edges().map(<[u32]>::to_vec).collect();
+            edges.sort();
+            edges
+        };
+        assert_eq!(edge_set(&indexed), edge_set(&naive), "builders diverged");
+        indexed
+    }
 
     /// Figure 7's Chicago component: applying the Figure 2a DCs to the
     /// Figure 5 view partitioned by Area.
@@ -90,7 +672,7 @@ mod tests {
             .collect();
         // Chicago partition: rows 0..7 (pids 1..7).
         let rows: Vec<RowId> = (0..7).collect();
-        let g = build_conflict_graph(&view, &rows, &dcs);
+        let g = build_both(&view, &rows, &dcs);
         // Owners (pids 1,2,3,4 → vertices 0..4) form C(4,2)=6 pairwise
         // edges; spouse 24 conflicts with both 75-year-old owners (2);
         // children (age 10) conflict with the multi-lingual 75-year-old
@@ -99,19 +681,19 @@ mod tests {
         assert_eq!(g.n_edges(), 6 + 2 + 2);
         // NYC partition: two owners, one edge.
         let rows: Vec<RowId> = vec![7, 8];
-        let g = build_conflict_graph(&view, &rows, &dcs);
+        let g = build_both(&view, &rows, &dcs);
         assert_eq!(g.n_edges(), 1);
     }
 
     #[test]
     fn symmetric_dcs_do_not_duplicate_edges() {
-        // Owner-owner conflicts found in both variable orders collapse to
-        // one undirected edge thanks to hypergraph dedup.
+        // Owner-owner conflicts are enumerated in one canonical variable
+        // order (symmetry dedup) and still collapse to one undirected edge.
         let instance = fixtures::running_example();
         let (view, _) = init_join_view(&instance.r1, &instance.r2).unwrap();
         let dc = instance.dcs[0].bind(view.schema(), view.name()).unwrap();
         let rows: Vec<RowId> = vec![0, 1]; // two owners
-        let g = build_conflict_graph(&view, &rows, &[dc]);
+        let g = build_both(&view, &rows, &[dc]);
         assert_eq!(g.n_edges(), 1);
     }
 
@@ -126,7 +708,7 @@ mod tests {
             .collect();
         // A spouse and a child: no DC matches this pair.
         let rows: Vec<RowId> = vec![4, 5];
-        let g = build_conflict_graph(&view, &rows, &dcs);
+        let g = build_both(&view, &rows, &dcs);
         assert_eq!(g.n_edges(), 0);
     }
 
@@ -153,9 +735,62 @@ mod tests {
         .unwrap();
         let bound = dc.bind(rel.schema(), "t").unwrap();
         let rows: Vec<RowId> = (0..4).collect();
-        let g = build_conflict_graph(&rel, &rows, &[bound]);
+        let g = build_both(&rel, &rows, &[bound]);
         // Only {0,1,2} share Cls=7.
         assert_eq!(g.n_edges(), 1);
         assert_eq!(g.edge(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn builder_reuse_and_stats() {
+        let instance = fixtures::running_example();
+        let (view, _) = init_join_view(&instance.r1, &instance.r2).unwrap();
+        let dcs: Vec<BoundDc> = instance
+            .dcs
+            .iter()
+            .map(|d| d.bind(view.schema(), view.name()).unwrap())
+            .collect();
+        let rows: Vec<RowId> = (0..7).collect(); // owners + spouse + children
+        let mut builder = ConflictBuilder::new(&dcs);
+        let a = builder.build(&view, &rows);
+        let b = builder.build(&view, &rows);
+        assert_eq!(a.n_edges(), b.n_edges(), "builder reuse changed output");
+        let stats = builder.take_stats();
+        assert!(stats.indexes_built > 0, "age-gap DCs should build indexes");
+        assert_eq!(builder.stats(), ConflictStats::default());
+    }
+
+    #[test]
+    fn missing_cells_prune_probes() {
+        use cextend_constraints::DenialConstraint;
+        use cextend_table::{ColumnDef, Dtype, Relation, Schema, Value};
+        let schema = Schema::new(vec![
+            ColumnDef::attr("Age", Dtype::Int),
+            ColumnDef::foreign_key("fk", Dtype::Int),
+        ])
+        .unwrap();
+        let mut r = Relation::new("t", schema);
+        r.push_row(&[None, None]).unwrap();
+        r.push_row(&[Some(Value::Int(5)), None]).unwrap();
+        r.push_row(&[Some(Value::Int(9)), None]).unwrap();
+        let dc = DenialConstraint::new(
+            "d",
+            2,
+            vec![cextend_constraints::DcAtom::Binary {
+                lvar: 0,
+                lcol: "Age".into(),
+                op: cextend_table::CmpOp::Le,
+                rvar: 1,
+                rcol: "Age".into(),
+                offset: 0,
+            }],
+        )
+        .unwrap();
+        let bound = dc.bind(r.schema(), "t").unwrap();
+        let g = build_both(&r, &[0, 1, 2], &[bound]);
+        // Row 0's missing Age joins nothing; 5 ≤ 9 (and 5 ≤ 5 is excluded
+        // by distinctness on one side only): edges {1,2} once.
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.edge(0), &[1, 2]);
     }
 }

@@ -270,15 +270,31 @@ pub(crate) fn run_phase2(
                 &partitions,
                 &dcs,
                 config.coloring,
+                config.conflict,
                 config.parallel_coloring,
             );
+            let mut index_stats = crate::phase2::conflict::ConflictStats::default();
             for r in &results {
                 stats.counters.conflict_edges += r.edges;
                 stats.counters.skipped_vertices += r.skipped;
                 stats.timings.conflict_build += r.build_time;
                 stats.timings.coloring += r.color_time;
+                index_stats.absorb(&r.index_stats);
             }
             stats.timings.conflict_build += partition_time;
+            if std::env::var_os("CEXTEND_TRACE").is_some() {
+                eprintln!(
+                    "[trace] phase2: conflict {} ({} edges): {} indexes, {} eq probes, \
+                     {} range probes, {} scanned candidates, {} dead DCs",
+                    config.conflict.label(),
+                    stats.counters.conflict_edges,
+                    index_stats.indexes_built,
+                    index_stats.eq_probes,
+                    index_stats.range_probes,
+                    index_stats.scanned_candidates,
+                    index_stats.dead_dcs,
+                );
+            }
 
             let total_fresh: usize = results.iter().map(|r| r.fresh_colors).sum();
             if !config.allow_augmenting_r2 && total_fresh > 0 {

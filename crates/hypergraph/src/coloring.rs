@@ -9,7 +9,48 @@
 //! of Algorithm 4).
 
 use crate::graph::{Color, Coloring, Hypergraph, VertexId};
-use std::collections::HashSet;
+
+/// A generation-stamped forbidden-color set: `mark`/`is_marked` are O(1)
+/// array reads and "clearing" between vertices is a stamp increment — no
+/// per-vertex hashing or `HashSet` churn on the coloring hot path. Colors
+/// index candidate FK values, so they are dense small integers; the array
+/// grows to the largest color actually forbidden.
+struct ForbiddenSet {
+    stamp_of: Vec<u32>,
+    stamp: u32,
+}
+
+impl ForbiddenSet {
+    fn new() -> ForbiddenSet {
+        ForbiddenSet {
+            stamp_of: Vec::new(),
+            stamp: 0,
+        }
+    }
+
+    /// Starts a fresh (empty) forbidden set for the next vertex.
+    fn next_vertex(&mut self) {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // One wrap per 2^32 vertices: reset the stamps instead of
+            // letting stale marks alias the new generation.
+            self.stamp_of.iter_mut().for_each(|s| *s = 0);
+            self.stamp = 1;
+        }
+    }
+
+    fn mark(&mut self, c: Color) {
+        let i = c as usize;
+        if i >= self.stamp_of.len() {
+            self.stamp_of.resize(i + 1, 0);
+        }
+        self.stamp_of[i] = self.stamp;
+    }
+
+    fn is_marked(&self, c: Color) -> bool {
+        self.stamp_of.get(c as usize) == Some(&self.stamp)
+    }
+}
 
 /// Candidate color lists: either one shared list for every vertex (the
 /// common case inside a `V_join` partition, where candidates are the keys of
@@ -55,19 +96,19 @@ pub fn coloring_lf(
         .into_iter()
         .filter(|&v| !coloring.is_colored(v))
         .collect();
-    let mut forbidden: HashSet<Color> = HashSet::new();
+    let mut forbidden = ForbiddenSet::new();
     for v in order {
-        forbidden.clear();
+        forbidden.next_vertex();
         for &e in g.incident_edges(v) {
             if let Some(c) = lone_uncolored_color(g, coloring, e, v) {
-                forbidden.insert(c);
+                forbidden.mark(c);
             }
         }
         let choice = candidates
             .get(v)
             .iter()
             .copied()
-            .filter(|c| !forbidden.contains(c))
+            .filter(|&c| !forbidden.is_marked(c))
             .min();
         match choice {
             Some(c) => coloring.set(v, c),
@@ -118,15 +159,15 @@ pub fn color_skipped_with_fresh(
     next_color: Color,
 ) -> Vec<Color> {
     let mut fresh: Vec<Color> = Vec::new();
-    let mut forbidden: HashSet<Color> = HashSet::new();
+    let mut forbidden = ForbiddenSet::new();
     for &v in skipped {
-        forbidden.clear();
+        forbidden.next_vertex();
         for &e in g.incident_edges(v) {
             if let Some(c) = lone_uncolored_color(g, coloring, e, v) {
-                forbidden.insert(c);
+                forbidden.mark(c);
             }
         }
-        let reuse = fresh.iter().copied().find(|c| !forbidden.contains(c));
+        let reuse = fresh.iter().copied().find(|&c| !forbidden.is_marked(c));
         let c = reuse.unwrap_or_else(|| {
             let c = next_color + fresh.len() as Color;
             fresh.push(c);

@@ -6,7 +6,7 @@
 //! every edge — therefore corresponds exactly to a DC-satisfying FK
 //! assignment (Proposition 5.2).
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 /// Vertex index.
 pub type VertexId = u32;
@@ -16,12 +16,53 @@ pub type EdgeId = u32;
 pub type Color = u32;
 
 /// A hypergraph with incidence lists and edge deduplication.
-#[derive(Clone, Debug, Default)]
+///
+/// Edges live in one flat CSR-style buffer (`edge_offsets` delimits edge
+/// `e`'s vertices inside `edge_vertices`) instead of one `Box<[VertexId]>`
+/// per edge, so DC-dense conflict graphs cost two amortized `Vec` pushes
+/// per edge rather than two heap allocations (the key + the stored edge).
+/// Duplicate detection hashes the sorted vertex list to a 64-bit
+/// fingerprint; fingerprint collisions between *distinct* edges are
+/// resolved exactly by comparing the stored vertex slices, so dedup
+/// semantics are identical to the old exact-key set.
+#[derive(Clone, Debug)]
 pub struct Hypergraph {
     n: usize,
-    edges: Vec<Box<[VertexId]>>,
+    /// Edge `e` spans `edge_vertices[edge_offsets[e] .. edge_offsets[e+1]]`.
+    edge_offsets: Vec<u32>,
+    edge_vertices: Vec<VertexId>,
     incidence: Vec<Vec<EdgeId>>,
-    seen: HashSet<Box<[VertexId]>>,
+    /// Fingerprint → first edge with that fingerprint. Collisions between
+    /// distinct edges overflow into `seen_overflow` (checked linearly —
+    /// effectively never populated).
+    seen: HashMap<u64, EdgeId>,
+    seen_overflow: Vec<(u64, EdgeId)>,
+    /// Scratch buffer for sorting incoming edges without allocating.
+    scratch: Vec<VertexId>,
+}
+
+/// 64-bit fingerprint of a sorted vertex list (FNV-1a over the ids plus a
+/// final splitmix64 finalizer for avalanche).
+fn fingerprint(vs: &[VertexId]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in vs {
+        h ^= u64::from(v);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^= vs.len() as u64;
+    // splitmix64 finalizer.
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+impl Default for Hypergraph {
+    /// The empty hypergraph. A derived `Default` would leave
+    /// `edge_offsets` without its leading `0` sentinel and break
+    /// `n_edges()`; go through [`Hypergraph::new`] instead.
+    fn default() -> Hypergraph {
+        Hypergraph::new(0)
+    }
 }
 
 impl Hypergraph {
@@ -29,9 +70,12 @@ impl Hypergraph {
     pub fn new(n: usize) -> Hypergraph {
         Hypergraph {
             n,
-            edges: Vec::new(),
+            edge_offsets: vec![0],
+            edge_vertices: Vec::new(),
             incidence: vec![Vec::new(); n],
-            seen: HashSet::new(),
+            seen: HashMap::new(),
+            seen_overflow: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -42,7 +86,14 @@ impl Hypergraph {
 
     /// Number of (distinct) edges.
     pub fn n_edges(&self) -> usize {
-        self.edges.len()
+        self.edge_offsets.len() - 1
+    }
+
+    #[inline]
+    fn edge_slice(&self, e: EdgeId) -> &[VertexId] {
+        let lo = self.edge_offsets[e as usize] as usize;
+        let hi = self.edge_offsets[e as usize + 1] as usize;
+        &self.edge_vertices[lo..hi]
     }
 
     /// Adds an edge over `vertices`. Vertices are sorted and deduplicated;
@@ -52,39 +103,79 @@ impl Hypergraph {
     /// # Panics
     /// Panics if a vertex id is out of range.
     pub fn add_edge(&mut self, vertices: &[VertexId]) -> Option<EdgeId> {
-        let mut vs: Vec<VertexId> = vertices.to_vec();
+        let mut vs = std::mem::take(&mut self.scratch);
+        vs.clear();
+        vs.extend_from_slice(vertices);
         vs.sort_unstable();
         vs.dedup();
+        let id = self.add_sorted_edge_inner(&vs);
+        self.scratch = vs;
+        id
+    }
+
+    /// [`Hypergraph::add_edge`] for vertices already sorted ascending with
+    /// no duplicates (the conflict builder emits edges in canonical order).
+    ///
+    /// # Panics
+    /// Panics in debug builds if `vertices` is not strictly ascending, and
+    /// in all builds if a vertex id is out of range.
+    pub fn add_sorted_edge(&mut self, vertices: &[VertexId]) -> Option<EdgeId> {
+        debug_assert!(
+            vertices.windows(2).all(|w| w[0] < w[1]),
+            "add_sorted_edge requires strictly ascending vertices"
+        );
+        self.add_sorted_edge_inner(vertices)
+    }
+
+    fn add_sorted_edge_inner(&mut self, vs: &[VertexId]) -> Option<EdgeId> {
         if vs.len() < 2 {
             return None;
         }
-        for &v in &vs {
+        for &v in vs {
             assert!(
                 (v as usize) < self.n,
                 "vertex {v} out of range (n = {})",
                 self.n
             );
         }
-        let key: Box<[VertexId]> = vs.into_boxed_slice();
-        if !self.seen.insert(key.clone()) {
-            return None;
+        let fp = fingerprint(vs);
+        if let Some(&first) = self.seen.get(&fp) {
+            if self.edge_slice(first) == vs {
+                return None;
+            }
+            // Genuine 64-bit collision between distinct edges: check (and
+            // store into) the exact overflow list.
+            if self
+                .seen_overflow
+                .iter()
+                .any(|&(f, e)| f == fp && self.edge_slice(e) == vs)
+            {
+                return None;
+            }
         }
-        let id = self.edges.len() as EdgeId;
-        for &v in key.iter() {
+        let id = self.n_edges() as EdgeId;
+        match self.seen.entry(fp) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(id);
+            }
+            std::collections::hash_map::Entry::Occupied(_) => self.seen_overflow.push((fp, id)),
+        }
+        self.edge_vertices.extend_from_slice(vs);
+        self.edge_offsets.push(self.edge_vertices.len() as u32);
+        for &v in vs {
             self.incidence[v as usize].push(id);
         }
-        self.edges.push(key);
         Some(id)
     }
 
     /// The vertices of edge `e`, sorted ascending.
     pub fn edge(&self, e: EdgeId) -> &[VertexId] {
-        &self.edges[e as usize]
+        self.edge_slice(e)
     }
 
     /// All edges.
     pub fn edges(&self) -> impl Iterator<Item = &[VertexId]> {
-        self.edges.iter().map(|e| e.as_ref())
+        (0..self.n_edges() as EdgeId).map(|e| self.edge_slice(e))
     }
 
     /// Ids of edges incident to `v`.
@@ -98,10 +189,17 @@ impl Hypergraph {
     }
 
     /// Vertices sorted by non-increasing degree (ties by vertex id, for
-    /// determinism) — the processing order of Algorithm 3.
+    /// determinism) — the processing order of Algorithm 3. Degrees are read
+    /// once into a flat key vector before the sort, so the comparator does
+    /// not chase the incidence lists `O(n log n)` times.
     pub fn vertices_by_degree_desc(&self) -> Vec<VertexId> {
+        let degrees: Vec<u32> = self.incidence.iter().map(|i| i.len() as u32).collect();
         let mut vs: Vec<VertexId> = (0..self.n as VertexId).collect();
-        vs.sort_by(|&a, &b| self.degree(b).cmp(&self.degree(a)).then(a.cmp(&b)));
+        vs.sort_by(|&a, &b| {
+            degrees[b as usize]
+                .cmp(&degrees[a as usize])
+                .then(a.cmp(&b))
+        });
         vs
     }
 }
@@ -252,6 +350,40 @@ mod tests {
         c.set(1, 1);
         c.set(2, 2);
         assert!(is_proper_complete(&g, &c));
+    }
+
+    #[test]
+    fn default_is_the_empty_hypergraph() {
+        let g = Hypergraph::default();
+        assert_eq!(g.n_vertices(), 0);
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn sorted_edge_fast_path_matches_add_edge() {
+        let mut g = Hypergraph::new(5);
+        assert_eq!(g.add_sorted_edge(&[0, 2, 4]), Some(0));
+        assert_eq!(g.add_edge(&[4, 0, 2]), None); // same set, any order
+        assert_eq!(g.add_sorted_edge(&[0, 2, 4]), None);
+        assert_eq!(g.add_sorted_edge(&[2]), None);
+        assert_eq!(g.edge(0), &[0, 2, 4]);
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn csr_storage_keeps_edges_addressable() {
+        let mut g = Hypergraph::new(6);
+        let edges: [&[VertexId]; 3] = [&[0, 1], &[1, 2, 3], &[4, 5]];
+        for e in edges {
+            g.add_edge(e);
+        }
+        assert_eq!(g.n_edges(), 3);
+        for (i, e) in g.edges().enumerate() {
+            assert_eq!(e, edges[i]);
+            assert_eq!(g.edge(i as EdgeId), edges[i]);
+        }
     }
 
     #[test]

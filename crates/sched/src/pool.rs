@@ -3,15 +3,30 @@
 //! partition-coloring pool in `cextend-core`'s Phase II).
 
 /// Number of workers a batch of `n` tasks would actually run on: the
-/// machine's `available_parallelism`, capped at `n`. A result below 2
-/// means [`run_tasks`] will run the batch inline even when asked for
-/// parallelism — callers can use this to report honestly whether anything
-/// ran concurrently.
+/// `CEXTEND_SCHED_WORKERS` environment variable when set to a positive
+/// integer (pinning the pool for reproducible runs — CI uses this to
+/// exercise the parallel scheduler deterministically on 1-CPU runners),
+/// otherwise the machine's `available_parallelism`; either way capped at
+/// `n`. A result below 2 means [`run_tasks`] will run the batch inline
+/// even when asked for parallelism — callers can use this to report
+/// honestly whether anything ran concurrently.
 pub fn pool_width(n: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|w| w.get())
-        .unwrap_or(1)
-        .min(n)
+    let hw = std::env::var("CEXTEND_SCHED_WORKERS")
+        .ok()
+        .as_deref()
+        .and_then(parse_worker_override)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|w| w.get())
+                .unwrap_or(1)
+        });
+    hw.min(n)
+}
+
+/// Parses a `CEXTEND_SCHED_WORKERS` value; zero, junk and empty strings
+/// fall back to hardware detection (`None`).
+fn parse_worker_override(s: &str) -> Option<usize> {
+    s.trim().parse::<usize>().ok().filter(|&w| w >= 1)
 }
 
 /// Runs `task` for every id in `ids`, returning the results in `ids`
@@ -87,6 +102,15 @@ mod tests {
         };
         assert_eq!(run_tasks(&ids, true, f).unwrap_err(), "task 3 failed");
         assert_eq!(run_tasks(&ids, false, f).unwrap_err(), "task 3 failed");
+    }
+
+    #[test]
+    fn worker_override_parsing() {
+        assert_eq!(parse_worker_override("2"), Some(2));
+        assert_eq!(parse_worker_override(" 8 "), Some(8));
+        assert_eq!(parse_worker_override("0"), None); // zero → autodetect
+        assert_eq!(parse_worker_override(""), None);
+        assert_eq!(parse_worker_override("two"), None);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use join::{
     fk_join, fk_join_on, init_join_view, join_schema, relations_equal_ordered, JoinLayout,
 };
 pub use predicate::{Atom, BoundAtom, BoundPredicate, CmpOp, Predicate};
-pub use relation::{ColumnData, Relation, RowId};
+pub use relation::{ColumnData, IntColumnView, Relation, RowId, SymColumnView};
 pub use schema::{ColId, ColumnDef, Role, Schema};
 pub use value::{Dtype, Sym, Value};
 pub use valueset::ValueSet;

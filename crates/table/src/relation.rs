@@ -79,6 +79,63 @@ impl ColumnData {
     }
 }
 
+/// A borrowed view of one integer column: hot loops (conflict-hypergraph
+/// enumeration, index building) read raw `Option<i64>` cells through a
+/// single slice without re-matching the column's dtype or constructing an
+/// `Option<Value>` per access.
+#[derive(Clone, Copy, Debug)]
+pub struct IntColumnView<'a> {
+    cells: &'a [Option<i64>],
+}
+
+impl IntColumnView<'_> {
+    /// Reads a cell; `None` means the cell is missing.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    #[inline]
+    pub fn get(&self, row: RowId) -> Option<i64> {
+        self.cells[row]
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// A borrowed view of one categorical column (see [`IntColumnView`]).
+#[derive(Clone, Copy, Debug)]
+pub struct SymColumnView<'a> {
+    cells: &'a [Option<Sym>],
+}
+
+impl SymColumnView<'_> {
+    /// Reads a cell; `None` means the cell is missing.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    #[inline]
+    pub fn get(&self, row: RowId) -> Option<Sym> {
+        self.cells[row]
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
 /// A named relation instance: a schema plus column-major data.
 #[derive(Clone, Debug)]
 pub struct Relation {
@@ -204,6 +261,26 @@ impl Relation {
     pub fn get_sym(&self, row: RowId, col: ColId) -> Option<Sym> {
         match &self.cols[col] {
             ColumnData::Str(v) => v[row],
+            ColumnData::Int(_) => None,
+        }
+    }
+
+    /// Borrows an integer column as a typed view, or `None` when `col` is
+    /// categorical.
+    #[inline]
+    pub fn int_view(&self, col: ColId) -> Option<IntColumnView<'_>> {
+        match &self.cols[col] {
+            ColumnData::Int(v) => Some(IntColumnView { cells: v }),
+            ColumnData::Str(_) => None,
+        }
+    }
+
+    /// Borrows a categorical column as a typed view, or `None` when `col`
+    /// is an integer column.
+    #[inline]
+    pub fn sym_view(&self, col: ColId) -> Option<SymColumnView<'_>> {
+        match &self.cols[col] {
+            ColumnData::Str(v) => Some(SymColumnView { cells: v }),
             ColumnData::Int(_) => None,
         }
     }
@@ -453,6 +530,25 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains('?'));
         assert!(s.contains("Owner"));
+    }
+
+    #[test]
+    fn typed_views_read_raw_cells() {
+        let mut r = small();
+        r.set(0, 3, Some(Value::Int(9))).unwrap();
+        let ages = r.int_view(1).unwrap();
+        assert_eq!(ages.len(), 2);
+        assert!(!ages.is_empty());
+        assert_eq!(ages.get(0), Some(75));
+        assert_eq!(ages.get(1), Some(24));
+        let rels = r.sym_view(2).unwrap();
+        assert_eq!(rels.get(0), Some(Sym::intern("Owner")));
+        let hid = r.int_view(3).unwrap();
+        assert_eq!(hid.get(0), Some(9));
+        assert_eq!(hid.get(1), None);
+        // Wrong-type requests return None instead of panicking.
+        assert!(r.int_view(2).is_none());
+        assert!(r.sym_view(1).is_none());
     }
 
     #[test]

@@ -138,11 +138,28 @@ impl ValueSet {
 
     /// `true` if `v` belongs to the set.
     pub fn contains(&self, v: Value) -> bool {
-        match (self, v) {
-            (ValueSet::Empty, _) => false,
-            (ValueSet::IntRange { lo, hi }, Value::Int(x)) => *lo <= x && x <= *hi,
-            (ValueSet::Strs(set), Value::Str(s)) => set.contains(&s),
-            _ => false,
+        match v {
+            Value::Int(x) => self.contains_int(x),
+            Value::Str(s) => self.contains_sym(s),
+        }
+    }
+
+    /// [`ValueSet::contains`] for a raw integer cell — hot loops reading
+    /// typed column views test membership without boxing a [`Value`].
+    #[inline]
+    pub fn contains_int(&self, x: i64) -> bool {
+        match self {
+            ValueSet::IntRange { lo, hi } => *lo <= x && x <= *hi,
+            ValueSet::Strs(_) | ValueSet::Empty => false,
+        }
+    }
+
+    /// [`ValueSet::contains`] for a raw categorical cell.
+    #[inline]
+    pub fn contains_sym(&self, s: Sym) -> bool {
+        match self {
+            ValueSet::Strs(set) => set.contains(&s),
+            ValueSet::IntRange { .. } | ValueSet::Empty => false,
         }
     }
 
@@ -295,6 +312,13 @@ mod tests {
         assert!(r.contains(Value::Int(10)));
         assert!(!r.contains(Value::Int(9)));
         assert!(!r.contains(Value::str("x")));
+        // Typed fast paths agree with the boxed entry point.
+        assert!(r.contains_int(10) && !r.contains_int(9));
+        assert!(!r.contains_sym(Sym::intern("x")));
+        let s = ValueSet::sym(Sym::intern("NYC"));
+        assert!(s.contains_sym(Sym::intern("NYC")));
+        assert!(!s.contains_int(0));
+        assert!(!ValueSet::Empty.contains_int(0));
         assert_eq!(r.representative(), Some(Value::Int(10)));
         assert_eq!(ValueSet::range(-5, 5).representative(), Some(Value::Int(0)));
         assert_eq!(ValueSet::Empty.representative(), None);

@@ -19,6 +19,11 @@
 //!   (shipments → {warehouses, carriers}) whose two completion steps are
 //!   resource-independent, exercising the parallel step scheduler with
 //!   anchored gap DCs on both dimension edges.
+//! - [`DcDenseWorkload`] — the **adversarial DC-dense** Events/Slots
+//!   scenario: few large `V_join` partitions and a DC set mixing anchored
+//!   gap rows, a clique-inducing exclusivity row and a ternary
+//!   equality-chained `nae-track` hyperedge row, approaching the NAE-3SAT
+//!   reduction's conflict density to stress the indexed conflict builder.
 //!
 //! A scenario is a **schema graph**: [`WorkloadData`] carries named
 //! relations, an ordered list of FK-completion steps and per-relation
@@ -45,6 +50,7 @@
 
 pub mod ccgen;
 mod census;
+mod dcdense;
 mod logistics;
 #[cfg(test)]
 mod proptests;
@@ -53,6 +59,10 @@ mod supply;
 mod workload;
 
 pub use census::CensusWorkload;
+pub use dcdense::{
+    dcdense_dc_row, room_name as dcdense_room_name, s_all_dcdense_dc, s_good_dcdense_dc,
+    slots_condition_pool, DcDenseWorkload, KINDS, MAX_LOAD, SHIFTS,
+};
 pub use logistics::{
     carriers_condition_pool, district_name, logistics_dc_row, mode_reach, tier_of,
     warehouses_condition_pool, LogisticsWorkload, HANDLINGS, MAX_COST, MAX_WEIGHT, MODES,

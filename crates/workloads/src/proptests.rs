@@ -7,9 +7,10 @@
 //! and the solver's guarantees are testable against it.
 
 use crate::workload::{all_workloads, CcFamily, DcSet, WorkloadParams};
+use cextend_core::conflict::{build_conflict_graph, build_conflict_graph_naive};
 use cextend_core::metrics::dc_error_on;
 use cextend_core::snowflake::{solve_snowflake, SnowflakeStep};
-use cextend_core::{SchedulerMode, SolverConfig};
+use cextend_core::{ConflictBuilderKind, SchedulerMode, SolverConfig};
 use proptest::prelude::*;
 
 proptest! {
@@ -124,6 +125,102 @@ proptest! {
             // The star's two steps share the single level; the chain's don't.
             let widest = parallel.levels.iter().map(|l| l.steps.len()).max();
             prop_assert_eq!(widest, Some(if name == "logistics" { 2 } else { 1 }));
+        }
+    }
+
+    #[test]
+    fn indexed_and_naive_conflict_builders_build_identical_edge_sets(
+        seed in 0u64..1_000,
+        scale_mil in 2u32..10,
+        n_rows in 8usize..40,
+    ) {
+        // The indexed fast path's correctness oracle: on every workload's
+        // ground-truth view (real DC shapes: unary-anchored gaps, mixed
+        // equality+range atoms, the ternary nae-track chain), both builders
+        // must produce the same edge set over the same row window. The
+        // window is one artificial "partition" — larger and denser than any
+        // per-FK group, so enumeration is genuinely exercised.
+        let scale = f64::from(scale_mil) / 1_000.0;
+        for w in all_workloads() {
+            let data = w.generate(&WorkloadParams::new(scale, seed));
+            for step in 0..data.n_steps() {
+                let truth = data.step_owner_truth(step);
+                let dcs: Vec<_> = w
+                    .step_dcs(step, DcSet::All)
+                    .iter()
+                    .map(|d| d.bind(truth.schema(), truth.name()).expect("DCs bind"))
+                    .collect();
+                let rows: Vec<usize> = (0..truth.n_rows().min(n_rows)).collect();
+                let indexed = build_conflict_graph(truth, &rows, &dcs);
+                let naive = build_conflict_graph_naive(truth, &rows, &dcs);
+                let edge_set = |g: &cextend_hypergraph::Hypergraph| {
+                    let mut edges: Vec<Vec<u32>> = g.edges().map(<[u32]>::to_vec).collect();
+                    edges.sort();
+                    edges
+                };
+                prop_assert_eq!(
+                    edge_set(&indexed),
+                    edge_set(&naive),
+                    "{} step {}: builders diverged on {} rows",
+                    w.meta().name,
+                    step,
+                    rows.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_builders_and_schedulers_are_bit_identical_end_to_end(
+        seed in 0u64..200,
+        scale_mil in 3u32..7,
+    ) {
+        // Phase-2 output must not depend on the conflict builder or the
+        // step scheduler: solve dcdense (the DC-dense stress shape) under
+        // all four combinations and compare the completed relations.
+        let scale = f64::from(scale_mil) / 1_000.0;
+        let w = crate::workload::workload_by_name("dcdense").expect("registered");
+        let data = w.generate(&WorkloadParams::new(scale, seed));
+        let steps: Vec<SnowflakeStep> = data
+            .steps
+            .iter()
+            .enumerate()
+            .map(|(i, edge)| SnowflakeStep {
+                edge: edge.clone(),
+                ccs: w.step_ccs(i, CcFamily::Good, 12, &data, seed),
+                dcs: w.step_dcs(i, DcSet::All),
+            })
+            .collect();
+        let solve = |conflict: ConflictBuilderKind, sched: SchedulerMode| {
+            let config = SolverConfig::hybrid()
+                .with_seed(seed)
+                .with_conflict(conflict)
+                .with_scheduler(sched);
+            solve_snowflake(data.relations.clone(), &steps, &config).expect("solve")
+        };
+        let reference = solve(ConflictBuilderKind::Indexed, SchedulerMode::Serial);
+        for (conflict, sched) in [
+            (ConflictBuilderKind::Naive, SchedulerMode::Serial),
+            (ConflictBuilderKind::Indexed, SchedulerMode::Parallel),
+            (ConflictBuilderKind::Naive, SchedulerMode::Parallel),
+        ] {
+            let other = solve(conflict, sched);
+            for (a, b) in reference.tables.iter().zip(&other.tables) {
+                prop_assert!(
+                    cextend_table::relations_equal_ordered(a, b),
+                    "relation {} diverged under {:?}/{:?}",
+                    a.name(),
+                    conflict,
+                    sched
+                );
+            }
+            prop_assert_eq!(
+                reference.total_stats().counters,
+                other.total_stats().counters,
+                "solve counters diverged under {:?}/{:?}",
+                conflict,
+                sched
+            );
         }
     }
 

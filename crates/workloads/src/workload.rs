@@ -16,6 +16,7 @@
 //! on the step's ground-truth augmented view.
 
 use crate::census::CensusWorkload;
+use crate::dcdense::DcDenseWorkload;
 use crate::logistics::LogisticsWorkload;
 use crate::retail::RetailWorkload;
 use crate::supply::SupplyWorkload;
@@ -328,7 +329,7 @@ pub trait Workload: Send + Sync {
 }
 
 /// Registry names, in presentation order.
-pub const WORKLOAD_NAMES: [&str; 4] = ["census", "retail", "supply", "logistics"];
+pub const WORKLOAD_NAMES: [&str; 5] = ["census", "retail", "supply", "logistics", "dcdense"];
 
 /// Looks up a workload by registry name.
 pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
@@ -337,6 +338,7 @@ pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
         "retail" => Some(Box::new(RetailWorkload)),
         "supply" => Some(Box::new(SupplyWorkload)),
         "logistics" => Some(Box::new(LogisticsWorkload)),
+        "dcdense" => Some(Box::new(DcDenseWorkload)),
         _ => None,
     }
 }
