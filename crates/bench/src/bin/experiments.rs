@@ -2,16 +2,22 @@
 
 use cextend_bench::experiments;
 use cextend_bench::ExperimentOpts;
-use cextend_workloads::{workload_by_name, WORKLOAD_NAMES};
+use cextend_workloads::WORKLOAD_NAMES;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: experiments <id>|all|sched|perf|perf-check|perf-trend [options]
+usage: experiments <id>|all|sched|perf|perf-check|perf-trend|fuzz-spec|spec-check [options]
 
 experiments: table1 fig8a fig8b fig9 fig10 fig11a fig11b fig12 fig13 ablate
              sched (star-vs-chain step-scheduler sweep: serial vs parallel
                    wall per level on every multi-step workload, asserting
                    both modes produce bit-identical relations)
+             fuzz-spec (generates --iters random well-typed workload specs
+                   and runs each through the differential oracles:
+                   indexed ≡ naive conflict builder and serial ≡ parallel
+                   scheduler bit-identity; fails on any divergence)
+             spec-check (parses + statically checks every spec under
+                   specs/, and asserts every specs/bad/*.spec is rejected)
              perf (times the full chain on every workload — one record per
                    completion step plus per scheduler level × mode — writes
                    BENCH_perf.json and appends to BENCH_history.jsonl)
@@ -24,8 +30,10 @@ experiments: table1 fig8a fig8b fig9 fig10 fig11a fig11b fig12 fig13 ablate
 options:
   --workload W       scenario to drive: census (default), retail, supply
                      (3-relation chain: orders→stores→regions), logistics
-                     (branching star: shipments→{warehouses,carriers}) or
-                     dcdense (adversarial DC-dense events→slots)
+                     (branching star: shipments→{warehouses,carriers}),
+                     dcdense (adversarial DC-dense events→slots), or
+                     spec:<path> — a checked workload-spec file
+                     (e.g. spec:specs/supply.spec)
   --scheduler M      step scheduler for chain solves: serial (default) or
                      parallel (independent steps run concurrently;
                      bit-identical results under a fixed seed)
@@ -42,6 +50,7 @@ options:
   --n-areas N        alias for --knob areas=N (census)
   --runs R           independent runs to average (default 3)
   --seed S           base RNG seed (default 7)
+  --iters N          fuzz-spec iterations (default 25)
   --out DIR          write JSON snapshots to DIR
   --baseline FILE    committed perf baseline for perf-check
                      (default: ./BENCH_perf.json)
@@ -68,9 +77,14 @@ fn parse(args: &[String]) -> Result<(Vec<String>, ExperimentOpts), String> {
         match arg.as_str() {
             "--workload" => {
                 let name = take("--workload")?;
-                if !WORKLOAD_NAMES.contains(&name.as_str()) {
+                if let Some(path) = name.strip_prefix("spec:") {
+                    // Parse + statically check the spec up front, so a bad
+                    // file is a clean CLI error rather than a panic later.
+                    cextend_spec::load_workload(std::path::Path::new(path))
+                        .map_err(|e| e.to_string())?;
+                } else if !WORKLOAD_NAMES.contains(&name.as_str()) {
                     return Err(format!(
-                        "unknown workload `{name}`; known: {WORKLOAD_NAMES:?}"
+                        "unknown workload `{name}`; known: {WORKLOAD_NAMES:?} or spec:<path>"
                     ));
                 }
                 opts.workload = name;
@@ -112,6 +126,11 @@ fn parse(args: &[String]) -> Result<(Vec<String>, ExperimentOpts), String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?
             }
+            "--iters" => {
+                opts.iters = take("--iters")?
+                    .parse()
+                    .map_err(|e| format!("bad --iters: {e}"))?
+            }
             "--scheduler" => {
                 let mode = take("--scheduler")?;
                 opts.scheduler = cextend_core::SchedulerMode::parse(&mode)
@@ -141,8 +160,10 @@ fn parse(args: &[String]) -> Result<(Vec<String>, ExperimentOpts), String> {
     // Validate knob names against the selected workload's published set —
     // or every workload's, when `perf` or `sched` is requested (they sweep
     // across workloads).
-    let mut known: Vec<&str> = workload_by_name(&opts.workload)
-        .expect("validated above")
+    // `opts.workload()` handles both registry names and (already-validated)
+    // `spec:` paths; spec knob slices are interned, so they're 'static too.
+    let mut known: Vec<&str> = opts
+        .workload()
         .meta()
         .knobs
         .iter()

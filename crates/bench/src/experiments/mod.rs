@@ -19,6 +19,8 @@
 //! | `perf` | perf baseline over *all* workloads (one record per chain step + per scheduler level × mode) → `BENCH_perf.json` + `BENCH_history.jsonl` |
 //! | `perf-check` | regression guard: fresh `BENCH_perf.json` vs the committed baseline |
 //! | `perf-trend` | per-record wall-time trend table over the accumulated `BENCH_history.jsonl` lines (+ markdown when `--out` is set) |
+//! | `fuzz-spec` | seeded well-typed spec fuzzer: `--iters` random specs through the indexed ≡ naive and serial ≡ parallel differential oracles |
+//! | `spec-check` | corpus gate: every `specs/*.spec` passes the static checker, every `specs/bad/*.spec` is rejected |
 
 pub mod ablate;
 pub mod fig10;
@@ -27,6 +29,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig8;
 pub mod fig9;
+pub mod fuzzspec;
 pub mod perf;
 pub mod sched;
 pub mod table1;
@@ -77,10 +80,12 @@ pub fn run(id: &str, opts: &ExperimentOpts) -> Result<(), String> {
         "perf" => perf::run(opts),
         "perf-check" => perf::check_cli(opts)?,
         "perf-trend" => trend::run(opts)?,
+        "fuzz-spec" => fuzzspec::run(opts)?,
+        "spec-check" => fuzzspec::check_corpus(opts)?,
         other => {
             return Err(format!(
-                "unknown experiment `{other}`; known: {ALL:?}, `sched`, `perf`, `perf-check` \
-                 and `perf-trend`"
+                "unknown experiment `{other}`; known: {ALL:?}, `sched`, `perf`, `perf-check`, \
+                 `perf-trend`, `fuzz-spec` and `spec-check`"
             ))
         }
     }

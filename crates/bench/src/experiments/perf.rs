@@ -86,6 +86,13 @@ pub struct PerfBaseline {
     /// times under `naive` are not comparable to `indexed` ones, so the
     /// label gates `perf-check` like the other run parameters.
     pub conflict: String,
+    /// Set when the sweep was extended with `--workload spec:<path>` —
+    /// identifies where the extra `spec:*` records came from. Deliberately
+    /// **not** a comparability parameter: a spec's records appear and
+    /// disappear like any workload's, so a label difference must not
+    /// false-flag the whole document as a parameter mismatch.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub workload: Option<String>,
     /// One record per (workload, family, step).
     pub records: Vec<PerfRecord>,
 }
@@ -105,10 +112,24 @@ pub fn run(opts: &ExperimentOpts) {
         ],
     );
     let mut records = Vec::new();
-    for workload in all_workloads() {
+    // The sweep covers every registered workload; a `--workload spec:<path>`
+    // selection rides along as one extra entry, its records keyed under the
+    // spec's `spec:<name>` meta name. The selector string (second element)
+    // is what dataset generation resolves, which for specs is the path form.
+    let mut sweep: Vec<(Box<dyn cextend_workloads::Workload>, String)> = all_workloads()
+        .into_iter()
+        .map(|w| {
+            let name = w.meta().name.to_owned();
+            (w, name)
+        })
+        .collect();
+    if opts.workload.starts_with("spec:") {
+        sweep.push((opts.workload(), opts.workload.clone()));
+    }
+    for (workload, selector) in sweep {
         let meta = workload.meta();
         let sub = ExperimentOpts {
-            workload: meta.name.to_owned(),
+            workload: selector,
             ..opts.clone()
         };
         let data = sub.dataset(1, None, 0);
@@ -203,6 +224,10 @@ pub fn run(opts: &ExperimentOpts) {
         seed: opts.seed,
         knobs: opts.knobs.clone(),
         conflict: opts.conflict.label().to_owned(),
+        workload: opts
+            .workload
+            .starts_with("spec:")
+            .then(|| opts.workload.clone()),
         records,
     };
     let dir = opts
@@ -243,6 +268,10 @@ struct HistoryRecord {
     seed: u64,
     /// Conflict-builder label the sweep solved with.
     conflict: String,
+    /// The `spec:<path>` selection that extended the sweep, when one did
+    /// (same pass-through rule as the baseline's field).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    workload: Option<String>,
     /// `workload/family/step` → wall seconds, every record of the sweep.
     walls: BTreeMap<String, f64>,
 }
@@ -260,6 +289,7 @@ fn append_history(path: &Path, opts: &ExperimentOpts, baseline: &PerfBaseline) {
         runs: baseline.runs,
         seed: baseline.seed,
         conflict: baseline.conflict.clone(),
+        workload: baseline.workload.clone(),
         walls: baseline
             .records
             .iter()
@@ -300,7 +330,11 @@ fn parse_baseline(path: &Path) -> Result<ParsedBaseline, String> {
         return Err(format!("`{}` has no `records` array", path.display()));
     };
     // Wall times are only comparable when both sweeps generated the same
-    // datasets and CC load; capture every parameter they depend on.
+    // datasets and CC load; capture every parameter they depend on. The
+    // optional `workload` label (the `spec:<path>` that extended a sweep)
+    // is deliberately absent from this list: spec-driven records come and
+    // go per run like any workload's, and a label difference alone must
+    // not fail the whole document as a parameter mismatch.
     let mut params: Vec<(&'static str, String)> = ["scale_factor", "n_ccs", "runs", "seed"]
         .into_iter()
         .map(|name| {
@@ -582,6 +616,24 @@ mod tests {
         let err = check(&other, &fresh).unwrap_err();
         assert!(err.contains("scale_factor"), "{err}");
         assert!(err.contains("n_ccs"), "{err}");
+    }
+
+    #[test]
+    fn spec_workload_label_does_not_gate_comparability() {
+        let dir = std::env::temp_dir().join("cextend-perf-check-speclabel");
+        std::fs::create_dir_all(&dir).unwrap();
+        let records = [("spec:supply", "good", "Orders→Stores", 0.1)];
+        // A baseline stamped with the `workload` pass-through label must
+        // stay comparable to a fresh run without one (and vice versa) —
+        // the label identifies spec-driven records, it is not a parameter.
+        let with_label = doc(&records).replace(
+            r#""runs":1,"#,
+            r#""runs":1,"workload":"spec:specs/supply.spec","#,
+        );
+        let base = write(&dir, "base.json", &with_label);
+        let fresh = write(&dir, "fresh.json", &doc(&records));
+        check(&base, &fresh).unwrap();
+        check(&fresh, &base).unwrap();
     }
 
     #[test]

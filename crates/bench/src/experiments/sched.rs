@@ -172,16 +172,28 @@ pub fn sweep_runs(opts: &ExperimentOpts) -> usize {
     opts.runs.max(3)
 }
 
-/// All multi-step workloads' sweep timings.
+/// All multi-step workloads' sweep timings. A `--workload spec:<path>`
+/// selection joins the sweep when its schema graph has ≥ 2 steps, keyed
+/// under its `spec:<name>` meta name.
 pub fn sweep_all(opts: &ExperimentOpts) -> Vec<LevelTiming> {
     let mut out = Vec::new();
-    for workload in all_workloads() {
+    let mut sweep: Vec<(Box<dyn Workload>, String)> = all_workloads()
+        .into_iter()
+        .map(|w| {
+            let name = w.meta().name.to_owned();
+            (w, name)
+        })
+        .collect();
+    if opts.workload.starts_with("spec:") {
+        sweep.push((opts.workload(), opts.workload.clone()));
+    }
+    for (workload, selector) in sweep {
         let meta = workload.meta();
         if meta.n_steps() < 2 {
             continue;
         }
         let sub = ExperimentOpts {
-            workload: meta.name.to_owned(),
+            workload: selector,
             ..opts.clone()
         };
         let data = sub.dataset(sweep_label(&meta), None, 0);

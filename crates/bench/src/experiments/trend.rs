@@ -30,6 +30,11 @@ struct HistoryLine {
     stamp: String,
     /// Rendered run parameters, for comparability flagging.
     params: String,
+    /// The `spec:<path>` selection that extended the sweep, when one did.
+    /// Shown in the column header but **excluded** from `params`: a label
+    /// difference must not star the column as a parameter mismatch (the
+    /// spec's records simply appear/disappear like any workload's).
+    workload: Option<String>,
     /// `workload/family/step` → wall seconds.
     walls: BTreeMap<String, f64>,
 }
@@ -77,10 +82,15 @@ fn parse_line(line: &str, lineno: usize) -> Result<HistoryLine, String> {
         };
         walls.insert(key, wall);
     }
+    let workload = match field(&top, "workload") {
+        Some(serde::Value::Str(s)) => Some(s),
+        _ => None,
+    };
     Ok(HistoryLine {
         label: text("label"),
         stamp: text("stamp"),
         params,
+        workload,
         walls,
     })
 }
@@ -115,9 +125,13 @@ fn render_rows(lines: &[HistoryLine]) -> (Vec<String>, Vec<Vec<String>>) {
     let headers: Vec<String> = std::iter::once("Record".to_owned())
         .chain(shown.iter().map(|l| {
             format!(
-                "{}@{}{}",
+                "{}@{}{}{}",
                 l.label,
                 l.stamp,
+                l.workload
+                    .as_ref()
+                    .map(|w| format!(" ({w})"))
+                    .unwrap_or_default(),
                 if l.params == *newest_params { "" } else { "*" }
             )
         }))
@@ -290,6 +304,32 @@ mod tests {
         let (headers, _) = render_rows(&lines);
         assert!(headers[1].ends_with('*'), "{headers:?}");
         assert!(!headers[2].ends_with('*'));
+    }
+
+    #[test]
+    fn spec_workload_label_passes_through_unflagged() {
+        // A sweep extended with `--workload spec:<path>` stamps the label
+        // into its history line; the trend shows it in the header without
+        // treating it as a run-parameter difference.
+        let with_label = line("a", 0.005, &[("spec:supply/good/s", 0.1)]).replace(
+            r#""runs":1,"#,
+            r#""runs":1,"workload":"spec:specs/supply.spec","#,
+        );
+        let path = write_history(
+            "speclabel.jsonl",
+            &[with_label, line("b", 0.005, &[("spec:supply/good/s", 0.1)])],
+        );
+        let lines = read_history(&path).unwrap();
+        let (headers, _) = render_rows(&lines);
+        assert!(
+            headers[1].contains("(spec:specs/supply.spec)"),
+            "{headers:?}"
+        );
+        assert!(
+            !headers[1].ends_with('*'),
+            "spec label must not flag comparability: {headers:?}"
+        );
+        assert!(!headers[2].ends_with('*'), "{headers:?}");
     }
 
     #[test]

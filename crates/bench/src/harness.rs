@@ -55,6 +55,9 @@ pub struct ExperimentOpts {
     /// Timestamp stamp for `BENCH_history.jsonl` records (`--stamp`) — the
     /// harness never reads clocks itself, so runs stay reproducible.
     pub stamp: String,
+    /// Iteration count for generative experiments (`fuzz-spec`'s
+    /// `--iters`).
+    pub iters: usize,
 }
 
 impl Default for ExperimentOpts {
@@ -73,14 +76,21 @@ impl Default for ExperimentOpts {
             history: None,
             label: "dev".to_owned(),
             stamp: "unstamped".to_owned(),
+            iters: 25,
         }
     }
 }
 
 impl ExperimentOpts {
     /// Resolves the selected workload (panics on unknown names; the CLI
-    /// validates user input before building opts).
+    /// validates user input before building opts). `spec:<path>` selects a
+    /// spec-file workload, parsed and checked on every resolution.
     pub fn workload(&self) -> Box<dyn Workload> {
+        if let Some(path) = self.workload.strip_prefix("spec:") {
+            let loaded = cextend_spec::load_workload(std::path::Path::new(path))
+                .unwrap_or_else(|e| panic!("{e}"));
+            return Box::new(loaded);
+        }
         workload_by_name(&self.workload)
             .unwrap_or_else(|| panic!("unknown workload `{}`", self.workload))
     }

@@ -1,0 +1,317 @@
+//! The workload-spec AST, as parsed — names unresolved, nothing
+//! type-checked yet. Every node that the checker can reject carries the
+//! [`Span`] it started at.
+
+use crate::error::Span;
+use cextend_table::CmpOp;
+
+/// A whole parsed spec file.
+#[derive(Clone, Debug, Default)]
+pub struct Spec {
+    /// Declared workload name (`workload "supply";`).
+    pub name: String,
+    /// Span of the `workload` clause.
+    pub name_span: Span,
+    /// Declared knobs in order.
+    pub knobs: Vec<KnobDecl>,
+    /// `scales [..];` — the table1-style sweep labels.
+    pub scales: Option<(Vec<u32>, Span)>,
+    /// `ratio X;` — expected `|R1|/|R2|` at the first step.
+    pub ratio: Option<(f64, Span)>,
+    /// `r2cols [..] default N;` — supported non-key `R2` column counts.
+    pub r2cols: Option<(Vec<usize>, usize, Span)>,
+    /// Relations in declaration (= completion) order.
+    pub relations: Vec<RelationDecl>,
+    /// FK-completion steps in declaration order.
+    pub steps: Vec<StepDecl>,
+    /// The data generator.
+    pub generate: Option<Generate>,
+    /// Per-step CC blocks.
+    pub cc_blocks: Vec<CcBlock>,
+    /// Per-step DC blocks.
+    pub dc_blocks: Vec<DcBlock>,
+}
+
+/// `knob NAME = DEFAULT;`
+#[derive(Clone, Debug)]
+pub struct KnobDecl {
+    /// Knob name (quoted names allow dashes: `"max-group"`).
+    pub name: String,
+    /// Default value.
+    pub default: i64,
+    /// Declaration span.
+    pub span: Span,
+}
+
+/// `relation NAME { coldecl* }`
+#[derive(Clone, Debug)]
+pub struct RelationDecl {
+    /// Relation name.
+    pub name: String,
+    /// Declaration span.
+    pub span: Span,
+    /// Columns in schema order.
+    pub columns: Vec<ColumnDecl>,
+}
+
+/// Column role in the schema.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ColRole {
+    /// Primary key.
+    Key,
+    /// Non-key attribute.
+    Attr,
+    /// Foreign key (erased before solving, completed by a step).
+    Fk,
+}
+
+/// Column data type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ColType {
+    /// 64-bit integer.
+    Int,
+    /// Interned string.
+    Str,
+}
+
+/// `key|attr|fk NAME int|str;`
+#[derive(Clone, Debug)]
+pub struct ColumnDecl {
+    /// Column name.
+    pub name: String,
+    /// Role.
+    pub role: ColRole,
+    /// Data type.
+    pub dtype: ColType,
+    /// Declaration span.
+    pub span: Span,
+}
+
+/// `step OWNER.FK -> TARGET;`
+#[derive(Clone, Debug)]
+pub struct StepDecl {
+    /// Owning relation (plays `R1`).
+    pub owner: String,
+    /// The owner's FK column to complete.
+    pub fk_col: String,
+    /// Referenced dimension relation (plays `R2`).
+    pub target: String,
+    /// Declaration span.
+    pub span: Span,
+}
+
+/// The data generator clause.
+#[derive(Clone, Debug)]
+pub enum Generate {
+    /// `generate plugin "NAME";` — delegate to a registered Rust workload
+    /// (exact-RNG generators are not re-expressible in the DSL).
+    Plugin {
+        /// Registry name.
+        name: String,
+        /// Clause span.
+        span: Span,
+    },
+    /// `generate synthetic { rows R N; domain R.C ...; }` — the built-in
+    /// seeded generator (used by the fuzzer).
+    Synthetic {
+        /// Reference row counts per relation at scale `1.0`.
+        rows: Vec<RowsDecl>,
+        /// Value domains per attribute column.
+        domains: Vec<DomainDecl>,
+        /// Clause span.
+        span: Span,
+    },
+}
+
+/// `rows RELATION N;`
+#[derive(Clone, Debug)]
+pub struct RowsDecl {
+    /// Relation name.
+    pub relation: String,
+    /// Reference row count at scale `1.0`.
+    pub count: usize,
+    /// Declaration span.
+    pub span: Span,
+}
+
+/// `domain RELATION.COLUMN [lo, hi];` or `domain RELATION.COLUMN ["a", ..];`
+#[derive(Clone, Debug)]
+pub struct DomainDecl {
+    /// Relation name.
+    pub relation: String,
+    /// Column name.
+    pub column: String,
+    /// The values the generator draws from.
+    pub values: DomainValues,
+    /// Declaration span.
+    pub span: Span,
+}
+
+/// A synthetic column's value domain.
+#[derive(Clone, Debug)]
+pub enum DomainValues {
+    /// Uniform integer range `[lo, hi]`.
+    IntRange(i64, i64),
+    /// Uniform choice among symbols.
+    Syms(Vec<String>),
+}
+
+/// `ccs step N plugin;` or `ccs step N { pool*; good {..} bad {..} }`
+#[derive(Clone, Debug)]
+pub struct CcBlock {
+    /// Step index the block belongs to.
+    pub step: usize,
+    /// Block span.
+    pub span: Span,
+    /// How the step's CC families are produced.
+    pub kind: CcBlockKind,
+}
+
+/// The body of a CC block.
+#[derive(Clone, Debug)]
+pub enum CcBlockKind {
+    /// Delegate to the `generate plugin` workload's family builder
+    /// (bespoke generators like the census `generate_ccs_from`).
+    Plugin,
+    /// DSL rows + mined `R2` condition pool, lowered through
+    /// `cextend_workloads::ccgen`.
+    Explicit {
+        /// Pool clauses in order (combos before values, as the plugins
+        /// mine them).
+        pools: Vec<PoolDecl>,
+        /// Good-family rows (must be laminar).
+        good: Vec<CcRow>,
+        /// Bad-family rows.
+        bad: Vec<CcRow>,
+    },
+}
+
+/// One `pool` clause.
+#[derive(Clone, Debug)]
+pub struct PoolDecl {
+    /// What to mine from the step target.
+    pub kind: PoolKind,
+    /// Declaration span.
+    pub span: Span,
+}
+
+/// A pool-mining rule.
+#[derive(Clone, Debug)]
+pub enum PoolKind {
+    /// `pool combos(A, B);` — every distinct `(A, B)` pair as a
+    /// two-equality condition.
+    Combos(String, String),
+    /// `pool values(A);` — every distinct `A` value as an equality.
+    Values(String),
+}
+
+/// `row COND, COND, ..;`
+#[derive(Clone, Debug)]
+pub struct CcRow {
+    /// Per-column conditions (conjunctive).
+    pub conds: Vec<CcCond>,
+    /// Row span.
+    pub span: Span,
+}
+
+/// One per-column condition of a CC row.
+#[derive(Clone, Debug)]
+pub struct CcCond {
+    /// Column name.
+    pub column: String,
+    /// The constrained value set.
+    pub set: CcSet,
+    /// Condition span.
+    pub span: Span,
+}
+
+/// The value set of a CC-row condition.
+#[derive(Clone, Debug)]
+pub enum CcSet {
+    /// `COL in [lo, hi]` — integer interval.
+    Range(i64, i64),
+    /// `COL == "sym"` — symbol equality.
+    SymEq(String),
+    /// `COL == N` — integer equality.
+    IntEq(i64),
+}
+
+/// `dcs step N { dc* }`
+#[derive(Clone, Debug)]
+pub struct DcBlock {
+    /// Step index the block belongs to.
+    pub step: usize,
+    /// Block span.
+    pub span: Span,
+    /// DCs in declaration order. `DcSet::Good` takes the `good`-marked
+    /// ones, `DcSet::All` every one, both in this order.
+    pub dcs: Vec<DcDecl>,
+}
+
+/// `good|all dc "NAME" arity K { atom* }`
+#[derive(Clone, Debug)]
+pub struct DcDecl {
+    /// DC name (appears verbatim in reports).
+    pub name: String,
+    /// Number of tuple variables.
+    pub arity: usize,
+    /// `true` when the DC belongs to the clique-free `S_good_DC` subset.
+    pub good: bool,
+    /// Conjunctive atoms.
+    pub atoms: Vec<DcAtomDecl>,
+    /// Declaration span.
+    pub span: Span,
+}
+
+/// One DC atom, as written.
+#[derive(Clone, Debug)]
+pub enum DcAtomDecl {
+    /// `tI.COL op LITERAL;`
+    Unary {
+        /// Tuple-variable index (0-based, written `t0`, `t1`, …).
+        var: usize,
+        /// Column name.
+        column: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// The literal.
+        value: DcLit,
+        /// Atom span.
+        span: Span,
+    },
+    /// `tI.COL op tJ.COL2 [+|- OFFSET];`
+    Binary {
+        /// Left tuple-variable index.
+        lvar: usize,
+        /// Left column.
+        lcol: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right tuple-variable index.
+        rvar: usize,
+        /// Right column.
+        rcol: String,
+        /// Constant added to the right side.
+        offset: i64,
+        /// Atom span.
+        span: Span,
+    },
+}
+
+impl DcAtomDecl {
+    /// The atom's span.
+    pub fn span(&self) -> Span {
+        match self {
+            DcAtomDecl::Unary { span, .. } | DcAtomDecl::Binary { span, .. } => *span,
+        }
+    }
+}
+
+/// A DC literal.
+#[derive(Clone, PartialEq, Debug)]
+pub enum DcLit {
+    /// Integer.
+    Int(i64),
+    /// Symbol.
+    Sym(String),
+}

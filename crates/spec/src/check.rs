@@ -1,0 +1,871 @@
+//! Static checks over a parsed [`Spec`] — every rule that can be decided
+//! without generating data runs here, so ill-formed specs are rejected
+//! with a `path:line:col` message *before* any solving starts.
+//!
+//! The checker validates, in order: schema shape (relations, columns,
+//! knobs), FK-completion steps (declared `fk` columns, completion order,
+//! tree shape), the generator clause (plugin coherence or synthetic
+//! domains), CC blocks (pool/row columns on the right relations, condition
+//! types, trivially-unsatisfiable rows, good-row laminarity) and DC blocks
+//! (arity and variable binding, column types, degenerate atoms). The first
+//! violation is returned as a [`SpecError`].
+
+use crate::ast::{
+    CcBlockKind, CcRow, CcSet, ColRole, ColType, ColumnDecl, DcAtomDecl, DcLit, DomainValues,
+    Generate, PoolKind, RelationDecl, Spec,
+};
+use crate::error::{Result, Span, SpecError};
+use cextend_constraints::NormalizedCond;
+use cextend_table::{CmpOp, Sym, ValueSet};
+use cextend_workloads::ccgen::rows_are_laminar;
+use cextend_workloads::workload_by_name;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Runs every static check. `path` only labels errors.
+pub fn check(spec: &Spec, path: &str) -> Result<()> {
+    let ck = Checker { spec, path };
+    ck.schema()?;
+    ck.steps()?;
+    ck.generate()?;
+    ck.cc_blocks()?;
+    ck.dc_blocks()?;
+    Ok(())
+}
+
+/// Looks up a relation declaration by name.
+pub(crate) fn relation<'a>(spec: &'a Spec, name: &str) -> Option<&'a RelationDecl> {
+    spec.relations.iter().find(|r| r.name == name)
+}
+
+/// Looks up a column declaration by name.
+pub(crate) fn column<'a>(rel: &'a RelationDecl, name: &str) -> Option<&'a ColumnDecl> {
+    rel.columns.iter().find(|c| c.name == name)
+}
+
+/// Builds the `NormalizedCond` a CC row lowers to (shared with `lower` so
+/// the checker's unsatisfiability verdicts match what actually runs).
+/// Repeated columns intersect, mirroring `NormalizedCond::from_predicate`,
+/// so `A in [0, 3], A in [5, 9]` normalizes to an empty set instead of
+/// silently keeping only the last condition.
+pub(crate) fn row_cond(row: &CcRow) -> NormalizedCond {
+    let mut sets: BTreeMap<String, ValueSet> = BTreeMap::new();
+    for c in &row.conds {
+        let set = match &c.set {
+            CcSet::Range(lo, hi) => ValueSet::range(*lo, *hi),
+            CcSet::SymEq(s) => ValueSet::sym(Sym::intern(s)),
+            CcSet::IntEq(n) => ValueSet::int(*n),
+        };
+        let merged = match sets.get(&c.column) {
+            Some(existing) => existing.intersect(&set),
+            None => set,
+        };
+        sets.insert(c.column.clone(), merged);
+    }
+    NormalizedCond::from_sets(sets)
+}
+
+struct Checker<'a> {
+    spec: &'a Spec,
+    path: &'a str,
+}
+
+impl Checker<'_> {
+    fn err(&self, span: Span, message: impl Into<String>) -> SpecError {
+        SpecError::new(self.path, span, message)
+    }
+
+    fn schema(&self) -> Result<()> {
+        let spec = self.spec;
+        if spec.relations.is_empty() {
+            return Err(self.err(spec.name_span, "spec declares no relations"));
+        }
+        let mut knob_names = BTreeSet::new();
+        for k in &spec.knobs {
+            if !knob_names.insert(k.name.as_str()) {
+                return Err(self.err(k.span, format!("duplicate knob `{}`", k.name)));
+            }
+        }
+        let mut rel_names = BTreeSet::new();
+        let mut attr_names: BTreeSet<&str> = BTreeSet::new();
+        for r in &spec.relations {
+            if !rel_names.insert(r.name.as_str()) {
+                return Err(self.err(r.span, format!("duplicate relation `{}`", r.name)));
+            }
+            let mut col_names = BTreeSet::new();
+            let mut keys = 0usize;
+            for c in &r.columns {
+                if !col_names.insert(c.name.as_str()) {
+                    return Err(self.err(
+                        c.span,
+                        format!("duplicate column `{}` in relation `{}`", c.name, r.name),
+                    ));
+                }
+                if c.role != ColRole::Attr && c.dtype != ColType::Int {
+                    return Err(self.err(
+                        c.span,
+                        format!(
+                            "`key` and `fk` columns must be `int` (column `{}.{}` is `str`)",
+                            r.name, c.name
+                        ),
+                    ));
+                }
+                // Augmented step views splice owner and dimension
+                // attributes into one schema, so attribute names must be
+                // globally unique or the join would fail at solve time.
+                if c.role == ColRole::Attr && !attr_names.insert(c.name.as_str()) {
+                    return Err(self.err(
+                        c.span,
+                        format!(
+                            "attribute column `{}` appears in more than one relation (augmented views need globally unique attribute names)",
+                            c.name
+                        ),
+                    ));
+                }
+                if c.role == ColRole::Key {
+                    keys += 1;
+                }
+            }
+            if keys != 1 {
+                return Err(self.err(
+                    r.span,
+                    format!(
+                        "relation `{}` must declare exactly one `key` column",
+                        r.name
+                    ),
+                ));
+            }
+        }
+        if let Some((counts, default, span)) = &spec.r2cols {
+            if !counts.contains(default) {
+                return Err(self.err(
+                    *span,
+                    format!("default R2 column count {default} is not among the declared counts"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn steps(&self) -> Result<()> {
+        let spec = self.spec;
+        if spec.steps.is_empty() {
+            return Err(self.err(spec.name_span, "spec declares no FK-completion steps"));
+        }
+        let mut completed_fks: BTreeSet<(&str, &str)> = BTreeSet::new();
+        let mut targets: BTreeSet<&str> = BTreeSet::new();
+        for (i, s) in spec.steps.iter().enumerate() {
+            let owner = relation(spec, &s.owner)
+                .ok_or_else(|| self.err(s.span, format!("unknown relation `{}`", s.owner)))?;
+            relation(spec, &s.target)
+                .ok_or_else(|| self.err(s.span, format!("unknown relation `{}`", s.target)))?;
+            match column(owner, &s.fk_col) {
+                None => {
+                    return Err(
+                        self.err(s.span, format!("unknown column `{}.{}`", s.owner, s.fk_col))
+                    );
+                }
+                Some(c) if c.role != ColRole::Fk => {
+                    return Err(self.err(
+                        s.span,
+                        format!(
+                            "step completes `{}.{}` which is not a declared `fk` column",
+                            s.owner, s.fk_col
+                        ),
+                    ));
+                }
+                Some(_) => {}
+            }
+            if !completed_fks.insert((s.owner.as_str(), s.fk_col.as_str())) {
+                return Err(self.err(
+                    s.span,
+                    format!(
+                        "FK column `{}.{}` is completed by more than one step",
+                        s.owner, s.fk_col
+                    ),
+                ));
+            }
+            if !targets.insert(s.target.as_str()) {
+                return Err(self.err(
+                    s.span,
+                    format!(
+                        "relation `{}` is the target of more than one step",
+                        s.target
+                    ),
+                ));
+            }
+            // The owner must already be part of the growing tree: the fact
+            // relation, or a relation completed by an earlier step. This
+            // (plus unique targets) makes the step graph a forest rooted at
+            // the fact, i.e. a DAG with no forward references.
+            let owner_known = s.owner == spec.relations[0].name
+                || spec.steps[..i].iter().any(|p| p.target == s.owner);
+            if !owner_known {
+                return Err(self.err(
+                    s.span,
+                    format!(
+                        "step owner `{}` is neither the fact relation nor the target of an earlier step",
+                        s.owner
+                    ),
+                ));
+            }
+        }
+        // Declaration order must equal completion order — this is what the
+        // runtime `WorkloadMeta::relation_names` contract requires.
+        let expected: Vec<&str> = std::iter::once(spec.steps[0].owner.as_str())
+            .chain(spec.steps.iter().map(|s| s.target.as_str()))
+            .collect();
+        for (i, r) in spec.relations.iter().enumerate() {
+            let want = expected.get(i).copied().unwrap_or("<none>");
+            if r.name != want {
+                return Err(self.err(
+                    r.span,
+                    format!(
+                        "relation declaration order must follow completion order: expected `{want}` at position {i}, found `{}`",
+                        r.name
+                    ),
+                ));
+            }
+        }
+        for r in &spec.relations {
+            for c in &r.columns {
+                if c.role == ColRole::Fk
+                    && !completed_fks.contains(&(r.name.as_str(), c.name.as_str()))
+                {
+                    return Err(self.err(
+                        c.span,
+                        format!(
+                            "declared fk column `{}.{}` is never completed by a step",
+                            r.name, c.name
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn generate(&self) -> Result<()> {
+        let spec = self.spec;
+        match &spec.generate {
+            None => Err(self.err(spec.name_span, "spec has no `generate` clause")),
+            Some(Generate::Plugin { name, span }) => {
+                let plugin = workload_by_name(name)
+                    .ok_or_else(|| self.err(*span, format!("unknown plugin workload `{name}`")))?;
+                let meta = plugin.meta();
+                let declared: Vec<&str> = spec.relations.iter().map(|r| r.name.as_str()).collect();
+                if meta.relation_names != declared.as_slice() {
+                    return Err(self.err(
+                        *span,
+                        format!(
+                            "plugin `{name}` generates relations {:?} but the spec declares {declared:?}",
+                            meta.relation_names
+                        ),
+                    ));
+                }
+                if meta.fk_column != spec.steps[0].fk_col {
+                    return Err(self.err(
+                        *span,
+                        format!(
+                            "plugin `{name}` completes fk `{}` at step 0 but the spec declares `{}`",
+                            meta.fk_column, spec.steps[0].fk_col
+                        ),
+                    ));
+                }
+                if meta.n_steps() != spec.steps.len() {
+                    return Err(self.err(
+                        *span,
+                        format!(
+                            "plugin `{name}` has {} steps but the spec declares {}",
+                            meta.n_steps(),
+                            spec.steps.len()
+                        ),
+                    ));
+                }
+                for k in &spec.knobs {
+                    match meta.knobs.iter().find(|(n, _)| *n == k.name) {
+                        None => {
+                            return Err(self.err(
+                                k.span,
+                                format!("knob `{}` is not published by plugin `{name}`", k.name),
+                            ));
+                        }
+                        Some((_, d)) if *d != k.default => {
+                            return Err(self.err(
+                                k.span,
+                                format!(
+                                    "knob `{}` default {} differs from plugin default {d}",
+                                    k.name, k.default
+                                ),
+                            ));
+                        }
+                        Some(_) => {}
+                    }
+                }
+                if let Some((ratio, span)) = &spec.ratio {
+                    if (ratio - meta.expected_ratio).abs() > 1e-9 {
+                        return Err(self.err(
+                            *span,
+                            format!(
+                                "declared ratio {ratio} differs from plugin `{name}`'s {}",
+                                meta.expected_ratio
+                            ),
+                        ));
+                    }
+                }
+                if let Some((scales, span)) = &spec.scales {
+                    if scales.as_slice() != meta.scale_labels {
+                        return Err(self.err(
+                            *span,
+                            format!(
+                                "declared scales {scales:?} differ from plugin `{name}`'s {:?}",
+                                meta.scale_labels
+                            ),
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            Some(Generate::Synthetic {
+                rows,
+                domains,
+                span,
+            }) => {
+                let mut row_counts: BTreeMap<&str, usize> = BTreeMap::new();
+                for r in rows {
+                    relation(spec, &r.relation).ok_or_else(|| {
+                        self.err(r.span, format!("unknown relation `{}`", r.relation))
+                    })?;
+                    if row_counts.insert(&r.relation, r.count).is_some() {
+                        return Err(self.err(
+                            r.span,
+                            format!("duplicate `rows` clause for relation `{}`", r.relation),
+                        ));
+                    }
+                    if r.count == 0 {
+                        return Err(self.err(
+                            r.span,
+                            format!(
+                                "relation `{}` needs a positive reference row count",
+                                r.relation
+                            ),
+                        ));
+                    }
+                }
+                for r in &spec.relations {
+                    if !row_counts.contains_key(r.name.as_str()) {
+                        return Err(self.err(
+                            *span,
+                            format!("missing `rows` clause for relation `{}`", r.name),
+                        ));
+                    }
+                }
+                let mut seen: BTreeSet<(&str, &str)> = BTreeSet::new();
+                for d in domains {
+                    let rel = relation(spec, &d.relation).ok_or_else(|| {
+                        self.err(d.span, format!("unknown relation `{}`", d.relation))
+                    })?;
+                    let col = column(rel, &d.column).ok_or_else(|| {
+                        self.err(
+                            d.span,
+                            format!("unknown column `{}.{}`", d.relation, d.column),
+                        )
+                    })?;
+                    if col.role != ColRole::Attr {
+                        return Err(self.err(
+                            d.span,
+                            format!(
+                                "domain on `{}.{}` which is not an `attr` column",
+                                d.relation, d.column
+                            ),
+                        ));
+                    }
+                    if !seen.insert((&d.relation, &d.column)) {
+                        return Err(self.err(
+                            d.span,
+                            format!("duplicate domain for `{}.{}`", d.relation, d.column),
+                        ));
+                    }
+                    match (&d.values, col.dtype) {
+                        (DomainValues::IntRange(lo, hi), ColType::Int) => {
+                            if lo > hi {
+                                return Err(self.err(d.span, format!("empty domain [{lo}, {hi}]")));
+                            }
+                        }
+                        (DomainValues::Syms(_), ColType::Str) => {}
+                        (DomainValues::IntRange(..), ColType::Str) => {
+                            return Err(self.err(
+                                d.span,
+                                format!(
+                                    "domain for string column `{}.{}` must list symbols",
+                                    d.relation, d.column
+                                ),
+                            ));
+                        }
+                        (DomainValues::Syms(_), ColType::Int) => {
+                            return Err(self.err(
+                                d.span,
+                                format!(
+                                    "domain for integer column `{}.{}` must be an [lo, hi] range",
+                                    d.relation, d.column
+                                ),
+                            ));
+                        }
+                    }
+                }
+                for r in &spec.relations {
+                    for c in &r.columns {
+                        if c.role == ColRole::Attr
+                            && !seen.contains(&(r.name.as_str(), c.name.as_str()))
+                        {
+                            return Err(self.err(
+                                c.span,
+                                format!(
+                                    "missing domain for attribute column `{}.{}`",
+                                    r.name, c.name
+                                ),
+                            ));
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn cc_blocks(&self) -> Result<()> {
+        let spec = self.spec;
+        let mut seen_steps = BTreeSet::new();
+        for b in &spec.cc_blocks {
+            if b.step >= spec.steps.len() {
+                return Err(self.err(
+                    b.span,
+                    format!(
+                        "ccs block for step {} but the spec declares only {} steps",
+                        b.step,
+                        spec.steps.len()
+                    ),
+                ));
+            }
+            if !seen_steps.insert(b.step) {
+                return Err(self.err(b.span, format!("duplicate ccs block for step {}", b.step)));
+            }
+            let step = &spec.steps[b.step];
+            let owner = relation(spec, &step.owner).expect("steps checked");
+            let target = relation(spec, &step.target).expect("steps checked");
+            match &b.kind {
+                CcBlockKind::Plugin => {
+                    if !matches!(spec.generate, Some(Generate::Plugin { .. })) {
+                        return Err(self.err(
+                            b.span,
+                            format!(
+                                "ccs step {} delegates to a plugin but the spec has no `generate plugin` clause",
+                                b.step
+                            ),
+                        ));
+                    }
+                }
+                CcBlockKind::Explicit { pools, good, bad } => {
+                    if pools.is_empty() {
+                        return Err(self.err(
+                            b.span,
+                            format!("ccs step {} declares no condition pools", b.step),
+                        ));
+                    }
+                    for p in pools {
+                        let cols: Vec<&String> = match &p.kind {
+                            PoolKind::Combos(a, b) => vec![a, b],
+                            PoolKind::Values(a) => vec![a],
+                        };
+                        for c in cols {
+                            match column(target, c) {
+                                None => {
+                                    return Err(self.err(
+                                        p.span,
+                                        format!("unknown column `{}.{c}`", target.name),
+                                    ));
+                                }
+                                Some(cd) if cd.role != ColRole::Attr => {
+                                    return Err(self.err(
+                                        p.span,
+                                        format!(
+                                            "pool column `{c}` is not an attribute of step-{} target `{}`",
+                                            b.step, target.name
+                                        ),
+                                    ));
+                                }
+                                Some(_) => {}
+                            }
+                        }
+                    }
+                    for (rows, family) in [(good, "good"), (bad, "bad")] {
+                        for row in rows {
+                            self.cc_row(owner, row)?;
+                        }
+                        let _ = family;
+                    }
+                    let good_conds: Vec<NormalizedCond> = good.iter().map(row_cond).collect();
+                    if !rows_are_laminar(&good_conds) {
+                        return Err(self.err(
+                            b.span,
+                            format!(
+                                "good CC rows of step {} are not laminar (rows must nest or be disjoint)",
+                                b.step
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        // Every step needs a CC block: the harness requests CC families for
+        // each step, and an empty family would fail at solve time anyway.
+        for (i, s) in spec.steps.iter().enumerate() {
+            if !seen_steps.contains(&i) {
+                return Err(self.err(
+                    s.span,
+                    format!("step {i} (`{}.{}`) has no ccs block", s.owner, s.fk_col),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn cc_row(&self, owner: &RelationDecl, row: &CcRow) -> Result<()> {
+        for c in &row.conds {
+            let col = column(owner, &c.column).ok_or_else(|| {
+                self.err(
+                    c.span,
+                    format!("unknown column `{}.{}`", owner.name, c.column),
+                )
+            })?;
+            if col.role != ColRole::Attr {
+                return Err(self.err(
+                    c.span,
+                    format!(
+                        "CC condition on `{}.{}` which is not an `attr` column",
+                        owner.name, c.column
+                    ),
+                ));
+            }
+            match (&c.set, col.dtype) {
+                (CcSet::Range(lo, hi), ColType::Int) => {
+                    if lo > hi {
+                        return Err(self.err(
+                            c.span,
+                            format!("trivially unsatisfiable condition: empty range [{lo}, {hi}]"),
+                        ));
+                    }
+                }
+                (CcSet::IntEq(_), ColType::Int) | (CcSet::SymEq(_), ColType::Str) => {}
+                (CcSet::Range(..), ColType::Str) => {
+                    return Err(self.err(
+                        c.span,
+                        format!("range condition on string column `{}`", c.column),
+                    ));
+                }
+                (CcSet::IntEq(_), ColType::Str) => {
+                    return Err(self.err(
+                        c.span,
+                        format!("integer equality on string column `{}`", c.column),
+                    ));
+                }
+                (CcSet::SymEq(_), ColType::Int) => {
+                    return Err(self.err(
+                        c.span,
+                        format!("symbol equality on integer column `{}`", c.column),
+                    ));
+                }
+            }
+        }
+        if row_cond(row).is_unsatisfiable() {
+            return Err(self.err(
+                row.span,
+                "trivially unsatisfiable CC row (conditions on one column do not intersect)",
+            ));
+        }
+        Ok(())
+    }
+
+    fn dc_blocks(&self) -> Result<()> {
+        let spec = self.spec;
+        let mut seen_steps = BTreeSet::new();
+        let mut names: BTreeSet<&str> = BTreeSet::new();
+        for b in &spec.dc_blocks {
+            if b.step >= spec.steps.len() {
+                return Err(self.err(
+                    b.span,
+                    format!(
+                        "dcs block for step {} but the spec declares only {} steps",
+                        b.step,
+                        spec.steps.len()
+                    ),
+                ));
+            }
+            if !seen_steps.insert(b.step) {
+                return Err(self.err(b.span, format!("duplicate dcs block for step {}", b.step)));
+            }
+            let owner = relation(spec, &spec.steps[b.step].owner).expect("steps checked");
+            for dc in &b.dcs {
+                if !names.insert(dc.name.as_str()) {
+                    return Err(self.err(dc.span, format!("duplicate DC name \"{}\"", dc.name)));
+                }
+                if dc.arity < 2 {
+                    return Err(self.err(
+                        dc.span,
+                        format!(
+                            "DC \"{}\" has arity {} but at least 2 tuple variables are required",
+                            dc.name, dc.arity
+                        ),
+                    ));
+                }
+                if dc.atoms.is_empty() {
+                    return Err(self.err(dc.span, format!("DC \"{}\" has no atoms", dc.name)));
+                }
+                let mut used = BTreeSet::new();
+                for atom in &dc.atoms {
+                    self.dc_atom(owner, dc.arity, &dc.name, atom, &mut used)?;
+                }
+                for v in 0..dc.arity {
+                    if !used.contains(&v) {
+                        return Err(self.err(
+                            dc.span,
+                            format!(
+                                "tuple variable t{v} is declared by arity {} but never used in DC \"{}\"",
+                                dc.arity, dc.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn dc_atom(
+        &self,
+        owner: &RelationDecl,
+        arity: usize,
+        dc_name: &str,
+        atom: &DcAtomDecl,
+        used: &mut BTreeSet<usize>,
+    ) -> Result<()> {
+        let span = atom.span();
+        let col_of = |name: &str| -> Result<&ColumnDecl> {
+            let col = column(owner, name)
+                .ok_or_else(|| self.err(span, format!("unknown column `{}.{name}`", owner.name)))?;
+            if col.role != ColRole::Attr {
+                return Err(self.err(
+                    span,
+                    format!(
+                        "DC atom references `{name}` which is not an `attr` column of `{}`",
+                        owner.name
+                    ),
+                ));
+            }
+            Ok(col)
+        };
+        match atom {
+            DcAtomDecl::Unary {
+                var,
+                column: col_name,
+                op,
+                value,
+                ..
+            } => {
+                if *var >= arity {
+                    return Err(self.err(
+                        span,
+                        format!("tuple variable t{var} out of range for arity {arity}"),
+                    ));
+                }
+                used.insert(*var);
+                let col = col_of(col_name)?;
+                match (value, col.dtype) {
+                    (DcLit::Int(_), ColType::Int) => {}
+                    (DcLit::Sym(_), ColType::Str) => {
+                        if !matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                            return Err(self.err(
+                                span,
+                                format!("ordered comparison on string column `{col_name}`"),
+                            ));
+                        }
+                    }
+                    (DcLit::Sym(_), ColType::Int) => {
+                        return Err(self.err(
+                            span,
+                            format!(
+                                "DC literal type mismatch: column `{col_name}` is int but the literal is a symbol"
+                            ),
+                        ));
+                    }
+                    (DcLit::Int(_), ColType::Str) => {
+                        return Err(self.err(
+                            span,
+                            format!(
+                                "DC literal type mismatch: column `{col_name}` is str but the literal is an integer"
+                            ),
+                        ));
+                    }
+                }
+            }
+            DcAtomDecl::Binary {
+                lvar,
+                lcol,
+                rvar,
+                rcol,
+                ..
+            } => {
+                for v in [lvar, rvar] {
+                    if *v >= arity {
+                        return Err(self.err(
+                            span,
+                            format!("tuple variable t{v} out of range for arity {arity}"),
+                        ));
+                    }
+                    used.insert(*v);
+                }
+                for name in [lcol, rcol] {
+                    let col = col_of(name)?;
+                    if col.dtype != ColType::Int {
+                        return Err(self.err(
+                            span,
+                            format!("binary DC atom over non-integer column `{name}`"),
+                        ));
+                    }
+                }
+                if lvar == rvar && lcol == rcol {
+                    return Err(self.err(
+                        span,
+                        format!("degenerate self-comparison in DC \"{dc_name}\""),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<()> {
+        let spec = parse(src, "t")?;
+        check(&spec, "t")
+    }
+
+    const OK: &str = r#"
+workload "mini";
+relation R { key k int; attr A int; attr B str; fk f int; }
+relation S { key s int; attr X str; attr Y str; }
+step R.f -> S;
+generate synthetic {
+  rows R 40; rows S 10;
+  domain R.A [5, 900];
+  domain R.B ["u", "v"];
+  domain S.X ["a", "b"];
+  domain S.Y ["c", "d"];
+}
+ccs step 0 {
+  pool combos(X, Y);
+  pool values(X);
+  good { row A in [5, 900], B == "u"; row A in [10, 100], B == "u"; }
+  bad { row A in [5, 900], B == "v"; }
+}
+dcs step 0 {
+  good dc "d1" arity 2 { t0.B == "u"; t1.B == "v"; t1.A < t0.A - 10; }
+}
+"#;
+
+    #[test]
+    fn well_formed_spec_passes() {
+        check_src(OK).unwrap();
+    }
+
+    #[test]
+    fn unknown_row_column_is_rejected_with_span() {
+        let bad = OK.replace("row A in [5, 900], B == \"u\";", "row Amnt in [5, 900];");
+        let err = check_src(&bad).unwrap_err();
+        assert!(err.message.contains("unknown column `R.Amnt`"), "{err}");
+        assert!(err.span.line > 1);
+    }
+
+    #[test]
+    fn empty_range_is_trivially_unsatisfiable() {
+        let bad = OK.replace("row A in [10, 100], B == \"u\";", "row A in [100, 10];");
+        let err = check_src(&bad).unwrap_err();
+        assert!(err.message.contains("empty range [100, 10]"), "{err}");
+    }
+
+    #[test]
+    fn non_laminar_good_rows_are_rejected() {
+        let bad = OK.replace(
+            "row A in [10, 100], B == \"u\";",
+            "row A in [500, 950], B == \"u\";",
+        );
+        let err = check_src(&bad).unwrap_err();
+        assert!(err.message.contains("not laminar"), "{err}");
+    }
+
+    #[test]
+    fn declaration_order_must_follow_completion_order() {
+        // A star whose dims are declared in the opposite order of their
+        // completion steps (the owner-known rule alone cannot catch this).
+        let err = check_src(
+            r#"workload "m";
+relation F { key k int; attr A int; fk d0 int; fk d1 int; }
+relation D1 { key k int; attr Y str; }
+relation D0 { key k int; attr X str; }
+step F.d0 -> D0;
+step F.d1 -> D1;
+generate synthetic {
+  rows F 10; rows D0 4; rows D1 4;
+  domain F.A [0, 9]; domain D0.X ["a"]; domain D1.Y ["b"];
+}
+ccs step 0 { pool values(X); good { row A in [0, 9]; } bad { row A in [0, 4]; } }
+ccs step 1 { pool values(Y); good { row A in [0, 9]; } bad { row A in [0, 4]; } }
+"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("completion order"), "{err}");
+        assert!(err.message.contains("expected `D0`"), "{err}");
+    }
+
+    #[test]
+    fn attr_names_must_be_globally_unique() {
+        let bad = OK.replace("attr X str; attr Y str;", "attr X str; attr A int;");
+        let err = check_src(&bad).unwrap_err();
+        assert!(
+            err.message
+                .contains("attribute column `A` appears in more than one relation"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unused_tuple_variable_is_rejected() {
+        let bad = OK.replace("arity 2 {", "arity 3 {");
+        let err = check_src(&bad).unwrap_err();
+        assert!(err.message.contains("t2"), "{err}");
+        assert!(err.message.contains("never used"), "{err}");
+    }
+
+    #[test]
+    fn plugin_meta_mismatch_is_rejected() {
+        let err = check_src(
+            r#"workload "x";
+relation Orders { key oid int; fk store_id int; }
+relation Stores { key sid int; }
+step Orders.store_id -> Stores;
+generate plugin "supply";
+ccs step 0 plugin;
+"#,
+        )
+        .unwrap_err();
+        // supply has two steps (Orders->Stores->Regions); one declared here.
+        assert!(
+            err.message.contains("relations") || err.message.contains("steps"),
+            "{err}"
+        );
+    }
+}

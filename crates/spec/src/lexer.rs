@@ -1,0 +1,309 @@
+//! Hand-rolled lexer for the workload-spec language.
+//!
+//! The token set is deliberately small: bare identifiers, quoted strings
+//! (for names with spaces, slashes or dashes — `"Multi-ling"`,
+//! `"Father/Mother"`, `"max-group"`), integers, floats, and a fixed
+//! punctuation/operator alphabet. `#` starts a line comment. Every token
+//! carries the [`Span`] it started at.
+
+use crate::error::{Result, Span, SpecError};
+
+/// One lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    /// Bare identifier `[A-Za-z_][A-Za-z0-9_]*`.
+    Ident(String),
+    /// Double-quoted string (no escapes beyond `\"` and `\\`).
+    Str(String),
+    /// Unsigned integer literal (signs are separate `-`/`+` tokens).
+    Int(i64),
+    /// Float literal (`2.8`).
+    Float(f64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Tok {
+    /// Short description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Str(s) => format!("\"{s}\""),
+            Tok::Int(n) => format!("`{n}`"),
+            Tok::Float(x) => format!("`{x}`"),
+            Tok::LBrace => "`{`".to_owned(),
+            Tok::RBrace => "`}`".to_owned(),
+            Tok::LBracket => "`[`".to_owned(),
+            Tok::RBracket => "`]`".to_owned(),
+            Tok::LParen => "`(`".to_owned(),
+            Tok::RParen => "`)`".to_owned(),
+            Tok::Comma => "`,`".to_owned(),
+            Tok::Semi => "`;`".to_owned(),
+            Tok::Dot => "`.`".to_owned(),
+            Tok::Assign => "`=`".to_owned(),
+            Tok::Arrow => "`->`".to_owned(),
+            Tok::Plus => "`+`".to_owned(),
+            Tok::Minus => "`-`".to_owned(),
+            Tok::EqEq => "`==`".to_owned(),
+            Tok::NotEq => "`!=`".to_owned(),
+            Tok::Lt => "`<`".to_owned(),
+            Tok::Le => "`<=`".to_owned(),
+            Tok::Gt => "`>`".to_owned(),
+            Tok::Ge => "`>=`".to_owned(),
+        }
+    }
+}
+
+/// A token plus the span it started at.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Start position.
+    pub span: Span,
+}
+
+/// Lexes a whole source into tokens. `path` only labels errors.
+pub fn lex(source: &str, path: &str) -> Result<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let (mut line, mut col) = (1usize, 1usize);
+    let bump = |c: char, line: &mut usize, col: &mut usize| {
+        if c == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+    };
+    while i < chars.len() {
+        let c = chars[i];
+        let span = Span::new(line, col);
+        if c.is_whitespace() {
+            bump(c, &mut line, &mut col);
+            i += 1;
+            continue;
+        }
+        if c == '#' {
+            while i < chars.len() && chars[i] != '\n' {
+                bump(chars[i], &mut line, &mut col);
+                i += 1;
+            }
+            continue;
+        }
+        if c == '"' {
+            bump(c, &mut line, &mut col);
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match chars.get(i) {
+                    None => {
+                        return Err(SpecError::new(path, span, "unterminated string literal"));
+                    }
+                    Some('"') => {
+                        bump('"', &mut line, &mut col);
+                        i += 1;
+                        break;
+                    }
+                    Some('\\') => {
+                        bump('\\', &mut line, &mut col);
+                        i += 1;
+                        match chars.get(i) {
+                            Some(&e @ ('"' | '\\')) => {
+                                s.push(e);
+                                bump(e, &mut line, &mut col);
+                                i += 1;
+                            }
+                            _ => {
+                                return Err(SpecError::new(
+                                    path,
+                                    span,
+                                    "unsupported escape in string literal (only \\\" and \\\\)",
+                                ));
+                            }
+                        }
+                    }
+                    Some(&ch) => {
+                        if ch == '\n' {
+                            return Err(SpecError::new(path, span, "unterminated string literal"));
+                        }
+                        s.push(ch);
+                        bump(ch, &mut line, &mut col);
+                        i += 1;
+                    }
+                }
+            }
+            out.push(Spanned {
+                tok: Tok::Str(s),
+                span,
+            });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                s.push(chars[i]);
+                bump(chars[i], &mut line, &mut col);
+                i += 1;
+            }
+            out.push(Spanned {
+                tok: Tok::Ident(s),
+                span,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut s = String::new();
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                s.push(chars[i]);
+                bump(chars[i], &mut line, &mut col);
+                i += 1;
+            }
+            // A digit after `.` makes it a float (`2.8`); a bare `.` stays
+            // its own token so `t0.Col` lexes as ident-dot-ident.
+            let is_float =
+                chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(char::is_ascii_digit);
+            if is_float {
+                s.push('.');
+                bump('.', &mut line, &mut col);
+                i += 1;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    s.push(chars[i]);
+                    bump(chars[i], &mut line, &mut col);
+                    i += 1;
+                }
+                let x: f64 = s
+                    .parse()
+                    .map_err(|_| SpecError::new(path, span, format!("bad float literal `{s}`")))?;
+                out.push(Spanned {
+                    tok: Tok::Float(x),
+                    span,
+                });
+            } else {
+                let n: i64 = s.parse().map_err(|_| {
+                    SpecError::new(path, span, format!("integer literal `{s}` out of range"))
+                })?;
+                out.push(Spanned {
+                    tok: Tok::Int(n),
+                    span,
+                });
+            }
+            continue;
+        }
+        let two = |a: char| chars.get(i + 1) == Some(&a);
+        let (tok, width) = match c {
+            '{' => (Tok::LBrace, 1),
+            '}' => (Tok::RBrace, 1),
+            '[' => (Tok::LBracket, 1),
+            ']' => (Tok::RBracket, 1),
+            '(' => (Tok::LParen, 1),
+            ')' => (Tok::RParen, 1),
+            ',' => (Tok::Comma, 1),
+            ';' => (Tok::Semi, 1),
+            '.' => (Tok::Dot, 1),
+            '+' => (Tok::Plus, 1),
+            '-' if two('>') => (Tok::Arrow, 2),
+            '-' => (Tok::Minus, 1),
+            '=' if two('=') => (Tok::EqEq, 2),
+            '=' => (Tok::Assign, 1),
+            '!' if two('=') => (Tok::NotEq, 2),
+            '<' if two('=') => (Tok::Le, 2),
+            '<' => (Tok::Lt, 1),
+            '>' if two('=') => (Tok::Ge, 2),
+            '>' => (Tok::Gt, 1),
+            other => {
+                return Err(SpecError::new(
+                    path,
+                    span,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        };
+        for _ in 0..width {
+            bump(chars[i], &mut line, &mut col);
+            i += 1;
+        }
+        out.push(Spanned { tok, span });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_idents_strings_numbers_and_operators() {
+        let toks = lex(
+            "step Orders.store_id -> Stores; # chain\nrow Amount in [5, 900], Kind == \"A/B\";",
+            "t",
+        )
+        .unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert!(kinds.contains(&&Tok::Arrow));
+        assert!(kinds.contains(&&Tok::Str("A/B".to_owned())));
+        assert!(kinds.contains(&&Tok::Int(900)));
+        // The comment is skipped entirely.
+        assert!(!toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Ident(s) if s == "chain")));
+    }
+
+    #[test]
+    fn floats_and_member_access_disambiguate() {
+        let toks = lex("ratio 2.8; t0.Age", "t").unwrap();
+        assert!(toks.iter().any(|t| t.tok == Tok::Float(2.8)));
+        assert!(toks.iter().any(|t| t.tok == Tok::Dot));
+    }
+
+    #[test]
+    fn spans_are_one_based() {
+        let toks = lex("a\n  b", "t").unwrap();
+        assert_eq!(toks[0].span, Span::new(1, 1));
+        assert_eq!(toks[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_errors_at_open_quote() {
+        let err = lex("knob \"oops", "t").unwrap_err();
+        assert_eq!(err.span, Span::new(1, 6));
+        assert!(err.message.contains("unterminated"));
+    }
+}

@@ -1,0 +1,818 @@
+//! Recursive-descent parser for the workload-spec language.
+//!
+//! The grammar is clause-oriented: a spec is a sequence of top-level
+//! clauses (`workload`, `knob`, `scales`, `ratio`, `r2cols`, `relation`,
+//! `step`, `generate`, `ccs`, `dcs`) in any order; the checker — not the
+//! parser — enforces the cross-clause rules. Names may be written as bare
+//! identifiers or as quoted strings (needed for columns like
+//! `"Multi-ling"` or knobs like `"max-group"`).
+
+use crate::ast::{
+    CcBlock, CcBlockKind, CcCond, CcRow, CcSet, ColRole, ColType, ColumnDecl, DcAtomDecl, DcBlock,
+    DcDecl, DcLit, DomainDecl, DomainValues, Generate, KnobDecl, PoolDecl, PoolKind, RelationDecl,
+    RowsDecl, Spec, StepDecl,
+};
+use crate::error::{Result, Span, SpecError};
+use crate::lexer::{lex, Spanned, Tok};
+use cextend_table::CmpOp;
+
+/// Parses a spec source. `path` only labels errors.
+pub fn parse(source: &str, path: &str) -> Result<Spec> {
+    let toks = lex(source, path)?;
+    Parser {
+        toks,
+        pos: 0,
+        path: path.to_owned(),
+    }
+    .spec()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    path: String,
+}
+
+impl Parser {
+    fn err(&self, span: Span, message: impl Into<String>) -> SpecError {
+        SpecError::new(&self.path, span, message)
+    }
+
+    fn eof_span(&self) -> Span {
+        self.toks.last().map_or_else(Span::default, |t| t.span)
+    }
+
+    fn peek(&self) -> Option<&Spanned> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self, what: &str) -> Result<Spanned> {
+        let t = self.toks.get(self.pos).cloned().ok_or_else(|| {
+            self.err(
+                self.eof_span(),
+                format!("expected {what}, found end of spec"),
+            )
+        })?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<Span> {
+        let t = self.next(&tok.describe())?;
+        if &t.tok == tok {
+            Ok(t.span)
+        } else {
+            Err(self.err(
+                t.span,
+                format!("expected {}, found {}", tok.describe(), t.tok.describe()),
+            ))
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek().is_some_and(|t| &t.tok == tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A keyword is just a bare identifier with a fixed spelling.
+    fn expect_kw(&mut self, kw: &str) -> Result<Span> {
+        let t = self.next(&format!("`{kw}`"))?;
+        match &t.tok {
+            Tok::Ident(s) if s == kw => Ok(t.span),
+            other => Err(self.err(
+                t.span,
+                format!("expected `{kw}`, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Spanned { tok: Tok::Ident(s), .. }) if s == kw)
+    }
+
+    /// `IDENT | STR` — a name position.
+    fn name(&mut self, what: &str) -> Result<(String, Span)> {
+        let t = self.next(what)?;
+        match t.tok {
+            Tok::Ident(s) | Tok::Str(s) => Ok((s, t.span)),
+            other => Err(self.err(
+                t.span,
+                format!("expected {what}, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn string(&mut self, what: &str) -> Result<(String, Span)> {
+        let t = self.next(what)?;
+        match t.tok {
+            Tok::Str(s) => Ok((s, t.span)),
+            other => Err(self.err(
+                t.span,
+                format!("expected {what}, found {}", other.describe()),
+            )),
+        }
+    }
+
+    /// `[-|+]? INT`
+    fn int(&mut self, what: &str) -> Result<(i64, Span)> {
+        let neg = if self.eat(&Tok::Minus) {
+            true
+        } else {
+            self.eat(&Tok::Plus);
+            false
+        };
+        let t = self.next(what)?;
+        match t.tok {
+            Tok::Int(n) => Ok((if neg { -n } else { n }, t.span)),
+            other => Err(self.err(
+                t.span,
+                format!("expected {what}, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn uint(&mut self, what: &str) -> Result<(usize, Span)> {
+        let t = self.next(what)?;
+        match t.tok {
+            Tok::Int(n) if n >= 0 => Ok((n as usize, t.span)),
+            Tok::Int(_) => Err(self.err(t.span, format!("expected {what}, found a negative int"))),
+            other => Err(self.err(
+                t.span,
+                format!("expected {what}, found {}", other.describe()),
+            )),
+        }
+    }
+
+    /// `[ INT (, INT)* ]` with unsigned entries.
+    fn uint_list(&mut self, what: &str) -> Result<Vec<usize>> {
+        self.expect(&Tok::LBracket)?;
+        let mut out = vec![self.uint(what)?.0];
+        while self.eat(&Tok::Comma) {
+            out.push(self.uint(what)?.0);
+        }
+        self.expect(&Tok::RBracket)?;
+        Ok(out)
+    }
+
+    fn spec(mut self) -> Result<Spec> {
+        let mut spec = Spec::default();
+        let mut saw_name = false;
+        while let Some(t) = self.peek() {
+            let span = t.span;
+            let kw = match &t.tok {
+                Tok::Ident(s) => s.clone(),
+                other => {
+                    return Err(self.err(
+                        span,
+                        format!("expected a top-level clause, found {}", other.describe()),
+                    ));
+                }
+            };
+            match kw.as_str() {
+                "workload" => {
+                    self.pos += 1;
+                    if saw_name {
+                        return Err(self.err(span, "duplicate `workload` clause"));
+                    }
+                    saw_name = true;
+                    let (name, _) = self.string("the workload name string")?;
+                    self.expect(&Tok::Semi)?;
+                    spec.name = name;
+                    spec.name_span = span;
+                }
+                "knob" => {
+                    self.pos += 1;
+                    let (name, _) = self.name("a knob name")?;
+                    self.expect(&Tok::Assign)?;
+                    let (default, _) = self.int("the knob default")?;
+                    self.expect(&Tok::Semi)?;
+                    spec.knobs.push(KnobDecl {
+                        name,
+                        default,
+                        span,
+                    });
+                }
+                "scales" => {
+                    self.pos += 1;
+                    if spec.scales.is_some() {
+                        return Err(self.err(span, "duplicate `scales` clause"));
+                    }
+                    let labels = self.uint_list("a scale label")?;
+                    self.expect(&Tok::Semi)?;
+                    spec.scales = Some((labels.into_iter().map(|n| n as u32).collect(), span));
+                }
+                "ratio" => {
+                    self.pos += 1;
+                    if spec.ratio.is_some() {
+                        return Err(self.err(span, "duplicate `ratio` clause"));
+                    }
+                    let t = self.next("the expected ratio")?;
+                    let x = match t.tok {
+                        Tok::Float(x) => x,
+                        Tok::Int(n) => n as f64,
+                        other => {
+                            return Err(self.err(
+                                t.span,
+                                format!("expected the expected ratio, found {}", other.describe()),
+                            ));
+                        }
+                    };
+                    self.expect(&Tok::Semi)?;
+                    spec.ratio = Some((x, span));
+                }
+                "r2cols" => {
+                    self.pos += 1;
+                    if spec.r2cols.is_some() {
+                        return Err(self.err(span, "duplicate `r2cols` clause"));
+                    }
+                    let counts = self.uint_list("an R2 column count")?;
+                    self.expect_kw("default")?;
+                    let (default, _) = self.uint("the default R2 column count")?;
+                    self.expect(&Tok::Semi)?;
+                    spec.r2cols = Some((counts, default, span));
+                }
+                "relation" => {
+                    self.pos += 1;
+                    spec.relations.push(self.relation(span)?);
+                }
+                "step" => {
+                    self.pos += 1;
+                    let (owner, _) = self.name("the step's owner relation")?;
+                    self.expect(&Tok::Dot)?;
+                    let (fk_col, _) = self.name("the step's FK column")?;
+                    self.expect(&Tok::Arrow)?;
+                    let (target, _) = self.name("the step's target relation")?;
+                    self.expect(&Tok::Semi)?;
+                    spec.steps.push(StepDecl {
+                        owner,
+                        fk_col,
+                        target,
+                        span,
+                    });
+                }
+                "generate" => {
+                    self.pos += 1;
+                    if spec.generate.is_some() {
+                        return Err(self.err(span, "duplicate `generate` clause"));
+                    }
+                    spec.generate = Some(self.generate(span)?);
+                }
+                "ccs" => {
+                    self.pos += 1;
+                    spec.cc_blocks.push(self.cc_block(span)?);
+                }
+                "dcs" => {
+                    self.pos += 1;
+                    spec.dc_blocks.push(self.dc_block(span)?);
+                }
+                other => {
+                    return Err(self.err(span, format!("unknown top-level clause `{other}`")));
+                }
+            }
+        }
+        if !saw_name {
+            return Err(self.err(self.eof_span(), "missing `workload \"NAME\";` clause"));
+        }
+        Ok(spec)
+    }
+
+    fn relation(&mut self, span: Span) -> Result<RelationDecl> {
+        let (name, _) = self.name("the relation name")?;
+        self.expect(&Tok::LBrace)?;
+        let mut columns = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            let t = self.next("a column declaration (`key`, `attr` or `fk`)")?;
+            let role = match &t.tok {
+                Tok::Ident(s) if s == "key" => ColRole::Key,
+                Tok::Ident(s) if s == "attr" => ColRole::Attr,
+                Tok::Ident(s) if s == "fk" => ColRole::Fk,
+                other => {
+                    return Err(self.err(
+                        t.span,
+                        format!(
+                            "expected `key`, `attr`, `fk` or `}}`, found {}",
+                            other.describe()
+                        ),
+                    ));
+                }
+            };
+            let col_span = t.span;
+            let (col_name, _) = self.name("the column name")?;
+            let ty = self.next("a column type (`int` or `str`)")?;
+            let dtype = match &ty.tok {
+                Tok::Ident(s) if s == "int" => ColType::Int,
+                Tok::Ident(s) if s == "str" => ColType::Str,
+                other => {
+                    return Err(self.err(
+                        ty.span,
+                        format!("expected `int` or `str`, found {}", other.describe()),
+                    ));
+                }
+            };
+            self.expect(&Tok::Semi)?;
+            columns.push(ColumnDecl {
+                name: col_name,
+                role,
+                dtype,
+                span: col_span,
+            });
+        }
+        Ok(RelationDecl {
+            name,
+            span,
+            columns,
+        })
+    }
+
+    fn generate(&mut self, span: Span) -> Result<Generate> {
+        let t = self.next("`plugin` or `synthetic`")?;
+        match &t.tok {
+            Tok::Ident(s) if s == "plugin" => {
+                let (name, _) = self.string("the plugin workload name")?;
+                self.expect(&Tok::Semi)?;
+                Ok(Generate::Plugin { name, span })
+            }
+            Tok::Ident(s) if s == "synthetic" => {
+                self.expect(&Tok::LBrace)?;
+                let mut rows = Vec::new();
+                let mut domains = Vec::new();
+                while !self.eat(&Tok::RBrace) {
+                    let t = self.next("`rows`, `domain` or `}`")?;
+                    let clause_span = t.span;
+                    match &t.tok {
+                        Tok::Ident(s) if s == "rows" => {
+                            let (relation, _) = self.name("a relation name")?;
+                            let (count, _) = self.uint("the reference row count")?;
+                            self.expect(&Tok::Semi)?;
+                            rows.push(RowsDecl {
+                                relation,
+                                count,
+                                span: clause_span,
+                            });
+                        }
+                        Tok::Ident(s) if s == "domain" => {
+                            let (relation, _) = self.name("a relation name")?;
+                            self.expect(&Tok::Dot)?;
+                            let (column, _) = self.name("a column name")?;
+                            let values = self.domain_values()?;
+                            self.expect(&Tok::Semi)?;
+                            domains.push(DomainDecl {
+                                relation,
+                                column,
+                                values,
+                                span: clause_span,
+                            });
+                        }
+                        other => {
+                            return Err(self.err(
+                                clause_span,
+                                format!(
+                                    "expected `rows`, `domain` or `}}`, found {}",
+                                    other.describe()
+                                ),
+                            ));
+                        }
+                    }
+                }
+                Ok(Generate::Synthetic {
+                    rows,
+                    domains,
+                    span,
+                })
+            }
+            other => Err(self.err(
+                t.span,
+                format!(
+                    "expected `plugin` or `synthetic`, found {}",
+                    other.describe()
+                ),
+            )),
+        }
+    }
+
+    /// `[lo, hi]` (ints) or `["a", "b", ..]` (symbols) — disambiguated by
+    /// the first element.
+    fn domain_values(&mut self) -> Result<DomainValues> {
+        let open = self.expect(&Tok::LBracket)?;
+        if matches!(
+            self.peek(),
+            Some(Spanned {
+                tok: Tok::Str(_),
+                ..
+            })
+        ) {
+            let mut syms = vec![self.string("a symbol")?.0];
+            while self.eat(&Tok::Comma) {
+                syms.push(self.string("a symbol")?.0);
+            }
+            self.expect(&Tok::RBracket)?;
+            Ok(DomainValues::Syms(syms))
+        } else {
+            let (lo, _) = self.int("the domain lower bound")?;
+            self.expect(&Tok::Comma)?;
+            let (hi, _) = self.int("the domain upper bound")?;
+            self.expect(&Tok::RBracket)?;
+            let _ = open;
+            Ok(DomainValues::IntRange(lo, hi))
+        }
+    }
+
+    fn cc_block(&mut self, span: Span) -> Result<CcBlock> {
+        self.expect_kw("step")?;
+        let (step, _) = self.uint("the step index")?;
+        if self.peek_kw("plugin") {
+            self.pos += 1;
+            self.expect(&Tok::Semi)?;
+            return Ok(CcBlock {
+                step,
+                span,
+                kind: CcBlockKind::Plugin,
+            });
+        }
+        self.expect(&Tok::LBrace)?;
+        let mut pools = Vec::new();
+        while self.peek_kw("pool") {
+            let pool_span = self.expect_kw("pool")?;
+            let t = self.next("`combos` or `values`")?;
+            let kind = match &t.tok {
+                Tok::Ident(s) if s == "combos" => {
+                    self.expect(&Tok::LParen)?;
+                    let (a, _) = self.name("a column name")?;
+                    self.expect(&Tok::Comma)?;
+                    let (b, _) = self.name("a column name")?;
+                    self.expect(&Tok::RParen)?;
+                    PoolKind::Combos(a, b)
+                }
+                Tok::Ident(s) if s == "values" => {
+                    self.expect(&Tok::LParen)?;
+                    let (a, _) = self.name("a column name")?;
+                    self.expect(&Tok::RParen)?;
+                    PoolKind::Values(a)
+                }
+                other => {
+                    return Err(self.err(
+                        t.span,
+                        format!("expected `combos` or `values`, found {}", other.describe()),
+                    ));
+                }
+            };
+            self.expect(&Tok::Semi)?;
+            pools.push(PoolDecl {
+                kind,
+                span: pool_span,
+            });
+        }
+        self.expect_kw("good")?;
+        let good = self.cc_rows()?;
+        self.expect_kw("bad")?;
+        let bad = self.cc_rows()?;
+        self.expect(&Tok::RBrace)?;
+        Ok(CcBlock {
+            step,
+            span,
+            kind: CcBlockKind::Explicit { pools, good, bad },
+        })
+    }
+
+    fn cc_rows(&mut self) -> Result<Vec<CcRow>> {
+        self.expect(&Tok::LBrace)?;
+        let mut rows = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            let row_span = self.expect_kw("row")?;
+            let mut conds = vec![self.cc_cond()?];
+            while self.eat(&Tok::Comma) {
+                conds.push(self.cc_cond()?);
+            }
+            self.expect(&Tok::Semi)?;
+            rows.push(CcRow {
+                conds,
+                span: row_span,
+            });
+        }
+        Ok(rows)
+    }
+
+    /// `COL in [lo, hi]` | `COL == "sym"` | `COL == N`
+    fn cc_cond(&mut self) -> Result<CcCond> {
+        let (column, span) = self.name("a column name")?;
+        if self.peek_kw("in") {
+            self.pos += 1;
+            self.expect(&Tok::LBracket)?;
+            let (lo, _) = self.int("the range lower bound")?;
+            self.expect(&Tok::Comma)?;
+            let (hi, _) = self.int("the range upper bound")?;
+            self.expect(&Tok::RBracket)?;
+            return Ok(CcCond {
+                column,
+                set: CcSet::Range(lo, hi),
+                span,
+            });
+        }
+        self.expect(&Tok::EqEq)?;
+        let t = self.next("a symbol or integer")?;
+        let set = match t.tok {
+            Tok::Str(s) => CcSet::SymEq(s),
+            Tok::Int(n) => CcSet::IntEq(n),
+            Tok::Minus => {
+                let (n, _) = self.uint("an integer")?;
+                CcSet::IntEq(-(n as i64))
+            }
+            other => {
+                return Err(self.err(
+                    t.span,
+                    format!("expected a symbol or integer, found {}", other.describe()),
+                ));
+            }
+        };
+        Ok(CcCond { column, set, span })
+    }
+
+    fn dc_block(&mut self, span: Span) -> Result<DcBlock> {
+        self.expect_kw("step")?;
+        let (step, _) = self.uint("the step index")?;
+        self.expect(&Tok::LBrace)?;
+        let mut dcs = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            let t = self.next("`good dc`, `all dc` or `}`")?;
+            let dc_span = t.span;
+            let good = match &t.tok {
+                Tok::Ident(s) if s == "good" => true,
+                Tok::Ident(s) if s == "all" => false,
+                other => {
+                    return Err(self.err(
+                        dc_span,
+                        format!("expected `good`, `all` or `}}`, found {}", other.describe()),
+                    ));
+                }
+            };
+            self.expect_kw("dc")?;
+            let (name, _) = self.string("the DC name string")?;
+            self.expect_kw("arity")?;
+            let (arity, _) = self.uint("the DC arity")?;
+            self.expect(&Tok::LBrace)?;
+            let mut atoms = Vec::new();
+            while !self.eat(&Tok::RBrace) {
+                atoms.push(self.dc_atom()?);
+            }
+            dcs.push(DcDecl {
+                name,
+                arity,
+                good,
+                atoms,
+                span: dc_span,
+            });
+        }
+        Ok(DcBlock { step, span, dcs })
+    }
+
+    /// `tI` — a tuple variable.
+    fn tvar(&mut self) -> Result<(usize, Span)> {
+        let t = self.next("a tuple variable (`t0`, `t1`, ..)")?;
+        match &t.tok {
+            Tok::Ident(s) => {
+                let idx = s
+                    .strip_prefix('t')
+                    .and_then(|d| (!d.is_empty()).then(|| d.parse::<usize>().ok()))
+                    .flatten();
+                match idx {
+                    Some(v) => Ok((v, t.span)),
+                    None => Err(self.err(
+                        t.span,
+                        format!("expected a tuple variable (`t0`, `t1`, ..), found `{s}`"),
+                    )),
+                }
+            }
+            other => Err(self.err(
+                t.span,
+                format!(
+                    "expected a tuple variable (`t0`, `t1`, ..), found {}",
+                    other.describe()
+                ),
+            )),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<(CmpOp, Span)> {
+        let t = self.next("a comparison operator")?;
+        let op = match t.tok {
+            Tok::EqEq => CmpOp::Eq,
+            Tok::NotEq => CmpOp::Ne,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            other => {
+                return Err(self.err(
+                    t.span,
+                    format!("expected a comparison operator, found {}", other.describe()),
+                ));
+            }
+        };
+        Ok((op, t.span))
+    }
+
+    /// `tI.COL op (LIT | tJ.COL [+|- INT]) ;`
+    fn dc_atom(&mut self) -> Result<DcAtomDecl> {
+        let (var, span) = self.tvar()?;
+        self.expect(&Tok::Dot)?;
+        let (column, _) = self.name("a column name")?;
+        let (op, _) = self.cmp_op()?;
+        // A `tJ.*` right side makes the atom binary; anything else is a
+        // unary literal comparison.
+        let is_binary = matches!(
+            self.peek(),
+            Some(Spanned { tok: Tok::Ident(s), .. })
+                if s.strip_prefix('t').is_some_and(|d| !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()))
+        ) && self.toks.get(self.pos + 1).map(|t| &t.tok) == Some(&Tok::Dot);
+        let atom = if is_binary {
+            let (rvar, _) = self.tvar()?;
+            self.expect(&Tok::Dot)?;
+            let (rcol, _) = self.name("a column name")?;
+            let offset = if self.eat(&Tok::Plus) {
+                self.int("the offset")?.0
+            } else if self.eat(&Tok::Minus) {
+                -(self.uint("the offset")?.0 as i64)
+            } else {
+                0
+            };
+            DcAtomDecl::Binary {
+                lvar: var,
+                lcol: column,
+                op,
+                rvar,
+                rcol,
+                offset,
+                span,
+            }
+        } else {
+            let t = self.next("a literal")?;
+            let value = match t.tok {
+                Tok::Str(s) => DcLit::Sym(s),
+                Tok::Int(n) => DcLit::Int(n),
+                Tok::Minus => {
+                    let (n, _) = self.uint("an integer")?;
+                    DcLit::Int(-(n as i64))
+                }
+                other => {
+                    return Err(self.err(
+                        t.span,
+                        format!("expected a literal, found {}", other.describe()),
+                    ));
+                }
+            };
+            DcAtomDecl::Unary {
+                var,
+                column,
+                op,
+                value,
+                span,
+            }
+        };
+        self.expect(&Tok::Semi)?;
+        Ok(atom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CcBlockKind, DcAtomDecl, Generate};
+
+    const SMALL: &str = r#"
+workload "mini";
+knob "max-group" = 8;
+scales [1, 2, 5];
+ratio 2.8;
+r2cols [3] default 3;
+
+relation Orders {
+  key oid int;
+  attr Amount int;
+  attr Category str;
+  fk store_id int;
+}
+relation Stores {
+  key sid int;
+  attr Format str;
+  attr Capacity int;
+}
+
+step Orders.store_id -> Stores;
+
+generate synthetic {
+  rows Orders 40;
+  rows Stores 12;
+  domain Orders.Amount [5, 900];
+  domain Orders.Category ["Launch", "Bulk"];
+  domain Stores.Format ["Hub", "Kiosk"];
+  domain Stores.Capacity [5, 2200];
+}
+
+ccs step 0 {
+  pool combos(Format, Capacity);
+  pool values(Format);
+  good {
+    row Amount in [5, 900], Category == "Launch";
+    row Amount in [60, 600], Category == "Launch";
+  }
+  bad {
+    row Amount in [5, 900], Category == "Bulk";
+  }
+}
+
+dcs step 0 {
+  good dc "d1-low" arity 2 {
+    t0.Category == "Launch";
+    t1.Category == "Bulk";
+    t1.Amount < t0.Amount - 150;
+  }
+  all dc "d2" arity 2 {
+    t0.Category == "Launch";
+    t1.Category == "Launch";
+  }
+}
+"#;
+
+    #[test]
+    fn parses_a_full_small_spec() {
+        let spec = parse(SMALL, "t").unwrap();
+        assert_eq!(spec.name, "mini");
+        assert_eq!(spec.knobs.len(), 1);
+        assert_eq!(spec.knobs[0].name, "max-group");
+        assert_eq!(spec.scales.as_ref().unwrap().0, vec![1, 2, 5]);
+        assert_eq!(spec.relations.len(), 2);
+        assert_eq!(spec.relations[0].columns.len(), 4);
+        assert_eq!(spec.steps.len(), 1);
+        assert_eq!(spec.steps[0].fk_col, "store_id");
+        assert!(matches!(spec.generate, Some(Generate::Synthetic { .. })));
+        let CcBlockKind::Explicit { pools, good, bad } = &spec.cc_blocks[0].kind else {
+            panic!("expected explicit cc block");
+        };
+        assert_eq!(pools.len(), 2);
+        assert_eq!(good.len(), 2);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(spec.dc_blocks[0].dcs.len(), 2);
+        assert!(spec.dc_blocks[0].dcs[0].good);
+        assert!(!spec.dc_blocks[0].dcs[1].good);
+        let DcAtomDecl::Binary { offset, op, .. } = &spec.dc_blocks[0].dcs[0].atoms[2] else {
+            panic!("expected binary atom");
+        };
+        assert_eq!(*offset, -150);
+        assert_eq!(*op, CmpOp::Lt);
+    }
+
+    #[test]
+    fn parses_plugin_generate_and_plugin_ccs() {
+        let spec = parse(
+            r#"workload "census";
+generate plugin "census";
+relation Persons { key pid int; attr Age int; attr "Multi-ling" int; fk hid int; }
+relation Housing { key hid int; attr "Area code" int; }
+step Persons.hid -> Housing;
+ccs step 0 plugin;
+"#,
+            "t",
+        )
+        .unwrap();
+        assert!(
+            matches!(spec.generate, Some(Generate::Plugin { ref name, .. }) if name == "census")
+        );
+        assert!(matches!(spec.cc_blocks[0].kind, CcBlockKind::Plugin));
+        assert_eq!(spec.relations[0].columns[2].name, "Multi-ling");
+    }
+
+    #[test]
+    fn parse_error_carries_span_and_expectation() {
+        let err = parse("workload \"x\";\nstep Orders store_id;", "p").unwrap_err();
+        assert_eq!(err.span.line, 2);
+        assert!(err.message.contains("expected `.`"), "{}", err.message);
+    }
+
+    #[test]
+    fn negative_bounds_parse_in_ranges_and_offsets() {
+        let spec = parse(
+            r#"workload "m";
+relation R { key k int; attr A int; fk f int; }
+relation S { key s int; attr B int; }
+step R.f -> S;
+dcs step 0 {
+  all dc "d" arity 2 { t0.A == -5; t1.A > t0.A + -3; }
+}
+ccs step 0 {
+  good { row A in [-10, -2]; }
+  bad { row A in [0, 4]; }
+}
+"#,
+            "t",
+        )
+        .unwrap();
+        let DcAtomDecl::Unary { value, .. } = &spec.dc_blocks[0].dcs[0].atoms[0] else {
+            panic!()
+        };
+        assert_eq!(*value, DcLit::Int(-5));
+    }
+}

@@ -1,0 +1,164 @@
+//! Golden corpus tests: every plugin-backed spec in `specs/` lowers to a
+//! workload indistinguishable from the Rust plugin it mirrors — same
+//! metadata, bit-identical generated relations, CC families and DC sets,
+//! and (for the supply chain) a bit-identical end-to-end snowflake solve.
+
+use cextend_core::snowflake::{solve_snowflake, SnowflakeStep};
+use cextend_core::SolverConfig;
+use cextend_spec::load_workload;
+use cextend_table::relations_equal_ordered;
+use cextend_workloads::{workload_by_name, CcFamily, DcSet, Workload, WorkloadParams};
+use std::path::PathBuf;
+
+fn corpus(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../specs")
+        .join(name)
+}
+
+fn params() -> WorkloadParams {
+    WorkloadParams::new(0.02, 41)
+}
+
+/// Meta, generated data, every step's CC families and DC sets must be
+/// bit-identical between the spec lowering and the named plugin.
+fn assert_matches_plugin(spec_file: &str, plugin: &str) {
+    let spec = load_workload(&corpus(spec_file)).expect("corpus spec loads");
+    let plug = workload_by_name(plugin).expect("plugin exists");
+
+    let sm = spec.meta();
+    let pm = plug.meta();
+    // Lowering prefixes the declared name so spec-driven records are
+    // distinguishable from plugin runs.
+    assert_eq!(sm.name, format!("spec:{}", pm.name), "{spec_file}: name");
+    assert_eq!(
+        sm.relation_names, pm.relation_names,
+        "{spec_file}: relations"
+    );
+    assert_eq!(sm.fk_column, pm.fk_column, "{spec_file}: fk column");
+    assert!(
+        (sm.expected_ratio - pm.expected_ratio).abs() < 1e-9,
+        "{spec_file}: ratio {} vs {}",
+        sm.expected_ratio,
+        pm.expected_ratio
+    );
+    assert_eq!(sm.r2_col_counts, pm.r2_col_counts, "{spec_file}: r2cols");
+    assert_eq!(
+        sm.default_r2_cols, pm.default_r2_cols,
+        "{spec_file}: r2 default"
+    );
+    assert_eq!(sm.knobs, pm.knobs, "{spec_file}: knobs");
+    assert_eq!(sm.scale_labels, pm.scale_labels, "{spec_file}: scales");
+
+    let p = params();
+    let sd = spec.generate(&p);
+    let pd = plug.generate(&p);
+    assert_eq!(sd.steps, pd.steps, "{spec_file}: step plan");
+    for (a, b) in sd.relations.iter().zip(&pd.relations) {
+        assert!(
+            relations_equal_ordered(a, b),
+            "{spec_file}: relation `{}` diverges",
+            a.name()
+        );
+    }
+    for (a, b) in sd.truth.iter().zip(&pd.truth) {
+        assert!(
+            relations_equal_ordered(a, b),
+            "{spec_file}: ground truth `{}` diverges",
+            a.name()
+        );
+    }
+
+    for step in 0..sd.n_steps() {
+        for family in [CcFamily::Good, CcFamily::Bad] {
+            let sc = spec.step_ccs(step, family, 24, &sd, 9);
+            let pc = plug.step_ccs(step, family, 24, &pd, 9);
+            assert_eq!(sc, pc, "{spec_file}: step {step} {family:?} CCs diverge");
+        }
+        for set in [DcSet::Good, DcSet::All] {
+            assert_eq!(
+                spec.step_dcs(step, set),
+                plug.step_dcs(step, set),
+                "{spec_file}: step {step} {set:?} DCs diverge"
+            );
+        }
+    }
+}
+
+#[test]
+fn census_spec_matches_plugin() {
+    assert_matches_plugin("census.spec", "census");
+}
+
+#[test]
+fn retail_spec_matches_plugin() {
+    assert_matches_plugin("retail.spec", "retail");
+}
+
+#[test]
+fn supply_spec_matches_plugin() {
+    assert_matches_plugin("supply.spec", "supply");
+}
+
+#[test]
+fn logistics_spec_matches_plugin() {
+    assert_matches_plugin("logistics.spec", "logistics");
+}
+
+#[test]
+fn dcdense_spec_matches_plugin() {
+    assert_matches_plugin("dcdense.spec", "dcdense");
+}
+
+/// The supply two-step chain solves bit-identically whether its steps come
+/// from the spec lowering or the plugin: same tables, same solve counters.
+#[test]
+fn supply_spec_solves_bit_identically() {
+    let spec = load_workload(&corpus("supply.spec")).expect("supply spec loads");
+    let plug = workload_by_name("supply").expect("plugin exists");
+    let p = params();
+    let config = SolverConfig::hybrid().with_seed(p.seed);
+
+    let solve = |w: &dyn Workload| {
+        let data = w.generate(&p);
+        let steps: Vec<SnowflakeStep> = (0..data.n_steps())
+            .map(|i| SnowflakeStep {
+                edge: data.steps[i].clone(),
+                ccs: w.step_ccs(i, CcFamily::Good, 12, &data, 9),
+                dcs: w.step_dcs(i, DcSet::All),
+            })
+            .collect();
+        solve_snowflake(data.relations.clone(), &steps, &config).expect("supply chain solves")
+    };
+    let a = solve(&spec);
+    let b = solve(plug.as_ref());
+    assert_eq!(a.tables.len(), b.tables.len());
+    for (x, y) in a.tables.iter().zip(&b.tables) {
+        assert!(
+            relations_equal_ordered(x, y),
+            "solved table `{}` diverges",
+            x.name()
+        );
+    }
+    assert_eq!(
+        a.total_stats().counters,
+        b.total_stats().counters,
+        "solve counters diverge"
+    );
+}
+
+/// The commented example spec is a living document: it must load, generate
+/// deterministically, and hold up under the differential oracles.
+#[test]
+fn example_spec_loads_and_passes_the_oracles() {
+    let spec = load_workload(&corpus("example.spec")).expect("example spec loads");
+    let a = spec.generate(&WorkloadParams::new(1.0, 3));
+    let b = spec.generate(&WorkloadParams::new(1.0, 3));
+    for (x, y) in a.relations.iter().zip(&b.relations) {
+        assert!(
+            relations_equal_ordered(x, y),
+            "generation is not deterministic"
+        );
+    }
+    cextend_spec::run_differential_oracles(&spec, 3, 8).expect("oracles hold on example.spec");
+}

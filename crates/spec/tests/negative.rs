@@ -1,0 +1,50 @@
+//! Snapshot test over the negative corpus: every `specs/bad/*.spec` must
+//! be rejected by parse/check, and the rendered `file:line:col: message`
+//! errors must match `snapshots/negative.txt` exactly — the snapshot pins
+//! both the span and the reason of every static-check lint.
+
+use cextend_spec::parse_spec;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+const SNAPSHOT: &str = include_str!("snapshots/negative.txt");
+
+#[test]
+fn bad_corpus_errors_match_the_snapshot() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../specs/bad");
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("specs/bad exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "spec"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 60,
+        "negative corpus shrank to {} files",
+        files.len()
+    );
+
+    let mut actual = String::new();
+    for path in &files {
+        // The bare file name labels the error so the snapshot stays
+        // independent of where the repository is checked out.
+        let name = path.file_name().expect("file name").to_string_lossy();
+        let source = fs::read_to_string(path).expect("spec is readable");
+        let err = parse_spec(&source, &name)
+            .expect_err(&format!("{name} should be rejected by the checker"));
+        let _ = writeln!(actual, "{err}");
+    }
+
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        let snap = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots/negative.txt");
+        fs::write(&snap, &actual).expect("snapshot is writable");
+        return;
+    }
+    assert_eq!(
+        actual, SNAPSHOT,
+        "checker errors diverged from tests/snapshots/negative.txt; \
+         run `UPDATE_SNAPSHOTS=1 cargo test -p cextend-spec --test negative` \
+         after verifying the new messages are intentional"
+    );
+}
