@@ -1,0 +1,104 @@
+//! Micro-benchmarks for the dictionary-code marginal kernels.
+//!
+//! `cextend_table::marginals` groups rows by packing each row's dictionary
+//! codes (Sym) and raw i64 values into a fixed-width key — no `Value`
+//! boxing, no hashing of strings. The retained `marginals::naive` module
+//! (boxed `Relation::get` + `Vec<Value>` keys) is the measured baseline;
+//! both are timed head to head on the census ground truth:
+//!
+//! - `group_counts` over the low-cardinality `Rel` column (the Phase I
+//!   marginal-row shape);
+//! - `group_rows` over the high-cardinality FK column (the `dc_error`
+//!   violation-grouping shape — thousands of household groups);
+//! - `distinct_combos` over the first two string columns of the join view
+//!   (the Phase II partition-splitting shape).
+
+use cextend_bench::ExperimentOpts;
+use cextend_table::marginals::{self, naive};
+use cextend_table::{Dtype, Relation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// The first `n` string-typed columns of a relation.
+fn sym_cols(rel: &Relation, n: usize) -> Vec<usize> {
+    (0..rel.schema().len())
+        .filter(|&c| rel.schema().column(c).dtype == Dtype::Str)
+        .take(n)
+        .collect()
+}
+
+fn bench_marginals(c: &mut Criterion) {
+    let opts = ExperimentOpts {
+        scale_factor: 0.02,
+        ..ExperimentOpts::default()
+    };
+    let mut group = c.benchmark_group("marginals");
+    group.sample_size(10);
+    for &label in &[1u32, 5] {
+        let data = opts.dataset(label, None, 0);
+        let truth_r1 = data.step_owner_truth(0);
+        let fk = truth_r1
+            .schema()
+            .col_id(&data.steps[0].fk_col)
+            .expect("truth carries the FK");
+        let view = data.truth_join();
+        let combo_cols = sym_cols(&view, 2);
+        let rel_col = sym_cols(truth_r1, 1);
+        let n = truth_r1.n_rows();
+
+        // The naive module is the correctness oracle; agree before timing.
+        assert_eq!(
+            marginals::group_rows(truth_r1, &[fk]).len(),
+            naive::group_rows(truth_r1, &[fk]).len()
+        );
+        assert_eq!(
+            marginals::distinct_combos(&view, &combo_cols),
+            naive::distinct_combos(&view, &combo_cols)
+        );
+
+        for impl_name in ["coded", "naive"] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("group_counts_n{n}_{impl_name}")),
+                truth_r1,
+                |b, rel| {
+                    b.iter(|| {
+                        if impl_name == "coded" {
+                            marginals::group_counts(rel, &rel_col).len()
+                        } else {
+                            naive::group_counts(rel, &rel_col).len()
+                        }
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("group_rows_fk_n{n}_{impl_name}")),
+                truth_r1,
+                |b, rel| {
+                    b.iter(|| {
+                        if impl_name == "coded" {
+                            marginals::group_rows(rel, &[fk]).len()
+                        } else {
+                            naive::group_rows(rel, &[fk]).len()
+                        }
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("distinct_combos_n{n}_{impl_name}")),
+                &view,
+                |b, v| {
+                    b.iter(|| {
+                        if impl_name == "coded" {
+                            marginals::distinct_combos(v, &combo_cols).len()
+                        } else {
+                            naive::distinct_combos(v, &combo_cols).len()
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_marginals);
+criterion_main!(benches);

@@ -6,7 +6,7 @@ use cextend_workloads::WORKLOAD_NAMES;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: experiments <id>|all|sched|perf|perf-check|perf-trend|fuzz-spec|spec-check [options]
+usage: experiments <id>|all|sched|scale|perf|perf-check|perf-trend|fuzz-spec|spec-check [options]
 
 experiments: table1 fig8a fig8b fig9 fig10 fig11a fig11b fig12 fig13 ablate
              sched (star-vs-chain step-scheduler sweep: serial vs parallel
@@ -18,6 +18,13 @@ experiments: table1 fig8a fig8b fig9 fig10 fig11a fig11b fig12 fig13 ablate
                    scheduler bit-identity; fails on any divergence)
              spec-check (parses + statically checks every spec under
                    specs/, and asserts every specs/bad/*.spec is rejected)
+             scale (paper-scale runs: census at 40x and dcdense at 62.5x —
+                   both >=10^6 R1 tuples under --paper-scale — with Phase II
+                   sharded across CEXTEND_SCHED_WORKERS; merges a wall +
+                   peak-RSS `scale` section into <out>/BENCH_perf.json and
+                   appends a \"kind\":\"scale\" line to BENCH_history.jsonl;
+                   CEXTEND_SCALE_MAX_WALL_S / CEXTEND_SCALE_MAX_RSS_MB set
+                   hard budgets for CI smoke runs)
              perf (times the full chain on every workload — one record per
                    completion step plus per scheduler level × mode — writes
                    BENCH_perf.json and appends to BENCH_history.jsonl)
@@ -53,7 +60,8 @@ options:
   --iters N          fuzz-spec iterations (default 25)
   --out DIR          write JSON snapshots to DIR
   --baseline FILE    committed perf baseline for perf-check
-                     (default: ./BENCH_perf.json)
+                     (default: ./BENCH_perf.json; its `scale` section is
+                     compared too when parameters match)
   --history FILE     BENCH_history.jsonl for perf-trend
                      (default: ./BENCH_history.jsonl, the committed file)
   --label L          build label stamped into BENCH_history.jsonl records
@@ -158,8 +166,8 @@ fn parse(args: &[String]) -> Result<(Vec<String>, ExperimentOpts), String> {
         return Err(USAGE.to_owned());
     }
     // Validate knob names against the selected workload's published set —
-    // or every workload's, when `perf` or `sched` is requested (they sweep
-    // across workloads).
+    // or every workload's, when `perf`, `sched` or `scale` is requested
+    // (they sweep across workloads).
     // `opts.workload()` handles both registry names and (already-validated)
     // `spec:` paths; spec knob slices are interned, so they're 'static too.
     let mut known: Vec<&str> = opts
@@ -169,7 +177,10 @@ fn parse(args: &[String]) -> Result<(Vec<String>, ExperimentOpts), String> {
         .iter()
         .map(|(name, _)| *name)
         .collect();
-    if ids.iter().any(|id| id == "perf" || id == "sched") {
+    if ids
+        .iter()
+        .any(|id| id == "perf" || id == "sched" || id == "scale")
+    {
         for w in cextend_workloads::all_workloads() {
             known.extend(w.meta().knobs.iter().map(|(name, _)| *name));
         }

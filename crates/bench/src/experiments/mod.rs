@@ -19,6 +19,7 @@
 //! | `perf` | perf baseline over *all* workloads (one record per chain step + per scheduler level × mode) → `BENCH_perf.json` + `BENCH_history.jsonl` |
 //! | `perf-check` | regression guard: fresh `BENCH_perf.json` vs the committed baseline |
 //! | `perf-trend` | per-record wall-time trend table over the accumulated `BENCH_history.jsonl` lines (+ markdown when `--out` is set) |
+//! | `scale` | paper-scale runs (census + dcdense at ≥10⁶ `R1` tuples under `--paper-scale`) with sharded Phase II; merges a wall + peak-RSS `scale` section into `BENCH_perf.json` |
 //! | `fuzz-spec` | seeded well-typed spec fuzzer: `--iters` random specs through the indexed ≡ naive and serial ≡ parallel differential oracles |
 //! | `spec-check` | corpus gate: every `specs/*.spec` passes the static checker, every `specs/bad/*.spec` is rejected |
 
@@ -31,6 +32,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod fuzzspec;
 pub mod perf;
+pub mod scale;
 pub mod sched;
 pub mod table1;
 pub mod trend;
@@ -77,6 +79,7 @@ pub fn run(id: &str, opts: &ExperimentOpts) -> Result<(), String> {
         "fig13" => fig13::run(opts),
         "ablate" => ablate::run(opts),
         "sched" => sched::run(opts),
+        "scale" => scale::run(opts)?,
         "perf" => perf::run(opts),
         "perf-check" => perf::check_cli(opts)?,
         "perf-trend" => trend::run(opts)?,
@@ -84,8 +87,8 @@ pub fn run(id: &str, opts: &ExperimentOpts) -> Result<(), String> {
         "spec-check" => fuzzspec::check_corpus(opts)?,
         other => {
             return Err(format!(
-                "unknown experiment `{other}`; known: {ALL:?}, `sched`, `perf`, `perf-check`, \
-                 `perf-trend`, `fuzz-spec` and `spec-check`"
+                "unknown experiment `{other}`; known: {ALL:?}, `sched`, `scale`, `perf`, \
+                 `perf-check`, `perf-trend`, `fuzz-spec` and `spec-check`"
             ))
         }
     }

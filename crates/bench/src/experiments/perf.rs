@@ -39,6 +39,15 @@ pub const REGRESSION_FACTOR: f64 = 3.0;
 /// scheduling noise on sub-millisecond records cannot trip the guard.
 pub const NOISE_FLOOR_S: f64 = 0.005;
 
+/// Peak-RSS growth beyond which `perf-check` fails a `scale` record. Memory
+/// is far less noisy than wall time (the columnar buffers dominate and are
+/// deterministic), so the bar is tighter than [`REGRESSION_FACTOR`].
+pub const RSS_REGRESSION_FACTOR: f64 = 1.5;
+
+/// Peak-RSS values are clamped up to this many bytes before comparing:
+/// below it, allocator and runtime baseline noise dominates the signal.
+pub const RSS_NOISE_FLOOR_BYTES: f64 = 64.0 * 1024.0 * 1024.0;
+
 /// One timed (workload, CC family, completion step) cell.
 #[derive(Debug, Serialize)]
 pub struct PerfRecord {
@@ -308,13 +317,25 @@ fn append_history(path: &Path, opts: &ExperimentOpts, baseline: &PerfBaseline) {
 /// A record's identity and wall time, parsed from a `BENCH_perf.json`.
 type WallTimes = BTreeMap<(String, String, String), f64>;
 
+/// The parsed `scale` section of a `BENCH_perf.json` (written by
+/// `experiments -- scale`): its own run parameters plus, per workload, the
+/// wall time and the peak RSS (absent on platforms without `VmHWM`).
+struct ParsedScale {
+    /// Same rendered-string parameter gate as the perf records'.
+    params: Vec<(&'static str, String)>,
+    /// Workload → `(wall seconds, peak RSS bytes)`.
+    records: BTreeMap<String, (f64, Option<f64>)>,
+}
+
 /// A parsed `BENCH_perf.json`: the run parameters wall times depend on,
-/// plus per-record wall times.
+/// per-record wall times, and the optional paper-scale section.
 struct ParsedBaseline {
     /// `(scale_factor, n_ccs, runs, seed, knobs)` — rendered as strings
     /// for exact, float-formatting-stable comparison.
     params: Vec<(&'static str, String)>,
     walls: WallTimes,
+    /// The `scale` section, when the document carries one.
+    scale: Option<ParsedScale>,
 }
 
 fn parse_baseline(path: &Path) -> Result<ParsedBaseline, String> {
@@ -329,36 +350,7 @@ fn parse_baseline(path: &Path) -> Result<ParsedBaseline, String> {
     let Some(serde::Value::Array(records)) = field(&top, "records") else {
         return Err(format!("`{}` has no `records` array", path.display()));
     };
-    // Wall times are only comparable when both sweeps generated the same
-    // datasets and CC load; capture every parameter they depend on. The
-    // optional `workload` label (the `spec:<path>` that extended a sweep)
-    // is deliberately absent from this list: spec-driven records come and
-    // go per run like any workload's, and a label difference alone must
-    // not fail the whole document as a parameter mismatch.
-    let mut params: Vec<(&'static str, String)> = ["scale_factor", "n_ccs", "runs", "seed"]
-        .into_iter()
-        .map(|name| {
-            let rendered = match field(&top, name) {
-                Some(serde::Value::Float(x)) => x.to_string(),
-                Some(serde::Value::Int(n)) => n.to_string(),
-                other => format!("{other:?}"),
-            };
-            (name, rendered)
-        })
-        .collect();
-    // Knob overrides reshape the generated data too. Absent (pre-v2
-    // baselines) means no overrides, i.e. an empty map.
-    let knobs = match field(&top, "knobs") {
-        Some(v @ serde::Value::Object(_)) => {
-            serde_json::to_string(&v).expect("re-render parsed JSON")
-        }
-        _ => "{}".to_owned(),
-    };
-    params.push(("knobs", knobs));
-    // The conflict builder changes every wall time (~17× on DC-dense
-    // records) without touching the data, so it gates comparability too
-    // (shared defaulting rule: `super::conflict_label`).
-    params.push(("conflict", super::conflict_label(&top)));
+    let params = render_params(&top);
     let mut walls = WallTimes::new();
     for rec in &records {
         let serde::Value::Object(rec) = rec else {
@@ -386,7 +378,83 @@ fn parse_baseline(path: &Path) -> Result<ParsedBaseline, String> {
             wall,
         );
     }
-    Ok(ParsedBaseline { params, walls })
+    let scale = match field(&top, "scale") {
+        Some(serde::Value::Object(sec)) => Some(parse_scale(&sec)?),
+        _ => None,
+    };
+    Ok(ParsedBaseline {
+        params,
+        walls,
+        scale,
+    })
+}
+
+/// Renders the comparability-gate parameters of a perf document or its
+/// `scale` section (both carry the same fields).
+///
+/// Wall times are only comparable when both sweeps generated the same
+/// datasets and CC load; capture every parameter they depend on. The
+/// optional `workload` label (the `spec:<path>` that extended a sweep) is
+/// deliberately absent from this list: spec-driven records come and go per
+/// run like any workload's, and a label difference alone must not fail the
+/// whole document as a parameter mismatch.
+fn render_params(obj: &[(String, serde::Value)]) -> Vec<(&'static str, String)> {
+    let field = super::json_field;
+    let mut params: Vec<(&'static str, String)> = ["scale_factor", "n_ccs", "runs", "seed"]
+        .into_iter()
+        .map(|name| {
+            let rendered = match field(obj, name) {
+                Some(serde::Value::Float(x)) => x.to_string(),
+                Some(serde::Value::Int(n)) => n.to_string(),
+                other => format!("{other:?}"),
+            };
+            (name, rendered)
+        })
+        .collect();
+    // Knob overrides reshape the generated data too. Absent (pre-v2
+    // baselines) means no overrides, i.e. an empty map.
+    let knobs = match field(obj, "knobs") {
+        Some(v @ serde::Value::Object(_)) => {
+            serde_json::to_string(&v).expect("re-render parsed JSON")
+        }
+        _ => "{}".to_owned(),
+    };
+    params.push(("knobs", knobs));
+    // The conflict builder changes every wall time (~17× on DC-dense
+    // records) without touching the data, so it gates comparability too
+    // (shared defaulting rule: `super::conflict_label`).
+    params.push(("conflict", super::conflict_label(obj)));
+    params
+}
+
+/// Parses a `scale` section object (see `super::scale::ScaleSection`).
+fn parse_scale(sec: &[(String, serde::Value)]) -> Result<ParsedScale, String> {
+    let field = super::json_field;
+    let mut records = BTreeMap::new();
+    if let Some(serde::Value::Array(recs)) = field(sec, "records") {
+        for rec in &recs {
+            let serde::Value::Object(rec) = rec else {
+                return Err("non-object scale record".into());
+            };
+            let Some(serde::Value::Str(workload)) = field(rec, "workload") else {
+                return Err("scale record has no `workload` string".into());
+            };
+            let num = |name: &str| match field(rec, name) {
+                Some(serde::Value::Float(x)) => Some(x),
+                Some(serde::Value::Int(n)) => Some(n as f64),
+                _ => None,
+            };
+            let wall = num("wall_s")
+                .ok_or_else(|| format!("scale record `{workload}` has no `wall_s` number"))?;
+            // Absent on platforms without /proc (the record is still
+            // wall-comparable).
+            records.insert(workload, (wall, num("peak_rss_bytes")));
+        }
+    }
+    Ok(ParsedScale {
+        params: render_params(sec),
+        records,
+    })
 }
 
 /// Compares a fresh `BENCH_perf.json` against the committed baseline.
@@ -403,6 +471,16 @@ fn parse_baseline(path: &Path) -> Result<ParsedBaseline, String> {
 /// between CI machines). New records — new workloads, families or steps —
 /// are allowed; a record that *disappeared* fails the check, since that
 /// means lost coverage.
+///
+/// The documents' `scale` sections are compared too — but only when both
+/// carry one **and** the sections' own parameters match: the committed
+/// section is a 100%-scale run while CI's `scale-smoke` writes a 10% one,
+/// and gating on that difference would make the smoke permanently red, so
+/// an incomparable (or absent) section is skipped with a printed note
+/// instead. Within comparable sections, walls use the same
+/// [`REGRESSION_FACTOR`] bound, peak RSS (when both sides recorded one)
+/// uses [`RSS_REGRESSION_FACTOR`] over [`RSS_NOISE_FLOOR_BYTES`], and a
+/// disappeared scale workload fails like a disappeared perf record.
 pub fn check(baseline_path: &Path, fresh_path: &Path) -> Result<(), String> {
     let baseline = parse_baseline(baseline_path)?;
     let fresh = parse_baseline(fresh_path)?;
@@ -422,6 +500,7 @@ pub fn check(baseline_path: &Path, fresh_path: &Path) -> Result<(), String> {
         }
     }
     let comparable = failures.is_empty();
+    check_scale_sections(&baseline.scale, &fresh.scale, &mut failures);
     let (baseline, fresh) = (baseline.walls, fresh.walls);
     if comparable {
         for (key, &base_wall) in &baseline {
@@ -458,6 +537,66 @@ pub fn check(baseline_path: &Path, fresh_path: &Path) -> Result<(), String> {
             failures.join("\n  ")
         ))
     }
+}
+
+/// Compares two optional `scale` sections (see [`check`] for the skip
+/// rules), appending any wall/RSS regression or disappeared workload to
+/// `failures`.
+fn check_scale_sections(
+    baseline: &Option<ParsedScale>,
+    fresh: &Option<ParsedScale>,
+    failures: &mut Vec<String>,
+) {
+    let (base, fresh) = match (baseline, fresh) {
+        (Some(b), Some(f)) => (b, f),
+        (None, _) | (_, None) => {
+            println!("[perf-check: no scale section in both documents — scale records skipped]");
+            return;
+        }
+    };
+    if base.params != fresh.params {
+        // Expected whenever the committed 100%-scale section meets a CI
+        // smoke run at a lighter factor; the perf records above still gate.
+        println!(
+            "[perf-check: scale sections ran at different parameters — scale records skipped]"
+        );
+        return;
+    }
+    for (workload, &(base_wall, base_rss)) in &base.records {
+        let Some(&(fresh_wall, fresh_rss)) = fresh.records.get(workload) else {
+            failures.push(format!(
+                "scale record `{workload}` disappeared from the fresh run"
+            ));
+            continue;
+        };
+        let base_w = base_wall.max(NOISE_FLOOR_S);
+        let now_w = fresh_wall.max(NOISE_FLOOR_S);
+        if now_w > REGRESSION_FACTOR * base_w {
+            failures.push(format!(
+                "scale record `{workload}` wall regressed {:.1}×: {} → {}",
+                now_w / base_w,
+                fmt_s(base_wall),
+                fmt_s(fresh_wall),
+            ));
+        }
+        if let (Some(base_rss), Some(fresh_rss)) = (base_rss, fresh_rss) {
+            let base_m = base_rss.max(RSS_NOISE_FLOOR_BYTES);
+            let now_m = fresh_rss.max(RSS_NOISE_FLOOR_BYTES);
+            if now_m > RSS_REGRESSION_FACTOR * base_m {
+                failures.push(format!(
+                    "scale record `{workload}` peak RSS regressed {:.2}×: {:.0}MB → {:.0}MB",
+                    now_m / base_m,
+                    base_rss / (1024.0 * 1024.0),
+                    fresh_rss / (1024.0 * 1024.0),
+                ));
+            }
+        }
+    }
+    println!(
+        "[perf-check: {} scale records compared (walls within {REGRESSION_FACTOR}x, \
+         peak RSS within {RSS_REGRESSION_FACTOR}x)]",
+        base.records.len()
+    );
 }
 
 /// CLI entry point for `perf-check`: compares `<out>/BENCH_perf.json` (the
@@ -665,6 +804,102 @@ mod tests {
             &doc(&[("census", "good", "Persons→Housing", 0.004)]),
         );
         check(&base, &fresh).unwrap();
+    }
+
+    /// A perf doc with a `scale` section whose parameters are fixed and
+    /// whose records are `(workload, wall_s, peak_rss_bytes)` triples.
+    fn doc_with_scale(section_factor: f64, scale_records: &[(&str, f64, Option<u64>)]) -> String {
+        let rows: Vec<String> = scale_records
+            .iter()
+            .map(|(w, wall, rss)| {
+                let rss = rss.map_or(String::new(), |b| format!(r#","peak_rss_bytes":{b}"#));
+                format!(r#"{{"workload":"{w}","wall_s":{wall}{rss}}}"#)
+            })
+            .collect();
+        let scale = format!(
+            r#","scale":{{"scale_factor":{section_factor},"n_ccs":150,"runs":1,"seed":7,"knobs":{{}},"conflict":"indexed","records":[{}]}}"#,
+            rows.join(",")
+        );
+        // Splice the section in before the document's closing brace.
+        let base = doc(&[("census", "good", "Persons→Housing", 0.1)]);
+        format!("{}{scale}}}", &base[..base.len() - 1])
+    }
+
+    #[test]
+    fn scale_sections_compare_walls_and_rss_when_parameters_match() {
+        let dir = std::env::temp_dir().join("cextend-perf-check-scale");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gib = 1u64 << 30;
+        let base = write(
+            &dir,
+            "base.json",
+            &doc_with_scale(1.0, &[("census", 100.0, Some(4 * gib))]),
+        );
+        // Within both bounds: passes.
+        let ok = write(
+            &dir,
+            "ok.json",
+            &doc_with_scale(1.0, &[("census", 150.0, Some(5 * gib))]),
+        );
+        check(&base, &ok).unwrap();
+        // Wall blown (>3x).
+        let slow = write(
+            &dir,
+            "slow.json",
+            &doc_with_scale(1.0, &[("census", 400.0, Some(4 * gib))]),
+        );
+        let err = check(&base, &slow).unwrap_err();
+        assert!(err.contains("wall regressed"), "{err}");
+        // RSS blown (>1.5x) at unchanged wall.
+        let fat = write(
+            &dir,
+            "fat.json",
+            &doc_with_scale(1.0, &[("census", 100.0, Some(7 * gib))]),
+        );
+        let err = check(&base, &fat).unwrap_err();
+        assert!(err.contains("peak RSS regressed"), "{err}");
+        // Disappeared scale workload fails.
+        let empty = write(&dir, "empty.json", &doc_with_scale(1.0, &[]));
+        let err = check(&base, &empty).unwrap_err();
+        assert!(err.contains("scale record `census` disappeared"), "{err}");
+    }
+
+    #[test]
+    fn scale_sections_skip_when_absent_or_incomparable() {
+        let dir = std::env::temp_dir().join("cextend-perf-check-scale-skip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gib = 1u64 << 30;
+        let committed = write(
+            &dir,
+            "committed.json",
+            &doc_with_scale(1.0, &[("census", 100.0, Some(4 * gib))]),
+        );
+        // The CI shape: the committed section is a 100% run, the smoke ran
+        // at 10% — incomparable parameters skip the section, not fail it,
+        // even with a 10x "regression" in the records.
+        let smoke = write(
+            &dir,
+            "smoke.json",
+            &doc_with_scale(0.1, &[("census", 1000.0, Some(8 * gib))]),
+        );
+        check(&committed, &smoke).unwrap();
+        // No section at all on either side: also a skip.
+        let plain = write(
+            &dir,
+            "plain.json",
+            &doc(&[("census", "good", "Persons→Housing", 0.1)]),
+        );
+        check(&committed, &plain).unwrap();
+        check(&plain, &smoke).unwrap();
+        // RSS absent on one side (non-Linux runner): wall still compared.
+        let no_rss = write(
+            &dir,
+            "norss.json",
+            &doc_with_scale(1.0, &[("census", 400.0, None)]),
+        );
+        let err = check(&committed, &no_rss).unwrap_err();
+        assert!(err.contains("wall regressed"), "{err}");
+        assert!(!err.contains("peak RSS"), "{err}");
     }
 
     #[test]

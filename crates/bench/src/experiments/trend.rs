@@ -14,6 +14,11 @@
 //! `conflict` builder) differ from the newest line's are still shown but
 //! flagged with `*` in the column header: their walls are not
 //! apples-to-apples, exactly the comparability rule `perf-check` enforces.
+//!
+//! `"kind":"scale"` lines (appended by `experiments -- scale`) live in a
+//! different parameter space than the perf sweep — showing them here would
+//! make the newest scale line the comparability anchor and star every perf
+//! column — so they are skipped with a printed count.
 
 use super::{conflict_label, json_field as field};
 use crate::harness::{fmt_s, ExperimentOpts, Table};
@@ -95,26 +100,46 @@ fn parse_line(line: &str, lineno: usize) -> Result<HistoryLine, String> {
     })
 }
 
-fn read_history(path: &Path) -> Result<Vec<HistoryLine>, String> {
+/// `true` for `"kind":"scale"` lines — `experiments -- scale` appends
+/// those, and their walls/parameters live in a different space than the
+/// perf sweep's (unparsable lines are *not* scale lines; `parse_line`
+/// reports them properly).
+fn is_scale_line(line: &str) -> bool {
+    match serde_json::from_str(line) {
+        Ok(serde::Value::Object(top)) => {
+            matches!(field(&top, "kind"), Some(serde::Value::Str(k)) if k == "scale")
+        }
+        _ => false,
+    }
+}
+
+/// Reads the perf history lines, returning `(lines, scale_lines_skipped)`.
+fn read_history(path: &Path) -> Result<(Vec<HistoryLine>, usize), String> {
     let text = std::fs::read_to_string(path).map_err(|e| {
         format!(
             "cannot read history `{}`: {e} — run `experiments -- perf` first",
             path.display()
         )
     })?;
+    let mut scale_skipped = 0;
     let lines: Vec<HistoryLine> = text
         .lines()
         .enumerate()
         .filter(|(_, l)| !l.trim().is_empty())
+        .filter(|(_, l)| {
+            let scale = is_scale_line(l);
+            scale_skipped += usize::from(scale);
+            !scale
+        })
         .map(|(i, l)| parse_line(l, i + 1))
         .collect::<Result<_, _>>()?;
     if lines.is_empty() {
         return Err(format!(
-            "history `{}` has no lines — run `experiments -- perf` first",
+            "history `{}` has no perf lines — run `experiments -- perf` first",
             path.display()
         ));
     }
-    Ok(lines)
+    Ok((lines, scale_skipped))
 }
 
 /// The trend matrix: record keys × (shown) history lines, cells rendered
@@ -202,7 +227,13 @@ pub fn run(opts: &ExperimentOpts) -> Result<(), String> {
         .history
         .clone()
         .unwrap_or_else(|| PathBuf::from("BENCH_history.jsonl"));
-    let lines = read_history(&path)?;
+    let (lines, scale_skipped) = read_history(&path)?;
+    if scale_skipped > 0 {
+        println!(
+            "[{scale_skipped} \"kind\":\"scale\" line(s) skipped — paper-scale records are \
+             compared by perf-check, not trended here]"
+        );
+    }
     let (headers, rows) = render_rows(&lines);
     let skipped = lines.len().saturating_sub(MAX_COLUMNS);
     let title = format!(
@@ -262,7 +293,7 @@ mod tests {
                 ),
             ],
         );
-        let lines = read_history(&path).unwrap();
+        let (lines, _) = read_history(&path).unwrap();
         let (headers, rows) = render_rows(&lines);
         assert_eq!(headers.len(), 3);
         assert!(!headers[1].ends_with('*'), "same params: no flag");
@@ -283,7 +314,7 @@ mod tests {
                 line("new", 0.005, &[("census/good/s", 0.1)]),
             ],
         );
-        let lines = read_history(&path).unwrap();
+        let (lines, _) = read_history(&path).unwrap();
         let (headers, _) = render_rows(&lines);
         assert!(headers[1].ends_with('*'), "{headers:?}");
         assert!(!headers[2].ends_with('*'));
@@ -300,7 +331,7 @@ mod tests {
             "flag-conflict.jsonl",
             &[naive, line("new", 0.005, &[("dcdense/good/s", 0.1)])],
         );
-        let lines = read_history(&path).unwrap();
+        let (lines, _) = read_history(&path).unwrap();
         let (headers, _) = render_rows(&lines);
         assert!(headers[1].ends_with('*'), "{headers:?}");
         assert!(!headers[2].ends_with('*'));
@@ -319,7 +350,7 @@ mod tests {
             "speclabel.jsonl",
             &[with_label, line("b", 0.005, &[("spec:supply/good/s", 0.1)])],
         );
-        let lines = read_history(&path).unwrap();
+        let (lines, _) = read_history(&path).unwrap();
         let (headers, _) = render_rows(&lines);
         assert!(
             headers[1].contains("(spec:specs/supply.spec)"),
@@ -338,10 +369,36 @@ mod tests {
             .map(|i| line(&format!("l{i}"), 0.005, &[("census/good/s", 0.1)]))
             .collect();
         let path = write_history("cap.jsonl", &many);
-        let lines = read_history(&path).unwrap();
+        let (lines, _) = read_history(&path).unwrap();
         let (headers, _) = render_rows(&lines);
         assert_eq!(headers.len(), MAX_COLUMNS + 1);
         assert!(headers[MAX_COLUMNS].starts_with("l9@"));
+    }
+
+    #[test]
+    fn scale_lines_are_skipped_not_anchored() {
+        // A scale line is the *newest* entry; if it weren't skipped it
+        // would become the comparability anchor and star every perf
+        // column. Its walls keys (bare workload names) must not appear as
+        // records either.
+        let scale_line = r#"{"label":"x","stamp":"s","schema_version":2,"kind":"scale","scale_factor":1.0,"n_ccs":150,"runs":1,"seed":7,"conflict":"indexed","walls":{"census":120.0},"peak_rss_mb":{"census":4096.0}}"#;
+        let path = write_history(
+            "scale-skip.jsonl",
+            &[
+                line("a", 0.005, &[("census/good/s", 0.1)]),
+                line("b", 0.005, &[("census/good/s", 0.1)]),
+                scale_line.to_owned(),
+            ],
+        );
+        let (lines, scale_skipped) = read_history(&path).unwrap();
+        assert_eq!(scale_skipped, 1);
+        assert_eq!(lines.len(), 2);
+        let (headers, rows) = render_rows(&lines);
+        assert!(
+            headers.iter().all(|h| !h.ends_with('*')),
+            "scale line must not anchor comparability: {headers:?}"
+        );
+        assert!(rows.iter().all(|r| r[0] != "census"), "{rows:?}");
     }
 
     #[test]
@@ -355,7 +412,7 @@ mod tests {
     #[test]
     fn markdown_contains_table_and_caveat() {
         let path = write_history("md.jsonl", &[line("a", 0.005, &[("census/good/s", 0.1)])]);
-        let lines = read_history(&path).unwrap();
+        let (lines, _) = read_history(&path).unwrap();
         let (headers, rows) = render_rows(&lines);
         let md = markdown("t", &headers, &rows, 2);
         assert!(md.contains("| Record |"));

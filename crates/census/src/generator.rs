@@ -10,7 +10,7 @@
 //! erased.
 
 use crate::domains::{area_county, area_name, area_state, MAX_AGE, TENURES};
-use cextend_table::{ColumnDef, Dtype, Relation, Schema, Value};
+use cextend_table::{ColumnDef, Dtype, Relation, RelationBuilder, Schema, Sym};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -115,32 +115,37 @@ pub fn generate(config: &CensusConfig) -> CensusData {
     let n_households = ((9_820.0 * config.scale).round() as usize).max(1);
     let n_areas = config.n_areas.max(1);
 
-    let mut housing = Relation::with_capacity(
-        "Housing",
-        housing_schema(config.n_housing_cols),
-        n_households,
-    );
-    let mut truth = Relation::with_capacity(
-        "Persons",
-        persons_schema(),
-        (n_households as f64 * 2.6) as usize,
-    );
+    // Columnar accumulators, bulk-loaded through `RelationBuilder` at the
+    // end — at paper scale (10⁶ persons) this avoids a million boxed-row
+    // round-trips through `push_row`.
+    let est_persons = (n_households as f64 * 2.6) as usize;
+    let mut h_hid: Vec<i64> = Vec::with_capacity(n_households);
+    let mut h_tenure: Vec<Sym> = Vec::with_capacity(n_households);
+    let mut h_area: Vec<Sym> = Vec::with_capacity(n_households);
+    let mut h_county: Vec<Sym> = Vec::new();
+    let mut h_st: Vec<Sym> = Vec::new();
+    let mut h_div: Vec<Sym> = Vec::new();
+    let mut h_reg: Vec<Sym> = Vec::new();
+    let mut h_water: Vec<i64> = Vec::new();
+    let mut h_bath: Vec<i64> = Vec::new();
+    let mut h_fridge: Vec<i64> = Vec::new();
+    let mut h_stove: Vec<i64> = Vec::new();
+    let mut p_pid: Vec<i64> = Vec::with_capacity(est_persons);
+    let mut p_age: Vec<i64> = Vec::with_capacity(est_persons);
+    let mut p_rel: Vec<Sym> = Vec::with_capacity(est_persons);
+    let mut p_multi: Vec<i64> = Vec::with_capacity(est_persons);
+    let mut p_hid: Vec<i64> = Vec::with_capacity(est_persons);
 
     let mut pid = 0i64;
-    let mut push_person =
-        |truth: &mut Relation, rng: &mut StdRng, age: i64, rel: &str, hid: i64| {
-            pid += 1;
-            let multi = i64::from(rng.gen_bool(0.25));
-            truth
-                .push_row(&[
-                    Some(Value::Int(pid)),
-                    Some(Value::Int(age.clamp(0, MAX_AGE))),
-                    Some(Value::str(rel)),
-                    Some(Value::Int(multi)),
-                    Some(Value::Int(hid)),
-                ])
-                .expect("schema-conforming row");
-        };
+    let mut push_person = |rng: &mut StdRng, age: i64, rel: &str, hid: i64| {
+        pid += 1;
+        let multi = i64::from(rng.gen_bool(0.25));
+        p_pid.push(pid);
+        p_age.push(age.clamp(0, MAX_AGE));
+        p_rel.push(Sym::intern(rel));
+        p_multi.push(multi);
+        p_hid.push(hid);
+    };
 
     for h in 0..n_households {
         let hid = h as i64 + 1;
@@ -157,34 +162,31 @@ pub fn generate(config: &CensusConfig) -> CensusData {
             60..=89 => 2,
             _ => 3,
         }];
-        let mut row: Vec<Option<Value>> = vec![
-            Some(Value::Int(hid)),
-            Some(Value::str(tenure)),
-            Some(Value::str(&area_name(area))),
-        ];
+        h_hid.push(hid);
+        h_tenure.push(Sym::intern(tenure));
+        h_area.push(Sym::intern(&area_name(area)));
         if config.n_housing_cols >= 4 {
             let (st, div, reg) = area_state(area);
-            row.push(Some(Value::str(&area_county(area))));
-            row.push(Some(Value::str(st)));
+            h_county.push(Sym::intern(&area_county(area)));
+            h_st.push(Sym::intern(st));
             if config.n_housing_cols >= 6 {
-                row.push(Some(Value::str(div)));
-                row.push(Some(Value::str(reg)));
+                h_div.push(Sym::intern(div));
+                h_reg.push(Sym::intern(reg));
             }
             if config.n_housing_cols >= 8 {
-                row.push(Some(Value::Int(i64::from(rng.gen_bool(0.97)))));
-                row.push(Some(Value::Int(i64::from(rng.gen_bool(0.95)))));
+                h_water.push(i64::from(rng.gen_bool(0.97)));
+                h_bath.push(i64::from(rng.gen_bool(0.95)));
             }
             if config.n_housing_cols >= 10 {
-                row.push(Some(Value::Int(i64::from(rng.gen_bool(0.9)))));
-                row.push(Some(Value::Int(i64::from(rng.gen_bool(0.92)))));
+                h_fridge.push(i64::from(rng.gen_bool(0.9)));
+                h_stove.push(i64::from(rng.gen_bool(0.92)));
             }
         }
-        housing.push_row(&row).expect("schema-conforming row");
 
         // --- Household members, honoring every Table 4 DC. ----------------
         // Owner (exactly one per household: dc9).
         let a = sample_range(&mut rng, 21, 95);
-        push_person(&mut truth, &mut rng, a, "Owner", hid);
+        push_person(&mut rng, a, "Owner", hid);
 
         // At most one spouse OR unmarried partner (dc12), age in
         // [A-50, A+50] (dc3).
@@ -195,7 +197,7 @@ pub fn generate(config: &CensusConfig) -> CensusData {
                 "Unmarried partner"
             };
             let age = sample_range(&mut rng, (a - 50).max(16), (a + 50).min(MAX_AGE));
-            push_person(&mut truth, &mut rng, age, rel, hid);
+            push_person(&mut rng, age, rel, hid);
         }
 
         // Children (bio/adopted/step): ages in [A-50, A-12], the
@@ -213,14 +215,14 @@ pub fn generate(config: &CensusConfig) -> CensusData {
                 _ => "Adopted child",
             };
             let age = sample_range(&mut rng, (a - 50).max(0), a - 12);
-            push_person(&mut truth, &mut rng, age, rel, hid);
+            push_person(&mut rng, age, rel, hid);
         }
 
         // Occasional other members.
         if rng.gen_bool(0.04) {
             // Sibling: [A-35, A+35] (dc4).
             let age = sample_range(&mut rng, (a - 35).max(0), (a + 35).min(MAX_AGE));
-            push_person(&mut truth, &mut rng, age, "Sibling", hid);
+            push_person(&mut rng, age, "Sibling", hid);
         }
         if a <= 94 && rng.gen_bool(0.03) {
             // Parent / parent-in-law: [A+12, A+115], only when A ≤ 94 (dc11).
@@ -230,29 +232,69 @@ pub fn generate(config: &CensusConfig) -> CensusData {
                 "Parent-in-law"
             };
             let age = sample_range(&mut rng, a + 12, (a + 115).min(MAX_AGE));
-            push_person(&mut truth, &mut rng, age, rel, hid);
+            push_person(&mut rng, age, rel, hid);
         }
         if a >= 30 && rng.gen_bool(0.025) {
             // Grandchild: [A-115, A-30], owner at least 30 (dc6, dc10).
             let age = sample_range(&mut rng, (a - 115).max(0), a - 30);
-            push_person(&mut truth, &mut rng, age, "Grandchild", hid);
+            push_person(&mut rng, age, "Grandchild", hid);
         }
         if a >= 30 && rng.gen_bool(0.02) {
             // Child-in-law: [A-69, A-1] (dc7), owner at least 30 (dc10).
             let age = sample_range(&mut rng, (a - 69).max(0), a - 1);
-            push_person(&mut truth, &mut rng, age, "Child-in-law", hid);
+            push_person(&mut rng, age, "Child-in-law", hid);
         }
         if rng.gen_bool(0.03) {
             // Foster child: [A-69, A-12] (dc8).
             let age = sample_range(&mut rng, (a - 69).max(0), a - 12);
-            push_person(&mut truth, &mut rng, age, "Foster child", hid);
+            push_person(&mut rng, age, "Foster child", hid);
         }
         if rng.gen_bool(0.05) {
             // Housemates are unconstrained.
             let age = sample_range(&mut rng, 15, 85);
-            push_person(&mut truth, &mut rng, age, "House/Room mate", hid);
+            push_person(&mut rng, age, "House/Room mate", hid);
         }
     }
+
+    let housing_schema = housing_schema(config.n_housing_cols);
+    let mut hb = RelationBuilder::new("Housing", housing_schema.clone(), n_households);
+    let col = |name: &str| housing_schema.col_id(name).expect("static schema");
+    hb.append_ints(col("hid"), &h_hid).expect("int column");
+    hb.append_syms(col("Tenure"), &h_tenure)
+        .expect("str column");
+    hb.append_syms(col("Area"), &h_area).expect("str column");
+    for (name, chunk) in [
+        ("County", &h_county),
+        ("St", &h_st),
+        ("Div", &h_div),
+        ("Reg", &h_reg),
+    ] {
+        if housing_schema.col_id(name).is_some() {
+            hb.append_syms(col(name), chunk).expect("str column");
+        }
+    }
+    for (name, chunk) in [
+        ("Water", &h_water),
+        ("Bath", &h_bath),
+        ("Fridge", &h_fridge),
+        ("Stove", &h_stove),
+    ] {
+        if housing_schema.col_id(name).is_some() {
+            hb.append_ints(col(name), chunk).expect("int column");
+        }
+    }
+    let housing = hb.freeze().expect("aligned columns");
+
+    let truth_schema = persons_schema();
+    let mut tb = RelationBuilder::new("Persons", truth_schema.clone(), p_pid.len());
+    let pcol = |name: &str| truth_schema.col_id(name).expect("static schema");
+    tb.append_ints(pcol("pid"), &p_pid).expect("int column");
+    tb.append_ints(pcol("Age"), &p_age).expect("int column");
+    tb.append_syms(pcol("Rel"), &p_rel).expect("str column");
+    tb.append_ints(pcol("Multi-ling"), &p_multi)
+        .expect("int column");
+    tb.append_ints(pcol("hid"), &p_hid).expect("int column");
+    let truth = tb.freeze().expect("aligned columns");
 
     let mut persons = truth.clone();
     let fk = persons.schema().fk_col().expect("static schema");
@@ -268,6 +310,7 @@ pub fn generate(config: &CensusConfig) -> CensusData {
 mod tests {
     use super::*;
     use crate::dcs::s_all_dc;
+    use cextend_table::Value;
 
     fn small() -> CensusData {
         generate(&CensusConfig {

@@ -243,6 +243,15 @@ impl SolverConfig {
         self.conflict = conflict;
         self
     }
+
+    /// Builder-style parallel-coloring override. Phase II conflict building
+    /// and coloring are sharded by partition across the
+    /// `CEXTEND_SCHED_WORKERS` pool when enabled; results are merged in
+    /// partition order, so output is bit-identical to the serial path.
+    pub fn with_parallel_coloring(mut self, parallel: bool) -> SolverConfig {
+        self.parallel_coloring = parallel;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +289,16 @@ mod tests {
             assert_eq!(SolverConfig::hybrid().with_conflict(kind).conflict, kind);
         }
         assert_eq!(ConflictBuilderKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn parallel_coloring_builder() {
+        assert!(!SolverConfig::hybrid().parallel_coloring);
+        assert!(
+            SolverConfig::hybrid()
+                .with_parallel_coloring(true)
+                .parallel_coloring
+        );
     }
 
     #[test]

@@ -14,8 +14,7 @@ use crate::instance::CExtensionInstance;
 use crate::phase2::conflict::ConflictBuilder;
 use crate::report::Solution;
 use cextend_constraints::{BoundDc, CardinalityConstraint, DenialConstraint};
-use cextend_table::{fk_join, relations_equal_ordered, Relation, RowId};
-use std::collections::HashMap;
+use cextend_table::{fk_join, relations_equal_ordered, Relation};
 
 /// Relative error of each CC against the (completed) join view.
 pub fn cc_relative_errors(view: &Relation, ccs: &[CardinalityConstraint]) -> Result<Vec<f64>> {
@@ -93,19 +92,15 @@ fn dc_error_grouped(
         .iter()
         .map(|d| d.bind(r1_hat.schema(), r1_hat.name()))
         .collect::<std::result::Result<Vec<_>, _>>()?;
-    // Group tuples by household; violations only occur within a household.
-    let mut groups: HashMap<cextend_table::Value, Vec<RowId>> = HashMap::new();
-    for r in r1_hat.rows() {
-        if let Some(k) = r1_hat.get(r, fk) {
-            groups.entry(k).or_default().push(r);
-        }
-    }
+    // Group tuples by household over dictionary codes; violations only
+    // occur within a household. Rows with a missing FK belong to no group.
+    let grouped = cextend_table::marginals::group_rows(r1_hat, &[fk]);
     let mut violating = vec![false; r1_hat.n_rows()];
     // One builder (compiled DC plans + scratch) across the thousands of
     // per-FK groups.
     let mut builder = ConflictBuilder::new(&bound);
-    for rows in groups.values() {
-        if rows.len() < 2 {
+    for (key, rows) in grouped.iter() {
+        if key[0].is_none() || rows.len() < 2 {
             continue;
         }
         let g = builder.build(r1_hat, rows);

@@ -101,23 +101,30 @@ fn solve_node(
         .copied()
         .filter(|&c| p1.combo_satisfies(&combo, &ccs[c].r2))
         .collect();
-    let mut taken = 0u64;
-    for row in 0..p1.view.n_rows() {
-        if taken == need {
-            break;
-        }
-        if p1.row_state(row) != RowState::Empty {
-            continue;
-        }
-        if !bound_r1[node].eval(&p1.view, row) {
-            continue;
-        }
-        if excluded.iter().any(|&c| bound_r1[c].eval(&p1.view, row)) {
-            continue;
-        }
+    // Candidate scan over typed column buffers. The compiled predicates
+    // borrow the view, so candidates are collected before any assignment;
+    // this is sound because `assign_partial` writes only the assigned row's
+    // `R2`-side columns while the predicates read `R1` attributes, and an
+    // `Empty` row stays `Empty` until this very loop assigns it.
+    let candidates: Vec<usize> = {
+        let node_pred = bound_r1[node].compile(&p1.view);
+        let excluded_preds: Vec<_> = excluded
+            .iter()
+            .map(|&c| bound_r1[c].compile(&p1.view))
+            .collect();
+        (0..p1.view.n_rows())
+            .filter(|&row| {
+                p1.row_state(row) == RowState::Empty
+                    && node_pred.eval(row)
+                    && !excluded_preds.iter().any(|p| p.eval(row))
+            })
+            .take(need as usize)
+            .collect()
+    };
+    let taken = candidates.len() as u64;
+    for row in candidates {
         p1.assign_partial(row, &combo, &ccs[node].r2)?;
         out.assigned_rows += 1;
-        taken += 1;
     }
     if taken < need {
         out.deficits += 1;

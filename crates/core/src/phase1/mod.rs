@@ -237,13 +237,29 @@ pub(crate) fn complete_leftovers(p1: &mut P1, ccs: &[CardinalityConstraint]) -> 
             mask
         })
         .collect();
+    // R1-side match mask per leftover row, computed in one typed pass
+    // *before* the mutation loop below. Sound because the loop writes only
+    // `R2`-side CC columns while these predicates read `R1` attributes.
+    let leftover: Vec<RowId> = p1.view.rows().filter(|&r| !p1.row_full(r)).collect();
+    let r1_masks: Vec<Vec<u64>> = {
+        let compiled: Vec<_> = bound_r1.iter().map(|b| b.compile(&p1.view)).collect();
+        leftover
+            .iter()
+            .map(|&row| {
+                let mut mask = vec![0u64; words];
+                for (ci, pred) in compiled.iter().enumerate() {
+                    if pred.eval(row) {
+                        mask[ci / 64] |= 1 << (ci % 64);
+                    }
+                }
+                mask
+            })
+            .collect()
+    };
     let mut invalid = Vec::new();
     let mut candidates: Vec<usize> = Vec::new();
     let mut row_mask = vec![0u64; words];
-    for row in 0..p1.view.n_rows() {
-        if p1.row_full(row) {
-            continue;
-        }
+    for (li, &row) in leftover.iter().enumerate() {
         let partial: Vec<Option<Value>> = p1
             .view_cc_ids
             .iter()
@@ -252,9 +268,9 @@ pub(crate) fn complete_leftovers(p1: &mut P1, ccs: &[CardinalityConstraint]) -> 
         // CCs that would gain a *new* contribution from this row: the R1
         // side holds and the partial assignment has not already pinned the
         // R2 side (Algorithm 2 counted pinned rows when it assigned them).
-        row_mask.iter_mut().for_each(|w| *w = 0);
+        row_mask.copy_from_slice(&r1_masks[li]);
         for (ci, cc) in ccs.iter().enumerate() {
-            if !bound_r1[ci].eval(&p1.view, row) {
+            if r1_masks[li][ci / 64] & (1 << (ci % 64)) == 0 {
                 continue;
             }
             let already = cc.r2.iter().all(|(col, set)| {
@@ -264,8 +280,8 @@ pub(crate) fn complete_leftovers(p1: &mut P1, ccs: &[CardinalityConstraint]) -> 
                     .and_then(|i| partial[i])
                     .is_some_and(|v| set.contains(v))
             });
-            if !already {
-                row_mask[ci / 64] |= 1 << (ci % 64);
+            if already {
+                row_mask[ci / 64] &= !(1 << (ci % 64));
             }
         }
         candidates.clear();

@@ -84,33 +84,67 @@ pub(crate) fn repair(
         return Ok(out);
     }
 
-    // Per row: which repair/protected CCs its R1 side matches, and its
-    // current combo index.
+    // Per-row R1 match bitmasks, computed once over typed column buffers:
+    // combo switches rewrite only `R2`-side CC columns, so a row's R1-side
+    // matches are stable across every pass.
+    let n_rows = p1.view.n_rows();
+    let rep_words = repair_ccs.len().div_ceil(64).max(1);
+    let prot_words = protected_ccs.len().div_ceil(64).max(1);
+    let mut rep_mask = vec![0u64; n_rows * rep_words];
+    let mut prot_mask = vec![0u64; n_rows * prot_words];
+    {
+        let compiled_repair: Vec<_> = bound_repair.iter().map(|b| b.compile(&p1.view)).collect();
+        let compiled_protected: Vec<_> = bound_protected
+            .iter()
+            .map(|b| b.compile(&p1.view))
+            .collect();
+        for row in 0..n_rows {
+            for (c, pred) in compiled_repair.iter().enumerate() {
+                if pred.eval(row) {
+                    rep_mask[row * rep_words + c / 64] |= 1 << (c % 64);
+                }
+            }
+            for (c, pred) in compiled_protected.iter().enumerate() {
+                if pred.eval(row) {
+                    prot_mask[row * prot_words + c / 64] |= 1 << (c % 64);
+                }
+            }
+        }
+    }
+    let prot_hit =
+        |row: RowId, c: usize| prot_mask[row * prot_words + c / 64] & (1 << (c % 64)) != 0;
+
+    // Current combo per row by hash lookup instead of a linear scan.
+    let combo_index: std::collections::HashMap<Vec<Value>, usize> = p1
+        .combos
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.clone(), i))
+        .collect();
     let current_combo = |p1: &P1, row: RowId| -> Option<usize> {
         let vals: Option<Vec<Value>> = p1
             .view_cc_ids
             .iter()
             .map(|&c| p1.view.get(row, c))
             .collect();
-        let vals = vals?;
-        p1.combos.iter().position(|c| *c == vals)
+        combo_index.get(&vals?).copied()
     };
 
     for _ in 0..passes {
         let mut improved = false;
-        for row in 0..p1.view.n_rows() {
+        for row in 0..n_rows {
             let Some(from) = current_combo(p1, row) else {
                 continue;
             };
             let r1_hits: Vec<usize> = (0..repair_ccs.len())
-                .filter(|&c| bound_repair[c].eval(&p1.view, row))
+                .filter(|&c| rep_mask[row * rep_words + c / 64] & (1 << (c % 64)) != 0)
                 .collect();
             if r1_hits.is_empty() {
                 continue;
             }
             // Never disturb a row feeding a protected CC.
             let protected = (0..protected_ccs.len())
-                .any(|c| combo_match_protected[from][c] && bound_protected[c].eval(&p1.view, row));
+                .any(|c| combo_match_protected[from][c] && prot_hit(row, c));
             if protected {
                 continue;
             }
@@ -122,7 +156,7 @@ pub(crate) fn repair(
                 }
                 // Switching must not start feeding a protected CC either.
                 if (0..protected_ccs.len())
-                    .any(|c| combo_match_protected[to][c] && bound_protected[c].eval(&p1.view, row))
+                    .any(|c| combo_match_protected[to][c] && prot_hit(row, c))
                 {
                     continue;
                 }

@@ -111,17 +111,17 @@ impl Phase2Ctx {
                     .require(&r2.schema().column(c).name, p1.view.name())
             })
             .collect::<std::result::Result<Vec<_>, _>>()?;
-        // Group R2 rows by combo.
+        // Group R2 rows by combo — one dictionary-code group-by instead of
+        // a boxed-Value key per row; rows with missing combo cells (keys
+        // containing `None`) are dropped, as before.
+        let grouped = cextend_table::marginals::group_rows(r2, &r2_cc_col_ids);
         let mut combo_rows: HashMap<Combo, Vec<usize>> = HashMap::new();
-        'rows: for r in r2.rows() {
-            let mut combo = Vec::with_capacity(r2_cc_col_ids.len());
-            for &c in &r2_cc_col_ids {
-                match r2.get(r, c) {
-                    Some(v) => combo.push(v),
-                    None => continue 'rows,
-                }
+        for (key, rows) in grouped.iter() {
+            if key.iter().any(Option::is_none) {
+                continue;
             }
-            combo_rows.entry(combo).or_default().push(r);
+            let combo: Combo = key.iter().map(|v| v.expect("checked")).collect();
+            combo_rows.insert(combo, rows.to_vec());
         }
         Ok(Phase2Ctx {
             view: p1.view.clone(),
@@ -200,7 +200,9 @@ impl Phase2Ctx {
         Ok(())
     }
 
-    /// The combo of a fully-assigned view row.
+    /// The combo of a fully-assigned view row (boxed, row-at-a-time; only
+    /// the `RandomAssignment` baseline uses it — the coloring path
+    /// partitions all rows at once via the dictionary-code group-by).
     fn row_combo(&self, row: RowId) -> Option<Combo> {
         let mut combo = Vec::with_capacity(self.view_cc_ids.len());
         for &c in &self.view_cc_ids {
@@ -233,27 +235,34 @@ pub(crate) fn run_phase2(
                 .collect::<Result<Vec<_>>>()?;
 
             // ---- Partition the valid rows by combo. ----------------------
+            // One dictionary-code group-by over the CC-referenced view
+            // columns (u128 keys, CSR row-id slices) replaces the old
+            // boxed-`Value` key per row; `GroupedRows` comes back key-sorted,
+            // which for fully-assigned rows is exactly the old
+            // `partitions.sort_by(combo)` order, so results stay
+            // bit-identical.
             let t = Instant::now();
-            let mut by_combo: HashMap<Combo, Vec<RowId>> = HashMap::new();
-            for row in ctx.view.rows() {
-                if invalid_set.contains(&row) {
+            let grouped = cextend_table::marginals::group_rows(&ctx.view, &ctx.view_cc_ids);
+            let mut partitions: Vec<(Combo, Vec<RowId>, usize)> = Vec::with_capacity(grouped.len());
+            for (key, rows) in grouped.iter() {
+                let rows: Vec<RowId> = rows
+                    .iter()
+                    .copied()
+                    .filter(|r| !invalid_set.contains(r))
+                    .collect();
+                if rows.is_empty() {
                     continue;
                 }
-                let combo = ctx.row_combo(row).ok_or_else(|| {
-                    CoreError::Validation(format!(
-                        "row {row} is neither fully assigned nor marked invalid"
-                    ))
-                })?;
-                by_combo.entry(combo).or_default().push(row);
+                if key.iter().any(Option::is_none) {
+                    return Err(CoreError::Validation(format!(
+                        "row {} is neither fully assigned nor marked invalid",
+                        rows[0]
+                    )));
+                }
+                let combo: Combo = key.iter().map(|v| v.expect("checked")).collect();
+                let n_cand = ctx.households_of_combo(&combo).len();
+                partitions.push((combo, rows, n_cand));
             }
-            let mut partitions: Vec<(Combo, Vec<RowId>, usize)> = by_combo
-                .into_iter()
-                .map(|(combo, rows)| {
-                    let n_cand = ctx.households_of_combo(&combo).len();
-                    (combo, rows, n_cand)
-                })
-                .collect();
-            partitions.sort_by(|a, b| a.0.cmp(&b.0));
             stats.counters.partitions = partitions.len();
             if std::env::var_os("CEXTEND_TRACE").is_some() {
                 eprintln!(

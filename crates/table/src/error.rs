@@ -36,6 +36,17 @@ pub enum TableError {
         /// Number of rows in the relation.
         len: usize,
     },
+    /// A bulk load froze with ragged columns (unequal lengths).
+    ColumnLengthMismatch {
+        /// Relation being built.
+        relation: String,
+        /// First column whose length disagrees.
+        column: String,
+        /// Length of the reference (first) column.
+        expected: usize,
+        /// Length of the offending column.
+        got: usize,
+    },
     /// Two column names collide in one schema.
     DuplicateColumn(String),
     /// A schema invariant was violated (e.g. no key column where one is required).
@@ -74,6 +85,15 @@ impl fmt::Display for TableError {
             TableError::RowOutOfBounds { row, len } => {
                 write!(f, "row index {row} out of bounds (relation has {len} rows)")
             }
+            TableError::ColumnLengthMismatch {
+                relation,
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "ragged bulk load of `{relation}`: column `{column}` has {got} rows, expected {expected}"
+            ),
             TableError::DuplicateColumn(name) => write!(f, "duplicate column `{name}`"),
             TableError::SchemaViolation(msg) => write!(f, "schema violation: {msg}"),
             TableError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),

@@ -8,9 +8,9 @@
 //! whole solver relies on.
 
 use crate::error::{Result, TableError};
-use crate::relation::{Relation, RowId};
+use crate::relation::{Relation, RelationBuilder, RowId};
 use crate::schema::{ColId, Role, Schema};
-use crate::value::Value;
+use crate::value::Dtype;
 use std::collections::HashMap;
 
 /// Column bookkeeping for a join view `V_join(K1, A1..Ap, B1..Bq)`.
@@ -63,27 +63,39 @@ pub fn join_schema(r1: &Schema, r2: &Schema) -> Result<(Schema, JoinLayout)> {
     ))
 }
 
+/// Copies column `src` of `from` wholesale into column `dst` of a bulk
+/// load — the columnar fast path (typed views, no boxed cells).
+fn append_column(b: &mut RelationBuilder, dst: ColId, from: &Relation, src: ColId) -> Result<()> {
+    if let Some(v) = from.int_view(src) {
+        let chunk: Vec<Option<i64>> = (0..v.len()).map(|r| v.get(r)).collect();
+        b.append_opt_ints(dst, &chunk)
+    } else {
+        let v = from.sym_view(src).expect("columns are int or sym");
+        let chunk: Vec<Option<crate::value::Sym>> = (0..v.len()).map(|r| v.get(r)).collect();
+        b.append_opt_syms(dst, &chunk)
+    }
+}
+
 /// Initializes `V_join` as a copy of `R1` (key + attributes, same row order)
 /// with every `R2`-originated column empty (Section 3.1, Example 3.1).
+/// Bulk-loads column by column through [`RelationBuilder`].
 pub fn init_join_view(r1: &Relation, r2: &Relation) -> Result<(Relation, JoinLayout)> {
     let (schema, layout) = join_schema(r1.schema(), r2.schema())?;
     let key = r1.schema().key_col().expect("validated by join_schema");
     let r1_attrs = r1.schema().attr_cols();
-    let width = schema.len();
-    let mut view = Relation::with_capacity(
+    let mut b = RelationBuilder::new(
         &format!("VJoin({}, {})", r1.name(), r2.name()),
         schema,
         r1.n_rows(),
     );
-    let mut row: Vec<Option<Value>> = vec![None; width];
-    for r in r1.rows() {
-        row.iter_mut().for_each(|c| *c = None);
-        row[layout.key_col] = r1.get(r, key);
-        for (vi, &ri) in layout.r1_attr_cols.iter().zip(r1_attrs.iter()) {
-            row[*vi] = r1.get(r, ri);
-        }
-        view.push_row(&row)?;
+    append_column(&mut b, layout.key_col, r1, key)?;
+    for (vi, &ri) in layout.r1_attr_cols.iter().zip(r1_attrs.iter()) {
+        append_column(&mut b, *vi, r1, ri)?;
     }
+    for &vi in &layout.r2_attr_cols {
+        b.append_missing(vi, r1.n_rows());
+    }
+    let view = b.freeze()?;
     Ok((view, layout))
 }
 
@@ -115,33 +127,62 @@ pub fn fk_join_on(r1: &Relation, r2: &Relation, fk_col: &str) -> Result<Relation
         .ok_or_else(|| TableError::SchemaViolation("R2 must have exactly one key column".into()))?;
     let key = r1.schema().key_col().expect("validated by join_schema");
     let r1_attrs = r1.schema().attr_cols();
-    let by_key: HashMap<Value, RowId> = r2
-        .rows()
-        .filter_map(|r| r2.get(r, k2).map(|v| (v, r)))
-        .collect();
-    let width = schema.len();
-    let mut out = Relation::with_capacity(
+
+    // Typed key probe: resolve each R1 row's FK to an R2 row id once, then
+    // gather every R2-side column through that match vector (no boxed
+    // `Value` per cell). A dtype mismatch between FK and K2 matches nothing,
+    // like the old `Value`-keyed map.
+    let matches: Vec<Option<RowId>> =
+        match (r1.schema().column(fk).dtype, r2.schema().column(k2).dtype) {
+            (Dtype::Int, Dtype::Int) => {
+                let fkv = r1.int_view(fk).expect("dtype checked");
+                let kv = r2.int_view(k2).expect("dtype checked");
+                let by_key: HashMap<i64, RowId> = (0..kv.len())
+                    .filter_map(|r| kv.get(r).map(|v| (v, r)))
+                    .collect();
+                (0..r1.n_rows())
+                    .map(|r| fkv.get(r).and_then(|v| by_key.get(&v).copied()))
+                    .collect()
+            }
+            (Dtype::Str, Dtype::Str) => {
+                let fkv = r1.sym_view(fk).expect("dtype checked");
+                let kv = r2.sym_view(k2).expect("dtype checked");
+                let by_key: HashMap<crate::value::Sym, RowId> = (0..kv.len())
+                    .filter_map(|r| kv.get(r).map(|v| (v, r)))
+                    .collect();
+                (0..r1.n_rows())
+                    .map(|r| fkv.get(r).and_then(|v| by_key.get(&v).copied()))
+                    .collect()
+            }
+            _ => vec![None; r1.n_rows()],
+        };
+
+    let mut b = RelationBuilder::new(
         &format!("Join({}, {})", r1.name(), r2.name()),
         schema,
         r1.n_rows(),
     );
-    let mut row: Vec<Option<Value>> = vec![None; width];
-    for r in r1.rows() {
-        row.iter_mut().for_each(|c| *c = None);
-        row[layout.key_col] = r1.get(r, key);
-        for (vi, &ri) in layout.r1_attr_cols.iter().zip(r1_attrs.iter()) {
-            row[*vi] = r1.get(r, ri);
-        }
-        if let Some(fk_val) = r1.get(r, fk) {
-            if let Some(&r2_row) = by_key.get(&fk_val) {
-                for (vi, &bi) in layout.r2_attr_cols.iter().zip(layout.r2_source_cols.iter()) {
-                    row[*vi] = r2.get(r2_row, bi);
-                }
-            }
-        }
-        out.push_row(&row)?;
+    append_column(&mut b, layout.key_col, r1, key)?;
+    for (vi, &ri) in layout.r1_attr_cols.iter().zip(r1_attrs.iter()) {
+        append_column(&mut b, *vi, r1, ri)?;
     }
-    Ok(out)
+    for (vi, &bi) in layout.r2_attr_cols.iter().zip(layout.r2_source_cols.iter()) {
+        if let Some(v) = r2.int_view(bi) {
+            let chunk: Vec<Option<i64>> = matches
+                .iter()
+                .map(|m| m.and_then(|r2_row| v.get(r2_row)))
+                .collect();
+            b.append_opt_ints(*vi, &chunk)?;
+        } else {
+            let v = r2.sym_view(bi).expect("columns are int or sym");
+            let chunk: Vec<Option<crate::value::Sym>> = matches
+                .iter()
+                .map(|m| m.and_then(|r2_row| v.get(r2_row)))
+                .collect();
+            b.append_opt_syms(*vi, &chunk)?;
+        }
+    }
+    b.freeze()
 }
 
 /// `true` if two relations have identical schemas (names, types, roles) and
@@ -155,10 +196,20 @@ pub fn relations_equal_ordered(a: &Relation, b: &Relation) -> bool {
             return false;
         }
     }
-    for r in a.rows() {
-        for c in 0..a.schema().len() {
-            if a.get(r, c) != b.get(r, c) {
-                return false;
+    // Column-at-a-time typed compare (schemas matched, so dtypes agree).
+    for c in 0..a.schema().len() {
+        match (a.int_view(c), b.int_view(c)) {
+            (Some(va), Some(vb)) => {
+                if (0..a.n_rows()).any(|r| va.get(r) != vb.get(r)) {
+                    return false;
+                }
+            }
+            _ => {
+                let va = a.sym_view(c).expect("columns are int or sym");
+                let vb = b.sym_view(c).expect("columns are int or sym");
+                if (0..a.n_rows()).any(|r| va.get(r) != vb.get(r)) {
+                    return false;
+                }
             }
         }
     }
@@ -169,7 +220,7 @@ pub fn relations_equal_ordered(a: &Relation, b: &Relation) -> bool {
 mod tests {
     use super::*;
     use crate::schema::ColumnDef;
-    use crate::value::Dtype;
+    use crate::value::{Dtype, Value};
 
     fn r1() -> Relation {
         let schema = Schema::new(vec![

@@ -11,12 +11,21 @@
 //! - [`Value`], [`Sym`], [`Dtype`] — `Copy` cell values with interned strings.
 //! - [`Schema`], [`ColumnDef`], [`Role`] — named, typed columns with
 //!   key / attribute / foreign-key roles.
-//! - [`Relation`] — column-major storage with per-cell presence.
+//! - [`Relation`] — columnar storage: dense int arrays and
+//!   dictionary-encoded categorical columns with validity bitmaps.
+//! - [`IntColumnView`], [`SymColumnView`] — **the primary read API**: typed
+//!   per-column views for every hot loop (boxed [`Value`] access via
+//!   [`Relation::get`] is for tests, CSV and debug output only).
+//! - [`RelationBuilder`] — bulk-load path: reserve → append columnar
+//!   chunks → freeze.
+//! - [`MemStats`] — peak-memory accounting (column buffers + process RSS
+//!   high-water mark).
 //! - [`Predicate`], [`Atom`], [`CmpOp`] — conjunctive selection conditions.
 //! - [`ValueSet`] — per-column value-set algebra backing the CC relationship
 //!   classification (Definitions 4.2–4.4 of the paper).
 //! - [`join`] — `V_join` initialization and real FK joins.
-//! - [`marginals`] — group-by counts used for marginal augmentation.
+//! - [`marginals`] — dictionary-code group-bys used for marginal
+//!   augmentation and Phase 2 partitioning.
 //! - [`csv`] — snapshot I/O.
 //!
 //! ```
@@ -40,6 +49,7 @@ pub mod csv;
 mod error;
 pub mod join;
 pub mod marginals;
+mod mem;
 mod predicate;
 mod relation;
 mod schema;
@@ -50,8 +60,13 @@ pub use error::{Result, TableError};
 pub use join::{
     fk_join, fk_join_on, init_join_view, join_schema, relations_equal_ordered, JoinLayout,
 };
-pub use predicate::{Atom, BoundAtom, BoundPredicate, CmpOp, Predicate};
-pub use relation::{ColumnData, IntColumnView, Relation, RowId, SymColumnView};
+pub use marginals::{GroupKey, GroupedRows};
+pub use mem::{peak_rss_bytes, MemStats};
+pub use predicate::{Atom, BoundAtom, BoundPredicate, CmpOp, CompiledPredicate, Predicate};
+pub use relation::{
+    ColumnData, IntColumn, IntColumnView, Relation, RelationBuilder, RowId, SymColumn,
+    SymColumnView,
+};
 pub use schema::{ColId, ColumnDef, Role, Schema};
 pub use value::{Dtype, Sym, Value};
 pub use valueset::ValueSet;

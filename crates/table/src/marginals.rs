@@ -4,6 +4,16 @@
 //! every combination of values of `R1`'s non-key columns (Section 4.1). This
 //! module provides the raw group-by machinery; interval binning lives in the
 //! constraints crate.
+//!
+//! The hot path works on **dictionary codes**, not boxed [`Value`]s:
+//! categorical columns already carry per-column `u32` codes (the columnar
+//! engine's dictionaries), integer columns are code-compressed in one hash
+//! pass, and each row's combined key is a mixed-radix `u128` — so grouping a
+//! million rows does one integer hash per row instead of allocating and
+//! hashing a `Vec<Option<Value>>` per row. Boxed group keys are only
+//! materialized once per *group* for the sorted, deterministic output. The
+//! straightforward boxed implementation is retained in [`naive`] as the
+//! differential oracle and A/B baseline.
 
 use crate::relation::{Relation, RowId};
 use crate::schema::ColId;
@@ -13,48 +23,309 @@ use std::collections::HashMap;
 /// A group key: one optional value per grouped column.
 pub type GroupKey = Vec<Option<Value>>;
 
+/// Row-id partitions per group, CSR-style: one shared `row_ids` buffer with
+/// per-group offsets, so a partition is a **slice** (`&[RowId]`) rather than
+/// an owned vector — the representation Phase 2 shards by.
+///
+/// Groups are sorted by [`GroupKey`] and rows within a group keep relation
+/// order, so iteration is deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct GroupedRows {
+    keys: Vec<GroupKey>,
+    offsets: Vec<usize>,
+    row_ids: Vec<RowId>,
+}
+
+impl GroupedRows {
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The key of group `g`.
+    pub fn key(&self, g: usize) -> &GroupKey {
+        &self.keys[g]
+    }
+
+    /// The row ids of group `g`, in relation order.
+    pub fn rows(&self, g: usize) -> &[RowId] {
+        &self.row_ids[self.offsets[g]..self.offsets[g + 1]]
+    }
+
+    /// Iterates `(key, rows)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&GroupKey, &[RowId])> {
+        (0..self.len()).map(|g| (self.key(g), self.rows(g)))
+    }
+}
+
+/// One grouped column, code-compressed: `codes[row]` ∈ `0..card`, where
+/// code 0 is "missing" and `decode[code]` recovers the boxed value.
+struct ColCodes {
+    codes: Vec<u32>,
+    decode: Vec<Option<Value>>,
+}
+
+fn encode_column(rel: &Relation, col: ColId) -> ColCodes {
+    if let Some(sv) = rel.sym_view(col) {
+        // Categorical: the column dictionary is the code table (shifted by
+        // one so 0 can mean missing).
+        let decode = std::iter::once(None)
+            .chain(sv.dict().iter().map(|&s| Some(Value::Str(s))))
+            .collect();
+        let codes = (0..sv.len())
+            .map(|r| sv.code(r).map_or(0, |c| c + 1))
+            .collect();
+        ColCodes { codes, decode }
+    } else {
+        let iv = rel.int_view(col).expect("columns are int or sym");
+        // Integer: build an insertion-ordered value→code dictionary in one
+        // pass (codes need not be sorted; output order comes from the final
+        // per-group key sort).
+        let mut index: HashMap<i64, u32> = HashMap::new();
+        let mut decode: Vec<Option<Value>> = vec![None];
+        let codes = (0..iv.len())
+            .map(|r| match iv.get(r) {
+                None => 0,
+                Some(x) => *index.entry(x).or_insert_with(|| {
+                    decode.push(Some(Value::Int(x)));
+                    (decode.len() - 1) as u32
+                }),
+            })
+            .collect();
+        ColCodes { codes, decode }
+    }
+}
+
+/// Assigns every row a dense group id over the combined codes of `cols`,
+/// in first-occurrence order. Returns the per-row group ids and, per group,
+/// the per-column codes of its representative row.
+///
+/// When `skip_missing` is set, rows with any missing grouped cell get the
+/// sentinel `u32::MAX` instead of a group id (the `distinct_combos`
+/// contract).
+fn assign_groups(
+    encoded: &[ColCodes],
+    n_rows: usize,
+    skip_missing: bool,
+) -> (Vec<u32>, Vec<Vec<u32>>) {
+    // Mixed-radix u128 fast path: with per-column cardinalities c_i, the
+    // combined key of a row is Σ code_i · Π_{j<i} c_j, unique iff the
+    // cardinality product fits. It essentially always does (it would take
+    // e.g. seven columns of a million distinct values each to overflow);
+    // the boxed-key fallback below keeps pathological schemas correct.
+    let mut strides: Vec<u128> = Vec::with_capacity(encoded.len());
+    let mut product: u128 = 1;
+    let mut fits = true;
+    for col in encoded {
+        strides.push(product);
+        match product.checked_mul(col.decode.len() as u128) {
+            Some(p) => product = p,
+            None => {
+                fits = false;
+                break;
+            }
+        }
+    }
+
+    let mut gids: Vec<u32> = Vec::with_capacity(n_rows);
+    let mut reps: Vec<Vec<u32>> = Vec::new();
+    if fits {
+        let mut seen: HashMap<u128, u32> = HashMap::new();
+        for r in 0..n_rows {
+            let mut key: u128 = 0;
+            let mut missing = false;
+            for (col, stride) in encoded.iter().zip(&strides) {
+                let c = col.codes[r];
+                missing |= c == 0;
+                key += u128::from(c) * stride;
+            }
+            if skip_missing && missing {
+                gids.push(u32::MAX);
+                continue;
+            }
+            let next = reps.len() as u32;
+            let gid = *seen.entry(key).or_insert_with(|| {
+                reps.push(encoded.iter().map(|col| col.codes[r]).collect());
+                next
+            });
+            gids.push(gid);
+        }
+    } else {
+        let mut seen: HashMap<Vec<u32>, u32> = HashMap::new();
+        for r in 0..n_rows {
+            let key: Vec<u32> = encoded.iter().map(|col| col.codes[r]).collect();
+            if skip_missing && key.contains(&0) {
+                gids.push(u32::MAX);
+                continue;
+            }
+            let next = reps.len() as u32;
+            let gid = *seen.entry(key.clone()).or_insert_with(|| {
+                reps.push(key);
+                next
+            });
+            gids.push(gid);
+        }
+    }
+    (gids, reps)
+}
+
+fn decode_key(encoded: &[ColCodes], rep: &[u32]) -> GroupKey {
+    encoded
+        .iter()
+        .zip(rep)
+        .map(|(col, &c)| col.decode[c as usize])
+        .collect()
+}
+
+/// Sorted group order: indices into `reps` ordered by decoded key. The
+/// decoded keys are returned alongside so callers don't re-decode.
+fn sorted_groups(encoded: &[ColCodes], reps: &[Vec<u32>]) -> (Vec<u32>, Vec<GroupKey>) {
+    let mut keys: Vec<GroupKey> = reps.iter().map(|rep| decode_key(encoded, rep)).collect();
+    let mut order: Vec<u32> = (0..reps.len() as u32).collect();
+    order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+    let mut sorted_keys = Vec::with_capacity(keys.len());
+    for &g in &order {
+        sorted_keys.push(std::mem::take(&mut keys[g as usize]));
+    }
+    (order, sorted_keys)
+}
+
 /// Counts rows per combination of values in `cols`. Missing cells group
 /// under `None`. Results are sorted by key for determinism.
 pub fn group_counts(rel: &Relation, cols: &[ColId]) -> Vec<(GroupKey, u64)> {
-    let mut map: HashMap<GroupKey, u64> = HashMap::new();
-    for r in rel.rows() {
-        let key: GroupKey = cols.iter().map(|&c| rel.get(r, c)).collect();
-        *map.entry(key).or_insert(0) += 1;
+    if rel.n_rows() == 0 {
+        return Vec::new();
     }
-    let mut out: Vec<(GroupKey, u64)> = map.into_iter().collect();
-    out.sort();
-    out
+    let encoded: Vec<ColCodes> = cols.iter().map(|&c| encode_column(rel, c)).collect();
+    let (gids, reps) = assign_groups(&encoded, rel.n_rows(), false);
+    let mut counts = vec![0u64; reps.len()];
+    for &g in &gids {
+        counts[g as usize] += 1;
+    }
+    let (order, keys) = sorted_groups(&encoded, &reps);
+    keys.into_iter()
+        .zip(order.iter().map(|&g| counts[g as usize]))
+        .collect()
 }
 
-/// Collects the row ids per combination of values in `cols`.
-pub fn group_rows(rel: &Relation, cols: &[ColId]) -> Vec<(GroupKey, Vec<RowId>)> {
-    let mut map: HashMap<GroupKey, Vec<RowId>> = HashMap::new();
-    for r in rel.rows() {
-        let key: GroupKey = cols.iter().map(|&c| rel.get(r, c)).collect();
-        map.entry(key).or_default().push(r);
+/// Partitions the row ids by combination of values in `cols` (see
+/// [`GroupedRows`]): one shared buffer, per-group slices.
+pub fn group_rows(rel: &Relation, cols: &[ColId]) -> GroupedRows {
+    if rel.n_rows() == 0 {
+        return GroupedRows::default();
     }
-    let mut out: Vec<(GroupKey, Vec<RowId>)> = map.into_iter().collect();
-    out.sort();
-    out
+    let encoded: Vec<ColCodes> = cols.iter().map(|&c| encode_column(rel, c)).collect();
+    let (gids, reps) = assign_groups(&encoded, rel.n_rows(), false);
+    let (order, keys) = sorted_groups(&encoded, &reps);
+    // Invert: slot_of[gid] = position of the group in sorted order.
+    let mut slot_of = vec![0u32; reps.len()];
+    for (slot, &g) in order.iter().enumerate() {
+        slot_of[g as usize] = slot as u32;
+    }
+    let mut counts = vec![0usize; reps.len()];
+    for &g in &gids {
+        counts[slot_of[g as usize] as usize] += 1;
+    }
+    let mut offsets = Vec::with_capacity(reps.len() + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &c in &counts {
+        acc += c;
+        offsets.push(acc);
+    }
+    // Counting sort keeps rows in relation order within each group.
+    let mut cursor = offsets[..reps.len()].to_vec();
+    let mut row_ids = vec![0 as RowId; gids.len()];
+    for (r, &g) in gids.iter().enumerate() {
+        let slot = slot_of[g as usize] as usize;
+        row_ids[cursor[slot]] = r;
+        cursor[slot] += 1;
+    }
+    GroupedRows {
+        keys,
+        offsets,
+        row_ids,
+    }
 }
 
 /// Distinct fully-present combinations of `cols`, with multiplicity.
 /// Rows with any missing cell among `cols` are skipped.
 pub fn distinct_combos(rel: &Relation, cols: &[ColId]) -> Vec<(Vec<Value>, u64)> {
-    let mut map: HashMap<Vec<Value>, u64> = HashMap::new();
-    'rows: for r in rel.rows() {
-        let mut key = Vec::with_capacity(cols.len());
-        for &c in cols {
-            match rel.get(r, c) {
-                Some(v) => key.push(v),
-                None => continue 'rows,
-            }
-        }
-        *map.entry(key).or_insert(0) += 1;
+    if rel.n_rows() == 0 {
+        return Vec::new();
     }
-    let mut out: Vec<(Vec<Value>, u64)> = map.into_iter().collect();
-    out.sort();
-    out
+    let encoded: Vec<ColCodes> = cols.iter().map(|&c| encode_column(rel, c)).collect();
+    let (gids, reps) = assign_groups(&encoded, rel.n_rows(), true);
+    let mut counts = vec![0u64; reps.len()];
+    for &g in &gids {
+        if g != u32::MAX {
+            counts[g as usize] += 1;
+        }
+    }
+    let (order, keys) = sorted_groups(&encoded, &reps);
+    keys.into_iter()
+        .map(|key| {
+            key.into_iter()
+                .map(|v| v.expect("missing skipped"))
+                .collect()
+        })
+        .zip(order.iter().map(|&g| counts[g as usize]))
+        .collect()
+}
+
+/// The pre-v2 boxed-key implementations, retained as the differential
+/// oracle (proptested against the code path) and the A/B baseline the
+/// `marginals` criterion bench measures speedups against.
+pub mod naive {
+    use super::*;
+
+    /// Boxed-key [`group_counts`](super::group_counts).
+    pub fn group_counts(rel: &Relation, cols: &[ColId]) -> Vec<(GroupKey, u64)> {
+        let mut map: HashMap<GroupKey, u64> = HashMap::new();
+        for r in rel.rows() {
+            let key: GroupKey = cols.iter().map(|&c| rel.get(r, c)).collect();
+            *map.entry(key).or_insert(0) += 1;
+        }
+        let mut out: Vec<(GroupKey, u64)> = map.into_iter().collect();
+        out.sort();
+        out
+    }
+
+    /// Boxed-key [`group_rows`](super::group_rows), materializing owned
+    /// per-group vectors.
+    pub fn group_rows(rel: &Relation, cols: &[ColId]) -> Vec<(GroupKey, Vec<RowId>)> {
+        let mut map: HashMap<GroupKey, Vec<RowId>> = HashMap::new();
+        for r in rel.rows() {
+            let key: GroupKey = cols.iter().map(|&c| rel.get(r, c)).collect();
+            map.entry(key).or_default().push(r);
+        }
+        let mut out: Vec<(GroupKey, Vec<RowId>)> = map.into_iter().collect();
+        out.sort();
+        out
+    }
+
+    /// Boxed-key [`distinct_combos`](super::distinct_combos).
+    pub fn distinct_combos(rel: &Relation, cols: &[ColId]) -> Vec<(Vec<Value>, u64)> {
+        let mut map: HashMap<Vec<Value>, u64> = HashMap::new();
+        'rows: for r in rel.rows() {
+            let mut key = Vec::with_capacity(cols.len());
+            for &c in cols {
+                match rel.get(r, c) {
+                    Some(v) => key.push(v),
+                    None => continue 'rows,
+                }
+            }
+            *map.entry(key).or_insert(0) += 1;
+        }
+        let mut out: Vec<(Vec<Value>, u64)> = map.into_iter().collect();
+        out.sort();
+        out
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +380,18 @@ mod tests {
     }
 
     #[test]
+    fn group_rows_slices_keep_relation_order() {
+        let r = rel();
+        let g = group_rows(&r, &[0]);
+        assert_eq!(g.len(), 2);
+        // Keys sorted: Owner < Spouse; rows ascending within each slice.
+        assert_eq!(g.key(0), &vec![Some(Value::str("Owner"))]);
+        assert_eq!(g.rows(0), &[0, 1, 2]);
+        assert_eq!(g.key(1), &vec![Some(Value::str("Spouse"))]);
+        assert_eq!(g.rows(1), &[3, 4]);
+    }
+
+    #[test]
     fn distinct_combos_skips_missing() {
         let r = rel();
         let c = distinct_combos(&r, &[0, 1]);
@@ -123,5 +406,54 @@ mod tests {
         let g = group_counts(&r, &[]);
         assert_eq!(g.len(), 1);
         assert_eq!(g[0].1, 5);
+    }
+
+    #[test]
+    fn empty_relation_yields_no_groups() {
+        let schema = Schema::new(vec![ColumnDef::attr("x", Dtype::Int)]).unwrap();
+        let r = Relation::new("t", schema);
+        assert!(group_counts(&r, &[0]).is_empty());
+        assert!(group_rows(&r, &[0]).is_empty());
+        assert!(distinct_combos(&r, &[0]).is_empty());
+    }
+
+    #[test]
+    fn coded_path_matches_naive_oracle() {
+        let r = rel();
+        for cols in [vec![], vec![0], vec![1], vec![0, 1], vec![1, 0]] {
+            assert_eq!(group_counts(&r, &cols), naive::group_counts(&r, &cols));
+            assert_eq!(
+                distinct_combos(&r, &cols),
+                naive::distinct_combos(&r, &cols)
+            );
+            let coded = group_rows(&r, &cols);
+            let boxed = naive::group_rows(&r, &cols);
+            assert_eq!(coded.len(), boxed.len());
+            for (g, (key, rows)) in boxed.iter().enumerate() {
+                assert_eq!(coded.key(g), key);
+                assert_eq!(coded.rows(g), rows.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn int_columns_group_by_value_not_code_order() {
+        // Values inserted in non-sorted order must still produce key-sorted
+        // output (codes are insertion-ordered; the sort is on decoded keys).
+        let schema = Schema::new(vec![ColumnDef::attr("x", Dtype::Int)]).unwrap();
+        let mut r = Relation::new("t", schema);
+        for x in [30, 10, 20, 10, 30] {
+            r.push_full_row(&[Value::Int(x)]).unwrap();
+        }
+        let g = group_counts(&r, &[0]);
+        let keys: Vec<_> = g.iter().map(|(k, _)| k[0]).collect();
+        assert_eq!(
+            keys,
+            vec![
+                Some(Value::Int(10)),
+                Some(Value::Int(20)),
+                Some(Value::Int(30))
+            ]
+        );
     }
 }

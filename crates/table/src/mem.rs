@@ -1,0 +1,85 @@
+//! Peak-memory accounting for paper-scale runs.
+//!
+//! The `experiments -- scale` driver commits wall time *and* memory for
+//! million-tuple solves, so regressions in the columnar layout show up in
+//! `perf-check` like wall-time regressions do. Two complementary numbers:
+//!
+//! - [`Relation::heap_bytes`](crate::Relation::heap_bytes), summed over the
+//!   relations a caller hands to [`MemStats::capture`] — the engine's own
+//!   accounting of its column buffers, platform-independent.
+//! - [`peak_rss_bytes`] — the process high-water mark (`VmHWM` from
+//!   `/proc/self/status`), which also sees transient allocations (conflict
+//!   CSR buffers, ILP tableaus). Linux-only; `None` elsewhere.
+
+use crate::relation::Relation;
+
+/// A point-in-time memory snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Summed [`Relation::heap_bytes`] of the captured relations.
+    pub relation_heap_bytes: usize,
+    /// Process peak RSS in bytes, when the platform exposes it.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+impl MemStats {
+    /// Captures the column-buffer footprint of `rels` plus the process
+    /// peak RSS.
+    pub fn capture<'a>(rels: impl IntoIterator<Item = &'a Relation>) -> MemStats {
+        MemStats {
+            relation_heap_bytes: rels.into_iter().map(Relation::heap_bytes).sum(),
+            peak_rss_bytes: peak_rss_bytes(),
+        }
+    }
+}
+
+/// The process's peak resident set size in bytes (`VmHWM`), or `None` when
+/// the platform doesn't expose it.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vmhwm(&status)
+}
+
+/// Parses the `VmHWM:` line of a `/proc/<pid>/status` document (kB units).
+fn parse_vmhwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, Schema};
+    use crate::value::{Dtype, Value};
+
+    #[test]
+    fn parse_vmhwm_reads_kb() {
+        let doc = "Name:\tx\nVmPeak:\t  999 kB\nVmHWM:\t  1234 kB\nThreads:\t1\n";
+        assert_eq!(parse_vmhwm(doc), Some(1234 * 1024));
+        assert_eq!(parse_vmhwm("Name:\tx\n"), None);
+    }
+
+    #[test]
+    fn capture_sums_relation_buffers() {
+        let schema = Schema::new(vec![ColumnDef::attr("x", Dtype::Int)]).unwrap();
+        let mut r = Relation::new("t", schema);
+        for i in 0..100 {
+            r.push_full_row(&[Value::Int(i)]).unwrap();
+        }
+        let stats = MemStats::capture([&r]);
+        assert_eq!(stats.relation_heap_bytes, r.heap_bytes());
+        assert!(stats.relation_heap_bytes >= 800);
+        // On Linux (the CI and dev platform) the high-water mark is present
+        // and at least as large as one small relation.
+        if let Some(rss) = stats.peak_rss_bytes {
+            assert!(rss as usize > stats.relation_heap_bytes);
+        }
+    }
+}

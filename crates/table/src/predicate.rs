@@ -8,9 +8,9 @@
 //! evaluation.
 
 use crate::error::Result;
-use crate::relation::{Relation, RowId};
+use crate::relation::{IntColumnView, Relation, RowId, SymColumnView};
 use crate::schema::{ColId, Schema};
-use crate::value::Value;
+use crate::value::{Dtype, Sym, Value};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -199,14 +199,14 @@ impl Predicate {
 
     /// Counts the rows of `rel` satisfying this predicate.
     pub fn count(&self, rel: &Relation) -> Result<u64> {
-        let bound = self.bind(rel.schema(), rel.name())?;
-        Ok(rel.rows().filter(|&r| bound.eval(rel, r)).count() as u64)
+        let compiled = self.bind(rel.schema(), rel.name())?.compile(rel);
+        Ok(rel.rows().filter(|&r| compiled.eval(r)).count() as u64)
     }
 
     /// Collects the rows of `rel` satisfying this predicate.
     pub fn select(&self, rel: &Relation) -> Result<Vec<RowId>> {
-        let bound = self.bind(rel.schema(), rel.name())?;
-        Ok(rel.rows().filter(|&r| bound.eval(rel, r)).collect())
+        let compiled = self.bind(rel.schema(), rel.name())?.compile(rel);
+        Ok(rel.rows().filter(|&r| compiled.eval(r)).collect())
     }
 
     /// Conjunction of two predicates.
@@ -264,6 +264,9 @@ pub struct BoundPredicate {
 
 impl BoundPredicate {
     /// Evaluates against a row. Missing cells never satisfy an atom.
+    ///
+    /// One-off convenience; scans that visit many rows should
+    /// [`compile`](BoundPredicate::compile) against the relation first.
     #[inline]
     pub fn eval(&self, rel: &Relation, row: RowId) -> bool {
         self.atoms.iter().all(|a| match *a {
@@ -275,6 +278,107 @@ impl BoundPredicate {
                 Some(v) => lo <= v && v <= hi,
                 None => false,
             },
+        })
+    }
+
+    /// Specializes the predicate against `rel`'s columns: each atom grabs a
+    /// typed column view once, so per-row evaluation touches raw `i64` /
+    /// dictionary-code buffers instead of boxing a [`Value`] per cell.
+    ///
+    /// Atoms whose constant type disagrees with the column dtype (or range
+    /// atoms on categorical columns) compile to an always-false atom, matching
+    /// [`CmpOp::eval`]'s mismatch semantics.
+    pub fn compile<'a>(&self, rel: &'a Relation) -> CompiledPredicate<'a> {
+        let atoms = self
+            .atoms
+            .iter()
+            .map(|a| match *a {
+                BoundAtom::Cmp { col, op, value } => {
+                    match (rel.schema().column(col).dtype, value) {
+                        (Dtype::Int, Value::Int(v)) => CompiledAtom::IntCmp {
+                            view: rel.int_view(col).expect("dtype checked"),
+                            op,
+                            value: v,
+                        },
+                        (Dtype::Str, Value::Str(s)) => CompiledAtom::SymCmp {
+                            view: rel.sym_view(col).expect("dtype checked"),
+                            op,
+                            value: s,
+                        },
+                        _ => CompiledAtom::Never,
+                    }
+                }
+                BoundAtom::InRange { col, lo, hi } => match rel.schema().column(col).dtype {
+                    Dtype::Int => CompiledAtom::IntRange {
+                        view: rel.int_view(col).expect("dtype checked"),
+                        lo,
+                        hi,
+                    },
+                    Dtype::Str => CompiledAtom::Never,
+                },
+            })
+            .collect();
+        CompiledPredicate { atoms }
+    }
+}
+
+/// A [`BoundAtom`] specialized to a typed column view of one relation.
+enum CompiledAtom<'a> {
+    /// `col ◦ value` on an integer column.
+    IntCmp {
+        view: IntColumnView<'a>,
+        op: CmpOp,
+        value: i64,
+    },
+    /// `col ◦ value` on a categorical column.
+    SymCmp {
+        view: SymColumnView<'a>,
+        op: CmpOp,
+        value: Sym,
+    },
+    /// `col ∈ [lo, hi]` on an integer column.
+    IntRange {
+        view: IntColumnView<'a>,
+        lo: i64,
+        hi: i64,
+    },
+    /// Constant/dtype mismatch: satisfied by no row.
+    Never,
+}
+
+/// A predicate specialized against one relation's column buffers; see
+/// [`BoundPredicate::compile`]. Holds column views, so the relation cannot
+/// be mutated while a compiled predicate is live.
+pub struct CompiledPredicate<'a> {
+    atoms: Vec<CompiledAtom<'a>>,
+}
+
+impl CompiledPredicate<'_> {
+    /// Evaluates against a row. Missing cells never satisfy an atom.
+    #[inline]
+    pub fn eval(&self, row: RowId) -> bool {
+        self.atoms.iter().all(|a| match *a {
+            CompiledAtom::IntCmp {
+                ref view,
+                op,
+                value,
+            } => match view.get(row) {
+                Some(v) => op.test(v.cmp(&value)),
+                None => false,
+            },
+            CompiledAtom::SymCmp {
+                ref view,
+                op,
+                value,
+            } => match view.get(row) {
+                Some(s) => op.test(s.cmp(&value)),
+                None => false,
+            },
+            CompiledAtom::IntRange { ref view, lo, hi } => match view.get(row) {
+                Some(v) => lo <= v && v <= hi,
+                None => false,
+            },
+            CompiledAtom::Never => false,
         })
     }
 }
@@ -349,6 +453,37 @@ mod tests {
         // Ne on a missing cell is also false: missing means "no value", not "any value".
         let p = Predicate::new(vec![Atom::cmp("x", CmpOp::Ne, 0)]);
         assert_eq!(p.count(&r).unwrap(), 0);
+    }
+
+    #[test]
+    fn compiled_predicate_matches_rowwise_eval() {
+        let mut r = rel();
+        // A missing cell, so the validity path is exercised too.
+        r.push_row(&[None, Some(Value::str("Owner"))]).unwrap();
+        let preds = [
+            Predicate::new(vec![
+                Atom::eq("Rel", "Owner"),
+                Atom::cmp("Age", CmpOp::Gt, 20),
+            ]),
+            Predicate::new(vec![Atom::in_range("Age", 10, 30)]),
+            // Dtype mismatches: int constant on a str column and vice versa,
+            // plus a range atom on a str column — all always-false.
+            Predicate::new(vec![Atom::eq("Rel", 3i64)]),
+            Predicate::new(vec![Atom::eq("Age", "Owner")]),
+            Predicate::new(vec![Atom::in_range("Rel", 0, 9)]),
+            Predicate::always(),
+        ];
+        for p in preds {
+            let bound = p.bind(r.schema(), r.name()).unwrap();
+            let compiled = bound.compile(&r);
+            for row in r.rows() {
+                assert_eq!(
+                    compiled.eval(row),
+                    bound.eval(&r, row),
+                    "predicate {p} disagrees on row {row}"
+                );
+            }
+        }
     }
 
     #[test]

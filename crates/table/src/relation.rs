@@ -3,61 +3,226 @@
 //! The C-Extension problem works on relations where an entire column can be
 //! missing (the foreign key of `R1`, or the `B` columns of the join view
 //! before Phase I completes them), and cells are filled in incrementally.
-//! Storage is column-major with per-cell presence: `Vec<Option<i64>>` /
-//! `Vec<Option<Sym>>`.
+//!
+//! Storage is genuinely columnar (the v2 engine): integer columns are dense
+//! `Vec<i64>` arrays paired with a validity bitmap (one bit per row, 64 rows
+//! per block), and categorical columns are dictionary-encoded — a dense
+//! `Vec<u32>` of per-column codes plus a per-column dictionary mapping codes
+//! to interned [`Sym`]s. Missing cells cost one cleared validity bit instead
+//! of an `Option` discriminant per cell, and hot loops read through
+//! [`IntColumnView`]/[`SymColumnView`] without constructing a boxed
+//! [`Value`] per access. Bulk loads go through [`RelationBuilder`]
+//! (reserve → append columnar chunks → freeze).
 
 use crate::error::{Result, TableError};
 use crate::schema::{ColId, Schema};
 use crate::value::{Dtype, Sym, Value};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Index of a row within a relation.
 pub type RowId = usize;
 
+/// Reads one presence bit out of a validity bitmap.
+#[inline]
+fn bit_get(blocks: &[u64], row: usize) -> bool {
+    (blocks[row >> 6] >> (row & 63)) & 1 == 1
+}
+
+/// Writes one presence bit.
+#[inline]
+fn bit_set(blocks: &mut [u64], row: usize, present: bool) {
+    let mask = 1u64 << (row & 63);
+    if present {
+        blocks[row >> 6] |= mask;
+    } else {
+        blocks[row >> 6] &= !mask;
+    }
+}
+
+/// Appends one presence bit for row `len` (the length before the push),
+/// growing the block vector when the row crosses into a new block.
+#[inline]
+fn bit_push(blocks: &mut Vec<u64>, len: usize, present: bool) {
+    if len & 63 == 0 {
+        blocks.push(0);
+    }
+    if present {
+        *blocks.last_mut().expect("block pushed above") |= 1u64 << (len & 63);
+    }
+}
+
+/// Number of present rows among the first `len` (counts set bits with a
+/// masked tail block).
+fn bit_count(blocks: &[u64], len: usize) -> usize {
+    let full = len >> 6;
+    let mut n: usize = blocks[..full].iter().map(|b| b.count_ones() as usize).sum();
+    if len & 63 != 0 {
+        n += (blocks[full] & ((1u64 << (len & 63)) - 1)).count_ones() as usize;
+    }
+    n
+}
+
+/// A dense integer column: values plus a validity bitmap. The value slot of
+/// a missing row holds an unspecified placeholder and must not be read.
+#[derive(Clone, Debug, Default)]
+pub struct IntColumn {
+    data: Vec<i64>,
+    validity: Vec<u64>,
+}
+
+impl IntColumn {
+    fn with_capacity(cap: usize) -> IntColumn {
+        IntColumn {
+            data: Vec::with_capacity(cap),
+            validity: Vec::with_capacity(cap.div_ceil(64)),
+        }
+    }
+
+    #[inline]
+    fn get(&self, row: RowId) -> Option<i64> {
+        let v = self.data[row];
+        if bit_get(&self.validity, row) {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, value: Option<i64>) {
+        bit_push(&mut self.validity, self.data.len(), value.is_some());
+        self.data.push(value.unwrap_or(0));
+    }
+
+    #[inline]
+    fn set(&mut self, row: RowId, value: Option<i64>) {
+        if let Some(x) = value {
+            self.data[row] = x;
+        }
+        bit_set(&mut self.validity, row, value.is_some());
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<i64>()
+            + self.validity.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// A dictionary-encoded categorical column: dense `u32` codes plus the
+/// per-column dictionary (code → [`Sym`], insertion-ordered) and its reverse
+/// index. The code slot of a missing row holds an unspecified placeholder.
+#[derive(Clone, Debug, Default)]
+pub struct SymColumn {
+    codes: Vec<u32>,
+    validity: Vec<u64>,
+    dict: Vec<Sym>,
+    index: HashMap<Sym, u32>,
+}
+
+impl SymColumn {
+    fn with_capacity(cap: usize) -> SymColumn {
+        SymColumn {
+            codes: Vec::with_capacity(cap),
+            validity: Vec::with_capacity(cap.div_ceil(64)),
+            dict: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The code for `sym`, inserting it into the dictionary if new.
+    #[inline]
+    fn code_for(&mut self, sym: Sym) -> u32 {
+        if let Some(&c) = self.index.get(&sym) {
+            return c;
+        }
+        let c = u32::try_from(self.dict.len()).expect("dictionary exceeds u32 codes");
+        self.dict.push(sym);
+        self.index.insert(sym, c);
+        c
+    }
+
+    #[inline]
+    fn get(&self, row: RowId) -> Option<Sym> {
+        let c = self.codes[row];
+        if bit_get(&self.validity, row) {
+            Some(self.dict[c as usize])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, value: Option<Sym>) {
+        bit_push(&mut self.validity, self.codes.len(), value.is_some());
+        match value {
+            Some(s) => {
+                let c = self.code_for(s);
+                self.codes.push(c);
+            }
+            None => self.codes.push(0),
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, row: RowId, value: Option<Sym>) {
+        if let Some(s) = value {
+            self.codes[row] = self.code_for(s);
+        }
+        bit_set(&mut self.validity, row, value.is_some());
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.codes.capacity() * std::mem::size_of::<u32>()
+            + self.validity.capacity() * std::mem::size_of::<u64>()
+            + self.dict.capacity() * std::mem::size_of::<Sym>()
+            + self.index.capacity() * (std::mem::size_of::<(Sym, u32)>() + 8)
+    }
+}
+
 /// One column of data. The variant always matches the schema's declared type.
 #[derive(Clone, Debug)]
 pub enum ColumnData {
     /// Integer column.
-    Int(Vec<Option<i64>>),
-    /// Categorical column.
-    Str(Vec<Option<Sym>>),
+    Int(IntColumn),
+    /// Categorical column (dictionary-encoded).
+    Str(SymColumn),
 }
 
 impl ColumnData {
     fn new(dtype: Dtype) -> ColumnData {
-        match dtype {
-            Dtype::Int => ColumnData::Int(Vec::new()),
-            Dtype::Str => ColumnData::Str(Vec::new()),
-        }
+        ColumnData::with_capacity(dtype, 0)
     }
 
     fn with_capacity(dtype: Dtype, cap: usize) -> ColumnData {
         match dtype {
-            Dtype::Int => ColumnData::Int(Vec::with_capacity(cap)),
-            Dtype::Str => ColumnData::Str(Vec::with_capacity(cap)),
+            Dtype::Int => ColumnData::Int(IntColumn::with_capacity(cap)),
+            Dtype::Str => ColumnData::Str(SymColumn::with_capacity(cap)),
         }
     }
 
     fn len(&self) -> usize {
         match self {
-            ColumnData::Int(v) => v.len(),
-            ColumnData::Str(v) => v.len(),
+            ColumnData::Int(c) => c.data.len(),
+            ColumnData::Str(c) => c.codes.len(),
         }
     }
 
     fn get(&self, row: RowId) -> Option<Value> {
         match self {
-            ColumnData::Int(v) => v[row].map(Value::Int),
-            ColumnData::Str(v) => v[row].map(Value::Str),
+            ColumnData::Int(c) => c.get(row).map(Value::Int),
+            ColumnData::Str(c) => c.get(row).map(Value::Str),
         }
     }
 
     fn push(&mut self, value: Option<Value>) -> std::result::Result<(), Dtype> {
         match (self, value) {
-            (ColumnData::Int(v), Some(Value::Int(x))) => v.push(Some(x)),
-            (ColumnData::Int(v), None) => v.push(None),
-            (ColumnData::Str(v), Some(Value::Str(s))) => v.push(Some(s)),
-            (ColumnData::Str(v), None) => v.push(None),
+            (ColumnData::Int(c), Some(Value::Int(x))) => c.push(Some(x)),
+            (ColumnData::Int(c), None) => c.push(None),
+            (ColumnData::Str(c), Some(Value::Str(s))) => c.push(Some(s)),
+            (ColumnData::Str(c), None) => c.push(None),
             (ColumnData::Int(_), Some(other)) | (ColumnData::Str(_), Some(other)) => {
                 return Err(other.dtype())
             }
@@ -67,25 +232,34 @@ impl ColumnData {
 
     fn set(&mut self, row: RowId, value: Option<Value>) -> std::result::Result<(), Dtype> {
         match (self, value) {
-            (ColumnData::Int(v), Some(Value::Int(x))) => v[row] = Some(x),
-            (ColumnData::Int(v), None) => v[row] = None,
-            (ColumnData::Str(v), Some(Value::Str(s))) => v[row] = Some(s),
-            (ColumnData::Str(v), None) => v[row] = None,
+            (ColumnData::Int(c), Some(Value::Int(x))) => c.set(row, Some(x)),
+            (ColumnData::Int(c), None) => c.set(row, None),
+            (ColumnData::Str(c), Some(Value::Str(s))) => c.set(row, Some(s)),
+            (ColumnData::Str(c), None) => c.set(row, None),
             (ColumnData::Int(_), Some(other)) | (ColumnData::Str(_), Some(other)) => {
                 return Err(other.dtype())
             }
         }
         Ok(())
     }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            ColumnData::Int(c) => c.heap_bytes(),
+            ColumnData::Str(c) => c.heap_bytes(),
+        }
+    }
 }
 
-/// A borrowed view of one integer column: hot loops (conflict-hypergraph
-/// enumeration, index building) read raw `Option<i64>` cells through a
-/// single slice without re-matching the column's dtype or constructing an
-/// `Option<Value>` per access.
+/// A borrowed view of one integer column — **the primary read API** for hot
+/// loops (conflict-hypergraph enumeration, index building, partitioning):
+/// dense values + validity bits through one slice pair, no `Option<Value>`
+/// construction per access.
 #[derive(Clone, Copy, Debug)]
 pub struct IntColumnView<'a> {
-    cells: &'a [Option<i64>],
+    data: &'a [i64],
+    validity: &'a [u64],
 }
 
 impl IntColumnView<'_> {
@@ -95,48 +269,92 @@ impl IntColumnView<'_> {
     /// Panics if `row` is out of bounds.
     #[inline]
     pub fn get(&self, row: RowId) -> Option<i64> {
-        self.cells[row]
+        let v = self.data[row];
+        if bit_get(self.validity, row) {
+            Some(v)
+        } else {
+            None
+        }
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.data.len()
     }
 
     /// `true` if the column has no rows.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.data.is_empty()
     }
 }
 
-/// A borrowed view of one categorical column (see [`IntColumnView`]).
+/// A borrowed view of one dictionary-encoded categorical column (see
+/// [`IntColumnView`]). Besides decoded [`Sym`] reads it exposes the raw
+/// `u32` codes and the per-column dictionary, which grouping and
+/// partitioning use to avoid re-hashing symbols per row.
 #[derive(Clone, Copy, Debug)]
 pub struct SymColumnView<'a> {
-    cells: &'a [Option<Sym>],
+    codes: &'a [u32],
+    validity: &'a [u64],
+    dict: &'a [Sym],
+    index: &'a HashMap<Sym, u32>,
 }
 
-impl SymColumnView<'_> {
+impl<'a> SymColumnView<'a> {
     /// Reads a cell; `None` means the cell is missing.
     ///
     /// # Panics
     /// Panics if `row` is out of bounds.
     #[inline]
     pub fn get(&self, row: RowId) -> Option<Sym> {
-        self.cells[row]
+        let c = self.codes[row];
+        if bit_get(self.validity, row) {
+            Some(self.dict[c as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Reads the raw dictionary code of a cell; `None` when missing.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    #[inline]
+    pub fn code(&self, row: RowId) -> Option<u32> {
+        let c = self.codes[row];
+        if bit_get(self.validity, row) {
+            Some(c)
+        } else {
+            None
+        }
+    }
+
+    /// The column's dictionary: `dict()[code]` is the symbol for `code`.
+    /// Codes are insertion-ordered, not sorted.
+    pub fn dict(&self) -> &'a [Sym] {
+        self.dict
+    }
+
+    /// The code `sym` is encoded as in this column, if it occurs at all —
+    /// the typed probe for equality filters (a miss means no row of this
+    /// column can ever equal `sym`).
+    #[inline]
+    pub fn code_of(&self, sym: Sym) -> Option<u32> {
+        self.index.get(&sym).copied()
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.codes.len()
     }
 
     /// `true` if the column has no rows.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.codes.is_empty()
     }
 }
 
-/// A named relation instance: a schema plus column-major data.
+/// A named relation instance: a schema plus columnar data.
 #[derive(Clone, Debug)]
 pub struct Relation {
     name: String,
@@ -237,30 +455,34 @@ impl Relation {
         self.push_row(&opts)
     }
 
-    /// Reads a cell; `None` means the cell is missing.
+    /// Reads a cell as a boxed [`Value`]; `None` means the cell is missing.
+    ///
+    /// **Cold path.** This is the convenience accessor for tests, CSV
+    /// snapshots and debug printing; solver hot loops must go through the
+    /// typed views ([`Relation::int_view`] / [`Relation::sym_view`]) or the
+    /// typed scalar reads ([`Relation::get_int`] / [`Relation::get_sym`]).
     ///
     /// # Panics
-    /// Panics if `row` or `col` is out of bounds (hot path; bounds were
-    /// validated when the ids were produced).
+    /// Panics if `row` or `col` is out of bounds.
     #[inline]
     pub fn get(&self, row: RowId, col: ColId) -> Option<Value> {
         self.cols[col].get(row)
     }
 
-    /// Reads an integer cell directly (hot path for predicate evaluation).
+    /// Reads an integer cell directly (typed hot path).
     #[inline]
     pub fn get_int(&self, row: RowId, col: ColId) -> Option<i64> {
         match &self.cols[col] {
-            ColumnData::Int(v) => v[row],
+            ColumnData::Int(c) => c.get(row),
             ColumnData::Str(_) => None,
         }
     }
 
-    /// Reads a categorical cell directly.
+    /// Reads a categorical cell directly (typed hot path).
     #[inline]
     pub fn get_sym(&self, row: RowId, col: ColId) -> Option<Sym> {
         match &self.cols[col] {
-            ColumnData::Str(v) => v[row],
+            ColumnData::Str(c) => c.get(row),
             ColumnData::Int(_) => None,
         }
     }
@@ -270,7 +492,10 @@ impl Relation {
     #[inline]
     pub fn int_view(&self, col: ColId) -> Option<IntColumnView<'_>> {
         match &self.cols[col] {
-            ColumnData::Int(v) => Some(IntColumnView { cells: v }),
+            ColumnData::Int(c) => Some(IntColumnView {
+                data: &c.data,
+                validity: &c.validity,
+            }),
             ColumnData::Str(_) => None,
         }
     }
@@ -280,7 +505,12 @@ impl Relation {
     #[inline]
     pub fn sym_view(&self, col: ColId) -> Option<SymColumnView<'_>> {
         match &self.cols[col] {
-            ColumnData::Str(v) => Some(SymColumnView { cells: v }),
+            ColumnData::Str(c) => Some(SymColumnView {
+                codes: &c.codes,
+                validity: &c.validity,
+                dict: &c.dict,
+                index: &c.index,
+            }),
             ColumnData::Int(_) => None,
         }
     }
@@ -303,30 +533,34 @@ impl Relation {
     }
 
     /// Blanks every cell of a column (e.g. erasing the FK column of `R1`).
+    /// O(rows/64): clears the validity bitmap, leaving data slots in place.
     pub fn clear_column(&mut self, col: ColId) {
         match &mut self.cols[col] {
-            ColumnData::Int(v) => v.iter_mut().for_each(|c| *c = None),
-            ColumnData::Str(v) => v.iter_mut().for_each(|c| *c = None),
+            ColumnData::Int(c) => c.validity.iter_mut().for_each(|b| *b = 0),
+            ColumnData::Str(c) => c.validity.iter_mut().for_each(|b| *b = 0),
         }
     }
 
     /// `true` if every cell of `col` is missing.
     pub fn column_is_missing(&self, col: ColId) -> bool {
-        match &self.cols[col] {
-            ColumnData::Int(v) => v.iter().all(Option::is_none),
-            ColumnData::Str(v) => v.iter().all(Option::is_none),
-        }
+        let validity = match &self.cols[col] {
+            ColumnData::Int(c) => &c.validity,
+            ColumnData::Str(c) => &c.validity,
+        };
+        bit_count(validity, self.n_rows) == 0
     }
 
     /// `true` if every cell of `col` is present.
     pub fn column_is_complete(&self, col: ColId) -> bool {
-        match &self.cols[col] {
-            ColumnData::Int(v) => v.iter().all(Option::is_some),
-            ColumnData::Str(v) => v.iter().all(Option::is_some),
-        }
+        let validity = match &self.cols[col] {
+            ColumnData::Int(c) => &c.validity,
+            ColumnData::Str(c) => &c.validity,
+        };
+        bit_count(validity, self.n_rows) == self.n_rows
     }
 
-    /// Materializes one row as a vector of optional values.
+    /// Materializes one row as a vector of optional values (cold path; see
+    /// [`Relation::get`]).
     pub fn row(&self, row: RowId) -> Vec<Option<Value>> {
         (0..self.schema.len()).map(|c| self.get(row, c)).collect()
     }
@@ -338,23 +572,45 @@ impl Relation {
 
     /// Distinct present values in a column, sorted.
     pub fn distinct_values(&self, col: ColId) -> Vec<Value> {
-        let mut vals: Vec<Value> = match &self.cols[col] {
-            ColumnData::Int(v) => v.iter().flatten().copied().map(Value::Int).collect(),
-            ColumnData::Str(v) => v.iter().flatten().copied().map(Value::Str).collect(),
-        };
-        vals.sort();
-        vals.dedup();
-        vals
+        match &self.cols[col] {
+            ColumnData::Int(c) => {
+                let mut vals: Vec<Value> = (0..self.n_rows)
+                    .filter_map(|r| c.get(r).map(Value::Int))
+                    .collect();
+                vals.sort();
+                vals.dedup();
+                vals
+            }
+            ColumnData::Str(c) => {
+                // Scan codes once; the dictionary may hold symbols no longer
+                // present (overwritten via `set`), so presence is per-row.
+                let mut used = vec![false; c.dict.len()];
+                for r in 0..self.n_rows {
+                    if bit_get(&c.validity, r) {
+                        used[c.codes[r] as usize] = true;
+                    }
+                }
+                let mut vals: Vec<Value> = c
+                    .dict
+                    .iter()
+                    .zip(&used)
+                    .filter(|(_, &u)| u)
+                    .map(|(&s, _)| Value::Str(s))
+                    .collect();
+                vals.sort();
+                vals
+            }
+        }
     }
 
     /// Minimum and maximum present values of an integer column.
     pub fn int_range(&self, col: ColId) -> Option<(i64, i64)> {
         match &self.cols[col] {
-            ColumnData::Int(v) => {
-                let mut it = v.iter().flatten();
-                let first = *it.next()?;
+            ColumnData::Int(c) => {
+                let mut it = (0..self.n_rows).filter_map(|r| c.get(r));
+                let first = it.next()?;
                 let (mut lo, mut hi) = (first, first);
-                for &x in it {
+                for x in it {
                     lo = lo.min(x);
                     hi = hi.max(x);
                 }
@@ -364,16 +620,23 @@ impl Relation {
         }
     }
 
-    /// Builds a lookup from key value to the rows holding it.
-    pub fn index_by(&self, col: ColId) -> std::collections::HashMap<Value, Vec<RowId>> {
-        let mut map: std::collections::HashMap<Value, Vec<RowId>> =
-            std::collections::HashMap::new();
+    /// Builds a lookup from key value to the rows holding it (cold path —
+    /// per-solve key indexes; hot partition indexes live in the conflict
+    /// builder).
+    pub fn index_by(&self, col: ColId) -> HashMap<Value, Vec<RowId>> {
+        let mut map: HashMap<Value, Vec<RowId>> = HashMap::new();
         for r in 0..self.n_rows {
             if let Some(v) = self.get(r, col) {
                 map.entry(v).or_default().push(r);
             }
         }
         map
+    }
+
+    /// Approximate heap footprint of the relation's column buffers, in
+    /// bytes (the [`MemStats`](crate::MemStats) accounting hook).
+    pub fn heap_bytes(&self) -> usize {
+        self.cols.iter().map(ColumnData::heap_bytes).sum()
     }
 }
 
@@ -399,6 +662,174 @@ impl fmt::Display for Relation {
             writeln!(f, "  … {} more rows", self.n_rows - shown)?;
         }
         Ok(())
+    }
+}
+
+/// Bulk-load path for the columnar engine: reserve once, append columnar
+/// chunks per column in any order, then [`freeze`](RelationBuilder::freeze)
+/// into a [`Relation`] — the load-then-index split (generators fill whole
+/// columns without materializing `&[Option<Value>]` rows, and per-column
+/// dictionaries build as data streams in).
+///
+/// Columns may grow independently between calls; `freeze` verifies they all
+/// reached the same length and rejects ragged loads.
+///
+/// ```
+/// use cextend_table::{ColumnDef, Dtype, RelationBuilder, Schema, Sym};
+///
+/// let schema = Schema::new(vec![
+///     ColumnDef::key("id", Dtype::Int),
+///     ColumnDef::attr("Area", Dtype::Str),
+/// ]).unwrap();
+/// let mut b = RelationBuilder::new("Housing", schema, 3);
+/// b.append_ints(0, &[1, 2, 3]).unwrap();
+/// b.append_syms(1, &[Sym::intern("NYC"), Sym::intern("NYC")]).unwrap();
+/// b.append_missing(1, 1);
+/// let rel = b.freeze().unwrap();
+/// assert_eq!(rel.n_rows(), 3);
+/// assert_eq!(rel.get_sym(2, 1), None);
+/// ```
+#[derive(Debug)]
+pub struct RelationBuilder {
+    name: String,
+    schema: Schema,
+    cols: Vec<ColumnData>,
+}
+
+impl RelationBuilder {
+    /// Starts a bulk load with `cap` rows reserved per column.
+    pub fn new(name: &str, schema: Schema, cap: usize) -> RelationBuilder {
+        let cols = schema
+            .columns()
+            .iter()
+            .map(|c| ColumnData::with_capacity(c.dtype, cap))
+            .collect();
+        RelationBuilder {
+            name: name.to_owned(),
+            schema,
+            cols,
+        }
+    }
+
+    /// The schema being loaded against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Rows appended to column `col` so far.
+    pub fn col_len(&self, col: ColId) -> usize {
+        self.cols[col].len()
+    }
+
+    fn type_err(&self, col: ColId, got: Dtype) -> TableError {
+        TableError::TypeMismatch {
+            column: self.schema.column(col).name.clone(),
+            expected: self.schema.column(col).dtype,
+            got,
+        }
+    }
+
+    /// Appends a chunk of present integers to column `col`.
+    pub fn append_ints(&mut self, col: ColId, chunk: &[i64]) -> Result<()> {
+        match &mut self.cols[col] {
+            ColumnData::Int(c) => {
+                for &x in chunk {
+                    c.push(Some(x));
+                }
+                Ok(())
+            }
+            ColumnData::Str(_) => Err(self.type_err(col, Dtype::Int)),
+        }
+    }
+
+    /// Appends a chunk of optional integers to column `col`.
+    pub fn append_opt_ints(&mut self, col: ColId, chunk: &[Option<i64>]) -> Result<()> {
+        match &mut self.cols[col] {
+            ColumnData::Int(c) => {
+                for &x in chunk {
+                    c.push(x);
+                }
+                Ok(())
+            }
+            ColumnData::Str(_) => Err(self.type_err(col, Dtype::Int)),
+        }
+    }
+
+    /// Appends a chunk of present symbols to column `col`.
+    pub fn append_syms(&mut self, col: ColId, chunk: &[Sym]) -> Result<()> {
+        match &mut self.cols[col] {
+            ColumnData::Str(c) => {
+                for &s in chunk {
+                    c.push(Some(s));
+                }
+                Ok(())
+            }
+            ColumnData::Int(_) => Err(self.type_err(col, Dtype::Str)),
+        }
+    }
+
+    /// Appends a chunk of optional symbols to column `col`.
+    pub fn append_opt_syms(&mut self, col: ColId, chunk: &[Option<Sym>]) -> Result<()> {
+        match &mut self.cols[col] {
+            ColumnData::Str(c) => {
+                for &s in chunk {
+                    c.push(s);
+                }
+                Ok(())
+            }
+            ColumnData::Int(_) => Err(self.type_err(col, Dtype::Str)),
+        }
+    }
+
+    /// Appends `n` missing cells to column `col` (e.g. the erased FK column
+    /// or the `R2`-side columns of a fresh join view).
+    pub fn append_missing(&mut self, col: ColId, n: usize) {
+        match &mut self.cols[col] {
+            ColumnData::Int(c) => {
+                for _ in 0..n {
+                    c.push(None);
+                }
+            }
+            ColumnData::Str(c) => {
+                for _ in 0..n {
+                    c.push(None);
+                }
+            }
+        }
+    }
+
+    /// Appends a chunk of optional boxed values (type-checked per cell) —
+    /// the generic adapter for callers that already hold `Value`s.
+    pub fn append_values(&mut self, col: ColId, chunk: &[Option<Value>]) -> Result<()> {
+        for &v in chunk {
+            if let Err(got) = self.cols[col].push(v) {
+                return Err(self.type_err(col, got));
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies all columns reached the same length and produces the
+    /// relation. Ragged loads are rejected with
+    /// [`TableError::ColumnLengthMismatch`].
+    pub fn freeze(self) -> Result<Relation> {
+        let n_rows = self.cols.first().map_or(0, ColumnData::len);
+        for (i, col) in self.cols.iter().enumerate() {
+            if col.len() != n_rows {
+                return Err(TableError::ColumnLengthMismatch {
+                    relation: self.name,
+                    column: self.schema.column(i).name.clone(),
+                    expected: n_rows,
+                    got: col.len(),
+                });
+            }
+        }
+        Ok(Relation {
+            name: self.name,
+            schema: self.schema,
+            cols: self.cols,
+            n_rows,
+        })
     }
 }
 
@@ -516,6 +947,18 @@ mod tests {
     }
 
     #[test]
+    fn distinct_values_ignores_stale_dictionary_entries() {
+        // Overwriting the only occurrence of a symbol leaves it in the
+        // column dictionary but out of the data; distinct_values must not
+        // report it.
+        let schema = Schema::new(vec![ColumnDef::attr("Rel", Dtype::Str)]).unwrap();
+        let mut r = Relation::new("t", schema);
+        r.push_full_row(&[Value::str("Gone")]).unwrap();
+        r.set(0, 0, Some(Value::str("Here"))).unwrap();
+        assert_eq!(r.distinct_values(0), vec![Value::str("Here")]);
+    }
+
+    #[test]
     fn index_by_groups_rows() {
         let mut r = small();
         r.set(0, 3, Some(Value::Int(5))).unwrap();
@@ -552,10 +995,248 @@ mod tests {
     }
 
     #[test]
+    fn sym_view_exposes_dictionary_codes() {
+        let r = small();
+        let rels = r.sym_view(2).unwrap();
+        // Codes are insertion-ordered: Owner was seen first.
+        assert_eq!(rels.code(0), Some(0));
+        assert_eq!(rels.code(1), Some(1));
+        assert_eq!(rels.dict(), &[Sym::intern("Owner"), Sym::intern("Spouse")]);
+        assert_eq!(rels.code_of(Sym::intern("Spouse")), Some(1));
+        assert_eq!(rels.code_of(Sym::intern("NotThere")), None);
+        // Same symbol always maps to the same code.
+        assert_eq!(rels.get(0).map(|s| rels.code_of(s).unwrap()), rels.code(0));
+    }
+
+    #[test]
     fn push_full_row_roundtrip() {
         let schema = Schema::new(vec![ColumnDef::attr("x", Dtype::Int)]).unwrap();
         let mut r = Relation::new("t", schema);
         r.push_full_row(&[Value::Int(9)]).unwrap();
         assert_eq!(r.row(0), vec![Some(Value::Int(9))]);
+    }
+
+    #[test]
+    fn validity_bitmap_crosses_block_boundaries() {
+        // 130 rows > two 64-bit blocks; alternate present/missing.
+        let schema = Schema::new(vec![ColumnDef::attr("x", Dtype::Int)]).unwrap();
+        let mut r = Relation::new("t", schema);
+        for i in 0..130 {
+            let v = if i % 2 == 0 {
+                Some(Value::Int(i))
+            } else {
+                None
+            };
+            r.push_row(&[v]).unwrap();
+        }
+        let view = r.int_view(0).unwrap();
+        for i in 0..130usize {
+            let expect = if i % 2 == 0 { Some(i as i64) } else { None };
+            assert_eq!(view.get(i), expect, "row {i}");
+        }
+        assert!(!r.column_is_missing(0));
+        assert!(!r.column_is_complete(0));
+    }
+
+    #[test]
+    fn builder_bulk_load_matches_push_rows() {
+        let schema = Schema::new(vec![
+            ColumnDef::key("id", Dtype::Int),
+            ColumnDef::attr("Area", Dtype::Str),
+            ColumnDef::foreign_key("fk", Dtype::Int),
+        ])
+        .unwrap();
+        let mut b = RelationBuilder::new("t", schema.clone(), 4);
+        b.append_ints(0, &[1, 2]).unwrap();
+        b.append_ints(0, &[3, 4]).unwrap();
+        b.append_syms(1, &[Sym::intern("a"), Sym::intern("b")])
+            .unwrap();
+        b.append_opt_syms(1, &[None, Some(Sym::intern("a"))])
+            .unwrap();
+        b.append_missing(2, 3);
+        b.append_opt_ints(2, &[Some(7)]).unwrap();
+        assert_eq!(b.col_len(0), 4);
+        let built = b.freeze().unwrap();
+
+        let mut pushed = Relation::new("t", schema);
+        for (id, area, fk) in [
+            (1, Some("a"), None),
+            (2, Some("b"), None),
+            (3, None, None),
+            (4, Some("a"), Some(7)),
+        ] {
+            pushed
+                .push_row(&[
+                    Some(Value::Int(id)),
+                    area.map(Value::str),
+                    fk.map(Value::Int),
+                ])
+                .unwrap();
+        }
+        assert!(crate::join::relations_equal_ordered(&built, &pushed));
+    }
+
+    #[test]
+    fn builder_rejects_ragged_and_mistyped_loads() {
+        let schema = Schema::new(vec![
+            ColumnDef::attr("x", Dtype::Int),
+            ColumnDef::attr("s", Dtype::Str),
+        ])
+        .unwrap();
+        let mut b = RelationBuilder::new("t", schema.clone(), 0);
+        assert!(matches!(
+            b.append_ints(1, &[1]),
+            Err(TableError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            b.append_syms(0, &[Sym::intern("x")]),
+            Err(TableError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            b.append_values(0, &[Some(Value::str("x"))]),
+            Err(TableError::TypeMismatch { .. })
+        ));
+        b.append_ints(0, &[1, 2]).unwrap();
+        b.append_syms(1, &[Sym::intern("a")]).unwrap();
+        let err = b.freeze();
+        assert!(matches!(err, Err(TableError::ColumnLengthMismatch { .. })));
+    }
+
+    #[test]
+    fn builder_all_missing_column_freezes_clean() {
+        let schema = Schema::new(vec![
+            ColumnDef::attr("x", Dtype::Int),
+            ColumnDef::attr("s", Dtype::Str),
+        ])
+        .unwrap();
+        let mut b = RelationBuilder::new("t", schema, 100);
+        b.append_ints(0, &(0..100).collect::<Vec<i64>>()).unwrap();
+        b.append_missing(1, 100);
+        let r = b.freeze().unwrap();
+        assert!(r.column_is_missing(1));
+        assert!(r.column_is_complete(0));
+        // Freeze-then-set: the all-missing column accepts writes.
+        let mut r = r;
+        r.set(64, 1, Some(Value::str("late"))).unwrap();
+        assert_eq!(r.get_sym(64, 1), Some(Sym::intern("late")));
+        assert!(!r.column_is_missing(1));
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_rows() {
+        let schema = Schema::new(vec![
+            ColumnDef::attr("x", Dtype::Int),
+            ColumnDef::attr("s", Dtype::Str),
+        ])
+        .unwrap();
+        let empty = Relation::new("t", schema.clone()).heap_bytes();
+        let mut r = Relation::new("t", schema);
+        for i in 0..1000 {
+            r.push_row(&[Some(Value::Int(i)), Some(Value::str("v"))])
+                .unwrap();
+        }
+        // 1000 ints (8 B) + codes (4 B) + bitmaps: at least 12 KB.
+        assert!(r.heap_bytes() >= empty + 12_000, "{}", r.heap_bytes());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::join::relations_equal_ordered;
+    use crate::schema::{ColumnDef, Schema};
+    use crate::value::{Dtype, Value};
+    use proptest::prelude::*;
+
+    fn schema2() -> Schema {
+        Schema::new(vec![
+            ColumnDef::attr("i", Dtype::Int),
+            ColumnDef::attr("s", Dtype::Str),
+        ])
+        .unwrap()
+    }
+
+    proptest! {
+        // Validity bitmaps are the engine's correctness-critical state:
+        // one bit per row packed into u64 words, so rows 63/64/65 (and the
+        // final partial word) are the edge cases. Row counts up to 130
+        // cross two word boundaries; an arbitrary chunk split exercises
+        // the builder's append path landing mid-word.
+        #[test]
+        fn validity_bitmaps_survive_both_load_paths(
+            ints in proptest::collection::vec(proptest::option::of(-4i64..4), 0..130usize),
+            labels in proptest::collection::vec(proptest::option::of(0usize..3), 0..130usize),
+            split in 0usize..130,
+        ) {
+            let n = ints.len().min(labels.len());
+            let (ints, labels) = (&ints[..n], &labels[..n]);
+            let sym_of = |l: usize| Value::str(["a", "b", "c"][l]);
+            let int_vals: Vec<Option<Value>> =
+                ints.iter().map(|i| i.map(Value::Int)).collect();
+            let sym_vals: Vec<Option<Value>> =
+                labels.iter().map(|&l| l.map(sym_of)).collect();
+
+            // Path 1: incremental push_row.
+            let mut pushed = Relation::new("t", schema2());
+            for (i, s) in int_vals.iter().zip(&sym_vals) {
+                pushed.push_row(&[*i, *s]).unwrap();
+            }
+            // Path 2: builder chunks split at an arbitrary row.
+            let split = split.min(n);
+            let mut b = RelationBuilder::new("t", schema2(), n);
+            b.append_values(0, &int_vals[..split]).unwrap();
+            b.append_values(0, &int_vals[split..]).unwrap();
+            b.append_values(1, &sym_vals[..split]).unwrap();
+            b.append_values(1, &sym_vals[split..]).unwrap();
+            let built = b.freeze().unwrap();
+
+            prop_assert!(relations_equal_ordered(&pushed, &built));
+            // Boxed and typed reads both agree with the source data.
+            let iv = built.int_view(0).unwrap();
+            let sv = built.sym_view(1).unwrap();
+            for row in 0..n {
+                prop_assert_eq!(built.get(row, 0), int_vals[row].clone());
+                prop_assert_eq!(iv.get(row), ints[row]);
+                prop_assert_eq!(built.get(row, 1), sym_vals[row].clone());
+                prop_assert_eq!(sv.get(row).is_some(), labels[row].is_some());
+                prop_assert_eq!(built.get_int(row, 0), ints[row]);
+            }
+            // Column-level validity summaries match the source exactly.
+            let present = ints.iter().filter(|i| i.is_some()).count();
+            prop_assert_eq!(built.column_is_missing(0), present == 0);
+            prop_assert_eq!(built.column_is_complete(0), present == n);
+        }
+
+        // clear_column → column_is_missing, then per-row set() restores
+        // exactly the chosen rows — the erase/complete cycle every solve
+        // performs on the FK column.
+        #[test]
+        fn clear_and_set_round_trip_validity(
+            vals in proptest::collection::vec(-4i64..4, 1..130usize),
+            restore_mask in proptest::collection::vec(proptest::bool::ANY, 1..130usize),
+        ) {
+            let n = vals.len().min(restore_mask.len());
+            let (vals, restore_mask) = (&vals[..n], &restore_mask[..n]);
+            let mut r = Relation::new("t", schema2());
+            for &v in vals {
+                r.push_row(&[Some(Value::Int(v)), None]).unwrap();
+            }
+            prop_assert!(r.column_is_complete(0));
+            prop_assert!(r.column_is_missing(1));
+            r.clear_column(0);
+            prop_assert!(r.column_is_missing(0));
+            for (row, &restore) in restore_mask.iter().enumerate() {
+                if restore {
+                    r.set(row, 0, Some(Value::Int(vals[row]))).unwrap();
+                }
+            }
+            for (row, &restore) in restore_mask.iter().enumerate() {
+                let expect = restore.then_some(vals[row]);
+                prop_assert_eq!(r.get_int(row, 0), expect);
+            }
+            let restored = restore_mask.iter().filter(|&&m| m).count();
+            prop_assert_eq!(r.column_is_complete(0), restored == n);
+            prop_assert_eq!(r.column_is_missing(0), restored == 0);
+        }
     }
 }

@@ -10,6 +10,7 @@ use parking_lot::RwLock;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::OnceLock;
 
 /// Interned string handle. Two `Sym`s are equal iff their strings are equal.
@@ -28,21 +29,45 @@ use std::sync::OnceLock;
 #[derive(Clone, Copy, Debug)]
 pub struct Sym(&'static str);
 
-fn interner() -> &'static RwLock<HashMap<&'static str, &'static str>> {
-    static INTERNER: OnceLock<RwLock<HashMap<&'static str, &'static str>>> = OnceLock::new();
-    INTERNER.get_or_init(|| RwLock::new(HashMap::new()))
+/// Number of interner shards. Million-row bulk loads intern from every
+/// worker of the `CEXTEND_SCHED_WORKERS` pool at once; sharding by string
+/// hash keeps concurrent `intern` calls for *different* strings off the
+/// same lock. 16 comfortably exceeds any pool width we run.
+const SHARDS: usize = 16;
+
+/// The sharded intern dictionary. Each shard maps string contents to the
+/// one leaked `&'static str` for that content — the shared leak arena is
+/// simply the process heap (`Box::leak`), so handles from different shards
+/// are interchangeable and all reads stay lock-free.
+struct Interner {
+    shards: [RwLock<HashMap<&'static str, &'static str>>; SHARDS],
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+    })
+}
+
+fn shard_of(s: &str) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    s.hash(&mut h);
+    (h.finish() as usize) % SHARDS
 }
 
 impl Sym {
-    /// Interns `s`, returning its handle. Idempotent.
+    /// Interns `s`, returning its handle. Idempotent. Only this call ever
+    /// takes an interner lock, and only the one shard `s` hashes to.
     pub fn intern(s: &str) -> Sym {
+        let shard = &interner().shards[shard_of(s)];
         {
-            let guard = interner().read();
+            let guard = shard.read();
             if let Some(&leaked) = guard.get(s) {
                 return Sym(leaked);
             }
         }
-        let mut guard = interner().write();
+        let mut guard = shard.write();
         if let Some(&leaked) = guard.get(s) {
             return Sym(leaked);
         }
@@ -307,5 +332,23 @@ mod tests {
         }
         // Same string from different threads must be the same symbol.
         assert_eq!(Sym::intern("conc-0"), all[0][0]);
+    }
+
+    #[test]
+    fn interning_across_shards_stays_consistent() {
+        // Enough distinct strings to land in every shard; equality and
+        // ordering must behave as if there were a single map.
+        let syms: Vec<Sym> = (0..256)
+            .map(|i| Sym::intern(&format!("shard-{i}")))
+            .collect();
+        for (i, s) in syms.iter().enumerate() {
+            assert_eq!(s.as_str(), format!("shard-{i}"));
+            assert_eq!(*s, Sym::intern(&format!("shard-{i}")));
+        }
+        let mut sorted = syms.clone();
+        sorted.sort();
+        let mut by_str = syms.clone();
+        by_str.sort_by(|a, b| a.as_str().cmp(b.as_str()));
+        assert_eq!(sorted, by_str);
     }
 }

@@ -26,7 +26,10 @@
 use crate::ccgen::{bad_family, good_family};
 use crate::workload::{CcFamily, DcSet, Workload, WorkloadData, WorkloadMeta, WorkloadParams};
 use cextend_constraints::{CardinalityConstraint, DcAtom, DenialConstraint, NormalizedCond};
-use cextend_table::{Atom, CmpOp, ColumnDef, Dtype, Predicate, Relation, Schema, Value, ValueSet};
+use cextend_table::{
+    Atom, CmpOp, ColumnDef, Dtype, Predicate, Relation, RelationBuilder, Schema, Sym, Value,
+    ValueSet,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -117,42 +120,42 @@ impl Workload for DcDenseWorkload {
         let max_group = params.knob("max-group", DEFAULT_MAX_GROUP).max(2) as usize;
         let n_cols = params.r2_cols.unwrap_or(self.meta().default_r2_cols);
 
-        let mut slots = Relation::with_capacity("Slots", slots_schema(n_cols), n_slots);
-        let mut truth = Relation::with_capacity(
-            "Events",
-            events_schema(),
-            n_slots * (2 + max_group) / 2 + n_slots,
-        );
+        // Columnar accumulators, bulk-loaded through `RelationBuilder` —
+        // the scale driver generates millions of events through this path.
+        let est_events = n_slots * (2 + max_group) / 2 + n_slots;
+        let mut s_sid: Vec<i64> = Vec::with_capacity(n_slots);
+        let mut s_room: Vec<Sym> = Vec::with_capacity(n_slots);
+        let mut s_shift: Vec<Sym> = Vec::with_capacity(n_slots);
+        let mut s_district: Vec<Sym> = Vec::new();
+        let mut s_cap: Vec<i64> = Vec::new();
+        let mut e_eid: Vec<i64> = Vec::with_capacity(est_events);
+        let mut e_track: Vec<i64> = Vec::with_capacity(est_events);
+        let mut e_kind: Vec<Sym> = Vec::with_capacity(est_events);
+        let mut e_load: Vec<i64> = Vec::with_capacity(est_events);
+        let mut e_sid: Vec<i64> = Vec::with_capacity(est_events);
 
         let mut eid = 0i64;
-        let mut push_event = |truth: &mut Relation, track: usize, kind: &str, load: i64, sid| {
+        let mut push_event = |track: usize, kind: &str, load: i64, sid| {
             eid += 1;
-            truth
-                .push_row(&[
-                    Some(Value::Int(eid)),
-                    Some(Value::Int(track as i64)),
-                    Some(Value::str(kind)),
-                    Some(Value::Int(load.clamp(10, MAX_LOAD))),
-                    Some(Value::Int(sid)),
-                ])
-                .expect("schema-conforming row");
+            e_eid.push(eid);
+            e_track.push(track as i64);
+            e_kind.push(Sym::intern(kind));
+            e_load.push(load.clamp(10, MAX_LOAD));
+            e_sid.push(sid);
         };
 
         for s in 0..n_slots {
             let sid = s as i64 + 1;
             let room = rng.gen_range(0..n_rooms);
             let shift = SHIFTS[rng.gen_range(0..SHIFTS.len())];
-            let mut row: Vec<Option<Value>> = vec![
-                Some(Value::Int(sid)),
-                Some(Value::str(&room_name(room))),
-                Some(Value::str(shift)),
-            ];
+            s_sid.push(sid);
+            s_room.push(Sym::intern(&room_name(room)));
+            s_shift.push(Sym::intern(shift));
             if n_cols >= 4 {
                 // District is determined by the room, like Market by Region.
-                row.push(Some(Value::str(&format!("District{}", room % 2))));
-                row.push(Some(Value::Int(rng.gen_range(10..=500))));
+                s_district.push(Sym::intern(&format!("District{}", room % 2)));
+                s_cap.push(rng.gen_range(10..=500));
             }
-            slots.push_row(&row).expect("schema-conforming row");
 
             // --- Events, honoring every dcdense DC. ------------------------
             // At most two events per track per slot (nae-track, ddc5), so
@@ -174,7 +177,7 @@ impl Workload for DcDenseWorkload {
             // Exactly one Anchor per slot (ddc4) — the gap DCs' reference.
             let a = rng.gen_range(200..=600);
             let anchor_track = pick_track(&mut rng, &mut track_count);
-            push_event(&mut truth, anchor_track, "Anchor", a, sid);
+            push_event(anchor_track, "Anchor", a, sid);
 
             for _ in 1..group {
                 let kind = match rng.gen_range(0..100) {
@@ -192,9 +195,32 @@ impl Workload for DcDenseWorkload {
                     _ => (10, MAX_LOAD),
                 };
                 let load = rng.gen_range(lo.max(10)..=hi.min(MAX_LOAD));
-                push_event(&mut truth, track, kind, load, sid);
+                push_event(track, kind, load, sid);
             }
         }
+
+        let slots_schema = slots_schema(n_cols);
+        let mut sb = RelationBuilder::new("Slots", slots_schema.clone(), n_slots);
+        let col = |name: &str| slots_schema.col_id(name).expect("static schema");
+        sb.append_ints(col("sid"), &s_sid).expect("int column");
+        sb.append_syms(col("Room"), &s_room).expect("str column");
+        sb.append_syms(col("Shift"), &s_shift).expect("str column");
+        if n_cols >= 4 {
+            sb.append_syms(col("District"), &s_district)
+                .expect("str column");
+            sb.append_ints(col("Cap"), &s_cap).expect("int column");
+        }
+        let slots = sb.freeze().expect("aligned columns");
+
+        let events_schema = events_schema();
+        let mut eb = RelationBuilder::new("Events", events_schema.clone(), e_eid.len());
+        let ecol = |name: &str| events_schema.col_id(name).expect("static schema");
+        eb.append_ints(ecol("eid"), &e_eid).expect("int column");
+        eb.append_ints(ecol("Track"), &e_track).expect("int column");
+        eb.append_syms(ecol("Kind"), &e_kind).expect("str column");
+        eb.append_ints(ecol("Load"), &e_load).expect("int column");
+        eb.append_ints(ecol("slot_id"), &e_sid).expect("int column");
+        let truth = eb.freeze().expect("aligned columns");
 
         let mut events = truth.clone();
         let fk = events.schema().fk_col().expect("static schema");

@@ -225,6 +225,75 @@ proptest! {
     }
 
     #[test]
+    fn builder_and_push_row_loading_are_bit_identical(
+        seed in 0u64..500,
+        scale_mil in 3u32..9,
+    ) {
+        // The columnar engine has two load paths: `RelationBuilder` bulk
+        // columnar appends (what the generators use) and incremental
+        // `push_row`. On every registered workload, rebuilding the
+        // generated relations row by row must reproduce them exactly —
+        // same values, same validity bitmaps — and feeding the rebuilt
+        // relations to the solver must produce bit-identical output,
+        // since codes/row order are part of the solve-determinism
+        // contract.
+        let scale = f64::from(scale_mil) / 1_000.0;
+        for w in all_workloads() {
+            let data = w.generate(&WorkloadParams::new(scale, seed));
+            let rebuilt: Vec<cextend_table::Relation> = data
+                .relations
+                .iter()
+                .map(|r| {
+                    let mut copy = cextend_table::Relation::new(r.name(), r.schema().clone());
+                    let cols = r.schema().len();
+                    for row in r.rows() {
+                        let vals: Vec<Option<cextend_table::Value>> =
+                            (0..cols).map(|c| r.get(row, c)).collect();
+                        copy.push_row(&vals).expect("row round-trips");
+                    }
+                    copy
+                })
+                .collect();
+            for (orig, copy) in data.relations.iter().zip(&rebuilt) {
+                prop_assert!(
+                    cextend_table::relations_equal_ordered(orig, copy),
+                    "{}: push_row rebuild of {} diverged",
+                    w.meta().name,
+                    orig.name()
+                );
+            }
+            let steps: Vec<SnowflakeStep> = data
+                .steps
+                .iter()
+                .enumerate()
+                .map(|(i, edge)| SnowflakeStep {
+                    edge: edge.clone(),
+                    ccs: w.step_ccs(i, CcFamily::Good, 8, &data, seed),
+                    dcs: w.step_dcs(i, DcSet::All),
+                })
+                .collect();
+            let config = SolverConfig::hybrid().with_seed(seed);
+            let from_builder =
+                solve_snowflake(data.relations.clone(), &steps, &config).expect("solve");
+            let from_push = solve_snowflake(rebuilt, &steps, &config).expect("solve");
+            for (a, b) in from_builder.tables.iter().zip(&from_push.tables) {
+                prop_assert!(
+                    cextend_table::relations_equal_ordered(a, b),
+                    "{}: relation {} diverged between load paths",
+                    w.meta().name,
+                    a.name()
+                );
+            }
+            prop_assert_eq!(
+                from_builder.total_stats().counters,
+                from_push.total_stats().counters,
+                "{} solve counters diverged between load paths",
+                w.meta().name
+            );
+        }
+    }
+
+    #[test]
     fn generators_are_deterministic_per_seed(seed in 0u64..1_000) {
         for w in all_workloads() {
             let params = WorkloadParams::new(0.004, seed);
