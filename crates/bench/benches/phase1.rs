@@ -1,0 +1,105 @@
+//! Micro-benchmarks for the Phase 1 rewrite: Algorithm 2's Hasse
+//! recursion and leftover completion on census- and dcdense-shaped inputs,
+//! each measured three ways — the retained scalar oracle, the
+//! code-compressed path serial, and the compressed path at 4 workers. All
+//! three produce bit-identical views (the equivalence tests assert it);
+//! only the time differs.
+
+use cextend_bench::ExperimentOpts;
+use cextend_constraints::{HasseDiagram, RelationshipMatrix};
+use cextend_core::phase1_internals::{
+    complete_leftovers, complete_leftovers_scalar, run_hasse, run_hasse_scalar, P1,
+};
+use cextend_core::{CExtensionInstance, SolverConfig};
+use cextend_workloads::{CcFamily, DcSet};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+/// A small-scale instance shaped like the named paper workload.
+fn instance_for(workload: &str) -> CExtensionInstance {
+    let opts = ExperimentOpts {
+        workload: workload.to_owned(),
+        scale_factor: 0.02,
+        ..ExperimentOpts::default()
+    };
+    let data = opts.dataset(5, None, 0);
+    let ccs = opts.ccs(CcFamily::Good, 100, &data, 0);
+    data.to_instance(ccs, opts.dcs(DcSet::Good)).unwrap()
+}
+
+fn bench_hasse(c: &mut Criterion) {
+    for workload in ["census", "dcdense"] {
+        let instance = instance_for(workload);
+        let config = SolverConfig::hybrid();
+        let matrix = RelationshipMatrix::build(&instance.ccs);
+        let hasse = HasseDiagram::build(&matrix);
+        let comps: Vec<&[usize]> = hasse.components().iter().map(|c| c.as_slice()).collect();
+        let mut group = c.benchmark_group(format!("phase1_hasse/{workload}"));
+        group.sample_size(10);
+        group.bench_function("scalar", |b| {
+            b.iter_batched(
+                || P1::build(&instance, &config).unwrap(),
+                |mut p1| run_hasse_scalar(&mut p1, &instance.ccs, &hasse, &comps).unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+        group.bench_function("compressed-serial", |b| {
+            b.iter_batched(
+                || P1::build(&instance, &config).unwrap(),
+                |mut p1| run_hasse(&mut p1, &instance.ccs, &hasse, &comps, false, None).unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+        group.bench_function("compressed-parallel4", |b| {
+            b.iter_batched(
+                || P1::build(&instance, &config).unwrap(),
+                |mut p1| run_hasse(&mut p1, &instance.ccs, &hasse, &comps, true, Some(4)).unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+        group.finish();
+    }
+}
+
+fn bench_leftovers(c: &mut Criterion) {
+    for workload in ["census", "dcdense"] {
+        let instance = instance_for(workload);
+        let config = SolverConfig::hybrid();
+        let matrix = RelationshipMatrix::build(&instance.ccs);
+        let hasse = HasseDiagram::build(&matrix);
+        let comps: Vec<&[usize]> = hasse.components().iter().map(|c| c.as_slice()).collect();
+        // Setup replays the recursion so the routine sees the real
+        // leftover population (partially assigned rows included).
+        let after_hasse = || {
+            let mut p1 = P1::build(&instance, &config).unwrap();
+            run_hasse(&mut p1, &instance.ccs, &hasse, &comps, false, None).unwrap();
+            p1
+        };
+        let mut group = c.benchmark_group(format!("phase1_leftovers/{workload}"));
+        group.sample_size(10);
+        group.bench_function("scalar", |b| {
+            b.iter_batched(
+                after_hasse,
+                |mut p1| complete_leftovers_scalar(&mut p1, &instance.ccs).unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+        group.bench_function("compressed-serial", |b| {
+            b.iter_batched(
+                after_hasse,
+                |mut p1| complete_leftovers(&mut p1, &instance.ccs, false, None).unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+        group.bench_function("compressed-parallel4", |b| {
+            b.iter_batched(
+                after_hasse,
+                |mut p1| complete_leftovers(&mut p1, &instance.ccs, true, Some(4)).unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_hasse, bench_leftovers);
+criterion_main!(benches);

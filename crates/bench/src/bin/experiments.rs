@@ -20,7 +20,8 @@ experiments: table1 fig8a fig8b fig9 fig10 fig11a fig11b fig12 fig13 ablate
                    specs/, and asserts every specs/bad/*.spec is rejected)
              scale (paper-scale runs: census at 40x and dcdense at 62.5x —
                    both >=10^6 R1 tuples under --paper-scale — with Phase II
-                   sharded across CEXTEND_SCHED_WORKERS; merges a wall +
+                   (and, under --phase1 parallel, Phase 1) sharded across
+                   CEXTEND_SCHED_WORKERS; merges a wall + per-phase +
                    peak-RSS `scale` section into <out>/BENCH_perf.json and
                    appends a \"kind\":\"scale\" line to BENCH_history.jsonl;
                    CEXTEND_SCALE_MAX_WALL_S / CEXTEND_SCALE_MAX_RSS_MB set
@@ -47,6 +48,10 @@ options:
   --conflict B       conflict-hypergraph builder: indexed (default) or
                      naive (the retained O(|P|^k) baseline; identical
                      output, build cost only — for A/B measurement)
+  --phase1 M         Phase 1 mode: serial (default) or parallel (shards
+                     Algorithm 2 bitmap passes, leftover grouping and
+                     per-shard RNG completion across CEXTEND_SCHED_WORKERS;
+                     bit-identical results for any worker count)
   --scale-factor F   multiply the workload's scale labels by F (default 0.02)
   --paper-scale      shorthand for --scale-factor 1.0 (hours of runtime!)
   --n-ccs N          CC-set size (default 150; the paper uses 1001)
@@ -148,6 +153,13 @@ fn parse(args: &[String]) -> Result<(Vec<String>, ExperimentOpts), String> {
                 let kind = take("--conflict")?;
                 opts.conflict = cextend_core::ConflictBuilderKind::parse(&kind)
                     .ok_or_else(|| format!("bad --conflict `{kind}`: indexed or naive"))?;
+            }
+            "--phase1" => {
+                opts.parallel_phase1 = match take("--phase1")?.as_str() {
+                    "parallel" => true,
+                    "serial" => false,
+                    other => return Err(format!("bad --phase1 `{other}`: serial or parallel")),
+                };
             }
             "--out" => opts.out_dir = Some(take("--out")?.into()),
             "--baseline" => opts.baseline = Some(take("--baseline")?.into()),

@@ -317,14 +317,26 @@ fn append_history(path: &Path, opts: &ExperimentOpts, baseline: &PerfBaseline) {
 /// A record's identity and wall time, parsed from a `BENCH_perf.json`.
 type WallTimes = BTreeMap<(String, String, String), f64>;
 
+/// Per-workload timings parsed from one `scale` record.
+struct ScaleTimes {
+    /// Total wall seconds.
+    wall: f64,
+    /// Peak RSS bytes — absent on platforms without `VmHWM`.
+    rss: Option<f64>,
+    /// Phase I seconds — absent on pre-v3 sections without phase fields.
+    phase1: Option<f64>,
+    /// Phase II seconds — same optionality as `phase1`.
+    phase2: Option<f64>,
+}
+
 /// The parsed `scale` section of a `BENCH_perf.json` (written by
 /// `experiments -- scale`): its own run parameters plus, per workload, the
-/// wall time and the peak RSS (absent on platforms without `VmHWM`).
+/// wall time, per-phase times and the peak RSS.
 struct ParsedScale {
     /// Same rendered-string parameter gate as the perf records'.
     params: Vec<(&'static str, String)>,
-    /// Workload → `(wall seconds, peak RSS bytes)`.
-    records: BTreeMap<String, (f64, Option<f64>)>,
+    /// Workload → parsed timings.
+    records: BTreeMap<String, ScaleTimes>,
 }
 
 /// A parsed `BENCH_perf.json`: the run parameters wall times depend on,
@@ -446,9 +458,20 @@ fn parse_scale(sec: &[(String, serde::Value)]) -> Result<ParsedScale, String> {
             };
             let wall = num("wall_s")
                 .ok_or_else(|| format!("scale record `{workload}` has no `wall_s` number"))?;
-            // Absent on platforms without /proc (the record is still
-            // wall-comparable).
-            records.insert(workload, (wall, num("peak_rss_bytes")));
+            records.insert(
+                workload,
+                ScaleTimes {
+                    wall,
+                    // Absent on platforms without /proc (the record is
+                    // still wall-comparable).
+                    rss: num("peak_rss_bytes"),
+                    // Absent on older sections; a wall regression hidden
+                    // inside one phase still trips the per-stage bound when
+                    // both sides carry it.
+                    phase1: num("phase1_s"),
+                    phase2: num("phase2_s"),
+                },
+            );
         }
     }
     Ok(ParsedScale {
@@ -477,10 +500,12 @@ fn parse_scale(sec: &[(String, serde::Value)]) -> Result<ParsedScale, String> {
 /// section is a 100%-scale run while CI's `scale-smoke` writes a 10% one,
 /// and gating on that difference would make the smoke permanently red, so
 /// an incomparable (or absent) section is skipped with a printed note
-/// instead. Within comparable sections, walls use the same
-/// [`REGRESSION_FACTOR`] bound, peak RSS (when both sides recorded one)
-/// uses [`RSS_REGRESSION_FACTOR`] over [`RSS_NOISE_FLOOR_BYTES`], and a
-/// disappeared scale workload fails like a disappeared perf record.
+/// instead. Within comparable sections, walls and the per-phase times
+/// (`phase1_s`/`phase2_s`, when both sides recorded them) use the same
+/// [`REGRESSION_FACTOR`] bound over [`NOISE_FLOOR_S`], peak RSS (when both
+/// sides recorded one) uses [`RSS_REGRESSION_FACTOR`] over
+/// [`RSS_NOISE_FLOOR_BYTES`], and a disappeared scale workload fails like a
+/// disappeared perf record.
 pub fn check(baseline_path: &Path, fresh_path: &Path) -> Result<(), String> {
     let baseline = parse_baseline(baseline_path)?;
     let fresh = parse_baseline(fresh_path)?;
@@ -562,24 +587,38 @@ fn check_scale_sections(
         );
         return;
     }
-    for (workload, &(base_wall, base_rss)) in &base.records {
-        let Some(&(fresh_wall, fresh_rss)) = fresh.records.get(workload) else {
+    for (workload, base_t) in &base.records {
+        let Some(fresh_t) = fresh.records.get(workload) else {
             failures.push(format!(
                 "scale record `{workload}` disappeared from the fresh run"
             ));
             continue;
         };
-        let base_w = base_wall.max(NOISE_FLOOR_S);
-        let now_w = fresh_wall.max(NOISE_FLOOR_S);
-        if now_w > REGRESSION_FACTOR * base_w {
-            failures.push(format!(
-                "scale record `{workload}` wall regressed {:.1}×: {} → {}",
-                now_w / base_w,
-                fmt_s(base_wall),
-                fmt_s(fresh_wall),
-            ));
+        // Per-stage bounds alongside the total: a phase that regresses
+        // inside an otherwise-flat wall (e.g. Phase 1 slowing while Phase 2
+        // speeds up) still fails. Stages absent on either side (pre-phase
+        // baselines) are skipped, the wall always compares.
+        let stages = [
+            ("wall", Some(base_t.wall), Some(fresh_t.wall)),
+            ("phase1_s", base_t.phase1, fresh_t.phase1),
+            ("phase2_s", base_t.phase2, fresh_t.phase2),
+        ];
+        for (stage, base_s, fresh_s) in stages {
+            let (Some(base_s), Some(fresh_s)) = (base_s, fresh_s) else {
+                continue;
+            };
+            let base_w = base_s.max(NOISE_FLOOR_S);
+            let now_w = fresh_s.max(NOISE_FLOOR_S);
+            if now_w > REGRESSION_FACTOR * base_w {
+                failures.push(format!(
+                    "scale record `{workload}` {stage} regressed {:.1}×: {} → {}",
+                    now_w / base_w,
+                    fmt_s(base_s),
+                    fmt_s(fresh_s),
+                ));
+            }
         }
-        if let (Some(base_rss), Some(fresh_rss)) = (base_rss, fresh_rss) {
+        if let (Some(base_rss), Some(fresh_rss)) = (base_t.rss, fresh_t.rss) {
             let base_m = base_rss.max(RSS_NOISE_FLOOR_BYTES);
             let now_m = fresh_rss.max(RSS_NOISE_FLOOR_BYTES);
             if now_m > RSS_REGRESSION_FACTOR * base_m {
@@ -593,8 +632,8 @@ fn check_scale_sections(
         }
     }
     println!(
-        "[perf-check: {} scale records compared (walls within {REGRESSION_FACTOR}x, \
-         peak RSS within {RSS_REGRESSION_FACTOR}x)]",
+        "[perf-check: {} scale records compared (walls and phase sub-stages within \
+         {REGRESSION_FACTOR}x, peak RSS within {RSS_REGRESSION_FACTOR}x)]",
         base.records.len()
     );
 }
@@ -862,6 +901,69 @@ mod tests {
         let empty = write(&dir, "empty.json", &doc_with_scale(1.0, &[]));
         let err = check(&base, &empty).unwrap_err();
         assert!(err.contains("scale record `census` disappeared"), "{err}");
+    }
+
+    /// Like [`doc_with_scale`] but with phase sub-stage fields:
+    /// `(workload, wall_s, phase1_s, phase2_s)`.
+    fn doc_with_phases(scale_records: &[(&str, f64, f64, f64)]) -> String {
+        let rows: Vec<String> = scale_records
+            .iter()
+            .map(|(w, wall, p1, p2)| {
+                format!(r#"{{"workload":"{w}","wall_s":{wall},"phase1_s":{p1},"phase2_s":{p2}}}"#)
+            })
+            .collect();
+        let scale = format!(
+            r#","scale":{{"scale_factor":1.0,"n_ccs":150,"runs":1,"seed":7,"knobs":{{}},"conflict":"indexed","records":[{}]}}"#,
+            rows.join(",")
+        );
+        let base = doc(&[("census", "good", "Persons→Housing", 0.1)]);
+        format!("{}{scale}}}", &base[..base.len() - 1])
+    }
+
+    #[test]
+    fn scale_sections_compare_phase_sub_stages() {
+        let dir = std::env::temp_dir().join("cextend-perf-check-phases");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = write(
+            &dir,
+            "base.json",
+            &doc_with_phases(&[("dcdense", 100.0, 60.0, 40.0)]),
+        );
+        // Phase 1 blown >3x while the wall stays flat (Phase 2 absorbed the
+        // difference): the per-stage bound catches it.
+        let p1_slow = write(
+            &dir,
+            "p1slow.json",
+            &doc_with_phases(&[("dcdense", 100.0, 190.0, 2.0)]),
+        );
+        let err = check(&base, &p1_slow).unwrap_err();
+        assert!(err.contains("phase1_s regressed"), "{err}");
+        assert!(!err.contains("wall regressed"), "{err}");
+        // Phase 2 regression is caught symmetrically.
+        let p2_slow = write(
+            &dir,
+            "p2slow.json",
+            &doc_with_phases(&[("dcdense", 100.0, 2.0, 130.0)]),
+        );
+        let err = check(&base, &p2_slow).unwrap_err();
+        assert!(err.contains("phase2_s regressed"), "{err}");
+        // Within bounds on every stage: passes.
+        let ok = write(
+            &dir,
+            "ok.json",
+            &doc_with_phases(&[("dcdense", 120.0, 80.0, 40.0)]),
+        );
+        check(&base, &ok).unwrap();
+        // Phases absent on one side (pre-phase baseline): only the wall
+        // compares, so the mixed pair passes at flat wall.
+        let gib = 1u64 << 30;
+        let no_phases = write(
+            &dir,
+            "nophases.json",
+            &doc_with_scale(1.0, &[("dcdense", 100.0, Some(gib))]),
+        );
+        check(&no_phases, &p1_slow).unwrap();
+        check(&base, &no_phases).unwrap();
     }
 
     #[test]

@@ -92,6 +92,14 @@ pub struct ScaleRecord {
     pub n_ccs: usize,
     /// Phase I seconds (averaged over `runs`).
     pub phase1_s: f64,
+    /// Algorithm 2 (Hasse recursion) seconds — Phase I sub-stage.
+    pub hasse_s: f64,
+    /// Local-search repair seconds — Phase I sub-stage.
+    pub repair_s: f64,
+    /// Leftover-completion seconds — Phase I sub-stage.
+    pub leftovers_s: f64,
+    /// Baseline random-completion seconds — Phase I sub-stage.
+    pub random_s: f64,
     /// Phase II seconds.
     pub phase2_s: f64,
     /// Total wall-clock seconds.
@@ -127,6 +135,9 @@ pub struct ScaleSection {
     pub knobs: BTreeMap<String, i64>,
     /// Conflict-builder label.
     pub conflict: String,
+    /// Phase 1 mode label (`parallel` or `serial`). Not a comparability
+    /// gate: both modes are bit-identical, only scheduling differs.
+    pub phase1: String,
     /// One record per scenario.
     pub records: Vec<ScaleRecord>,
 }
@@ -195,7 +206,8 @@ pub fn run(opts: &ExperimentOpts) -> Result<(), String> {
         let dcs = workload.dcs(DcSet::All);
         let config = SolverConfig::hybrid()
             .with_conflict(opts.conflict)
-            .with_parallel_coloring(true);
+            .with_parallel_coloring(true)
+            .with_parallel_phase1(opts.parallel_phase1);
         let result = run_averaged(&data, &ccs, &dcs, &config, opts.runs);
         assert_eq!(
             result.dc_error, 0.0,
@@ -243,6 +255,10 @@ pub fn run(opts: &ExperimentOpts) -> Result<(), String> {
             n_r2: data.n_r2(),
             n_ccs: ccs.len(),
             phase1_s: result.phase1_s,
+            hasse_s: result.recursion_s,
+            repair_s: result.repair_s,
+            leftovers_s: result.leftovers_s,
+            random_s: result.random_s,
             phase2_s: result.phase2_s,
             wall_s: result.wall_s,
             cc_median: result.cc_median,
@@ -260,6 +276,11 @@ pub fn run(opts: &ExperimentOpts) -> Result<(), String> {
         seed: opts.seed,
         knobs: opts.knobs.clone(),
         conflict: opts.conflict.label().to_owned(),
+        phase1: if opts.parallel_phase1 {
+            "parallel".to_owned()
+        } else {
+            "serial".to_owned()
+        },
         records,
     };
     let dir = opts
@@ -422,6 +443,7 @@ mod tests {
             seed: 7,
             knobs: BTreeMap::new(),
             conflict: "indexed".to_owned(),
+            phase1: "parallel".to_owned(),
             records: vec![ScaleRecord {
                 workload: "census".to_owned(),
                 scale: 40.0,
@@ -430,6 +452,10 @@ mod tests {
                 n_r2: 392_800,
                 n_ccs: 150,
                 phase1_s: 10.0,
+                hasse_s: 4.0,
+                repair_s: 1.0,
+                leftovers_s: 5.0,
+                random_s: 0.0,
                 phase2_s: 20.0,
                 wall_s: 31.0,
                 cc_median: 0.0,
@@ -463,6 +489,7 @@ mod tests {
             seed: 7,
             knobs: BTreeMap::new(),
             conflict: "indexed".to_owned(),
+            phase1: "serial".to_owned(),
             records: Vec::new(),
         };
         merge_section(&path, &section).unwrap();

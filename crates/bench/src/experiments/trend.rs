@@ -194,12 +194,76 @@ fn render_rows(lines: &[HistoryLine]) -> (Vec<String>, Vec<Vec<String>>) {
     (headers, rows)
 }
 
-fn markdown(title: &str, headers: &[String], rows: &[Vec<String>], skipped: usize) -> String {
+/// Records whose wall time rose over the **last ≥2 consecutive deltas**
+/// between comparable shown lines — the "creeping regression" signal a
+/// single 3× `perf-check` bound misses. Only lines with the newest line's
+/// parameters participate (a starred column's wall says nothing about a
+/// trend); lines missing the record are skipped, not streak-breaking.
+/// Each entry renders as `key (+P% over N lines)`.
+fn rising_records(lines: &[HistoryLine]) -> Vec<String> {
+    let newest_params = &lines[lines.len() - 1].params;
+    let shown = &lines[lines.len().saturating_sub(MAX_COLUMNS)..];
+    let comparable: Vec<&HistoryLine> = shown
+        .iter()
+        .filter(|l| &l.params == newest_params)
+        .collect();
+    let mut keys: Vec<&String> = Vec::new();
+    for l in &comparable {
+        for k in l.walls.keys() {
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+    }
+    keys.sort();
+    let mut rising = Vec::new();
+    for key in keys {
+        let values: Vec<f64> = comparable
+            .iter()
+            .filter_map(|l| l.walls.get(key))
+            .copied()
+            .collect();
+        // Trailing streak of strictly upward deltas.
+        let mut streak = 0;
+        for w in values.windows(2).rev() {
+            if w[1] > w[0] {
+                streak += 1;
+            } else {
+                break;
+            }
+        }
+        if streak >= 2 {
+            let first = values[values.len() - 1 - streak];
+            let last = values[values.len() - 1];
+            rising.push(format!(
+                "{key} (+{:.0}% over {streak} deltas)",
+                (last / first - 1.0) * 100.0
+            ));
+        }
+    }
+    rising
+}
+
+fn markdown(
+    title: &str,
+    headers: &[String],
+    rows: &[Vec<String>],
+    skipped: usize,
+    rising: &[String],
+) -> String {
     let mut out = String::new();
     out.push_str(&format!("# {title}\n\n"));
     if skipped > 0 {
         out.push_str(&format!(
             "_{skipped} older history line(s) not shown (cap: {MAX_COLUMNS} columns)._\n\n"
+        ));
+    }
+    if !rising.is_empty() {
+        // One line per warning so a CI job summary can surface it verbatim.
+        out.push_str(&format!(
+            "**⚠ rising walls ({} record(s) up for ≥2 consecutive comparable lines):** {}\n\n",
+            rising.len(),
+            rising.join(", ")
         ));
     }
     out.push_str(&format!("| {} |\n", headers.join(" | ")));
@@ -235,6 +299,7 @@ pub fn run(opts: &ExperimentOpts) -> Result<(), String> {
         );
     }
     let (headers, rows) = render_rows(&lines);
+    let rising = rising_records(&lines);
     let skipped = lines.len().saturating_sub(MAX_COLUMNS);
     let title = format!(
         "Perf trend — {} history line(s) from {}",
@@ -250,11 +315,24 @@ pub fn run(opts: &ExperimentOpts) -> Result<(), String> {
     if skipped > 0 {
         println!("[{skipped} older history line(s) not shown; cap {MAX_COLUMNS}]");
     }
+    if rising.is_empty() {
+        println!("[perf-trend: no record rising for >=2 consecutive comparable lines]");
+    } else {
+        // Grep-stable marker line; CI copies it into the job summary.
+        println!(
+            "[perf-trend warning: {} record(s) rising for >=2 consecutive lines: {}]",
+            rising.len(),
+            rising.join(", ")
+        );
+    }
     if let Some(dir) = &opts.out_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("create output dir: {e}"))?;
         let md_path = dir.join("perf_trend.md");
-        std::fs::write(&md_path, markdown(&title, &headers, &rows, skipped))
-            .map_err(|e| format!("write {}: {e}", md_path.display()))?;
+        std::fs::write(
+            &md_path,
+            markdown(&title, &headers, &rows, skipped, &rising),
+        )
+        .map_err(|e| format!("write {}: {e}", md_path.display()))?;
         println!("[markdown trend written to {}]\n", md_path.display());
     }
     Ok(())
@@ -414,9 +492,63 @@ mod tests {
         let path = write_history("md.jsonl", &[line("a", 0.005, &[("census/good/s", 0.1)])]);
         let (lines, _) = read_history(&path).unwrap();
         let (headers, rows) = render_rows(&lines);
-        let md = markdown("t", &headers, &rows, 2);
+        let md = markdown("t", &headers, &rows, 2, &[]);
         assert!(md.contains("| Record |"));
         assert!(md.contains("census/good/s"));
         assert!(md.contains("2 older history line(s)"));
+        assert!(!md.contains("rising walls"));
+        let md = markdown(
+            "t",
+            &headers,
+            &rows,
+            0,
+            &["census/good/s (+40%)".to_owned()],
+        );
+        assert!(md.contains("rising walls"), "{md}");
+        assert!(md.contains("census/good/s (+40%)"), "{md}");
+    }
+
+    #[test]
+    fn rising_records_flags_two_consecutive_upward_deltas() {
+        let path = write_history(
+            "rising.jsonl",
+            &[
+                line("a", 0.005, &[("census/good/s", 0.10), ("flat/good/s", 0.2)]),
+                line("b", 0.005, &[("census/good/s", 0.12), ("flat/good/s", 0.2)]),
+                line("c", 0.005, &[("census/good/s", 0.15), ("flat/good/s", 0.2)]),
+            ],
+        );
+        let (lines, _) = read_history(&path).unwrap();
+        let rising = rising_records(&lines);
+        assert_eq!(rising.len(), 1, "{rising:?}");
+        assert!(rising[0].starts_with("census/good/s (+50%"), "{rising:?}");
+    }
+
+    #[test]
+    fn rising_ignores_broken_streaks_and_incomparable_lines() {
+        // A dip before the last rise: only one trailing upward delta.
+        let path = write_history(
+            "rising-dip.jsonl",
+            &[
+                line("a", 0.005, &[("census/good/s", 0.10)]),
+                line("b", 0.005, &[("census/good/s", 0.20)]),
+                line("c", 0.005, &[("census/good/s", 0.15)]),
+                line("d", 0.005, &[("census/good/s", 0.18)]),
+            ],
+        );
+        let (lines, _) = read_history(&path).unwrap();
+        assert!(rising_records(&lines).is_empty());
+        // Rising, but across lines with different parameters: the starred
+        // lines drop out of the streak entirely.
+        let path = write_history(
+            "rising-params.jsonl",
+            &[
+                line("a", 0.02, &[("census/good/s", 0.10)]),
+                line("b", 0.02, &[("census/good/s", 0.12)]),
+                line("c", 0.005, &[("census/good/s", 0.15)]),
+            ],
+        );
+        let (lines, _) = read_history(&path).unwrap();
+        assert!(rising_records(&lines).is_empty());
     }
 }

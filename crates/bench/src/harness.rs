@@ -46,6 +46,9 @@ pub struct ExperimentOpts {
     /// is bit-identical across kinds, only build cost differs — `naive` is
     /// the measured baseline for the indexed fast path.
     pub conflict: ConflictBuilderKind,
+    /// Shard Phase I's bulk work across the `CEXTEND_SCHED_WORKERS` pool
+    /// (`--phase1 parallel|serial`); output is bit-identical either way.
+    pub parallel_phase1: bool,
     /// `BENCH_history.jsonl` path `perf-trend` reads (`--history`; `None`
     /// means the file in the working directory, i.e. the committed one).
     pub history: Option<PathBuf>,
@@ -73,6 +76,7 @@ impl Default for ExperimentOpts {
             baseline: None,
             scheduler: SchedulerMode::Serial,
             conflict: ConflictBuilderKind::Indexed,
+            parallel_phase1: false,
             history: None,
             label: "dev".to_owned(),
             stamp: "unstamped".to_owned(),
@@ -136,6 +140,7 @@ impl ExperimentOpts {
         SolverConfig::hybrid()
             .with_scheduler(self.scheduler)
             .with_conflict(self.conflict)
+            .with_parallel_phase1(self.parallel_phase1)
     }
 
     /// The fully resolved knob map of the selected workload: every
@@ -178,10 +183,20 @@ pub struct RunResult {
     pub phase2_s: f64,
     /// Pairwise-comparison seconds (Figure 13 row 1).
     pub pairwise_s: f64,
-    /// Algorithm 2 recursion seconds (Figure 13 row 2).
+    /// Algorithm 2 recursion seconds (Figure 13 row 2) — the `hasse_s`
+    /// sub-stage of the Phase 1 breakdown.
     pub recursion_s: f64,
     /// ILP build+solve seconds (Figure 13 row 3).
     pub ilp_s: f64,
+    /// ILP greedy-fill seconds (part of the Phase 1 breakdown).
+    pub fill_s: f64,
+    /// Local-search repair seconds (Phase 1 breakdown).
+    pub repair_s: f64,
+    /// Leftover-completion seconds (Phase 1 breakdown; Algorithm 2 lines
+    /// 14–17).
+    pub leftovers_s: f64,
+    /// Baseline random-completion seconds (Phase 1 breakdown).
+    pub random_s: f64,
     /// Conflict build + coloring seconds (Figure 13 row 4).
     pub coloring_s: f64,
     /// Fresh `R2` tuples minted.
@@ -205,6 +220,10 @@ impl RunResult {
             pairwise_s: t.pairwise_comparison.as_secs_f64(),
             recursion_s: t.recursion.as_secs_f64(),
             ilp_s: (t.ilp_build + t.ilp_solve).as_secs_f64(),
+            fill_s: t.fill.as_secs_f64(),
+            repair_s: t.repair.as_secs_f64(),
+            leftovers_s: t.leftovers.as_secs_f64(),
+            random_s: t.random.as_secs_f64(),
             coloring_s: (t.conflict_build + t.coloring + t.invalid_handling).as_secs_f64(),
             new_r2_tuples: stats.counters.new_r2_tuples,
             cc_errors: report.cc_errors,
@@ -250,6 +269,10 @@ fn average_results(results: Vec<RunResult>) -> RunResult {
         pairwise_s: avg(|r| r.pairwise_s),
         recursion_s: avg(|r| r.recursion_s),
         ilp_s: avg(|r| r.ilp_s),
+        fill_s: avg(|r| r.fill_s),
+        repair_s: avg(|r| r.repair_s),
+        leftovers_s: avg(|r| r.leftovers_s),
+        random_s: avg(|r| r.random_s),
         coloring_s: avg(|r| r.coloring_s),
         new_r2_tuples: results.iter().map(|r| r.new_r2_tuples).sum::<usize>() / results.len(),
         cc_errors: results
@@ -675,6 +698,22 @@ mod tests {
         // The chain total aggregates the per-step timings.
         let wall_sum: f64 = chain.steps.iter().map(|s| s.result.phase1_s).sum();
         assert!((chain.total.phase1_s - wall_sum).abs() < 1e-9);
+        // The Phase 1 sub-stages decompose phase1_s exactly.
+        for r in chain
+            .steps
+            .iter()
+            .map(|s| &s.result)
+            .chain(std::iter::once(&chain.total))
+        {
+            let stage_sum = r.pairwise_s
+                + r.recursion_s
+                + r.ilp_s
+                + r.fill_s
+                + r.repair_s
+                + r.leftovers_s
+                + r.random_s;
+            assert!((r.phase1_s - stage_sum).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -157,6 +157,11 @@ pub struct SolverConfig {
     /// Color partitions on multiple threads (Section A.3). Deterministic:
     /// results are merged in partition order.
     pub parallel_coloring: bool,
+    /// Shard Phase I's bulk work (per-CC row-match bitmaps, leftover-row
+    /// completion) across the `CEXTEND_SCHED_WORKERS` pool. Deterministic:
+    /// RNG draws come from fixed per-shard streams derived from the seed,
+    /// so output is bit-identical to the serial path at any worker count.
+    pub parallel_phase1: bool,
     /// Permit inventing fresh `R2` tuples for skipped/invalid tuples
     /// (Algorithm 4 lines 11–14). Disable to make the solver *decide*
     /// C-Extension instead of always succeeding.
@@ -192,6 +197,7 @@ impl SolverConfig {
             conflict: ConflictBuilderKind::Indexed,
             ilp: IlpSettings::default(),
             parallel_coloring: false,
+            parallel_phase1: false,
             allow_augmenting_r2: true,
             complete_all_r2_columns: false,
             scheduler: SchedulerMode::Serial,
@@ -252,6 +258,16 @@ impl SolverConfig {
         self.parallel_coloring = parallel;
         self
     }
+
+    /// Builder-style parallel-Phase-1 override. Per-CC row-match bitmap
+    /// construction and leftover-row completion are sharded across the
+    /// `CEXTEND_SCHED_WORKERS` pool when enabled; per-shard RNG streams are
+    /// derived from the seed, so output is bit-identical to the serial
+    /// path at any worker count.
+    pub fn with_parallel_phase1(mut self, parallel: bool) -> SolverConfig {
+        self.parallel_phase1 = parallel;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -298,6 +314,16 @@ mod tests {
             SolverConfig::hybrid()
                 .with_parallel_coloring(true)
                 .parallel_coloring
+        );
+    }
+
+    #[test]
+    fn parallel_phase1_builder() {
+        assert!(!SolverConfig::hybrid().parallel_phase1);
+        assert!(
+            SolverConfig::hybrid()
+                .with_parallel_phase1(true)
+                .parallel_phase1
         );
     }
 

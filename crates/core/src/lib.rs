@@ -85,6 +85,20 @@ pub use error::{CoreError, Result};
 pub use instance::CExtensionInstance;
 pub use report::{Solution, SolveCounters, SolveStats, StageTimings};
 
+/// Phase I internals (Algorithm 2 and the completion passes), exposed for
+/// the criterion benches and the oracle-equivalence tests: the
+/// code-compressed production paths next to the retained scalar oracles,
+/// plus the per-shard RNG stream machinery the determinism tests pin down.
+pub mod phase1_internals {
+    pub use crate::phase1::compressed::{complete_leftovers, complete_randomly};
+    pub use crate::phase1::hasse_rec::{
+        run as run_hasse, run_scalar as run_hasse_scalar, HasseOutcome,
+    };
+    pub use crate::phase1::{
+        complete_leftovers_scalar, complete_randomly_scalar, shard_rng, Combo, P1, SHARD_SIZE,
+    };
+}
+
 /// Solves a C-Extension instance with the given configuration.
 ///
 /// On success the returned [`Solution`] satisfies Proposition 5.5: `R̂1`'s
@@ -103,6 +117,11 @@ pub fn solve(instance: &CExtensionInstance, config: &SolverConfig) -> Result<Sol
     let (p1, invalid) = phase1::run_phase1(instance, config, &mut stats)?;
     if trace {
         eprintln!("[trace] phase1 done: {} invalid rows", invalid.len());
+        let t = &stats.timings;
+        eprintln!(
+            "[trace] phase1 stages: hasse={:?} repair={:?} leftovers={:?} random={:?}",
+            t.recursion, t.repair, t.leftovers, t.random
+        );
     }
     let (r1_hat, r2_hat, vjoin) = phase2::run_phase2(instance, config, p1, invalid, &mut stats)?;
     if trace {
@@ -158,6 +177,7 @@ mod solve_tests {
                 phase1: Phase1Strategy::HasseOnly,
                 ..SolverConfig::hybrid()
             },
+            SolverConfig::hybrid().with_parallel_phase1(true),
         ] {
             let solution = solve(&instance, &config).unwrap();
             let fk = solution.r1_hat.schema().fk_col().unwrap();
@@ -165,6 +185,32 @@ mod solve_tests {
             let report = evaluate(&instance, &solution).unwrap();
             assert!(report.join_recovered, "{config:?}");
         }
+    }
+
+    #[test]
+    fn parallel_phase1_is_bit_identical_to_serial() {
+        let instance = fixtures::running_example();
+        let serial = solve(&instance, &SolverConfig::hybrid().with_seed(5)).unwrap();
+        let parallel = solve(
+            &instance,
+            &SolverConfig::hybrid()
+                .with_seed(5)
+                .with_parallel_phase1(true),
+        )
+        .unwrap();
+        assert!(cextend_table::relations_equal_ordered(
+            &serial.r1_hat,
+            &parallel.r1_hat
+        ));
+        assert!(cextend_table::relations_equal_ordered(
+            &serial.r2_hat,
+            &parallel.r2_hat
+        ));
+        assert!(cextend_table::relations_equal_ordered(
+            &serial.vjoin,
+            &parallel.vjoin
+        ));
+        assert_eq!(serial.stats.counters, parallel.stats.counters);
     }
 
     #[test]

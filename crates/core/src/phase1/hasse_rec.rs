@@ -7,13 +7,13 @@
 //! intersecting pair and a satisfying view exists, the result is exact.
 
 use crate::error::Result;
-use crate::phase1::{RowState, P1};
+use crate::phase1::{compressed, RowState, P1};
 use cextend_constraints::{CardinalityConstraint, HasseDiagram};
-use cextend_table::BoundPredicate;
+use cextend_table::{BoundPredicate, RowId, Sym, Value};
 
 /// Outcome counters of one Algorithm 2 run.
 #[derive(Clone, Copy, Debug, Default)]
-pub(crate) struct HasseOutcome {
+pub struct HasseOutcome {
     /// Rows assigned (fully or partially).
     pub assigned_rows: usize,
     /// Nodes whose demand could not be met (shortfall in matching rows or
@@ -21,10 +21,167 @@ pub(crate) struct HasseOutcome {
     pub deficits: usize,
 }
 
+/// Picks the node's `R2` combo. The node's values are drawn from an
+/// existing combo; containment can run through the R2 side (e.g. an
+/// Area-only parent over Tenure-Area children with the *same* R1
+/// condition), so prefer a combo that satisfies as few children's R2
+/// conditions as possible — rows assigned such a combo cannot leak counts
+/// into those children, which keeps the paper's line 12 row filter (¬σ_c)
+/// restricted to the children the combo could actually feed. `None` when no
+/// real R2 tuple satisfies the node's R2 side.
+fn choose_combo(
+    p1: &P1,
+    ccs: &[CardinalityConstraint],
+    node: usize,
+    children: &[usize],
+) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None; // (overlapping children, combo idx)
+    for (i, combo) in p1.combos.iter().enumerate() {
+        if !p1.combo_satisfies(combo, &ccs[node].r2) {
+            continue;
+        }
+        let overlap = children
+            .iter()
+            .filter(|&&c| p1.combo_satisfies(combo, &ccs[c].r2))
+            .count();
+        if best.is_none_or(|(b, _)| overlap < b) {
+            best = Some((overlap, i));
+        }
+        if overlap == 0 {
+            break;
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
 /// Runs Algorithm 2 over the given components of the Hasse diagram.
 /// `nodes` indexes into `ccs`; only components listed in `components` are
 /// processed.
-pub(crate) fn run(
+///
+/// This is the code-compressed production path: per-CC `R1`-match bitmaps
+/// are built word-wise in parallel up front (`parallel` / `width` control
+/// the pool), and each node's candidate scan is a bitmap intersection
+/// (`node & empty & !excluded`) instead of a row-at-a-time predicate walk.
+/// The recursion itself stays serial — components are *not* row-disjoint
+/// (CCs disjoint through `R2` compete for the same empty rows), so node
+/// order is part of the algorithm's semantics. Bit-identical to
+/// [`run_scalar`].
+pub fn run(
+    p1: &mut P1,
+    ccs: &[CardinalityConstraint],
+    hasse: &HasseDiagram,
+    components: &[&[usize]],
+    parallel: bool,
+    width: Option<usize>,
+) -> Result<HasseOutcome> {
+    let bound_r1: Vec<BoundPredicate> = ccs
+        .iter()
+        .map(|cc| p1.bind_r1(&cc.r1))
+        .collect::<Result<Vec<_>>>()?;
+    let cc_bits = compressed::cc_r1_bitmaps(&p1.view, &bound_r1, parallel, width);
+    let mut empty = compressed::empty_rows_bitmap(p1);
+    let mut out = HasseOutcome::default();
+    for comp in components {
+        for m in hasse.maximal_elements(comp) {
+            solve_node_bits(p1, ccs, hasse, &cc_bits, &mut empty, m, &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+fn solve_node_bits(
+    p1: &mut P1,
+    ccs: &[CardinalityConstraint],
+    hasse: &HasseDiagram,
+    cc_bits: &[Vec<u64>],
+    empty: &mut Vec<u64>,
+    node: usize,
+    out: &mut HasseOutcome,
+) -> Result<()> {
+    // Children first (lines 9–11).
+    let children: Vec<usize> = hasse.children(node).to_vec();
+    for &c in &children {
+        solve_node_bits(p1, ccs, hasse, cc_bits, empty, c, out)?;
+    }
+    // Demand left for this node after its children (line 12).
+    let child_total: u64 = children.iter().map(|&c| ccs[c].target).sum();
+    let need = ccs[node].target.saturating_sub(child_total);
+    if ccs[node].target < child_total {
+        out.deficits += 1;
+    }
+    if need == 0 {
+        return Ok(());
+    }
+    let Some(combo_idx) = choose_combo(p1, ccs, node, &children) else {
+        out.deficits += 1;
+        return Ok(());
+    };
+    // Children whose count the chosen combo could still contribute to: rows
+    // matching their R1 condition must be excluded (line 12's ¬σ_c).
+    let excluded: Vec<usize> = children
+        .iter()
+        .copied()
+        .filter(|&c| p1.combo_satisfies(&p1.combos[combo_idx], &ccs[c].r2))
+        .collect();
+    // Candidate rows: empty AND matching the node's R1 condition AND no
+    // excluded child's — the first `need` of them in ascending row order,
+    // exactly the rows the scalar scan takes.
+    let mut rows: Vec<RowId> = Vec::with_capacity(need.min(4096) as usize);
+    'scan: for wi in 0..empty.len() {
+        let mut w = cc_bits[node][wi] & empty[wi];
+        for &e in &excluded {
+            w &= !cc_bits[e][wi];
+        }
+        while w != 0 {
+            rows.push((wi << 6) | w.trailing_zeros() as usize);
+            if rows.len() == need as usize {
+                break 'scan;
+            }
+            w &= w - 1;
+        }
+    }
+    let taken = rows.len() as u64;
+    // Batch-write the cond-constrained columns (Algorithm 2's partial
+    // assignment), one column batch instead of per-row `set` calls.
+    let cond = &ccs[node].r2;
+    let write_cols: Vec<(usize, cextend_table::ColId)> = p1
+        .r2_cc_cols
+        .iter()
+        .enumerate()
+        .filter(|(_, name)| cond.get(name).is_some())
+        .map(|(j, _)| (j, p1.view_cc_ids[j]))
+        .collect();
+    for &(j, col) in &write_cols {
+        match p1.combos[combo_idx][j] {
+            Value::Int(x) => {
+                let cells: Vec<(RowId, i64)> = rows.iter().map(|&r| (r, x)).collect();
+                p1.view.batch_set_ints(col, &cells)?;
+            }
+            Value::Str(s) => {
+                let cells: Vec<(RowId, Sym)> = rows.iter().map(|&r| (r, s)).collect();
+                p1.view.batch_set_syms(col, &cells)?;
+            }
+        }
+    }
+    out.assigned_rows += rows.len();
+    // Claimed rows leave the empty set — unless the node's condition is
+    // empty, in which case the partial assignment wrote nothing and the
+    // rows really are still Empty (matching the scalar `row_state` check).
+    if !write_cols.is_empty() {
+        for &r in &rows {
+            empty[r >> 6] &= !(1 << (r & 63));
+        }
+    }
+    if taken < need {
+        out.deficits += 1;
+    }
+    Ok(())
+}
+
+/// The scalar oracle for [`run`]: boxed per-row state probes and compiled
+/// predicate walks over all rows, per node. Kept for the equivalence tests
+/// and the criterion benches.
+pub fn run_scalar(
     p1: &mut P1,
     ccs: &[CardinalityConstraint],
     hasse: &HasseDiagram,
@@ -65,30 +222,7 @@ fn solve_node(
     if need == 0 {
         return Ok(());
     }
-    // The node's R2 values, drawn from an existing combo. Containment can
-    // run through the R2 side (e.g. an Area-only parent over Tenure-Area
-    // children with the *same* R1 condition), so prefer a combo that
-    // satisfies as few children's R2 conditions as possible — rows assigned
-    // such a combo cannot leak counts into those children, which keeps the
-    // paper's line 12 row filter (¬σ_c) restricted to the children the
-    // combo could actually feed.
-    let mut best: Option<(usize, usize)> = None; // (overlapping children, combo idx)
-    for (i, combo) in p1.combos.iter().enumerate() {
-        if !p1.combo_satisfies(combo, &ccs[node].r2) {
-            continue;
-        }
-        let overlap = children
-            .iter()
-            .filter(|&&c| p1.combo_satisfies(combo, &ccs[c].r2))
-            .count();
-        if best.is_none_or(|(b, _)| overlap < b) {
-            best = Some((overlap, i));
-        }
-        if overlap == 0 {
-            break;
-        }
-    }
-    let Some((_, combo_idx)) = best else {
+    let Some(combo_idx) = choose_combo(p1, ccs, node, &children) else {
         // No real R2 tuple can satisfy this CC's R2 side.
         out.deficits += 1;
         return Ok(());
@@ -201,7 +335,25 @@ mod tests {
         let m = RelationshipMatrix::build(&instance.ccs);
         let hasse = HasseDiagram::build(&m);
         let comps: Vec<&[usize]> = hasse.components().iter().map(|c| c.as_slice()).collect();
-        let out = run(&mut p1, &instance.ccs, &hasse, &comps).unwrap();
+        let out = run(&mut p1, &instance.ccs, &hasse, &comps, false, None).unwrap();
+
+        // Every fixture doubles as an oracle-equivalence case: the scalar
+        // path and the compressed path (serial and at 2/4 workers) must
+        // produce the same view and counters.
+        let mut scalar = P1::build(instance, &config).unwrap();
+        let scalar_out = run_scalar(&mut scalar, &instance.ccs, &hasse, &comps).unwrap();
+        assert_eq!(out.assigned_rows, scalar_out.assigned_rows);
+        assert_eq!(out.deficits, scalar_out.deficits);
+        assert!(cextend_table::relations_equal_ordered(
+            &scalar.view,
+            &p1.view
+        ));
+        for width in [2usize, 4] {
+            let mut par = P1::build(instance, &config).unwrap();
+            let par_out = run(&mut par, &instance.ccs, &hasse, &comps, true, Some(width)).unwrap();
+            assert_eq!(out.assigned_rows, par_out.assigned_rows);
+            assert!(cextend_table::relations_equal_ordered(&p1.view, &par.view));
+        }
         (p1, out)
     }
 

@@ -45,8 +45,8 @@ pub(crate) fn run(
             stats.counters.s2_ccs = instance.ccs.len();
             // Baseline completion: random combos for every leftover row.
             let t = Instant::now();
-            complete_randomly(&mut p1)?;
-            stats.timings.completion += t.elapsed();
+            complete_randomly(&mut p1, config.parallel_phase1, None)?;
+            stats.timings.random += t.elapsed();
         }
     }
     // Whatever strategy ran, rows still incomplete are the invalid tuples.
@@ -108,7 +108,7 @@ fn run_hybrid(
 
     // ---- Algorithm 2 on the clean diagrams. -----------------------------
     let t = Instant::now();
-    hasse_rec::run(p1, &kept, &hasse, &clean)?;
+    hasse_rec::run(p1, &kept, &hasse, &clean, config.parallel_phase1, None)?;
     stats.timings.recursion += t.elapsed();
 
     // ---- Algorithm 1 with modified marginals on the dirty set. ----------
@@ -133,13 +133,13 @@ fn run_hybrid(
         let repaired =
             crate::phase1::repair::repair(p1, &subset, &protected, config.ilp.repair_passes)?;
         stats.counters.repair_moves += repaired.moves;
-        stats.timings.fill += t.elapsed();
+        stats.timings.repair += t.elapsed();
     }
 
     // ---- Completion (Algorithm 2 lines 14–17, generalized). -------------
     let t = Instant::now();
-    complete_leftovers(p1, &instance.ccs)?;
-    stats.timings.completion += t.elapsed();
+    complete_leftovers(p1, &instance.ccs, config.parallel_phase1, None)?;
+    stats.timings.leftovers += t.elapsed();
     Ok(())
 }
 

@@ -8,6 +8,7 @@
 //! [`hasse_rec`]), the ILP formulation (Algorithm 1, [`ilp_based`]) and the
 //! hybrid split of Section 4.3 ([`hybrid`]).
 
+pub(crate) mod compressed;
 pub(crate) mod hasse_rec;
 pub(crate) mod hybrid;
 pub(crate) mod ilp_based;
@@ -29,11 +30,42 @@ use rand::SeedableRng;
 
 /// A full assignment of the CC-referenced `R2` columns, aligned with
 /// [`P1::r2_cc_cols`].
-pub(crate) type Combo = Vec<Value>;
+pub type Combo = Vec<Value>;
+
+/// Fixed shard size for leftover/random completion. Rows are sharded into
+/// fixed-size chunks *independently of the worker count*, and every shard
+/// draws from its own RNG stream ([`shard_rng`]) — so a serial run, a
+/// 2-worker run and a 64-worker run all make bit-identical choices.
+pub const SHARD_SIZE: usize = 4096;
+
+/// Stream salt for leftover completion (`complete_leftovers`).
+pub(crate) const LEFTOVERS_SALT: u64 = 0x4c45_4654; // "LEFT"
+
+/// Stream salt for baseline random completion (`complete_randomly`).
+pub(crate) const RANDOM_SALT: u64 = 0x0052_4e44; // "RND"
+
+/// SplitMix64 finalizer: a bijective avalanche over `x`.
+fn splitmix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The RNG stream for shard `shard` of the completion stage `salt`, derived
+/// from the solver seed. Streams are a pure function of
+/// `(seed, salt, shard)` — never of worker count or iteration order — which
+/// is the whole determinism argument for parallel Phase 1.
+pub fn shard_rng(seed: u64, salt: u64, shard: u64) -> StdRng {
+    let x = splitmix(
+        seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard.wrapping_add(1)))
+            ^ splitmix(salt),
+    );
+    StdRng::seed_from_u64(x)
+}
 
 /// Assignment state of a view row over the CC-referenced `R2` columns.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub(crate) enum RowState {
+pub enum RowState {
     /// No CC column assigned.
     Empty,
     /// Some but not all CC columns assigned.
@@ -43,7 +75,7 @@ pub(crate) enum RowState {
 }
 
 /// Phase I working context.
-pub(crate) struct P1 {
+pub struct P1 {
     /// The join view being completed (row `i` ↔ `R1` row `i`).
     pub view: Relation,
     /// CC-referenced `R2` attribute columns, sorted.
@@ -54,7 +86,10 @@ pub(crate) struct P1 {
     pub combos: Vec<Combo>,
     /// Binning of `R1`'s attribute columns (intervalized numerics).
     pub binning: Binning,
-    /// Seeded RNG for baseline random completion.
+    /// The solver seed; completion stages derive per-shard streams from it
+    /// via [`shard_rng`].
+    pub seed: u64,
+    /// Seeded RNG for Phase II's random-assignment baseline.
     pub rng: StdRng,
 }
 
@@ -124,6 +159,7 @@ impl P1 {
             view_cc_ids,
             combos,
             binning,
+            seed: config.seed,
             rng: StdRng::seed_from_u64(config.seed),
         })
     }
@@ -190,7 +226,7 @@ impl P1 {
             .bind(self.view.schema(), self.view.name())?)
     }
 
-    /// Row ids currently in [`RowState::Empty`].
+    /// Row ids currently in `RowState::Empty`.
     pub fn empty_rows(&self) -> Vec<RowId> {
         self.view
             .rows()
@@ -216,7 +252,26 @@ pub(crate) fn combo_satisfies(cols: &[String], combo: &[Value], cond: &Normalize
 /// tuples* — and are resolved by Phase II's `solveInvalidTuples`.
 ///
 /// Returns the invalid row ids.
-pub(crate) fn complete_leftovers(p1: &mut P1, ccs: &[CardinalityConstraint]) -> Result<Vec<RowId>> {
+///
+/// This is the production entry point; it runs the code-compressed, indexed
+/// implementation in [`compressed`]. The row-at-a-time scalar oracle is
+/// retained as [`complete_leftovers_scalar`] and equivalence-tested against
+/// it. `width` pins the worker count (tests); `None` honors
+/// `CEXTEND_SCHED_WORKERS`.
+pub fn complete_leftovers(
+    p1: &mut P1,
+    ccs: &[CardinalityConstraint],
+    parallel: bool,
+    width: Option<usize>,
+) -> Result<Vec<RowId>> {
+    compressed::complete_leftovers(p1, ccs, parallel, width)
+}
+
+/// The scalar oracle for `complete_leftovers`: boxed per-row reads, per-row
+/// candidate scans. Kept for equivalence tests and the criterion benches; it
+/// draws from the same per-shard RNG streams as the compressed path, so both
+/// produce bit-identical views.
+pub fn complete_leftovers_scalar(p1: &mut P1, ccs: &[CardinalityConstraint]) -> Result<Vec<RowId>> {
     use rand::Rng;
     let bound_r1: Vec<BoundPredicate> = ccs
         .iter()
@@ -259,51 +314,54 @@ pub(crate) fn complete_leftovers(p1: &mut P1, ccs: &[CardinalityConstraint]) -> 
     let mut invalid = Vec::new();
     let mut candidates: Vec<usize> = Vec::new();
     let mut row_mask = vec![0u64; words];
-    for (li, &row) in leftover.iter().enumerate() {
-        let partial: Vec<Option<Value>> = p1
-            .view_cc_ids
-            .iter()
-            .map(|&c| p1.view.get(row, c))
-            .collect();
-        // CCs that would gain a *new* contribution from this row: the R1
-        // side holds and the partial assignment has not already pinned the
-        // R2 side (Algorithm 2 counted pinned rows when it assigned them).
-        row_mask.copy_from_slice(&r1_masks[li]);
-        for (ci, cc) in ccs.iter().enumerate() {
-            if r1_masks[li][ci / 64] & (1 << (ci % 64)) == 0 {
+    let view_cc_ids = p1.view_cc_ids.clone();
+    for (shard, rows) in leftover.chunks(SHARD_SIZE).enumerate() {
+        let mut rng = shard_rng(p1.seed, LEFTOVERS_SALT, shard as u64);
+        for (k, &row) in rows.iter().enumerate() {
+            let li = shard * SHARD_SIZE + k;
+            let partial: Vec<Option<Value>> =
+                view_cc_ids.iter().map(|&c| p1.view.get(row, c)).collect();
+            // CCs that would gain a *new* contribution from this row: the
+            // R1 side holds and the partial assignment has not already
+            // pinned the R2 side (Algorithm 2 counted pinned rows when it
+            // assigned them).
+            row_mask.copy_from_slice(&r1_masks[li]);
+            for (ci, cc) in ccs.iter().enumerate() {
+                if r1_masks[li][ci / 64] & (1 << (ci % 64)) == 0 {
+                    continue;
+                }
+                let already = cc.r2.iter().all(|(col, set)| {
+                    p1.r2_cc_cols
+                        .iter()
+                        .position(|c| c == col)
+                        .and_then(|i| partial[i])
+                        .is_some_and(|v| set.contains(v))
+                });
+                if already {
+                    row_mask[ci / 64] &= !(1 << (ci % 64));
+                }
+            }
+            candidates.clear();
+            candidates.extend((0..p1.combos.len()).filter(|&i| {
+                combo_matches_partial(&p1.combos[i], &partial)
+                    && combo_masks[i]
+                        .iter()
+                        .zip(row_mask.iter())
+                        .all(|(c, r)| c & r == 0)
+            }));
+            if candidates.is_empty() {
+                invalid.push(row);
                 continue;
             }
-            let already = cc.r2.iter().all(|(col, set)| {
-                p1.r2_cc_cols
-                    .iter()
-                    .position(|c| c == col)
-                    .and_then(|i| partial[i])
-                    .is_some_and(|v| set.contains(v))
-            });
-            if already {
-                row_mask[ci / 64] &= !(1 << (ci % 64));
+            // The paper assigns a *random* combination from the unused
+            // pool. Spreading leftovers across combos also keeps Phase II
+            // partitions balanced — picking one fixed combo would funnel
+            // every leftover row into a single giant conflict graph.
+            let idx = candidates[rng.gen_range(0..candidates.len())];
+            for (ci, &col) in view_cc_ids.iter().enumerate() {
+                let v = p1.combos[idx][ci];
+                p1.view.set(row, col, Some(v))?;
             }
-        }
-        candidates.clear();
-        candidates.extend((0..p1.combos.len()).filter(|&i| {
-            combo_matches_partial(&p1.combos[i], &partial)
-                && combo_masks[i]
-                    .iter()
-                    .zip(row_mask.iter())
-                    .all(|(c, r)| c & r == 0)
-        }));
-        if candidates.is_empty() {
-            invalid.push(row);
-            continue;
-        }
-        // The paper assigns a *random* combination from the unused pool.
-        // Spreading leftovers across combos also keeps Phase II partitions
-        // balanced — picking one fixed combo would funnel every leftover
-        // row into a single giant conflict graph.
-        let idx = candidates[p1.rng.gen_range(0..candidates.len())];
-        let combo = p1.combos[idx].clone();
-        for (&col, &v) in p1.view_cc_ids.clone().iter().zip(combo.iter()) {
-            p1.view.set(row, col, Some(v))?;
         }
     }
     Ok(invalid)
@@ -320,40 +378,43 @@ fn combo_matches_partial(combo: &[Value], partial: &[Option<Value>]) -> bool {
 /// random existing combo consistent with its partial assignment (Section
 /// 6.1: "Any V_join tuple without an assignment is completed by randomly
 /// assigning values in B1..Bq").
-pub(crate) fn complete_randomly(p1: &mut P1) -> Result<usize> {
+///
+/// Production entry point — runs the code-compressed implementation in
+/// [`compressed`]; the scalar oracle is [`complete_randomly_scalar`].
+pub fn complete_randomly(p1: &mut P1, parallel: bool, width: Option<usize>) -> Result<usize> {
+    compressed::complete_randomly(p1, parallel, width)
+}
+
+/// The scalar oracle for `complete_randomly`: boxed per-row reads, per-row
+/// candidate scans, same per-shard RNG streams as the compressed path.
+pub fn complete_randomly_scalar(p1: &mut P1) -> Result<usize> {
     use rand::Rng;
     let mut completed = 0usize;
-    for row in 0..p1.view.n_rows() {
-        if p1.row_full(row) {
-            continue;
-        }
-        let partial: Vec<Option<Value>> = p1
-            .view_cc_ids
-            .iter()
-            .map(|&c| p1.view.get(row, c))
-            .collect();
-        let candidates: Vec<usize> = (0..p1.combos.len())
-            .filter(|&i| combo_matches_partial(&p1.combos[i], &partial))
-            .collect();
-        let pool: &[usize] = if candidates.is_empty() {
-            // Nothing matches the partial values; fall back to any combo.
-            &[]
-        } else {
-            &candidates
-        };
-        let idx = if pool.is_empty() {
-            if p1.combos.is_empty() {
-                continue;
+    let rows: Vec<RowId> = p1.view.rows().filter(|&r| !p1.row_full(r)).collect();
+    let view_cc_ids = p1.view_cc_ids.clone();
+    for (shard, chunk) in rows.chunks(SHARD_SIZE).enumerate() {
+        let mut rng = shard_rng(p1.seed, RANDOM_SALT, shard as u64);
+        for &row in chunk {
+            let partial: Vec<Option<Value>> =
+                view_cc_ids.iter().map(|&c| p1.view.get(row, c)).collect();
+            let candidates: Vec<usize> = (0..p1.combos.len())
+                .filter(|&i| combo_matches_partial(&p1.combos[i], &partial))
+                .collect();
+            let idx = if candidates.is_empty() {
+                // Nothing matches the partial values; fall back to any combo.
+                if p1.combos.is_empty() {
+                    continue;
+                }
+                rng.gen_range(0..p1.combos.len())
+            } else {
+                candidates[rng.gen_range(0..candidates.len())]
+            };
+            for (ci, &col) in view_cc_ids.iter().enumerate() {
+                let v = p1.combos[idx][ci];
+                p1.view.set(row, col, Some(v))?;
             }
-            p1.rng.gen_range(0..p1.combos.len())
-        } else {
-            pool[p1.rng.gen_range(0..pool.len())]
-        };
-        let combo = p1.combos[idx].clone();
-        for (&col, &v) in p1.view_cc_ids.clone().iter().zip(combo.iter()) {
-            p1.view.set(row, col, Some(v))?;
+            completed += 1;
         }
-        completed += 1;
     }
     Ok(completed)
 }

@@ -10,7 +10,7 @@ use crate::config::{Phase1Strategy, SolverConfig};
 use crate::instance::CExtensionInstance;
 use crate::metrics::{dc_error, evaluate};
 use cextend_constraints::{CardinalityConstraint, DcAtom, DenialConstraint, NormalizedCond};
-use cextend_table::{ColumnDef, Dtype, Relation, Schema, Value, ValueSet};
+use cextend_table::{relations_equal_ordered, ColumnDef, Dtype, Relation, Schema, Value, ValueSet};
 use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
@@ -198,6 +198,7 @@ proptest! {
                 ..SolverConfig::hybrid()
             }
             .with_seed(seed),
+            SolverConfig::hybrid().with_seed(seed).with_parallel_phase1(true),
         ] {
             let solution = crate::solve(&instance, &config).unwrap();
             let report = evaluate(&instance, &solution).unwrap();
@@ -212,6 +213,23 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Phase 1's parallel mode is a pure scheduling change: the full solve
+    /// is bit-identical to the serial run on arbitrary instances.
+    #[test]
+    fn parallel_phase1_solve_is_bit_identical(si in arb_instance(), seed in 0u64..4) {
+        let instance = build(&si);
+        let serial = crate::solve(&instance, &SolverConfig::hybrid().with_seed(seed)).unwrap();
+        let parallel = crate::solve(
+            &instance,
+            &SolverConfig::hybrid().with_seed(seed).with_parallel_phase1(true),
+        )
+        .unwrap();
+        prop_assert!(relations_equal_ordered(&serial.r1_hat, &parallel.r1_hat));
+        prop_assert!(relations_equal_ordered(&serial.r2_hat, &parallel.r2_hat));
+        prop_assert!(relations_equal_ordered(&serial.vjoin, &parallel.vjoin));
+        prop_assert_eq!(serial.stats.counters, parallel.stats.counters);
     }
 
     /// Baselines always produce *complete* (if DC-violating) assignments

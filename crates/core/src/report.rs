@@ -21,8 +21,13 @@ pub struct StageTimings {
     pub ilp_solve: Duration,
     /// Greedy fill of `V_join` rows from ILP variable values.
     pub fill: Duration,
-    /// Final completion of leftover rows (combo_unused / random).
-    pub completion: Duration,
+    /// Local-search repair of ILP rounding residue.
+    pub repair: Duration,
+    /// Final completion of leftover rows with CC-neutral combos
+    /// (Algorithm 2 lines 14–17, generalized).
+    pub leftovers: Duration,
+    /// Baseline random completion of leftover rows (`IlpOnly` strategies).
+    pub random: Duration,
     /// Partitioning `V_join` and building conflict hypergraphs.
     pub conflict_build: Duration,
     /// List coloring (greedy or exact), including fresh-color repair.
@@ -39,7 +44,9 @@ impl StageTimings {
             + self.ilp_build
             + self.ilp_solve
             + self.fill
-            + self.completion
+            + self.repair
+            + self.leftovers
+            + self.random
     }
 
     /// Total Phase II time.
@@ -60,7 +67,9 @@ impl StageTimings {
         self.ilp_build += other.ilp_build;
         self.ilp_solve += other.ilp_solve;
         self.fill += other.fill;
-        self.completion += other.completion;
+        self.repair += other.repair;
+        self.leftovers += other.leftovers;
+        self.random += other.random;
         self.conflict_build += other.conflict_build;
         self.coloring += other.coloring;
         self.invalid_handling += other.invalid_handling;
@@ -155,10 +164,11 @@ impl fmt::Display for SolveStats {
             "  ILP build/solve     : {:?} / {:?}",
             t.ilp_build, t.ilp_solve
         )?;
+        writeln!(f, "  fill / repair       : {:?} / {:?}", t.fill, t.repair)?;
         writeln!(
             f,
-            "  fill / completion   : {:?} / {:?}",
-            t.fill, t.completion
+            "  leftovers / random  : {:?} / {:?}",
+            t.leftovers, t.random
         )?;
         writeln!(f, "phase II: {:?}", t.phase2())?;
         writeln!(f, "  conflict build      : {:?}", t.conflict_build)?;
@@ -209,12 +219,15 @@ mod tests {
         let t = StageTimings {
             recursion: Duration::from_millis(5),
             ilp_solve: Duration::from_millis(7),
+            repair: Duration::from_millis(2),
+            leftovers: Duration::from_millis(3),
+            random: Duration::from_millis(1),
             coloring: Duration::from_millis(11),
             ..StageTimings::default()
         };
-        assert_eq!(t.phase1(), Duration::from_millis(12));
+        assert_eq!(t.phase1(), Duration::from_millis(18));
         assert_eq!(t.phase2(), Duration::from_millis(11));
-        assert_eq!(t.total(), Duration::from_millis(23));
+        assert_eq!(t.total(), Duration::from_millis(29));
     }
 
     #[test]
@@ -233,6 +246,7 @@ mod tests {
         let b = SolveStats {
             timings: StageTimings {
                 recursion: Duration::from_millis(7),
+                leftovers: Duration::from_millis(2),
                 coloring: Duration::from_millis(1),
                 ..StageTimings::default()
             },
@@ -244,6 +258,7 @@ mod tests {
         };
         a.absorb(&b);
         assert_eq!(a.timings.recursion, Duration::from_millis(12));
+        assert_eq!(a.timings.leftovers, Duration::from_millis(2));
         assert_eq!(a.timings.phase2(), Duration::from_millis(1));
         assert_eq!(a.counters.new_r2_tuples, 5);
         assert!(a.counters.ilp_rounded);
@@ -254,6 +269,8 @@ mod tests {
         let s = SolveStats::default();
         let txt = s.to_string();
         assert!(txt.contains("pairwise comparison"));
+        assert!(txt.contains("repair"));
+        assert!(txt.contains("leftovers"));
         assert!(txt.contains("coloring"));
         assert!(txt.contains("invalid"));
     }

@@ -39,7 +39,7 @@ mod graph;
 mod pool;
 
 pub use graph::{derive_deps, Access, Resource, SchedError, Schedule};
-pub use pool::{pool_width, run_tasks};
+pub use pool::{pool_width, run_tasks, run_tasks_with_width};
 
 /// How a chain of completion steps is executed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]

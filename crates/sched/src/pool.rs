@@ -42,7 +42,26 @@ where
     E: Send,
     F: Fn(usize) -> Result<T, E> + Sync,
 {
-    let n_threads = pool_width(ids.len());
+    run_tasks_with_width(ids, parallel, pool_width(ids.len()), task)
+}
+
+/// [`run_tasks`] with the worker count pinned by the caller instead of
+/// resolved from the environment. Phase 1's determinism tests use this to
+/// run the same batch on 1, 2 and 4 workers without mutating
+/// `CEXTEND_SCHED_WORKERS` (env writes race across test threads). The
+/// width is still capped at the task count; below 2 the batch runs inline.
+pub fn run_tasks_with_width<T, E, F>(
+    ids: &[usize],
+    parallel: bool,
+    width: usize,
+    task: F,
+) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let n_threads = width.min(ids.len());
     // One worker means the pool would just serialize with extra spawn
     // overhead — run inline so parallel mode costs nothing on 1-CPU boxes.
     if !parallel || ids.len() < 2 || n_threads < 2 {
@@ -118,5 +137,28 @@ mod tests {
         let f = |id: usize| -> Result<usize, String> { Ok(id + 1) };
         assert_eq!(run_tasks(&[], true, f).unwrap(), Vec::<usize>::new());
         assert_eq!(run_tasks(&[9], true, f).unwrap(), vec![10]);
+    }
+
+    #[test]
+    fn explicit_width_agrees_across_worker_counts() {
+        let ids: Vec<usize> = (0..23).collect();
+        let f = |id: usize| -> Result<usize, String> { Ok(id * 3 + 1) };
+        let inline = run_tasks_with_width(&ids, false, 4, f).unwrap();
+        for width in [1, 2, 4, 64] {
+            assert_eq!(run_tasks_with_width(&ids, true, width, f).unwrap(), inline);
+        }
+        let failing = |id: usize| -> Result<usize, String> {
+            if id >= 7 {
+                Err(format!("task {id} failed"))
+            } else {
+                Ok(id)
+            }
+        };
+        for width in [1, 2, 4] {
+            assert_eq!(
+                run_tasks_with_width(&ids, true, width, failing).unwrap_err(),
+                "task 7 failed"
+            );
+        }
     }
 }

@@ -262,7 +262,7 @@ pub struct IntColumnView<'a> {
     validity: &'a [u64],
 }
 
-impl IntColumnView<'_> {
+impl<'a> IntColumnView<'a> {
     /// Reads a cell; `None` means the cell is missing.
     ///
     /// # Panics
@@ -285,6 +285,15 @@ impl IntColumnView<'_> {
     /// `true` if the column has no rows.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+
+    /// The packed validity bitmap: bit `row & 63` of word `row >> 6` is set
+    /// iff the cell is present. Bits at positions `>= len()` are zero. This
+    /// is the word-wise scan API — Phase 1 builds whole-relation
+    /// empty/match bitmaps by AND/OR-ing these words instead of probing
+    /// rows one bit at a time.
+    pub fn validity_words(&self) -> &'a [u64] {
+        self.validity
     }
 }
 
@@ -351,6 +360,13 @@ impl<'a> SymColumnView<'a> {
     /// `true` if the column has no rows.
     pub fn is_empty(&self) -> bool {
         self.codes.is_empty()
+    }
+
+    /// The packed validity bitmap (see
+    /// [`IntColumnView::validity_words`]): bit `row & 63` of word
+    /// `row >> 6` is set iff the cell is present; bits `>= len()` are zero.
+    pub fn validity_words(&self) -> &'a [u64] {
+        self.validity
     }
 }
 
@@ -530,6 +546,61 @@ impl Relation {
                 expected: self.schema.column(col).dtype,
                 got,
             })
+    }
+
+    /// Writes a batch of present integer cells into one column — the typed
+    /// bulk-write path for Phase 1's completion loops. Bounds and the
+    /// column type are validated once for the whole batch (rejecting the
+    /// batch without a partial write), then cells are stored directly,
+    /// skipping the per-call [`Value`] boxing and per-cell checks of
+    /// [`Relation::set`].
+    pub fn batch_set_ints(&mut self, col: ColId, cells: &[(RowId, i64)]) -> Result<()> {
+        if let Some(&(row, _)) = cells.iter().find(|&&(row, _)| row >= self.n_rows) {
+            return Err(TableError::RowOutOfBounds {
+                row,
+                len: self.n_rows,
+            });
+        }
+        match &mut self.cols[col] {
+            ColumnData::Int(c) => {
+                for &(row, x) in cells {
+                    c.data[row] = x;
+                    bit_set(&mut c.validity, row, true);
+                }
+                Ok(())
+            }
+            ColumnData::Str(_) => Err(TableError::TypeMismatch {
+                column: self.schema.column(col).name.clone(),
+                expected: self.schema.column(col).dtype,
+                got: Dtype::Int,
+            }),
+        }
+    }
+
+    /// Writes a batch of present categorical cells into one column (see
+    /// [`Relation::batch_set_ints`]). Each symbol is interned into the
+    /// column dictionary at most once per distinct value.
+    pub fn batch_set_syms(&mut self, col: ColId, cells: &[(RowId, Sym)]) -> Result<()> {
+        if let Some(&(row, _)) = cells.iter().find(|&&(row, _)| row >= self.n_rows) {
+            return Err(TableError::RowOutOfBounds {
+                row,
+                len: self.n_rows,
+            });
+        }
+        match &mut self.cols[col] {
+            ColumnData::Str(c) => {
+                for &(row, s) in cells {
+                    c.codes[row] = c.code_for(s);
+                    bit_set(&mut c.validity, row, true);
+                }
+                Ok(())
+            }
+            ColumnData::Int(_) => Err(TableError::TypeMismatch {
+                column: self.schema.column(col).name.clone(),
+                expected: self.schema.column(col).dtype,
+                got: Dtype::Str,
+            }),
+        }
     }
 
     /// Blanks every cell of a column (e.g. erasing the FK column of `R1`).
@@ -1006,6 +1077,90 @@ mod tests {
         assert_eq!(rels.code_of(Sym::intern("NotThere")), None);
         // Same symbol always maps to the same code.
         assert_eq!(rels.get(0).map(|s| rels.code_of(s).unwrap()), rels.code(0));
+    }
+
+    #[test]
+    fn batch_set_writes_cells_and_validates_once() {
+        let mut r = small();
+        r.batch_set_ints(3, &[(0, 7), (1, 8)]).unwrap();
+        assert_eq!(r.get_int(0, 3), Some(7));
+        assert_eq!(r.get_int(1, 3), Some(8));
+        assert!(r.column_is_complete(3));
+        r.batch_set_syms(2, &[(1, Sym::intern("Child"))]).unwrap();
+        assert_eq!(r.get_sym(1, 2), Some(Sym::intern("Child")));
+        // An empty batch is a no-op.
+        r.batch_set_ints(3, &[]).unwrap();
+        // Any out-of-bounds row rejects the whole batch with no partial
+        // write.
+        let err = r.batch_set_ints(3, &[(0, 99), (5, 1)]);
+        assert!(matches!(err, Err(TableError::RowOutOfBounds { .. })));
+        assert_eq!(r.get_int(0, 3), Some(7));
+        // Wrong-typed column rejects the batch.
+        assert!(matches!(
+            r.batch_set_ints(2, &[(0, 1)]),
+            Err(TableError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            r.batch_set_syms(1, &[(0, Sym::intern("x"))]),
+            Err(TableError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_set_matches_per_cell_set() {
+        let schema = Schema::new(vec![
+            ColumnDef::attr("x", Dtype::Int),
+            ColumnDef::attr("s", Dtype::Str),
+        ])
+        .unwrap();
+        let mut a = Relation::new("t", schema.clone());
+        let mut b = Relation::new("t", schema);
+        for _ in 0..130 {
+            a.push_row(&[None, None]).unwrap();
+            b.push_row(&[None, None]).unwrap();
+        }
+        let ints: Vec<(RowId, i64)> = (0..130).step_by(3).map(|r| (r, r as i64 * 2)).collect();
+        let syms: Vec<(RowId, Sym)> = (0..130)
+            .step_by(5)
+            .map(|r| (r, Sym::intern(["p", "q"][r % 2])))
+            .collect();
+        a.batch_set_ints(0, &ints).unwrap();
+        a.batch_set_syms(1, &syms).unwrap();
+        for &(r, x) in &ints {
+            b.set(r, 0, Some(Value::Int(x))).unwrap();
+        }
+        for &(r, s) in &syms {
+            b.set(r, 1, Some(Value::Str(s))).unwrap();
+        }
+        assert!(crate::join::relations_equal_ordered(&a, &b));
+    }
+
+    #[test]
+    fn view_validity_words_expose_the_bitmap() {
+        let schema = Schema::new(vec![
+            ColumnDef::attr("x", Dtype::Int),
+            ColumnDef::attr("s", Dtype::Str),
+        ])
+        .unwrap();
+        let mut r = Relation::new("t", schema);
+        for i in 0..70 {
+            let present = i % 2 == 0;
+            r.push_row(&[
+                present.then_some(Value::Int(i)),
+                present.then(|| Value::str("v")),
+            ])
+            .unwrap();
+        }
+        let iw = r.int_view(0).unwrap().validity_words().to_vec();
+        let sw = r.sym_view(1).unwrap().validity_words().to_vec();
+        assert_eq!(iw, sw);
+        assert_eq!(iw.len(), 2);
+        for row in 0..70usize {
+            let bit = (iw[row >> 6] >> (row & 63)) & 1 == 1;
+            assert_eq!(bit, row % 2 == 0, "row {row}");
+        }
+        // Bits beyond n_rows stay zero.
+        assert_eq!(iw[1] >> (70 - 64), 0);
     }
 
     #[test]

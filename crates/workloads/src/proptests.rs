@@ -129,6 +129,54 @@ proptest! {
     }
 
     #[test]
+    fn parallel_phase1_full_solves_are_bit_identical_on_every_workload(
+        seed in 0u64..500,
+        scale_mil in 3u32..8,
+    ) {
+        // Phase 1's determinism contract: sharding the per-CC bitmaps,
+        // leftover grouping and RNG draws across the pool must not change a
+        // single bit of any completed relation, on every registered
+        // workload shape (chain, star, dc-dense, census).
+        let scale = f64::from(scale_mil) / 1_000.0;
+        for w in all_workloads() {
+            let data = w.generate(&WorkloadParams::new(scale, seed));
+            let steps: Vec<SnowflakeStep> = data
+                .steps
+                .iter()
+                .enumerate()
+                .map(|(i, edge)| SnowflakeStep {
+                    edge: edge.clone(),
+                    ccs: w.step_ccs(i, CcFamily::Good, 12, &data, seed),
+                    dcs: w.step_dcs(i, DcSet::All),
+                })
+                .collect();
+            let config = SolverConfig::hybrid().with_seed(seed);
+            let serial =
+                solve_snowflake(data.relations.clone(), &steps, &config).expect("serial solve");
+            let parallel = solve_snowflake(
+                data.relations.clone(),
+                &steps,
+                &config.with_parallel_phase1(true),
+            )
+            .expect("parallel solve");
+            for (s, p) in serial.tables.iter().zip(&parallel.tables) {
+                prop_assert!(
+                    cextend_table::relations_equal_ordered(s, p),
+                    "{}: relation {} diverged between phase1 modes",
+                    w.meta().name,
+                    s.name()
+                );
+            }
+            prop_assert_eq!(
+                serial.total_stats().counters,
+                parallel.total_stats().counters,
+                "{} counters diverged between phase1 modes",
+                w.meta().name
+            );
+        }
+    }
+
+    #[test]
     fn indexed_and_naive_conflict_builders_build_identical_edge_sets(
         seed in 0u64..1_000,
         scale_mil in 2u32..10,

@@ -30,6 +30,19 @@ impl BenchmarkId {
     }
 }
 
+/// Batching hint for [`Bencher::iter_batched`]. Accepted for source
+/// compatibility with real criterion; the stub always runs one setup per
+/// timed iteration regardless of the hint.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Many inputs per batch (cheap setup).
+    SmallInput,
+    /// Few inputs per batch (expensive setup).
+    LargeInput,
+    /// Exactly one input per batch.
+    PerIteration,
+}
+
 /// Timing driver passed to benchmark closures.
 pub struct Bencher {
     iterations: u64,
@@ -47,6 +60,26 @@ impl Bencher {
             black_box(routine());
         }
         self.last_mean = start.elapsed() / u32::try_from(self.iterations).unwrap_or(u32::MAX);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding the setup
+    /// (and the input's drop) from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Untimed warm-up pass, as in `iter`.
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            let out = black_box(routine(input));
+            total += start.elapsed();
+            drop(out);
+        }
+        self.last_mean = total / u32::try_from(self.iterations).unwrap_or(u32::MAX);
     }
 }
 
