@@ -1,0 +1,71 @@
+//! Micro-benchmark: the disabled-path cost of the `cextend-obs` tracing
+//! layer. With recording off, every `span`/`stage`/`counter_add` call must
+//! reduce to a relaxed `AtomicBool` load and an early return — these
+//! groups make a regression (say, an accidental allocation or lock on the
+//! disabled path) visible next to an uninstrumented baseline loop. The
+//! enabled-path group is measured too, as the price list for `profile`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// The workload under the instrumentation: a short arithmetic loop, heavy
+/// enough that timer noise doesn't drown the comparison, light enough that
+/// per-call overhead still shows.
+fn work(n: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..n {
+        acc = acc.wrapping_mul(31).wrapping_add(i);
+    }
+    acc
+}
+
+fn bench_disabled(c: &mut Criterion) {
+    cextend_obs::set_recording(false);
+    let mut group = c.benchmark_group("obs_disabled");
+    group.bench_function("baseline", |b| b.iter(|| black_box(work(black_box(256)))));
+    group.bench_function("span", |b| {
+        b.iter(|| {
+            let _s = cextend_obs::span("bench");
+            black_box(work(black_box(256)))
+        })
+    });
+    group.bench_function("stage", |b| {
+        b.iter(|| {
+            let _s = cextend_obs::stage("leftovers");
+            black_box(work(black_box(256)))
+        })
+    });
+    group.bench_function("counter_add", |b| {
+        b.iter(|| {
+            cextend_obs::counter_add("bench.counter", 1);
+            black_box(work(black_box(256)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_enabled");
+    group.bench_function("span", |b| {
+        cextend_obs::set_recording(true);
+        b.iter(|| {
+            let _s = cextend_obs::span("bench");
+            black_box(work(black_box(256)))
+        });
+        cextend_obs::set_recording(false);
+        // Keep the collector from growing across iterations/benches.
+        let _ = cextend_obs::take_trace();
+    });
+    group.bench_function("counter_add", |b| {
+        cextend_obs::set_recording(true);
+        b.iter(|| {
+            cextend_obs::counter_add("bench.counter", 1);
+            black_box(work(black_box(256)))
+        });
+        cextend_obs::set_recording(false);
+        let _ = cextend_obs::take_trace();
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled);
+criterion_main!(benches);

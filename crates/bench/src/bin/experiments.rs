@@ -2,11 +2,12 @@
 
 use cextend_bench::experiments;
 use cextend_bench::ExperimentOpts;
+use cextend_obs::narrate;
 use cextend_workloads::WORKLOAD_NAMES;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: experiments <id>|all|sched|scale|perf|perf-check|perf-trend|fuzz-spec|spec-check [options]
+usage: experiments <id>|all|sched|scale|profile|perf|perf-check|perf-trend|fuzz-spec|spec-check [options]
 
 experiments: table1 fig8a fig8b fig9 fig10 fig11a fig11b fig12 fig13 ablate
              sched (star-vs-chain step-scheduler sweep: serial vs parallel
@@ -26,6 +27,12 @@ experiments: table1 fig8a fig8b fig9 fig10 fig11a fig11b fig12 fig13 ablate
                    appends a \"kind\":\"scale\" line to BENCH_history.jsonl;
                    CEXTEND_SCALE_MAX_WALL_S / CEXTEND_SCALE_MAX_RSS_MB set
                    hard budgets for CI smoke runs)
+             profile (traces one chain run of --workload with the obs
+                   recorder armed: writes <out>/trace.json in the Chrome
+                   Trace Event Format — open in https://ui.perfetto.dev —
+                   and prints a per-stage self-time table cross-checked
+                   against the StageTimings phase totals; fails on any
+                   unbalanced span or non-monotone timestamp)
              perf (times the full chain on every workload — one record per
                    completion step plus per scheduler level × mode — writes
                    BENCH_perf.json and appends to BENCH_history.jsonl)
@@ -230,7 +237,9 @@ fn main() -> ExitCode {
         .map(|(k, v)| format!("{k}={v}"))
         .collect::<Vec<_>>()
         .join(",");
-    println!(
+    // Progress narration goes to stderr (the obs human sink) so stdout
+    // carries only the machine-readable tables.
+    narrate!(
         "# cextend experiments — workload={}, scale_factor={}, n_ccs={}, runs={}, seed={}{}\n",
         opts.workload,
         opts.scale_factor,
@@ -249,7 +258,7 @@ fn main() -> ExitCode {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
-        println!("[{id} finished in {:?}]\n", start.elapsed());
+        narrate!("[{id} finished in {:?}]\n", start.elapsed());
     }
     ExitCode::SUCCESS
 }

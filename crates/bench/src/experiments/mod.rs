@@ -20,6 +20,7 @@
 //! | `perf-check` | regression guard: fresh `BENCH_perf.json` vs the committed baseline |
 //! | `perf-trend` | per-record wall-time trend table over the accumulated `BENCH_history.jsonl` lines (+ markdown when `--out` is set) |
 //! | `scale` | paper-scale runs (census + dcdense at ≥10⁶ `R1` tuples under `--paper-scale`) with sharded Phase II; merges a wall + peak-RSS `scale` section into `BENCH_perf.json` |
+//! | `profile` | one traced chain run → `<out>/trace.json` (Chrome Trace Event Format, opens in Perfetto) + per-stage self-time table cross-checked against `StageTimings` |
 //! | `fuzz-spec` | seeded well-typed spec fuzzer: `--iters` random specs through the indexed ≡ naive and serial ≡ parallel differential oracles |
 //! | `spec-check` | corpus gate: every `specs/*.spec` passes the static checker, every `specs/bad/*.spec` is rejected |
 
@@ -32,6 +33,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod fuzzspec;
 pub mod perf;
+pub mod profile;
 pub mod scale;
 pub mod sched;
 pub mod table1;
@@ -80,6 +82,7 @@ pub fn run(id: &str, opts: &ExperimentOpts) -> Result<(), String> {
         "ablate" => ablate::run(opts),
         "sched" => sched::run(opts),
         "scale" => scale::run(opts)?,
+        "profile" => profile::run(opts)?,
         "perf" => perf::run(opts),
         "perf-check" => perf::check_cli(opts)?,
         "perf-trend" => trend::run(opts)?,
@@ -87,8 +90,8 @@ pub fn run(id: &str, opts: &ExperimentOpts) -> Result<(), String> {
         "spec-check" => fuzzspec::check_corpus(opts)?,
         other => {
             return Err(format!(
-                "unknown experiment `{other}`; known: {ALL:?}, `sched`, `scale`, `perf`, \
-                 `perf-check`, `perf-trend`, `fuzz-spec` and `spec-check`"
+                "unknown experiment `{other}`; known: {ALL:?}, `sched`, `scale`, `profile`, \
+                 `perf`, `perf-check`, `perf-trend`, `fuzz-spec` and `spec-check`"
             ))
         }
     }

@@ -24,8 +24,9 @@
 //! wall time. The baseline file is overwritten per run; the history file
 //! only ever grows, and `perf-check` never reads it.
 
-use crate::harness::{fmt_s, run_chain_averaged, ExperimentOpts, Table};
+use crate::harness::{fmt_s, run_chain_averaged, run_meta, ExperimentOpts, RunMeta, Table};
 use cextend_core::SolverConfig;
+use cextend_obs::narrate;
 use cextend_workloads::{all_workloads, DcSet};
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -102,6 +103,9 @@ pub struct PerfBaseline {
     /// false-flag the whole document as a parameter mismatch.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub workload: Option<String>,
+    /// Build/environment provenance (git commit, worker width). Not a
+    /// comparability parameter — see [`RunMeta`].
+    pub meta: RunMeta,
     /// One record per (workload, family, step).
     pub records: Vec<PerfRecord>,
 }
@@ -237,6 +241,7 @@ pub fn run(opts: &ExperimentOpts) {
             .workload
             .starts_with("spec:")
             .then(|| opts.workload.clone()),
+        meta: run_meta(),
         records,
     };
     let dir = opts
@@ -250,11 +255,11 @@ pub fn run(opts: &ExperimentOpts) {
         serde_json::to_string_pretty(&baseline).expect("serialize"),
     )
     .expect("write BENCH_perf.json");
-    println!("[perf baseline written to {}]", path.display());
+    narrate!("[perf baseline written to {}]", path.display());
 
     let history = dir.join("BENCH_history.jsonl");
     append_history(&history, opts, &baseline);
-    println!("[perf history appended to {}]\n", history.display());
+    narrate!("[perf history appended to {}]\n", history.display());
 }
 
 /// One `BENCH_history.jsonl` line: the whole sweep compressed to its
@@ -549,7 +554,7 @@ pub fn check(baseline_path: &Path, fresh_path: &Path) -> Result<(), String> {
         }
     }
     if failures.is_empty() {
-        println!(
+        narrate!(
             "[perf-check ok: {} baseline records within {REGRESSION_FACTOR}x of {}]",
             baseline.len(),
             baseline_path.display()
@@ -575,14 +580,14 @@ fn check_scale_sections(
     let (base, fresh) = match (baseline, fresh) {
         (Some(b), Some(f)) => (b, f),
         (None, _) | (_, None) => {
-            println!("[perf-check: no scale section in both documents — scale records skipped]");
+            narrate!("[perf-check: no scale section in both documents — scale records skipped]");
             return;
         }
     };
     if base.params != fresh.params {
         // Expected whenever the committed 100%-scale section meets a CI
         // smoke run at a lighter factor; the perf records above still gate.
-        println!(
+        narrate!(
             "[perf-check: scale sections ran at different parameters — scale records skipped]"
         );
         return;
@@ -631,7 +636,7 @@ fn check_scale_sections(
             }
         }
     }
-    println!(
+    narrate!(
         "[perf-check: {} scale records compared (walls and phase sub-stages within \
          {REGRESSION_FACTOR}x, peak RSS within {RSS_REGRESSION_FACTOR}x)]",
         base.records.len()

@@ -31,8 +31,9 @@
 //! `CEXTEND_SCALE_MAX_RSS_MB` are set, every record must come in under
 //! them or the driver fails — the `scale-smoke` CI step pins both.
 
-use crate::harness::{fmt_s, run_averaged, ExperimentOpts, Table};
+use crate::harness::{fmt_s, run_averaged, run_meta, ExperimentOpts, RunMeta, Table};
 use cextend_core::SolverConfig;
+use cextend_obs::narrate;
 use cextend_table::peak_rss_bytes;
 use cextend_workloads::{workload_by_name, CcFamily, DcSet, WorkloadParams};
 use serde::Serialize;
@@ -138,6 +139,9 @@ pub struct ScaleSection {
     /// Phase 1 mode label (`parallel` or `serial`). Not a comparability
     /// gate: both modes are bit-identical, only scheduling differs.
     pub phase1: String,
+    /// Build/environment provenance (git commit, worker width). Not a
+    /// comparability gate — see [`RunMeta`].
+    pub meta: RunMeta,
     /// One record per scenario.
     pub records: Vec<ScaleRecord>,
 }
@@ -195,7 +199,7 @@ pub fn run(opts: &ExperimentOpts) -> Result<(), String> {
             r2_cols: None,
             knobs: knobs.clone(),
         };
-        println!(
+        narrate!(
             "[scale: generating {} at scale {scale} (knobs: {knobs:?})]",
             meta.name
         );
@@ -281,6 +285,7 @@ pub fn run(opts: &ExperimentOpts) -> Result<(), String> {
         } else {
             "serial".to_owned()
         },
+        meta: run_meta(),
         records,
     };
     let dir = opts
@@ -290,10 +295,10 @@ pub fn run(opts: &ExperimentOpts) -> Result<(), String> {
     std::fs::create_dir_all(&dir).map_err(|e| format!("create output dir: {e}"))?;
     let perf_path = dir.join("BENCH_perf.json");
     merge_section(&perf_path, &section)?;
-    println!("[scale section merged into {}]", perf_path.display());
+    narrate!("[scale section merged into {}]", perf_path.display());
     let history = dir.join("BENCH_history.jsonl");
     append_history(&history, opts, &section)?;
-    println!("[scale history appended to {}]\n", history.display());
+    narrate!("[scale history appended to {}]\n", history.display());
 
     if failures.is_empty() {
         Ok(())
@@ -320,7 +325,7 @@ fn merge_section(path: &Path, section: &ScaleSection) -> Result<(), String> {
             .expect("round-trip scale section");
     let mut top: Vec<(String, serde::Value)> = match std::fs::read_to_string(path) {
         Err(_) => {
-            println!(
+            narrate!(
                 "[note: `{}` does not exist yet — writing a scale-only stub; \
                  run `experiments -- perf` first to keep perf records too]",
                 path.display()
@@ -444,6 +449,7 @@ mod tests {
             knobs: BTreeMap::new(),
             conflict: "indexed".to_owned(),
             phase1: "parallel".to_owned(),
+            meta: run_meta(),
             records: vec![ScaleRecord {
                 workload: "census".to_owned(),
                 scale: 40.0,
@@ -490,6 +496,7 @@ mod tests {
             knobs: BTreeMap::new(),
             conflict: "indexed".to_owned(),
             phase1: "serial".to_owned(),
+            meta: run_meta(),
             records: Vec::new(),
         };
         merge_section(&path, &section).unwrap();

@@ -9,6 +9,7 @@ use cextend_constraints::{CardinalityConstraint, DenialConstraint};
 use cextend_core::metrics::{evaluate, median, EvaluationReport};
 use cextend_core::snowflake::{solve_snowflake, SnowflakeStep};
 use cextend_core::{solve, ConflictBuilderKind, SchedulerMode, SolveStats, SolverConfig};
+use cextend_obs::narrate;
 use cextend_workloads::{
     workload_by_name, CcFamily, DcSet, Workload, WorkloadData, WorkloadParams,
 };
@@ -16,6 +17,60 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// Build/environment metadata stamped into `BENCH_perf.json`, the `scale`
+/// section and `trace.json` exports, so every committed artifact records
+/// the build and worker configuration that produced it. None of these
+/// fields participate in `perf-check`'s comparability gate (which reads a
+/// fixed parameter list) — they are provenance, not parameters.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunMeta {
+    /// `git rev-parse --short HEAD`, when a git binary and repository are
+    /// available (absent otherwise — e.g. release tarballs).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub git_commit: Option<String>,
+    /// Worker-pool width an unbounded batch would run at
+    /// ([`cextend_sched::pool_width`]): the `CEXTEND_SCHED_WORKERS`
+    /// override when set, else detected hardware parallelism.
+    pub pool_width: usize,
+    /// The raw `CEXTEND_SCHED_WORKERS` value, when set (distinguishes a
+    /// pinned pool from a detected one of the same width).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub sched_workers: Option<String>,
+}
+
+/// Captures [`RunMeta`] from the environment. Tolerates every failure
+/// mode: no git binary, not a repository, unset variables.
+pub fn run_meta() -> RunMeta {
+    let git_commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
+        .filter(|s| !s.is_empty());
+    RunMeta {
+        git_commit,
+        pool_width: cextend_sched::pool_width(usize::MAX),
+        sched_workers: std::env::var("CEXTEND_SCHED_WORKERS").ok(),
+    }
+}
+
+impl RunMeta {
+    /// The metadata as key/value pairs for
+    /// [`cextend_obs::Trace::to_chrome_json`]'s `otherData` section.
+    pub fn as_pairs(&self) -> Vec<(String, String)> {
+        let mut pairs = Vec::new();
+        if let Some(commit) = &self.git_commit {
+            pairs.push(("git_commit".to_owned(), commit.clone()));
+        }
+        pairs.push(("pool_width".to_owned(), self.pool_width.to_string()));
+        if let Some(w) = &self.sched_workers {
+            pairs.push(("sched_workers".to_owned(), w.clone()));
+        }
+        pairs
+    }
+}
 
 /// Global experiment options (CLI-controlled).
 #[derive(Clone, Debug)]
@@ -573,7 +628,7 @@ impl Table {
                 serde_json::to_string_pretty(&snapshot).expect("serialize"),
             )
             .expect("write snapshot");
-            println!("[snapshot written to {}]\n", path.display());
+            narrate!("[snapshot written to {}]\n", path.display());
         }
     }
 }

@@ -108,24 +108,46 @@ pub mod phase1_internals {
 /// reports [`CoreError::NoSolutionWithoutAugmentation`] when it cannot
 /// complete the FK within the existing `R2` keys.
 pub fn solve(instance: &CExtensionInstance, config: &SolverConfig) -> Result<Solution> {
-    let trace = std::env::var_os("CEXTEND_TRACE").is_some();
+    use cextend_obs::tracef;
     instance.validate()?;
     let mut stats = SolveStats::default();
-    if trace {
-        eprintln!("[trace] phase1 start: {} rows", instance.r1.n_rows());
-    }
+    let _solve_span = cextend_obs::span("solve");
+    tracef!("phase1 start: {} rows", instance.r1.n_rows());
     let (p1, invalid) = phase1::run_phase1(instance, config, &mut stats)?;
-    if trace {
-        eprintln!("[trace] phase1 done: {} invalid rows", invalid.len());
+    tracef!("phase1 done: {} invalid rows", invalid.len());
+    {
         let t = &stats.timings;
-        eprintln!(
-            "[trace] phase1 stages: hasse={:?} repair={:?} leftovers={:?} random={:?}",
-            t.recursion, t.repair, t.leftovers, t.random
+        tracef!(
+            "phase1 stages: hasse={:?} repair={:?} leftovers={:?} random={:?}",
+            t.recursion,
+            t.repair,
+            t.leftovers,
+            t.random
         );
     }
     let (r1_hat, r2_hat, vjoin) = phase2::run_phase2(instance, config, p1, invalid, &mut stats)?;
-    if trace {
-        eprintln!("[trace] phase2 done");
+    tracef!("phase2 done");
+    if cextend_obs::trace_level() >= 2 {
+        let t = &stats.timings;
+        eprint!(
+            "{}",
+            cextend_obs::render_tree(&[
+                (0, "phase1", t.phase1()),
+                (1, "pairwise", t.pairwise_comparison),
+                (1, "hasse", t.recursion),
+                (1, "ilp_build", t.ilp_build),
+                (1, "ilp_solve", t.ilp_solve),
+                (1, "fill", t.fill),
+                (1, "repair", t.repair),
+                (1, "leftovers", t.leftovers),
+                (1, "random", t.random),
+                (0, "phase2", t.phase2()),
+                (1, "conflict_build", t.conflict_build),
+                (1, "coloring", t.coloring),
+                (1, "invalid", t.invalid_handling),
+                (0, "total", t.total()),
+            ])
+        );
     }
     Ok(Solution {
         r1_hat,

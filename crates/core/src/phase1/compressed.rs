@@ -385,17 +385,24 @@ pub fn complete_leftovers(
         let mut rng = shard_rng(p1.seed, LEFTOVERS_SALT, shard as u64);
         let lo = shard * SHARD_SIZE;
         let hi = (lo + SHARD_SIZE).min(leftover.len());
-        (lo..hi)
+        // Draw counts are per-shard properties of the deterministic shard
+        // streams, so the counter total is identical at any worker width.
+        let mut draws = 0u64;
+        let out: Vec<(usize, u32)> = (lo..hi)
             .map(|li| {
                 let cand = &candidates[row_group[li] as usize];
                 if cand.is_empty() {
                     (li, INVALID_CHOICE)
                 } else {
+                    draws += 1;
                     (li, cand[rng.gen_range(0..cand.len())])
                 }
             })
-            .collect()
+            .collect();
+        cextend_obs::counter_add("phase1.rng_draws", draws);
+        out
     });
+    cextend_obs::counter_add("phase1.shards", n_shards as u64);
 
     let mut invalid = Vec::new();
     let mut chosen: Vec<(usize, u32)> = Vec::with_capacity(leftover.len());
@@ -434,6 +441,7 @@ pub fn complete_randomly(p1: &mut P1, parallel: bool, width: Option<usize>) -> R
         let mut rng = shard_rng(p1.seed, RANDOM_SALT, shard as u64);
         let lo = shard * SHARD_SIZE;
         let hi = (lo + SHARD_SIZE).min(rows.len());
+        let mut draws = 0u64;
         let mut out = Vec::with_capacity(hi - lo);
         for li in lo..hi {
             let cand = &candidates[row_group[li] as usize];
@@ -444,13 +452,17 @@ pub fn complete_randomly(p1: &mut P1, parallel: bool, width: Option<usize>) -> R
                 if n_combos == 0 {
                     continue;
                 }
+                draws += 1;
                 out.push((li, rng.gen_range(0..n_combos) as u32));
             } else {
+                draws += 1;
                 out.push((li, cand[rng.gen_range(0..cand.len())]));
             }
         }
+        cextend_obs::counter_add("phase1.rng_draws", draws);
         out
     });
+    cextend_obs::counter_add("phase1.shards", n_shards as u64);
 
     let chosen: Vec<(usize, u32)> = shard_choices.into_iter().flatten().collect();
     let completed = chosen.len();

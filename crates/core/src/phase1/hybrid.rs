@@ -13,19 +13,24 @@ use crate::config::{Phase1Strategy, SolverConfig};
 use crate::error::Result;
 use crate::instance::CExtensionInstance;
 use crate::phase1::{complete_leftovers, complete_randomly, hasse_rec, ilp_based, P1};
-use crate::report::SolveStats;
+use crate::report::{SolveStats, StageTimings};
 use cextend_constraints::{CardinalityConstraint, HasseDiagram, RelationshipMatrix};
 use cextend_table::RowId;
 use std::collections::HashSet;
-use std::time::Instant;
 
 /// Runs the configured Phase I strategy. Returns the filled context and the
 /// invalid rows (rows with no complete, CC-neutral assignment).
+///
+/// Stage timings are no longer hand-threaded: an `obs` frame collects the
+/// per-stage durations the `obs::stage` guards record, and `stats.timings`
+/// is derived from the frame totals at the end (propagating to any
+/// enclosing frame, e.g. a full solve's).
 pub(crate) fn run(
     instance: &CExtensionInstance,
     config: &SolverConfig,
     stats: &mut SolveStats,
 ) -> Result<(P1, Vec<RowId>)> {
+    let frame = cextend_obs::frame();
     let mut p1 = P1::build(instance, config)?;
     match config.phase1 {
         Phase1Strategy::Hybrid => {
@@ -44,14 +49,17 @@ pub(crate) fn run(
             record_ilp(stats, &out);
             stats.counters.s2_ccs = instance.ccs.len();
             // Baseline completion: random combos for every leftover row.
-            let t = Instant::now();
+            let random_stage = cextend_obs::stage("random");
             complete_randomly(&mut p1, config.parallel_phase1, None)?;
-            stats.timings.random += t.elapsed();
+            drop(random_stage);
         }
     }
     // Whatever strategy ran, rows still incomplete are the invalid tuples.
     let invalid: Vec<RowId> = p1.view.rows().filter(|&r| !p1.row_full(r)).collect();
     stats.counters.invalid_tuples = invalid.len();
+    stats
+        .timings
+        .absorb(&StageTimings::from_named(&frame.totals()));
     Ok((p1, invalid))
 }
 
@@ -85,10 +93,10 @@ fn run_hybrid(
     }
 
     // ---- Pairwise classification + Hasse construction. ------------------
-    let t = Instant::now();
+    let pairwise_stage = cextend_obs::stage("pairwise");
     let matrix = RelationshipMatrix::build(&kept);
     let hasse = HasseDiagram::build(&matrix);
-    stats.timings.pairwise_comparison += t.elapsed();
+    drop(pairwise_stage);
 
     // ---- Split diagrams into clean (S1) and dirty (S2). -----------------
     let mut clean: Vec<&[usize]> = Vec::new();
@@ -107,9 +115,9 @@ fn run_hybrid(
     stats.counters.s2_ccs = s2.len();
 
     // ---- Algorithm 2 on the clean diagrams. -----------------------------
-    let t = Instant::now();
+    let hasse_stage = cextend_obs::stage("hasse");
     hasse_rec::run(p1, &kept, &hasse, &clean, config.parallel_phase1, None)?;
-    stats.timings.recursion += t.elapsed();
+    drop(hasse_stage);
 
     // ---- Algorithm 1 with modified marginals on the dirty set. ----------
     if with_ilp && !s2.is_empty() {
@@ -124,7 +132,7 @@ fn run_hybrid(
         )?;
         record_ilp(stats, &out);
         // Local-search repair of rounding residue; clean-set CCs protected.
-        let t = Instant::now();
+        let repair_stage = cextend_obs::stage("repair");
         let s2_set: HashSet<usize> = s2.iter().copied().collect();
         let protected: Vec<CardinalityConstraint> = (0..kept.len())
             .filter(|i| !s2_set.contains(i))
@@ -133,13 +141,13 @@ fn run_hybrid(
         let repaired =
             crate::phase1::repair::repair(p1, &subset, &protected, config.ilp.repair_passes)?;
         stats.counters.repair_moves += repaired.moves;
-        stats.timings.repair += t.elapsed();
+        drop(repair_stage);
     }
 
     // ---- Completion (Algorithm 2 lines 14–17, generalized). -------------
-    let t = Instant::now();
+    let leftovers_stage = cextend_obs::stage("leftovers");
     complete_leftovers(p1, &instance.ccs, config.parallel_phase1, None)?;
-    stats.timings.leftovers += t.elapsed();
+    drop(leftovers_stage);
     Ok(())
 }
 
@@ -150,9 +158,6 @@ fn record_ilp(stats: &mut SolveStats, out: &ilp_based::IlpOutcome) {
     stats.counters.ilp_rounded |= out.rounded;
     stats.counters.ilp_assigned_rows += out.assigned_rows;
     stats.counters.bins = stats.counters.bins.max(out.bins);
-    stats.timings.ilp_build += out.build_time;
-    stats.timings.ilp_solve += out.solve_time;
-    stats.timings.fill += out.fill_time;
 }
 
 #[cfg(test)]

@@ -22,7 +22,6 @@ use cextend_ilp::{
     largest_remainder, solve_ilp, solve_lp, BbConfig, IlpStatus, LpStatus, Problem, Rational, Rel,
 };
 use cextend_table::RowId;
-use std::time::{Duration, Instant};
 
 /// Which marginal rows to add (Sections 4.1 and 4.3).
 #[derive(Clone, Debug)]
@@ -45,9 +44,6 @@ pub(crate) struct IlpOutcome {
     pub rounded: bool,
     pub assigned_rows: usize,
     pub bins: usize,
-    pub build_time: Duration,
-    pub solve_time: Duration,
-    pub fill_time: Duration,
 }
 
 /// Runs Algorithm 1 for `ccs` over the currently unassigned view rows.
@@ -58,13 +54,13 @@ pub(crate) fn run(
     settings: &IlpSettings,
 ) -> Result<IlpOutcome> {
     let mut out = IlpOutcome::default();
-    let t_build = Instant::now();
 
     // ---- Bin the unassigned rows. -------------------------------------
     let empty_rows = p1.empty_rows();
     if empty_rows.is_empty() || p1.combos.is_empty() {
         return Ok(out);
     }
+    let build_stage = cextend_obs::stage("ilp_build");
     let bound = p1.binning.bind(p1.view.schema(), p1.view.name())?;
     let mut bins: Vec<BinKey> = Vec::new();
     let mut bin_rows: Vec<Vec<RowId>> = Vec::new();
@@ -171,10 +167,10 @@ pub(crate) fn run(
     }
     out.vars = vars.len();
     out.rows = problem.n_constraints();
-    out.build_time = t_build.elapsed();
+    drop(build_stage);
 
     // ---- Solve. ----------------------------------------------------------
-    let t_solve = Instant::now();
+    let solve_stage = cextend_obs::stage("ilp_solve");
     let size = problem.n_vars() + problem.n_constraints();
     let bb = BbConfig {
         max_nodes: settings.bb_nodes,
@@ -235,10 +231,10 @@ pub(crate) fn run(
             }
         }
     };
-    out.solve_time = t_solve.elapsed();
+    drop(solve_stage);
 
     // ---- Greedy fill (Algorithm 1 lines 15–17). --------------------------
-    let t_fill = Instant::now();
+    let fill_stage = cextend_obs::stage("fill");
     let mut cursors = vec![0usize; bins.len()];
     for (v, &(bi, combo)) in vars.iter().enumerate() {
         let Some(ki) = combo else { continue };
@@ -252,7 +248,7 @@ pub(crate) fn run(
             want -= 1;
         }
     }
-    out.fill_time = t_fill.elapsed();
+    drop(fill_stage);
     Ok(out)
 }
 

@@ -55,34 +55,43 @@ pub(crate) fn color_partition(
     mode: ColoringMode,
     builder: Option<&mut ConflictBuilder>,
 ) -> PartitionResult {
-    let t = std::time::Instant::now();
-    let (g, index_stats) = match builder {
+    // `obs::timed` measures the interval *and* emits the span from the same
+    // clock reads, so the coordinator's `stage_add` of the returned
+    // durations matches the trace aggregate exactly.
+    let ((g, index_stats), build_time) = cextend_obs::timed("conflict_build", || match builder {
         Some(builder) => (builder.build(view, rows), builder.take_stats()),
         None => (
             super::conflict::build_conflict_graph_naive(view, rows, dcs),
             ConflictStats::default(),
         ),
-    };
-    let build_time = t.elapsed();
+    });
 
-    let t = std::time::Instant::now();
-    let candidates: Vec<Color> = (0..n_candidates as Color).collect();
-    let shared = CandidateLists::Shared(&candidates);
-    let mut coloring = Coloring::new(rows.len());
-    let mut skipped_vertices = Vec::new();
-    let mut solved_exactly = false;
-    if let ColoringMode::Exact { max_steps } = mode {
-        if let ExactResult::Colorable(c) = exact_list_coloring(&g, &coloring, &shared, max_steps) {
-            coloring = c;
-            solved_exactly = true;
-        }
-    }
-    if !solved_exactly {
-        skipped_vertices = coloring_lf(&g, &mut coloring, &shared);
-    }
-    let fresh =
-        color_skipped_with_fresh(&g, &mut coloring, &skipped_vertices, n_candidates as Color);
-    let color_time = t.elapsed();
+    let ((g, coloring, skipped_vertices, fresh), color_time) =
+        cextend_obs::timed("coloring", move || {
+            let candidates: Vec<Color> = (0..n_candidates as Color).collect();
+            let shared = CandidateLists::Shared(&candidates);
+            let mut coloring = Coloring::new(rows.len());
+            let mut skipped_vertices = Vec::new();
+            let mut solved_exactly = false;
+            if let ColoringMode::Exact { max_steps } = mode {
+                if let ExactResult::Colorable(c) =
+                    exact_list_coloring(&g, &coloring, &shared, max_steps)
+                {
+                    coloring = c;
+                    solved_exactly = true;
+                }
+            }
+            if !solved_exactly {
+                skipped_vertices = coloring_lf(&g, &mut coloring, &shared);
+            }
+            let fresh = color_skipped_with_fresh(
+                &g,
+                &mut coloring,
+                &skipped_vertices,
+                n_candidates as Color,
+            );
+            (g, coloring, skipped_vertices, fresh)
+        });
 
     debug_assert!(cextend_hypergraph::is_proper_complete(&g, &coloring));
     let assignments = coloring
@@ -137,6 +146,7 @@ pub(crate) fn color_all_partitions(
         let mut handles = Vec::new();
         for t in 0..n_threads {
             handles.push(scope.spawn(move || {
+                cextend_obs::label_thread(&format!("phase2-worker-{t}"));
                 let mut builder = new_builder();
                 let mut local = Vec::new();
                 let mut i = t;
@@ -153,6 +163,9 @@ pub(crate) fn color_all_partitions(
                     ));
                     i += n_threads;
                 }
+                // Hand buffered spans/counters to the collector before the
+                // scope joins (TLS destructors can outlive the join).
+                cextend_obs::flush_thread();
                 local
             }));
         }

@@ -45,6 +45,10 @@ pub struct ConflictStats {
     /// DCs skipped outright: some variable had no candidates, or a binary
     /// atom referenced a non-integer column (φ can never hold).
     pub dead_dcs: usize,
+    /// Complete assignments rejected by the hypergraph's edge dedup
+    /// (duplicate or degenerate edges — symmetric-variable permutations of
+    /// an edge already stored).
+    pub dedup_hits: usize,
 }
 
 impl ConflictStats {
@@ -55,6 +59,7 @@ impl ConflictStats {
         self.range_probes += other.range_probes;
         self.scanned_candidates += other.scanned_candidates;
         self.dead_dcs += other.dead_dcs;
+        self.dedup_hits += other.dedup_hits;
     }
 }
 
@@ -404,7 +409,9 @@ fn enumerate(ctx: &DcCtx<'_>, state: &mut EnumState<'_>, depth: usize, g: &mut H
         state.edge_buf.clear();
         state.edge_buf.extend_from_slice(&state.chosen[..arity]);
         state.edge_buf.sort_unstable();
-        g.add_sorted_edge(state.edge_buf);
+        if g.add_sorted_edge(state.edge_buf).is_none() {
+            state.stats.dedup_hits += 1;
+        }
         return;
     }
     let var = ctx.order[depth];

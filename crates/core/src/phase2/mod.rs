@@ -15,13 +15,13 @@ use crate::config::{Phase2Strategy, SolverConfig};
 use crate::error::{CoreError, Result};
 use crate::instance::CExtensionInstance;
 use crate::phase1::{Combo, P1};
-use crate::report::SolveStats;
+use crate::report::{SolveStats, StageTimings};
 use cextend_constraints::{BoundDc, NormalizedCond};
+use cextend_obs::tracef;
 use cextend_table::{ColId, Dtype, Relation, RowId, Sym, Value};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// Mints fresh `R2` key values that collide with nothing.
 enum KeyMinter {
@@ -220,6 +220,7 @@ pub(crate) fn run_phase2(
     invalid: Vec<RowId>,
     stats: &mut SolveStats,
 ) -> Result<(Relation, Relation, Relation)> {
+    let frame = cextend_obs::frame();
     let mut ctx = Phase2Ctx::build(instance, &p1)?;
     let invalid_set: std::collections::HashSet<RowId> = invalid.iter().copied().collect();
 
@@ -241,7 +242,7 @@ pub(crate) fn run_phase2(
             // which for fully-assigned rows is exactly the old
             // `partitions.sort_by(combo)` order, so results stay
             // bit-identical.
-            let t = Instant::now();
+            let partition_stage = cextend_obs::stage("conflict_build");
             let grouped = cextend_table::marginals::group_rows(&ctx.view, &ctx.view_cc_ids);
             let mut partitions: Vec<(Combo, Vec<RowId>, usize)> = Vec::with_capacity(grouped.len());
             for (key, rows) in grouped.iter() {
@@ -264,14 +265,12 @@ pub(crate) fn run_phase2(
                 partitions.push((combo, rows, n_cand));
             }
             stats.counters.partitions = partitions.len();
-            if std::env::var_os("CEXTEND_TRACE").is_some() {
-                eprintln!(
-                    "[trace] phase2: {} partitions, largest {:?}",
-                    partitions.len(),
-                    partitions.iter().map(|p| p.1.len()).max()
-                );
-            }
-            let partition_time = t.elapsed();
+            tracef!(
+                "phase2: {} partitions, largest {:?}",
+                partitions.len(),
+                partitions.iter().map(|p| p.1.len()).max()
+            );
+            drop(partition_stage);
 
             // ---- Color all partitions (possibly in parallel). ------------
             let results = assign::color_all_partitions(
@@ -286,24 +285,45 @@ pub(crate) fn run_phase2(
             for r in &results {
                 stats.counters.conflict_edges += r.edges;
                 stats.counters.skipped_vertices += r.skipped;
-                stats.timings.conflict_build += r.build_time;
-                stats.timings.coloring += r.color_time;
+                // Workers measured (and, when recording, emitted spans for)
+                // these intervals; fold the same durations into the frame.
+                cextend_obs::stage_add("conflict_build", r.build_time);
+                cextend_obs::stage_add("coloring", r.color_time);
                 index_stats.absorb(&r.index_stats);
             }
-            stats.timings.conflict_build += partition_time;
-            if std::env::var_os("CEXTEND_TRACE").is_some() {
-                eprintln!(
-                    "[trace] phase2: conflict {} ({} edges): {} indexes, {} eq probes, \
-                     {} range probes, {} scanned candidates, {} dead DCs",
-                    config.conflict.label(),
-                    stats.counters.conflict_edges,
-                    index_stats.indexes_built,
-                    index_stats.eq_probes,
-                    index_stats.range_probes,
-                    index_stats.scanned_candidates,
-                    index_stats.dead_dcs,
-                );
-            }
+            // The per-partition index stats become named counters. Totals
+            // are coordinator-side sums of deterministic per-partition
+            // values, so they are bit-identical across worker widths.
+            cextend_obs::counter_add("phase2.partitions", partitions.len() as u64);
+            cextend_obs::counter_add(
+                "phase2.conflict_edges",
+                stats.counters.conflict_edges as u64,
+            );
+            cextend_obs::counter_add(
+                "phase2.skipped_vertices",
+                stats.counters.skipped_vertices as u64,
+            );
+            cextend_obs::counter_add("phase2.indexes_built", index_stats.indexes_built as u64);
+            cextend_obs::counter_add("phase2.eq_probes", index_stats.eq_probes as u64);
+            cextend_obs::counter_add("phase2.range_probes", index_stats.range_probes as u64);
+            cextend_obs::counter_add(
+                "phase2.scanned_candidates",
+                index_stats.scanned_candidates as u64,
+            );
+            cextend_obs::counter_add("phase2.dead_dcs", index_stats.dead_dcs as u64);
+            cextend_obs::counter_add("phase2.dedup_hits", index_stats.dedup_hits as u64);
+            tracef!(
+                "phase2: conflict {} ({} edges): {} indexes, {} eq probes, \
+                 {} range probes, {} scanned candidates, {} dead DCs, {} dedup hits",
+                config.conflict.label(),
+                stats.counters.conflict_edges,
+                index_stats.indexes_built,
+                index_stats.eq_probes,
+                index_stats.range_probes,
+                index_stats.scanned_candidates,
+                index_stats.dead_dcs,
+                index_stats.dedup_hits,
+            );
 
             let total_fresh: usize = results.iter().map(|r| r.fresh_colors).sum();
             if !config.allow_augmenting_r2 && total_fresh > 0 {
@@ -313,7 +333,7 @@ pub(crate) fn run_phase2(
             }
 
             // ---- Apply results, minting fresh households as needed. ------
-            let t = Instant::now();
+            let apply_stage = cextend_obs::stage("coloring");
             for r in results {
                 let (combo, _, n_cand) = &partitions[r.partition];
                 let mut fresh_rows: Vec<usize> = Vec::with_capacity(r.fresh_colors);
@@ -330,10 +350,10 @@ pub(crate) fn run_phase2(
                     ctx.assign_row(row, r2_row)?;
                 }
             }
-            stats.timings.coloring += t.elapsed();
+            drop(apply_stage);
 
             // ---- Invalid tuples last. -------------------------------------
-            let t = Instant::now();
+            let invalid_stage = cextend_obs::stage("invalid");
             invalid::solve_invalid(
                 &mut ctx,
                 &invalid,
@@ -341,12 +361,12 @@ pub(crate) fn run_phase2(
                 &instance.ccs,
                 config.allow_augmenting_r2,
             )?;
-            stats.timings.invalid_handling += t.elapsed();
+            drop(invalid_stage);
         }
         Phase2Strategy::RandomAssignment => {
             // Baseline: uniformly random candidate household per row, DCs
             // ignored; rows without candidates take any household.
-            let t = Instant::now();
+            let random_stage = cextend_obs::stage("coloring");
             let rng: &mut StdRng = &mut p1.rng;
             let n_r2 = ctx.r2_hat.n_rows();
             if n_r2 == 0 {
@@ -364,9 +384,12 @@ pub(crate) fn run_phase2(
                 };
                 ctx.assign_row(row, r2_row)?;
             }
-            stats.timings.coloring += t.elapsed();
+            drop(random_stage);
         }
     }
+    stats
+        .timings
+        .absorb(&StageTimings::from_named(&frame.totals()));
 
     // ---- Finalize R̂1. -----------------------------------------------------
     let mut r1_hat = instance.r1.clone();

@@ -37,6 +37,32 @@ pub struct StageTimings {
 }
 
 impl StageTimings {
+    /// Builds timings from the `(stage name, total)` pairs an
+    /// `obs::Frame` accumulated. This is how a solve's `StageTimings` are
+    /// derived — stages are recorded once, by the observability layer,
+    /// instead of being hand-threaded through every call site. Unknown
+    /// names (auxiliary spans) are ignored; repeated names accumulate.
+    pub fn from_named(stages: &[(&'static str, Duration)]) -> StageTimings {
+        let mut t = StageTimings::default();
+        for &(name, dur) in stages {
+            match name {
+                "pairwise" => t.pairwise_comparison += dur,
+                "hasse" => t.recursion += dur,
+                "ilp_build" => t.ilp_build += dur,
+                "ilp_solve" => t.ilp_solve += dur,
+                "fill" => t.fill += dur,
+                "repair" => t.repair += dur,
+                "leftovers" => t.leftovers += dur,
+                "random" => t.random += dur,
+                "conflict_build" => t.conflict_build += dur,
+                "coloring" => t.coloring += dur,
+                "invalid" => t.invalid_handling += dur,
+                _ => {}
+            }
+        }
+        t
+    }
+
     /// Total Phase I time.
     pub fn phase1(&self) -> Duration {
         self.pairwise_comparison
@@ -228,6 +254,24 @@ mod tests {
         assert_eq!(t.phase1(), Duration::from_millis(18));
         assert_eq!(t.phase2(), Duration::from_millis(11));
         assert_eq!(t.total(), Duration::from_millis(29));
+    }
+
+    #[test]
+    fn from_named_maps_stage_names_and_ignores_strangers() {
+        let t = StageTimings::from_named(&[
+            ("pairwise", Duration::from_millis(1)),
+            ("hasse", Duration::from_millis(2)),
+            ("hasse", Duration::from_millis(3)),
+            ("conflict_build", Duration::from_millis(4)),
+            ("invalid", Duration::from_millis(5)),
+            ("task:7", Duration::from_millis(99)),
+        ]);
+        assert_eq!(t.pairwise_comparison, Duration::from_millis(1));
+        assert_eq!(t.recursion, Duration::from_millis(5));
+        assert_eq!(t.conflict_build, Duration::from_millis(4));
+        assert_eq!(t.invalid_handling, Duration::from_millis(5));
+        assert_eq!(t.phase1(), Duration::from_millis(6));
+        assert_eq!(t.phase2(), Duration::from_millis(9));
     }
 
     #[test]

@@ -365,6 +365,7 @@ pub fn solve_step(
     config: &SolverConfig,
 ) -> Result<(StepOutcome, StepDelta)> {
     let start = Instant::now();
+    let _step_span = cextend_obs::span_dyn(|| format!("step:{}", step.edge.label()));
     let plan = AugmentedView::plan(tables, completed, &step.edge)?;
     let r1 = plan.build(tables, true)?;
     let instance = CExtensionInstance::new(

@@ -1,0 +1,110 @@
+//! Property tests: span guards stay balanced — and hence the collected
+//! trace validates — under arbitrary nesting, early returns and panics.
+//!
+//! The recorder is process-global, so every case drains the collector
+//! under a shared lock before and after recording.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use cextend_obs as obs;
+use proptest::prelude::*;
+
+fn recorder_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One scripted action inside the traced region.
+#[derive(Clone, Debug)]
+enum Action {
+    /// Open a nested span (depth-bounded) and recurse.
+    Nest,
+    /// Close the innermost open span.
+    Pop,
+    /// Record a counter increment.
+    Count(u8),
+    /// Return early out of the whole region (guards unwind via Drop).
+    EarlyReturn,
+    /// Panic inside the region (caught by the harness).
+    Panic,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    // Weighted pick (the vendored proptest subset has no `prop_oneof`).
+    (0u8..11).prop_map(|n| match n {
+        0..=3 => Action::Nest,
+        4..=6 => Action::Pop,
+        7 | 8 => Action::Count(n - 6),
+        9 => Action::EarlyReturn,
+        _ => Action::Panic,
+    })
+}
+
+/// Open span guards, dropped innermost-first like lexical scopes (a bare
+/// `Vec` would drop front-to-back and unbalance the outer span).
+struct GuardStack(Vec<obs::Span>);
+
+impl Drop for GuardStack {
+    fn drop(&mut self) {
+        while self.0.pop().is_some() {}
+    }
+}
+
+/// Runs the action script with RAII span guards; may return early or panic.
+fn run_script(script: &[Action]) {
+    let mut guards = GuardStack(vec![obs::span("root")]);
+    let names = ["hasse", "fill", "coloring", "repair"];
+    for (i, action) in script.iter().enumerate() {
+        match action {
+            Action::Nest => {
+                if guards.0.len() < 8 {
+                    guards.0.push(obs::span(names[i % names.len()]));
+                }
+            }
+            Action::Pop => {
+                if guards.0.len() > 1 {
+                    guards.0.pop();
+                }
+            }
+            Action::Count(n) => obs::counter_add("script.events", u64::from(*n)),
+            Action::EarlyReturn => return,
+            Action::Panic => panic!("scripted panic"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spans_balance_under_panic_and_early_return(script in prop::collection::vec(action_strategy(), 0..24)) {
+        let _lock = recorder_lock();
+        let _ = obs::take_trace();
+        obs::set_recording(true);
+        let outcome = std::panic::catch_unwind(|| run_script(&script));
+        obs::set_recording(false);
+        let trace = obs::take_trace();
+        // Whether the script finished, returned early, or panicked, every
+        // opened guard dropped, so the trace must validate as balanced.
+        prop_assert!(outcome.is_ok() || script.iter().any(|a| matches!(a, Action::Panic)));
+        if let Err(msg) = trace.validate() {
+            return Err(TestCaseError::fail(format!("unbalanced trace: {msg}")));
+        }
+        // The root span is always recorded, is the last event its guard
+        // stack dropped, and contains every nested span's interval.
+        prop_assert!(trace.self_times().contains_key("root"));
+        let root = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "root")
+            .expect("root span recorded");
+        let root_end = root.ts_ns + root.dur_ns;
+        for span in &trace.spans {
+            prop_assert!(span.ts_ns >= root.ts_ns && span.ts_ns + span.dur_ns <= root_end,
+                "span {} [{}, {}] escapes root [{}, {}]",
+                span.name, span.ts_ns, span.ts_ns + span.dur_ns, root.ts_ns, root_end);
+        }
+    }
+}

@@ -74,12 +74,17 @@ where
         let mut handles = Vec::new();
         for t in 0..n_threads {
             handles.push(scope.spawn(move || {
+                cextend_obs::label_thread(&format!("sched-worker-{t}"));
                 let mut local = Vec::new();
                 let mut i = t;
                 while i < ids.len() {
+                    let _task_span = cextend_obs::span_dyn(|| format!("task:{}", ids[i]));
                     local.push((i, task(ids[i])));
                     i += n_threads;
                 }
+                // Hand buffered spans/counters to the collector before the
+                // scope joins (TLS destructors can outlive the join).
+                cextend_obs::flush_thread();
                 local
             }));
         }

@@ -10,6 +10,9 @@
 //!   Hasse diagrams, intervalization, the text DSL.
 //! - [`ilp`] — exact-rational / float simplex and branch-and-bound.
 //! - [`hypergraph`] — conflict hypergraphs and list coloring.
+//! - [`obs`] — zero-dependency structured observability: hierarchical
+//!   spans, stage-time frames, named counters, Chrome-trace export and the
+//!   `CEXTEND_TRACE` human sink.
 //! - [`sched`] — deterministic DAG scheduler over completion steps:
 //!   resource-based dependency derivation, topological levels, scoped
 //!   worker pool.
@@ -42,6 +45,7 @@ pub use cextend_constraints as constraints;
 pub use cextend_core as core;
 pub use cextend_hypergraph as hypergraph;
 pub use cextend_ilp as ilp;
+pub use cextend_obs as obs;
 pub use cextend_sched as sched;
 pub use cextend_table as table;
 pub use cextend_workloads as workloads;
