@@ -55,6 +55,10 @@ options:
   --conflict B       conflict-hypergraph builder: indexed (default) or
                      naive (the retained O(|P|^k) baseline; identical
                      output, build cost only — for A/B measurement)
+  --dcplan P         DC planner for the indexed builder: cost (default;
+                     sampled-statistics planning, bulk clique emission,
+                     per-partition index-kind choice) or static (the PR 5
+                     hints; identical output — the measured oracle)
   --phase1 M         Phase 1 mode: serial (default) or parallel (shards
                      Algorithm 2 bitmap passes, leftover grouping and
                      per-shard RNG completion across CEXTEND_SCHED_WORKERS;
@@ -160,6 +164,11 @@ fn parse(args: &[String]) -> Result<(Vec<String>, ExperimentOpts), String> {
                 let kind = take("--conflict")?;
                 opts.conflict = cextend_core::ConflictBuilderKind::parse(&kind)
                     .ok_or_else(|| format!("bad --conflict `{kind}`: indexed or naive"))?;
+            }
+            "--dcplan" => {
+                let kind = take("--dcplan")?;
+                opts.dcplan = cextend_core::DcPlannerKind::parse(&kind)
+                    .ok_or_else(|| format!("bad --dcplan `{kind}`: cost or static"))?;
             }
             "--phase1" => {
                 opts.parallel_phase1 = match take("--phase1")?.as_str() {

@@ -61,6 +61,18 @@ pub(crate) fn conflict_label(obj: &[(String, serde::Value)]) -> String {
     }
 }
 
+/// The DC-planner label of a perf document or scale section — same
+/// defaulting rule as [`conflict_label`]: an absent field (records written
+/// before the cost planner existed) maps to the default `cost` label, so
+/// old records compare against the default-configured runs that succeed
+/// them rather than flagging every document as a parameter mismatch.
+pub(crate) fn dcplan_label(obj: &[(String, serde::Value)]) -> String {
+    match json_field(obj, "dcplan") {
+        Some(serde::Value::Str(s)) => s,
+        _ => "cost".to_owned(),
+    }
+}
+
 /// All figure/table experiment ids, in run order (`perf` is driven
 /// separately: it sweeps every workload and writes `BENCH_perf.json`).
 pub const ALL: [&str; 10] = [

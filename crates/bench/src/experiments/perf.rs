@@ -96,6 +96,10 @@ pub struct PerfBaseline {
     /// times under `naive` are not comparable to `indexed` ones, so the
     /// label gates `perf-check` like the other run parameters.
     pub conflict: String,
+    /// DC-planner label the sweep solved with (`--dcplan`): cost-based
+    /// plans bulk-emit pair DCs and reorder enumeration, so the label
+    /// gates comparability like `conflict` does.
+    pub dcplan: String,
     /// Set when the sweep was extended with `--workload spec:<path>` —
     /// identifies where the extra `spec:*` records came from. Deliberately
     /// **not** a comparability parameter: a spec's records appear and
@@ -154,7 +158,9 @@ pub fn run(opts: &ExperimentOpts) {
                 DcSet::All,
                 sub.n_ccs,
                 sub.seed,
-                &SolverConfig::hybrid().with_conflict(sub.conflict),
+                &SolverConfig::hybrid()
+                    .with_conflict(sub.conflict)
+                    .with_dc_planner(sub.dcplan),
                 sub.runs,
             );
             for step in &chain.steps {
@@ -237,6 +243,7 @@ pub fn run(opts: &ExperimentOpts) {
         seed: opts.seed,
         knobs: opts.knobs.clone(),
         conflict: opts.conflict.label().to_owned(),
+        dcplan: opts.dcplan.label().to_owned(),
         workload: opts
             .workload
             .starts_with("spec:")
@@ -282,6 +289,8 @@ struct HistoryRecord {
     seed: u64,
     /// Conflict-builder label the sweep solved with.
     conflict: String,
+    /// DC-planner label the sweep solved with.
+    dcplan: String,
     /// The `spec:<path>` selection that extended the sweep, when one did
     /// (same pass-through rule as the baseline's field).
     #[serde(skip_serializing_if = "Option::is_none")]
@@ -303,6 +312,7 @@ fn append_history(path: &Path, opts: &ExperimentOpts, baseline: &PerfBaseline) {
         runs: baseline.runs,
         seed: baseline.seed,
         conflict: baseline.conflict.clone(),
+        dcplan: baseline.dcplan.clone(),
         workload: baseline.workload.clone(),
         walls: baseline
             .records
@@ -332,6 +342,13 @@ struct ScaleTimes {
     phase1: Option<f64>,
     /// Phase II seconds — same optionality as `phase1`.
     phase2: Option<f64>,
+    /// Conflict-graph build seconds — absent on sections written before
+    /// the Phase II sub-stage fields existed.
+    conflict: Option<f64>,
+    /// Pure weighted-coloring seconds — same optionality as `conflict`.
+    coloring: Option<f64>,
+    /// Invalid-tuple handling seconds — same optionality as `conflict`.
+    invalid: Option<f64>,
 }
 
 /// The parsed `scale` section of a `BENCH_perf.json` (written by
@@ -441,6 +458,10 @@ fn render_params(obj: &[(String, serde::Value)]) -> Vec<(&'static str, String)> 
     // records) without touching the data, so it gates comparability too
     // (shared defaulting rule: `super::conflict_label`).
     params.push(("conflict", super::conflict_label(obj)));
+    // Likewise the DC planner (cost-based plans reorder enumeration and
+    // bulk-emit pair DCs): absent defaults to `cost` via
+    // `super::dcplan_label`.
+    params.push(("dcplan", super::dcplan_label(obj)));
     params
 }
 
@@ -475,6 +496,9 @@ fn parse_scale(sec: &[(String, serde::Value)]) -> Result<ParsedScale, String> {
                     // both sides carry it.
                     phase1: num("phase1_s"),
                     phase2: num("phase2_s"),
+                    conflict: num("conflict_s"),
+                    coloring: num("coloring_s"),
+                    invalid: num("invalid_s"),
                 },
             );
         }
@@ -607,6 +631,9 @@ fn check_scale_sections(
             ("wall", Some(base_t.wall), Some(fresh_t.wall)),
             ("phase1_s", base_t.phase1, fresh_t.phase1),
             ("phase2_s", base_t.phase2, fresh_t.phase2),
+            ("conflict_s", base_t.conflict, fresh_t.conflict),
+            ("coloring_s", base_t.coloring, fresh_t.coloring),
+            ("invalid_s", base_t.invalid, fresh_t.invalid),
         ];
         for (stage, base_s, fresh_s) in stages {
             let (Some(base_s), Some(fresh_s)) = (base_s, fresh_s) else {
@@ -969,6 +996,83 @@ mod tests {
         );
         check(&no_phases, &p1_slow).unwrap();
         check(&base, &no_phases).unwrap();
+    }
+
+    /// Like [`doc_with_phases`] but with the Phase II sub-stage fields:
+    /// `(workload, wall_s, conflict_s, coloring_s, invalid_s)`.
+    fn doc_with_substages(scale_records: &[(&str, f64, f64, f64, f64)]) -> String {
+        let rows: Vec<String> = scale_records
+            .iter()
+            .map(|(w, wall, cf, co, inv)| {
+                format!(
+                    r#"{{"workload":"{w}","wall_s":{wall},"conflict_s":{cf},"coloring_s":{co},"invalid_s":{inv}}}"#
+                )
+            })
+            .collect();
+        let scale = format!(
+            r#","scale":{{"scale_factor":1.0,"n_ccs":150,"runs":1,"seed":7,"knobs":{{}},"conflict":"indexed","records":[{}]}}"#,
+            rows.join(",")
+        );
+        let base = doc(&[("census", "good", "Persons→Housing", 0.1)]);
+        format!("{}{scale}}}", &base[..base.len() - 1])
+    }
+
+    #[test]
+    fn scale_sections_compare_phase2_sub_stages() {
+        let dir = std::env::temp_dir().join("cextend-perf-check-substages");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = write(
+            &dir,
+            "base.json",
+            &doc_with_substages(&[("census", 100.0, 30.0, 20.0, 1.0)]),
+        );
+        // Each sub-stage trips its own bound even at a flat wall.
+        for (name, rec) in [
+            ("conflict_s", ("census", 100.0, 95.0, 2.0, 1.0)),
+            ("coloring_s", ("census", 100.0, 30.0, 65.0, 1.0)),
+            ("invalid_s", ("census", 100.0, 30.0, 20.0, 48.0)),
+        ] {
+            let slow = write(&dir, &format!("{name}.json"), &doc_with_substages(&[rec]));
+            let err = check(&base, &slow).unwrap_err();
+            assert!(err.contains(&format!("{name} regressed")), "{name}: {err}");
+            assert!(!err.contains("wall regressed"), "{err}");
+        }
+        // Sub-second invalid handling sits under the noise floor on both
+        // sides at small scale; the clamp keeps jitter from tripping it.
+        let ok = write(
+            &dir,
+            "ok.json",
+            &doc_with_substages(&[("census", 110.0, 50.0, 35.0, 0.004)]),
+        );
+        check(&base, &ok).unwrap();
+        // Sub-stages absent on one side (older section): only the fields
+        // both sides carry compare.
+        let plain = write(
+            &dir,
+            "plain.json",
+            &doc_with_phases(&[("census", 100.0, 60.0, 40.0)]),
+        );
+        check(&base, &plain).unwrap();
+        check(&plain, &base).unwrap();
+    }
+
+    #[test]
+    fn dcplan_label_gates_comparability_with_cost_default() {
+        let dir = std::env::temp_dir().join("cextend-perf-check-dcplan");
+        std::fs::create_dir_all(&dir).unwrap();
+        let records = [("census", "good", "Persons→Housing", 0.1)];
+        // A static-planner baseline is not comparable to a default (cost)
+        // fresh run…
+        let with_static = doc(&records).replace(r#""runs":1,"#, r#""runs":1,"dcplan":"static","#);
+        let base = write(&dir, "base-static.json", &with_static);
+        let fresh = write(&dir, "fresh.json", &doc(&records));
+        let err = check(&base, &fresh).unwrap_err();
+        assert!(err.contains("dcplan"), "{err}");
+        // …while an absent field counts as `cost`, keeping pre-planner
+        // documents comparable to default runs.
+        let with_cost = doc(&records).replace(r#""runs":1,"#, r#""runs":1,"dcplan":"cost","#);
+        let base = write(&dir, "base-cost.json", &with_cost);
+        check(&base, &fresh).unwrap();
     }
 
     #[test]

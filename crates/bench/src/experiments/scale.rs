@@ -34,7 +34,7 @@
 use crate::harness::{fmt_s, run_averaged, run_meta, ExperimentOpts, RunMeta, Table};
 use cextend_core::SolverConfig;
 use cextend_obs::narrate;
-use cextend_table::peak_rss_bytes;
+use cextend_table::{peak_rss_bytes, reset_peak_rss};
 use cextend_workloads::{workload_by_name, CcFamily, DcSet, WorkloadParams};
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -103,6 +103,13 @@ pub struct ScaleRecord {
     pub random_s: f64,
     /// Phase II seconds.
     pub phase2_s: f64,
+    /// Conflict-graph construction seconds — Phase II sub-stage.
+    pub conflict_s: f64,
+    /// Weighted-coloring seconds (pure coloring, no graph build) — Phase II
+    /// sub-stage.
+    pub coloring_s: f64,
+    /// Invalid-tuple handling seconds — Phase II sub-stage.
+    pub invalid_s: f64,
     /// Total wall-clock seconds.
     pub wall_s: f64,
     /// Median relative CC error.
@@ -111,9 +118,13 @@ pub struct ScaleRecord {
     pub dc_error: f64,
     /// Generated-relation column-buffer bytes (engine accounting).
     pub relation_heap_bytes: usize,
-    /// Process peak RSS after the scenario, when the platform exposes it.
-    /// Monotone across scenarios (`VmHWM` never decreases), so each value
-    /// is "peak up to and including this scenario".
+    /// Process peak RSS over *this scenario only*, when the platform
+    /// exposes it: the high-water mark is reset (`clear_refs`, see
+    /// [`reset_peak_rss`]) before each scenario's generate+solve, so the
+    /// value is per-workload rather than "peak up to and including this
+    /// scenario". Records written by drivers before schema note v2.1 carry
+    /// the old monotone semantics; on platforms where the reset is
+    /// unavailable the value degrades back to monotone.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub peak_rss_bytes: Option<u64>,
 }
@@ -136,6 +147,8 @@ pub struct ScaleSection {
     pub knobs: BTreeMap<String, i64>,
     /// Conflict-builder label.
     pub conflict: String,
+    /// DC planner label (`cost` or `static`).
+    pub dcplan: String,
     /// Phase 1 mode label (`parallel` or `serial`). Not a comparability
     /// gate: both modes are bit-identical, only scheduling differs.
     pub phase1: String,
@@ -203,6 +216,10 @@ pub fn run(opts: &ExperimentOpts) -> Result<(), String> {
             "[scale: generating {} at scale {scale} (knobs: {knobs:?})]",
             meta.name
         );
+        // Per-workload peak memory: drop the process high-water mark to the
+        // current RSS so this scenario's record doesn't inherit the peak of
+        // a heavier predecessor.
+        reset_peak_rss();
         let data = workload.generate(&params);
         let heap = cextend_table::MemStats::capture(data.relations.iter().chain(&data.truth))
             .relation_heap_bytes;
@@ -210,6 +227,7 @@ pub fn run(opts: &ExperimentOpts) -> Result<(), String> {
         let dcs = workload.dcs(DcSet::All);
         let config = SolverConfig::hybrid()
             .with_conflict(opts.conflict)
+            .with_dc_planner(opts.dcplan)
             .with_parallel_coloring(true)
             .with_parallel_phase1(opts.parallel_phase1);
         let result = run_averaged(&data, &ccs, &dcs, &config, opts.runs);
@@ -264,6 +282,9 @@ pub fn run(opts: &ExperimentOpts) -> Result<(), String> {
             leftovers_s: result.leftovers_s,
             random_s: result.random_s,
             phase2_s: result.phase2_s,
+            conflict_s: result.conflict_s,
+            coloring_s: result.color_s,
+            invalid_s: result.invalid_s,
             wall_s: result.wall_s,
             cc_median: result.cc_median,
             dc_error: result.dc_error,
@@ -280,6 +301,7 @@ pub fn run(opts: &ExperimentOpts) -> Result<(), String> {
         seed: opts.seed,
         knobs: opts.knobs.clone(),
         conflict: opts.conflict.label().to_owned(),
+        dcplan: opts.dcplan.label().to_owned(),
         phase1: if opts.parallel_phase1 {
             "parallel".to_owned()
         } else {
@@ -448,6 +470,7 @@ mod tests {
             seed: 7,
             knobs: BTreeMap::new(),
             conflict: "indexed".to_owned(),
+            dcplan: "cost".to_owned(),
             phase1: "parallel".to_owned(),
             meta: run_meta(),
             records: vec![ScaleRecord {
@@ -463,6 +486,9 @@ mod tests {
                 leftovers_s: 5.0,
                 random_s: 0.0,
                 phase2_s: 20.0,
+                conflict_s: 12.0,
+                coloring_s: 6.0,
+                invalid_s: 0.5,
                 wall_s: 31.0,
                 cc_median: 0.0,
                 dc_error: 0.0,
@@ -495,6 +521,7 @@ mod tests {
             seed: 7,
             knobs: BTreeMap::new(),
             conflict: "indexed".to_owned(),
+            dcplan: "cost".to_owned(),
             phase1: "serial".to_owned(),
             meta: run_meta(),
             records: Vec::new(),

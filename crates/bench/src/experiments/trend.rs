@@ -63,17 +63,20 @@ fn parse_line(line: &str, lineno: usize) -> Result<HistoryLine, String> {
             other => format!("{other:?}"),
         }
     };
-    // The conflict-builder label counts as a run parameter: naive walls
-    // are not comparable to indexed ones (shared defaulting rule:
-    // `super::conflict_label`).
+    // The conflict-builder and DC-planner labels count as run parameters:
+    // naive walls are not comparable to indexed ones, nor static-planner
+    // walls to cost-planner ones (shared defaulting rules:
+    // `super::conflict_label` / `super::dcplan_label`).
     let conflict = conflict_label(&top);
+    let dcplan = super::dcplan_label(&top);
     let params = format!(
-        "scale_factor={} n_ccs={} runs={} seed={} conflict={}",
+        "scale_factor={} n_ccs={} runs={} seed={} conflict={} dcplan={}",
         num("scale_factor"),
         num("n_ccs"),
         num("runs"),
         num("seed"),
-        conflict
+        conflict,
+        dcplan
     );
     let Some(serde::Value::Object(walls_obj)) = field(&top, "walls") else {
         return Err(format!("history line {lineno} has no `walls` object"));

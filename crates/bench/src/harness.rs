@@ -8,7 +8,9 @@
 use cextend_constraints::{CardinalityConstraint, DenialConstraint};
 use cextend_core::metrics::{evaluate, median, EvaluationReport};
 use cextend_core::snowflake::{solve_snowflake, SnowflakeStep};
-use cextend_core::{solve, ConflictBuilderKind, SchedulerMode, SolveStats, SolverConfig};
+use cextend_core::{
+    solve, ConflictBuilderKind, DcPlannerKind, SchedulerMode, SolveStats, SolverConfig,
+};
 use cextend_obs::narrate;
 use cextend_workloads::{
     workload_by_name, CcFamily, DcSet, Workload, WorkloadData, WorkloadParams,
@@ -101,6 +103,10 @@ pub struct ExperimentOpts {
     /// is bit-identical across kinds, only build cost differs — `naive` is
     /// the measured baseline for the indexed fast path.
     pub conflict: ConflictBuilderKind,
+    /// DC planner for the indexed conflict builder (`--dcplan`); output is
+    /// bit-identical across kinds — `static` is the retained oracle the
+    /// cost planner is measured against.
+    pub dcplan: DcPlannerKind,
     /// Shard Phase I's bulk work across the `CEXTEND_SCHED_WORKERS` pool
     /// (`--phase1 parallel|serial`); output is bit-identical either way.
     pub parallel_phase1: bool,
@@ -131,6 +137,7 @@ impl Default for ExperimentOpts {
             baseline: None,
             scheduler: SchedulerMode::Serial,
             conflict: ConflictBuilderKind::Indexed,
+            dcplan: DcPlannerKind::Cost,
             parallel_phase1: false,
             history: None,
             label: "dev".to_owned(),
@@ -195,6 +202,7 @@ impl ExperimentOpts {
         SolverConfig::hybrid()
             .with_scheduler(self.scheduler)
             .with_conflict(self.conflict)
+            .with_dc_planner(self.dcplan)
             .with_parallel_phase1(self.parallel_phase1)
     }
 
@@ -254,6 +262,13 @@ pub struct RunResult {
     pub random_s: f64,
     /// Conflict build + coloring seconds (Figure 13 row 4).
     pub coloring_s: f64,
+    /// Conflict-hypergraph build seconds (Phase II sub-stage).
+    pub conflict_s: f64,
+    /// List-coloring + assignment-apply seconds (Phase II sub-stage; the
+    /// pure-coloring slice of `coloring_s`).
+    pub color_s: f64,
+    /// Invalid-tuple placement seconds (Phase II sub-stage).
+    pub invalid_s: f64,
     /// Fresh `R2` tuples minted.
     pub new_r2_tuples: usize,
     /// Per-CC relative errors (for Figure 9 distributions).
@@ -280,6 +295,9 @@ impl RunResult {
             leftovers_s: t.leftovers.as_secs_f64(),
             random_s: t.random.as_secs_f64(),
             coloring_s: (t.conflict_build + t.coloring + t.invalid_handling).as_secs_f64(),
+            conflict_s: t.conflict_build.as_secs_f64(),
+            color_s: t.coloring.as_secs_f64(),
+            invalid_s: t.invalid_handling.as_secs_f64(),
             new_r2_tuples: stats.counters.new_r2_tuples,
             cc_errors: report.cc_errors,
         }
@@ -329,6 +347,9 @@ fn average_results(results: Vec<RunResult>) -> RunResult {
         leftovers_s: avg(|r| r.leftovers_s),
         random_s: avg(|r| r.random_s),
         coloring_s: avg(|r| r.coloring_s),
+        conflict_s: avg(|r| r.conflict_s),
+        color_s: avg(|r| r.color_s),
+        invalid_s: avg(|r| r.invalid_s),
         new_r2_tuples: results.iter().map(|r| r.new_r2_tuples).sum::<usize>() / results.len(),
         cc_errors: results
             .into_iter()

@@ -385,6 +385,7 @@ pub struct DcPlan {
     unary: Vec<Vec<UnaryFilter>>,
     binary: Vec<BinaryAtomPlan>,
     sym_class: Vec<usize>,
+    never_holds: bool,
 }
 
 impl DcPlan {
@@ -423,7 +424,151 @@ impl DcPlan {
             unary,
             binary,
             sym_class,
+            never_holds: false,
         }
+    }
+
+    /// Adds every equality atom implied by transitivity — `tᵢ.A = tⱼ.B + o₁`
+    /// and `tⱼ.B = tₖ.C + o₂` imply `tᵢ.A = tₖ.C + (o₁ + o₂)` — and
+    /// recomputes the interchangeability classes over the saturated atom
+    /// multiset. The implied atoms are consequences of φ, so the saturated
+    /// plan has **exactly the same satisfying assignments** (a complete
+    /// assignment either satisfies all original equalities — then every
+    /// implied one holds by transitivity — or fails an original atom and is
+    /// rejected either way); what changes is that the enumeration can prune
+    /// earlier and the symmetry detector can see through equality chains
+    /// (`t1 = t2 ∧ t2 = t3` makes all three variables interchangeable, which
+    /// the unsaturated multiset hides). When the closure derives two
+    /// different offsets between the same column pair, φ is unsatisfiable
+    /// and the plan is marked [`never_holds`](DcPlan::never_holds).
+    ///
+    /// The cost planner calls this at compile time; the static planner
+    /// (`--dcplan static`) keeps the unsaturated plan as the oracle.
+    pub fn saturate_equalities(&self) -> DcPlan {
+        // Union-find with potentials over (var, col) nodes: pot(x) is
+        // val(x) − val(root) in i128 so composed offsets cannot overflow.
+        let mut nodes: Vec<(usize, ColId)> = Vec::new();
+        let node_of = |nodes: &mut Vec<(usize, ColId)>, key: (usize, ColId)| -> usize {
+            match nodes.iter().position(|&k| k == key) {
+                Some(i) => i,
+                None => {
+                    nodes.push(key);
+                    nodes.len() - 1
+                }
+            }
+        };
+        let eqs: Vec<&BinaryAtomPlan> = self.binary.iter().filter(|a| a.is_equality()).collect();
+        if eqs.len() < 2 {
+            return self.clone(); // nothing to chain
+        }
+        let mut parent: Vec<usize> = Vec::new();
+        let mut pot: Vec<i128> = Vec::new();
+        // find with full-path compression, returning (root, val(x) − val(root)).
+        fn find(parent: &mut [usize], pot: &mut [i128], x: usize) -> (usize, i128) {
+            if parent[x] == x {
+                return (x, 0);
+            }
+            let (root, p) = find(parent, pot, parent[x]);
+            parent[x] = root;
+            pot[x] += p;
+            (root, pot[x])
+        }
+        let mut contradiction = false;
+        for a in &eqs {
+            let l = node_of(&mut nodes, (a.lvar, a.lcol));
+            let r = node_of(&mut nodes, (a.rvar, a.rcol));
+            while parent.len() < nodes.len() {
+                parent.push(parent.len());
+                pot.push(0);
+            }
+            // val(l) = val(r) + offset.
+            let (lr, lp) = find(&mut parent, &mut pot, l);
+            let (rr, rp) = find(&mut parent, &mut pot, r);
+            if lr == rr {
+                if lp != rp + i128::from(a.offset) {
+                    contradiction = true;
+                    break;
+                }
+            } else {
+                // Attach lr under rr: val(lr) − val(rr) = rp + offset − lp.
+                parent[lr] = rr;
+                pot[lr] = rp + i128::from(a.offset) - lp;
+            }
+        }
+        if contradiction {
+            let mut plan = self.clone();
+            plan.never_holds = true;
+            return plan;
+        }
+        // Emit every implied cross-variable equality not already present.
+        let mut known: Vec<(usize, ColId, u8, usize, ColId, i64)> =
+            self.binary.iter().map(canonical_binary_key).collect();
+        known.sort_unstable();
+        let mut binary = self.binary.clone();
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                let (vi, ci) = nodes[i];
+                let (vj, cj) = nodes[j];
+                if vi == vj {
+                    continue;
+                }
+                let (ri, pi) = find(&mut parent, &mut pot, i);
+                let (rj, pj) = find(&mut parent, &mut pot, j);
+                if ri != rj {
+                    continue;
+                }
+                // val(i) = val(j) + (pot(i) − pot(j)).
+                let Ok(offset) = i64::try_from(pi - pj) else {
+                    continue; // unrepresentable; skip the (pure-bonus) atom
+                };
+                let atom = BinaryAtomPlan {
+                    lvar: vi,
+                    lcol: ci,
+                    op: CmpOp::Eq,
+                    rvar: vj,
+                    rcol: cj,
+                    offset,
+                };
+                if known.binary_search(&canonical_binary_key(&atom)).is_err() {
+                    binary.push(atom);
+                }
+            }
+        }
+        let sym_class = symmetry_classes(self.arity, &self.unary, &binary);
+        DcPlan {
+            arity: self.arity,
+            unary: self.unary.clone(),
+            binary,
+            sym_class,
+            never_holds: false,
+        }
+    }
+
+    /// `true` when compilation proved φ unsatisfiable (contradictory
+    /// equality chain) — the DC contributes no conflict edge on any input.
+    pub fn never_holds(&self) -> bool {
+        self.never_holds
+    }
+
+    /// `true` for an arity-2 DC whose φ is purely unary: every pair of one
+    /// candidate from each variable is a conflict edge, so the edge set is
+    /// a (bi-)clique over the candidate lists and can be emitted in bulk.
+    pub fn is_pure_unary_pair(&self) -> bool {
+        self.arity == 2 && self.binary.is_empty()
+    }
+
+    /// `true` for an arity-2 DC bulk-emittable without enumeration: φ has
+    /// at most one binary atom, and that atom links the two variables. With
+    /// no atom the edge set is a (bi-)clique over the candidate lists; with
+    /// one atom it is a union of sorted-run windows — one probe per
+    /// candidate of the first variable, every match an edge.
+    pub fn is_bulk_pair(&self) -> bool {
+        self.arity == 2
+            && match self.binary.as_slice() {
+                [] => true,
+                [a] => a.lvar != a.rvar,
+                _ => false,
+            }
     }
 
     /// Number of tuple variables.
@@ -746,6 +891,105 @@ mod tests {
         assert_eq!(plan.sym_class(1), 1);
         assert_eq!(plan.sym_class(2), 0);
         assert!(plan.binary_atoms().iter().all(BinaryAtomPlan::is_equality));
+    }
+
+    #[test]
+    fn saturation_merges_equality_chain_classes() {
+        // The chain of the previous test: saturation adds the implied
+        // t1.Age = t3.Age atom, after which all three variables are
+        // interchangeable — each unordered triple enumerates exactly once.
+        let chain = |l: usize, r_: usize| DcAtom::Binary {
+            lvar: l,
+            lcol: "Age".into(),
+            op: CmpOp::Eq,
+            rvar: r_,
+            rcol: "Age".into(),
+            offset: 0,
+        };
+        let dc = DenialConstraint::new("nae", 3, vec![chain(0, 1), chain(1, 2)]).unwrap();
+        let r = persons();
+        let plan = dc.bind(r.schema(), "Persons").unwrap().plan();
+        let sat = plan.saturate_equalities();
+        assert!(!sat.never_holds());
+        assert_eq!(sat.binary_atoms().len(), 3);
+        assert_eq!(sat.sym_class(0), 0);
+        assert_eq!(sat.sym_class(1), 0);
+        assert_eq!(sat.sym_class(2), 0);
+        // Idempotent: re-saturating adds nothing.
+        assert_eq!(
+            sat.saturate_equalities().binary_atoms().len(),
+            sat.binary_atoms().len()
+        );
+    }
+
+    #[test]
+    fn saturation_composes_offsets_and_keeps_asymmetry() {
+        // t1.Age = t2.Age + 5 ∧ t2.Age = t3.Age + 5 ⟹ t1.Age = t3.Age + 10.
+        let chain = |l: usize, r_: usize, off: i64| DcAtom::Binary {
+            lvar: l,
+            lcol: "Age".into(),
+            op: CmpOp::Eq,
+            rvar: r_,
+            rcol: "Age".into(),
+            offset: off,
+        };
+        let dc = DenialConstraint::new("steps", 3, vec![chain(0, 1, 5), chain(1, 2, 5)]).unwrap();
+        let r = persons();
+        let sat = dc
+            .bind(r.schema(), "Persons")
+            .unwrap()
+            .plan()
+            .saturate_equalities();
+        let implied = sat
+            .binary_atoms()
+            .iter()
+            .find(|a| a.lvar == 0 && a.rvar == 2)
+            .expect("implied atom");
+        assert_eq!(implied.offset, 10);
+        // Nonzero offsets break interchangeability: classes stay distinct.
+        assert_eq!(sat.sym_class(2), 2);
+    }
+
+    #[test]
+    fn saturation_detects_contradictions() {
+        // t1.Age = t2.Age + 1 ∧ t2.Age = t1.Age + 1 sums to 0 = 2: φ can
+        // never hold.
+        let a = DcAtom::Binary {
+            lvar: 0,
+            lcol: "Age".into(),
+            op: CmpOp::Eq,
+            rvar: 1,
+            rcol: "Age".into(),
+            offset: 1,
+        };
+        let b = DcAtom::Binary {
+            lvar: 1,
+            lcol: "Age".into(),
+            op: CmpOp::Eq,
+            rvar: 0,
+            rcol: "Age".into(),
+            offset: 1,
+        };
+        let dc = DenialConstraint::new("contra", 2, vec![a, b]).unwrap();
+        let r = persons();
+        let plan = dc.bind(r.schema(), "Persons").unwrap().plan();
+        assert!(!plan.never_holds());
+        assert!(plan.saturate_equalities().never_holds());
+    }
+
+    #[test]
+    fn pure_unary_pair_classification() {
+        let r = persons();
+        assert!(dc_oo()
+            .bind(r.schema(), "Persons")
+            .unwrap()
+            .plan()
+            .is_pure_unary_pair());
+        assert!(!dc_os_low()
+            .bind(r.schema(), "Persons")
+            .unwrap()
+            .plan()
+            .is_pure_unary_pair());
     }
 
     #[test]

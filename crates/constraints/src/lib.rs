@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod cc;
+mod cost;
 mod dc;
 mod error;
 mod hasse;
@@ -39,6 +40,7 @@ mod parser;
 mod relationship;
 
 pub use cc::{CardinalityConstraint, NormalizedCond};
+pub use cost::PlanCost;
 pub use dc::{BinaryAtomPlan, BoundDc, DcAtom, DcPlan, DenialConstraint, UnaryFilter};
 pub use error::{ConstraintError, Result};
 pub use hasse::HasseDiagram;

@@ -72,6 +72,46 @@ impl ConflictBuilderKind {
     }
 }
 
+/// How the indexed conflict builder plans each compiled DC.
+///
+/// Output is bit-identical across kinds (property-tested: both planners
+/// produce the same edge *sets*, and Phase II coloring depends only on edge
+/// sets and degrees); only the build cost differs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DcPlannerKind {
+    /// Cost-based planning from sampled column statistics
+    /// ([`cextend_table::ColumnStats`]): equality saturation merges
+    /// interchangeable variables, pure-unary pair DCs are emitted as bulk
+    /// cliques/bi-cliques, driver atoms are picked by estimated
+    /// selectivity, and each enumeration depth chooses hash-bucket,
+    /// sorted-run, or plain-scan execution per partition.
+    #[default]
+    Cost,
+    /// The PR 5 static hints (equality beats range, smallest candidate
+    /// list first), with an index built for every driver atom. Retained as
+    /// the equivalence oracle and the measured baseline.
+    Static,
+}
+
+impl DcPlannerKind {
+    /// Lower-case label used in CLIs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DcPlannerKind::Cost => "cost",
+            DcPlannerKind::Static => "static",
+        }
+    }
+
+    /// Parses a CLI label.
+    pub fn parse(s: &str) -> Option<DcPlannerKind> {
+        match s {
+            "cost" => Some(DcPlannerKind::Cost),
+            "static" => Some(DcPlannerKind::Static),
+            _ => None,
+        }
+    }
+}
+
 /// Coloring engine for [`Phase2Strategy::Coloring`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ColoringMode {
@@ -152,6 +192,10 @@ pub struct SolverConfig {
     /// [`Phase2Strategy::Coloring`]). Output is bit-identical across kinds;
     /// only the build cost differs.
     pub conflict: ConflictBuilderKind,
+    /// DC planner for the indexed conflict builder (only used by
+    /// [`ConflictBuilderKind::Indexed`]). Output is bit-identical across
+    /// kinds; only the build cost differs.
+    pub dc_planner: DcPlannerKind,
     /// ILP settings (only used when Phase I reaches Algorithm 1).
     pub ilp: IlpSettings,
     /// Color partitions on multiple threads (Section A.3). Deterministic:
@@ -195,6 +239,7 @@ impl SolverConfig {
             phase2: Phase2Strategy::Coloring,
             coloring: ColoringMode::Greedy,
             conflict: ConflictBuilderKind::Indexed,
+            dc_planner: DcPlannerKind::Cost,
             ilp: IlpSettings::default(),
             parallel_coloring: false,
             parallel_phase1: false,
@@ -247,6 +292,12 @@ impl SolverConfig {
     /// Builder-style conflict-builder override.
     pub fn with_conflict(mut self, conflict: ConflictBuilderKind) -> SolverConfig {
         self.conflict = conflict;
+        self
+    }
+
+    /// Builder-style DC-planner override.
+    pub fn with_dc_planner(mut self, planner: DcPlannerKind) -> SolverConfig {
+        self.dc_planner = planner;
         self
     }
 
@@ -305,6 +356,19 @@ mod tests {
             assert_eq!(SolverConfig::hybrid().with_conflict(kind).conflict, kind);
         }
         assert_eq!(ConflictBuilderKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn dc_planner_knob_round_trips() {
+        assert_eq!(SolverConfig::hybrid().dc_planner, DcPlannerKind::Cost);
+        for kind in [DcPlannerKind::Cost, DcPlannerKind::Static] {
+            assert_eq!(DcPlannerKind::parse(kind.label()), Some(kind));
+            assert_eq!(
+                SolverConfig::hybrid().with_dc_planner(kind).dc_planner,
+                kind
+            );
+        }
+        assert_eq!(DcPlannerKind::parse("nope"), None);
     }
 
     #[test]

@@ -68,8 +68,8 @@ pub mod stepgraph;
 
 pub use baseline::{solve_baseline, solve_baseline_with_marginals, solve_hybrid};
 pub use config::{
-    ColoringMode, ConflictBuilderKind, IlpBackend, IlpSettings, Phase1Strategy, Phase2Strategy,
-    SchedulerMode, SolverConfig,
+    ColoringMode, ConflictBuilderKind, DcPlannerKind, IlpBackend, IlpSettings, Phase1Strategy,
+    Phase2Strategy, SchedulerMode, SolverConfig,
 };
 
 /// Conflict-hypergraph construction (Definition 5.1): the indexed fast
@@ -78,7 +78,8 @@ pub use config::{
 /// workload crate can property-test their edge-set equivalence.
 pub mod conflict {
     pub use crate::phase2::conflict::{
-        build_conflict_graph, build_conflict_graph_naive, ConflictBuilder, ConflictStats,
+        build_conflict_graph, build_conflict_graph_naive, plan_decision_counts, ConflictBuilder,
+        ConflictStats,
     };
 }
 pub use error::{CoreError, Result};

@@ -7,7 +7,7 @@
 //! because candidate key sets are disjoint across combos (Section 5.2), so
 //! they can be colored on separate threads (Section A.3).
 
-use crate::config::{ColoringMode, ConflictBuilderKind};
+use crate::config::{ColoringMode, ConflictBuilderKind, DcPlannerKind};
 use crate::phase2::conflict::{ConflictBuilder, ConflictStats};
 use cextend_constraints::BoundDc;
 use cextend_hypergraph::{
@@ -15,6 +15,7 @@ use cextend_hypergraph::{
     ExactResult,
 };
 use cextend_table::{Relation, RowId};
+use std::collections::HashMap;
 use std::time::Duration;
 
 /// What one partition's coloring decided.
@@ -110,76 +111,118 @@ pub(crate) fn color_partition(
     }
 }
 
-/// Colors all partitions, serially or on `std::thread::scope` threads.
-/// Results come back in partition order either way, so the pipeline is
-/// deterministic. Each worker compiles the DC plans once into its own
-/// [`ConflictBuilder`] and reuses it across its partitions; the worker
-/// count honors `CEXTEND_SCHED_WORKERS` via [`cextend_sched::pool_width`].
+/// Colors all partitions and hands each [`PartitionResult`] to `sink` in
+/// partition order — the streaming core of the Phase II pipeline.
+///
+/// Serially, `sink` runs right after each partition colors. In parallel
+/// mode, workers pull partition indexes from a shared atomic counter
+/// (work-stealing: a worker stuck on a huge partition never strands queued
+/// small ones behind it) and stream results over a channel; the
+/// coordinator reorders arrivals so `sink` still observes strict partition
+/// order while later partitions are still coloring. Either way the sink
+/// sees the exact sequence the all-at-once API returns, so downstream
+/// minting stays bit-identical across modes and worker widths. Each worker
+/// compiles the DC plans once into its own [`ConflictBuilder`] and reuses
+/// it across its partitions; the worker count honors
+/// `CEXTEND_SCHED_WORKERS` via [`cextend_sched::pool_width`].
+#[allow(clippy::too_many_arguments)] // one knob per Phase II degree of freedom
+pub(crate) fn color_partitions_streamed(
+    view: &Relation,
+    partitions: &[(Vec<cextend_table::Value>, Vec<RowId>, usize)],
+    dcs: &[BoundDc],
+    mode: ColoringMode,
+    kind: ConflictBuilderKind,
+    planner: DcPlannerKind,
+    parallel: bool,
+    mut sink: impl FnMut(PartitionResult),
+) {
+    // Compile the DC plans only when the indexed builder will run; the
+    // naive path would never use them. Cost estimates are nominal for the
+    // largest partition; the sampled statistics behind them are computed
+    // once and shared through the view's thread-safe lazy cache.
+    let rows_hint = partitions.iter().map(|p| p.1.len()).max().unwrap_or(0);
+    let new_builder = || match (kind, planner) {
+        (ConflictBuilderKind::Indexed, DcPlannerKind::Cost) => {
+            Some(ConflictBuilder::new_cost(dcs, view, rows_hint))
+        }
+        (ConflictBuilderKind::Indexed, DcPlannerKind::Static) => Some(ConflictBuilder::new(dcs)),
+        (ConflictBuilderKind::Naive, _) => None,
+    };
+    if !parallel || partitions.len() < 2 {
+        let mut builder = new_builder();
+        for (i, (_, rows, n_cand)) in partitions.iter().enumerate() {
+            sink(color_partition(
+                i,
+                view,
+                rows,
+                *n_cand,
+                dcs,
+                mode,
+                builder.as_mut(),
+            ));
+        }
+        return;
+    }
+    let n_threads = cextend_sched::pool_width(partitions.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::channel::<PartitionResult>();
+        for t in 0..n_threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || {
+                cextend_obs::label_thread(&format!("phase2-worker-{t}"));
+                let mut builder = new_builder();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some((_, rows, n_cand)) = partitions.get(i) else {
+                        break;
+                    };
+                    let r = color_partition(i, view, rows, *n_cand, dcs, mode, builder.as_mut());
+                    if tx.send(r).is_err() {
+                        break; // coordinator gone (panic unwinding)
+                    }
+                }
+                // Hand buffered spans/counters to the collector before the
+                // scope joins (TLS destructors can outlive the join).
+                cextend_obs::flush_thread();
+            });
+        }
+        drop(tx);
+        // Reorder out-of-order arrivals: deliver the contiguous prefix as
+        // it completes, buffering only the gap between the fastest and
+        // slowest in-flight partition.
+        let mut pending: std::collections::HashMap<usize, PartitionResult> = HashMap::new();
+        let mut next_out = 0usize;
+        for r in rx {
+            pending.insert(r.partition, r);
+            while let Some(r) = pending.remove(&next_out) {
+                sink(r);
+                next_out += 1;
+            }
+        }
+        assert_eq!(next_out, partitions.len(), "every partition colored");
+    });
+}
+
+/// Colors all partitions and collects the results in partition order — the
+/// buffered wrapper over [`color_partitions_streamed`] for callers (tests,
+/// benches) that want the whole vector at once.
+#[allow(clippy::too_many_arguments)] // one knob per Phase II degree of freedom
 pub(crate) fn color_all_partitions(
     view: &Relation,
     partitions: &[(Vec<cextend_table::Value>, Vec<RowId>, usize)],
     dcs: &[BoundDc],
     mode: ColoringMode,
     kind: ConflictBuilderKind,
+    planner: DcPlannerKind,
     parallel: bool,
 ) -> Vec<PartitionResult> {
-    // Compile the DC plans only when the indexed builder will run; the
-    // naive path would never use them.
-    let new_builder = || match kind {
-        ConflictBuilderKind::Indexed => Some(ConflictBuilder::new(dcs)),
-        ConflictBuilderKind::Naive => None,
-    };
-    if !parallel || partitions.len() < 2 {
-        let mut builder = new_builder();
-        return partitions
-            .iter()
-            .enumerate()
-            .map(|(i, (_, rows, n_cand))| {
-                color_partition(i, view, rows, *n_cand, dcs, mode, builder.as_mut())
-            })
-            .collect();
-    }
-    let n_threads = cextend_sched::pool_width(partitions.len());
-    let mut results: Vec<Option<PartitionResult>> = Vec::new();
-    results.resize_with(partitions.len(), || None);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..n_threads {
-            handles.push(scope.spawn(move || {
-                cextend_obs::label_thread(&format!("phase2-worker-{t}"));
-                let mut builder = new_builder();
-                let mut local = Vec::new();
-                let mut i = t;
-                while i < partitions.len() {
-                    let (_, rows, n_cand) = &partitions[i];
-                    local.push(color_partition(
-                        i,
-                        view,
-                        rows,
-                        *n_cand,
-                        dcs,
-                        mode,
-                        builder.as_mut(),
-                    ));
-                    i += n_threads;
-                }
-                // Hand buffered spans/counters to the collector before the
-                // scope joins (TLS destructors can outlive the join).
-                cextend_obs::flush_thread();
-                local
-            }));
-        }
-        for h in handles {
-            for r in h.join().expect("coloring thread panicked") {
-                let idx = r.partition;
-                results[idx] = Some(r);
-            }
-        }
+    let mut results = Vec::with_capacity(partitions.len());
+    color_partitions_streamed(view, partitions, dcs, mode, kind, planner, parallel, |r| {
+        results.push(r)
     });
     results
-        .into_iter()
-        .map(|r| r.expect("every partition colored"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -271,6 +314,7 @@ mod tests {
             &dcs,
             ColoringMode::Greedy,
             ConflictBuilderKind::Indexed,
+            DcPlannerKind::Static,
             false,
         );
         let parallel = color_all_partitions(
@@ -279,12 +323,25 @@ mod tests {
             &dcs,
             ColoringMode::Greedy,
             ConflictBuilderKind::Naive,
+            DcPlannerKind::Static,
             true,
         );
+        let cost = color_all_partitions(
+            &view,
+            &partitions,
+            &dcs,
+            ColoringMode::Greedy,
+            ConflictBuilderKind::Indexed,
+            DcPlannerKind::Cost,
+            false,
+        );
         assert_eq!(serial.len(), parallel.len());
-        for (s, p) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(serial.len(), cost.len());
+        for ((s, p), c) in serial.iter().zip(parallel.iter()).zip(cost.iter()) {
             assert_eq!(s.assignments, p.assignments);
             assert_eq!(s.fresh_colors, p.fresh_colors);
+            assert_eq!(s.assignments, c.assignments, "planner changed output");
+            assert_eq!(s.fresh_colors, c.fresh_colors);
         }
     }
 }

@@ -25,10 +25,20 @@
 //! tested across all workloads in `cextend-workloads`), so Phase II output
 //! is bit-identical regardless of the builder.
 
-use cextend_constraints::{BinaryAtomPlan, BoundDc, DcPlan};
+use crate::config::DcPlannerKind;
+use cextend_constraints::{BinaryAtomPlan, BoundDc, DcPlan, PlanCost};
 use cextend_hypergraph::Hypergraph;
 use cextend_table::{CmpOp, ColId, IntColumnView, Relation, RowId, Sym, SymColumnView, Value};
 use std::collections::HashMap;
+
+/// Per-entry cost of building a value index (hashing / sorting /
+/// allocation), in scan-visit units. The cost planner keeps a driver's
+/// index only when the scans it replaces outweigh `BUILD × n` plus the
+/// probe overhead — a handful of probes over a handful of rows scans.
+const INDEX_BUILD_FACTOR: f64 = 4.0;
+/// Fixed per-probe overhead (hash lookup / binary search) in scan-visit
+/// units, on top of visiting the matching candidates themselves.
+const INDEX_PROBE_COST: f64 = 2.0;
 
 /// What the indexed builder did, for `CEXTEND_TRACE` diagnostics.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -42,13 +52,26 @@ pub struct ConflictStats {
     /// Candidate rows visited without an index driver (full scans of a
     /// variable's unary-filtered candidate list).
     pub scanned_candidates: usize,
-    /// DCs skipped outright: some variable had no candidates, or a binary
-    /// atom referenced a non-integer column (φ can never hold).
+    /// DCs skipped outright: some variable had no candidates, a binary
+    /// atom referenced a non-integer column, or equality saturation proved
+    /// φ self-contradictory (φ can never hold).
     pub dead_dcs: usize,
     /// Complete assignments rejected by the hypergraph's edge dedup
     /// (duplicate or degenerate edges — symmetric-variable permutations of
-    /// an edge already stored).
+    /// an edge already stored, or pairs a bulk-emitted DC already owns).
     pub dedup_hits: usize,
+    /// DCs planned from sampled column statistics (cost planner).
+    pub plans_cost: usize,
+    /// DCs whose cost estimate fell back to the static defaults because
+    /// some column had no usable statistics.
+    pub plans_static_fallback: usize,
+    /// Cost-planner depths executed with a hash-bucket index.
+    pub index_hash: usize,
+    /// Cost-planner depths executed with a sorted-run index.
+    pub index_sorted: usize,
+    /// Cost-planner depths demoted to a plain scan (candidate list below
+    /// the index-amortization threshold).
+    pub index_scan: usize,
 }
 
 impl ConflictStats {
@@ -60,6 +83,11 @@ impl ConflictStats {
         self.scanned_candidates += other.scanned_candidates;
         self.dead_dcs += other.dead_dcs;
         self.dedup_hits += other.dedup_hits;
+        self.plans_cost += other.plans_cost;
+        self.plans_static_fallback += other.plans_static_fallback;
+        self.index_hash += other.index_hash;
+        self.index_sorted += other.index_sorted;
+        self.index_scan += other.index_scan;
     }
 }
 
@@ -71,6 +99,29 @@ impl ConflictStats {
 /// partition).
 pub struct ConflictBuilder {
     plans: Vec<DcPlan>,
+    planner: DcPlannerKind,
+    /// Sampled-statistics cost estimates per plan (cost planner only;
+    /// `None` for `never_holds` plans and under the static planner).
+    costs: Vec<Option<PlanCost>>,
+    /// Execution order over `plans`: bulk-emitted DCs first under the cost
+    /// planner (so unchecked bulk edges exist before any checked leaf has
+    /// to dedup against them), declaration order otherwise.
+    dc_order: Vec<usize>,
+    /// Bulk-emission slot per plan (bit position in the registry masks);
+    /// `Some` for at most 64 pair DCs with at most one binary atom under
+    /// the cost planner.
+    bulk_slot: Vec<Option<u8>>,
+    n_bulk: usize,
+    /// Per-vertex registry masks: bit `k` of `bulk_a[v]` / `bulk_b[v]`
+    /// records that `v` is in bulk DC `k`'s first / second candidate set.
+    /// A pair `{s,t}` was bulk-emitted iff some DC has an `a`-member and a
+    /// `b`-member on opposite ends — the dedup test both later bulk DCs and
+    /// indexed arity-2 leaves apply before adding the pair again.
+    bulk_a: Vec<u64>,
+    bulk_b: Vec<u64>,
+    /// Sorted-run scratch for single-atom bulk DCs: `(cell value,
+    /// candidate position)` over the second variable's candidates.
+    bulk_run: Vec<(i64, u32)>,
     /// Candidate positions per tuple variable (indices into `rows`).
     cands: Vec<Vec<u32>>,
     /// Vertex chosen per tuple variable (by original variable index).
@@ -151,16 +202,138 @@ struct DcCtx<'a> {
     atom_views: &'a [(IntColumnView<'a>, IntColumnView<'a>)],
     cands: &'a [Vec<u32>],
     indexes: &'a [ValueIndex],
+    /// Bulk-emission registry masks (empty when no DC was bulk-emitted).
+    /// Arity-2 leaves consult them: a pair some bulk DC already owns must
+    /// not be added again (unchecked edges bypass the graph's own dedup).
+    bulk_a: &'a [u64],
+    bulk_b: &'a [u64],
+    /// Per bulk slot: the DC's binary atom bound to typed views (`None`
+    /// for pure-unary slots), plus the mask of pure-unary slots.
+    bulk_preds: &'a [Option<BulkPred<'a>>],
+    bulk_uncond: u64,
+}
+
+/// A bulk DC's single binary atom bound to typed column views — the
+/// predicate the registry dedup tests re-evaluate: for these DCs the
+/// membership masks only *nominate* a pair, the atom decides whether it
+/// was actually emitted.
+struct BulkPred<'v> {
+    atom: BinaryAtomPlan,
+    lview: IntColumnView<'v>,
+    rview: IntColumnView<'v>,
+}
+
+impl BulkPred<'_> {
+    /// The atom on the pair `(x bound to variable 0, y bound to
+    /// variable 1)` — cell semantics identical to the enumerate
+    /// verification (`eval_cells`).
+    #[inline]
+    fn eval(&self, rows: &[RowId], x: u32, y: u32) -> bool {
+        let lpos = if self.atom.lvar == 0 { x } else { y };
+        let rpos = if self.atom.rvar == 0 { x } else { y };
+        self.atom.eval_cells(
+            self.lview.get(rows[lpos as usize]),
+            self.rview.get(rows[rpos as usize]),
+        )
+    }
+}
+
+/// `true` if a bulk DC whose slot bit is inside `limit` already emitted
+/// `{s, t}`. The membership masks nominate candidate DCs per orientation;
+/// pure-unary slots (the `uncond` mask) emit every nominated pair, the
+/// rest only where their atom holds.
+#[inline]
+fn bulk_emitted(
+    rows: &[RowId],
+    bulk_a: &[u64],
+    bulk_b: &[u64],
+    preds: &[Option<BulkPred<'_>>],
+    uncond: u64,
+    limit: u64,
+    (s, t): (u32, u32),
+) -> bool {
+    let m1 = bulk_a[s as usize] & bulk_b[t as usize] & limit;
+    let m2 = bulk_a[t as usize] & bulk_b[s as usize] & limit;
+    if (m1 | m2) & uncond != 0 {
+        return true;
+    }
+    let mut m = (m1 | m2) & !uncond;
+    while m != 0 {
+        let k = m.trailing_zeros() as usize;
+        let bit = 1u64 << k;
+        m &= m - 1;
+        let p = preds[k]
+            .as_ref()
+            .expect("conditional bulk slot has a predicate");
+        if (m1 & bit != 0 && p.eval(rows, s, t)) || (m2 & bit != 0 && p.eval(rows, t, s)) {
+            return true;
+        }
+    }
+    false
 }
 
 impl ConflictBuilder {
-    /// Compiles the DC set. The builder is then reusable across any number
-    /// of `(view, rows)` builds.
+    /// Compiles the DC set with the static planner (the PR 5 hints). The
+    /// builder is then reusable across any number of `(view, rows)` builds.
     pub fn new(dcs: &[BoundDc]) -> ConflictBuilder {
         let plans: Vec<DcPlan> = dcs.iter().map(BoundDc::plan).collect();
+        let costs = vec![None; plans.len()];
+        ConflictBuilder::from_plans(plans, DcPlannerKind::Static, costs)
+    }
+
+    /// Compiles the DC set with the cost planner: plans are equality-
+    /// saturated (merging interchangeable variables, detecting
+    /// contradictions), costed against `view`'s sampled column statistics
+    /// for a nominal partition of `rows_hint` rows, and ordered with
+    /// bulk-emittable pure-unary pair DCs first.
+    pub fn new_cost(dcs: &[BoundDc], view: &Relation, rows_hint: usize) -> ConflictBuilder {
+        let plans: Vec<DcPlan> = dcs.iter().map(|d| d.plan().saturate_equalities()).collect();
+        let costs: Vec<Option<PlanCost>> = plans
+            .iter()
+            .map(|p| {
+                if p.never_holds() {
+                    None
+                } else {
+                    Some(PlanCost::estimate(p, view, rows_hint))
+                }
+            })
+            .collect();
+        ConflictBuilder::from_plans(plans, DcPlannerKind::Cost, costs)
+    }
+
+    fn from_plans(
+        plans: Vec<DcPlan>,
+        planner: DcPlannerKind,
+        costs: Vec<Option<PlanCost>>,
+    ) -> ConflictBuilder {
         let max_arity = plans.iter().map(DcPlan::arity).max().unwrap_or(0);
+        let mut bulk_slot = vec![None; plans.len()];
+        let mut n_bulk = 0usize;
+        if planner == DcPlannerKind::Cost {
+            for (i, p) in plans.iter().enumerate() {
+                // The registry masks are u64s, so at most 64 DCs can be
+                // bulk-emitted; any excess runs through the indexed path
+                // (identical edges, just slower).
+                if p.is_bulk_pair() && !p.never_holds() && n_bulk < 64 {
+                    bulk_slot[i] = Some(n_bulk as u8);
+                    n_bulk += 1;
+                }
+            }
+        }
+        let mut dc_order: Vec<usize> = (0..plans.len()).collect();
+        if n_bulk > 0 {
+            dc_order.sort_by_key(|&i| (bulk_slot[i].is_none(), i));
+        }
         ConflictBuilder {
             plans,
+            planner,
+            costs,
+            dc_order,
+            bulk_slot,
+            n_bulk,
+            bulk_a: Vec::new(),
+            bulk_b: Vec::new(),
+            bulk_run: Vec::new(),
             cands: Vec::new(),
             chosen: vec![0; max_arity],
             member: Vec::new(),
@@ -191,15 +364,81 @@ impl ConflictBuilder {
         if self.member.len() < rows.len() {
             self.member.resize(rows.len(), 0);
         }
+        if self.n_bulk > 0 {
+            if self.bulk_a.len() < rows.len() {
+                self.bulk_a.resize(rows.len(), 0);
+                self.bulk_b.resize(rows.len(), 0);
+            }
+            self.bulk_a[..rows.len()].fill(0);
+            self.bulk_b[..rows.len()].fill(0);
+        }
         let plans = std::mem::take(&mut self.plans);
-        for plan in &plans {
-            self.build_one_dc(view, rows, plan, &mut g);
+        let dc_order = std::mem::take(&mut self.dc_order);
+        let costs = std::mem::take(&mut self.costs);
+        // Per-slot predicate table for the registry dedup tests. A
+        // single-atom bulk DC whose columns fail to type as integers stays
+        // `None`: `build_one_dc` kills such a DC before it registers any
+        // membership bit, so its entry is never consulted.
+        let mut bulk_preds: Vec<Option<BulkPred<'_>>> = Vec::new();
+        let mut bulk_uncond = 0u64;
+        if self.n_bulk > 0 {
+            bulk_preds.resize_with(self.n_bulk, || None);
+            for (i, plan) in plans.iter().enumerate() {
+                let Some(k) = self.bulk_slot[i] else { continue };
+                match plan.binary_atoms() {
+                    [] => bulk_uncond |= 1u64 << k,
+                    [atom] => {
+                        if let (Some(l), Some(r)) =
+                            (view.int_view(atom.lcol), view.int_view(atom.rcol))
+                        {
+                            bulk_preds[k as usize] = Some(BulkPred {
+                                atom: *atom,
+                                lview: l,
+                                rview: r,
+                            });
+                        }
+                    }
+                    _ => unreachable!("bulk slots hold at most one binary atom"),
+                }
+            }
+        }
+        for &ix in &dc_order {
+            let bulk = self.bulk_slot[ix];
+            self.build_one_dc(
+                view,
+                rows,
+                &plans[ix],
+                costs[ix].as_ref(),
+                bulk,
+                &bulk_preds,
+                bulk_uncond,
+                &mut g,
+            );
         }
         self.plans = plans;
+        self.dc_order = dc_order;
+        self.costs = costs;
         g
     }
 
-    fn build_one_dc(&mut self, view: &Relation, rows: &[RowId], plan: &DcPlan, g: &mut Hypergraph) {
+    #[allow(clippy::too_many_arguments)] // private per-DC driver of `build`
+    fn build_one_dc(
+        &mut self,
+        view: &Relation,
+        rows: &[RowId],
+        plan: &DcPlan,
+        cost: Option<&PlanCost>,
+        bulk: Option<u8>,
+        bulk_preds: &[Option<BulkPred<'_>>],
+        bulk_uncond: u64,
+        g: &mut Hypergraph,
+    ) {
+        if plan.never_holds() {
+            // Equality saturation found contradictory atoms at compile
+            // time (e.g. `t1.A = t2.A + 1 ∧ t2.A = t1.A`).
+            self.stats.dead_dcs += 1;
+            return;
+        }
         let arity = plan.arity();
         // Typed views for every binary atom column. A binary atom over a
         // non-integer column can never hold (missing/typed-out cells make
@@ -248,6 +487,15 @@ impl ConflictBuilder {
             }
         }
 
+        // Bulk emission: a pair DC with at most one binary atom writes its
+        // edges directly — no enumeration, no per-edge hashing — after
+        // recording membership in the registry masks that later emitters
+        // dedup against.
+        if let Some(k) = bulk {
+            self.emit_bulk_pairs(plan, k, rows, &atom_views, bulk_preds, bulk_uncond, g);
+            return;
+        }
+
         // Selectivity-driven variable order: start from the smallest
         // candidate list; then prefer variables linked by a binary atom to
         // the already-ordered set (so an index can drive their loop),
@@ -258,8 +506,10 @@ impl ConflictBuilder {
         let order = &self.order;
 
         // Atom schedule: each binary atom runs at the depth where its last
-        // variable gets assigned; one scheduled equality (else ordering)
-        // atom per depth is promoted to loop driver.
+        // variable gets assigned; one scheduled atom per depth is promoted
+        // to loop driver — under the cost planner the one with the lowest
+        // estimated selectivity (ties prefer equality), under the static
+        // planner any equality before any ordering atom.
         while self.sched.len() < arity {
             self.sched.push(Vec::new());
         }
@@ -276,11 +526,54 @@ impl ConflictBuilder {
             if atom.lvar != atom.rvar {
                 let better = match drivers[depth] {
                     None => true,
-                    Some(d) => atom.is_equality() && !plan.binary_atoms()[d].is_equality(),
+                    Some(d) => {
+                        let cur = &plan.binary_atoms()[d];
+                        match cost {
+                            Some(c) => {
+                                let (sa, sc) = (c.atom_selectivity[a], c.atom_selectivity[d]);
+                                sa < sc || (sa == sc && atom.is_equality() && !cur.is_equality())
+                            }
+                            None => atom.is_equality() && !cur.is_equality(),
+                        }
+                    }
                 };
                 if better && (atom.is_equality() || atom.is_range()) {
                     drivers[depth] = Some(a);
                 }
+            }
+        }
+
+        // Index-kind decision (cost planner): keep a depth's driver index
+        // only when it amortizes. The index replaces, per enumeration
+        // reaching this depth, a scan of the whole candidate list with a
+        // probe that visits `n × sel` matches; it costs one build over the
+        // list per partition. The probe count is the product of the
+        // surviving loop widths above this depth (selective drivers narrow
+        // each level to `n × sel` survivors whether they execute as index
+        // or scan — the scheduled-atom check in `try_candidate` filters
+        // identically). A demoted depth scans: same edges, no build.
+        if self.planner == DcPlannerKind::Cost {
+            let mut est_probes = 1.0f64;
+            for depth in 0..arity {
+                let n = self.cands[order[depth]].len() as f64;
+                let sel = match drivers[depth] {
+                    Some(a) => cost.map_or(0.5, |c| c.atom_selectivity[a]),
+                    None => 1.0,
+                };
+                if let Some(a) = drivers[depth] {
+                    let scan_cost = est_probes * n;
+                    let index_cost =
+                        INDEX_BUILD_FACTOR * n + est_probes * (INDEX_PROBE_COST + n * sel);
+                    if scan_cost <= index_cost {
+                        drivers[depth] = None;
+                        self.stats.index_scan += 1;
+                    } else if plan.binary_atoms()[a].is_equality() {
+                        self.stats.index_hash += 1;
+                    } else {
+                        self.stats.index_sorted += 1;
+                    }
+                }
+                est_probes *= (n * sel).max(1.0);
             }
         }
 
@@ -353,6 +646,10 @@ impl ConflictBuilder {
             atom_views: &atom_views,
             cands: &self.cands[..arity],
             indexes: &indexes,
+            bulk_a: &self.bulk_a,
+            bulk_b: &self.bulk_b,
+            bulk_preds,
+            bulk_uncond,
         };
         let mut state = EnumState {
             chosen: &mut self.chosen,
@@ -363,6 +660,180 @@ impl ConflictBuilder {
         };
         enumerate(&ctx, &mut state, 0, g);
     }
+
+    /// Writes a bulk DC's pairs straight into the graph. The candidate
+    /// sets are already in `self.cands[0..2]`; `k` is the DC's registry
+    /// bit. A pure-unary DC emits a clique (interchangeable variables) or
+    /// bi-clique; a single-atom DC sorts the second variable's candidates
+    /// by the atom column and emits one violation window per first-variable
+    /// candidate. Mirrored visits emit canonically on the one whose
+    /// first-set element is smaller; pairs some earlier bulk DC already
+    /// owns are skipped via the registry, so unchecked adds stay unique.
+    #[allow(clippy::too_many_arguments)] // private helper of `build_one_dc`
+    fn emit_bulk_pairs(
+        &mut self,
+        plan: &DcPlan,
+        k: u8,
+        rows: &[RowId],
+        atom_views: &[(IntColumnView<'_>, IntColumnView<'_>)],
+        bulk_preds: &[Option<BulkPred<'_>>],
+        bulk_uncond: u64,
+        g: &mut Hypergraph,
+    ) {
+        debug_assert_eq!(plan.arity(), 2);
+        let bit = 1u64 << k;
+        let earlier = bit - 1;
+        let emitted_before = |a: &[u64], b: &[u64], s: u32, t: u32| {
+            bulk_emitted(rows, a, b, bulk_preds, bulk_uncond, earlier, (s, t))
+        };
+        if let [atom] = plan.binary_atoms() {
+            // Single-atom DC: one sorted run over variable 1's candidates,
+            // keyed by the column the atom reads there; each variable-0
+            // candidate probes its violation window (the bulk analogue of
+            // the enumerate driver probe — same pairs, no per-pair
+            // verification or hashing).
+            let (ca, cb) = (&self.cands[0], &self.cands[1]);
+            for &p in ca {
+                self.bulk_a[p as usize] |= bit;
+            }
+            for &p in cb {
+                self.bulk_b[p as usize] |= bit;
+            }
+            let (lv, rv) = &atom_views[0];
+            let (v0_view, v1_view) = if atom.lvar == 0 { (lv, rv) } else { (rv, lv) };
+            let own = BulkPred {
+                atom: *atom,
+                lview: *lv,
+                rview: *rv,
+            };
+            let mut run = std::mem::take(&mut self.bulk_run);
+            run.clear();
+            for &p in cb {
+                if let Some(v) = v1_view.get(rows[p as usize]) {
+                    run.push((v, p));
+                }
+            }
+            run.sort_unstable();
+            for &u in &self.cands[0] {
+                // A missing cell fails the atom against every partner.
+                let Some(o) = v0_view.get(rows[u as usize]) else {
+                    continue;
+                };
+                // Up to two run windows; `None` (overflowing bound) falls
+                // back to verifying the atom per candidate.
+                let windows = bulk_windows(atom, o, &run);
+                let (w1, w2) = windows.clone().unwrap_or((0..run.len(), 0..0));
+                for &(_, v) in run[w1].iter().chain(run[w2].iter()) {
+                    if v == u {
+                        continue;
+                    }
+                    if windows.is_none() && !own.eval(rows, u, v) {
+                        continue;
+                    }
+                    // Mirrored visit `(v, u)`: emit only here if it does
+                    // not qualify, or `u` is the smaller element.
+                    if u > v
+                        && self.bulk_a[v as usize] & bit != 0
+                        && self.bulk_b[u as usize] & bit != 0
+                        && own.eval(rows, v, u)
+                    {
+                        continue;
+                    }
+                    let (s, t) = if u < v { (u, v) } else { (v, u) };
+                    if emitted_before(&self.bulk_a, &self.bulk_b, s, t) {
+                        self.stats.dedup_hits += 1;
+                        continue;
+                    }
+                    g.add_sorted_edge_unchecked(&[s, t]);
+                }
+            }
+            self.bulk_run = run;
+        } else if plan.sym_class(0) == plan.sym_class(1) {
+            // Identical unary filters ⇒ identical candidate sets: a clique.
+            let cand = &self.cands[0];
+            debug_assert_eq!(*cand, self.cands[1]);
+            for &p in cand {
+                self.bulk_a[p as usize] |= bit;
+                self.bulk_b[p as usize] |= bit;
+            }
+            g.reserve_edges(cand.len() * cand.len().saturating_sub(1) / 2, 2);
+            for (i, &s) in cand.iter().enumerate() {
+                for &t in &cand[i + 1..] {
+                    if emitted_before(&self.bulk_a, &self.bulk_b, s, t) {
+                        self.stats.dedup_hits += 1;
+                        continue;
+                    }
+                    g.add_sorted_edge_unchecked(&[s, t]);
+                }
+            }
+        } else {
+            let (ca, cb) = (&self.cands[0], &self.cands[1]);
+            for &p in ca {
+                self.bulk_a[p as usize] |= bit;
+            }
+            for &p in cb {
+                self.bulk_b[p as usize] |= bit;
+            }
+            g.reserve_edges(ca.len() * cb.len(), 2);
+            for &u in ca {
+                for &v in cb {
+                    if u == v {
+                        continue;
+                    }
+                    // The mirrored visit `(v, u)` exists iff both rows hold
+                    // both memberships; only the visit whose first-set
+                    // element is smaller emits then.
+                    if u > v
+                        && self.bulk_a[v as usize] & bit != 0
+                        && self.bulk_b[u as usize] & bit != 0
+                    {
+                        continue;
+                    }
+                    let (s, t) = if u < v { (u, v) } else { (v, u) };
+                    if emitted_before(&self.bulk_a, &self.bulk_b, s, t) {
+                        self.stats.dedup_hits += 1;
+                        continue;
+                    }
+                    g.add_sorted_edge_unchecked(&[s, t]);
+                }
+            }
+        }
+    }
+}
+
+/// The (up to two) ranges of the sorted run satisfying `atom` against the
+/// variable-0 cell `o` — the bulk analogue of [`range_probe`], extended to
+/// equality (one equal run) and inequality (its complement). `None` when a
+/// bound computation overflows; the caller then verifies per candidate.
+fn bulk_windows(
+    atom: &BinaryAtomPlan,
+    o: i64,
+    run: &[(i64, u32)],
+) -> Option<(std::ops::Range<usize>, std::ops::Range<usize>)> {
+    let below = |b: i64, inclusive: bool| -> std::ops::Range<usize> {
+        0..run.partition_point(|&(v, _)| if inclusive { v <= b } else { v < b })
+    };
+    let above = |b: i64, inclusive: bool| -> std::ops::Range<usize> {
+        run.partition_point(|&(v, _)| if inclusive { v < b } else { v <= b })..run.len()
+    };
+    let none = 0..0;
+    // The run holds variable 1's cells. When the atom reads variable 1 on
+    // its left side the window is `l ◦ (o + off)`; otherwise
+    // `o ◦ (r + off)` ⇔ `r ◦' (o − off)` with the comparison flipped.
+    let (b, flip) = if atom.lvar == 1 {
+        (o.checked_add(atom.offset)?, false)
+    } else {
+        (o.checked_sub(atom.offset)?, true)
+    };
+    let op = atom.op;
+    Some(match (op, flip) {
+        (CmpOp::Eq, _) => (above(b, true).start..below(b, true).end, none),
+        (CmpOp::Ne, _) => (below(b, false), above(b, false)),
+        (CmpOp::Lt, false) | (CmpOp::Gt, true) => (below(b, false), none),
+        (CmpOp::Le, false) | (CmpOp::Ge, true) => (below(b, true), none),
+        (CmpOp::Gt, false) | (CmpOp::Lt, true) => (above(b, false), none),
+        (CmpOp::Ge, false) | (CmpOp::Le, true) => (above(b, true), none),
+    })
 }
 
 /// The mutable half of the enumeration.
@@ -409,6 +880,24 @@ fn enumerate(ctx: &DcCtx<'_>, state: &mut EnumState<'_>, depth: usize, g: &mut H
         state.edge_buf.clear();
         state.edge_buf.extend_from_slice(&state.chosen[..arity]);
         state.edge_buf.sort_unstable();
+        // Pairs a bulk DC already emitted bypass the graph's fingerprint
+        // dedup (unchecked adds), so arity-2 leaves check the registry.
+        // Higher arities cannot collide with a 2-vertex edge.
+        if arity == 2 && !ctx.bulk_a.is_empty() {
+            let (s, t) = (state.edge_buf[0], state.edge_buf[1]);
+            if bulk_emitted(
+                ctx.rows,
+                ctx.bulk_a,
+                ctx.bulk_b,
+                ctx.bulk_preds,
+                ctx.bulk_uncond,
+                u64::MAX,
+                (s, t),
+            ) {
+                state.stats.dedup_hits += 1;
+                return;
+            }
+        }
         if g.add_sorted_edge(state.edge_buf).is_none() {
             state.stats.dedup_hits += 1;
         }
@@ -583,6 +1072,29 @@ pub fn build_conflict_graph(view: &Relation, rows: &[RowId], dcs: &[BoundDc]) ->
     ConflictBuilder::new(dcs).build(view, rows)
 }
 
+/// Counts the cost planner's per-DC decisions: how many plans were costed
+/// from sampled statistics and how many fell back to the static defaults.
+/// Computed once by the Phase II coordinator (not per worker), so the
+/// reported counters are invariant under worker width.
+pub fn plan_decision_counts(dcs: &[BoundDc], view: &Relation, rows_hint: usize) -> (usize, usize) {
+    let mut from_stats = 0;
+    let mut fallback = 0;
+    for dc in dcs {
+        let plan = dc.plan().saturate_equalities();
+        if plan.never_holds() {
+            // A compile-time contradiction is a statistics-independent
+            // decision; the per-partition `dead_dcs` counter records it.
+            continue;
+        }
+        if PlanCost::estimate(&plan, view, rows_hint).from_stats {
+            from_stats += 1;
+        } else {
+            fallback += 1;
+        }
+    }
+    (from_stats, fallback)
+}
+
 /// The original naive builder: enumerate candidate combinations per DC and
 /// evaluate φ at the leaves. `O(|P|^k)` per DC — retained as the oracle the
 /// indexed builder is property-tested against and as the baseline the
@@ -642,17 +1154,29 @@ mod tests {
     use crate::instance::fixtures;
     use cextend_table::init_join_view;
 
-    /// Both builders on the same input, asserting identical edge sets and
-    /// returning the indexed graph.
+    /// All three builders (static-planned, cost-planned, naive) on the
+    /// same input, asserting identical edge sets and returning the
+    /// static-planned indexed graph.
     fn build_both(view: &Relation, rows: &[RowId], dcs: &[BoundDc]) -> Hypergraph {
         let indexed = build_conflict_graph(view, rows, dcs);
+        let cost = ConflictBuilder::new_cost(dcs, view, rows.len()).build(view, rows);
         let naive = build_conflict_graph_naive(view, rows, dcs);
         let edge_set = |g: &Hypergraph| {
             let mut edges: Vec<Vec<u32>> = g.edges().map(<[u32]>::to_vec).collect();
             edges.sort();
+            edges.dedup();
             edges
         };
-        assert_eq!(edge_set(&indexed), edge_set(&naive), "builders diverged");
+        let reference = edge_set(&indexed);
+        assert_eq!(reference, edge_set(&cost), "cost planner diverged");
+        assert_eq!(reference, edge_set(&naive), "naive builder diverged");
+        // No builder may produce duplicate edges (degrees would diverge).
+        assert_eq!(
+            indexed.n_edges(),
+            cost.n_edges(),
+            "cost planner duplicated edges"
+        );
+        assert_eq!(indexed.n_edges(), reference.len(), "duplicate edges");
         indexed
     }
 
@@ -746,6 +1270,173 @@ mod tests {
         // Only {0,1,2} share Cls=7.
         assert_eq!(g.n_edges(), 1);
         assert_eq!(g.edge(0), &[0, 1, 2]);
+    }
+
+    /// Persons with a mix of categorical and integer attributes, used by
+    /// the bulk-emission tests below.
+    fn bulk_fixture() -> Relation {
+        use cextend_table::{ColumnDef, Dtype, Schema};
+        let schema = Schema::new(vec![
+            ColumnDef::key("pid", Dtype::Int),
+            ColumnDef::attr("Rel", Dtype::Str),
+            ColumnDef::attr("Age", Dtype::Int),
+            ColumnDef::foreign_key("fk", Dtype::Int),
+        ])
+        .unwrap();
+        let mut r = Relation::new("Persons", schema);
+        for (pid, rel, age) in [
+            (1, "Owner", 30),
+            (2, "Owner", 35),
+            (3, "Spouse", 30),
+            (4, "Partner", 35),
+            (5, "Owner", 90),
+        ] {
+            r.push_row(&[
+                Some(Value::Int(pid)),
+                Some(Value::str(rel)),
+                Some(Value::Int(age)),
+                None,
+            ])
+            .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn bulk_emission_dedups_overlapping_cliques_and_indexed_leaves() {
+        use cextend_constraints::parse_dc;
+        let r = bulk_fixture();
+        let dcs: Vec<BoundDc> = [
+            // Bulk clique over the three owners.
+            r#"!(t1.Rel = "Owner" & t2.Rel = "Owner" & t1.fk = t2.fk)"#,
+            // Bulk bi-clique: spouse × partner.
+            r#"!(t1.Rel = "Spouse" & t2.Rel = "Partner" & t1.fk = t2.fk)"#,
+            // Bulk clique over all five rows — covers both DCs above.
+            "!(t1.Age >= 30 & t2.Age >= 30 & t1.fk = t2.fk)",
+            // Single-atom bulk (equal-age windows); its pairs are covered
+            // by the big clique too.
+            "!(t1.Age = t2.Age & t1.fk = t2.fk)",
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            parse_dc(&format!("d{i}"), s, "fk")
+                .unwrap()
+                .bind(r.schema(), "Persons")
+                .unwrap()
+        })
+        .collect();
+        let rows: Vec<RowId> = (0..5).collect();
+        let g = build_both(&r, &rows, &dcs);
+        // The Age ≥ 30 clique subsumes everything: C(5,2) edges.
+        assert_eq!(g.n_edges(), 10);
+
+        let mut b = ConflictBuilder::new_cost(&dcs, &r, rows.len());
+        b.build(&r, &rows);
+        let stats = b.stats();
+        // Owner clique (3 pairs) + spouse×partner (1) rediscovered by the
+        // big clique, plus the same-age DC's two pairs — every DC here is
+        // bulk-emitted, so nothing enumerates and no index is built.
+        assert_eq!(stats.dedup_hits, 6);
+        assert_eq!(stats.index_scan, 0);
+        assert_eq!(stats.indexes_built, 0);
+    }
+
+    #[test]
+    fn bulk_cross_with_overlapping_sides_emits_each_pair_once() {
+        use cextend_constraints::parse_dc;
+        let r = bulk_fixture();
+        // Sides overlap: Age ≥ 30 is {0,1,2,3,4}, Age ≥ 35 is {1,3,4};
+        // rows holding both memberships exercise the canonical-visit rule.
+        let dc = parse_dc("x", "!(t1.Age >= 30 & t2.Age >= 35 & t1.fk = t2.fk)", "fk")
+            .unwrap()
+            .bind(r.schema(), "Persons")
+            .unwrap();
+        let rows: Vec<RowId> = (0..5).collect();
+        let g = build_both(&r, &rows, &[dc]);
+        // {u,v} with at least one side ≥ 35: all pairs except those wholly
+        // inside {0,2} (ages 30,30): C(5,2) − 1.
+        assert_eq!(g.n_edges(), 9);
+    }
+
+    #[test]
+    fn single_atom_bulk_windows_match_enumeration() {
+        use cextend_constraints::parse_dc;
+        let r = bulk_fixture();
+        let rows: Vec<RowId> = (0..5).collect();
+        // Each DC alone and the whole overlapping set: ordering atoms with
+        // offsets on both orientations, inequality, and an offset equality
+        // — every single-atom window kind against the enumerate oracle.
+        let dcs: Vec<&str> = vec![
+            r#"!(t1.Rel = "Owner" & t2.Age > t1.Age + 4 & t1.fk = t2.fk)"#,
+            r#"!(t1.Rel = "Owner" & t2.Age < t1.Age - 1 & t1.fk = t2.fk)"#,
+            "!(t1.Age != t2.Age & t1.fk = t2.fk)",
+            "!(t1.Age = t2.Age + 5 & t1.fk = t2.fk)",
+            r#"!(t1.Age <= t2.Age & t2.Rel = "Spouse" & t1.fk = t2.fk)"#,
+        ];
+        for dc in &dcs {
+            let bound = parse_dc("w", dc, "fk")
+                .unwrap()
+                .bind(r.schema(), "Persons")
+                .unwrap();
+            build_both(&r, &rows, &[bound]);
+        }
+        let bound: Vec<BoundDc> = dcs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                parse_dc(&format!("w{i}"), s, "fk")
+                    .unwrap()
+                    .bind(r.schema(), "Persons")
+                    .unwrap()
+            })
+            .collect();
+        let g = build_both(&r, &rows, &bound);
+        assert!(g.n_edges() > 0);
+        // The registry dedup is predicate-aware: a mask hit alone (shared
+        // membership under DC w2, whose candidate lists are all five rows)
+        // must not suppress pairs w2 itself never emitted.
+        let mut b = ConflictBuilder::new_cost(&bound, &r, rows.len());
+        b.build(&r, &rows);
+        assert!(b.stats().dedup_hits > 0);
+    }
+
+    #[test]
+    fn cost_planner_skips_contradictory_dcs() {
+        use cextend_constraints::parse_dc;
+        let r = bulk_fixture();
+        // t1.Age = t2.Age + 1 ∧ t2.Age = t1.Age is unsatisfiable; equality
+        // saturation proves it at compile time.
+        let dc = parse_dc(
+            "contra",
+            "!(t1.Age = t2.Age + 1 & t2.Age = t1.Age & t1.fk = t2.fk)",
+            "fk",
+        )
+        .unwrap()
+        .bind(r.schema(), "Persons")
+        .unwrap();
+        let rows: Vec<RowId> = (0..5).collect();
+        let g = build_both(&r, &rows, std::slice::from_ref(&dc));
+        assert_eq!(g.n_edges(), 0);
+        let mut b = ConflictBuilder::new_cost(&[dc], &r, rows.len());
+        b.build(&r, &rows);
+        assert_eq!(b.stats().dead_dcs, 1);
+        assert_eq!(b.stats().scanned_candidates, 0, "no enumeration ran");
+    }
+
+    #[test]
+    fn plan_decisions_are_counted_once() {
+        let instance = fixtures::running_example();
+        let (view, _) = init_join_view(&instance.r1, &instance.r2).unwrap();
+        let dcs: Vec<BoundDc> = instance
+            .dcs
+            .iter()
+            .map(|d| d.bind(view.schema(), view.name()).unwrap())
+            .collect();
+        let (from_stats, fallback) = plan_decision_counts(&dcs, &view, view.n_rows());
+        assert_eq!(from_stats + fallback, dcs.len());
+        // Every referenced column exists with data, so stats are usable.
+        assert_eq!(fallback, 0);
     }
 
     #[test]

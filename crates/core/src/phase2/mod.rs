@@ -200,6 +200,51 @@ impl Phase2Ctx {
         Ok(())
     }
 
+    /// [`Phase2Ctx::assign_row`] over a whole batch, column at a time: the
+    /// membership bookkeeping runs in batch order (so `key_members` matches
+    /// the row-at-a-time path exactly), then each `R2` attribute column is
+    /// copied into the view with one typed bulk write instead of a boxed
+    /// [`Relation::set`] per cell. Household cells that are missing fall
+    /// back to a per-cell blank — the batch API only writes present values.
+    pub fn assign_rows_bulk(&mut self, assignments: &[(RowId, usize)]) -> Result<()> {
+        for &(row, r2_row) in assignments {
+            debug_assert!(self.row_key[row].is_none(), "row {row} assigned twice");
+            self.row_key[row] = Some(r2_row);
+            self.key_members[r2_row].push(row);
+        }
+        let mut ints: Vec<(RowId, i64)> = Vec::new();
+        let mut syms: Vec<(RowId, Sym)> = Vec::new();
+        let mut blanks: Vec<RowId> = Vec::new();
+        for (i, &vc) in self.view_r2_attr_ids.iter().enumerate() {
+            let rc = self.r2_attr_ids[i];
+            blanks.clear();
+            if let Some(src) = self.r2_hat.int_view(rc) {
+                ints.clear();
+                for &(row, r2_row) in assignments {
+                    match src.get(r2_row) {
+                        Some(v) => ints.push((row, v)),
+                        None => blanks.push(row),
+                    }
+                }
+                self.view.batch_set_ints(vc, &ints)?;
+            } else {
+                let src = self.r2_hat.sym_view(rc).expect("attr column is int or str");
+                syms.clear();
+                for &(row, r2_row) in assignments {
+                    match src.get(r2_row) {
+                        Some(s) => syms.push((row, s)),
+                        None => blanks.push(row),
+                    }
+                }
+                self.view.batch_set_syms(vc, &syms)?;
+            }
+            for &row in &blanks {
+                self.view.set(row, vc, None)?;
+            }
+        }
+        Ok(())
+    }
+
     /// The combo of a fully-assigned view row (boxed, row-at-a-time; only
     /// the `RandomAssignment` baseline uses it — the coloring path
     /// partitions all rows at once via the dictionary-code group-by).
@@ -279,9 +324,22 @@ pub(crate) fn run_phase2(
                 &dcs,
                 config.coloring,
                 config.conflict,
+                config.dc_planner,
                 config.parallel_coloring,
             );
             let mut index_stats = crate::phase2::conflict::ConflictStats::default();
+            // Planner decisions are a per-run (not per-partition) fact:
+            // count them once on the coordinator so the totals are
+            // invariant under worker width.
+            if config.conflict == crate::config::ConflictBuilderKind::Indexed
+                && config.dc_planner == crate::config::DcPlannerKind::Cost
+            {
+                let rows_hint = partitions.iter().map(|p| p.1.len()).max().unwrap_or(0);
+                let (from_stats, fallback) =
+                    conflict::plan_decision_counts(&dcs, &ctx.view, rows_hint);
+                index_stats.plans_cost = from_stats;
+                index_stats.plans_static_fallback = fallback;
+            }
             for r in &results {
                 stats.counters.conflict_edges += r.edges;
                 stats.counters.skipped_vertices += r.skipped;
@@ -312,6 +370,24 @@ pub(crate) fn run_phase2(
             );
             cextend_obs::counter_add("phase2.dead_dcs", index_stats.dead_dcs as u64);
             cextend_obs::counter_add("phase2.dedup_hits", index_stats.dedup_hits as u64);
+            cextend_obs::counter_add("phase2.plans_cost", index_stats.plans_cost as u64);
+            cextend_obs::counter_add(
+                "phase2.plans_static_fallback",
+                index_stats.plans_static_fallback as u64,
+            );
+            cextend_obs::counter_add("phase2.index_hash", index_stats.index_hash as u64);
+            cextend_obs::counter_add("phase2.index_sorted", index_stats.index_sorted as u64);
+            cextend_obs::counter_add("phase2.index_scan", index_stats.index_scan as u64);
+            tracef!(
+                "phase2: planner {}: {} cost plans, {} static fallbacks, \
+                 {} hash / {} sorted / {} scan depths",
+                config.dc_planner.label(),
+                index_stats.plans_cost,
+                index_stats.plans_static_fallback,
+                index_stats.index_hash,
+                index_stats.index_sorted,
+                index_stats.index_scan,
+            );
             tracef!(
                 "phase2: conflict {} ({} edges): {} indexes, {} eq probes, \
                  {} range probes, {} scanned candidates, {} dead DCs, {} dedup hits",
@@ -333,7 +409,12 @@ pub(crate) fn run_phase2(
             }
 
             // ---- Apply results, minting fresh households as needed. ------
+            // Colors resolve to `R̂2` rows partition by partition (minting
+            // is order-sensitive: fresh keys run in partition order), but
+            // the attribute copy-back runs once over the whole batch,
+            // column at a time.
             let apply_stage = cextend_obs::stage("coloring");
+            let mut assignments: Vec<(RowId, usize)> = Vec::with_capacity(ctx.view.n_rows());
             for r in results {
                 let (combo, _, n_cand) = &partitions[r.partition];
                 let mut fresh_rows: Vec<usize> = Vec::with_capacity(r.fresh_colors);
@@ -347,9 +428,10 @@ pub(crate) fn run_phase2(
                     } else {
                         fresh_rows[color as usize - n_cand]
                     };
-                    ctx.assign_row(row, r2_row)?;
+                    assignments.push((row, r2_row));
                 }
             }
+            ctx.assign_rows_bulk(&assignments)?;
             drop(apply_stage);
 
             // ---- Invalid tuples last. -------------------------------------
@@ -392,14 +474,32 @@ pub(crate) fn run_phase2(
         .absorb(&StageTimings::from_named(&frame.totals()));
 
     // ---- Finalize R̂1. -----------------------------------------------------
+    // One typed batch write per dtype: the FK column receives a million
+    // cells at paper scale, where per-cell boxed `set` calls dominate.
     let mut r1_hat = instance.r1.clone();
     let fk = r1_hat.schema().fk_col().expect("validated");
-    for row in 0..ctx.view.n_rows() {
-        let r2_row = ctx.row_key[row].ok_or_else(|| {
-            CoreError::Validation(format!("row {row} left without an FK assignment"))
-        })?;
-        let key = ctx.r2_hat.get(r2_row, ctx.k2);
-        r1_hat.set(row, fk, key)?;
+    if let Some(keys) = ctx.r2_hat.int_view(ctx.k2) {
+        let mut cells: Vec<(RowId, i64)> = Vec::with_capacity(ctx.view.n_rows());
+        for row in 0..ctx.view.n_rows() {
+            let r2_row = ctx.row_key[row].ok_or_else(|| {
+                CoreError::Validation(format!("row {row} left without an FK assignment"))
+            })?;
+            cells.push((row, keys.get(r2_row).expect("R̂2 keys are present")));
+        }
+        r1_hat.batch_set_ints(fk, &cells)?;
+    } else {
+        let keys = ctx
+            .r2_hat
+            .sym_view(ctx.k2)
+            .expect("key column is int or str");
+        let mut cells: Vec<(RowId, Sym)> = Vec::with_capacity(ctx.view.n_rows());
+        for row in 0..ctx.view.n_rows() {
+            let r2_row = ctx.row_key[row].ok_or_else(|| {
+                CoreError::Validation(format!("row {row} left without an FK assignment"))
+            })?;
+            cells.push((row, keys.get(r2_row).expect("R̂2 keys are present")));
+        }
+        r1_hat.batch_set_syms(fk, &cells)?;
     }
     stats.counters.new_r2_tuples = ctx.r2_hat.n_rows() - instance.r2.n_rows();
     Ok((r1_hat, ctx.r2_hat, ctx.view))

@@ -7,6 +7,7 @@
 //! assignment (Proposition 5.2).
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Vertex index.
 pub type VertexId = u32;
@@ -14,6 +15,36 @@ pub type VertexId = u32;
 pub type EdgeId = u32;
 /// A color (stands for one candidate FK value).
 pub type Color = u32;
+
+/// Identity hasher for the dedup map: edge fingerprints are already
+/// splitmix64-finalized, so feeding them through SipHash again only burns
+/// cycles — tens of millions of times on DC-dense conflict graphs.
+#[derive(Clone, Copy, Debug, Default)]
+struct FingerprintHasher(u64);
+
+impl std::hash::Hasher for FingerprintHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("fingerprint keys hash via write_u64");
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type FingerprintState = std::hash::BuildHasherDefault<FingerprintHasher>;
+
+/// Incidence in CSR form: vertex `v`'s incident edges live at
+/// `edges[offsets[v] .. offsets[v + 1]]`, ascending.
+#[derive(Clone, Debug)]
+struct IncidenceCsr {
+    offsets: Vec<u32>,
+    edges: Vec<EdgeId>,
+}
 
 /// A hypergraph with incidence lists and edge deduplication.
 ///
@@ -25,17 +56,25 @@ pub type Color = u32;
 /// fingerprint; fingerprint collisions between *distinct* edges are
 /// resolved exactly by comparing the stored vertex slices, so dedup
 /// semantics are identical to the old exact-key set.
+///
+/// Incidence lists are **deferred**: nothing is spent per edge at insertion
+/// time; the first degree/incidence query materializes the whole CSR in two
+/// linear passes with one exact-size allocation (the conflict pipeline adds
+/// every edge before the coloring pass reads any incidence, so per-edge
+/// incidence pushes — two amortized, reallocating `Vec` appends per edge —
+/// were pure overhead). Adding an edge afterwards just drops the cache; the
+/// next query rebuilds it.
 #[derive(Clone, Debug)]
 pub struct Hypergraph {
     n: usize,
     /// Edge `e` spans `edge_vertices[edge_offsets[e] .. edge_offsets[e+1]]`.
     edge_offsets: Vec<u32>,
     edge_vertices: Vec<VertexId>,
-    incidence: Vec<Vec<EdgeId>>,
+    incidence: OnceLock<IncidenceCsr>,
     /// Fingerprint → first edge with that fingerprint. Collisions between
     /// distinct edges overflow into `seen_overflow` (checked linearly —
     /// effectively never populated).
-    seen: HashMap<u64, EdgeId>,
+    seen: HashMap<u64, EdgeId, FingerprintState>,
     seen_overflow: Vec<(u64, EdgeId)>,
     /// Scratch buffer for sorting incoming edges without allocating.
     scratch: Vec<VertexId>,
@@ -72,8 +111,8 @@ impl Hypergraph {
             n,
             edge_offsets: vec![0],
             edge_vertices: Vec::new(),
-            incidence: vec![Vec::new(); n],
-            seen: HashMap::new(),
+            incidence: OnceLock::new(),
+            seen: HashMap::default(),
             seen_overflow: Vec::new(),
             scratch: Vec::new(),
         }
@@ -162,10 +201,53 @@ impl Hypergraph {
         }
         self.edge_vertices.extend_from_slice(vs);
         self.edge_offsets.push(self.edge_vertices.len() as u32);
-        for &v in vs {
-            self.incidence[v as usize].push(id);
-        }
+        self.incidence.take();
         Some(id)
+    }
+
+    /// Adds an edge the **caller guarantees** is sorted ascending, has at
+    /// least two distinct vertices, and duplicates no edge in the graph —
+    /// skipping the fingerprint/dedup bookkeeping entirely. This is the
+    /// bulk-emission path for clique-shaped DCs, whose pair enumeration is
+    /// duplicate-free by construction: the cost per edge drops to the two
+    /// CSR pushes.
+    ///
+    /// Because the edge is *not* entered into the dedup table, a later
+    /// [`add_edge`](Hypergraph::add_edge)/[`add_sorted_edge`](Hypergraph::add_sorted_edge)
+    /// of the same vertex set would store a duplicate — callers mixing
+    /// checked and unchecked insertion must dedup against their unchecked
+    /// edges themselves (the conflict builder keeps per-vertex clique
+    /// registries for exactly this).
+    ///
+    /// # Panics
+    /// Panics in debug builds if `vertices` is not strictly ascending or
+    /// has fewer than two vertices, and in all builds if a vertex id is
+    /// out of range.
+    #[inline]
+    pub fn add_sorted_edge_unchecked(&mut self, vertices: &[VertexId]) -> EdgeId {
+        debug_assert!(
+            vertices.len() >= 2 && vertices.windows(2).all(|w| w[0] < w[1]),
+            "add_sorted_edge_unchecked requires ≥2 strictly ascending vertices"
+        );
+        for &v in vertices {
+            assert!(
+                (v as usize) < self.n,
+                "vertex {v} out of range (n = {})",
+                self.n
+            );
+        }
+        let id = self.n_edges() as EdgeId;
+        self.edge_vertices.extend_from_slice(vertices);
+        self.edge_offsets.push(self.edge_vertices.len() as u32);
+        self.incidence.take();
+        id
+    }
+
+    /// Pre-reserves storage for `edges` additional edges of `arity`
+    /// vertices each (bulk clique emission sizes its output exactly).
+    pub fn reserve_edges(&mut self, edges: usize, arity: usize) {
+        self.edge_offsets.reserve(edges);
+        self.edge_vertices.reserve(edges * arity);
     }
 
     /// The vertices of edge `e`, sorted ascending.
@@ -178,14 +260,45 @@ impl Hypergraph {
         (0..self.n_edges() as EdgeId).map(|e| self.edge_slice(e))
     }
 
-    /// Ids of edges incident to `v`.
+    /// The incidence CSR, built on first use: a counting pass over
+    /// `edge_vertices`, a prefix sum, and a fill pass that walks edges in
+    /// ascending id — so each vertex's list comes out in the same ascending
+    /// edge order the old per-edge pushes produced.
+    fn incidence(&self) -> &IncidenceCsr {
+        self.incidence.get_or_init(|| {
+            let mut offsets = vec![0u32; self.n + 1];
+            for &v in &self.edge_vertices {
+                offsets[v as usize + 1] += 1;
+            }
+            for i in 0..self.n {
+                offsets[i + 1] += offsets[i];
+            }
+            let mut next = offsets.clone();
+            let mut edges = vec![0 as EdgeId; self.edge_vertices.len()];
+            for e in 0..self.n_edges() {
+                let lo = self.edge_offsets[e] as usize;
+                let hi = self.edge_offsets[e + 1] as usize;
+                for &v in &self.edge_vertices[lo..hi] {
+                    edges[next[v as usize] as usize] = e as EdgeId;
+                    next[v as usize] += 1;
+                }
+            }
+            IncidenceCsr { offsets, edges }
+        })
+    }
+
+    /// Ids of edges incident to `v`, ascending.
     pub fn incident_edges(&self, v: VertexId) -> &[EdgeId] {
-        &self.incidence[v as usize]
+        let inc = self.incidence();
+        let lo = inc.offsets[v as usize] as usize;
+        let hi = inc.offsets[v as usize + 1] as usize;
+        &inc.edges[lo..hi]
     }
 
     /// Degree of `v` = number of incident edges.
     pub fn degree(&self, v: VertexId) -> usize {
-        self.incidence[v as usize].len()
+        let inc = self.incidence();
+        (inc.offsets[v as usize + 1] - inc.offsets[v as usize]) as usize
     }
 
     /// Vertices sorted by non-increasing degree (ties by vertex id, for
@@ -193,7 +306,8 @@ impl Hypergraph {
     /// once into a flat key vector before the sort, so the comparator does
     /// not chase the incidence lists `O(n log n)` times.
     pub fn vertices_by_degree_desc(&self) -> Vec<VertexId> {
-        let degrees: Vec<u32> = self.incidence.iter().map(|i| i.len() as u32).collect();
+        let inc = self.incidence();
+        let degrees: Vec<u32> = inc.offsets.windows(2).map(|w| w[1] - w[0]).collect();
         let mut vs: Vec<VertexId> = (0..self.n as VertexId).collect();
         vs.sort_by(|&a, &b| {
             degrees[b as usize]
@@ -370,6 +484,31 @@ mod tests {
         assert_eq!(g.edge(0), &[0, 2, 4]);
         assert_eq!(g.n_edges(), 1);
         assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn unchecked_edges_interleave_with_checked() {
+        let mut g = Hypergraph::new(6);
+        g.reserve_edges(3, 2);
+        assert_eq!(g.add_sorted_edge_unchecked(&[0, 1]), 0);
+        assert_eq!(g.add_sorted_edge(&[1, 2]), Some(1));
+        assert_eq!(g.add_sorted_edge_unchecked(&[3, 5]), 2);
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(g.edge(0), &[0, 1]);
+        assert_eq!(g.edge(2), &[3, 5]);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.incident_edges(5), &[2]);
+        // Checked insertion still dedups against *checked* edges…
+        assert_eq!(g.add_sorted_edge(&[1, 2]), None);
+        // …but by contract does not see unchecked ones (the caller dedups).
+        assert_eq!(g.add_sorted_edge(&[0, 1]), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unchecked_edge_still_bounds_checks() {
+        let mut g = Hypergraph::new(2);
+        g.add_sorted_edge_unchecked(&[0, 7]);
     }
 
     #[test]

@@ -53,6 +53,7 @@ mod mem;
 mod predicate;
 mod relation;
 mod schema;
+mod stats;
 mod value;
 mod valueset;
 
@@ -61,12 +62,13 @@ pub use join::{
     fk_join, fk_join_on, init_join_view, join_schema, relations_equal_ordered, JoinLayout,
 };
 pub use marginals::{GroupKey, GroupedRows};
-pub use mem::{peak_rss_bytes, MemStats};
+pub use mem::{peak_rss_bytes, reset_peak_rss, MemStats};
 pub use predicate::{Atom, BoundAtom, BoundPredicate, CmpOp, CompiledPredicate, Predicate};
 pub use relation::{
     ColumnData, IntColumn, IntColumnView, Relation, RelationBuilder, RowId, SymColumn,
     SymColumnView,
 };
 pub use schema::{ColId, ColumnDef, Role, Schema};
+pub use stats::{ColumnStats, SAMPLE_TARGET, TOP_K};
 pub use value::{Dtype, Sym, Value};
 pub use valueset::ValueSet;

@@ -40,6 +40,16 @@ pub fn peak_rss_bytes() -> Option<u64> {
     parse_vmhwm(&status)
 }
 
+/// Resets the kernel's peak-RSS high-water mark down to the *current* RSS
+/// by writing `5` to `/proc/self/clear_refs` (see `proc(5)`). Without the
+/// reset `VmHWM` is monotone over the process lifetime, so a multi-scenario
+/// driver would attribute the heaviest scenario's peak to every later one.
+/// Returns `true` when the reset took effect (Linux with a writable
+/// `clear_refs`); callers on other platforms keep the monotone semantics.
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
 /// Parses the `VmHWM:` line of a `/proc/<pid>/status` document (kB units).
 fn parse_vmhwm(status: &str) -> Option<u64> {
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
@@ -64,6 +74,26 @@ mod tests {
         let doc = "Name:\tx\nVmPeak:\t  999 kB\nVmHWM:\t  1234 kB\nThreads:\t1\n";
         assert_eq!(parse_vmhwm(doc), Some(1234 * 1024));
         assert_eq!(parse_vmhwm("Name:\tx\n"), None);
+    }
+
+    #[test]
+    fn reset_drops_the_high_water_mark() {
+        // Push the high-water mark up with a transient buffer big enough
+        // to dominate the test process (mmap'd, so freeing returns it).
+        let buf = vec![1u8; 64 << 20];
+        std::hint::black_box(&buf[..]);
+        drop(buf);
+        let peak = peak_rss_bytes();
+        if !reset_peak_rss() {
+            return; // no writable clear_refs: monotone semantics kept
+        }
+        let after = peak_rss_bytes();
+        if let (Some(peak), Some(after)) = (peak, after) {
+            // Never above the old mark, and a real value (the reset
+            // re-seeds the mark with the *current* RSS, not zero).
+            assert!(after <= peak, "reset raised the mark: {peak} -> {after}");
+            assert!(after > 0);
+        }
     }
 
     #[test]

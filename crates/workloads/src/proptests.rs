@@ -7,10 +7,10 @@
 //! and the solver's guarantees are testable against it.
 
 use crate::workload::{all_workloads, CcFamily, DcSet, WorkloadParams};
-use cextend_core::conflict::{build_conflict_graph, build_conflict_graph_naive};
+use cextend_core::conflict::{build_conflict_graph, build_conflict_graph_naive, ConflictBuilder};
 use cextend_core::metrics::dc_error_on;
 use cextend_core::snowflake::{solve_snowflake, SnowflakeStep};
-use cextend_core::{ConflictBuilderKind, SchedulerMode, SolverConfig};
+use cextend_core::{ConflictBuilderKind, DcPlannerKind, SchedulerMode, SolverConfig};
 use proptest::prelude::*;
 
 proptest! {
@@ -213,6 +213,112 @@ proptest! {
                     w.meta().name,
                     step,
                     rows.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_and_static_dc_planners_build_identical_edge_sets(
+        seed in 0u64..1_000,
+        scale_mil in 2u32..10,
+        n_rows in 8usize..40,
+    ) {
+        // The cost planner reorders the enumeration, swaps index kinds and
+        // bulk-emits pair DCs via sorted-run windows — none of which may
+        // change the edge *set*. Same harness as the indexed/naive oracle:
+        // every workload's ground-truth view (real DC shapes, including the
+        // ternary nae-track chain) over one artificial partition window.
+        let scale = f64::from(scale_mil) / 1_000.0;
+        for w in all_workloads() {
+            let data = w.generate(&WorkloadParams::new(scale, seed));
+            for step in 0..data.n_steps() {
+                let truth = data.step_owner_truth(step);
+                let dcs: Vec<_> = w
+                    .step_dcs(step, DcSet::All)
+                    .iter()
+                    .map(|d| d.bind(truth.schema(), truth.name()).expect("DCs bind"))
+                    .collect();
+                let rows: Vec<usize> = (0..truth.n_rows().min(n_rows)).collect();
+                let static_g = build_conflict_graph(truth, &rows, &dcs);
+                let cost_g =
+                    ConflictBuilder::new_cost(&dcs, truth, rows.len()).build(truth, &rows);
+                let edge_set = |g: &cextend_hypergraph::Hypergraph| {
+                    let mut edges: Vec<Vec<u32>> = g.edges().map(<[u32]>::to_vec).collect();
+                    edges.sort();
+                    edges
+                };
+                prop_assert_eq!(
+                    edge_set(&static_g),
+                    edge_set(&cost_g),
+                    "{} step {}: planners diverged on {} rows",
+                    w.meta().name,
+                    step,
+                    rows.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dc_planners_and_worker_widths_are_bit_identical_end_to_end(
+        seed in 0u64..200,
+        scale_mil in 3u32..7,
+    ) {
+        // Phase-2 output must not depend on the DC planner, the coloring
+        // mode or the pinned pool width: solve dcdense serially under the
+        // static planner as the reference, then compare every other
+        // (planner, width) combination bit for bit. Widths are pinned via
+        // CEXTEND_SCHED_WORKERS — the same knob CI's scale-smoke pins — so
+        // the work-stealing pipeline's reassembly is exercised even on a
+        // single-CPU machine.
+        let scale = f64::from(scale_mil) / 1_000.0;
+        let w = crate::workload::workload_by_name("dcdense").expect("registered");
+        let data = w.generate(&WorkloadParams::new(scale, seed));
+        let steps: Vec<SnowflakeStep> = data
+            .steps
+            .iter()
+            .enumerate()
+            .map(|(i, edge)| SnowflakeStep {
+                edge: edge.clone(),
+                ccs: w.step_ccs(i, CcFamily::Good, 12, &data, seed),
+                dcs: w.step_dcs(i, DcSet::All),
+            })
+            .collect();
+        let solve = |planner: DcPlannerKind, parallel: bool| {
+            let config = SolverConfig::hybrid()
+                .with_seed(seed)
+                .with_dc_planner(planner)
+                .with_parallel_coloring(parallel);
+            solve_snowflake(data.relations.clone(), &steps, &config).expect("solve")
+        };
+        let reference = solve(DcPlannerKind::Static, false);
+        for planner in [DcPlannerKind::Static, DcPlannerKind::Cost] {
+            for width in ["serial", "1", "2", "4"] {
+                if planner == DcPlannerKind::Static && width == "serial" {
+                    continue; // the reference itself
+                }
+                let parallel = width != "serial";
+                if parallel {
+                    std::env::set_var("CEXTEND_SCHED_WORKERS", width);
+                }
+                let other = solve(planner, parallel);
+                std::env::remove_var("CEXTEND_SCHED_WORKERS");
+                for (a, b) in reference.tables.iter().zip(&other.tables) {
+                    prop_assert!(
+                        cextend_table::relations_equal_ordered(a, b),
+                        "relation {} diverged under {:?} planner at width {}",
+                        a.name(),
+                        planner,
+                        width
+                    );
+                }
+                prop_assert_eq!(
+                    reference.total_stats().counters,
+                    other.total_stats().counters,
+                    "solve counters diverged under {:?} planner at width {}",
+                    planner,
+                    width
                 );
             }
         }
